@@ -1,0 +1,891 @@
+(* Experiment harness: regenerates every figure of the paper as an
+   executable experiment (see DESIGN.md, experiment index E1-E14, and
+   EXPERIMENTS.md for recorded results).
+
+   The paper has no numeric tables; its figures are worked constructions
+   with qualitative claims attached.  Each experiment below reproduces
+   the construction, prints the measured static and dynamic metrics, and
+   states the claim being checked.  Absolute cycle counts are properties
+   of our ETS simulator (DESIGN.md, substitutions), but every comparison
+   -- who is more parallel, what gets eliminated, where the tradeoffs lie
+   -- is the paper's.
+
+   Run with:  dune exec bench/main.exe            (all experiments)
+              dune exec bench/main.exe -- E7 E10  (a selection)
+              dune exec bench/main.exe -- quick   (skip the timing runs)
+*)
+
+let section id title =
+  Fmt.pr "@.============================================================@.";
+  Fmt.pr "%s  %s@." id title;
+  Fmt.pr "============================================================@."
+
+let claim what = Fmt.pr "claim: %s@.@." what
+
+(* --- shared helpers -------------------------------------------------- *)
+
+let compile ?transforms spec p = Dflow.Driver.compile ?transforms spec p
+
+let execute ?(config = Machine.Config.default) (c : Dflow.Driver.compiled) =
+  Dfg.Check.check c.Dflow.Driver.graph;
+  Machine.Interp.run_exn ~config
+    { Machine.Interp.graph = c.Dflow.Driver.graph; layout = c.Dflow.Driver.layout }
+
+let check_reference p (r : Machine.Interp.result) =
+  let expected = Imp.Eval.run_program ~fuel:10_000_000 p in
+  if not (Imp.Memory.equal expected r.Machine.Interp.memory) then
+    failwith "experiment produced a store differing from the reference!"
+
+let run_row ?config ?transforms name spec p =
+  let c = compile ?transforms spec p in
+  let r = execute ?config c in
+  check_reference p r;
+  let st = Dfg.Stats.of_graph c.Dflow.Driver.graph in
+  Fmt.pr "  %-34s %7d %7d %8d %8.2f %5d %5d %6d@." name
+    r.Machine.Interp.cycles r.Machine.Interp.firings
+    r.Machine.Interp.memory_ops
+    (Machine.Interp.avg_parallelism r)
+    st.Dfg.Stats.switches st.Dfg.Stats.merges st.Dfg.Stats.synch_inputs;
+  (r, st)
+
+let header () =
+  Fmt.pr "  %-34s %7s %7s %8s %8s %5s %5s %6s@." "configuration" "cycles"
+    "ops" "mem-ops" "avg-par" "sw" "mrg" "syn-in"
+
+let s1 = Dflow.Driver.Schema1
+let s2b = Dflow.Driver.Schema2 Dflow.Engine.Barrier
+let s2p = Dflow.Driver.Schema2 Dflow.Engine.Pipelined
+let s2ob = Dflow.Driver.Schema2_opt Dflow.Engine.Barrier
+let s2op = Dflow.Driver.Schema2_opt Dflow.Engine.Pipelined
+
+(* ===================================================================== *)
+(* E1 -- Figure 1: the running example's control-flow graph              *)
+
+let e1 () =
+  section "E1" "Figure 1: running-example control-flow graph";
+  claim
+    "the statement-level CFG has the paper's shape: start/end, one join \
+     (the label l), two assignments, one fork; start is itself a fork via \
+     the conventional start->end edge";
+  let p = Imp.Factory.running_example () in
+  let g = Cfg.Builder.of_program p in
+  Cfg.Validate.check g;
+  Fmt.pr "%a@." Cfg.Core.pp g;
+  let count p_ = List.length (List.filter p_ (Cfg.Core.nodes g)) in
+  Fmt.pr "nodes %d  edges %d  assigns %d  forks %d  joins %d@."
+    (Cfg.Core.num_nodes g) (Cfg.Core.num_edges g)
+    (count (fun n -> match Cfg.Core.kind g n with Cfg.Core.Assign _ -> true | _ -> false))
+    (count (fun n -> match Cfg.Core.kind g n with Cfg.Core.Fork _ -> true | _ -> false))
+    (count (fun n -> Cfg.Core.kind g n = Cfg.Core.Join));
+  Fmt.pr "(DOT renderings: dune exec bin/df_compile.exe -- dot FILE --stage cfg)@."
+
+(* ===================================================================== *)
+(* E2 -- Figure 2: operator semantics                                    *)
+
+let e2 () =
+  section "E2" "Figure 2: switch / merge / synch operator semantics";
+  claim
+    "switch routes its data token by the predicate; merge forwards any \
+     arrival; synch waits for all inputs (verified exhaustively in \
+     test/test_machine.ml; here: one observable run each)";
+  let module B = Dfg.Graph.Builder in
+  let module N = Dfg.Node in
+  let layout = Imp.Layout.of_program (Imp.Parser.program_of_string "r := 0") in
+  let run g = Machine.Interp.run { Machine.Interp.graph = g; layout } in
+  List.iter
+    (fun dir ->
+      let b = B.create () in
+      let start = B.add b (N.Start 1) in
+      let data = B.add b (N.Const (Imp.Value.Int 7)) in
+      let pred = B.add b (N.Const (Imp.Value.Bool dir)) in
+      let sw = B.add b N.Switch in
+      let st = B.add b (N.Store { var = "r"; indexed = false; mem = N.Plain }) in
+      let st2 = B.add b (N.Store { var = "r"; indexed = false; mem = N.Plain }) in
+      let stop = B.add b (N.End 1) in
+      B.connect b ~dummy:true (start, 0) (data, 0);
+      B.connect b ~dummy:true (start, 0) (pred, 0);
+      B.connect b (data, 0) (sw, 0);
+      B.connect b (pred, 0) (sw, 1);
+      B.connect b ~dummy:true (sw, 0) (st, 0);
+      B.connect b (sw, 0) (st, 1);
+      B.connect b ~dummy:true (sw, 1) (st2, 0);
+      B.connect b (sw, 1) (st2, 1);
+      B.connect b ~dummy:true (st, 0) (stop, 0);
+      let r = run (B.finish b) in
+      Fmt.pr "  switch on %-5b -> %s consumed the token (end fired: %b)@." dir
+        (if dir then "true-output store" else "false-output store")
+        r.Machine.Interp.completed)
+    [ true; false ];
+  Fmt.pr "  merge and synch: see the machine_tour example and machine tests@."
+
+(* ===================================================================== *)
+(* E3 -- Figures 3-5: Schema 1                                           *)
+
+let e3 () =
+  section "E3" "Figures 3-5: Schema 1, sequential semantics via one token";
+  claim
+    "statements execute one at a time (the single access token is the \
+     program counter); only expression-level parallelism survives, so \
+     average parallelism stays near or below 1 and cycles track the \
+     sequential operation count";
+  header ();
+  List.iter
+    (fun (name, p) -> ignore (run_row name s1 p))
+    [
+      ("running example (fig 1)", Imp.Factory.running_example ());
+      ("independent straight line", Imp.Factory.independent_straightline ());
+      ("dependent chain", Imp.Factory.dependent_chain ());
+      ("gcd kernel", Imp.Factory.gcd_kernel ());
+    ];
+  let p = Imp.Factory.independent_straightline ~k:10 () in
+  let r = execute (compile s1 p) in
+  Fmt.pr "  peak parallelism under schema 1: %d (statements never overlap)@."
+    r.Machine.Interp.peak_parallelism;
+  (* parallelism profiles: firings per cycle, rendered as a bar chart *)
+  let sparkline (profile : int array) =
+    let glyphs = [| " "; "."; ":"; "|"; "#" |] in
+    let buf = Buffer.create (Array.length profile) in
+    Array.iter
+      (fun v ->
+        let i = min 4 v in
+        Buffer.add_string buf glyphs.(i))
+      profile;
+    Buffer.contents buf
+  in
+  Fmt.pr "@.  parallelism profile (one column per cycle; ' '=0 '.'=1 ':'=2           '|'=3 '#'=4+):@.";
+  List.iter
+    (fun (name, spec) ->
+      let r = execute ~config:Machine.Config.ideal (compile spec p) in
+      Fmt.pr "  %-12s %s@." name (sparkline r.Machine.Interp.profile))
+    [ ("schema1", s1); ("schema2", s2b); ("schema2-opt", s2ob) ]
+
+(* ===================================================================== *)
+(* E4 -- Figures 6-7: Schema 2                                           *)
+
+let e4 () =
+  section "E4" "Figures 6-7: Schema 2, one access token per variable";
+  claim
+    "independent memory operations overlap: on straight-line code over \
+     disjoint variables Schema 2 shortens the critical path by roughly \
+     the number of independent statements, and cannot help a dependence \
+     chain";
+  header ();
+  let wide = Imp.Factory.independent_straightline ~k:8 () in
+  let chain = Imp.Factory.dependent_chain ~k:8 () in
+  let r1w, _ = run_row "schema1 / 8 independent" s1 wide in
+  let r2w, _ = run_row "schema2 / 8 independent" s2b wide in
+  let r1c, _ = run_row "schema1 / 8-deep chain" s1 chain in
+  let r2c, _ = run_row "schema2 / 8-deep chain" s2b chain in
+  Fmt.pr "  speedup on independent code: %.2fx;  on the chain: %.2fx@."
+    (float_of_int r1w.Machine.Interp.cycles /. float_of_int r2w.Machine.Interp.cycles)
+    (float_of_int r1c.Machine.Interp.cycles /. float_of_int r2c.Machine.Interp.cycles)
+
+(* ===================================================================== *)
+(* E5 -- Figure 8: loops need loop control                               *)
+
+let e5 () =
+  section "E5" "Figure 8: Schema 2 on a cycle without loop control";
+  claim
+    "without loop-entry/exit operators the graph is not a meaningful \
+     dataflow computation: two same-tag tokens meet on one arc (detected \
+     by the machine as a token collision); inserting loop control fixes \
+     it under identical latencies";
+  let p =
+    Imp.Parser.program_of_string
+      {| l:
+         y := ((((x + 1) * 3 + x) * 3 + x) * 3 + x) * 3 + x
+         x := x + 1
+         if x < 5 goto l |}
+  in
+  let slow_alu =
+    { Machine.Config.default with
+      Machine.Config.latencies = { alu = 8; memory = 1; routing = 1 } }
+  in
+  let c = compile Dflow.Driver.Schema2_unsafe_no_loop_control p in
+  (match
+     Machine.Interp.run ~config:slow_alu
+       { Machine.Interp.graph = c.Dflow.Driver.graph; layout = c.Dflow.Driver.layout }
+   with
+  | _ -> Fmt.pr "  UNEXPECTED: no collision detected@."
+  | exception Machine.Interp.Token_collision w ->
+      Fmt.pr "  without loop control: Token_collision at %s@." w);
+  List.iter
+    (fun (name, spec) ->
+      let r = execute ~config:slow_alu (compile spec p) in
+      check_reference p r;
+      Fmt.pr "  with %-22s clean run, %d cycles, x=%d y=%d@." name
+        r.Machine.Interp.cycles
+        (Imp.Memory.read r.Machine.Interp.memory "x" 0)
+        (Imp.Memory.read r.Machine.Interp.memory "y" 0))
+    [ ("barrier loop control:", s2b); ("pipelined loop control:", s2p) ]
+
+(* ===================================================================== *)
+(* E6 -- Figure 9: redundant switches restrict parallelism               *)
+
+let e6 () =
+  section "E6" "Figure 9: eliminating a redundant switch unblocks access_x";
+  claim
+    "in the Figure 9 program x is untouched by the conditional; Schema 2 \
+     still routes access_x through a switch, serializing the second x \
+     assignment behind the predicate; the optimized construction lets it \
+     bypass, strictly reducing switches";
+  let p = Imp.Factory.bypass_example () in
+  header ();
+  let _, st2 = run_row "schema2 (switch for x at fork)" s2b p in
+  let _, sto = run_row "schema2-opt (x bypasses)" s2ob p in
+  Fmt.pr "  switches: %d -> %d;  nested variant: " st2.Dfg.Stats.switches
+    sto.Dfg.Stats.switches;
+  let pn = Imp.Factory.nested_bypass_example () in
+  let cn2 = compile s2b pn and cno = compile s2ob pn in
+  Fmt.pr "%d -> %d (both inner and outer eliminated)@."
+    (Dfg.Stats.of_graph cn2.Dflow.Driver.graph).Dfg.Stats.switches
+    (Dfg.Stats.of_graph cno.Dflow.Driver.graph).Dfg.Stats.switches
+
+(* ===================================================================== *)
+(* E7 -- Figure 10: switch placement = iterated control dependence       *)
+
+let e7 () =
+  section "E7" "Figure 10 / Theorem 1: worklist placement = CD+ = between";
+  claim
+    "the worklist algorithm computes exactly the definitional relation \
+     (checked on random unstructured CFGs here and in the property \
+     tests)";
+  let rand = Random.State.make [| 2026 |] in
+  let mismatches = ref 0 and graphs = ref 0 and forks = ref 0 in
+  for _ = 1 to 120 do
+    let g = Workloads.Random_gen.random_cfg rand in
+    incr graphs;
+    let vars =
+      List.sort_uniq compare
+        (List.concat_map (Cfg.Core.referenced_vars g) (Cfg.Core.nodes g))
+    in
+    if vars <> [] then begin
+      let fast = Analysis.Switch_place.compute g ~vars in
+      let slow = Analysis.Switch_place.compute_bruteforce g ~vars in
+      List.iter
+        (fun f ->
+          if Cfg.Core.is_fork g f then begin
+            incr forks;
+            List.iter
+              (fun x ->
+                if
+                  Analysis.Switch_place.needs_switch fast f x
+                  <> Analysis.Switch_place.needs_switch slow f x
+                then incr mismatches)
+              vars
+          end)
+        (Cfg.Core.nodes g)
+    end
+  done;
+  Fmt.pr "  %d random CFGs, %d forks checked, %d mismatches@." !graphs !forks
+    !mismatches;
+  if !mismatches > 0 then failwith "Theorem 1 violated!"
+
+(* ===================================================================== *)
+(* E8 -- Figure 11: the source-vector construction                       *)
+
+let e8 () =
+  section "E8" "Figure 11: source vectors wire a switch-minimal graph";
+  claim
+    "across all example programs the optimized construction produces \
+     graphs with no more switches/merges than Schema 2, identical final \
+     stores, and comparable or shorter critical paths";
+  Fmt.pr "  %-28s %9s %9s %9s %9s %9s@." "program" "sw(2)" "sw(opt)" "mrg(2)"
+    "mrg(opt)" "cyc-ratio";
+  List.iter
+    (fun (name, mk) ->
+      let p = mk () in
+      if not (Analysis.Alias.has_aliasing (Analysis.Alias.of_program p)) then
+        match (compile s2b p, compile s2ob p) with
+        | c2, co ->
+            let st2 = Dfg.Stats.of_graph c2.Dflow.Driver.graph in
+            let sto = Dfg.Stats.of_graph co.Dflow.Driver.graph in
+            let r2 = execute c2 and ro = execute co in
+            check_reference p ro;
+            assert (sto.Dfg.Stats.switches <= st2.Dfg.Stats.switches);
+            Fmt.pr "  %-28s %9d %9d %9d %9d %9.2f@." name st2.Dfg.Stats.switches
+              sto.Dfg.Stats.switches st2.Dfg.Stats.merges sto.Dfg.Stats.merges
+              (float_of_int ro.Machine.Interp.cycles
+              /. float_of_int r2.Machine.Interp.cycles)
+        | exception Cfg.Intervals.Irreducible _ ->
+            Fmt.pr "  %-28s (irreducible)@." name)
+    Imp.Factory.all
+
+(* ===================================================================== *)
+(* E9 -- Figures 12-13: aliasing and covers                              *)
+
+let e9 () =
+  section "E9" "Figures 12-13: Schema 3, covers of the alias structure";
+  claim
+    "the FORTRAN example's alias structure (x~z, y~z, x!~y) admits \
+     covers trading parallelism for synchronisation: singleton maximizes \
+     overlap, components minimize token collection; all covers preserve \
+     the sequential store";
+  let p = Imp.Factory.fortran_alias_example () in
+  let alias = Analysis.Alias.of_program p in
+  Fmt.pr "  @[<v 2>alias classes:@ %a@]@." Analysis.Alias.pp alias;
+  header ();
+  List.iter
+    (fun (name, choice) ->
+      ignore
+        (run_row name (Dflow.Driver.Schema3 (choice, Dflow.Engine.Barrier)) p))
+    [
+      ("schema3 / singleton cover", Dflow.Driver.Singleton);
+      ("schema3 / class cover", Dflow.Driver.Classes);
+      ("schema3 / component cover", Dflow.Driver.Components);
+    ];
+  ignore (run_row "schema1 (fully sequential)" s1 p);
+  (* dynamic tradeoff: chain alias structure p~q~r~s where p-work and
+     s-work are independent; the singleton cover overlaps them (their
+     access sets are disjoint), the component cover serializes them *)
+  let chain_prog =
+    Imp.Parser.program_of_string
+      {| mayalias p q  mayalias q r  mayalias r s
+         p := p + 1 p := p * 2 p := p + 3 p := p * 2 p := p + 5
+         s := s + 1 s := s * 2 s := s + 3 s := s * 2 s := s + 5 |}
+  in
+  Fmt.pr "  chain-alias program (independent p-work and s-work):@.";
+  List.iter
+    (fun (name, choice) ->
+      ignore
+        (run_row name
+           (Dflow.Driver.Schema3 (choice, Dflow.Engine.Barrier))
+           chain_prog))
+    [
+      ("  singleton (p,s overlap)", Dflow.Driver.Singleton);
+      ("  classes", Dflow.Driver.Classes);
+      ("  components (serialized)", Dflow.Driver.Components);
+    ];
+  let chain =
+    Analysis.Alias.of_pairs [ "p"; "q"; "r"; "s" ] ~equiv:[]
+      ~may_alias:[ ("p", "q"); ("q", "r"); ("r", "s") ]
+  in
+  let vars = [ "p"; "q"; "r"; "s" ] in
+  Fmt.pr "  chain p~q~r~s:  %-12s %9s %9s@." "cover" "sync-cost" "spurious";
+  List.iter
+    (fun (name, c) ->
+      Fmt.pr "                  %-12s %9d %9d@." name
+        (Analysis.Cover.synchronization_cost chain c vars)
+        (Analysis.Cover.spurious_serialization chain c))
+    [
+      ("singleton", Analysis.Cover.singleton chain);
+      ("classes", Analysis.Cover.classes chain);
+      ("components", Analysis.Cover.components chain);
+    ]
+
+(* ===================================================================== *)
+(* E10 -- Figure 14: array store parallelization                         *)
+
+let e10 () =
+  section "E10" "Figure 14: overlapping independent array stores";
+  claim
+    "subscript analysis proves the loop's stores hit distinct elements; \
+     duplicating the access token into the next iteration and collecting \
+     completions overlaps the stores, turning per-iteration memory \
+     latency into pipelined throughput; I-structures additionally \
+     overlap producer and consumer loops";
+  let p = Imp.Factory.array_store_loop ~n:16 () in
+  let slow_mem =
+    { Machine.Config.default with
+      Machine.Config.latencies = { alu = 1; memory = 24; routing = 1 } }
+  in
+  let base =
+    { Dflow.Driver.no_transforms with
+      Dflow.Driver.value_passing = true; parallel_reads = true }
+  in
+  header ();
+  ignore (run_row ~config:slow_mem "schema2-pipelined" s2p p);
+  ignore (run_row ~config:slow_mem ~transforms:base "  + value passing" s2p p);
+  ignore
+    (run_row ~config:slow_mem
+       ~transforms:{ base with Dflow.Driver.array_parallel = true }
+       "  + fig14 overlap" s2p p);
+  let pc = Imp.Factory.array_sum_kernel ~n:12 () in
+  Fmt.pr "  producer/consumer kernel:@.";
+  ignore (run_row ~config:slow_mem ~transforms:base "  value passing only" s2p pc);
+  ignore
+    (run_row ~config:slow_mem
+       ~transforms:{ base with Dflow.Driver.array_parallel = true }
+       "  + fig14 overlap" s2p pc);
+  ignore
+    (run_row ~config:slow_mem
+       ~transforms:{ base with Dflow.Driver.istructure = true }
+       "  + I-structure memory" s2p pc)
+
+(* ===================================================================== *)
+(* E11 -- Section 6.1: elimination of memory operations                  *)
+
+let e11 () =
+  section "E11" "Section 6.1: values ride the tokens; memory ops vanish";
+  claim
+    "for unaliased scalars every interior load and store disappears \
+     (only the final write-back remains), and the critical path drops \
+     toward the data-dependence height";
+  Fmt.pr "  %-24s %9s %9s %9s %9s %11s %11s@." "kernel" "mem(2opt)"
+    "mem(val)" "cyc(2opt)" "cyc(val)" "tokens(2op)" "tokens(val)";
+  List.iter
+    (fun (name, p) ->
+      let c = compile s2op p in
+      let r = execute c in
+      let cv =
+        compile
+          ~transforms:
+            { Dflow.Driver.no_transforms with Dflow.Driver.value_passing = true }
+          s2op p
+      in
+      let rv = execute cv in
+      check_reference p rv;
+      let traffic (x : Machine.Interp.result) =
+        x.Machine.Interp.dummy_deliveries + x.Machine.Interp.value_deliveries
+      in
+      Fmt.pr "  %-24s %9d %9d %9d %9d %11d %11d@." name
+        r.Machine.Interp.memory_ops rv.Machine.Interp.memory_ops
+        r.Machine.Interp.cycles rv.Machine.Interp.cycles (traffic r)
+        (traffic rv))
+    [
+      ("sum", Imp.Factory.sum_kernel ~n:10 ());
+      ("fib", Imp.Factory.fib_kernel ~n:10 ());
+      ("gcd", Imp.Factory.gcd_kernel ());
+      ("running example", Imp.Factory.running_example ());
+    ]
+
+(* ===================================================================== *)
+(* E12 -- Section 6.2: read parallelization                              *)
+
+let e12 () =
+  section "E12" "Section 6.2: maximal read runs execute in parallel";
+  claim
+    "a run of loads on one access token costs one memory latency instead \
+     of one per load; reads of potentially aliased names parallelize \
+     too (only writes need ordering)";
+  let p =
+    Imp.Parser.program_of_string
+      {| array a[8]
+         a[0] := 3 a[1] := 1 a[2] := 4 a[3] := 1 a[4] := 5 a[5] := 9
+         s := a[0] + a[1] + a[2] + a[3] + a[4] + a[5] |}
+  in
+  let aliased =
+    Imp.Parser.program_of_string
+      {| mayalias x y
+         mayalias y z
+         x := 1 y := 2 z := 3
+         s := x + y + z + x + y + z |}
+  in
+  let t = { Dflow.Driver.no_transforms with Dflow.Driver.parallel_reads = true } in
+  header ();
+  ignore (run_row "6-read statement, serial" s2b p);
+  ignore (run_row ~transforms:t "6-read statement, parallel" s2b p);
+  ignore (run_row "schema1 serial reads" s1 p);
+  ignore (run_row ~transforms:t "schema1 parallel reads" s1 p);
+  let s3 = Dflow.Driver.Schema3 (Dflow.Driver.Components, Dflow.Engine.Barrier) in
+  ignore (run_row "aliased reads, serial" s3 aliased);
+  ignore (run_row ~transforms:t "aliased reads, parallel" s3 aliased)
+
+(* ===================================================================== *)
+(* E13 -- Section 3: the O(E * V) size bound                             *)
+
+let e13 () =
+  section "E13" "Section 3: Schema 2 graph size is O(E x V)";
+  claim
+    "arcs grow linearly in E*V for Schema 2 (each CFG edge carries one \
+     arc per variable); the optimized construction grows more slowly \
+     because unused tokens bypass whole regions";
+  Fmt.pr "  %-6s %6s %6s %10s %12s %14s@." "vars" "E" "ExV" "arcs(2)"
+    "arcs(2)/ExV" "arcs(opt)";
+  List.iter
+    (fun k ->
+      let body =
+        String.concat "\n"
+          (List.init k (fun i ->
+               Fmt.str "if v%d < 5 then v%d := v%d + 1 else v%d := v%d - 1 end"
+                 i i i i i))
+      in
+      let p = Imp.Parser.program_of_string body in
+      let c2 = compile s2b p in
+      let co = compile s2ob p in
+      let e = Cfg.Core.num_edges c2.Dflow.Driver.cfg in
+      let ev = e * k in
+      Fmt.pr "  %-6d %6d %6d %10d %12.2f %14d@." k e ev
+        (Dfg.Graph.num_arcs c2.Dflow.Driver.graph)
+        (float_of_int (Dfg.Graph.num_arcs c2.Dflow.Driver.graph)
+        /. float_of_int ev)
+        (Dfg.Graph.num_arcs co.Dflow.Driver.graph))
+    [ 2; 4; 8; 16; 24 ]
+
+(* ===================================================================== *)
+(* E14 -- ablations: loop control strategy and PE scaling                *)
+
+let e14 () =
+  section "E14" "Ablations: loop-control strategy; processing elements";
+  claim
+    "pipelined per-variable gateways dominate the barrier black box on \
+     loops with unbalanced statement latencies; bounded PEs recover the \
+     von Neumann regime (schema 1 is insensitive to PE count, schema \
+     2-opt scales)";
+  (* the slow statement alternates between iterations: the barrier pays
+     the slow side every iteration; pipelined gateways let a's even-
+     iteration work overlap b's odd-iteration work *)
+  let p =
+    Imp.Parser.program_of_string
+      {| i := 0
+         while i < 12 do
+           if i % 2 == 0 then
+             a := a + i * i * i * i * i * i
+           else
+             b := b + i * i * i * i * i * i
+           end
+           i := i + 1
+         end |}
+  in
+  let slow_alu =
+    { Machine.Config.default with
+      Machine.Config.latencies = { alu = 6; memory = 2; routing = 1 } }
+  in
+  Fmt.pr "  loop control with an alternating bottleneck (alu = 6 cycles):@.";
+  header ();
+  ignore (run_row ~config:slow_alu "schema2 barrier" s2b p);
+  ignore (run_row ~config:slow_alu "schema2 pipelined" s2p p);
+  ignore (run_row ~config:slow_alu "schema2-opt barrier" s2ob p);
+  ignore (run_row ~config:slow_alu "schema2-opt pipelined" s2op p);
+  let wide = Imp.Factory.independent_straightline ~k:12 () in
+  Fmt.pr "@.  PE sweep on 12 independent statements (cycles):@.";
+  Fmt.pr "  %-14s" "PEs";
+  List.iter
+    (fun pes ->
+      Fmt.pr " %7s" (match pes with None -> "inf" | Some p -> string_of_int p))
+    [ Some 1; Some 2; Some 4; Some 8; None ];
+  Fmt.pr "@.";
+  List.iter
+    (fun (name, spec) ->
+      Fmt.pr "  %-14s" name;
+      List.iter
+        (fun pes ->
+          let config = { Machine.Config.default with Machine.Config.pes } in
+          let r = execute ~config (compile spec wide) in
+          Fmt.pr " %7d" r.Machine.Interp.cycles)
+        [ Some 1; Some 2; Some 4; Some 8; None ];
+      Fmt.pr "@.")
+    [ ("schema1", s1); ("schema2", s2b); ("schema2-opt", s2ob) ];
+  (* memory bandwidth sweep: Schema 2's exposed parallelism is memory
+     traffic; ports throttle it, and Section 6.1 value passing gives the
+     parallelism back without touching memory at all *)
+  Fmt.pr "@.  memory-port sweep on the same workload (cycles):@.";
+  Fmt.pr "  %-24s" "memory ports";
+  List.iter
+    (fun mp -> Fmt.pr " %7s" (match mp with None -> "inf" | Some m -> string_of_int m))
+    [ Some 1; Some 2; Some 4; None ];
+  Fmt.pr "@.";
+  List.iter
+    (fun (name, spec, transforms) ->
+      Fmt.pr "  %-24s" name;
+      List.iter
+        (fun memory_ports ->
+          let config = { Machine.Config.default with Machine.Config.memory_ports } in
+          let r = execute ~config (compile ~transforms spec wide) in
+          Fmt.pr " %7d" r.Machine.Interp.cycles)
+        [ Some 1; Some 2; Some 4; None ];
+      Fmt.pr "@.")
+    [
+      ("schema2", s2b, Dflow.Driver.no_transforms);
+      ( "schema2 + value passing",
+        s2b,
+        { Dflow.Driver.no_transforms with Dflow.Driver.value_passing = true } );
+    ]
+
+(* ===================================================================== *)
+(* E15 -- machine resources: waiting-matching store and token overlap    *)
+
+let e15 () =
+  section "E15" "Machine resources: waiting-matching occupancy (frames)";
+  claim
+    "the explicit token store replaces associative waiting-matching with      frame slots; the peak number of live rendezvous entries (and of      overlapping iteration contexts) is the frame capacity a Monsoon-like      machine must provision -- pipelined loop control buys speed with      more concurrent frames";
+  let p =
+    Imp.Parser.program_of_string
+      {| i := 0
+         while i < 12 do
+           a := a + i * i * i
+           b := b + 1
+           i := i + 1
+         end |}
+  in
+  Fmt.pr "  %-28s %8s %12s %12s %10s@." "schema" "cycles" "peak-match"
+    "peak-flight" "ctx-olap";
+  List.iter
+    (fun (name, spec, transforms) ->
+      let c = compile ~transforms spec p in
+      let tracer = Machine.Trace.create () in
+      let r =
+        Machine.Interp.run
+          ~on_fire:(Machine.Trace.on_fire tracer)
+          { Machine.Interp.graph = c.Dflow.Driver.graph;
+            layout = c.Dflow.Driver.layout }
+      in
+      assert (r.Machine.Interp.completed && r.Machine.Interp.leftover_tokens = 0);
+      check_reference p r;
+      Fmt.pr "  %-28s %8d %12d %12d %10d@." name r.Machine.Interp.cycles
+        r.Machine.Interp.peak_matching r.Machine.Interp.peak_in_flight
+        (Machine.Trace.max_context_overlap tracer))
+    [
+      ("schema1", s1, Dflow.Driver.no_transforms);
+      ("schema2 barrier", s2b, Dflow.Driver.no_transforms);
+      ("schema2 pipelined", s2p, Dflow.Driver.no_transforms);
+      ("schema2-opt pipelined", s2op, Dflow.Driver.no_transforms);
+      ( "schema2-opt pipelined +6.1",
+        s2op,
+        { Dflow.Driver.no_transforms with Dflow.Driver.value_passing = true } );
+    ]
+
+(* ===================================================================== *)
+(* E16 -- separate compilation of procedures (Section 5's origin story)  *)
+
+let e16 () =
+  section "E16" "Separate compilation: one Schema 3 graph, every call site";
+  claim
+    "the alias structure of a procedure derives from its call sites      (SUBROUTINE F(X,Y,Z) at F(A,B,A) and F(C,D,D): X~Z, Y~Z, never      X~Y); the body compiled once against that structure executes      correctly under every call site's storage binding, while Schema 2      (no alias structure) computes a wrong store under real aliasing";
+  let src =
+    {| proc f(fx, fy, fz)
+         fx := 1
+         fy := 2
+         fz := fz + fx + fy
+         fx := fy + fz
+       end
+       call f(a, b, a)
+       call f(c, d, d)
+       call f(u, v, w) |}
+  in
+  let p = Imp.Parser.program_of_string src in
+  Fmt.pr "  derived pairs: %a@."
+    Fmt.(list ~sep:comma (pair ~sep:(any "~") string string))
+    (Imp.Proc.param_aliases p "f");
+  let once = Imp.Proc.standalone p "f" in
+  let compiled =
+    compile (Dflow.Driver.Schema3 (Dflow.Driver.Singleton, Dflow.Engine.Barrier)) once
+  in
+  List.iter
+    (fun args ->
+      let inst = Imp.Proc.instantiate p "f" args in
+      let layout = Imp.Layout.of_program inst in
+      let expected = Imp.Eval.run_program inst in
+      let r =
+        Machine.Interp.run_exn
+          { Machine.Interp.graph = compiled.Dflow.Driver.graph; layout }
+      in
+      Fmt.pr "  f(%-7s) one graph, this layout: %s (%d cycles)@."
+        (String.concat "," args)
+        (if Imp.Memory.equal expected r.Machine.Interp.memory then "ok"
+         else "WRONG")
+        r.Machine.Interp.cycles;
+      assert (Imp.Memory.equal expected r.Machine.Interp.memory))
+    (Imp.Proc.call_sites p "f");
+  (* the Schema 2 counterexample *)
+  let src2 =
+    {| proc g(gx, gz)
+         gx := ((((7 * 3) + 2) * 5) + 1) * 9
+         b := gz
+       end
+       call g(a, a) |}
+  in
+  let p2 = Imp.Parser.program_of_string src2 in
+  let once2 = { (Imp.Proc.standalone p2 "g") with Imp.Ast.may_alias = [] } in
+  let wrong = compile (Dflow.Driver.Schema2 Dflow.Engine.Barrier) once2 in
+  let inst2 = Imp.Proc.instantiate p2 "g" [ "a"; "a" ] in
+  let layout2 = Imp.Layout.of_program inst2 in
+  let expected2 = Imp.Eval.run_program inst2 in
+  (match
+     Machine.Interp.run
+       { Machine.Interp.graph = wrong.Dflow.Driver.graph; layout = layout2 }
+   with
+  | r ->
+      Fmt.pr "  schema2 on hidden aliasing: %s@."
+        (if
+           r.Machine.Interp.completed
+           && Imp.Memory.equal expected2 r.Machine.Interp.memory
+         then "accidentally right (unsound anyway)"
+         else "wrong store, as the paper predicts")
+  | exception Machine.Interp.Token_collision _ ->
+      Fmt.pr "  schema2 on hidden aliasing: token collision@.")
+
+(* ===================================================================== *)
+(* E17 -- kernel suite: every example program under the main pipeline    *)
+
+let e17 () =
+  section "E17" "Kernel suite: all example programs, all main configurations";
+  claim
+    "across the whole kernel suite the ordering schema1 >= schema2-pipelined      >= schema2-opt-pipelined >= +section-6 holds for cycle counts, and      every configuration reproduces the sequential store";
+  Fmt.pr "  %-28s %8s %8s %8s %8s %9s@." "kernel" "s1" "s2p" "s2op"
+    "s2p+sec6" "speedup";
+  List.iter
+    (fun (name, mk) ->
+      let p = mk () in
+      if not (Analysis.Alias.has_aliasing (Analysis.Alias.of_program p)) then
+        match compile s1 p with
+        | exception Cfg.Intervals.Irreducible _ ->
+            Fmt.pr "  %-28s (irreducible)@." name
+        | c1 -> (
+            match
+              ( execute c1,
+                execute (compile s2p p),
+                execute (compile s2op p),
+                execute
+                  (compile
+                     ~transforms:
+                       { Dflow.Driver.no_transforms with
+                         Dflow.Driver.value_passing = true;
+                         parallel_reads = true;
+                         array_parallel = true }
+                     s2p p) )
+            with
+            | r1, r2, ro, rs ->
+                check_reference p rs;
+                Fmt.pr "  %-28s %8d %8d %8d %8d %8.1fx@." name
+                  r1.Machine.Interp.cycles r2.Machine.Interp.cycles
+                  ro.Machine.Interp.cycles rs.Machine.Interp.cycles
+                  (float_of_int r1.Machine.Interp.cycles
+                  /. float_of_int rs.Machine.Interp.cycles)
+            | exception Cfg.Intervals.Irreducible _ ->
+                Fmt.pr "  %-28s (irreducible)@." name))
+    Imp.Factory.all
+
+(* ===================================================================== *)
+(* E18 -- optimizing on the dataflow IR                                  *)
+
+let e18 () =
+  section "E18" "The dataflow graph as an optimizing-compiler IR";
+  claim
+    "classical optimizations (constant folding, CSE, dead-node      elimination) run directly on the dataflow graph and reduce executed      operations without touching the memory-ordering structure -- the      paper's closing thesis about executable intermediate      representations";
+  Fmt.pr "  %-24s %9s %9s %9s %9s@." "kernel" "ops" "ops(-O)" "cycles"
+    "cycles(-O)";
+  let extra =
+    [
+      ( "polynomial (redundant)",
+        fun () ->
+          Imp.Parser.program_of_string
+            {| y := (x*x*x + 2*x*x + 7) * (x*x + 1) + (x*x*x + 2*x*x + 7) |} );
+      ( "address arithmetic",
+        fun () ->
+          Imp.Parser.program_of_string
+            {| array a[16]
+               r := a[i * 4 + j] + a[i * 4 + j + 1] + a[i * 4 + j + 4] |} );
+      ( "constant expressions",
+        fun () ->
+          Imp.Parser.program_of_string
+            "x := 2 * 3 + 4 * 5 y := 2 * 3 - 1 z := x + 2 * 3" );
+    ]
+  in
+  List.iter
+    (fun (name, mk) ->
+      let p = mk () in
+      if not (Analysis.Alias.has_aliasing (Analysis.Alias.of_program p)) then
+        match compile s2op p with
+        | exception Cfg.Intervals.Irreducible _ -> ()
+        | c ->
+            let g = c.Dflow.Driver.graph in
+            let g' = Dfg.Opt.run (Dfg.Simplify.run g) in
+            Dfg.Check.check g';
+            let run graph =
+              Machine.Interp.run_exn
+                { Machine.Interp.graph = graph; layout = c.Dflow.Driver.layout }
+            in
+            let r = run g and r' = run g' in
+            check_reference p r';
+            Fmt.pr "  %-24s %9d %9d %9d %9d@." name r.Machine.Interp.firings
+              r'.Machine.Interp.firings r.Machine.Interp.cycles
+              r'.Machine.Interp.cycles)
+    (extra @ Imp.Factory.all)
+
+(* ===================================================================== *)
+(* Timing micro-benchmarks (bechamel)                                    *)
+
+let bechamel_benches () =
+  section "TIMING" "compiler-pass timings (bechamel, OLS ns/run)";
+  let open Bechamel in
+  let prog k =
+    let body =
+      String.concat "\n"
+        (List.init k (fun i ->
+             Fmt.str
+               "c%d := 0 while c%d < 4 do if v%d < 5 then v%d := v%d + 1 end \
+                c%d := c%d + 1 end"
+               i i i i i i i))
+    in
+    Imp.Parser.program_of_string body
+  in
+  let p16 = prog 16 in
+  let g16 = Cfg.Builder.of_program p16 in
+  let lp16 = Cfg.Loopify.transform g16 in
+  let vars16 = Imp.Ast.program_vars p16 in
+  let src16 = Imp.Pretty.program_to_string p16 in
+  let c16 = compile s2ob p16 in
+  let tests =
+    Test.make_grouped ~name:"passes"
+      [
+        Test.make ~name:"parse (16 loops)"
+          (Staged.stage (fun () -> ignore (Imp.Parser.program_of_string src16)));
+        Test.make ~name:"cfg build"
+          (Staged.stage (fun () -> ignore (Cfg.Builder.of_program p16)));
+        Test.make ~name:"interval analysis + loopify"
+          (Staged.stage (fun () -> ignore (Cfg.Loopify.transform g16)));
+        Test.make ~name:"postdominators"
+          (Staged.stage (fun () -> ignore (Analysis.Dom.postdominators_of g16)));
+        Test.make ~name:"switch placement (fig 10)"
+          (Staged.stage (fun () ->
+               ignore (Analysis.Switch_place.compute g16 ~vars:vars16)));
+        Test.make ~name:"schema2 translation"
+          (Staged.stage (fun () ->
+               ignore (Dflow.Engine.schema2 lp16 ~vars:vars16)));
+        Test.make ~name:"schema2-opt translation (fig 11)"
+          (Staged.stage (fun () ->
+               ignore (Dflow.Optimized.translate lp16 ~vars:vars16)));
+        Test.make ~name:"ssa construction"
+          (Staged.stage (fun () -> ignore (Ssa.Construct.construct g16)));
+        Test.make ~name:"machine execution (schema2-opt)"
+          (Staged.stage (fun () ->
+               ignore
+                 (Machine.Interp.run
+                    {
+                      Machine.Interp.graph = c16.Dflow.Driver.graph;
+                      layout = c16.Dflow.Driver.layout;
+                    })));
+      ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.4) () in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  let rows =
+    Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] -> Fmt.pr "  %-48s %12.0f ns/run@." name est
+      | _ -> Fmt.pr "  %-48s (no estimate)@." name)
+    rows
+
+(* ===================================================================== *)
+
+let experiments =
+  [
+    ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
+    ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
+    ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
+    ("E17", e17); ("E18", e18);
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let quick = List.mem "quick" args in
+  let selected = List.filter (fun a -> a <> "quick") args in
+  let to_run =
+    if selected = [] then experiments
+    else List.filter (fun (id, _) -> List.mem id selected) experiments
+  in
+  List.iter (fun (_, f) -> f ()) to_run;
+  if (not quick) && selected = [] then bechamel_benches ();
+  Fmt.pr
+    "@.all experiments completed; every executed store was checked against \
+     the reference interpreter.@."

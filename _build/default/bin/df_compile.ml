@@ -1,0 +1,391 @@
+(* df_compile: command-line front end to the control-flow -> dataflow
+   translation pipeline.
+
+   Subcommands:
+     run      compile a program and execute it on the dataflow machine
+     dot      emit DOT renderings of the CFG / loopified CFG / DFG / PDG
+     analyze  print the analyses: loops, alias classes, switch placement
+     compare  execute every schema and tabulate the metrics *)
+
+open Cmdliner
+
+(* --- shared argument parsing ---------------------------------------- *)
+
+let read_program path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  Imp.Parser.program_of_string src
+
+let spec_of_string (s : string) : (Dflow.Driver.spec, string) result =
+  match s with
+  | "1" | "schema1" -> Ok Dflow.Driver.Schema1
+  | "2" | "schema2" -> Ok (Dflow.Driver.Schema2 Dflow.Engine.Barrier)
+  | "2p" | "schema2-pipelined" ->
+      Ok (Dflow.Driver.Schema2 Dflow.Engine.Pipelined)
+  | "2opt" | "schema2-opt" -> Ok (Dflow.Driver.Schema2_opt Dflow.Engine.Barrier)
+  | "2optp" | "schema2-opt-pipelined" ->
+      Ok (Dflow.Driver.Schema2_opt Dflow.Engine.Pipelined)
+  | "3" | "schema3" ->
+      Ok (Dflow.Driver.Schema3 (Dflow.Driver.Classes, Dflow.Engine.Barrier))
+  | "3s" | "schema3-singleton" ->
+      Ok (Dflow.Driver.Schema3 (Dflow.Driver.Singleton, Dflow.Engine.Barrier))
+  | "3c" | "schema3-components" ->
+      Ok (Dflow.Driver.Schema3 (Dflow.Driver.Components, Dflow.Engine.Barrier))
+  | "fig8" -> Ok Dflow.Driver.Schema2_unsafe_no_loop_control
+  | _ -> Error (Fmt.str "unknown schema %S" s)
+
+let schema_conv : Dflow.Driver.spec Arg.conv =
+  let parse s = match spec_of_string s with Ok v -> `Ok v | Error e -> `Error e in
+  ( (fun s -> parse s),
+    fun ppf spec -> Fmt.string ppf (Dflow.Driver.spec_to_string spec) )
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"IMP source file")
+
+let schema_arg =
+  Arg.(
+    value
+    & opt schema_conv (Dflow.Driver.Schema2_opt Dflow.Engine.Barrier)
+    & info [ "s"; "schema" ] ~docv:"SCHEMA"
+        ~doc:
+          "Translation schema: 1, 2, 2p, 2opt, 2optp, 3, 3s, 3c, or fig8 \
+           (schema 2 without loop control).")
+
+let transforms_arg =
+  Arg.(
+    value & opt (list string) []
+    & info [ "t"; "transforms" ] ~docv:"LIST"
+        ~doc:
+          "Section 6 transformations: any of value, reads, arrays, \
+           istructures (comma separated).")
+
+let transforms_of_list l =
+  List.fold_left
+    (fun acc s ->
+      match s with
+      | "value" -> { acc with Dflow.Driver.value_passing = true }
+      | "reads" -> { acc with Dflow.Driver.parallel_reads = true }
+      | "arrays" -> { acc with Dflow.Driver.array_parallel = true }
+      | "istructures" -> { acc with Dflow.Driver.istructure = true }
+      | other -> Fmt.failwith "unknown transform %S" other)
+    Dflow.Driver.no_transforms l
+
+let pes_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "p"; "pes" ] ~docv:"N"
+        ~doc:"Number of processing elements (default: unbounded).")
+
+let mem_latency_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "mem-latency" ] ~docv:"CYCLES"
+        ~doc:"Split-phase memory latency in cycles.")
+
+let optimize_arg =
+  Arg.(
+    value & flag
+    & info [ "O"; "optimize" ]
+        ~doc:
+          "Run the graph-level optimizer (constant folding, CSE, dead-node            elimination) and the Id-splicing simplifier on the dataflow            graph.")
+
+let maybe_optimize opt g = if opt then Dfg.Opt.run (Dfg.Simplify.run g) else g
+
+let config_of pes mem_latency =
+  {
+    Machine.Config.default with
+    Machine.Config.pes;
+    latencies = { Machine.Config.default_latencies with memory = mem_latency };
+  }
+
+(* --- run ------------------------------------------------------------- *)
+
+let run_cmd file schema transforms pes mem_latency verbose trace optimize =
+  let p = read_program file in
+  let transforms = transforms_of_list transforms in
+  let compiled = Dflow.Driver.compile ~transforms schema p in
+  let graph = maybe_optimize optimize compiled.Dflow.Driver.graph in
+  Dfg.Check.check graph;
+  let config = config_of pes mem_latency in
+  let tracer = Machine.Trace.create () in
+  let on_fire = if trace then Some (Machine.Trace.on_fire tracer) else None in
+  let result =
+    Machine.Interp.run ~config ?on_fire
+      { Machine.Interp.graph = graph; layout = compiled.Dflow.Driver.layout }
+  in
+  if not result.Machine.Interp.completed then
+    failwith "dataflow execution did not complete";
+  Fmt.pr "== final store ==@.%a@." Imp.Memory.pp result.Machine.Interp.memory;
+  Fmt.pr "== execution ==@.";
+  Fmt.pr "schema           %s@." (Dflow.Driver.spec_to_string schema);
+  Fmt.pr "cycles           %d@." result.Machine.Interp.cycles;
+  Fmt.pr "operations       %d@." result.Machine.Interp.firings;
+  Fmt.pr "memory ops       %d@." result.Machine.Interp.memory_ops;
+  Fmt.pr "avg parallelism  %.2f@." (Machine.Interp.avg_parallelism result);
+  Fmt.pr "peak parallelism %d@." result.Machine.Interp.peak_parallelism;
+  Fmt.pr "peak matching    %d entries@." result.Machine.Interp.peak_matching;
+  Fmt.pr "op breakdown     %a@."
+    Fmt.(list ~sep:(any ", ") (pair ~sep:(any ":") string int))
+    result.Machine.Interp.firings_by_kind;
+  if trace then begin
+    Fmt.pr "== timeline (first 60 cycles) ==@.";
+    Fmt.pr "%a" (Machine.Trace.pp_timeline ~max_cycles:60) tracer;
+    Fmt.pr "== firings per iteration context ==@.";
+    List.iter
+      (fun (ctx, n) ->
+        Fmt.pr "  %-16s %d@." (Machine.Context.to_string ctx) n)
+      (Machine.Trace.per_context tracer);
+    Fmt.pr "max overlapping contexts: %d@."
+      (Machine.Trace.max_context_overlap tracer)
+  end;
+  if verbose then begin
+    Fmt.pr "== static graph ==@.%a@." Dfg.Stats.pp (Dfg.Stats.of_graph graph);
+    let reference = Imp.Eval.run_program ~fuel:10_000_000 p in
+    if Imp.Memory.equal reference result.Machine.Interp.memory then
+      Fmt.pr "reference check  ok@."
+    else Fmt.pr "reference check  MISMATCH@."
+  end
+
+let run_term =
+  Term.(
+    const run_cmd $ file_arg $ schema_arg $ transforms_arg $ pes_arg
+    $ mem_latency_arg
+    $ Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print graph statistics and check against the reference interpreter.")
+    $ Arg.(value & flag & info [ "trace" ] ~doc:"Print an execution timeline and per-context firing counts.")
+    $ optimize_arg)
+
+(* --- dot ------------------------------------------------------------- *)
+
+let dot_cmd file schema transforms stage =
+  let p = read_program file in
+  match stage with
+  | "cfg" -> Fmt.pr "%s" (Cfg.Dot.to_string (Cfg.Builder.of_program p))
+  | "loopified" ->
+      let lp = Cfg.Loopify.transform (Cfg.Builder.of_program p) in
+      Fmt.pr "%s" (Cfg.Dot.to_string lp.Cfg.Loopify.graph)
+  | "pdg" -> Fmt.pr "%s" (Ssa.Pdg.to_dot (Ssa.Pdg.build (Cfg.Builder.of_program p)))
+  | "dfg" ->
+      let transforms = transforms_of_list transforms in
+      let compiled = Dflow.Driver.compile ~transforms schema p in
+      Fmt.pr "%s" (Dfg.Dot.to_string compiled.Dflow.Driver.graph)
+  | other -> Fmt.failwith "unknown stage %S (cfg|loopified|dfg|pdg)" other
+
+let dot_term =
+  Term.(
+    const dot_cmd $ file_arg $ schema_arg $ transforms_arg
+    $ Arg.(
+        value & opt string "dfg"
+        & info [ "stage" ] ~docv:"STAGE" ~doc:"cfg, loopified, dfg or pdg."))
+
+(* --- emit / exec: the textual dataflow IR ----------------------------- *)
+
+let emit_cmd file schema transforms optimize =
+  let p = read_program file in
+  let transforms = transforms_of_list transforms in
+  let compiled = Dflow.Driver.compile ~transforms schema p in
+  let graph = maybe_optimize optimize compiled.Dflow.Driver.graph in
+  Dfg.Check.check graph;
+  print_string (Dfg.Text.print graph)
+
+let emit_term =
+  Term.(const emit_cmd $ file_arg $ schema_arg $ transforms_arg $ optimize_arg)
+
+let exec_cmd graph_file program_file pes mem_latency =
+  (* the graph comes from the textual IR; the source program supplies
+     the memory layout (and the reference semantics to check against) *)
+  let g = Dfg.Text.read graph_file in
+  Dfg.Check.check g;
+  let p = read_program program_file in
+  let layout = Imp.Layout.of_program p in
+  let config = config_of pes mem_latency in
+  let r = Machine.Interp.run_exn ~config { Machine.Interp.graph = g; layout } in
+  Fmt.pr "== final store ==@.%a@." Imp.Memory.pp r.Machine.Interp.memory;
+  Fmt.pr "cycles %d, operations %d@." r.Machine.Interp.cycles
+    r.Machine.Interp.firings;
+  let reference = Imp.Eval.run_program ~fuel:10_000_000 p in
+  Fmt.pr "reference check: %s@."
+    (if Imp.Memory.equal reference r.Machine.Interp.memory then "ok"
+     else "MISMATCH")
+
+let exec_term =
+  Term.(
+    const exec_cmd
+    $ Arg.(
+        required & pos 0 (some file) None
+        & info [] ~docv:"GRAPH" ~doc:"Textual dataflow graph (.dfg)")
+    $ Arg.(
+        required & pos 1 (some file) None
+        & info [] ~docv:"PROGRAM" ~doc:"IMP source supplying the memory layout")
+    $ pes_arg $ mem_latency_arg)
+
+let check_cmd graph_file =
+  let g = Dfg.Text.read graph_file in
+  Dfg.Check.check g;
+  Fmt.pr "%s: well-formed@.%a@." graph_file Dfg.Stats.pp (Dfg.Stats.of_graph g)
+
+let check_term =
+  Term.(
+    const check_cmd
+    $ Arg.(
+        required & pos 0 (some file) None
+        & info [] ~docv:"GRAPH" ~doc:"Textual dataflow graph (.dfg)"))
+
+(* --- analyze --------------------------------------------------------- *)
+
+let analyze_cmd file =
+  let p = read_program file in
+  let g = Cfg.Builder.of_program p in
+  let vars = Imp.Ast.program_vars p in
+  Fmt.pr "== control-flow graph ==@.%a@." Cfg.Core.pp g;
+  (* alias structure *)
+  let alias = Analysis.Alias.of_program p in
+  if Analysis.Alias.has_aliasing alias then begin
+    Fmt.pr "== alias classes ==@.";
+    Fmt.pr "@[<v>%a@]@." Analysis.Alias.pp alias;
+    List.iter
+      (fun (name, c) ->
+        Fmt.pr "cover %-11s %a  (sync cost %d, spurious serializations %d)@."
+          name Analysis.Cover.pp c
+          (Analysis.Cover.synchronization_cost alias c vars)
+          (Analysis.Cover.spurious_serialization alias c))
+      [
+        ("singleton", Analysis.Cover.singleton alias);
+        ("classes", Analysis.Cover.classes alias);
+        ("components", Analysis.Cover.components alias);
+      ]
+  end;
+  (* loops *)
+  (match Cfg.Loopify.transform g with
+  | lp ->
+      Array.iter
+        (fun (l : Cfg.Loopify.loop_info) ->
+          Fmt.pr
+            "loop %d: header %d, entry %d, exits [%a], %d body nodes, vars \
+             {%a}%a@."
+            l.Cfg.Loopify.id l.Cfg.Loopify.header l.Cfg.Loopify.entry
+            Fmt.(list ~sep:comma int)
+            l.Cfg.Loopify.exits
+            (List.length l.Cfg.Loopify.body)
+            Fmt.(list ~sep:comma string)
+            l.Cfg.Loopify.vars
+            (fun ppf -> function
+              | Some par -> Fmt.pf ppf ", inside loop %d" par
+              | None -> ())
+            l.Cfg.Loopify.parent)
+        lp.Cfg.Loopify.loops;
+      (* switch placement on the loopified graph *)
+      let sp =
+        Analysis.Switch_place.compute lp.Cfg.Loopify.graph ~vars
+      in
+      Fmt.pr "== switch placement (fork, variables) ==@.";
+      List.iter
+        (fun f ->
+          if Cfg.Core.is_fork lp.Cfg.Loopify.graph f && f <> lp.Cfg.Loopify.graph.Cfg.Core.start
+          then
+            let needed =
+              List.filter (fun x -> Analysis.Switch_place.needs_switch sp f x) vars
+            in
+            Fmt.pr "fork %d: {%a}@." f Fmt.(list ~sep:comma string) needed)
+        (Cfg.Core.nodes lp.Cfg.Loopify.graph);
+      (* Figure 14 / I-structure opportunities *)
+      let async = Dflow.Transforms.async_candidates p lp in
+      List.iter
+        (fun (l, x) -> Fmt.pr "fig14: loop %d, array %s parallelizable@." l x)
+        async;
+      List.iter
+        (fun x -> Fmt.pr "write-once array: %s (I-structure eligible)@." x)
+        (Dflow.Transforms.istructure_candidates p lp)
+  | exception Cfg.Intervals.Irreducible m ->
+      Fmt.pr "irreducible control flow: %s@." m);
+  (* SSA summary *)
+  let ssa = Ssa.Construct.construct g in
+  Fmt.pr "== SSA ==@.@[<v>%a@]@." Ssa.Construct.pp ssa
+
+let analyze_term = Term.(const analyze_cmd $ file_arg)
+
+(* --- compare --------------------------------------------------------- *)
+
+let compare_cmd file pes mem_latency =
+  let p = read_program file in
+  let config = config_of pes mem_latency in
+  let aliasing = Analysis.Alias.has_aliasing (Analysis.Alias.of_program p) in
+  let specs =
+    if aliasing then
+      Dflow.Driver.
+        [
+          (Schema1, no_transforms);
+          (Schema3 (Singleton, Dflow.Engine.Barrier), no_transforms);
+          (Schema3 (Classes, Dflow.Engine.Barrier), no_transforms);
+          (Schema3 (Components, Dflow.Engine.Barrier), no_transforms);
+        ]
+    else
+      Dflow.Driver.
+        [
+          (Schema1, no_transforms);
+          (Schema2 Dflow.Engine.Barrier, no_transforms);
+          (Schema2 Dflow.Engine.Pipelined, no_transforms);
+          (Schema2_opt Dflow.Engine.Barrier, no_transforms);
+          (Schema2_opt Dflow.Engine.Pipelined, no_transforms);
+          (Schema2_opt Dflow.Engine.Pipelined, all_transforms);
+        ]
+  in
+  Fmt.pr "%-28s %8s %8s %8s %9s %8s@." "schema" "cycles" "ops" "mem-ops"
+    "avg-par" "switches";
+  List.iter
+    (fun (spec, transforms) ->
+      match Dflow.Driver.compile ~transforms spec p with
+      | compiled ->
+          let r =
+            Machine.Interp.run_exn ~config
+              {
+                Machine.Interp.graph = compiled.Dflow.Driver.graph;
+                layout = compiled.Dflow.Driver.layout;
+              }
+          in
+          let st = Dfg.Stats.of_graph compiled.Dflow.Driver.graph in
+          let name =
+            Dflow.Driver.spec_to_string spec
+            ^ if transforms = Dflow.Driver.no_transforms then "" else "+sec6"
+          in
+          Fmt.pr "%-28s %8d %8d %8d %9.2f %8d@." name r.Machine.Interp.cycles
+            r.Machine.Interp.firings r.Machine.Interp.memory_ops
+            (Machine.Interp.avg_parallelism r)
+            st.Dfg.Stats.switches
+      | exception Cfg.Intervals.Irreducible _ ->
+          Fmt.pr "%-28s %s@."
+            (Dflow.Driver.spec_to_string spec)
+            "(irreducible: unsupported)")
+    specs
+
+let compare_term = Term.(const compare_cmd $ file_arg $ pes_arg $ mem_latency_arg)
+
+(* --- command assembly ------------------------------------------------ *)
+
+let cmds =
+  [
+    Cmd.v
+      (Cmd.info "run" ~doc:"Compile and execute on the dataflow machine")
+      run_term;
+    Cmd.v (Cmd.info "dot" ~doc:"Emit DOT renderings") dot_term;
+    Cmd.v
+      (Cmd.info "emit" ~doc:"Emit the textual dataflow IR (.dfg)")
+      emit_term;
+    Cmd.v
+      (Cmd.info "exec"
+         ~doc:"Execute a textual dataflow IR file against a program's layout")
+      exec_term;
+    Cmd.v
+      (Cmd.info "check" ~doc:"Validate a textual dataflow IR file")
+      check_term;
+    Cmd.v (Cmd.info "analyze" ~doc:"Print analyses") analyze_term;
+    Cmd.v (Cmd.info "compare" ~doc:"Tabulate every schema") compare_term;
+  ]
+
+let () =
+  let info =
+    Cmd.info "df_compile" ~version:"1.0"
+      ~doc:"Translate imperative programs to dataflow graphs (Beck, Johnson & Pingali 1990)"
+  in
+  exit (Cmd.eval (Cmd.group info cmds))

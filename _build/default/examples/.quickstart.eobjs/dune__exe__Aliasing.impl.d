@@ -1,0 +1,1 @@
+examples/aliasing.ml: Analysis Dfg Dflow Fmt Imp List Machine

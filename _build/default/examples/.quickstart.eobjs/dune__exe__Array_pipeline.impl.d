@@ -1,0 +1,1 @@
+examples/array_pipeline.ml: Cfg Dfg Dflow Fmt Imp List Machine

@@ -1,0 +1,1 @@
+examples/ir_connections.ml: Analysis Array Cfg Dflow Fmt Imp List Machine Ssa

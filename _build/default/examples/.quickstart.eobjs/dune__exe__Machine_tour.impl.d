@@ -1,0 +1,1 @@
+examples/machine_tour.ml: Dfg Dflow Fmt Imp Machine

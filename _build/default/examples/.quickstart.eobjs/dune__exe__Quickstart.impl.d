@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dfg Dflow Fmt Imp Machine

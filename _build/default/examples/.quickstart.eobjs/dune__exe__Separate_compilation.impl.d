@@ -1,0 +1,1 @@
+examples/separate_compilation.ml: Dfg Dflow Fmt Imp List Machine String

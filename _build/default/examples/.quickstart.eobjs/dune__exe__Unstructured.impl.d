@@ -1,0 +1,1 @@
+examples/unstructured.ml: Analysis Array Cfg Dfg Dflow Fmt Imp List Machine

@@ -1,0 +1,85 @@
+(* Aliasing and covers (paper, Section 5, Figures 12-13).
+
+   Run with:  dune exec examples/aliasing.exe
+
+   Models the paper's FORTRAN example: SUBROUTINE F(X,Y,Z) called as
+   F(A,B,A) and F(C,D,D), so X may alias Z and Y may alias Z, but X and Y
+   never alias each other.  Schema 3 is parameterised by a cover of this
+   alias structure; we execute the subroutine body under the three
+   standard covers and show the parallelism/synchronisation tradeoff. *)
+
+let source =
+  {|
+  # the body of F(X, Y, Z), with real sharing between x and z
+  mayalias x z
+  mayalias y z
+  equiv x z
+  x := 1
+  y := 2
+  z := z + x + y
+  x := y + z
+  w := x * y       # w is private: never serialized against anything
+|}
+
+let () =
+  let program = Imp.Parser.program_of_string source in
+  let reference = Imp.Eval.run_program program in
+  Fmt.pr "=== program ===@.%a@.@." Imp.Pretty.pp_program program;
+
+  let alias = Analysis.Alias.of_program program in
+  Fmt.pr "=== alias classes (note: x ~ z, y ~ z, but x !~ y) ===@.";
+  Fmt.pr "@[<v>%a@]@." Analysis.Alias.pp alias;
+
+  let covers =
+    [
+      ("singleton (max parallelism)", Analysis.Cover.singleton alias);
+      ("alias classes", Analysis.Cover.classes alias);
+      ("components (min synchronisation)", Analysis.Cover.components alias);
+    ]
+  in
+  let vars = Imp.Ast.program_vars program in
+  Fmt.pr "@.%-34s %-34s %9s %9s@." "cover" "elements" "sync-cost" "spurious";
+  List.iter
+    (fun (name, c) ->
+      Fmt.pr "%-34s %-34s %9d %9d@." name
+        (Fmt.str "%a" Analysis.Cover.pp c)
+        (Analysis.Cover.synchronization_cost alias c vars)
+        (Analysis.Cover.spurious_serialization alias c))
+    covers;
+
+  (* Execute Schema 3 under each cover: all produce the reference store;
+     they differ in how much synchronisation hardware they imply and how
+     much overlap the machine finds. *)
+  Fmt.pr "@.%-34s %8s %8s %10s@." "schema" "cycles" "ops" "synch-ins";
+  List.iter
+    (fun (choice, name) ->
+      let compiled =
+        Dflow.Driver.compile
+          (Dflow.Driver.Schema3 (choice, Dflow.Engine.Barrier))
+          program
+      in
+      let result =
+        Machine.Interp.run_exn
+          {
+            Machine.Interp.graph = compiled.Dflow.Driver.graph;
+            layout = compiled.Dflow.Driver.layout;
+          }
+      in
+      assert (Imp.Memory.equal reference result.Machine.Interp.memory);
+      let st = Dfg.Stats.of_graph compiled.Dflow.Driver.graph in
+      Fmt.pr "%-34s %8d %8d %10d@." name result.Machine.Interp.cycles
+        result.Machine.Interp.firings st.Dfg.Stats.synch_inputs)
+    [
+      (Dflow.Driver.Singleton, "schema3 / singleton");
+      (Dflow.Driver.Classes, "schema3 / classes");
+      (Dflow.Driver.Components, "schema3 / components");
+    ];
+
+  (* Schema 2 would be unsound here and the driver refuses to build it. *)
+  (match
+     Dflow.Driver.compile (Dflow.Driver.Schema2 Dflow.Engine.Barrier) program
+   with
+  | _ -> assert false
+  | exception Dflow.Driver.Aliasing_unsupported msg ->
+      Fmt.pr "@.schema2 refused, as it must be: %s@." msg);
+  Fmt.pr "all covers reproduce the sequential store: ok@."

@@ -1,0 +1,95 @@
+(* Array store parallelization (paper, Section 6.3 / Figure 14) and
+   I-structures.
+
+   Run with:  dune exec examples/array_pipeline.exe
+
+   The kernel initialises an array inside a loop and then reduces it.
+   Name-based analysis serializes every store to x (they all need
+   access_x); subscript analysis proves the stores hit distinct elements,
+   so Figure 14's token-duplication schema lets them overlap across
+   iterations.  Placing the write-once array in I-structure memory goes
+   further: the reduction loop's reads issue concurrently with the
+   producer loop's writes and defer in memory until data arrives. *)
+
+let n = 16
+
+let source =
+  Fmt.str
+    {|
+  array x[%d]
+  i := 0
+  while i < %d do
+    x[i] := i * i
+    i := i + 1
+  end
+  j := 0
+  s := 0
+  while j < %d do
+    s := s + x[j]
+    j := j + 1
+  end
+|}
+    n n n
+
+let slow_memory =
+  {
+    Machine.Config.default with
+    Machine.Config.latencies = { alu = 1; memory = 24; routing = 1 };
+  }
+
+let run transforms spec program =
+  let compiled = Dflow.Driver.compile ~transforms spec program in
+  Dfg.Check.check compiled.Dflow.Driver.graph;
+  Machine.Interp.run_exn ~config:slow_memory
+    {
+      Machine.Interp.graph = compiled.Dflow.Driver.graph;
+      layout = compiled.Dflow.Driver.layout;
+    }
+
+let () =
+  let program = Imp.Parser.program_of_string source in
+  let reference = Imp.Eval.run_program program in
+  Fmt.pr "=== kernel (n = %d, memory latency = 24 cycles) ===@.%a@.@." n
+    Imp.Pretty.pp_program program;
+
+  (* What the analyses see. *)
+  let lp = Cfg.Loopify.transform (Cfg.Builder.of_program program) in
+  List.iter
+    (fun (l, x) ->
+      Fmt.pr "fig14: stores to %s in loop %d are independent across iterations@." x l)
+    (Dflow.Transforms.async_candidates program lp);
+  List.iter
+    (fun x -> Fmt.pr "I-structure eligible (write-once): %s@." x)
+    (Dflow.Transforms.istructure_candidates program lp);
+  Fmt.pr "@.";
+
+  let base =
+    { Dflow.Driver.no_transforms with Dflow.Driver.value_passing = true;
+      parallel_reads = true }
+  in
+  let variants =
+    [
+      ("schema2 (name-based, serial stores)", Dflow.Driver.no_transforms);
+      ("  + value passing + parallel reads", base);
+      ( "  + fig14 store overlap",
+        { base with Dflow.Driver.array_parallel = true } );
+      ( "  + I-structure memory",
+        { base with Dflow.Driver.istructure = true } );
+    ]
+  in
+  Fmt.pr "%-40s %8s %8s %9s@." "configuration" "cycles" "mem-ops" "avg-par";
+  let baseline = ref 0 in
+  List.iter
+    (fun (name, transforms) ->
+      let r =
+        run transforms (Dflow.Driver.Schema2 Dflow.Engine.Pipelined) program
+      in
+      assert (Imp.Memory.equal reference r.Machine.Interp.memory);
+      if !baseline = 0 then baseline := r.Machine.Interp.cycles;
+      Fmt.pr "%-40s %8d %8d %9.2f   (%.2fx)@." name r.Machine.Interp.cycles
+        r.Machine.Interp.memory_ops
+        (Machine.Interp.avg_parallelism r)
+        (float_of_int !baseline /. float_of_int r.Machine.Interp.cycles))
+    variants;
+  Fmt.pr "@.all variants reproduce the sequential store (s = %d): ok@."
+    (Imp.Memory.read reference "s" 0)

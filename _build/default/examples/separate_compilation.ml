@@ -1,0 +1,97 @@
+(* Separate compilation of procedures under aliasing (paper, Section 5).
+
+   Run with:  dune exec examples/separate_compilation.exe
+
+   The paper's alias structures come from FORTRAN reference parameters:
+   SUBROUTINE F(X,Y,Z) called as F(A,B,A) and F(C,D,D) makes X~Z and
+   Y~Z possible, never X~Y.  This example:
+
+   1. derives that alias structure automatically from the call sites;
+   2. compiles the procedure body ONCE under Schema 3 with the derived
+      structure;
+   3. executes the single dataflow graph against each call site's
+      actual memory layout and checks it against the sequential
+      semantics of the inlined call;
+   4. shows that Schema 2 (which assumes no aliasing) compiles a graph
+      that really does go wrong at an aliased call site. *)
+
+let source =
+  {|
+  proc f(fx, fy, fz)
+    fx := 1
+    fy := 2
+    fz := fz + fx + fy
+    fx := fy + fz
+  end
+  call f(a, b, a)
+  call f(c, d, d)
+  call f(u, v, w)
+|}
+
+let () =
+  let program = Imp.Parser.program_of_string source in
+  Fmt.pr "=== program ===@.%a@.@." Imp.Pretty.pp_program program;
+
+  (* 1. Derived alias structure. *)
+  let pairs = Imp.Proc.param_aliases program "f" in
+  Fmt.pr "derived may-alias pairs of f: %a@."
+    Fmt.(list ~sep:comma (pair ~sep:(any " ~ ") string string))
+    pairs;
+
+  (* 2. Compile the body once, against the derived structure. *)
+  let once = Imp.Proc.standalone program "f" in
+  let compiled =
+    Dflow.Driver.compile
+      (Dflow.Driver.Schema3 (Dflow.Driver.Singleton, Dflow.Engine.Barrier))
+      once
+  in
+  Dfg.Check.check compiled.Dflow.Driver.graph;
+  Fmt.pr "compiled once: %a@.@." Dfg.Stats.pp
+    (Dfg.Stats.of_graph compiled.Dflow.Driver.graph);
+
+  (* 3. One graph, three call sites, three layouts. *)
+  List.iter
+    (fun args ->
+      let inst = Imp.Proc.instantiate program "f" args in
+      let layout = Imp.Layout.of_program inst in
+      let expected = Imp.Eval.run_program inst in
+      let r =
+        Machine.Interp.run_exn
+          { Machine.Interp.graph = compiled.Dflow.Driver.graph; layout }
+      in
+      assert (Imp.Memory.equal expected r.Machine.Interp.memory);
+      Fmt.pr "call f(%s): ok in %d cycles -- %s@." (String.concat ", " args)
+        r.Machine.Interp.cycles
+        (String.concat ", "
+           (List.map
+              (fun (x, _, v) -> Fmt.str "%s=%d" x v)
+              (List.filter
+                 (fun (_, i, _) -> i = 0)
+                 (Imp.Memory.dump_vars r.Machine.Interp.memory)))))
+    (Imp.Proc.call_sites program "f");
+
+  (* 4. The cautionary tale: Schema 2 on the same body, pretending the
+     parameters never alias. *)
+  let once_na = { once with Imp.Ast.may_alias = [] } in
+  let wrong =
+    Dflow.Driver.compile (Dflow.Driver.Schema2 Dflow.Engine.Barrier) once_na
+  in
+  let inst = Imp.Proc.instantiate program "f" [ "a"; "b"; "a" ] in
+  let layout = Imp.Layout.of_program inst in
+  let expected = Imp.Eval.run_program inst in
+  (match
+     Machine.Interp.run
+       { Machine.Interp.graph = wrong.Dflow.Driver.graph; layout }
+   with
+  | r ->
+      if
+        r.Machine.Interp.completed
+        && Imp.Memory.equal expected r.Machine.Interp.memory
+      then Fmt.pr "@.schema 2 got lucky on this schedule (still unsound!)@."
+      else
+        Fmt.pr
+          "@.schema 2 without the alias structure computes the wrong store \
+           at f(a, b, a), as expected:@.  reference: %a@.  schema 2:  %a@."
+          Imp.Memory.pp expected Imp.Memory.pp r.Machine.Interp.memory
+  | exception Machine.Interp.Token_collision w ->
+      Fmt.pr "@.schema 2 without the alias structure collides: %s@." w)

@@ -1,0 +1,1 @@
+lib/analysis/alias.ml: Array Fmt Fun Hashtbl Imp List

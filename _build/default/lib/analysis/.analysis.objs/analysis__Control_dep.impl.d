@@ -1,0 +1,1 @@
+lib/analysis/control_dep.ml: Array Cfg Dom Fun List Queue

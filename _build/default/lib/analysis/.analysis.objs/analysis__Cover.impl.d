@@ -1,0 +1,1 @@
+lib/analysis/cover.ml: Alias Array Fmt Hashtbl List

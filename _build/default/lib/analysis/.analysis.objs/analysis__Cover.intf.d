@@ -1,0 +1,1 @@
+lib/analysis/cover.mli: Alias Format

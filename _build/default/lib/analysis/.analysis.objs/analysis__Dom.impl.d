@@ -1,0 +1,1 @@
+lib/analysis/dom.ml: Array Cfg List Order

@@ -1,0 +1,1 @@
+lib/analysis/subscript.ml: Alias Cfg Hashtbl Imp List

@@ -1,0 +1,1 @@
+lib/analysis/subscript.mli: Alias Cfg Imp

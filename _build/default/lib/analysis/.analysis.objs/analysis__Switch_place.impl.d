@@ -1,0 +1,1 @@
+lib/analysis/switch_place.ml: Array Cfg Control_dep Fun Hashtbl List Queue

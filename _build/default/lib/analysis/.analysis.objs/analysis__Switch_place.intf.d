@@ -1,0 +1,1 @@
+lib/analysis/switch_place.mli: Cfg Control_dep Hashtbl

@@ -1,0 +1,123 @@
+(** Alias structures (paper, Section 5, Definition 6).
+
+    An alias structure over a variable set [V] is a reflexive, symmetric
+    (not necessarily transitive) relation [~]; [x ~ y] means the two names
+    {e may} denote the same location.  The structure is derived from the
+    program's declarations: [equiv] pairs (actual storage sharing, closed
+    transitively because sharing of storage is transitive) and [mayalias]
+    pairs (closed symmetrically only -- the paper's FORTRAN example has
+    X~Z and Y~Z without X~Y). *)
+
+type t = {
+  vars : string array;  (** sorted *)
+  index : (string, int) Hashtbl.t;
+  rel : bool array array;  (** symmetric, reflexive *)
+}
+
+let num_vars (t : t) : int = Array.length t.vars
+
+let index_of (t : t) (x : string) : int =
+  match Hashtbl.find_opt t.index x with
+  | Some i -> i
+  | None -> invalid_arg ("Alias.index_of: unknown variable " ^ x)
+
+(** [related t x y] holds iff [x ~ y]. *)
+let related (t : t) (x : string) (y : string) : bool =
+  t.rel.(index_of t x).(index_of t y)
+
+(** [class_of t x] is the alias class [\[x\]] = all variables related to
+    [x], including [x] itself; sorted. *)
+let class_of (t : t) (x : string) : string list =
+  let i = index_of t x in
+  Array.to_list t.vars |> List.filter (fun y -> t.rel.(i).(index_of t y))
+
+(** [identity vars] is the alias structure where nothing aliases. *)
+let identity (vars : string list) : t =
+  let vars = Array.of_list (List.sort_uniq compare vars) in
+  let n = Array.length vars in
+  let index = Hashtbl.create n in
+  Array.iteri (fun i x -> Hashtbl.replace index x i) vars;
+  let rel = Array.init n (fun i -> Array.init n (fun j -> i = j)) in
+  { vars; index; rel }
+
+(** [of_pairs vars ~equiv ~may_alias] builds the structure: the reflexive
+    closure, plus symmetric [may_alias] pairs, plus the full relation on
+    each transitive [equiv] class.  Pairs naming variables outside [vars]
+    are ignored. *)
+let of_pairs (vars : string list) ~(equiv : (string * string) list)
+    ~(may_alias : (string * string) list) : t =
+  let t = identity vars in
+  let n = num_vars t in
+  let relate x y =
+    match (Hashtbl.find_opt t.index x, Hashtbl.find_opt t.index y) with
+    | Some i, Some j ->
+        t.rel.(i).(j) <- true;
+        t.rel.(j).(i) <- true
+    | _ -> ()
+  in
+  List.iter (fun (x, y) -> relate x y) may_alias;
+  (* equiv: transitive closure via union-find, then relate full classes *)
+  let parent = Array.init n Fun.id in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  List.iter
+    (fun (x, y) ->
+      match (Hashtbl.find_opt t.index x, Hashtbl.find_opt t.index y) with
+      | Some i, Some j ->
+          let ri = find i and rj = find j in
+          if ri <> rj then parent.(ri) <- rj
+      | _ -> ())
+    equiv;
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if find i = find j then begin
+        t.rel.(i).(j) <- true;
+        t.rel.(j).(i) <- true
+      end
+    done
+  done;
+  t
+
+(** [of_program p] is the alias structure declared by program [p] over
+    all of its variables -- taken from the flattened program, so
+    procedure locals and lowering temporaries participate (as unaliased
+    names). *)
+let of_program (p : Imp.Ast.program) : t =
+  of_pairs
+    (Imp.Flat.vars (Imp.Flat.flatten p))
+    ~equiv:p.Imp.Ast.equiv ~may_alias:p.Imp.Ast.may_alias
+
+(** [of_flat f] likewise for flat programs. *)
+let of_flat (f : Imp.Flat.t) : t =
+  of_pairs (Imp.Flat.vars f) ~equiv:f.Imp.Flat.equiv
+    ~may_alias:f.Imp.Flat.may_alias
+
+(** [consistent_with_layout t layout] checks soundness of the structure
+    against an actual memory layout: names that share storage must be
+    related.  Every layout built from the same program satisfies this. *)
+let consistent_with_layout (t : t) (layout : Imp.Layout.t) : bool =
+  Array.for_all
+    (fun x ->
+      Array.for_all
+        (fun y ->
+          (not (Imp.Layout.shares_storage layout x y)) || related t x y)
+        t.vars)
+    t.vars
+
+(** [has_aliasing t] holds iff some two distinct variables are related. *)
+let has_aliasing (t : t) : bool =
+  let n = num_vars t in
+  let found = ref false in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if t.rel.(i).(j) then found := true
+    done
+  done;
+  !found
+
+let pp ppf (t : t) =
+  Array.iter
+    (fun x ->
+      Fmt.pf ppf "[%s] = {%a}@ " x
+        (Fmt.list ~sep:(Fmt.any ", ") Fmt.string)
+        (class_of t x))
+    t.vars

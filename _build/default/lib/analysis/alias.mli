@@ -1,0 +1,41 @@
+(** Alias structures (paper, Section 5, Definition 6): a reflexive,
+    symmetric — not necessarily transitive — relation on variable names.
+    Derived from [equiv] declarations (actual sharing; closed
+    transitively) and [mayalias] declarations (closed symmetrically
+    only: the paper's FORTRAN example has X~Z, Y~Z without X~Y). *)
+
+type t = {
+  vars : string array;  (** sorted *)
+  index : (string, int) Hashtbl.t;
+  rel : bool array array;  (** symmetric, reflexive *)
+}
+
+val num_vars : t -> int
+val index_of : t -> string -> int
+
+(** [related t x y] — x ~ y. *)
+val related : t -> string -> string -> bool
+
+(** [class_of t x] — the alias class [x], sorted, containing [x]. *)
+val class_of : t -> string -> string list
+
+(** The structure where nothing aliases. *)
+val identity : string list -> t
+
+(** [of_pairs vars ~equiv ~may_alias] — reflexive closure + symmetric
+    may-alias pairs + full relation on each transitive equiv class. *)
+val of_pairs :
+  string list ->
+  equiv:(string * string) list ->
+  may_alias:(string * string) list ->
+  t
+
+val of_program : Imp.Ast.program -> t
+val of_flat : Imp.Flat.t -> t
+
+(** Soundness against an actual layout: names sharing storage must be
+    related. *)
+val consistent_with_layout : t -> Imp.Layout.t -> bool
+
+val has_aliasing : t -> bool
+val pp : Format.formatter -> t -> unit

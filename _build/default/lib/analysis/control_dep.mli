@@ -1,0 +1,33 @@
+(** Control dependence and iterated control dependence (paper,
+    Section 4.1, Definitions 4–5 and Theorem 1), computed the standard
+    way: for every edge [F -> S], the nodes control dependent on [F] are
+    those on the postdominator-tree path from [S] up to (excluding)
+    ipostdom(F). *)
+
+type t = {
+  cd : int list array;  (** [cd.(n)] — forks [n] is control dependent on *)
+  dependents : int list array;  (** inverse map *)
+  pdom : Dom.t;
+}
+
+val compute : Cfg.Core.t -> t
+
+(** [cd t n] — the nodes [n] is control dependent on. *)
+val cd : t -> int -> int list
+
+(** [dependents t f] — the nodes control dependent on [f]. *)
+val dependents : t -> int -> int list
+
+(** [iterated t seeds] — CD⁺ of a node set (Definition 5), computed with
+    the worklist strategy of Figure 10. *)
+val iterated : t -> int list -> int list
+
+(** [between g pdom f] flags every node lying {e between} [f] and its
+    immediate postdominator (Definition 1: a non-null path from [f]
+    avoiding it).  The definitional form Theorem 1 equates with CD⁺;
+    used for cross-checks. *)
+val between : Cfg.Core.t -> Dom.t -> int -> bool array
+
+(** Definitional control dependence (Definition 4) by direct
+    quantification, for cross-checking [compute]. *)
+val control_dependent_bruteforce : Cfg.Core.t -> Dom.t -> int -> int -> bool

@@ -1,0 +1,119 @@
+(** Covers of an alias structure (paper, Section 5, Definition 7).
+
+    Schema 3 is parameterised by a cover [C]: a collection of variable
+    subsets whose union is the whole variable set.  One access token
+    circulates per cover element; a memory operation on [x] must collect
+    every token whose element intersects the alias class [\[x\]] (the
+    {e access set} [C\[x\]]).
+
+    Any cover is sound (two operations on possibly-aliased names always
+    share at least one token -- the element containing the common alias);
+    different covers trade parallelism against synchronisation:
+
+    - {!singleton}: one element per variable; maximal parallelism (only
+      genuinely may-aliased operations share tokens) but an operation on a
+      heavily aliased variable collects many tokens;
+    - {!classes}: the set of alias classes; the paper's running choice;
+    - {!components}: connected components of [~]; every access set is a
+      single element, so synchronisation is minimal (one token per
+      operation), at the cost of serializing all operations within a
+      component. *)
+
+type t = string list list
+(** The cover: a list of cover elements (each a sorted variable list). *)
+
+exception Invalid_cover of string
+
+(** [validate alias c] checks that [c] covers all variables.
+    @raise Invalid_cover otherwise. *)
+let validate (alias : Alias.t) (c : t) : unit =
+  let covered = Hashtbl.create 16 in
+  List.iter
+    (fun element ->
+      if element = [] then raise (Invalid_cover "empty cover element");
+      List.iter
+        (fun x ->
+          ignore (Alias.index_of alias x);
+          Hashtbl.replace covered x ())
+        element)
+    c;
+  Array.iter
+    (fun x ->
+      if not (Hashtbl.mem covered x) then
+        raise (Invalid_cover ("variable not covered: " ^ x)))
+    alias.Alias.vars
+
+(** The singleton cover: {% {{x} | x ∈ V} %}. *)
+let singleton (alias : Alias.t) : t =
+  Array.to_list alias.Alias.vars |> List.map (fun x -> [ x ])
+
+(** The alias-class cover: {% {[x] | x ∈ V} %}, duplicates removed. *)
+let classes (alias : Alias.t) : t =
+  Array.to_list alias.Alias.vars
+  |> List.map (fun x -> Alias.class_of alias x)
+  |> List.sort_uniq compare
+
+(** The connected-components cover of the alias relation. *)
+let components (alias : Alias.t) : t =
+  let n = Alias.num_vars alias in
+  let comp = Array.make n (-1) in
+  let rec dfs c i =
+    if comp.(i) = -1 then begin
+      comp.(i) <- c;
+      for j = 0 to n - 1 do
+        if alias.Alias.rel.(i).(j) then dfs c j
+      done
+    end
+  in
+  let c = ref 0 in
+  for i = 0 to n - 1 do
+    if comp.(i) = -1 then begin
+      dfs !c i;
+      incr c
+    end
+  done;
+  List.init !c (fun k ->
+      Array.to_list alias.Alias.vars
+      |> List.filteri (fun i _ -> comp.(i) = k))
+
+(** [access_set alias c x] is [C\[x\]]: indices (into [c]) of the cover
+    elements intersecting the alias class of [x].  Always non-empty for a
+    valid cover. *)
+let access_set (alias : Alias.t) (c : t) (x : string) : int list =
+  let klass = Alias.class_of alias x in
+  List.mapi (fun i element -> (i, element)) c
+  |> List.filter_map (fun (i, element) ->
+         if List.exists (fun v -> List.mem v klass) element then Some i
+         else None)
+
+(** Static synchronisation cost: the number of tokens an operation on each
+    variable must collect, summed over [vars] (each occurrence counts).
+    The paper's "considerable synchronisation devoted to collecting access
+    tokens" is this quantity. *)
+let synchronization_cost (alias : Alias.t) (c : t) (vars : string list) : int =
+  List.fold_left (fun acc x -> acc + List.length (access_set alias c x)) 0 vars
+
+(** Static serialization measure: the number of unordered pairs of
+    distinct variables whose operations share a token even though the two
+    variables do not alias -- spurious ordering introduced by a coarse
+    cover.  Zero for {!singleton}. *)
+let spurious_serialization (alias : Alias.t) (c : t) : int =
+  let n = Alias.num_vars alias in
+  let shares x y =
+    let sx = access_set alias c x and sy = access_set alias c y in
+    List.exists (fun i -> List.mem i sy) sx
+  in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let x = alias.Alias.vars.(i) and y = alias.Alias.vars.(j) in
+      if (not (Alias.related alias x y)) && shares x y then incr count
+    done
+  done;
+  !count
+
+let pp ppf (c : t) =
+  Fmt.pf ppf "{%a}"
+    (Fmt.list ~sep:(Fmt.any "; ") (fun ppf e ->
+         Fmt.pf ppf "{%a}" (Fmt.list ~sep:(Fmt.any ",") Fmt.string) e))
+    c

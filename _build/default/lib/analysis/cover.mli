@@ -1,0 +1,38 @@
+(** Covers of an alias structure (paper, Section 5, Definition 7).
+    Schema 3 circulates one access token per cover element; an operation
+    on [x] collects every token whose element meets the alias class
+    [\[x\]] (the access set [C\[x\]]).  Any cover is sound; they trade
+    parallelism against synchronisation. *)
+
+type t = string list list
+(** A list of cover elements (each a variable list). *)
+
+exception Invalid_cover of string
+
+(** @raise Invalid_cover if some variable is uncovered or an element is
+    empty. *)
+val validate : Alias.t -> t -> unit
+
+(** One element per variable: maximal parallelism. *)
+val singleton : Alias.t -> t
+
+(** The set of alias classes, duplicates removed. *)
+val classes : Alias.t -> t
+
+(** Connected components of ~: one token per operation, minimal
+    synchronisation, maximal serialization. *)
+val components : Alias.t -> t
+
+(** [access_set alias c x] — indices into [c] of the elements meeting
+    [\[x\]]; non-empty for a valid cover. *)
+val access_set : Alias.t -> t -> string -> int list
+
+(** Static synchronisation cost: tokens collected per operation, summed
+    over [vars]. *)
+val synchronization_cost : Alias.t -> t -> string list -> int
+
+(** Unordered pairs of non-aliased variables whose operations still
+    share a token: spurious ordering introduced by the cover. *)
+val spurious_serialization : Alias.t -> t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,126 @@
+(** Dominator and postdominator trees.
+
+    Implementation: the Cooper–Harvey–Kennedy iterative algorithm over
+    reverse postorder.  Postdominators (the relation the paper's Section
+    4.1 is built on) are dominators of the reverse graph rooted at [end];
+    they are total because CFG construction guarantees every node reaches
+    [end].  [dominates] queries are O(1) via Euler-tour intervals of the
+    tree. *)
+
+type t = {
+  root : int;
+  idom : int array;  (** immediate dominator; [root] maps to itself *)
+  children : int list array;
+  tin : int array;  (** Euler tour entry time *)
+  tout : int array;  (** Euler tour exit time *)
+  depth : int array;
+  reach : bool array;  (** node participates (reachable from root) *)
+}
+
+(** [compute ~nn ~succ ~pred ~entry] is the dominator tree of the graph
+    rooted at [entry].  Nodes unreachable from [entry] have
+    [reach = false] and undefined tree fields. *)
+let compute ~(nn : int) ~(succ : int -> int list) ~(pred : int -> int list)
+    ~(entry : int) : t =
+  let rpo = Order.reverse_postorder ~nn ~succ ~entry in
+  let rpo_num = Array.make nn (-1) in
+  List.iteri (fun i v -> rpo_num.(v) <- i) rpo;
+  let idom = Array.make nn (-1) in
+  idom.(entry) <- entry;
+  let intersect a b =
+    (* walk up by RPO number until the fingers meet *)
+    let a = ref a and b = ref b in
+    while !a <> !b do
+      while rpo_num.(!a) > rpo_num.(!b) do
+        a := idom.(!a)
+      done;
+      while rpo_num.(!b) > rpo_num.(!a) do
+        b := idom.(!b)
+      done
+    done;
+    !a
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun v ->
+        if v <> entry then begin
+          let preds = List.filter (fun p -> rpo_num.(p) >= 0) (pred v) in
+          let processed = List.filter (fun p -> idom.(p) <> -1) preds in
+          match processed with
+          | [] -> ()
+          | first :: rest ->
+              let new_idom = List.fold_left intersect first rest in
+              if idom.(v) <> new_idom then begin
+                idom.(v) <- new_idom;
+                changed := true
+              end
+        end)
+      rpo
+  done;
+  let children = Array.make nn [] in
+  let reach = Array.make nn false in
+  List.iter (fun v -> reach.(v) <- true) rpo;
+  List.iter
+    (fun v ->
+      if v <> entry && idom.(v) >= 0 then
+        children.(idom.(v)) <- v :: children.(idom.(v)))
+    rpo;
+  let tin = Array.make nn 0 and tout = Array.make nn 0 in
+  let depth = Array.make nn 0 in
+  let clock = ref 0 in
+  let rec tour v d =
+    depth.(v) <- d;
+    tin.(v) <- !clock;
+    incr clock;
+    List.iter (fun c -> tour c (d + 1)) children.(v);
+    tout.(v) <- !clock;
+    incr clock
+  in
+  tour entry 0;
+  { root = entry; idom; children; tin; tout; depth; reach }
+
+(** [dominates t a b] holds iff [a] dominates [b] (reflexive). *)
+let dominates (t : t) (a : int) (b : int) : bool =
+  t.reach.(a) && t.reach.(b) && t.tin.(a) <= t.tin.(b) && t.tout.(b) <= t.tout.(a)
+
+(** [strictly_dominates t a b] holds iff [a] dominates [b] and [a <> b]. *)
+let strictly_dominates (t : t) (a : int) (b : int) : bool =
+  a <> b && dominates t a b
+
+(** [idom t v] is the immediate dominator of [v]; the root maps to itself. *)
+let idom (t : t) (v : int) : int = t.idom.(v)
+
+(** [dominators_of g] is the dominator tree of CFG [g], rooted at start. *)
+let dominators_of (g : Cfg.Core.t) : t =
+  compute ~nn:(Cfg.Core.num_nodes g)
+    ~succ:(Cfg.Core.succ_nodes g)
+    ~pred:(Cfg.Core.pred_nodes g)
+    ~entry:g.Cfg.Core.start
+
+(** [postdominators_of g] is the postdominator tree of CFG [g]: dominators
+    of the edge-reversed graph rooted at [end].  [idom] then gives the
+    {e immediate postdominator} of Section 4.1. *)
+let postdominators_of (g : Cfg.Core.t) : t =
+  compute ~nn:(Cfg.Core.num_nodes g)
+    ~succ:(Cfg.Core.pred_nodes g)
+    ~pred:(Cfg.Core.succ_nodes g)
+    ~entry:g.Cfg.Core.stop
+
+(** Brute-force postdominance by path enumeration, for cross-checking in
+    tests: [a] postdominates [b] iff every path [b -> end] passes through
+    [a]; checked as unreachability of [end] from [b] when [a] is removed. *)
+let postdominates_bruteforce (g : Cfg.Core.t) (a : int) (b : int) : bool =
+  if a = b then true
+  else begin
+    let seen = Array.make (Cfg.Core.num_nodes g) false in
+    let rec dfs v =
+      if (not seen.(v)) && v <> a then begin
+        seen.(v) <- true;
+        List.iter dfs (Cfg.Core.succ_nodes g v)
+      end
+    in
+    dfs b;
+    not seen.(g.Cfg.Core.stop)
+  end

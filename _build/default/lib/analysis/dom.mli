@@ -1,0 +1,45 @@
+(** Dominator and postdominator trees (Cooper–Harvey–Kennedy iterative
+    algorithm over reverse postorder).  Postdominators — the relation
+    Section 4.1 is built on — are dominators of the reverse graph rooted
+    at [end]; they are total because CFG construction guarantees every
+    node reaches [end].  [dominates] queries are O(1) via Euler-tour
+    intervals. *)
+
+type t = {
+  root : int;
+  idom : int array;  (** immediate dominator; the root maps to itself *)
+  children : int list array;
+  tin : int array;
+  tout : int array;
+  depth : int array;
+  reach : bool array;  (** node participates (reachable from root) *)
+}
+
+(** [compute ~nn ~succ ~pred ~entry] — the dominator tree of the graph
+    rooted at [entry]. *)
+val compute :
+  nn:int ->
+  succ:(int -> int list) ->
+  pred:(int -> int list) ->
+  entry:int ->
+  t
+
+(** [dominates t a b] — [a] dominates [b] (reflexive). *)
+val dominates : t -> int -> int -> bool
+
+val strictly_dominates : t -> int -> int -> bool
+
+(** [idom t v] — immediate dominator of [v]; the root maps to itself. *)
+val idom : t -> int -> int
+
+(** Dominators of a CFG, rooted at start. *)
+val dominators_of : Cfg.Core.t -> t
+
+(** Postdominators of a CFG: dominators of the edge-reversed graph
+    rooted at [end]; [idom] then gives the {e immediate postdominator}
+    of Section 4.1. *)
+val postdominators_of : Cfg.Core.t -> t
+
+(** Brute-force postdominance by path enumeration, for cross-checking:
+    [a] postdominates [b] iff removing [a] disconnects [b] from [end]. *)
+val postdominates_bruteforce : Cfg.Core.t -> int -> int -> bool

@@ -1,0 +1,77 @@
+(** Natural loops from dominator back edges.
+
+    An independent characterisation of the cycles that {!Cfg.Intervals}
+    finds through the derived sequence: an edge [n -> h] is a {e back
+    edge} iff [h] dominates [n]; the natural loop of [h] is [h] plus all
+    nodes that reach a latch without passing through [h].  For reducible
+    graphs the two constructions agree (same headers, same bodies), which
+    the property tests exploit to cross-validate the interval machinery
+    the paper's Section 3 relies on. *)
+
+type loop = {
+  header : Cfg.Core.node;
+  latches : Cfg.Core.node list;  (** sources of back edges *)
+  body : Cfg.Core.node list;  (** sorted, header included *)
+}
+
+(** [back_edges g] -- [(latch, header)] pairs with [header] dominating
+    [latch]. *)
+let back_edges (g : Cfg.Core.t) : (Cfg.Core.node * Cfg.Core.node) list =
+  let dom = Dom.dominators_of g in
+  List.concat_map
+    (fun n ->
+      List.filter_map
+        (fun s -> if Dom.dominates dom s n then Some (n, s) else None)
+        (Cfg.Core.succ_nodes g n))
+    (Cfg.Core.nodes g)
+
+(** [compute g] -- natural loops, back edges with a common header merged,
+    sorted by body size (innermost-ish first). *)
+let compute (g : Cfg.Core.t) : loop list =
+  let by_header = Hashtbl.create 8 in
+  List.iter
+    (fun (latch, h) ->
+      Hashtbl.replace by_header h
+        (latch :: (try Hashtbl.find by_header h with Not_found -> [])))
+    (back_edges g);
+  Hashtbl.fold
+    (fun header latches acc ->
+      let in_body = Array.make (Cfg.Core.num_nodes g) false in
+      in_body.(header) <- true;
+      let rec up v =
+        if not in_body.(v) then begin
+          in_body.(v) <- true;
+          List.iter up (Cfg.Core.pred_nodes g v)
+        end
+      in
+      List.iter up latches;
+      let body =
+        List.filter (fun v -> in_body.(v)) (Cfg.Core.nodes g)
+      in
+      { header; latches = List.sort compare latches; body } :: acc)
+    by_header []
+  |> List.sort (fun a b ->
+         match compare (List.length a.body) (List.length b.body) with
+         | 0 -> compare a.header b.header
+         | c -> c)
+
+(** [detects_irreducibility g] -- a retreating edge whose target does not
+    dominate its source witnesses irreducibility (the converse check to
+    the derived-sequence stall). *)
+let has_non_back_retreating_edge (g : Cfg.Core.t) : bool =
+  let dom = Dom.dominators_of g in
+  (* DFS to classify retreating edges *)
+  let n = Cfg.Core.num_nodes g in
+  let color = Array.make n 0 in
+  let retreating = ref [] in
+  let rec dfs v =
+    color.(v) <- 1;
+    List.iter
+      (fun s ->
+        if color.(s) = 0 then dfs s
+        else if color.(s) = 1 then retreating := (v, s) :: !retreating)
+      (Cfg.Core.succ_nodes g v);
+    color.(v) <- 2
+  in
+  dfs g.Cfg.Core.start;
+  List.exists (fun (v, s) -> not (Dom.dominates dom s v)) !retreating

@@ -1,0 +1,20 @@
+(** Natural loops from dominator back edges — an independent
+    characterisation of the cycles {!Cfg.Intervals} finds through the
+    derived sequence; on reducible graphs the two agree (tested), which
+    cross-validates the interval machinery of Section 3. *)
+
+type loop = {
+  header : Cfg.Core.node;
+  latches : Cfg.Core.node list;  (** sources of back edges *)
+  body : Cfg.Core.node list;  (** sorted, header included *)
+}
+
+(** [(latch, header)] pairs with [header] dominating [latch]. *)
+val back_edges : Cfg.Core.t -> (Cfg.Core.node * Cfg.Core.node) list
+
+(** Natural loops, same-header back edges merged, smallest body first. *)
+val compute : Cfg.Core.t -> loop list
+
+(** A retreating DFS edge whose target does not dominate its source
+    witnesses irreducibility. *)
+val has_non_back_retreating_edge : Cfg.Core.t -> bool

@@ -1,0 +1,69 @@
+(** Graph traversal orders over dense integer graphs.
+
+    The dominator and dataflow fixpoints below iterate in reverse postorder
+    for fast convergence; both forward and reverse (w.r.t. edge direction)
+    traversals are needed, so the functions are parameterised by a
+    successor function rather than taking a {!Cfg.Core.t}. *)
+
+(** [postorder ~nn ~succ ~entry] is the DFS postorder of the nodes
+    reachable from [entry] (children fully processed before their parent).
+    Unreachable nodes are absent. *)
+let postorder ~(nn : int) ~(succ : int -> int list) ~(entry : int) : int list =
+  let seen = Array.make nn false in
+  let out = ref [] in
+  let rec dfs v =
+    if not seen.(v) then begin
+      seen.(v) <- true;
+      List.iter dfs (succ v);
+      out := v :: !out
+    end
+  in
+  dfs entry;
+  List.rev !out
+
+(** [reverse_postorder ~nn ~succ ~entry] is the reverse of {!postorder}:
+    every node appears before its successors on acyclic paths. *)
+let reverse_postorder ~nn ~succ ~entry : int list =
+  List.rev (postorder ~nn ~succ ~entry)
+
+(** [rpo_numbers ~nn ~succ ~entry] maps each node to its reverse-postorder
+    index ([-1] for unreachable nodes). *)
+let rpo_numbers ~nn ~succ ~entry : int array =
+  let num = Array.make nn (-1) in
+  List.iteri (fun i v -> num.(v) <- i) (reverse_postorder ~nn ~succ ~entry);
+  num
+
+(** [reachable ~nn ~succ ~entry] flags nodes reachable from [entry]. *)
+let reachable ~(nn : int) ~(succ : int -> int list) ~(entry : int) : bool array =
+  let seen = Array.make nn false in
+  let rec dfs v =
+    if not seen.(v) then begin
+      seen.(v) <- true;
+      List.iter dfs (succ v)
+    end
+  in
+  dfs entry;
+  seen
+
+(** [topological_sort ~nn ~succ ~entry] returns nodes in an order where
+    every node precedes its successors; [None] if a cycle is reachable.
+    Used by acyclic-graph passes (e.g. source vectors ignore back edges). *)
+let topological_sort ~(nn : int) ~(succ : int -> int list) ~(entry : int) :
+    int list option =
+  let color = Array.make nn 0 in
+  (* 0 white, 1 grey, 2 black *)
+  let out = ref [] in
+  let exception Cycle in
+  let rec dfs v =
+    match color.(v) with
+    | 1 -> raise Cycle
+    | 2 -> ()
+    | _ ->
+        color.(v) <- 1;
+        List.iter dfs (succ v);
+        color.(v) <- 2;
+        out := v :: !out
+  in
+  match dfs entry with
+  | () -> Some !out
+  | exception Cycle -> None

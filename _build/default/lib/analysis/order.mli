@@ -1,0 +1,23 @@
+(** Graph traversal orders over dense integer graphs, parameterised by a
+    successor function so both forward and reverse traversals share the
+    code. *)
+
+(** [postorder ~nn ~succ ~entry] — DFS postorder of the reachable nodes. *)
+val postorder : nn:int -> succ:(int -> int list) -> entry:int -> int list
+
+(** Reverse of {!postorder}: nodes precede their successors on acyclic
+    paths. *)
+val reverse_postorder :
+  nn:int -> succ:(int -> int list) -> entry:int -> int list
+
+(** [rpo_numbers ~nn ~succ ~entry] maps each node to its reverse
+    postorder index ([-1] for unreachable nodes). *)
+val rpo_numbers : nn:int -> succ:(int -> int list) -> entry:int -> int array
+
+(** Flags nodes reachable from [entry]. *)
+val reachable : nn:int -> succ:(int -> int list) -> entry:int -> bool array
+
+(** [topological_sort ~nn ~succ ~entry] — a topological order, or [None]
+    if a cycle is reachable. *)
+val topological_sort :
+  nn:int -> succ:(int -> int list) -> entry:int -> int list option

@@ -1,0 +1,131 @@
+(** Array subscript analysis (paper, Section 6.3).
+
+    The paper's Figure 14 relies on knowing that stores to [x[i]] in
+    successive iterations hit distinct elements.  We implement the simple
+    disambiguation that justifies it: inside a loop, find {e basic
+    induction variables} (exactly one definition in the loop body, of the
+    form [i := i + c] or [i := i - c] with constant [c <> 0]), then mark
+    an array store independent across iterations when its subscript is
+    [i + k] (or [i - k], or plain [i]) for an induction variable [i], and
+    no other store in the loop body touches the same array or the same
+    [equiv]-related storage.
+
+    Also classifies {e write-once} arrays (Section 6.3's I-structure
+    case): every store target subscript is induction-based and the array
+    is not read-modified, so all writes hit distinct cells. *)
+
+type induction = {
+  ivar : string;
+  step : int;  (** net change per iteration; non-zero *)
+  def_node : Cfg.Core.node;
+}
+
+(* Recognize e = i + k / i - k / i as (i, offset). *)
+let rec affine_of_expr (e : Imp.Ast.expr) : (string * int) option =
+  match e with
+  | Imp.Ast.Var i -> Some (i, 0)
+  | Imp.Ast.Binop (Imp.Ast.Add, Imp.Ast.Var i, Imp.Ast.Int k)
+  | Imp.Ast.Binop (Imp.Ast.Add, Imp.Ast.Int k, Imp.Ast.Var i) ->
+      Some (i, k)
+  | Imp.Ast.Binop (Imp.Ast.Sub, Imp.Ast.Var i, Imp.Ast.Int k) -> Some (i, -k)
+  | Imp.Ast.Binop (Imp.Ast.Add, inner, Imp.Ast.Int k) -> (
+      match affine_of_expr inner with
+      | Some (i, k0) -> Some (i, k0 + k)
+      | None -> None)
+  | _ -> None
+
+(** [inductions g body] finds the basic induction variables of a loop
+    body (node list): scalars with exactly one body definition of the
+    form [i := i ± c], [c <> 0]. *)
+let inductions (g : Cfg.Core.t) (body : Cfg.Core.node list) : induction list =
+  (* defs per scalar in the body *)
+  let defs = Hashtbl.create 8 in
+  List.iter
+    (fun n ->
+      match Cfg.Core.kind g n with
+      | Cfg.Core.Assign (Imp.Ast.Lvar x, rhs) ->
+          Hashtbl.replace defs x ((n, rhs) :: (try Hashtbl.find defs x with Not_found -> []))
+      | _ -> ())
+    body;
+  Hashtbl.fold
+    (fun x ds acc ->
+      match ds with
+      | [ (n, rhs) ] -> (
+          match affine_of_expr rhs with
+          | Some (i, k) when i = x && k <> 0 ->
+              { ivar = x; step = k; def_node = n } :: acc
+          | Some _ | None -> acc)
+      | _ -> acc)
+    defs []
+  |> List.sort (fun a b -> compare a.ivar b.ivar)
+
+type store_class =
+  | Independent of induction
+      (** distinct elements across iterations: parallelizable à la Fig. 14 *)
+  | Serial  (** must stay ordered by the access token *)
+
+(** [classify_store g alias ~body n] classifies an array store node [n]
+    within loop [body].  [Independent] requires: subscript affine in a
+    body induction variable, that induction variable has no other body
+    definition, and no {e other} store in the body writes the same array
+    or any may-aliased name. *)
+let classify_store (g : Cfg.Core.t) (alias : Alias.t)
+    ~(body : Cfg.Core.node list) (n : Cfg.Core.node) : store_class =
+  match Cfg.Core.kind g n with
+  | Cfg.Core.Assign (Imp.Ast.Lindex (arr, idx), _) -> (
+      let inds = inductions g body in
+      match affine_of_expr idx with
+      | Some (i, _) -> (
+          match List.find_opt (fun ind -> ind.ivar = i) inds with
+          | None -> Serial
+          | Some ind ->
+              let other_store_conflicts =
+                List.exists
+                  (fun m ->
+                    m <> n
+                    &&
+                    match Cfg.Core.kind g m with
+                    | Cfg.Core.Assign (Imp.Ast.Lindex (arr', _), _) ->
+                        Alias.related alias arr arr'
+                    | Cfg.Core.Assign (Imp.Ast.Lvar y, _) ->
+                        Alias.related alias arr y
+                    | _ -> false)
+                  body
+              in
+              if other_store_conflicts then Serial else Independent ind)
+      | None -> Serial)
+  | _ -> Serial
+
+(** [independent_stores g alias loop_body] lists the array-store nodes of
+    the body classified [Independent], with their induction variables. *)
+let independent_stores (g : Cfg.Core.t) (alias : Alias.t)
+    (body : Cfg.Core.node list) : (Cfg.Core.node * induction) list =
+  List.filter_map
+    (fun n ->
+      match classify_store g alias ~body n with
+      | Independent ind -> Some (n, ind)
+      | Serial -> None)
+    body
+
+(** [write_once g alias ~body arr] holds iff every body store to [arr] (or
+    an alias of it) is [Independent] and [arr] is never both read and
+    written at the same subscript pattern -- the precondition for placing
+    the array in I-structure memory. *)
+let write_once (g : Cfg.Core.t) (alias : Alias.t) ~(body : Cfg.Core.node list)
+    (arr : string) : bool =
+  let stores =
+    List.filter
+      (fun n ->
+        match Cfg.Core.kind g n with
+        | Cfg.Core.Assign (Imp.Ast.Lindex (a, _), _) ->
+            Alias.related alias a arr
+        | _ -> false)
+      body
+  in
+  stores <> []
+  && List.for_all
+       (fun n ->
+         match classify_store g alias ~body n with
+         | Independent _ -> true
+         | Serial -> false)
+       stores

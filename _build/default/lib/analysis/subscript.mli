@@ -1,0 +1,37 @@
+(** Array subscript analysis (paper, Section 6.3): the disambiguation
+    justifying Figure 14 — stores through an induction variable hit
+    distinct elements across iterations. *)
+
+type induction = {
+  ivar : string;
+  step : int;  (** net change per iteration; non-zero *)
+  def_node : Cfg.Core.node;
+}
+
+(** Recognise [i], [i + k], [i - k] (nested constant offsets allowed) as
+    (variable, offset). *)
+val affine_of_expr : Imp.Ast.expr -> (string * int) option
+
+(** Basic induction variables of a loop body: scalars with exactly one
+    body definition of the form [i := i ± c], [c <> 0]. *)
+val inductions : Cfg.Core.t -> Cfg.Core.node list -> induction list
+
+type store_class =
+  | Independent of induction
+      (** distinct elements across iterations: Figure 14 applies *)
+  | Serial  (** must stay ordered by the access token *)
+
+(** Classify an array store node within a loop body. *)
+val classify_store :
+  Cfg.Core.t -> Alias.t -> body:Cfg.Core.node list -> Cfg.Core.node ->
+  store_class
+
+(** The body's array stores classified [Independent]. *)
+val independent_stores :
+  Cfg.Core.t -> Alias.t -> Cfg.Core.node list ->
+  (Cfg.Core.node * induction) list
+
+(** Is every body store to [arr] independent (the I-structure
+    precondition)? *)
+val write_once :
+  Cfg.Core.t -> Alias.t -> body:Cfg.Core.node list -> string -> bool

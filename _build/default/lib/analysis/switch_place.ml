@@ -1,0 +1,107 @@
+(** Switch placement (paper, Section 4.1, Figure 10).
+
+    A fork [F] needs a switch for [access_x] iff some node referencing [x]
+    lies between [F] and its immediate postdominator (Definitions 1–3);
+    by Theorem 1 this is exactly [F ∈ CD⁺(N)] for such a node [N].  The
+    worklist algorithm of Figure 10 computes, for every variable, the set
+    of forks needing a switch for its access token. *)
+
+type t = {
+  vars : string list;
+  needs : (string, bool array) Hashtbl.t;
+      (** per variable: flags over nodes; [true] at forks needing a switch *)
+  cdeps : Control_dep.t;
+}
+
+(** [refs_default g n] is the reference set used for placement: statement
+    and predicate references ({!Cfg.Core.referenced_vars}).  Translation
+    schemas override this to make loop-control nodes reference the
+    variables their loop manages. *)
+let refs_default (g : Cfg.Core.t) (n : int) : string list =
+  Cfg.Core.referenced_vars g n
+
+(** [compute ?refs g ~vars] runs Figure 10 for each variable in [vars].
+    [refs] defaults to {!refs_default}. *)
+let compute ?(refs : (int -> string list) option) (g : Cfg.Core.t)
+    ~(vars : string list) : t =
+  let refs = match refs with Some f -> f | None -> refs_default g in
+  let cdeps = Control_dep.compute g in
+  let n = Cfg.Core.num_nodes g in
+  (* Per-node reference sets, computed once. *)
+  let node_refs = Array.init n refs in
+  let needs = Hashtbl.create 16 in
+  List.iter
+    (fun x ->
+      let flags = Array.make n false in
+      let seeds =
+        List.filter (fun v -> List.mem x node_refs.(v)) (List.init n Fun.id)
+      in
+      (* CD⁺ of the seed set, marking every fork reached. *)
+      let on_worklist = Array.make n false in
+      let worklist = Queue.create () in
+      List.iter
+        (fun s ->
+          on_worklist.(s) <- true;
+          Queue.add s worklist)
+        seeds;
+      while not (Queue.is_empty worklist) do
+        let v = Queue.pop worklist in
+        List.iter
+          (fun f ->
+            flags.(f) <- true;
+            if not on_worklist.(f) then begin
+              on_worklist.(f) <- true;
+              Queue.add f worklist
+            end)
+          (Control_dep.cd cdeps v)
+      done;
+      Hashtbl.replace needs x flags)
+    vars;
+  { vars; needs; cdeps }
+
+(** [needs_switch t f x] holds iff fork [f] needs a switch for
+    [access_x]. *)
+let needs_switch (t : t) (f : int) (x : string) : bool =
+  match Hashtbl.find_opt t.needs x with
+  | Some flags -> flags.(f)
+  | None -> invalid_arg ("Switch_place.needs_switch: unknown variable " ^ x)
+
+(** [switch_count t] is the total number of (fork, variable) switches the
+    optimized construction will create; the headline static metric of the
+    Section 4 optimization. *)
+let switch_count (t : t) : int =
+  List.fold_left
+    (fun acc x ->
+      let flags = Hashtbl.find t.needs x in
+      Array.fold_left (fun a b -> if b then a + 1 else a) acc flags)
+    0 t.vars
+
+(** [compute_bruteforce ?refs g ~vars] is the definitional version: for
+    each fork [F] and variable [x], search for a node referencing [x]
+    between [F] and its immediate postdominator (Definition 3).  Used to
+    validate {!compute} (Theorem 1) in property tests. *)
+let compute_bruteforce ?(refs : (int -> string list) option) (g : Cfg.Core.t)
+    ~(vars : string list) : t =
+  let refs = match refs with Some f -> f | None -> refs_default g in
+  let cdeps = Control_dep.compute g in
+  let pdom = cdeps.Control_dep.pdom in
+  let n = Cfg.Core.num_nodes g in
+  let node_refs = Array.init n refs in
+  let needs = Hashtbl.create 16 in
+  let forks =
+    List.filter (fun f -> Cfg.Core.is_fork g f) (List.init n Fun.id)
+  in
+  List.iter
+    (fun x ->
+      let flags = Array.make n false in
+      List.iter
+        (fun f ->
+          let betw = Control_dep.between g pdom f in
+          flags.(f) <-
+            List.exists
+              (fun v -> betw.(v) && List.mem x node_refs.(v))
+              (List.init n Fun.id))
+        forks;
+      Hashtbl.replace needs x flags)
+    vars;
+  { vars; needs; cdeps }

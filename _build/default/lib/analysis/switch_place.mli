@@ -1,0 +1,31 @@
+(** Switch placement (paper, Section 4.1, Figure 10): a fork [F] needs a
+    switch for [access_x] iff some node referencing [x] lies between [F]
+    and its immediate postdominator — by Theorem 1, iff
+    [F ∈ CD⁺(that node)]. *)
+
+type t = {
+  vars : string list;
+  needs : (string, bool array) Hashtbl.t;
+      (** per variable: flags over nodes; [true] at forks needing a
+          switch *)
+  cdeps : Control_dep.t;
+}
+
+(** Default reference map: {!Cfg.Core.referenced_vars}.  Translations
+    override it so loop-control nodes reference their managed sets. *)
+val refs_default : Cfg.Core.t -> int -> string list
+
+(** [compute ?refs g ~vars] runs Figure 10 for each variable. *)
+val compute : ?refs:(int -> string list) -> Cfg.Core.t -> vars:string list -> t
+
+(** [needs_switch t f x] — does fork [f] need a switch for [access_x]? *)
+val needs_switch : t -> int -> string -> bool
+
+(** Total (fork, variable) switch count: the headline static metric of
+    the Section 4 optimization. *)
+val switch_count : t -> int
+
+(** The definitional version (Definition 3 via path search), used to
+    validate {!compute} — Theorem 1 — in property tests. *)
+val compute_bruteforce :
+  ?refs:(int -> string list) -> Cfg.Core.t -> vars:string list -> t

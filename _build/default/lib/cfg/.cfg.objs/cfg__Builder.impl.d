@@ -1,0 +1,1 @@
+lib/cfg/builder.ml: Array Core Fmt Fun Hashtbl Imp List

@@ -1,0 +1,1 @@
+lib/cfg/builder.mli: Core Imp

@@ -1,0 +1,1 @@
+lib/cfg/core.ml: Array Fmt Fun Imp List

@@ -1,0 +1,1 @@
+lib/cfg/dot.ml: Array Core Fmt Fun List String

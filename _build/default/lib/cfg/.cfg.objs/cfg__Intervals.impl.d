@@ -1,0 +1,1 @@
+lib/cfg/intervals.ml: Array Core Fmt Fun Hashtbl List Queue

@@ -1,0 +1,1 @@
+lib/cfg/intervals.mli: Core

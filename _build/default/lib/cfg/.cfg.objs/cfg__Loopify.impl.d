@@ -1,0 +1,1 @@
+lib/cfg/loopify.ml: Array Core Fun Hashtbl Intervals List

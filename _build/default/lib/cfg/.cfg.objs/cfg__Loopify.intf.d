@@ -1,0 +1,1 @@
+lib/cfg/loopify.mli: Core

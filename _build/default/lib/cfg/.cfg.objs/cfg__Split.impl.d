@@ -1,0 +1,1 @@
+lib/cfg/split.ml: Array Core Fmt Intervals List

@@ -1,0 +1,1 @@
+lib/cfg/split.mli: Core

@@ -1,0 +1,1 @@
+lib/cfg/validate.ml: Array Core Fmt List

@@ -1,0 +1,181 @@
+(** Construction of control-flow graphs from flat programs.
+
+    Every [Assign] and [Branch] instruction becomes a node; every [Label]
+    becomes a join node; [Goto] contributes only an edge.  The paper's
+    conventions are enforced: unique start and end nodes, the extra
+    [start -> end] edge (out-direction [false]; the real entry is the
+    [true] edge), unreachable code pruned, and every remaining node lies on
+    a path from start to end. *)
+
+exception Unreachable_end of string
+(** Raised when some reachable node cannot reach [end] (e.g. a program
+    that can only loop forever): postdominance, and hence the whole
+    translation theory, is undefined for such graphs. *)
+
+(** [of_flat f] builds the CFG of flat program [f].
+    @raise Flat.Invalid on undefined/duplicate labels.
+    @raise Unreachable_end, see above. *)
+let rec of_flat (f : Imp.Flat.t) : Core.t =
+  Imp.Flat.validate f;
+  let labels = Imp.Flat.label_table f in
+  let code = f.Imp.Flat.code in
+  let n = Array.length code in
+  (* Instruction index -> prospective node id (instructions only; start and
+     end are added afterwards). *)
+  let node_of_instr = Array.make n (-1) in
+  let count = ref 0 in
+  Array.iteri
+    (fun i instr ->
+      match instr with
+      | Imp.Flat.Assign _ | Imp.Flat.Branch _ | Imp.Flat.Label _ ->
+          node_of_instr.(i) <- !count;
+          incr count
+      | Imp.Flat.Goto _ -> ())
+    code;
+  let num_real = !count in
+  let start_id = num_real and end_id = num_real + 1 in
+  (* [target i] resolves instruction index [i] to the node control reaches
+     next: skips over gotos, runs off the end to [end]. *)
+  let rec target i =
+    if i >= n then end_id
+    else
+      match code.(i) with
+      | Imp.Flat.Goto l -> target (Hashtbl.find labels l)
+      | Imp.Flat.Assign _ | Imp.Flat.Branch _ | Imp.Flat.Label _ ->
+          node_of_instr.(i)
+  in
+  let kinds = Array.make (num_real + 2) Core.Start in
+  kinds.(start_id) <- Core.Start;
+  kinds.(end_id) <- Core.End;
+  let edges = ref [] in
+  let add_edge s d t = edges := (s, d, t) :: !edges in
+  Array.iteri
+    (fun i instr ->
+      match instr with
+      | Imp.Flat.Goto _ -> ()
+      | Imp.Flat.Assign (lv, e) ->
+          kinds.(node_of_instr.(i)) <- Core.Assign (lv, e);
+          add_edge node_of_instr.(i) true (target (i + 1))
+      | Imp.Flat.Label _ ->
+          kinds.(node_of_instr.(i)) <- Core.Join;
+          add_edge node_of_instr.(i) true (target (i + 1))
+      | Imp.Flat.Branch (p, lt, lf) ->
+          kinds.(node_of_instr.(i)) <- Core.Fork p;
+          add_edge node_of_instr.(i) true (target (Hashtbl.find labels lt));
+          add_edge node_of_instr.(i) false (target (Hashtbl.find labels lf)))
+    code;
+  (* Start: true edge to the program entry, false edge to end (paper
+     convention: start is a fork). *)
+  add_edge start_id true (target 0);
+  add_edge start_id false end_id;
+  let g = Core.build ~kinds ~edges:(List.rev !edges) in
+  prune (simplify_joins (prune g))
+
+(* A join with a single predecessor represents no merge of control; splice
+   it out (lowering of [Cond_goto] and [If] leaves such joins behind).
+   Joins that are their own predecessor are kept (degenerate self-loops are
+   rejected later by end-reachability anyway). *)
+and simplify_joins (g : Core.t) : Core.t =
+  let n = Core.num_nodes g in
+  let removable v =
+    Core.kind g v = Core.Join
+    && (match Core.pred g v with [ (p, _) ] -> p <> v | _ -> false)
+  in
+  if not (List.exists removable (Core.nodes g)) then g
+  else begin
+    (* [resolve v] follows chains of removable joins to the surviving
+       target. *)
+    let rec resolve v seen =
+      if removable v && not (List.mem v seen) then
+        resolve (Core.the_succ g v) (v :: seen)
+      else v
+    in
+    let keep = Array.init n (fun v -> not (removable v)) in
+    let remap = Array.make n (-1) in
+    let next = ref 0 in
+    Array.iteri
+      (fun i k ->
+        if k then begin
+          remap.(i) <- !next;
+          incr next
+        end)
+      keep;
+    let kinds = Array.make !next Core.Start in
+    Array.iteri (fun i k -> if k then kinds.(remap.(i)) <- g.Core.kind.(i)) keep;
+    let edges = ref [] in
+    Array.iteri
+      (fun i k ->
+        if k then
+          List.iter
+            (fun e ->
+              let t = resolve e.Core.dst [] in
+              edges := (remap.(i), e.Core.dir, remap.(t)) :: !edges)
+            (Core.succ g i))
+      keep;
+    Core.build ~kinds ~edges:(List.rev !edges)
+  end
+
+(* Drop nodes unreachable from start, then verify end-reachability. *)
+and prune (g : Core.t) : Core.t =
+  let n = Core.num_nodes g in
+  let reach = Array.make n false in
+  let rec dfs v =
+    if not reach.(v) then begin
+      reach.(v) <- true;
+      List.iter dfs (Core.succ_nodes g v)
+    end
+  in
+  dfs g.Core.start;
+  let live = Array.to_list reach |> List.filter Fun.id |> List.length in
+  let g =
+    if live = n then g
+    else begin
+      let remap = Array.make n (-1) in
+      let next = ref 0 in
+      Array.iteri
+        (fun i r ->
+          if r then begin
+            remap.(i) <- !next;
+            incr next
+          end)
+        reach;
+      let kinds = Array.make live Core.Start in
+      Array.iteri (fun i r -> if r then kinds.(remap.(i)) <- g.Core.kind.(i)) reach;
+      let edges = ref [] in
+      Array.iteri
+        (fun i r ->
+          if r then
+            List.iter
+              (fun e ->
+                edges := (remap.(i), e.Core.dir, remap.(e.Core.dst)) :: !edges)
+              (Core.succ g i))
+        reach;
+      Core.build ~kinds ~edges:(List.rev !edges)
+    end
+  in
+  (* Every node must reach end (postdominance must be defined). *)
+  let n = Core.num_nodes g in
+  let back = Array.make n false in
+  let rec rdfs v =
+    if not back.(v) then begin
+      back.(v) <- true;
+      List.iter rdfs (Core.pred_nodes g v)
+    end
+  in
+  rdfs g.Core.stop;
+  Array.iteri
+    (fun i b ->
+      if not b then
+        raise
+          (Unreachable_end
+             (Fmt.str "node %d (%s) cannot reach end" i
+                (Core.kind_to_string (Core.kind g i)))))
+    back;
+  g
+
+(** [of_program p] lowers [p] to flat form and builds its CFG. *)
+let of_program (p : Imp.Ast.program) : Core.t = of_flat (Imp.Flat.flatten p)
+
+(** [of_string src] parses, lowers and builds in one step. *)
+let of_string (src : string) : Core.t =
+  of_program (Imp.Parser.program_of_string src)

@@ -1,0 +1,24 @@
+(** Construction of control-flow graphs from flat programs.
+
+    Every [Assign] and [Branch] instruction becomes a node; every
+    [Label] a join; [Goto] contributes only an edge.  The paper's
+    conventions are enforced: unique start and end, the extra
+    [start -> end] edge (start's false direction), unreachable code
+    pruned, single-predecessor joins spliced out, and every remaining
+    node on a path from start to end. *)
+
+exception Unreachable_end of string
+(** Some reachable node cannot reach [end] (e.g. the program can only
+    loop forever): postdominance, and hence the whole translation
+    theory, is undefined for such graphs. *)
+
+(** [of_flat f] builds the CFG of flat program [f].
+    @raise Imp.Flat.Invalid on undefined or duplicate labels.
+    @raise Unreachable_end, see above. *)
+val of_flat : Imp.Flat.t -> Core.t
+
+(** [of_program p] lowers [p] to flat form and builds its CFG. *)
+val of_program : Imp.Ast.program -> Core.t
+
+(** [of_string src] parses, lowers and builds in one step. *)
+val of_string : string -> Core.t

@@ -1,0 +1,137 @@
+(** Statement-level control-flow graphs (paper, Section 2.1).
+
+    Nodes are statements of five kinds: the unique [Start] and [End],
+    assignments, binary forks, and labelled joins.  Edges carry an
+    {e out-direction}: forks have a [true] and a [false] out-edge; all
+    other nodes have a single out-edge whose direction is [true] by
+    convention.  Following the paper, an extra edge [Start -> End] is
+    always present, making [Start] a fork; this convention is what makes
+    control dependence well defined for nodes not dominated by any real
+    fork.
+
+    After loop-control insertion (see {!Loopify}) two more node kinds
+    appear, [Loop_entry] and [Loop_exit], indexed by loop id. *)
+
+type node = int
+(** Node identifier; dense, [0 .. num_nodes-1]. *)
+
+type kind =
+  | Start
+  | End
+  | Assign of Imp.Ast.lvalue * Imp.Ast.expr
+  | Fork of Imp.Ast.expr  (** binary branch on a boolean predicate *)
+  | Join  (** labelled join; no computation *)
+  | Loop_entry of int  (** inserted by {!Loopify}; payload is the loop id *)
+  | Loop_exit of int
+
+type edge = { dst : node; dir : bool }
+(** A control-flow edge: target node and out-direction at the source. *)
+
+type t = {
+  kind : kind array;
+  succ : edge list array;  (** out-edges, in out-direction order *)
+  pred : (node * bool) list array;
+      (** in-edges as [(source, out-direction at source)] *)
+  start : node;
+  stop : node;
+}
+
+exception Malformed of string
+
+let num_nodes (g : t) : int = Array.length g.kind
+let kind (g : t) (n : node) : kind = g.kind.(n)
+let succ (g : t) (n : node) : edge list = g.succ.(n)
+let pred (g : t) (n : node) : (node * bool) list = g.pred.(n)
+
+(** [succ_nodes g n] is the successor node list (directions dropped). *)
+let succ_nodes (g : t) (n : node) : node list =
+  List.map (fun e -> e.dst) g.succ.(n)
+
+let pred_nodes (g : t) (n : node) : node list = List.map fst g.pred.(n)
+
+(** [succ_on g n dir] is the successor of [n] along out-direction [dir].
+    @raise Malformed if there is none. *)
+let succ_on (g : t) (n : node) (dir : bool) : node =
+  match List.find_opt (fun e -> e.dir = dir) g.succ.(n) with
+  | Some e -> e.dst
+  | None -> raise (Malformed (Fmt.str "node %d has no %b out-edge" n dir))
+
+(** [the_succ g n] is the unique successor of a non-fork node.
+    @raise Malformed if [n] has zero or several successors. *)
+let the_succ (g : t) (n : node) : node =
+  match g.succ.(n) with
+  | [ e ] -> e.dst
+  | es -> raise (Malformed (Fmt.str "node %d has %d successors" n (List.length es)))
+
+let is_fork (g : t) (n : node) : bool =
+  match g.kind.(n) with Start | Fork _ -> true | _ -> false
+
+let num_edges (g : t) : int =
+  Array.fold_left (fun acc es -> acc + List.length es) 0 g.succ
+
+(** [nodes g] is the list of all node ids. *)
+let nodes (g : t) : node list = List.init (num_nodes g) Fun.id
+
+(** [referenced_vars g n] is the sorted list of variables referenced by
+    node [n]: for an assignment, the target and every variable in the
+    right-hand side and subscript; for a fork, the predicate's variables.
+    [Start]/[End]/[Join] reference nothing.  [Loop_entry]/[Loop_exit]
+    reference nothing {e intrinsically} -- translation schemas decide which
+    access tokens they manage (all of them in Schema 2; only loop-used ones
+    under the optimization of Section 4). *)
+let referenced_vars (g : t) (n : node) : string list =
+  match g.kind.(n) with
+  | Assign (lv, e) ->
+      List.sort_uniq compare Imp.Ast.(vars_lvalue lv (vars_expr e []))
+  | Fork p -> Imp.Ast.expr_vars p
+  | Start | End | Join | Loop_entry _ | Loop_exit _ -> []
+
+(** [build ~kinds ~edges] constructs a graph from a kind array and an edge
+    list [(src, dir, dst)]; computes predecessor lists.  [start]/[stop] are
+    located by kind.
+    @raise Malformed if there is not exactly one [Start] and one [End]. *)
+let build ~(kinds : kind array) ~(edges : (node * bool * node) list) : t =
+  let n = Array.length kinds in
+  let succ = Array.make n [] and pred = Array.make n [] in
+  List.iter
+    (fun (s, d, t) ->
+      if s < 0 || s >= n || t < 0 || t >= n then
+        raise (Malformed (Fmt.str "edge (%d,%d) out of range" s t));
+      succ.(s) <- { dst = t; dir = d } :: succ.(s);
+      pred.(t) <- (s, d) :: pred.(t))
+    (List.rev edges);
+  let find_unique k what =
+    match
+      List.filter (fun i -> kinds.(i) = k) (List.init n Fun.id)
+    with
+    | [ i ] -> i
+    | l -> raise (Malformed (Fmt.str "%d %s nodes" (List.length l) what))
+  in
+  {
+    kind = kinds;
+    succ;
+    pred;
+    start = find_unique Start "start";
+    stop = find_unique End "end";
+  }
+
+let kind_to_string = function
+  | Start -> "start"
+  | End -> "end"
+  | Assign (lv, e) ->
+      Fmt.str "%a := %a" Imp.Pretty.pp_lvalue lv Imp.Pretty.pp_expr e
+  | Fork p -> Fmt.str "if %a" Imp.Pretty.pp_expr p
+  | Join -> "join"
+  | Loop_entry l -> Fmt.str "loop-entry %d" l
+  | Loop_exit l -> Fmt.str "loop-exit %d" l
+
+let pp ppf (g : t) =
+  Fmt.pf ppf "@[<v>";
+  Array.iteri
+    (fun i k ->
+      Fmt.pf ppf "%d: %s -> %a@ " i (kind_to_string k)
+        (Fmt.list ~sep:Fmt.comma (fun ppf e ->
+             Fmt.pf ppf "%d(%b)" e.dst e.dir))
+        g.succ.(i))
+    g.kind;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,10 @@
+(** Graphviz (DOT) rendering of control-flow graphs. *)
+
+(** [pp ppf g] prints [g] in DOT syntax: forks as diamonds with T/F edge
+    labels, the conventional start->end edge dashed. *)
+val pp : Format.formatter -> Core.t -> unit
+
+val to_string : Core.t -> string
+
+(** [write path g] writes the rendering to a file. *)
+val write : string -> Core.t -> unit

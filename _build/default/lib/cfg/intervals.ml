@@ -1,0 +1,333 @@
+(** Interval analysis (Allen–Cocke) and loop discovery.
+
+    The paper (Section 3) identifies cycles by decomposing the control-flow
+    graph hierarchically into nested intervals: an interval is a maximal
+    single-entry subgraph whose every cyclic path passes through its header.
+    Collapsing first-order intervals and repeating yields the derived
+    sequence; the graph is {e reducible} iff the sequence ends in a single
+    node.  Each {e cyclic} interval found along the way is a loop; the
+    cyclic part of the interval (members from which the header is
+    reachable inside the interval) is the loop body, which is exactly the
+    region the paper's loop-entry/loop-exit nodes must fence. *)
+
+exception Irreducible of string
+(** The derived sequence stopped shrinking before reaching a single node.
+    The paper handles such graphs by code copying; see {!Split}. *)
+
+(** A generic rooted directed graph over dense integer nodes; the interval
+    machinery runs on these so it can be applied to each derived graph. *)
+type graph = {
+  nn : int;
+  gsucc : int list array;
+  gpred : int list array;
+  entry : int;
+}
+
+let graph_of_cfg (g : Core.t) : graph =
+  {
+    nn = Core.num_nodes g;
+    gsucc = Array.init (Core.num_nodes g) (fun i -> Core.succ_nodes g i);
+    gpred = Array.init (Core.num_nodes g) (fun i -> Core.pred_nodes g i);
+    entry = g.Core.start;
+  }
+
+type interval = {
+  header : int;
+  members : int list;  (** in addition order; header first *)
+}
+
+(** [partition g] computes the first-order interval partition of [g]
+    (headers in discovery order).  Every node reachable from the entry is
+    in exactly one interval. *)
+let partition (g : graph) : interval list =
+  let in_interval = Array.make g.nn (-1) in
+  let is_header = Array.make g.nn false in
+  let header_queue = Queue.create () in
+  let enqueue_header h =
+    if (not is_header.(h)) && in_interval.(h) = -1 then begin
+      is_header.(h) <- true;
+      Queue.add h header_queue
+    end
+  in
+  enqueue_header g.entry;
+  let intervals = ref [] in
+  while not (Queue.is_empty header_queue) do
+    let h = Queue.pop header_queue in
+    if in_interval.(h) = -1 then begin
+      in_interval.(h) <- h;
+      let members = ref [ h ] in
+      (* Grow: add any node all of whose predecessors are inside. *)
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        for v = 0 to g.nn - 1 do
+          if v <> g.entry && in_interval.(v) = -1 && g.gpred.(v) <> [] then
+            if List.for_all (fun p -> in_interval.(p) = h) g.gpred.(v) then begin
+              in_interval.(v) <- h;
+              members := v :: !members;
+              changed := true
+            end
+        done
+      done;
+      (* Frontier nodes (a predecessor inside, themselves outside) become
+         candidate headers. *)
+      List.iter
+        (fun m ->
+          List.iter
+            (fun s -> if in_interval.(s) = -1 then enqueue_header s)
+            g.gsucc.(m))
+        !members;
+      intervals := { header = h; members = List.rev !members } :: !intervals
+    end
+  done;
+  List.rev !intervals
+
+(** [derive g ivs] collapses each interval of [ivs] to one node.  Returns
+    the derived graph and the map from [g]-nodes to derived nodes.
+    Intra-interval edges (including loop back edges) disappear; duplicate
+    inter-interval edges are merged. *)
+let derive (g : graph) (ivs : interval list) : graph * int array =
+  let idx_of_header = Hashtbl.create 16 in
+  List.iteri (fun i iv -> Hashtbl.replace idx_of_header iv.header i) ivs;
+  let node_map = Array.make g.nn (-1) in
+  List.iteri
+    (fun i iv -> List.iter (fun m -> node_map.(m) <- i) iv.members)
+    ivs;
+  let dn = List.length ivs in
+  let succ_sets = Array.make dn [] in
+  let pred_sets = Array.make dn [] in
+  for v = 0 to g.nn - 1 do
+    if node_map.(v) >= 0 then
+      List.iter
+        (fun s ->
+          let a = node_map.(v) and b = node_map.(s) in
+          if a <> b && not (List.mem b succ_sets.(a)) then begin
+            succ_sets.(a) <- b :: succ_sets.(a);
+            pred_sets.(b) <- a :: pred_sets.(b)
+          end)
+        g.gsucc.(v)
+  done;
+  ( { nn = dn; gsucc = succ_sets; gpred = pred_sets; entry = node_map.(g.entry) },
+    node_map )
+
+(** One discovered loop. *)
+type loop = {
+  id : int;  (** dense id, innermost-first discovery order *)
+  level : int;  (** derived-sequence level at which it was found *)
+  lheader : Core.node;  (** CFG header node *)
+  body : bool array;  (** CFG nodes in the cyclic part, header included *)
+  body_list : Core.node list;
+  back_edges : (Core.node * bool) list;
+      (** CFG edges [src, out-direction] returning to the header *)
+}
+
+(** [body_vars cfg l] is the sorted list of variables referenced by any
+    node in the loop body (or its fork predicates); this is the token set a
+    loop's control nodes manage under the bypass optimization. *)
+let body_vars (cfg : Core.t) (l : loop) : string list =
+  List.concat_map (Core.referenced_vars cfg) l.body_list
+  |> List.sort_uniq compare
+
+(** [loops cfg] discovers all loops of [cfg] via the derived sequence,
+    innermost first.
+    @raise Irreducible if the derived sequence stalls before one node. *)
+let loops (cfg : Core.t) : loop list =
+  let base = graph_of_cfg cfg in
+  (* members_of.(gnode) = CFG nodes this (derived) node stands for *)
+  let g = ref base in
+  let members_of = ref (Array.init base.nn (fun i -> [ i ])) in
+  let rep_of = ref (Array.init base.nn Fun.id) in
+  let found = ref [] in
+  let level = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    let ivs = partition !g in
+    (* Record cyclic intervals as loops. *)
+    List.iter
+      (fun iv ->
+        let in_iv = Array.make !g.nn false in
+        List.iter (fun m -> in_iv.(m) <- true) iv.members;
+        let cyclic =
+          List.exists
+            (fun m -> List.mem iv.header !g.gsucc.(m))
+            iv.members
+        in
+        if cyclic then begin
+          let header_cfg = !rep_of.(iv.header) in
+          (* CFG-level member set of the interval *)
+          let cfg_members = Array.make (Core.num_nodes cfg) false in
+          List.iter
+            (fun m -> List.iter (fun c -> cfg_members.(c) <- true) !members_of.(m))
+            iv.members;
+          (* Cyclic part: CFG members that reach the header inside the
+             member set (reverse DFS from the header along member preds). *)
+          let body = Array.make (Core.num_nodes cfg) false in
+          let rec rdfs v =
+            if cfg_members.(v) && not body.(v) then begin
+              body.(v) <- true;
+              List.iter rdfs (Core.pred_nodes cfg v)
+            end
+          in
+          rdfs header_cfg;
+          let body_list =
+            List.filter (fun v -> body.(v)) (Core.nodes cfg)
+          in
+          let back_edges =
+            List.filter (fun (p, _) -> body.(p)) (Core.pred cfg header_cfg)
+          in
+          found :=
+            {
+              id = 0 (* assigned below *);
+              level = !level;
+              lheader = header_cfg;
+              body;
+              body_list;
+              back_edges;
+            }
+            :: !found
+        end)
+      ivs;
+    let g', node_map = derive !g ivs in
+    (* Carry member/representative maps to the derived graph. *)
+    let members' = Array.make g'.nn [] in
+    let rep' = Array.make g'.nn (-1) in
+    List.iteri
+      (fun i iv ->
+        rep'.(i) <- !rep_of.(iv.header);
+        members'.(i) <-
+          List.concat_map (fun m -> !members_of.(m)) iv.members)
+      ivs;
+    ignore node_map;
+    if g'.nn = 1 then continue_ := false
+    else if g'.nn = !g.nn then
+      raise
+        (Irreducible
+           (Fmt.str "derived sequence stalled at %d nodes (level %d)" g'.nn
+              !level))
+    else begin
+      g := g';
+      members_of := members';
+      rep_of := rep';
+      incr level
+    end
+  done;
+  (* Innermost-first order: discovery order is already inner levels first;
+     within a level, smaller bodies first for determinism. *)
+  let ls =
+    List.rev !found
+    |> List.stable_sort (fun a b ->
+           match compare a.level b.level with
+           | 0 ->
+               compare
+                 (List.length a.body_list)
+                 (List.length b.body_list)
+           | c -> c)
+  in
+  let ls = List.mapi (fun i l -> { l with id = i }) ls in
+  (* Sanity: headers must be pairwise distinct (holds for reducible
+     graphs; defensive check since Loopify relies on it). *)
+  let headers = List.map (fun l -> l.lheader) ls in
+  if List.length (List.sort_uniq compare headers) <> List.length headers then
+    raise (Irreducible "two loops share a header");
+  ls
+
+(** [reducible cfg] is [true] iff the derived sequence of [cfg] converges
+    to a single node. *)
+let reducible (cfg : Core.t) : bool =
+  match loops cfg with _ -> true | exception Irreducible _ -> false
+
+(* Tarjan SCC over a {!graph}; returns components as node lists. *)
+let sccs (g : graph) : int list list =
+  let index = Array.make g.nn (-1) in
+  let low = Array.make g.nn 0 in
+  let on_stack = Array.make g.nn false in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let out = ref [] in
+  let rec strongconnect v =
+    index.(v) <- !counter;
+    low.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+        if index.(w) = -1 then begin
+          strongconnect w;
+          low.(v) <- min low.(v) low.(w)
+        end
+        else if on_stack.(w) then low.(v) <- min low.(v) index.(w))
+      g.gsucc.(v);
+    if low.(v) = index.(v) then begin
+      let rec pop acc =
+        match !stack with
+        | w :: rest ->
+            stack := rest;
+            on_stack.(w) <- false;
+            if w = v then w :: acc else pop (w :: acc)
+        | [] -> assert false
+      in
+      out := pop [] :: !out
+    end
+  in
+  for v = 0 to g.nn - 1 do
+    if index.(v) = -1 then strongconnect v
+  done;
+  !out
+
+(** [irreducible_region cfg] -- when [cfg] is irreducible, the CFG nodes
+    standing for a multi-node strongly connected component of the limit
+    graph (the region whose cycles have several entries), together with
+    its {e entry} nodes (members with a predecessor outside the region).
+    [None] when [cfg] is reducible.  This is what {!Split} duplicates. *)
+let irreducible_region (cfg : Core.t) :
+    (Core.node list * Core.node list) option =
+  let base = graph_of_cfg cfg in
+  let g = ref base in
+  let members_of = ref (Array.init base.nn (fun i -> [ i ])) in
+  let rep_of = ref (Array.init base.nn Fun.id) in
+  let result = ref None in
+  let continue_ = ref true in
+  while !continue_ do
+    let ivs = partition !g in
+    let g', _ = derive !g ivs in
+    if g'.nn = 1 then continue_ := false
+    else if g'.nn = !g.nn then begin
+      (* stalled: every multi-node SCC of the limit graph is an
+         irreducible region; report the smallest *)
+      let multi =
+        List.filter (fun c -> List.length c > 1) (sccs !g)
+        |> List.sort (fun a b -> compare (List.length a) (List.length b))
+      in
+      (match multi with
+      | [] ->
+          (* cannot happen: a stalled graph has a multi-entry cycle *)
+          result := None
+      | comp :: _ ->
+          let in_comp = Array.make !g.nn false in
+          List.iter (fun v -> in_comp.(v) <- true) comp;
+          let entries =
+            List.filter
+              (fun v -> List.exists (fun p -> not in_comp.(p)) !g.gpred.(v))
+              comp
+          in
+          result :=
+            Some
+              ( List.map (fun v -> !rep_of.(v)) comp,
+                List.map (fun v -> !rep_of.(v)) entries ));
+      continue_ := false
+    end
+    else begin
+      let members' = Array.make g'.nn [] in
+      let rep' = Array.make g'.nn (-1) in
+      List.iteri
+        (fun i iv ->
+          rep'.(i) <- !rep_of.(iv.header);
+          members'.(i) <- List.concat_map (fun m -> !members_of.(m)) iv.members)
+        ivs;
+      g := g';
+      members_of := members';
+      rep_of := rep'
+    end
+  done;
+  !result

@@ -1,0 +1,69 @@
+(** Interval analysis (Allen–Cocke) and loop discovery (paper,
+    Section 3).
+
+    An interval is a maximal single-entry subgraph whose every cyclic
+    path passes through its header; collapsing first-order intervals and
+    repeating yields the derived sequence, and the graph is {e reducible}
+    iff the sequence converges to one node.  Each cyclic interval found
+    along the way is a loop; the cyclic part of the interval is the loop
+    body — the region the loop-entry/exit nodes of {!Loopify} fence. *)
+
+exception Irreducible of string
+(** The derived sequence stalled before reaching a single node.  The
+    paper's recourse is code copying; see {!Split}. *)
+
+(** A generic rooted directed graph over dense integer nodes (the
+    interval machinery is applied to each derived graph in turn). *)
+type graph = {
+  nn : int;
+  gsucc : int list array;
+  gpred : int list array;
+  entry : int;
+}
+
+val graph_of_cfg : Core.t -> graph
+
+type interval = {
+  header : int;
+  members : int list;  (** in addition order; header first *)
+}
+
+(** [partition g] — the first-order interval partition (headers in
+    discovery order); every node reachable from the entry is in exactly
+    one interval. *)
+val partition : graph -> interval list
+
+(** [derive g ivs] collapses each interval to a node; returns the derived
+    graph and the node map.  Intra-interval edges (including back edges)
+    disappear. *)
+val derive : graph -> interval list -> graph * int array
+
+type loop = {
+  id : int;  (** dense id, innermost-first discovery order *)
+  level : int;  (** derived-sequence level at which it was found *)
+  lheader : Core.node;  (** CFG header node *)
+  body : bool array;  (** CFG nodes in the cyclic part, header included *)
+  body_list : Core.node list;
+  back_edges : (Core.node * bool) list;
+      (** CFG edges (source, out-direction) returning to the header *)
+}
+
+(** [body_vars cfg l] — variables referenced by any body node; the token
+    set the loop's control nodes manage under the Section 4 bypass. *)
+val body_vars : Core.t -> loop -> string list
+
+(** [loops cfg] — all loops via the derived sequence, innermost first.
+    @raise Irreducible when the sequence stalls. *)
+val loops : Core.t -> loop list
+
+(** [reducible cfg] — does the derived sequence converge? *)
+val reducible : Core.t -> bool
+
+(** [sccs g] — Tarjan's strongly connected components of a {!graph}. *)
+val sccs : graph -> int list list
+
+(** [irreducible_region cfg] — when [cfg] is irreducible: the CFG nodes
+    standing for a multi-node SCC of the limit graph, with its entry
+    nodes (members with an outside predecessor); [None] when reducible.
+    This is the region {!Split} duplicates. *)
+val irreducible_region : Core.t -> (Core.node list * Core.node list) option

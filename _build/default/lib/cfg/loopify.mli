@@ -1,0 +1,42 @@
+(** Loop-control insertion (paper, Section 3).
+
+    For every cyclic interval: all arcs leading to the header — outer
+    entries and back edges alike — are redirected through a fresh
+    {e loop entry} node, and a {e loop exit} node is placed on every
+    edge from the cyclic part to the outside.  The translation schemas
+    turn these nodes into the dataflow loop-control operators that
+    re-tag tokens per iteration (the fix for Figure 8's pile-up). *)
+
+type loop_info = {
+  id : int;
+  header : Core.node;  (** header in the transformed graph *)
+  entry : Core.node;  (** the inserted [Loop_entry] node *)
+  exits : Core.node list;  (** the inserted [Loop_exit] nodes *)
+  body : Core.node list;
+      (** cyclic part in the transformed graph, including [entry] and
+          the header, excluding exit nodes *)
+  vars : string list;  (** variables referenced by body nodes *)
+  parent : int option;  (** immediately enclosing loop, if any *)
+}
+
+type t = {
+  graph : Core.t;  (** the transformed CFG *)
+  loops : loop_info array;  (** indexed by loop id, innermost-first *)
+  in_body : bool array array;
+      (** [in_body.(l).(n)] iff node [n] of the transformed graph is in
+          the body of loop [l] *)
+}
+
+(** [loop_entry_of t n] is [Some l] iff node [n] is the entry of loop
+    [l]; [loop_of_exit] likewise for exits. *)
+val loop_entry_of : t -> Core.node -> int option
+
+val loop_of_exit : t -> Core.node -> int option
+
+(** [transform cfg] inserts loop-control nodes for every loop.
+    @raise Intervals.Irreducible on irreducible graphs. *)
+val transform : Core.t -> t
+
+(** [is_back_edge_source t l n] — is an edge from [n] into loop [l]'s
+    entry a back edge (as opposed to an initial entry)? *)
+val is_back_edge_source : t -> int -> Core.node -> bool

@@ -1,0 +1,106 @@
+(** Node splitting (code copying) for irreducible control flow.
+
+    The paper (Section 3, footnote 5): "if we allow code copying, then
+    any control-flow graph can be decomposed into such nested intervals".
+    This module performs the copying: while the graph is irreducible, it
+    locates an irreducible region (a multi-entry cycle of the limit
+    graph), picks one of its entry nodes, and splits that node --
+    duplicating it so that each predecessor reaches a private copy.
+    Copies carry the same statement and the same out-edges, so the
+    transformation trivially preserves the sequential semantics; it can
+    enlarge the graph (node splitting is worst-case exponential), so a
+    split budget bounds the work.
+
+    After splitting, interval analysis succeeds and Schemas 2/3 apply to
+    the previously irreducible program. *)
+
+exception Split_budget_exceeded of string
+
+(* Split node [v]: predecessor 1 keeps [v]; every further predecessor
+   gets a fresh copy with the same kind and the same out-edges. *)
+let split_node (g : Core.t) (v : Core.node) : Core.t =
+  let preds = Core.pred g v in
+  assert (List.length preds >= 2);
+  let n = Core.num_nodes g in
+  let extra = List.length preds - 1 in
+  let kinds =
+    Array.init (n + extra) (fun i ->
+        if i < n then Core.kind g i else Core.kind g v)
+  in
+  (* copy index for predecessor number j (j = 0 keeps v) *)
+  let copy_of j = if j = 0 then v else n + j - 1 in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    if u = v then
+      (* v's out-edges are replicated on every copy *)
+      List.iter
+        (fun e ->
+          for j = 0 to extra do
+            edges := (copy_of j, e.Core.dir, e.Core.dst) :: !edges
+          done)
+        (Core.succ g u)
+    else
+      List.iter
+        (fun e ->
+          if e.Core.dst = v then begin
+            (* this edge is predecessor number j of v *)
+            let j =
+              let rec find k = function
+                | (p, d) :: rest ->
+                    if p = u && d = e.Core.dir then k else find (k + 1) rest
+                | [] -> assert false
+              in
+              find 0 preds
+            in
+            (* NOTE: if u has two parallel edges to v with distinct
+               directions, each matches its own predecessor entry. *)
+            edges := (u, e.Core.dir, copy_of j) :: !edges
+          end
+          else edges := (u, e.Core.dir, e.Core.dst) :: !edges)
+        (Core.succ g u)
+  done;
+  Core.build ~kinds ~edges:(List.rev !edges)
+
+(** [make_reducible ?max_splits g] returns a semantically equivalent,
+    reducible CFG, splitting entry nodes of irreducible regions until the
+    derived sequence converges.  Returns [g] unchanged when it is already
+    reducible.
+    @raise Split_budget_exceeded after [max_splits] splits. *)
+let make_reducible ?(max_splits = 64) (g : Core.t) : Core.t =
+  let rec go g splits =
+    match Intervals.irreducible_region g with
+    | None -> g
+    | Some (_region, entries) ->
+        if splits >= max_splits then
+          raise
+            (Split_budget_exceeded
+               (Fmt.str "still irreducible after %d node splits" splits));
+        (* split the entry with the fewest predecessors (least copying) *)
+        let v =
+          match
+            List.sort
+              (fun a b ->
+                compare
+                  (List.length (Core.pred g a))
+                  (List.length (Core.pred g b)))
+              (List.filter (fun e -> List.length (Core.pred g e) >= 2) entries)
+          with
+          | v :: _ -> v
+          | [] ->
+              (* entries with a single predecessor cannot be the problem;
+                 split any multi-pred member of the region instead *)
+              (match
+                 List.filter
+                   (fun m -> List.length (Core.pred g m) >= 2)
+                   _region
+               with
+              | v :: _ -> v
+              | [] -> raise (Split_budget_exceeded "no splittable node"))
+        in
+        go (split_node g v) (splits + 1)
+  in
+  go g 0
+
+(** [split_count before after] -- how many nodes the copying added. *)
+let split_count (before : Core.t) (after : Core.t) : int =
+  Core.num_nodes after - Core.num_nodes before

@@ -1,0 +1,19 @@
+(** Node splitting (code copying) for irreducible control flow — the
+    paper's footnote-5 recourse: "if we allow code copying, then any
+    control-flow graph can be decomposed into such nested intervals".
+
+    While the graph is irreducible, an entry node of an irreducible
+    region is duplicated so that each predecessor reaches a private
+    copy; copies carry the same statement and out-edges, so sequential
+    semantics is preserved trivially.  Worst case exponential, hence a
+    split budget. *)
+
+exception Split_budget_exceeded of string
+
+(** [make_reducible ?max_splits g] — a semantically equivalent reducible
+    CFG; [g] itself when already reducible.
+    @raise Split_budget_exceeded after [max_splits] splits. *)
+val make_reducible : ?max_splits:int -> Core.t -> Core.t
+
+(** [split_count before after] — how many nodes the copying added. *)
+val split_count : Core.t -> Core.t -> int

@@ -1,0 +1,85 @@
+(** Structural validation of control-flow graphs.
+
+    Checks the well-formedness conditions of Section 2.1: arities per node
+    kind, the start/end conventions, and that every node lies on a path
+    from start to end.  Run by tests after every CFG transformation. *)
+
+exception Invalid of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Invalid s)) fmt
+
+(** [check g] validates [g].
+    @raise Invalid with a description of the first violation. *)
+let check (g : Core.t) : unit =
+  let n = Core.num_nodes g in
+  (* start/end uniqueness is enforced by Core.build; check conventions. *)
+  if Core.kind g g.Core.start <> Core.Start then fail "start node mislabelled";
+  if Core.kind g g.Core.stop <> Core.End then fail "end node mislabelled";
+  if Core.pred g g.Core.start <> [] then fail "start has predecessors";
+  if Core.succ g g.Core.stop <> [] then fail "end has successors";
+  (* Start must be a fork (the start->end convention edge). *)
+  (match Core.succ g g.Core.start with
+  | [ a; b ] ->
+      if a.Core.dir = b.Core.dir then fail "start out-directions not distinct";
+      if
+        not
+          (List.exists
+             (fun e -> e.Core.dst = g.Core.stop && e.Core.dir = false)
+             (Core.succ g g.Core.start))
+      then fail "missing start->end convention edge"
+  | es -> fail "start has %d out-edges, expected 2" (List.length es));
+  (* Per-kind arity. *)
+  for v = 0 to n - 1 do
+    let out = Core.succ g v in
+    (match Core.kind g v with
+    | Core.Start | Core.End -> ()
+    | Core.Assign _ | Core.Join | Core.Loop_entry _ | Core.Loop_exit _ -> (
+        match out with
+        | [ e ] ->
+            if not e.Core.dir then fail "node %d: single out-edge must be true" v
+        | _ -> fail "node %d: expected one out-edge, got %d" v (List.length out))
+    | Core.Fork _ -> (
+        match out with
+        | [ a; b ] ->
+            if a.Core.dir = b.Core.dir then
+              fail "fork %d: out-directions not distinct" v
+        | _ -> fail "fork %d: expected two out-edges, got %d" v (List.length out)));
+    if v <> g.Core.start && Core.pred g v = [] then
+      fail "node %d unreachable (no predecessors)" v
+  done;
+  (* pred/succ consistency *)
+  for v = 0 to n - 1 do
+    List.iter
+      (fun e ->
+        if not (List.mem (v, e.Core.dir) (Core.pred g e.Core.dst)) then
+          fail "edge %d->%d missing from pred list" v e.Core.dst)
+      (Core.succ g v);
+    List.iter
+      (fun (p, d) ->
+        if
+          not
+            (List.exists
+               (fun e -> e.Core.dst = v && e.Core.dir = d)
+               (Core.succ g p))
+        then fail "pred entry %d->%d missing from succ list" p v)
+      (Core.pred g v)
+  done;
+  (* Reachability: forward from start, backward from end. *)
+  let seen = Array.make n false in
+  let rec dfs v =
+    if not seen.(v) then begin
+      seen.(v) <- true;
+      List.iter dfs (Core.succ_nodes g v)
+    end
+  in
+  dfs g.Core.start;
+  Array.iteri (fun i s -> if not s then fail "node %d unreachable from start" i) seen;
+  let seen = Array.make n false in
+  let rec rdfs v =
+    if not seen.(v) then begin
+      seen.(v) <- true;
+      List.iter rdfs (Core.pred_nodes g v)
+    end
+  in
+  rdfs g.Core.stop;
+  Array.iteri (fun i s -> if not s then fail "node %d cannot reach end" i) seen

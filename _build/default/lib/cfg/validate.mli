@@ -1,0 +1,10 @@
+(** Structural validation of control-flow graphs: arities per node kind,
+    the start/end conventions, predecessor/successor consistency, and
+    start-to-end path coverage (paper, Section 2.1).  Run by tests after
+    every CFG transformation. *)
+
+exception Invalid of string
+
+(** [check g] validates [g].
+    @raise Invalid with a description of the first violation. *)
+val check : Core.t -> unit

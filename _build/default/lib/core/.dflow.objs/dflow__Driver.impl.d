@@ -1,0 +1,1 @@
+lib/core/driver.ml: Analysis Cfg Dfg Engine Imp List Optimized Statement Token_map Transforms

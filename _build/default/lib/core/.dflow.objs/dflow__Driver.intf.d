@@ -1,0 +1,1 @@
+lib/core/driver.mli: Analysis Cfg Dfg Engine Imp

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Analysis Array Cfg Dfg Fmt Imp List Statement Token_map

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Analysis Cfg Dfg Statement Token_map

@@ -1,0 +1,1 @@
+lib/core/optimized.ml: Analysis Array Cfg Dfg Engine Fmt Hashtbl Imp List Queue Statement Token_map

@@ -1,0 +1,1 @@
+lib/core/optimized.mli: Analysis Cfg Dfg Engine Statement

@@ -1,0 +1,1 @@
+lib/core/statement.ml: Array Dfg Fmt Imp List Token_map

@@ -1,0 +1,1 @@
+lib/core/statement.mli: Dfg Imp Token_map

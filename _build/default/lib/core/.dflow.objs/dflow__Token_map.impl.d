@@ -1,0 +1,1 @@
+lib/core/token_map.ml: Analysis Array Fmt Fun Hashtbl List String

@@ -1,0 +1,1 @@
+lib/core/token_map.mli: Analysis

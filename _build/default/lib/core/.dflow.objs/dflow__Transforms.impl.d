@@ -1,0 +1,1 @@
+lib/core/transforms.ml: Analysis Array Cfg Imp List

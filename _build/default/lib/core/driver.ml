@@ -1,0 +1,205 @@
+(** One-call compilation pipeline: IMP program -> dataflow graph.
+
+    Handles lowering, CFG construction, loop-control insertion, alias
+    structure and cover selection, and schema dispatch.  The result also
+    carries the memory layout the graph was compiled against, which is
+    everything the machine needs to execute it. *)
+
+type cover_choice =
+  | Singleton  (** maximal parallelism *)
+  | Classes  (** the alias-class cover *)
+  | Components  (** minimal synchronisation *)
+
+type spec =
+  | Schema1  (** single access token; sequential statements *)
+  | Schema2 of Engine.loop_control
+      (** per-variable tokens; requires an alias-free program *)
+  | Schema2_unsafe_no_loop_control
+      (** Schema 2 without loop control: reproduces the Figure 8
+          pathology on cyclic programs; for experiments only *)
+  | Schema3 of cover_choice * Engine.loop_control
+      (** per-cover-element tokens; sound under aliasing *)
+  | Schema2_opt of Engine.loop_control
+      (** Section 4's direct construction without redundant switches *)
+
+let spec_to_string = function
+  | Schema1 -> "schema1"
+  | Schema2 Engine.Barrier -> "schema2"
+  | Schema2 Engine.Pipelined -> "schema2-pipelined"
+  | Schema2_unsafe_no_loop_control -> "schema2-no-loop-control"
+  | Schema3 (Singleton, _) -> "schema3-singleton"
+  | Schema3 (Classes, _) -> "schema3-classes"
+  | Schema3 (Components, _) -> "schema3-components"
+  | Schema2_opt Engine.Barrier -> "schema2-opt"
+  | Schema2_opt Engine.Pipelined -> "schema2-opt-pipelined"
+
+exception Aliasing_unsupported of string
+(** Raised when Schema 2 is requested for a program whose alias structure
+    relates distinct names (Section 3 assumes aliasing away). *)
+
+(** Section 6 transformations, applied where the eligibility analyses of
+    {!Transforms} prove them sound.  Support matrix: [parallel_reads]
+    composes with every schema; [value_passing] with Schemas 2 and 2-opt;
+    [array_parallel] and [istructure] with Schema 2 (the
+    track-everything engine). *)
+type transforms = {
+  value_passing : bool;  (** Section 6.1: scalars ride their tokens *)
+  parallel_reads : bool;  (** Section 6.2: read runs execute in parallel *)
+  array_parallel : bool;  (** Section 6.3 / Figure 14: overlapped stores *)
+  istructure : bool;  (** Section 6.3: write-once arrays in I-structures *)
+}
+
+let no_transforms =
+  {
+    value_passing = false;
+    parallel_reads = false;
+    array_parallel = false;
+    istructure = false;
+  }
+
+let all_transforms =
+  {
+    value_passing = true;
+    parallel_reads = true;
+    array_parallel = true;
+    istructure = false;
+    (* I-structures stay opt-in: legal IMP programs may read cells that
+       are never written (initially zero), which would defer forever *)
+  }
+
+type compiled = {
+  graph : Dfg.Graph.t;
+  layout : Imp.Layout.t;
+  cfg : Cfg.Core.t;  (** the translated CFG (loopified when applicable) *)
+  spec : spec;
+}
+
+(** [cover_of choice alias] materialises the chosen cover. *)
+let cover_of (choice : cover_choice) (alias : Analysis.Alias.t) :
+    Analysis.Cover.t =
+  match choice with
+  | Singleton -> Analysis.Cover.singleton alias
+  | Classes -> Analysis.Cover.classes alias
+  | Components -> Analysis.Cover.components alias
+
+(** [compile ?transforms ?split_irreducible spec p] compiles program [p]
+    under [spec].
+    @raise Aliasing_unsupported for Schema 2 on aliased programs.
+    @raise Cfg.Intervals.Irreducible on irreducible control flow under
+    Schemas 2/3 unless [split_irreducible] is set (Schema 1 accepts any
+    CFG); with [split_irreducible], node splitting (code copying,
+    {!Cfg.Split}) makes the graph reducible first. *)
+let compile ?(transforms = no_transforms) ?(split_irreducible = false)
+    (spec : spec) (p : Imp.Ast.program) : compiled =
+  Imp.Typecheck.check_program p;
+  let layout = Imp.Layout.of_program p in
+  let g = Cfg.Builder.of_program p in
+  (* The paper's footnote-5 recourse for irreducible graphs: copy code
+     until interval analysis succeeds. *)
+  let g =
+    if split_irreducible && not (Cfg.Intervals.reducible g) then
+      Cfg.Split.make_reducible g
+    else g
+  in
+  (* token universes must cover the flattened program's variables
+     (procedure locals, case-lowering temporaries) *)
+  let vars = Imp.Flat.vars (Imp.Flat.flatten p) in
+  let alias = Analysis.Alias.of_program p in
+  let check_no_alias () =
+    if Analysis.Alias.has_aliasing alias then
+      raise
+        (Aliasing_unsupported
+           "Schema 2 assumes alias-free programs; use Schema 3")
+  in
+  let base_mode =
+    {
+      Statement.default_mode with
+      Statement.parallel_reads = transforms.parallel_reads;
+    }
+  in
+  let value_vars_of lp =
+    if transforms.value_passing then
+      let eligible = Transforms.value_eligible p in
+      (* async/I-structure arrays are never value variables (they are
+         arrays); no conflict possible *)
+      ignore lp;
+      eligible
+    else []
+  in
+  match spec with
+  | Schema1 ->
+      { graph = Engine.schema1 ~mode:base_mode g; layout; cfg = g; spec }
+  | Schema2_unsafe_no_loop_control ->
+      check_no_alias ();
+      {
+        graph =
+          Engine.translate ~mode:base_mode
+            ~tokens:(Token_map.per_variable vars) g;
+        layout;
+        cfg = g;
+        spec;
+      }
+  | Schema2 lc ->
+      check_no_alias ();
+      let lp = Cfg.Loopify.transform g in
+      let value_vars = value_vars_of lp in
+      let async_arrays =
+        if transforms.array_parallel then Transforms.async_candidates p lp
+        else []
+      in
+      let istructs =
+        if transforms.istructure then Transforms.istructure_candidates p lp
+        else []
+      in
+      (* an array handled by I-structures needs no Figure 14 machinery *)
+      let async_arrays =
+        List.filter (fun (_, x) -> not (List.mem x istructs)) async_arrays
+      in
+      let mode =
+        {
+          base_mode with
+          Statement.value_vars = (fun x -> List.mem x value_vars);
+          Statement.istructure = (fun x -> List.mem x istructs);
+        }
+      in
+      let tokens = Token_map.per_variable vars in
+      let value_tokens =
+        List.map
+          (fun x -> (List.hd (tokens.Token_map.access_set x), x))
+          value_vars
+      in
+      {
+        graph =
+          Engine.translate ~loop_control:lc ~mode ~value_tokens ~async_arrays
+            ~tokens ~loops:lp lp.Cfg.Loopify.graph;
+        layout;
+        cfg = lp.Cfg.Loopify.graph;
+        spec;
+      }
+  | Schema3 (choice, lc) ->
+      let lp = Cfg.Loopify.transform g in
+      let cover = cover_of choice alias in
+      {
+        graph = Engine.schema3 ~loop_control:lc ~mode:base_mode lp ~alias ~cover;
+        layout;
+        cfg = lp.Cfg.Loopify.graph;
+        spec;
+      }
+  | Schema2_opt lc ->
+      check_no_alias ();
+      let lp = Cfg.Loopify.transform g in
+      let value_vars = value_vars_of lp in
+      {
+        graph =
+          Optimized.translate ~loop_control:lc ~mode:base_mode ~value_vars lp
+            ~vars;
+        layout;
+        cfg = lp.Cfg.Loopify.graph;
+        spec;
+      }
+
+(** [compile_string ?transforms spec src] parses and compiles. *)
+let compile_string ?transforms ?split_irreducible (spec : spec) (src : string)
+    : compiled =
+  compile ?transforms ?split_irreducible spec
+    (Imp.Parser.program_of_string src)

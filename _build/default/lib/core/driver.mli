@@ -1,0 +1,79 @@
+(** One-call compilation pipeline: IMP program -> dataflow graph.
+
+    Bundles lowering, CFG construction, optional node splitting for
+    irreducible graphs, loop-control insertion, alias structure and
+    cover selection, transformation eligibility, and schema dispatch.
+    The result carries the memory layout the graph was compiled against
+    — everything {!Machine.Interp} needs to execute it. *)
+
+type cover_choice =
+  | Singleton  (** maximal parallelism *)
+  | Classes  (** the alias-class cover *)
+  | Components  (** minimal synchronisation *)
+
+type spec =
+  | Schema1  (** single access token; sequential statements *)
+  | Schema2 of Engine.loop_control
+      (** per-variable tokens; requires an alias-free program *)
+  | Schema2_unsafe_no_loop_control
+      (** Schema 2 without loop control: reproduces the Figure 8
+          pathology on cyclic programs; for experiments only *)
+  | Schema3 of cover_choice * Engine.loop_control
+      (** per-cover-element tokens; sound under aliasing *)
+  | Schema2_opt of Engine.loop_control
+      (** Section 4's direct construction without redundant switches *)
+
+val spec_to_string : spec -> string
+
+exception Aliasing_unsupported of string
+(** Schema 2 was requested for a program whose alias structure relates
+    distinct names (Section 3 assumes aliasing away). *)
+
+(** Section 6 transformations, applied where {!Transforms} proves them
+    sound.  Support matrix: [parallel_reads] composes with every schema;
+    [value_passing] with Schemas 2 and 2-opt; [array_parallel] and
+    [istructure] with Schema 2. *)
+type transforms = {
+  value_passing : bool;  (** 6.1: scalars ride their tokens *)
+  parallel_reads : bool;  (** 6.2: read runs execute in parallel *)
+  array_parallel : bool;  (** 6.3 / Figure 14: overlapped stores *)
+  istructure : bool;  (** 6.3: write-once arrays in I-structures *)
+}
+
+val no_transforms : transforms
+
+(** Everything except I-structures, which stay opt-in (legal IMP
+    programs may read never-written cells, which would defer forever). *)
+val all_transforms : transforms
+
+type compiled = {
+  graph : Dfg.Graph.t;
+  layout : Imp.Layout.t;
+  cfg : Cfg.Core.t;  (** the translated CFG (loopified when applicable) *)
+  spec : spec;
+}
+
+(** [cover_of choice alias] materialises the chosen cover. *)
+val cover_of : cover_choice -> Analysis.Alias.t -> Analysis.Cover.t
+
+(** [compile ?transforms ?split_irreducible spec p] compiles [p].
+    @raise Aliasing_unsupported for Schema 2 on aliased programs.
+    @raise Cfg.Intervals.Irreducible on irreducible control flow under
+    Schemas 2/3 unless [split_irreducible] makes the graph reducible by
+    node splitting first ({!Cfg.Split}); Schema 1 accepts any CFG.
+    @raise Imp.Typecheck.Error on ill-typed programs. *)
+val compile :
+  ?transforms:transforms ->
+  ?split_irreducible:bool ->
+  spec ->
+  Imp.Ast.program ->
+  compiled
+
+(** [compile_string ?transforms ?split_irreducible spec src] parses and
+    compiles. *)
+val compile_string :
+  ?transforms:transforms ->
+  ?split_irreducible:bool ->
+  spec ->
+  string ->
+  compiled

@@ -1,0 +1,73 @@
+(** The track-everything translation engine: Schemas 1, 2 and 3
+    (Figures 3–8 and 12–13), plus the Section 6 transformation hooks.
+
+    Under these schemas every access token follows the full control
+    path: forks switch all tokens, joins merge all tokens, loop entries
+    and exits manage all tokens.  The schemas differ only in the token
+    universe ({!Token_map}).  Cyclic graphs must be loop-controlled
+    first ({!Cfg.Loopify}); translating a cyclic graph without loop
+    information yields the Figure 8 pathology, which the machine then
+    detects as a token collision. *)
+
+(** How loop-control CFG nodes become dataflow operators. *)
+type loop_control =
+  | Barrier
+      (** one arity-k gateway per loop: the paper's black-box contract
+          (the complete token set enters and leaves together) *)
+  | Pipelined
+      (** k arity-1 gateways: each token advances to the next iteration
+          as soon as its own operations and the predicate allow *)
+
+exception Unsupported of string
+(** Raised when the graph contains loop-control CFG nodes but no
+    {!Cfg.Loopify.t} was supplied, or an async array lacks a private
+    token. *)
+
+(** [translate ?loop_control ?mode ?value_tokens ?async_arrays ~tokens
+    ?loops g] translates CFG [g] (which must be [loops.graph] when
+    [loops] is given).
+
+    - [mode] is threaded to the statement compiler;
+    - [value_tokens] lists (token, variable) pairs whose token carries
+      the variable's value: a [Const 0] prologue (IMP zero-initialises)
+      and a write-back store epilogue keep the final memory observable;
+    - [async_arrays] lists (loop, array) pairs proven store-independent
+      (Figure 14): the store detaches from the array's token and a fresh
+      completion token per pair circulates with the loop, synchronised
+      with each iteration's store; the array's token leaves the loop
+      exits only once all stores completed. *)
+val translate :
+  ?loop_control:loop_control ->
+  ?mode:Statement.mode ->
+  ?value_tokens:(int * string) list ->
+  ?async_arrays:(int * string) list ->
+  tokens:Token_map.t ->
+  ?loops:Cfg.Loopify.t ->
+  Cfg.Core.t ->
+  Dfg.Graph.t
+
+(** [schema1 g] — Figure 3: one access token sequencing everything;
+    works on the plain (non-loopified) CFG, reducible or not. *)
+val schema1 : ?mode:Statement.mode -> Cfg.Core.t -> Dfg.Graph.t
+
+(** [schema2 lp ~vars] — Figure 6 over a loopified CFG, one token per
+    variable.  Assumes no aliasing (Section 3); use {!schema3}
+    otherwise. *)
+val schema2 :
+  ?loop_control:loop_control ->
+  ?mode:Statement.mode ->
+  ?value_tokens:(int * string) list ->
+  ?async_arrays:(int * string) list ->
+  Cfg.Loopify.t ->
+  vars:string list ->
+  Dfg.Graph.t
+
+(** [schema3 lp ~alias ~cover] — Figure 12: one token per cover element;
+    operations collect their access sets through synch operators. *)
+val schema3 :
+  ?loop_control:loop_control ->
+  ?mode:Statement.mode ->
+  Cfg.Loopify.t ->
+  alias:Analysis.Alias.t ->
+  cover:Analysis.Cover.t ->
+  Dfg.Graph.t

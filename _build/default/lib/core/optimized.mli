@@ -1,0 +1,44 @@
+(** The optimized direct construction (paper, Section 4.2): a dataflow
+    graph with no redundant switches, built from switch placement
+    (Figure 10) and source vectors (Figure 11).
+
+    Compared with {!Engine}: a fork switches [access_x] only when some
+    node referencing [x] lies between the fork and its immediate
+    postdominator (Theorem 1); joins merge a token only when its source
+    vector has several elements; tokens bypass loops and conditionals
+    that do not need them. *)
+
+type source = int * bool
+(** CFG-level token source: (node, out-direction). *)
+
+(** [loop_var_sets lp ~vars] — the per-loop managed-variable least
+    fixpoint: body references (with nested loop entries/exits counted at
+    their managed sets) closed under "switched at an in-body fork".
+    Returns the sets and the switch placement computed against them.
+    See DESIGN.md, implementation notes. *)
+val loop_var_sets :
+  Cfg.Loopify.t ->
+  vars:string list ->
+  string list array * Analysis.Switch_place.t
+
+(** [forward_topo lp] — topological order of the loopified CFG ignoring
+    back edges (edges from a loop body into its entry); the order
+    Figure 11's algorithm processes nodes in. *)
+val forward_topo : Cfg.Loopify.t -> int list
+
+(** [translate ?loop_control ?mode ?value_vars ?merge_report lp ~vars]
+    builds the optimized graph with one access token per variable.
+
+    [value_vars] enables Section 6.1 value passing for the listed
+    (unaliased scalar) variables, with prologue/epilogue as in
+    {!Engine.translate}.  [merge_report], when supplied, accumulates the
+    (join node, variable) pairs where a token merge was materialised —
+    used by the SSA correspondence tests (φ ⟹ merge). *)
+val translate :
+  ?loop_control:Engine.loop_control ->
+  ?mode:Statement.mode ->
+  ?value_vars:string list ->
+  ?merge_report:(int * string) list ref ->
+  Cfg.Loopify.t ->
+  vars:string list ->
+  Dfg.Graph.t

@@ -1,0 +1,84 @@
+(** Per-statement dataflow segments: the read blocks, expression graphs,
+    store and switch wiring of Figures 3–4, 6–7 and 12–13, generalised
+    over the token universe and the Section 6 transformations.
+
+    A segment is built inside a {!Dfg.Graph.Builder}; the caller receives,
+    for every token index, the {e entry ports} the incoming access token
+    must be delivered to (the incoming arc fans out to all of them) and
+    the {e exit terminal} the token leaves from, or neither when the
+    token passes the statement untouched.  A token may also have entry
+    ports but no exit: asynchronous operations take a {e copy} of the
+    token and the token itself passes through (Figure 14).
+
+    Memory-operation order within a statement — scalar reads, then array
+    reads innermost-first, then the store — makes value dependencies
+    point forward along every access-token chain, so segments cannot
+    deadlock. *)
+
+type terminal = int * int
+(** (node id, port index) — an output port when used as a source, an
+    input port when used as a destination. *)
+
+(** Section 6 transformation switches, consulted per variable. *)
+type mode = {
+  value_vars : string -> bool;
+      (** 6.1: the variable's token carries its value; loads vanish,
+          stores re-emit the token with the new value.  Sound for
+          unaliased scalars with a private singleton token. *)
+  parallel_reads : bool;
+      (** 6.2: reads take token copies collected by a synch at the next
+          write or statement exit, so read runs execute in parallel. *)
+  async_stores : string -> bool;
+      (** 6.3/Figure 14: the store takes a token copy; its completion
+          terminal is reported in {!chain.async} for the engine's
+          cross-iteration synchronisation. *)
+  istructure : string -> bool;
+      (** the named arrays live in I-structure memory; their operations
+          detach from token ordering (deferred reads order instead). *)
+}
+
+(** Everything off: the plain Figures 3–7 and 12–13 translation. *)
+val default_mode : mode
+
+type chain = {
+  entries : terminal list array;  (** per token: input ports to feed *)
+  exits : terminal option array;  (** per token: output terminal *)
+  async : (string * terminal) list;
+      (** async store completions: (variable, completion terminal) *)
+}
+
+(** [assign b ~tokens ?mode lv e] builds the segment of [lv := e]. *)
+val assign :
+  Dfg.Graph.Builder.t ->
+  tokens:Token_map.t ->
+  ?mode:mode ->
+  Imp.Ast.lvalue ->
+  Imp.Ast.expr ->
+  chain
+
+type fork_out =
+  | F_pass  (** token untouched by the fork *)
+  | F_switched of terminal * terminal  (** (true-exit, false-exit) *)
+  | F_straight of terminal
+      (** read by the predicate but not switched: single exit (under the
+          optimized construction it flows to the fork's immediate
+          postdominator) *)
+
+type fork_chain = {
+  f_entries : terminal list array;
+  f_outs : fork_out array;
+}
+
+(** [fork b ~tokens ?mode ~switched pred] builds a fork segment:
+    predicate reads and evaluation plus one switch per token index in
+    [switched].  Under Schemas 1–3 every token is switched; under the
+    optimized construction only those switch placement demands.
+    @raise Invalid_argument for a constant predicate with an empty
+    [switched] list (a dead test; callers skip such forks). *)
+val fork :
+  Dfg.Graph.Builder.t ->
+  tokens:Token_map.t ->
+  ?mode:mode ->
+  switched:int list ->
+  Imp.Ast.expr ->
+  fork_chain

@@ -1,0 +1,77 @@
+(** Token universes: what the circulating access tokens stand for.
+
+    The three schemas differ first of all in this choice (paper,
+    Sections 2.3, 3, 5):
+
+    - Schema 1: a single token -- the dataflow program counter;
+    - Schema 2: one token per variable name;
+    - Schema 3: one token per {e cover element} of the alias structure.
+
+    A memory operation on variable [x] must collect the tokens of every
+    element intersecting the alias class [\[x\]] -- the access set
+    [C\[x\]].  For Schema 2 that set is the singleton [{x}]; for Schema 1
+    it is always the unique token. *)
+
+type t = {
+  names : string array;  (** token names, for labels and debugging *)
+  access_set : string -> int list;
+      (** token indices a memory operation on the given variable collects;
+          never empty *)
+}
+
+let arity (t : t) : int = Array.length t.names
+let name (t : t) (i : int) : string = t.names.(i)
+
+(** Indices of all tokens. *)
+let all (t : t) : int list = List.init (arity t) Fun.id
+
+(** Schema 1: the single access token. *)
+let single : t = { names = [| "access" |]; access_set = (fun _ -> [ 0 ]) }
+
+(** Schema 2: one access token per variable (no aliasing assumed; the
+    access set of [x] is [{x}]). *)
+let per_variable (vars : string list) : t =
+  if vars = [] then single  (* degenerate variable-free program *)
+  else
+  let names = Array.of_list (List.sort_uniq compare vars) in
+  let index = Hashtbl.create 16 in
+  Array.iteri (fun i x -> Hashtbl.replace index x i) names;
+  {
+    names = Array.map (fun x -> "access_" ^ x) names;
+    access_set =
+      (fun x ->
+        match Hashtbl.find_opt index x with
+        | Some i -> [ i ]
+        | None -> invalid_arg ("Token_map.per_variable: unknown variable " ^ x));
+  }
+
+(** Schema 3: one access token per element of cover [c] of [alias]; the
+    access set of [x] is [C\[x\]] (Definition 7 and Figure 12). *)
+let of_cover (alias : Analysis.Alias.t) (c : Analysis.Cover.t) : t =
+  Analysis.Cover.validate alias c;
+  if c = [] then single  (* degenerate variable-free program *)
+  else
+  let elements = Array.of_list c in
+  let names =
+    Array.map
+      (fun e -> Fmt.str "access_{%s}" (String.concat "," e))
+      elements
+  in
+  let cache = Hashtbl.create 16 in
+  {
+    names;
+    access_set =
+      (fun x ->
+        match Hashtbl.find_opt cache x with
+        | Some s -> s
+        | None ->
+            let s = Analysis.Cover.access_set alias c x in
+            assert (s <> []);
+            Hashtbl.replace cache x s;
+            s);
+  }
+
+(** [vars_to_tokens t vars] is the union of the access sets of [vars],
+    sorted: the tokens a region referencing [vars] interacts with. *)
+let vars_to_tokens (t : t) (vars : string list) : int list =
+  List.concat_map t.access_set vars |> List.sort_uniq compare

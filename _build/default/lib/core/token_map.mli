@@ -1,0 +1,38 @@
+(** Token universes: what the circulating access tokens stand for.
+
+    The three schemas differ first of all in this choice (paper,
+    Sections 2.3, 3, 5): Schema 1 uses a single token (the dataflow
+    program counter); Schema 2 one token per variable name; Schema 3 one
+    token per cover element of the alias structure.  A memory operation
+    on [x] must collect the tokens of every element intersecting the
+    alias class [\[x\]] — the access set [C\[x\]]. *)
+
+type t = {
+  names : string array;  (** token names, for labels and debugging *)
+  access_set : string -> int list;
+      (** token indices a memory operation on the given variable
+          collects; never empty *)
+}
+
+val arity : t -> int
+val name : t -> int -> string
+
+(** Indices of all tokens. *)
+val all : t -> int list
+
+(** Schema 1: the single access token. *)
+val single : t
+
+(** Schema 2: one access token per variable (no aliasing assumed; the
+    access set of [x] is [{x}]).  An empty variable list degenerates to
+    {!single}. *)
+val per_variable : string list -> t
+
+(** Schema 3: one access token per element of the cover; the access set
+    of [x] is [C\[x\]] (Definition 7 and Figure 12).
+    @raise Analysis.Cover.Invalid_cover on a non-covering collection. *)
+val of_cover : Analysis.Alias.t -> Analysis.Cover.t -> t
+
+(** [vars_to_tokens t vars] is the union of the access sets of [vars],
+    sorted: the tokens a region referencing [vars] interacts with. *)
+val vars_to_tokens : t -> string list -> int list

@@ -1,0 +1,142 @@
+(** Eligibility analyses for the Section 6 parallelizing transformations.
+
+    Each function answers: where may a transformation be applied without
+    changing observable behaviour?  The transformations themselves live in
+    {!Statement}/{!Engine}; the driver consults these analyses to turn
+    user-requested transforms into concrete parameter lists. *)
+
+(** [value_eligible p] -- variables whose memory cells can be eliminated
+    entirely, their values riding on the access tokens (Section 6.1):
+    scalars whose alias class is trivial ("for variables that are not
+    aliased, this is very easy"). *)
+let value_eligible (p : Imp.Ast.program) : string list =
+  let alias = Analysis.Alias.of_program p in
+  Imp.Flat.vars (Imp.Flat.flatten p)
+  |> List.filter (fun x ->
+         (not (Imp.Ast.is_array p x))
+         && Analysis.Alias.class_of alias x = [ x ])
+
+(* The single body node referencing [x], if it is an independent array
+   store with no self-reference. *)
+let sole_independent_store (g : Cfg.Core.t) (alias : Analysis.Alias.t)
+    (body : Cfg.Core.node list) (x : string) : Cfg.Core.node option =
+  let referencing =
+    List.filter (fun n -> List.mem x (Cfg.Core.referenced_vars g n)) body
+  in
+  match referencing with
+  | [ n ] -> (
+      match Cfg.Core.kind g n with
+      | Cfg.Core.Assign (Imp.Ast.Lindex (a, idx), rhs)
+        when a = x
+             && (not (List.mem x (Imp.Ast.expr_vars idx)))
+             && not (List.mem x (Imp.Ast.expr_vars rhs)) -> (
+          match Analysis.Subscript.classify_store g alias ~body n with
+          | Analysis.Subscript.Independent _ -> Some n
+          | Analysis.Subscript.Serial -> None)
+      | _ -> None)
+  | _ -> None
+
+(** [async_candidates p lp] -- (loop, array) pairs where Figure 14's
+    store parallelization applies: inside the loop the array is touched
+    by exactly one statement, an induction-subscripted store proven
+    independent across iterations, and the array is unaliased.  Only the
+    innermost such loop is reported per store. *)
+let async_candidates (p : Imp.Ast.program) (lp : Cfg.Loopify.t) :
+    (int * string) list =
+  let g = lp.Cfg.Loopify.graph in
+  let alias = Analysis.Alias.of_program p in
+  let arrays =
+    List.map fst p.Imp.Ast.arrays
+    |> List.filter (fun x -> Analysis.Alias.class_of alias x = [ x ])
+  in
+  let loops = Array.to_list lp.Cfg.Loopify.loops in
+  List.concat_map
+    (fun (l : Cfg.Loopify.loop_info) ->
+      List.filter_map
+        (fun x ->
+          match
+            sole_independent_store g alias l.Cfg.Loopify.body x
+          with
+          | Some n ->
+              (* innermost: no other loop nested in l also contains n *)
+              let innermost =
+                List.for_all
+                  (fun (l' : Cfg.Loopify.loop_info) ->
+                    l'.Cfg.Loopify.id = l.Cfg.Loopify.id
+                    || (not lp.Cfg.Loopify.in_body.(l'.Cfg.Loopify.id).(n))
+                    || not
+                         (List.for_all
+                            (fun m -> lp.Cfg.Loopify.in_body.(l.Cfg.Loopify.id).(m))
+                            l'.Cfg.Loopify.body))
+                  loops
+              in
+              if innermost then Some (l.Cfg.Loopify.id, x) else None
+          | None -> None)
+        arrays)
+    loops
+
+(** [istructure_candidates p lp] -- arrays that are provably write-once
+    over the whole execution and can live in I-structure memory
+    (Section 6.3): unaliased, every store an independent
+    induction-subscripted store inside a {e top-level} loop (a nested
+    loop would restart the induction and rewrite cells).
+
+    Caveat, documented in DESIGN.md: I-structure reads of never-written
+    cells defer forever.  IMP's zero-initialised semantics makes such
+    reads legal, so this transformation is opt-in and should be applied
+    only when every read cell is known to be written (e.g. the
+    initialise-then-reduce kernels of the evaluation). *)
+let istructure_candidates (p : Imp.Ast.program) (lp : Cfg.Loopify.t) :
+    string list =
+  let g = lp.Cfg.Loopify.graph in
+  let alias = Analysis.Alias.of_program p in
+  let loops = Array.to_list lp.Cfg.Loopify.loops in
+  let arrays =
+    List.map fst p.Imp.Ast.arrays
+    |> List.filter (fun x -> Analysis.Alias.class_of alias x = [ x ])
+  in
+  let store_nodes x =
+    List.filter
+      (fun n ->
+        match Cfg.Core.kind g n with
+        | Cfg.Core.Assign (Imp.Ast.Lindex (a, _), _) -> a = x
+        | _ -> false)
+      (Cfg.Core.nodes g)
+  in
+  List.filter
+    (fun x ->
+      let stores = store_nodes x in
+      stores <> []
+      && List.for_all
+           (fun n ->
+             (* the innermost loop containing the store must be top-level
+                and prove independence *)
+             let containing =
+               List.filter
+                 (fun (l : Cfg.Loopify.loop_info) ->
+                   lp.Cfg.Loopify.in_body.(l.Cfg.Loopify.id).(n))
+                 loops
+             in
+             match
+               List.sort
+                 (fun a b ->
+                   compare
+                     (List.length a.Cfg.Loopify.body)
+                     (List.length b.Cfg.Loopify.body))
+                 containing
+             with
+             | [] -> false (* store outside any loop: executed once, but
+                              conservatively reject to keep the analysis
+                              simple and safe for re-executed paths *)
+             | innermost :: _ ->
+                 innermost.Cfg.Loopify.parent = None
+                 && List.length containing = 1
+                 &&
+                 (match
+                    Analysis.Subscript.classify_store g alias
+                      ~body:innermost.Cfg.Loopify.body n
+                  with
+                 | Analysis.Subscript.Independent _ -> true
+                 | Analysis.Subscript.Serial -> false))
+           stores)
+    arrays

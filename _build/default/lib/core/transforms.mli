@@ -1,0 +1,24 @@
+(** Eligibility analyses for the Section 6 parallelizing transformations:
+    where may each transformation be applied without changing observable
+    behaviour?  The driver consults these to turn requested transforms
+    into concrete parameter lists. *)
+
+(** [value_eligible p] — variables whose memory cells can be eliminated
+    entirely, their values riding on the access tokens (Section 6.1):
+    scalars whose alias class is trivial. *)
+val value_eligible : Imp.Ast.program -> string list
+
+(** [async_candidates p lp] — (loop, array) pairs where Figure 14's
+    store parallelization applies: inside the loop the array is touched
+    by exactly one statement, an induction-subscripted store proven
+    independent across iterations, and the array is unaliased.  Only the
+    innermost such loop is reported per store. *)
+val async_candidates :
+  Imp.Ast.program -> Cfg.Loopify.t -> (int * string) list
+
+(** [istructure_candidates p lp] — arrays provably write-once over the
+    whole execution (unaliased; every store an independent
+    induction-subscripted store inside a top-level loop), eligible for
+    I-structure memory.  Opt-in caveat: reads of never-written cells
+    defer forever (see DESIGN.md). *)
+val istructure_candidates : Imp.Ast.program -> Cfg.Loopify.t -> string list

@@ -1,0 +1,1 @@
+lib/dfg/check.ml: Array Fmt Graph List Node

@@ -1,0 +1,1 @@
+lib/dfg/check.mli: Graph

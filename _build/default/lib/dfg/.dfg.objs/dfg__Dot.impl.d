@@ -1,0 +1,1 @@
+lib/dfg/dot.ml: Array Fmt Fun Graph Node String

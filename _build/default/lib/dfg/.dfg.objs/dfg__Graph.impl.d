@@ -1,0 +1,1 @@
+lib/dfg/graph.ml: Array Fmt List Node

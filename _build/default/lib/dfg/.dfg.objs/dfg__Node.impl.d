@@ -1,0 +1,1 @@
+lib/dfg/node.ml: Fmt Imp

@@ -1,0 +1,1 @@
+lib/dfg/opt.ml: Array Fmt Fun Graph Hashtbl Imp List Node String

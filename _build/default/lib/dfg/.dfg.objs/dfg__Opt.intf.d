@@ -1,0 +1,1 @@
+lib/dfg/opt.mli: Graph

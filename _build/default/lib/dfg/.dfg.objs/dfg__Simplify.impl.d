@@ -1,0 +1,1 @@
+lib/dfg/simplify.ml: Array Fun Graph List Node

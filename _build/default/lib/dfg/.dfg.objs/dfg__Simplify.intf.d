@@ -1,0 +1,1 @@
+lib/dfg/simplify.mli: Graph

@@ -1,0 +1,1 @@
+lib/dfg/stats.ml: Array Fmt Graph Node

@@ -1,0 +1,1 @@
+lib/dfg/stats.mli: Format Graph

@@ -1,0 +1,1 @@
+lib/dfg/text.ml: Array Buffer Fmt Fun Graph Imp List Node String

@@ -1,0 +1,1 @@
+lib/dfg/text.mli: Graph Node

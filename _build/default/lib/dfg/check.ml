@@ -1,0 +1,67 @@
+(** Deeper well-formedness checks on dataflow graphs, beyond the arity
+    checks {!Graph.Builder.finish} already performs.  Run by tests on the
+    output of every translation schema. *)
+
+exception Invalid of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Invalid s)) fmt
+
+(** [check g] validates:
+    - every output port of every node feeds at least one arc, except
+      [Switch] outputs (an unused branch direction is legal: tokens sent
+      there would be dropped -- translations never do this, but a switch
+      with one dead output is structurally fine) and [Load] value outputs
+      (a load performed only for its sequencing effect);
+    - no node other than [Start] is sourceless and no node other than
+      [End] is sinkless;
+    - [Start] reaches every node along arcs (no orphan islands);
+    - dummy arcs form the access-token subgraph: every memory operation's
+      access input is fed by a dummy arc. *)
+let check (g : Graph.t) : unit =
+  let nn = Graph.num_nodes g in
+  for i = 0 to nn - 1 do
+    let n = Graph.node g i in
+    let out_ar = Node.out_arity n.Node.kind in
+    for p = 0 to out_ar - 1 do
+      if Graph.outgoing g i p = [] then begin
+        match n.Node.kind with
+        | Node.Switch -> ()
+        | Node.Load _ when p = 0 -> ()
+        (* I-structure operations are detached from token ordering:
+           their completion outputs may be deliberately dropped *)
+        | Node.Load { mem = Node.I_structure; _ } when p = 1 -> ()
+        | Node.Store { mem = Node.I_structure; _ } when p = 0 -> ()
+        | _ ->
+            fail "output port %d of node %d (%s) is unconnected" p i
+              n.Node.label
+      end
+    done
+  done;
+  (* reachability from start treating arcs as directed edges *)
+  let seen = Array.make nn false in
+  let rec dfs v =
+    if not seen.(v) then begin
+      seen.(v) <- true;
+      let out_ar = Node.out_arity (Graph.kind g v) in
+      for p = 0 to out_ar - 1 do
+        List.iter (fun a -> dfs a.Graph.dst.Graph.node) (Graph.outgoing g v p)
+      done
+    end
+  in
+  dfs g.Graph.start;
+  Array.iteri
+    (fun i s ->
+      if not s then
+        fail "node %d (%s) unreachable from start" i (Graph.node g i).Node.label)
+    seen;
+  (* access inputs of memory ops must be dummy-fed *)
+  for i = 0 to nn - 1 do
+    match Graph.kind g i with
+    | Node.Load _ | Node.Store _ -> (
+        match Graph.incoming g i 0 with
+        | [ a ] ->
+            if not a.Graph.dummy then
+              fail "access input of memory op %d is fed by a value arc" i
+        | _ -> fail "memory op %d access input arc count" i)
+    | _ -> ()
+  done

@@ -1,0 +1,10 @@
+(** Deeper well-formedness checks on dataflow graphs beyond the arity
+    and wiring checks {!Graph.Builder.finish} performs: connected output
+    ports (with the documented exceptions: switch branches, load value
+    outputs, detached I-structure completions), reachability from Start,
+    and dummy-fed access inputs on memory operations. *)
+
+exception Invalid of string
+
+(** @raise Invalid with a description of the first violation. *)
+val check : Graph.t -> unit

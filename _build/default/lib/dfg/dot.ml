@@ -1,0 +1,38 @@
+(** Graphviz rendering of dataflow graphs.  Dummy (access-token) arcs are
+    drawn dashed, matching the paper's dotted-line convention. *)
+
+let escape (s : string) : string =
+  String.concat "\\\"" (String.split_on_char '"' s)
+
+let node_attrs : Node.kind -> string = function
+  | Node.Start _ | Node.End _ -> "shape=oval"
+  | Node.Switch -> "shape=trapezium"
+  | Node.Merge -> "shape=invtrapezium"
+  | Node.Synch _ -> "shape=triangle"
+  | Node.Loop_entry _ | Node.Loop_exit _ -> "shape=hexagon"
+  | Node.Load _ | Node.Store _ -> "shape=box, style=rounded"
+  | Node.Const _ | Node.Binop _ | Node.Unop _ | Node.Id | Node.Sink -> "shape=box"
+
+let pp ppf (g : Graph.t) =
+  Fmt.pf ppf "digraph dfg {@\n  node [fontname=\"monospace\"];@\n";
+  Graph.iter_nodes g (fun n ->
+      Fmt.pf ppf "  n%d [label=\"%d: %s\", %s];@\n" n.Node.id n.Node.id
+        (escape n.Node.label)
+        (node_attrs n.Node.kind));
+  Array.iter
+    (fun a ->
+      Fmt.pf ppf "  n%d -> n%d [taillabel=\"%d\", headlabel=\"%d\"%s];@\n"
+        a.Graph.src.Graph.node a.Graph.dst.Graph.node a.Graph.src.Graph.index
+        a.Graph.dst.Graph.index
+        (if a.Graph.dummy then ", style=dashed" else ""))
+    g.Graph.arcs;
+  Fmt.pf ppf "}@\n"
+
+let to_string (g : Graph.t) : string = Fmt.str "%a" pp g
+
+(** [write path g] writes the DOT rendering of [g] to [path]. *)
+let write (path : string) (g : Graph.t) : unit =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string g))

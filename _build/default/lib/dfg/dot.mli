@@ -1,0 +1,6 @@
+(** Graphviz rendering of dataflow graphs; dummy (access-token) arcs are
+    dashed, matching the paper's dotted-line convention. *)
+
+val pp : Format.formatter -> Graph.t -> unit
+val to_string : Graph.t -> string
+val write : string -> Graph.t -> unit

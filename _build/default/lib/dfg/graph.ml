@@ -1,0 +1,148 @@
+(** Dataflow graphs: nodes, arcs, and an imperative builder.
+
+    An arc connects an output port to an input port.  Several arcs may
+    leave the same output port (fan-out duplicates the token); several
+    arcs may enter the same input port only on [Merge] nodes.  Dotted
+    access-token arcs vs. value arcs (the paper's drawing convention) are
+    distinguished by the [dummy] flag, which is purely informational --
+    the machine treats all tokens alike. *)
+
+type port = { node : int; index : int }
+
+type arc = {
+  src : port;
+  dst : port;
+  dummy : bool;  (** carries a dummy (access) token; drawn dotted *)
+}
+
+type t = {
+  nodes : Node.t array;
+  arcs : arc array;
+  outs : arc list array array;  (** [outs.(n).(p)] = arcs leaving port p of n *)
+  ins : arc list array array;  (** [ins.(n).(p)] = arcs entering port p of n *)
+  start : int;
+  stop : int;
+}
+
+let num_nodes (g : t) = Array.length g.nodes
+let num_arcs (g : t) = Array.length g.arcs
+let node (g : t) (i : int) : Node.t = g.nodes.(i)
+let kind (g : t) (i : int) : Node.kind = g.nodes.(i).Node.kind
+
+(** [outgoing g n p] is the arcs leaving output port [p] of node [n]. *)
+let outgoing (g : t) (n : int) (p : int) : arc list = g.outs.(n).(p)
+
+(** [incoming g n p] is the arcs entering input port [p] of node [n]. *)
+let incoming (g : t) (n : int) (p : int) : arc list = g.ins.(n).(p)
+
+(** Imperative builder. *)
+module Builder = struct
+  type graph = t
+
+  type t = {
+    mutable rev_nodes : Node.t list;
+    mutable count : int;
+    mutable rev_arcs : arc list;
+  }
+
+  let create () : t = { rev_nodes = []; count = 0; rev_arcs = [] }
+
+  (** [add b kind] creates a node and returns its id. *)
+  let add (b : t) ?(label = "") (kind : Node.kind) : int =
+    let id = b.count in
+    b.count <- id + 1;
+    let label = if label = "" then Node.kind_to_string kind else label in
+    b.rev_nodes <- { Node.id; kind; label } :: b.rev_nodes;
+    id
+
+  (** [connect b ~dummy (n1, p1) (n2, p2)] adds an arc from output port
+      [p1] of [n1] to input port [p2] of [n2]. *)
+  let connect (b : t) ?(dummy = false) ((n1, p1) : int * int)
+      ((n2, p2) : int * int) : unit =
+    b.rev_arcs <-
+      { src = { node = n1; index = p1 }; dst = { node = n2; index = p2 }; dummy }
+      :: b.rev_arcs
+
+  exception Ill_formed of string
+
+  (** [finish b] freezes the builder into a graph, checking arities and
+      wiring.
+      @raise Ill_formed if a port is out of range, a non-merge input port
+      has other than exactly one arc, or start/end are not unique. *)
+  let finish (b : t) : graph =
+    let nodes =
+      Array.of_list (List.rev b.rev_nodes)
+    in
+    Array.iteri
+      (fun i n -> if n.Node.id <> i then raise (Ill_formed "node id mismatch"))
+      nodes;
+    let nn = Array.length nodes in
+    let arcs = Array.of_list (List.rev b.rev_arcs) in
+    let outs =
+      Array.init nn (fun i ->
+          Array.make (max 1 (Node.out_arity nodes.(i).Node.kind)) [])
+    in
+    let ins =
+      Array.init nn (fun i ->
+          Array.make (max 1 (Node.in_arity nodes.(i).Node.kind)) [])
+    in
+    Array.iter
+      (fun a ->
+        let check_port what { node = n; index = p } arity_of =
+          if n < 0 || n >= nn then
+            raise (Ill_formed (Fmt.str "%s node %d out of range" what n));
+          let ar = arity_of nodes.(n).Node.kind in
+          if p < 0 || p >= ar then
+            raise
+              (Ill_formed
+                 (Fmt.str "%s port %d of node %d (%s, arity %d) out of range"
+                    what p n nodes.(n).Node.label ar))
+        in
+        check_port "source" a.src Node.out_arity;
+        check_port "destination" a.dst Node.in_arity;
+        outs.(a.src.node).(a.src.index) <- a :: outs.(a.src.node).(a.src.index);
+        ins.(a.dst.node).(a.dst.index) <- a :: ins.(a.dst.node).(a.dst.index))
+      arcs;
+    (* every non-merge input port: exactly one arc; merge: at least one *)
+    Array.iteri
+      (fun i n ->
+        let arity = Node.in_arity n.Node.kind in
+        for p = 0 to arity - 1 do
+          let k = List.length ins.(i).(p) in
+          match n.Node.kind with
+          | Node.Merge ->
+              if k < 1 then
+                raise
+                  (Ill_formed (Fmt.str "merge %d has no incoming arcs" i))
+          | _ ->
+              if k <> 1 then
+                raise
+                  (Ill_formed
+                     (Fmt.str "input port %d of node %d (%s) has %d arcs" p i
+                        n.Node.label k))
+        done)
+      nodes;
+    let find_unique pred what =
+      match
+        Array.to_list nodes
+        |> List.filter (fun n -> pred n.Node.kind)
+        |> List.map (fun n -> n.Node.id)
+      with
+      | [ i ] -> i
+      | l -> raise (Ill_formed (Fmt.str "%d %s nodes" (List.length l) what))
+    in
+    let start =
+      find_unique (function Node.Start _ -> true | _ -> false) "start"
+    in
+    let stop = find_unique (function Node.End _ -> true | _ -> false) "end" in
+    { nodes; arcs; outs; ins; start; stop }
+end
+
+(** [iter_nodes g f] applies [f] to every node. *)
+let iter_nodes (g : t) (f : Node.t -> unit) : unit = Array.iter f g.nodes
+
+(** [count g p] counts nodes whose kind satisfies [p]. *)
+let count (g : t) (p : Node.kind -> bool) : int =
+  Array.fold_left
+    (fun acc n -> if p n.Node.kind then acc + 1 else acc)
+    0 g.nodes

@@ -1,0 +1,10 @@
+(** Optimization passes over dataflow graphs — the paper's "IR for
+    optimizing compilers" claim in action: constant folding, common
+    subexpression elimination, and dead pure-node elimination performed
+    directly on the graph.  Memory operations, switches, merges, synchs
+    and loop gateways are structural and never touched; the passes are
+    semantics-preserving on translated graphs (differentially tested). *)
+
+(** [run g] applies folding, CSE and dead-node elimination to a fixpoint
+    and rebuilds the graph. *)
+val run : Graph.t -> Graph.t

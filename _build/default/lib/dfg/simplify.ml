@@ -1,0 +1,63 @@
+(** Peephole simplification of dataflow graphs.
+
+    The translation introduces [Id] nodes as materialised fan-out points
+    (value-passing entries).  After wiring, each [Id] can be spliced: its
+    single input source feeds its consumers directly.  Also drops
+    [Merge] nodes with a single incoming arc (no actual merging) and any
+    node left without consumers transitively (cannot occur in translated
+    graphs, but keeps the pass total).  Semantics-preserving; saves one
+    routing cycle per spliced node. *)
+
+(** [run g] returns the simplified graph.  Idempotent. *)
+let run (g : Graph.t) : Graph.t =
+  let n = Graph.num_nodes g in
+  let splice = Array.make n false in
+  for i = 0 to n - 1 do
+    match Graph.kind g i with
+    | Node.Id -> splice.(i) <- true
+    | Node.Merge -> if List.length (Graph.incoming g i 0) = 1 then splice.(i) <- true
+    | _ -> ()
+  done;
+  if not (Array.exists Fun.id splice) then g
+  else begin
+    (* resolve a source port through spliced nodes *)
+    let rec resolve (p : Graph.port) : Graph.port * bool =
+      if splice.(p.Graph.node) then
+        match Graph.incoming g p.Graph.node 0 with
+        | [ a ] ->
+            let src, d = resolve a.Graph.src in
+            (src, d || a.Graph.dummy)
+        | _ -> assert false
+      else (p, false)
+    in
+    let remap = Array.make n (-1) in
+    let next = ref 0 in
+    for i = 0 to n - 1 do
+      if not splice.(i) then begin
+        remap.(i) <- !next;
+        incr next
+      end
+    done;
+    let b = Graph.Builder.create () in
+    for i = 0 to n - 1 do
+      if not splice.(i) then begin
+        let node = Graph.node g i in
+        let id = Graph.Builder.add b ~label:node.Node.label node.Node.kind in
+        assert (id = remap.(i))
+      end
+    done;
+    Array.iter
+      (fun a ->
+        (* keep arcs whose destination survives; re-source through
+           spliced chains *)
+        if not splice.(a.Graph.dst.Graph.node) then begin
+          let src, extra_dummy = resolve a.Graph.src in
+          if not splice.(src.Graph.node) then
+            Graph.Builder.connect b
+              ~dummy:(a.Graph.dummy || extra_dummy)
+              (remap.(src.Graph.node), src.Graph.index)
+              (remap.(a.Graph.dst.Graph.node), a.Graph.dst.Graph.index)
+        end)
+      g.Graph.arcs;
+    Graph.Builder.finish b
+  end

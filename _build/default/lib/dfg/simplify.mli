@@ -1,0 +1,5 @@
+(** Peephole simplification: splice [Id] fan-out points and single-input
+    merges.  Semantics-preserving and idempotent; saves one routing cycle
+    per spliced node. *)
+
+val run : Graph.t -> Graph.t

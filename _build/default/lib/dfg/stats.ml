@@ -1,0 +1,56 @@
+(** Static statistics of dataflow graphs: the quantities the paper's
+    qualitative claims are about (graph size O(E·V), switch counts before
+    and after the Section 4 optimization, synchronisation inputs under
+    covers). *)
+
+type t = {
+  nodes : int;
+  arcs : int;
+  switches : int;
+  merges : int;
+  synchs : int;
+  synch_inputs : int;  (** total synchronisation fan-in *)
+  loads : int;
+  stores : int;
+  alu : int;  (** binops + unops + consts + ids *)
+  loop_controls : int;
+  dummy_arcs : int;
+}
+
+let of_graph (g : Graph.t) : t =
+  let count p = Graph.count g p in
+  let synch_inputs =
+    Array.fold_left
+      (fun acc n ->
+        match n.Node.kind with Node.Synch k -> acc + k | _ -> acc)
+      0 g.Graph.nodes
+  in
+  {
+    nodes = Graph.num_nodes g;
+    arcs = Graph.num_arcs g;
+    switches = count (function Node.Switch -> true | _ -> false);
+    merges = count (function Node.Merge -> true | _ -> false);
+    synchs = count (function Node.Synch _ -> true | _ -> false);
+    synch_inputs;
+    loads = count (function Node.Load _ -> true | _ -> false);
+    stores = count (function Node.Store _ -> true | _ -> false);
+    alu =
+      count (function
+        | Node.Binop _ | Node.Unop _ | Node.Const _ | Node.Id | Node.Sink -> true
+        | _ -> false);
+    loop_controls =
+      count (function Node.Loop_entry _ | Node.Loop_exit _ -> true | _ -> false);
+    dummy_arcs =
+      Array.fold_left
+        (fun acc a -> if a.Graph.dummy then acc + 1 else acc)
+        0 g.Graph.arcs;
+  }
+
+let pp ppf (s : t) =
+  Fmt.pf ppf
+    "nodes=%d arcs=%d switches=%d merges=%d synchs=%d(synch-in=%d) loads=%d \
+     stores=%d alu=%d loop-ctl=%d dummy-arcs=%d"
+    s.nodes s.arcs s.switches s.merges s.synchs s.synch_inputs s.loads
+    s.stores s.alu s.loop_controls s.dummy_arcs
+
+let to_string (s : t) = Fmt.str "%a" pp s

@@ -1,0 +1,22 @@
+(** Static statistics of dataflow graphs: the quantities the paper's
+    qualitative claims are about — graph size O(E·V), switch counts
+    before/after the Section 4 optimization, synchronisation inputs
+    under covers. *)
+
+type t = {
+  nodes : int;
+  arcs : int;
+  switches : int;
+  merges : int;
+  synchs : int;
+  synch_inputs : int;  (** total synchronisation fan-in *)
+  loads : int;
+  stores : int;
+  alu : int;  (** binops + unops + consts + ids + sinks *)
+  loop_controls : int;
+  dummy_arcs : int;
+}
+
+val of_graph : Graph.t -> t
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

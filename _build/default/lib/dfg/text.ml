@@ -1,0 +1,203 @@
+(** A textual, assembly-like format for dataflow graphs.
+
+    The paper positions dataflow graphs as an {e executable intermediate
+    representation}; this module gives that representation a concrete,
+    diffable, storable syntax.  One line per node, then one line per arc:
+
+    {v
+    node 0 start/2
+    node 1 const 5
+    node 2 store x
+    node 3 end/1
+    arc 0.0 -> 1.0 dummy
+    arc 0.0 -> 2.0 dummy
+    arc 1.0 -> 2.1
+    arc 2.0 -> 3.0 dummy
+    v}
+
+    [print] and [parse] round-trip exactly (tested); the parser rebuilds
+    through {!Graph.Builder}, so ill-formed text is rejected with the
+    same errors as ill-formed construction. *)
+
+exception Parse_error of string
+
+let kind_to_text : Node.kind -> string = function
+  | Node.Start k -> Fmt.str "start/%d" k
+  | Node.End k -> Fmt.str "end/%d" k
+  | Node.Const (Imp.Value.Int n) -> Fmt.str "const %d" n
+  | Node.Const (Imp.Value.Bool b) -> Fmt.str "const %b" b
+  | Node.Binop op -> Fmt.str "binop %s" (Imp.Pretty.binop_string op)
+  | Node.Unop Imp.Ast.Neg -> "unop neg"
+  | Node.Unop Imp.Ast.Not -> "unop not"
+  | Node.Id -> "id"
+  | Node.Sink -> "sink"
+  | Node.Load { var; indexed; mem } ->
+      Fmt.str "load%s%s %s"
+        (if indexed then "-idx" else "")
+        (match mem with Node.Plain -> "" | Node.I_structure -> "-istruct")
+        var
+  | Node.Store { var; indexed; mem } ->
+      Fmt.str "store%s%s %s"
+        (if indexed then "-idx" else "")
+        (match mem with Node.Plain -> "" | Node.I_structure -> "-istruct")
+        var
+  | Node.Switch -> "switch"
+  | Node.Merge -> "merge"
+  | Node.Synch n -> Fmt.str "synch/%d" n
+  | Node.Loop_entry { loop; arity } -> Fmt.str "loop-entry %d/%d" loop arity
+  | Node.Loop_exit { loop; arity } -> Fmt.str "loop-exit %d/%d" loop arity
+
+let binop_of_text s =
+  let table =
+    Imp.Ast.[ Add; Sub; Mul; Div; Mod; Lt; Le; Gt; Ge; Eq; Ne; And; Or ]
+  in
+  match List.find_opt (fun op -> Imp.Pretty.binop_string op = s) table with
+  | Some op -> op
+  | None -> raise (Parse_error ("unknown operator " ^ s))
+
+let kind_of_text (s : string) : Node.kind =
+  let words =
+    String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+  in
+  let slash w =
+    match String.split_on_char '/' w with
+    | [ a; b ] -> (a, int_of_string b)
+    | _ -> raise (Parse_error ("expected name/arity: " ^ w))
+  in
+  match words with
+  | [ w ] when String.contains w '/' -> (
+      match slash w with
+      | "start", k -> Node.Start k
+      | "end", k -> Node.End k
+      | "synch", k -> Node.Synch k
+      | other, _ -> raise (Parse_error ("unknown node kind " ^ other)))
+  | [ "id" ] -> Node.Id
+  | [ "sink" ] -> Node.Sink
+  | [ "switch" ] -> Node.Switch
+  | [ "merge" ] -> Node.Merge
+  | [ "const"; "true" ] -> Node.Const (Imp.Value.Bool true)
+  | [ "const"; "false" ] -> Node.Const (Imp.Value.Bool false)
+  | [ "const"; n ] -> (
+      match int_of_string_opt n with
+      | Some n -> Node.Const (Imp.Value.Int n)
+      | None -> raise (Parse_error ("bad constant " ^ n)))
+  | [ "binop"; op ] -> Node.Binop (binop_of_text op)
+  | [ "unop"; "neg" ] -> Node.Unop Imp.Ast.Neg
+  | [ "unop"; "not" ] -> Node.Unop Imp.Ast.Not
+  | [ "loop-entry"; la ] ->
+      let loop, arity = slash la in
+      Node.Loop_entry { loop = int_of_string loop; arity }
+  | [ "loop-exit"; la ] ->
+      let loop, arity = slash la in
+      Node.Loop_exit { loop = int_of_string loop; arity }
+  | [ mem_word; var ] -> (
+      let parse_mem prefix =
+        if mem_word = prefix then Some (false, Node.Plain)
+        else if mem_word = prefix ^ "-idx" then Some (true, Node.Plain)
+        else if mem_word = prefix ^ "-istruct" then Some (false, Node.I_structure)
+        else if mem_word = prefix ^ "-idx-istruct" then
+          Some (true, Node.I_structure)
+        else None
+      in
+      match (parse_mem "load", parse_mem "store") with
+      | Some (indexed, mem), _ -> Node.Load { var; indexed; mem }
+      | None, Some (indexed, mem) -> Node.Store { var; indexed; mem }
+      | None, None -> raise (Parse_error ("unknown node kind: " ^ s)))
+  | _ -> raise (Parse_error ("unknown node kind: " ^ s))
+
+(** [print g] renders [g] in the textual format. *)
+let print (g : Graph.t) : string =
+  let buf = Buffer.create 1024 in
+  Graph.iter_nodes g (fun n ->
+      Buffer.add_string buf
+        (Fmt.str "node %d %s\n" n.Node.id (kind_to_text n.Node.kind)));
+  Array.iter
+    (fun a ->
+      Buffer.add_string buf
+        (Fmt.str "arc %d.%d -> %d.%d%s\n" a.Graph.src.Graph.node
+           a.Graph.src.Graph.index a.Graph.dst.Graph.node
+           a.Graph.dst.Graph.index
+           (if a.Graph.dummy then " dummy" else "")))
+    g.Graph.arcs;
+  Buffer.contents buf
+
+(** [parse s] rebuilds a graph from the textual format.
+    @raise Parse_error on malformed text.
+    @raise Graph.Builder.Ill_formed on structurally invalid graphs. *)
+let parse (s : string) : Graph.t =
+  let b = Graph.Builder.create () in
+  let expected_id = ref 0 in
+  let port w =
+    match String.split_on_char '.' w with
+    | [ n; p ] -> (
+        match (int_of_string_opt n, int_of_string_opt p) with
+        | Some n, Some p -> (n, p)
+        | _ -> raise (Parse_error ("bad port " ^ w)))
+    | _ -> raise (Parse_error ("bad port " ^ w))
+  in
+  String.split_on_char '\n' s
+  |> List.iter (fun line ->
+         let line = String.trim line in
+         if line = "" || line.[0] = '#' then ()
+         else
+           match String.index_opt line ' ' with
+           | None -> raise (Parse_error ("bad line: " ^ line))
+           | Some i -> (
+               let head = String.sub line 0 i in
+               let rest =
+                 String.sub line (i + 1) (String.length line - i - 1)
+               in
+               match head with
+               | "node" -> (
+                   match String.index_opt rest ' ' with
+                   | None -> raise (Parse_error ("bad node line: " ^ line))
+                   | Some j ->
+                       let id = int_of_string (String.sub rest 0 j) in
+                       if id <> !expected_id then
+                         raise
+                           (Parse_error
+                              (Fmt.str "node ids must be dense; expected %d"
+                                 !expected_id));
+                       incr expected_id;
+                       let kind =
+                         kind_of_text
+                           (String.sub rest (j + 1)
+                              (String.length rest - j - 1))
+                       in
+                       ignore (Graph.Builder.add b kind))
+               | "arc" -> (
+                   let words =
+                     String.split_on_char ' ' rest
+                     |> List.filter (fun w -> w <> "")
+                   in
+                   match words with
+                   | [ src; "->"; dst ] ->
+                       Graph.Builder.connect b (port src) (port dst)
+                   | [ src; "->"; dst; "dummy" ] ->
+                       Graph.Builder.connect b ~dummy:true (port src)
+                         (port dst)
+                   | _ -> raise (Parse_error ("bad arc line: " ^ line)))
+               | _ -> raise (Parse_error ("bad line: " ^ line))));
+  Graph.Builder.finish b
+
+(** [write path g] / [read path] — file convenience wrappers. *)
+let write (path : string) (g : Graph.t) : unit =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (print g))
+
+let read (path : string) : Graph.t =
+  (* read to EOF rather than by length so pipes and process
+     substitutions work too *)
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let buf = Buffer.create 4096 in
+      (try
+         while true do
+           Buffer.add_channel buf ic 1
+         done
+       with End_of_file -> ());
+      parse (Buffer.contents buf))

@@ -1,0 +1,20 @@
+(** A textual, assembly-like format for dataflow graphs — the concrete
+    syntax of the paper's "executable intermediate representation".
+    One [node <id> <kind>] line per node, one [arc s.p -> d.q [dummy]]
+    line per arc.  {!print} and {!parse} round-trip exactly. *)
+
+exception Parse_error of string
+
+val kind_to_text : Node.kind -> string
+
+(** @raise Parse_error on unknown kinds. *)
+val kind_of_text : string -> Node.kind
+
+val print : Graph.t -> string
+
+(** @raise Parse_error on malformed text.
+    @raise Graph.Builder.Ill_formed on structurally invalid graphs. *)
+val parse : string -> Graph.t
+
+val write : string -> Graph.t -> unit
+val read : string -> Graph.t

@@ -1,0 +1,1 @@
+lib/imp/ast.ml: List

@@ -1,0 +1,1 @@
+lib/imp/eval.ml: Array Ast Flat Hashtbl Layout List Memory Value

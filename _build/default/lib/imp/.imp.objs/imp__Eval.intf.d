@@ -1,0 +1,1 @@
+lib/imp/eval.mli: Ast Flat Memory Value

@@ -1,0 +1,1 @@
+lib/imp/factory.ml: Ast Fmt List Parser String

@@ -1,0 +1,1 @@
+lib/imp/factory.mli: Ast

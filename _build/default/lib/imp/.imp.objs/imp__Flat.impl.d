@@ -1,0 +1,1 @@
+lib/imp/flat.ml: Array Ast Fmt Hashtbl List Pretty

@@ -1,0 +1,1 @@
+lib/imp/flat.mli: Ast Format Hashtbl

@@ -1,0 +1,1 @@
+lib/imp/layout.ml: Array Ast Flat Fmt Hashtbl List

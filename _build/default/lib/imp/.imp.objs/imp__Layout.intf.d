@@ -1,0 +1,1 @@
+lib/imp/layout.mli: Ast Hashtbl

@@ -1,0 +1,1 @@
+lib/imp/lexer.ml: Fmt List String

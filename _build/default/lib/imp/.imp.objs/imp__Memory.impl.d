@@ -1,0 +1,1 @@
+lib/imp/memory.ml: Array Fmt Layout List String

@@ -1,0 +1,1 @@
+lib/imp/memory.mli: Format Layout

@@ -1,0 +1,1 @@
+lib/imp/parser.ml: Ast Flat Fmt Lexer List String Typecheck

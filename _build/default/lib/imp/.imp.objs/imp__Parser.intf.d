@@ -1,0 +1,1 @@
+lib/imp/parser.mli: Ast Flat

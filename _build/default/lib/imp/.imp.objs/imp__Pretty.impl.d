@@ -1,0 +1,1 @@
+lib/imp/pretty.ml: Ast Fmt List

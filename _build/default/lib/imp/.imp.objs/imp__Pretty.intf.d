@@ -1,0 +1,1 @@
+lib/imp/pretty.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/imp/proc.ml: Ast Hashtbl Layout List

@@ -1,0 +1,1 @@
+lib/imp/proc.mli: Ast

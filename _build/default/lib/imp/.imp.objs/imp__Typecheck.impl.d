@@ -1,0 +1,1 @@
+lib/imp/typecheck.ml: Array Ast Flat Fmt List Pretty

@@ -1,0 +1,1 @@
+lib/imp/typecheck.mli: Ast Flat

@@ -1,0 +1,1 @@
+lib/imp/value.ml: Ast Fmt

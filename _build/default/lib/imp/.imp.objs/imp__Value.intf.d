@@ -1,0 +1,1 @@
+lib/imp/value.mli: Ast Format

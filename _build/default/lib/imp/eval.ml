@@ -1,0 +1,115 @@
+(** Reference sequential interpreters.
+
+    These implement the standard operational semantics of imperative
+    programs -- the semantics every translation schema must preserve.  Two
+    interpreters are provided: one over the structured AST and one over the
+    flat (goto) form; they are cross-checked against each other in the test
+    suite, and both serve as the oracle for the dataflow machine. *)
+
+exception Out_of_fuel
+(** Raised when a program exceeds its step budget; used to bound
+    randomly-generated loops. *)
+
+exception Unstructured
+(** Raised by {!run_stmt} on [Label]/[Goto]: structured evaluation cannot
+    interpret unstructured control flow; use {!run_flat}. *)
+
+(** [eval_expr mem e] evaluates [e] against memory [mem]. *)
+let rec eval_expr (mem : Memory.t) (e : Ast.expr) : Value.t =
+  match e with
+  | Ast.Int n -> Value.Int n
+  | Ast.Bool b -> Value.Bool b
+  | Ast.Var x -> Value.Int (Memory.read mem x 0)
+  | Ast.Index (x, e1) ->
+      let i = Value.to_int (eval_expr mem e1) in
+      Value.Int (Memory.read mem x i)
+  | Ast.Binop (op, a, b) -> Value.binop op (eval_expr mem a) (eval_expr mem b)
+  | Ast.Unop (op, a) -> Value.unop op (eval_expr mem a)
+
+(** [assign mem lv e] performs one assignment.  Right-hand side is
+    evaluated before the target index, matching the dataflow translation's
+    read-then-write order for a single statement. *)
+let assign (mem : Memory.t) (lv : Ast.lvalue) (e : Ast.expr) : unit =
+  let v = Value.to_int (eval_expr mem e) in
+  match lv with
+  | Ast.Lvar x -> Memory.write mem x 0 v
+  | Ast.Lindex (x, e1) ->
+      let i = Value.to_int (eval_expr mem e1) in
+      Memory.write mem x i v
+
+(** [run_stmt ~fuel mem s] executes structured statement [s] in place.
+    Every assignment and predicate evaluation consumes one unit of fuel.
+    @raise Out_of_fuel when the budget runs out.
+    @raise Unstructured on [Label]/[Goto]/[Cond_goto]. *)
+let run_stmt ?(fuel = max_int) (mem : Memory.t) (s : Ast.stmt) : unit =
+  let fuel = ref fuel in
+  let tick () =
+    decr fuel;
+    if !fuel < 0 then raise Out_of_fuel
+  in
+  let rec go = function
+    | Ast.Skip -> ()
+    | Ast.Assign (lv, e) ->
+        tick ();
+        assign mem lv e
+    | Ast.Seq (a, b) ->
+        go a;
+        go b
+    | Ast.If (e, a, b) ->
+        tick ();
+        if Value.to_bool (eval_expr mem e) then go a else go b
+    | Ast.While (e, a) ->
+        tick ();
+        if Value.to_bool (eval_expr mem e) then begin
+          go a;
+          go (Ast.While (e, a))
+        end
+    | Ast.Case (e, arms, default) -> (
+        tick ();
+        let v = Value.to_int (eval_expr mem e) in
+        match List.assoc_opt v arms with
+        | Some s' -> go s'
+        | None -> go default)
+    | Ast.Label _ | Ast.Goto _ | Ast.Cond_goto _ | Ast.Call _ ->
+        raise Unstructured
+  in
+  go s
+
+(** [run_flat ~fuel mem f] executes a flat program in place with a program
+    counter, the textbook von Neumann semantics of Section 1.
+    @raise Out_of_fuel when the budget runs out. *)
+let run_flat ?(fuel = max_int) (mem : Memory.t) (f : Flat.t) : unit =
+  let labels = Flat.label_table f in
+  let n = Array.length f.Flat.code in
+  let fuel = ref fuel in
+  let rec step pc =
+    if pc < n then begin
+      decr fuel;
+      if !fuel < 0 then raise Out_of_fuel;
+      match f.Flat.code.(pc) with
+      | Flat.Label _ -> step (pc + 1)
+      | Flat.Assign (lv, e) ->
+          assign mem lv e;
+          step (pc + 1)
+      | Flat.Goto l -> step (Hashtbl.find labels l)
+      | Flat.Branch (p, lt, lf) ->
+          let target = if Value.to_bool (eval_expr mem p) then lt else lf in
+          step (Hashtbl.find labels target)
+    end
+  in
+  step 0
+
+(** [run_program ?fuel p] builds a fresh zeroed memory for [p], lowers to
+    flat form and executes; returns the final memory. *)
+let run_program ?fuel (p : Ast.program) : Memory.t =
+  let f = Flat.flatten p in
+  let mem = Memory.create (Layout.of_program p) in
+  run_flat ?fuel mem f;
+  mem
+
+(** [run_flat_program ?fuel f] like {!run_program} but starting from flat
+    form (layout derived from the re-embedded program). *)
+let run_flat_program ?fuel (f : Flat.t) : Memory.t =
+  let mem = Memory.create (Layout.of_program (Flat.to_program f)) in
+  run_flat ?fuel mem f;
+  mem

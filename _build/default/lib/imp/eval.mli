@@ -1,0 +1,33 @@
+(** Reference sequential interpreters — the standard operational
+    semantics every translation schema must preserve.  One interpreter
+    over the structured AST and one over the flat (goto) form; they are
+    cross-checked against each other and serve as the oracle for the
+    dataflow machine. *)
+
+exception Out_of_fuel
+(** The step budget was exceeded (used to bound generated loops). *)
+
+exception Unstructured
+(** Structured evaluation met a [Label]/[Goto]; use {!run_flat}. *)
+
+(** Evaluate an expression against a memory. *)
+val eval_expr : Memory.t -> Ast.expr -> Value.t
+
+(** One assignment, in place. *)
+val assign : Memory.t -> Ast.lvalue -> Ast.expr -> unit
+
+(** Execute a structured statement in place; each assignment or
+    predicate evaluation costs one unit of fuel.
+    @raise Out_of_fuel / Unstructured as documented. *)
+val run_stmt : ?fuel:int -> Memory.t -> Ast.stmt -> unit
+
+(** Execute a flat program with a program counter — the textbook von
+    Neumann semantics of the paper's introduction.
+    @raise Out_of_fuel when the budget runs out. *)
+val run_flat : ?fuel:int -> Memory.t -> Flat.t -> unit
+
+(** Fresh zeroed memory, lower to flat form, execute; the final store. *)
+val run_program : ?fuel:int -> Ast.program -> Memory.t
+
+(** Like {!run_program} from flat form. *)
+val run_flat_program : ?fuel:int -> Flat.t -> Memory.t

@@ -1,0 +1,418 @@
+(** The paper's example programs plus a few classic kernels, as parsed
+    programs.  Each experiment in the benchmark harness references these by
+    name (see DESIGN.md, experiment index). *)
+
+let parse = Parser.program_of_string
+
+(** Figure 1: the paper's running example.
+    {v
+    l: join
+       y := x + 1
+       x := x + 1
+       if x < 5 then goto l else goto end
+    v} *)
+let running_example () =
+  parse {|
+    l:
+    y := x + 1
+    x := x + 1
+    if x < 5 goto l
+  |}
+
+(** The same loop in structured form (used to cross-check structured and
+    unstructured paths through the pipeline). *)
+let running_example_structured () =
+  parse {|
+    y := x + 1
+    x := x + 1
+    while x < 5 do
+      y := x + 1
+      x := x + 1
+    end
+  |}
+
+(** Figure 9(a): a conditional that does not reference [x]; the [access_x]
+    token should bypass the whole construct under the optimized schema.
+    {v
+    x := x + 1
+    if w == 0 then y := 1 else z := 2 end
+    x := 0   -- second assignment, orderable independently of the test
+    v} *)
+let bypass_example () =
+  parse {|
+    x := x + 1
+    w := w + 1
+    if w == 0 then
+      y := 1
+    else
+      z := 2
+    end
+    x := x * 3
+  |}
+
+(** Nested conditionals neither of which references [x]: after the inner
+    redundant switch is eliminated the outer one becomes redundant too
+    (Section 4 discussion). *)
+let nested_bypass_example () =
+  parse {|
+    x := x + 1
+    if w == 0 then
+      if u == 0 then
+        y := 1
+      else
+        y := 2
+      end
+    else
+      z := 3
+    end
+    x := x * 3
+  |}
+
+(** Section 5's FORTRAN aliasing example: SUBROUTINE F(X,Y,Z) called as
+    F(A,B,A) and F(C,D,D); X~Z and Y~Z may alias but X and Y never do.
+    We model one instantiation where the aliasing is real ([equiv x z]).  *)
+let fortran_alias_example () =
+  parse {|
+    mayalias x z
+    mayalias y z
+    equiv x z
+    x := 1
+    y := 2
+    z := z + x + y
+    x := y + z
+  |}
+
+(** Same alias structure, no actual sharing: the translation must still be
+    correct (schemas only rely on the may-alias structure). *)
+let fortran_alias_example_disjoint () =
+  parse {|
+    mayalias x z
+    mayalias y z
+    x := 1
+    y := 2
+    z := z + x + y
+    x := y + z
+  |}
+
+(** Section 6.3 / Figure 14: stores to distinct array elements in a loop,
+    sequentialized by the naive name-based analysis.
+    {v
+    start: join
+      i := i + 1; x[i] := 1
+      if i < 10 then goto start else goto end
+    v} *)
+let array_store_loop ?(n = 10) () =
+  parse
+    (Fmt.str {|
+      array x[%d]
+      s:
+      i := i + 1
+      x[i] := 1
+      if i < %d goto s
+    |} (n + 1) n)
+
+(** Straight-line program over many independent variables: the Schema 2
+    showcase (all statements overlap). *)
+let independent_straightline ?(k = 8) () =
+  let stmts =
+    List.init k (fun j -> Fmt.str "v%d := v%d + %d" j j (j + 1))
+    |> String.concat "\n"
+  in
+  parse stmts
+
+(** A chain of dependent statements: no schema can parallelize this; used
+    to check that speedups are not inflated. *)
+let dependent_chain ?(k = 8) () =
+  let stmts =
+    List.init k (fun j -> Fmt.str "x := x + %d" (j + 1)) |> String.concat "\n"
+  in
+  parse stmts
+
+(** Unstructured, reducible flow graph with a loop entered only at its
+    header but exited from two places.  Exercises interval analysis beyond
+    structured loops. *)
+let unstructured_example () =
+  parse {|
+    head:
+    i := i + 1
+    if i > 8 goto out
+    y := y + i
+    if y > 20 goto out
+    goto head
+    out:
+    z := y + i
+  |}
+
+(** An irreducible flow graph (two-entry cycle).  Interval analysis must
+    detect and reject it (the paper handles such graphs by code copying,
+    which {!Cfg.Split} implements). *)
+let irreducible_example () =
+  parse {|
+    if x == 0 goto b
+    a:
+    y := y + 1
+    goto c
+    b:
+    y := y + 2
+    c:
+    x := x + 1
+    if x < 4 goto a
+    if x < 6 goto b
+  |}
+
+(** Sum of first [n] integers: classic scalar loop kernel. *)
+let sum_kernel ?(n = 10) () =
+  parse (Fmt.str {|
+    i := 0
+    s := 0
+    while i < %d do
+      s := s + i
+      i := i + 1
+    end
+  |} n)
+
+(** Fibonacci-style two-variable recurrence: a tight dependence cycle. *)
+let fib_kernel ?(n = 10) () =
+  parse
+    (Fmt.str {|
+      a := 0
+      b := 1
+      i := 0
+      while i < %d do
+        t := a + b
+        a := b
+        b := t
+        i := i + 1
+      end
+    |} n)
+
+(** Array reduction: reads are parallelizable (Section 6.2). *)
+let array_sum_kernel ?(n = 8) () =
+  parse
+    (Fmt.str {|
+      array x[%d]
+      i := 0
+      while i < %d do
+        x[i] := i * 2
+        i := i + 1
+      end
+      j := 0
+      s := 0
+      while j < %d do
+        s := s + x[j]
+        j := j + 1
+      end
+    |} n n n)
+
+(** GCD by subtraction: loop with a conditional body. *)
+let gcd_kernel ?(a = 30) ?(b = 42) () =
+  parse
+    (Fmt.str {|
+      x := %d
+      y := %d
+      while x != y do
+        if x > y then
+          x := x - y
+        else
+          y := y - x
+        end
+      end
+    |} a b)
+
+(** Matrix multiply (n x n, flattened row-major): nested loops, affine
+    subscripts with multiplication -- beyond the simple subscript test,
+    so the stores stay serial, but the kernel exercises deep loop nests
+    under every schema. *)
+let matmul_kernel ?(n = 3) () =
+  parse
+    (Fmt.str
+       {|
+      array a[%d]
+      array b[%d]
+      array c[%d]
+      i := 0
+      while i < %d do
+        j := 0
+        while j < %d do
+          a[i * %d + j] := i + j
+          b[i * %d + j] := i - j
+          j := j + 1
+        end
+        i := i + 1
+      end
+      i := 0
+      while i < %d do
+        j := 0
+        while j < %d do
+          k := 0
+          acc := 0
+          while k < %d do
+            acc := acc + a[i * %d + k] * b[k * %d + j]
+            k := k + 1
+          end
+          c[i * %d + j] := acc
+          j := j + 1
+        end
+        i := i + 1
+      end
+    |}
+       (n * n) (n * n) (n * n) n n n n n n n n n n)
+
+(** Bubble sort: data-dependent swaps inside nested loops. *)
+let bubble_sort_kernel ?(n = 5) () =
+  parse
+    (Fmt.str
+       {|
+      array a[%d]
+      i := 0
+      while i < %d do
+        a[i] := (%d - i) * 3 %% 7
+        i := i + 1
+      end
+      i := 0
+      while i < %d do
+        j := 0
+        while j < %d - 1 do
+          if a[j] > a[j + 1] then
+            t := a[j]
+            a[j] := a[j + 1]
+            a[j + 1] := t
+          end
+          j := j + 1
+        end
+        i := i + 1
+      end
+    |}
+       n n n n n)
+
+(** Sieve of Eratosthenes (array of flags). *)
+let sieve_kernel ?(n = 12) () =
+  parse
+    (Fmt.str
+       {|
+      array flag[%d]
+      i := 2
+      while i < %d do
+        if flag[i] == 0 then
+          j := i + i
+          while j < %d do
+            flag[j] := 1
+            j := j + i
+          end
+          primes := primes + 1
+        end
+        i := i + 1
+      end
+    |}
+       n n n)
+
+(** Prefix sums: a loop-carried chain through an array. *)
+let prefix_sum_kernel ?(n = 8) () =
+  parse
+    (Fmt.str
+       {|
+      array a[%d]
+      i := 0
+      while i < %d do
+        a[i] := i * 2 + 1
+        i := i + 1
+      end
+      i := 1
+      while i < %d do
+        a[i] := a[i] + a[i - 1]
+        i := i + 1
+      end
+    |}
+       n n n)
+
+(** A small state machine driven by a multi-way branch (paper,
+    footnote 3): token-style parser counting digit runs. *)
+let state_machine_kernel ?(n = 12) () =
+  parse
+    (Fmt.str
+       {|
+      array input[%d]
+      i := 0
+      while i < %d do
+        input[i] := (i * 7) %% 3
+        i := i + 1
+      end
+      state := 0
+      i := 0
+      while i < %d do
+        sym := input[i]
+        case state * 3 + sym
+        when 0 then state := 0 zeros := zeros + 1
+        when 1 then state := 1
+        when 2 then state := 2
+        when 3 then state := 0 runs := runs + 1
+        when 4 then state := 1 ones := ones + 1
+        when 5 then state := 2
+        when 6 then state := 0 runs := runs + 1
+        when 7 then state := 1
+        else state := 2 twos := twos + 1
+        end
+        i := i + 1
+      end
+    |}
+       n n n)
+
+(** Procedures with by-reference parameters, inlined at lowering time;
+    rotates three variables through a swap helper. *)
+let procedures_example () =
+  parse
+    {|
+    proc swap(p, q)
+      t := p
+      p := q
+      q := t
+    end
+    proc rot3(p, q, r)
+      call swap(p, q)
+      call swap(q, r)
+    end
+    x := 1 y := 2 z := 3
+    call rot3(x, y, z)
+    call rot3(x, y, z)
+  |}
+
+(** The paper's SUBROUTINE F, written as a procedure; call sites induce
+    the Section 5 alias structure (see {!Proc.param_aliases}). *)
+let subroutine_f_example () =
+  parse
+    {|
+    proc f(fx, fy, fz)
+      fx := 1
+      fy := 2
+      fz := fz + fx + fy
+      fx := fy + fz
+    end
+    call f(a, b, a)
+    call f(c, d, d)
+  |}
+
+(** All named examples, for table-driven tests. *)
+let all : (string * (unit -> Ast.program)) list =
+  [
+    ("running_example", running_example);
+    ("running_example_structured", running_example_structured);
+    ("bypass_example", bypass_example);
+    ("nested_bypass_example", nested_bypass_example);
+    ("fortran_alias_example", fortran_alias_example);
+    ("fortran_alias_disjoint", fortran_alias_example_disjoint);
+    ("array_store_loop", fun () -> array_store_loop ());
+    ("independent_straightline", fun () -> independent_straightline ());
+    ("dependent_chain", fun () -> dependent_chain ());
+    ("unstructured_example", unstructured_example);
+    ("sum_kernel", fun () -> sum_kernel ());
+    ("fib_kernel", fun () -> fib_kernel ());
+    ("array_sum_kernel", fun () -> array_sum_kernel ());
+    ("gcd_kernel", fun () -> gcd_kernel ());
+    ("matmul_kernel", fun () -> matmul_kernel ());
+    ("bubble_sort_kernel", fun () -> bubble_sort_kernel ());
+    ("sieve_kernel", fun () -> sieve_kernel ());
+    ("prefix_sum_kernel", fun () -> prefix_sum_kernel ());
+    ("state_machine_kernel", fun () -> state_machine_kernel ());
+    ("procedures_example", procedures_example);
+    ("subroutine_f_example", subroutine_f_example);
+  ]

@@ -1,0 +1,68 @@
+(** The paper's example programs plus classic kernels, as parsed
+    programs.  Each experiment in the benchmark harness references these
+    by name (DESIGN.md, experiment index), and {!all} drives the
+    table-driven differential tests. *)
+
+(** Figure 1: the paper's running example ([l: y:=x+1; x:=x+1;
+    if x<5 goto l]). *)
+val running_example : unit -> Ast.program
+
+(** The same loop in structured form (cross-checks both lowering
+    paths). *)
+val running_example_structured : unit -> Ast.program
+
+(** Figure 9(a): a conditional that never references [x]; [access_x]
+    should bypass it under the optimized schema. *)
+val bypass_example : unit -> Ast.program
+
+(** Nested conditionals neither referencing [x]: switch elimination must
+    cascade (Section 4). *)
+val nested_bypass_example : unit -> Ast.program
+
+(** Section 5's FORTRAN example with real sharing ([equiv x z]). *)
+val fortran_alias_example : unit -> Ast.program
+
+(** Same may-alias structure, no actual sharing. *)
+val fortran_alias_example_disjoint : unit -> Ast.program
+
+(** Section 6.3 / Figure 14: induction-subscripted stores in a loop. *)
+val array_store_loop : ?n:int -> unit -> Ast.program
+
+(** [k] independent statements: the Schema 2 showcase. *)
+val independent_straightline : ?k:int -> unit -> Ast.program
+
+(** A [k]-deep dependence chain: no schema can parallelize it. *)
+val dependent_chain : ?k:int -> unit -> Ast.program
+
+(** A multi-exit goto loop (reducible but unstructured). *)
+val unstructured_example : unit -> Ast.program
+
+(** A two-entry cycle: irreducible; interval analysis rejects it and
+    {!Cfg.Split} copies it reducible. *)
+val irreducible_example : unit -> Ast.program
+
+(** Kernels: sum, Fibonacci recurrence, array init+reduce, GCD, matrix
+    multiply (flattened), bubble sort, sieve, prefix sums. *)
+val sum_kernel : ?n:int -> unit -> Ast.program
+
+val fib_kernel : ?n:int -> unit -> Ast.program
+val array_sum_kernel : ?n:int -> unit -> Ast.program
+val gcd_kernel : ?a:int -> ?b:int -> unit -> Ast.program
+val matmul_kernel : ?n:int -> unit -> Ast.program
+val bubble_sort_kernel : ?n:int -> unit -> Ast.program
+val sieve_kernel : ?n:int -> unit -> Ast.program
+val prefix_sum_kernel : ?n:int -> unit -> Ast.program
+
+(** A state machine driven by a multi-way [case] (footnote 3). *)
+val state_machine_kernel : ?n:int -> unit -> Ast.program
+
+(** Procedures rotated through a swap helper (inlining, by-reference
+    parameters). *)
+val procedures_example : unit -> Ast.program
+
+(** The paper's SUBROUTINE F as a procedure with its two aliasing call
+    sites. *)
+val subroutine_f_example : unit -> Ast.program
+
+(** All named examples, for table-driven tests. *)
+val all : (string * (unit -> Ast.program)) list

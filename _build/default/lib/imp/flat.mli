@@ -1,0 +1,53 @@
+(** Flattened (unstructured) program form — the textual counterpart of
+    the paper's statement-level CFG: assignments, labels (join points),
+    binary branches and gotos.  Structured programs lower here (with
+    procedure calls expanded by inlining); goto programs pass through. *)
+
+type instr =
+  | Assign of Ast.lvalue * Ast.expr
+  | Goto of Ast.label
+  | Branch of Ast.expr * Ast.label * Ast.label
+      (** if predicate then goto first else goto second *)
+  | Label of Ast.label  (** a join point; no computation *)
+
+type t = {
+  arrays : (Ast.var * int) list;
+  equiv : (Ast.var * Ast.var) list;
+  may_alias : (Ast.var * Ast.var) list;
+  code : instr array;
+}
+
+exception Invalid of string
+
+exception Recursive_call of string
+(** Procedures are expanded by inlining; recursion cannot be expanded
+    (also rejected statically by {!Typecheck.check_program}). *)
+
+val pp_instr : Format.formatter -> instr -> unit
+val pp : Format.formatter -> t -> unit
+
+(** [desugar_case t e arms default] — the footnote-3 lowering: bind the
+    scrutinee to temporary [t] and chain binary equality forks.
+    [flatten] names the temporaries [case$1], [case$2], ... locally per
+    call, so repeated flattening is deterministic. *)
+val desugar_case :
+  Ast.var -> Ast.expr -> (int * Ast.stmt) list -> Ast.stmt -> Ast.stmt
+
+(** [flatten p] lowers a structured program, inlining every procedure
+    call with by-reference parameter substitution and per-expansion
+    label freshening.
+    @raise Invalid on undefined procedures or arity mismatches.
+    @raise Recursive_call on (mutually) recursive calls. *)
+val flatten : Ast.program -> t
+
+(** Label -> instruction index. @raise Invalid on duplicates. *)
+val label_table : t -> (Ast.label, int) Hashtbl.t
+
+(** Check that every branch target is defined. @raise Invalid. *)
+val validate : t -> unit
+
+(** All variables mentioned anywhere, sorted. *)
+val vars : t -> Ast.var list
+
+(** Re-embed as a structured-AST program (labels/gotos as statements). *)
+val to_program : t -> Ast.program

@@ -1,0 +1,108 @@
+(** Memory layout: mapping variable names to addresses.
+
+    Run-time aliasing ([equiv] declarations) is realised here, FORTRAN
+    EQUIVALENCE-style: equivalent names are unioned and share a base
+    address; the shared block is as large as the largest member.  The
+    compile-time alias structure (see {!Alias} in the analysis library) is a
+    conservative over-approximation of this layout; translation schemas are
+    correct for {e any} layout consistent with the declared structure. *)
+
+type t = {
+  vars : string array;  (** all program variables, sorted *)
+  base : (string, int) Hashtbl.t;  (** name -> base address *)
+  extent : (string, int) Hashtbl.t;  (** name -> declared extent (1 = scalar) *)
+  words : int;  (** total number of memory cells *)
+}
+
+(* Union-find over variable names, used to group equivalent names. *)
+let rec find parent x =
+  let p = Hashtbl.find parent x in
+  if p = x then x
+  else begin
+    let r = find parent p in
+    Hashtbl.replace parent x r;
+    r
+  end
+
+let union parent a b =
+  let ra = find parent a and rb = find parent b in
+  if ra <> rb then Hashtbl.replace parent ra rb
+
+(** [of_vars ~vars p] computes the layout over an explicit variable set
+    (callers pass the flattened program's variables so lowering
+    temporaries get cells too). *)
+let of_vars ~(vars : string list) (p : Ast.program) : t =
+  let vars = Array.of_list (List.sort_uniq compare vars) in
+  let parent = Hashtbl.create 16 in
+  Array.iter (fun x -> Hashtbl.replace parent x x) vars;
+  List.iter
+    (fun (a, b) ->
+      if Hashtbl.mem parent a && Hashtbl.mem parent b then union parent a b)
+    p.equiv;
+  let extent = Hashtbl.create 16 in
+  Array.iter
+    (fun x ->
+      let e = if Ast.is_array p x then Ast.array_size p x else 1 in
+      if e < 1 then invalid_arg (Fmt.str "array %s has extent %d" x e);
+      Hashtbl.replace extent x e)
+    vars;
+  (* Block extent of a class = max extent of its members. *)
+  let class_extent = Hashtbl.create 16 in
+  Array.iter
+    (fun x ->
+      let r = find parent x in
+      let cur = try Hashtbl.find class_extent r with Not_found -> 0 in
+      Hashtbl.replace class_extent r (max cur (Hashtbl.find extent x)))
+    vars;
+  let base = Hashtbl.create 16 in
+  let next = ref 0 in
+  let class_base = Hashtbl.create 16 in
+  Array.iter
+    (fun x ->
+      let r = find parent x in
+      let b =
+        match Hashtbl.find_opt class_base r with
+        | Some b -> b
+        | None ->
+            let b = !next in
+            next := b + Hashtbl.find class_extent r;
+            Hashtbl.replace class_base r b;
+            b
+      in
+      Hashtbl.replace base x b)
+    vars;
+  { vars; base; extent; words = !next }
+
+(** [of_program p] computes the layout of [p]: every equivalence class of
+    [p.equiv] is assigned one block of cells, all other variables get
+    private cells; the variable set is taken from the {e flattened}
+    program, so procedure locals and case-lowering temporaries are
+    included.  All cells start at 0. *)
+let of_program (p : Ast.program) : t =
+  of_vars ~vars:(Flat.vars (Flat.flatten p)) p
+
+(** [base_of t x] is the address of the first cell of [x]. *)
+let base_of (t : t) (x : string) : int =
+  match Hashtbl.find_opt t.base x with
+  | Some b -> b
+  | None -> invalid_arg ("Layout.base_of: unknown variable " ^ x)
+
+(** [extent_of t x] is the number of cells of [x] (1 for scalars). *)
+let extent_of (t : t) (x : string) : int =
+  match Hashtbl.find_opt t.extent x with
+  | Some e -> e
+  | None -> invalid_arg ("Layout.extent_of: unknown variable " ^ x)
+
+(** [addr t x i] is the address of element [i] of [x].  Indices are reduced
+    into range by a non-negative modulo of the extent, the language's total
+    indexing rule. *)
+let addr (t : t) (x : string) (i : int) : int =
+  let e = extent_of t x in
+  let i = ((i mod e) + e) mod e in
+  base_of t x + i
+
+(** [shares_storage t x y] holds iff [x] and [y] overlap in memory. *)
+let shares_storage (t : t) (x : string) (y : string) : bool =
+  let bx = base_of t x and by = base_of t y in
+  let ex = extent_of t x and ey = extent_of t y in
+  bx < by + ey && by < bx + ex

@@ -1,0 +1,29 @@
+(** Memory layout: variable names to addresses.  Run-time aliasing
+    ([equiv] declarations) is realised FORTRAN-EQUIVALENCE-style:
+    equivalent names are unioned onto one block as large as the largest
+    member.  The compile-time alias structure over-approximates this;
+    translation schemas are correct for any layout consistent with it. *)
+
+type t = {
+  vars : string array;  (** all program variables, sorted *)
+  base : (string, int) Hashtbl.t;
+  extent : (string, int) Hashtbl.t;  (** 1 = scalar *)
+  words : int;  (** total number of memory cells *)
+}
+
+(** Layout of a program: one block per equivalence class, private cells
+    otherwise. *)
+val of_program : Ast.program -> t
+
+(** Address of the first cell of a variable. *)
+val base_of : t -> string -> int
+
+(** Number of cells (1 for scalars). *)
+val extent_of : t -> string -> int
+
+(** [addr t x i] — address of element [i]; indices reduce modulo the
+    extent (the language's total indexing rule). *)
+val addr : t -> string -> int -> int
+
+(** Do two names overlap in memory? *)
+val shares_storage : t -> string -> string -> bool

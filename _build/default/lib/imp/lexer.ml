@@ -1,0 +1,192 @@
+(** Hand-written lexer for IMP concrete syntax. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | ARRAY
+  | EQUIV
+  | MAYALIAS
+  | SKIP
+  | IF
+  | THEN
+  | ELSE
+  | END
+  | WHILE
+  | DO
+  | GOTO
+  | PROC
+  | CALL
+  | CASE
+  | WHEN
+  | COMMA
+  | TRUE
+  | FALSE
+  | NOT
+  | AND
+  | OR
+  | ASSIGN  (** [:=] *)
+  | COLON
+  | SEMI
+  | LBRACK
+  | RBRACK
+  | LPAREN
+  | RPAREN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQEQ
+  | NE
+  | EOF
+
+exception Error of string * int  (** message, character offset *)
+
+let token_to_string = function
+  | IDENT s -> Fmt.str "identifier %S" s
+  | INT n -> Fmt.str "integer %d" n
+  | ARRAY -> "'array'"
+  | EQUIV -> "'equiv'"
+  | MAYALIAS -> "'mayalias'"
+  | SKIP -> "'skip'"
+  | IF -> "'if'"
+  | THEN -> "'then'"
+  | ELSE -> "'else'"
+  | END -> "'end'"
+  | WHILE -> "'while'"
+  | DO -> "'do'"
+  | GOTO -> "'goto'"
+  | PROC -> "'proc'"
+  | CALL -> "'call'"
+  | CASE -> "'case'"
+  | WHEN -> "'when'"
+  | COMMA -> "','"
+  | TRUE -> "'true'"
+  | FALSE -> "'false'"
+  | NOT -> "'not'"
+  | AND -> "'and'"
+  | OR -> "'or'"
+  | ASSIGN -> "':='"
+  | COLON -> "':'"
+  | SEMI -> "';'"
+  | LBRACK -> "'['"
+  | RBRACK -> "']'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | SLASH -> "'/'"
+  | PERCENT -> "'%'"
+  | LT -> "'<'"
+  | LE -> "'<='"
+  | GT -> "'>'"
+  | GE -> "'>='"
+  | EQEQ -> "'=='"
+  | NE -> "'!='"
+  | EOF -> "end of input"
+
+let keyword_of_string = function
+  | "array" -> Some ARRAY
+  | "equiv" -> Some EQUIV
+  | "mayalias" -> Some MAYALIAS
+  | "skip" -> Some SKIP
+  | "if" -> Some IF
+  | "then" -> Some THEN
+  | "else" -> Some ELSE
+  | "end" -> Some END
+  | "while" -> Some WHILE
+  | "do" -> Some DO
+  | "goto" -> Some GOTO
+  | "proc" -> Some PROC
+  | "call" -> Some CALL
+  | "case" -> Some CASE
+  | "when" -> Some WHEN
+  | "true" -> Some TRUE
+  | "false" -> Some FALSE
+  | "not" -> Some NOT
+  | "and" -> Some AND
+  | "or" -> Some OR
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+(** [tokenize s] lexes the whole input, producing tokens paired with their
+    start offsets; the list always ends with [EOF].  Comments run from ['#']
+    to end of line.
+    @raise Error on an unexpected character. *)
+let tokenize (s : string) : (token * int) list =
+  let n = String.length s in
+  let out = ref [] in
+  let emit pos tok = out := (tok, pos) :: !out in
+  let rec go i =
+    if i >= n then emit i EOF
+    else
+      let c = s.[i] in
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then go (i + 1)
+      else if c = '#' then
+        let rec skip j = if j < n && s.[j] <> '\n' then skip (j + 1) else j in
+        go (skip i)
+      else if is_ident_start c then begin
+        let rec scan j = if j < n && is_ident_char s.[j] then scan (j + 1) else j in
+        let j = scan i in
+        let word = String.sub s i (j - i) in
+        (match keyword_of_string word with
+        | Some kw -> emit i kw
+        | None -> emit i (IDENT word));
+        go j
+      end
+      else if is_digit c then begin
+        let rec scan j = if j < n && is_digit s.[j] then scan (j + 1) else j in
+        let j = scan i in
+        emit i (INT (int_of_string (String.sub s i (j - i))));
+        go j
+      end
+      else
+        let two = if i + 1 < n then String.sub s i 2 else "" in
+        match two with
+        | ":=" ->
+            emit i ASSIGN;
+            go (i + 2)
+        | "<=" ->
+            emit i LE;
+            go (i + 2)
+        | ">=" ->
+            emit i GE;
+            go (i + 2)
+        | "==" ->
+            emit i EQEQ;
+            go (i + 2)
+        | "!=" ->
+            emit i NE;
+            go (i + 2)
+        | _ -> (
+            let one tok =
+              emit i tok;
+              go (i + 1)
+            in
+            match c with
+            | ':' -> one COLON
+            | ';' -> one SEMI
+            | ',' -> one COMMA
+            | '[' -> one LBRACK
+            | ']' -> one RBRACK
+            | '(' -> one LPAREN
+            | ')' -> one RPAREN
+            | '+' -> one PLUS
+            | '-' -> one MINUS
+            | '*' -> one STAR
+            | '/' -> one SLASH
+            | '%' -> one PERCENT
+            | '<' -> one LT
+            | '>' -> one GT
+            | _ -> raise (Error (Fmt.str "unexpected character %C" c, i)))
+  in
+  go 0;
+  List.rev !out

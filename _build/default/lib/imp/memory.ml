@@ -1,0 +1,68 @@
+(** A flat, multiply-writable store of integer cells.
+
+    This is the {e imperative} memory the paper insists dataflow execution
+    must support (Section 2.2): locations can be written any number of
+    times, so the result of a read depends on operation order.  Both the
+    reference interpreters and the dataflow machine operate on this exact
+    structure (the machine adds latency and split-phase access on top), so
+    final stores are directly comparable in differential tests. *)
+
+type t = {
+  layout : Layout.t;
+  cells : int array;
+}
+
+(** [create layout] is a zero-initialised memory for [layout]. *)
+let create (layout : Layout.t) : t =
+  { layout; cells = Array.make (max 1 layout.Layout.words) 0 }
+
+let copy (t : t) : t = { t with cells = Array.copy t.cells }
+
+(** [read_addr t a] reads cell [a] directly. *)
+let read_addr (t : t) (a : int) : int = t.cells.(a)
+
+(** [write_addr t a v] writes cell [a] directly. *)
+let write_addr (t : t) (a : int) (v : int) : unit = t.cells.(a) <- v
+
+(** [read t x i] reads element [i] of variable [x] (scalars: [i = 0]). *)
+let read (t : t) (x : string) (i : int) : int =
+  t.cells.(Layout.addr t.layout x i)
+
+(** [write t x i v] writes element [i] of variable [x]. *)
+let write (t : t) (x : string) (i : int) (v : int) : unit =
+  t.cells.(Layout.addr t.layout x i) <- v
+
+(** [equal a b] compares cell contents (layouts must match in shape). *)
+let equal (a : t) (b : t) : bool = a.cells = b.cells
+
+(** [equal_observable a b] compares only source-level variables --
+    compiler-introduced temporaries (names containing ['$'], e.g. the
+    case-lowering scrutinee bindings) are ignored.  Used when comparing
+    interpreters that lower differently. *)
+let equal_observable (a : t) (b : t) : bool =
+  Array.for_all
+    (fun x ->
+      String.contains x '$'
+      ||
+      let e = Layout.extent_of a.layout x in
+      let rec eq i = i >= e || (read a x i = read b x i && eq (i + 1)) in
+      eq 0)
+    a.layout.Layout.vars
+
+(** [dump t] lists every cell as [(address, value)]; for error messages. *)
+let dump (t : t) : (int * int) list =
+  Array.to_list (Array.mapi (fun i v -> (i, v)) t.cells)
+
+(** [dump_vars t] lists [(variable, index, value)] for every element of
+    every variable, the human-readable view of the final store. *)
+let dump_vars (t : t) : (string * int * int) list =
+  Array.to_list t.layout.Layout.vars
+  |> List.concat_map (fun x ->
+         List.init (Layout.extent_of t.layout x) (fun i -> (x, i, read t x i)))
+
+let pp ppf (t : t) =
+  Fmt.pf ppf "@[<v>%a@]"
+    (Fmt.list (fun ppf (x, i, v) ->
+         if Layout.extent_of t.layout x = 1 then Fmt.pf ppf "%s = %d" x v
+         else Fmt.pf ppf "%s[%d] = %d" x i v))
+    (dump_vars t)

@@ -1,0 +1,33 @@
+(** A flat, multiply-writable store of integer cells — the imperative
+    memory the paper insists dataflow execution must support (Section
+    2.2).  The reference interpreters and the dataflow machine operate
+    on this same structure, so final stores are directly comparable. *)
+
+type t = {
+  layout : Layout.t;
+  cells : int array;
+}
+
+(** Zero-initialised memory for a layout. *)
+val create : Layout.t -> t
+
+val copy : t -> t
+val read_addr : t -> int -> int
+val write_addr : t -> int -> int -> unit
+
+(** [read t x i] — element [i] of variable [x] (scalars: [i = 0]). *)
+val read : t -> string -> int -> int
+
+val write : t -> string -> int -> int -> unit
+
+(** Cell-content equality. *)
+val equal : t -> t -> bool
+
+(** Equality over source-level variables only: compiler temporaries
+    (names containing ['$']) are ignored.  For comparing interpreters
+    that lower differently. *)
+val equal_observable : t -> t -> bool
+
+val dump : t -> (int * int) list
+val dump_vars : t -> (string * int * int) list
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,388 @@
+(** Recursive-descent parser for IMP concrete syntax.
+
+    Grammar (semicolons between statements are optional; ['#'] starts a
+    line comment):
+    {v
+    program  ::= decl* stmts EOF
+    decl     ::= "array" ident "[" int "]" [";"]
+               | "equiv" ident ident [";"]
+               | "mayalias" ident ident [";"]
+    stmts    ::= (stmt [";"])*
+    stmt     ::= "skip"
+               | ident ":=" expr
+               | ident "[" expr "]" ":=" expr
+               | ident ":"                      (label definition)
+               | "goto" ident
+               | "if" expr "goto" ident
+               | "if" expr "then" stmts ["else" stmts] "end"
+               | "while" expr "do" stmts "end"
+    expr     ::= or-expr with usual precedence:
+                 or < and < comparisons < +,- < *,/,% < unary
+    atom     ::= int | "true" | "false" | ident | ident "[" expr "]"
+               | "(" expr ")"
+    v} *)
+
+exception Error of string
+
+type state = {
+  mutable toks : (Lexer.token * int) list;
+  input : string;
+}
+
+let line_of (input : string) (pos : int) : int =
+  let line = ref 1 in
+  String.iteri (fun i c -> if i < pos && c = '\n' then incr line) input;
+  !line
+
+let fail st msg =
+  let pos = match st.toks with (_, p) :: _ -> p | [] -> 0 in
+  raise (Error (Fmt.str "line %d: %s" (line_of st.input pos) msg))
+
+let peek st = match st.toks with (t, _) :: _ -> t | [] -> Lexer.EOF
+
+let advance st =
+  match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let expect st tok =
+  if peek st = tok then advance st
+  else
+    fail st
+      (Fmt.str "expected %s, found %s"
+         (Lexer.token_to_string tok)
+         (Lexer.token_to_string (peek st)))
+
+let ident st =
+  match peek st with
+  | Lexer.IDENT x ->
+      advance st;
+      x
+  | t -> fail st (Fmt.str "expected identifier, found %s" (Lexer.token_to_string t))
+
+let integer st =
+  match peek st with
+  | Lexer.INT n ->
+      advance st;
+      n
+  | t -> fail st (Fmt.str "expected integer, found %s" (Lexer.token_to_string t))
+
+(* --- expressions --------------------------------------------------- *)
+
+let rec expr st : Ast.expr = or_expr st
+
+and or_expr st =
+  let rec loop acc =
+    if peek st = Lexer.OR then begin
+      advance st;
+      loop (Ast.Binop (Ast.Or, acc, and_expr st))
+    end
+    else acc
+  in
+  loop (and_expr st)
+
+and and_expr st =
+  let rec loop acc =
+    if peek st = Lexer.AND then begin
+      advance st;
+      loop (Ast.Binop (Ast.And, acc, cmp_expr st))
+    end
+    else acc
+  in
+  loop (cmp_expr st)
+
+and cmp_expr st =
+  let lhs = add_expr st in
+  let op =
+    match peek st with
+    | Lexer.LT -> Some Ast.Lt
+    | Lexer.LE -> Some Ast.Le
+    | Lexer.GT -> Some Ast.Gt
+    | Lexer.GE -> Some Ast.Ge
+    | Lexer.EQEQ -> Some Ast.Eq
+    | Lexer.NE -> Some Ast.Ne
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+      advance st;
+      Ast.Binop (op, lhs, add_expr st)
+
+and add_expr st =
+  let rec loop acc =
+    match peek st with
+    | Lexer.PLUS ->
+        advance st;
+        loop (Ast.Binop (Ast.Add, acc, mul_expr st))
+    | Lexer.MINUS ->
+        advance st;
+        loop (Ast.Binop (Ast.Sub, acc, mul_expr st))
+    | _ -> acc
+  in
+  loop (mul_expr st)
+
+and mul_expr st =
+  let rec loop acc =
+    match peek st with
+    | Lexer.STAR ->
+        advance st;
+        loop (Ast.Binop (Ast.Mul, acc, unary_expr st))
+    | Lexer.SLASH ->
+        advance st;
+        loop (Ast.Binop (Ast.Div, acc, unary_expr st))
+    | Lexer.PERCENT ->
+        advance st;
+        loop (Ast.Binop (Ast.Mod, acc, unary_expr st))
+    | _ -> acc
+  in
+  loop (unary_expr st)
+
+and unary_expr st =
+  match peek st with
+  | Lexer.MINUS ->
+      advance st;
+      Ast.Unop (Ast.Neg, unary_expr st)
+  | Lexer.NOT ->
+      advance st;
+      Ast.Unop (Ast.Not, unary_expr st)
+  | _ -> atom st
+
+and atom st =
+  match peek st with
+  | Lexer.INT n ->
+      advance st;
+      Ast.Int n
+  | Lexer.TRUE ->
+      advance st;
+      Ast.Bool true
+  | Lexer.FALSE ->
+      advance st;
+      Ast.Bool false
+  | Lexer.LPAREN ->
+      advance st;
+      let e = expr st in
+      expect st Lexer.RPAREN;
+      e
+  | Lexer.IDENT x ->
+      advance st;
+      if peek st = Lexer.LBRACK then begin
+        advance st;
+        let e = expr st in
+        expect st Lexer.RBRACK;
+        Ast.Index (x, e)
+      end
+      else Ast.Var x
+  | t -> fail st (Fmt.str "expected expression, found %s" (Lexer.token_to_string t))
+
+(* --- statements ---------------------------------------------------- *)
+
+let rec stmt st : Ast.stmt =
+  match peek st with
+  | Lexer.SKIP ->
+      advance st;
+      Ast.Skip
+  | Lexer.GOTO ->
+      advance st;
+      Ast.Goto (ident st)
+  | Lexer.IF ->
+      advance st;
+      let p = expr st in
+      (match peek st with
+      | Lexer.GOTO ->
+          advance st;
+          Ast.Cond_goto (p, ident st)
+      | Lexer.THEN ->
+          advance st;
+          let then_branch = stmts st in
+          let else_branch =
+            if peek st = Lexer.ELSE then begin
+              advance st;
+              stmts st
+            end
+            else Ast.Skip
+          in
+          expect st Lexer.END;
+          Ast.If (p, then_branch, else_branch)
+      | t ->
+          fail st
+            (Fmt.str "expected 'then' or 'goto' after condition, found %s"
+               (Lexer.token_to_string t)))
+  | Lexer.WHILE ->
+      advance st;
+      let p = expr st in
+      expect st Lexer.DO;
+      let body = stmts st in
+      expect st Lexer.END;
+      Ast.While (p, body)
+  | Lexer.CASE ->
+      advance st;
+      let scrutinee = expr st in
+      let rec arms acc =
+        if peek st = Lexer.WHEN then begin
+          advance st;
+          let k =
+            match peek st with
+            | Lexer.MINUS ->
+                advance st;
+                -integer st
+            | _ -> integer st
+          in
+          expect st Lexer.THEN;
+          let s = stmts st in
+          arms ((k, s) :: acc)
+        end
+        else List.rev acc
+      in
+      let arms = arms [] in
+      let default =
+        if peek st = Lexer.ELSE then begin
+          advance st;
+          stmts st
+        end
+        else Ast.Skip
+      in
+      expect st Lexer.END;
+      Ast.Case (scrutinee, arms, default)
+  | Lexer.CALL ->
+      advance st;
+      let f = ident st in
+      expect st Lexer.LPAREN;
+      let rec args acc =
+        if peek st = Lexer.RPAREN then List.rev acc
+        else begin
+          let a = ident st in
+          if peek st = Lexer.COMMA then advance st;
+          args (a :: acc)
+        end
+      in
+      let a = args [] in
+      expect st Lexer.RPAREN;
+      Ast.Call (f, a)
+  | Lexer.IDENT x -> (
+      advance st;
+      match peek st with
+      | Lexer.COLON ->
+          advance st;
+          Ast.Label x
+      | Lexer.ASSIGN ->
+          advance st;
+          Ast.Assign (Ast.Lvar x, expr st)
+      | Lexer.LBRACK ->
+          advance st;
+          let idx = expr st in
+          expect st Lexer.RBRACK;
+          expect st Lexer.ASSIGN;
+          Ast.Assign (Ast.Lindex (x, idx), expr st)
+      | t ->
+          fail st
+            (Fmt.str "expected ':=', '[' or ':' after %s, found %s" x
+               (Lexer.token_to_string t)))
+  | t -> fail st (Fmt.str "expected statement, found %s" (Lexer.token_to_string t))
+
+(* A statement list runs until ELSE/END/EOF; semicolons are skipped. *)
+and stmts st : Ast.stmt =
+  let rec loop acc =
+    while peek st = Lexer.SEMI do
+      advance st
+    done;
+    match peek st with
+    | Lexer.ELSE | Lexer.END | Lexer.EOF | Lexer.WHEN -> Ast.seq (List.rev acc)
+    | _ -> loop (stmt st :: acc)
+  in
+  loop []
+
+let rec parse_proc st : Ast.proc =
+  expect st Lexer.PROC;
+  let pname = ident st in
+  expect st Lexer.LPAREN;
+  let rec params acc =
+    if peek st = Lexer.RPAREN then List.rev acc
+    else begin
+      let x = ident st in
+      if peek st = Lexer.COMMA then advance st;
+      params (x :: acc)
+    end
+  in
+  let params = params [] in
+  expect st Lexer.RPAREN;
+  let pbody = stmts st in
+  expect st Lexer.END;
+  { Ast.pname; params; pbody }
+
+and decls st =
+  let arrays = ref [] and equiv = ref [] and may_alias = ref [] in
+  let procs = ref [] in
+  let rec loop () =
+    (match peek st with
+    | Lexer.PROC ->
+        procs := parse_proc st :: !procs;
+        continue ()
+    | Lexer.ARRAY ->
+        advance st;
+        let x = ident st in
+        expect st Lexer.LBRACK;
+        let n = integer st in
+        expect st Lexer.RBRACK;
+        arrays := (x, n) :: !arrays;
+        continue ()
+    | Lexer.EQUIV ->
+        advance st;
+        let a = ident st in
+        let b = ident st in
+        equiv := (a, b) :: !equiv;
+        continue ()
+    | Lexer.MAYALIAS ->
+        advance st;
+        let a = ident st in
+        let b = ident st in
+        may_alias := (a, b) :: !may_alias;
+        continue ()
+    | _ -> ())
+  and continue () =
+    while peek st = Lexer.SEMI do
+      advance st
+    done;
+    loop ()
+  in
+  while peek st = Lexer.SEMI do
+    advance st
+  done;
+  loop ();
+  (List.rev !arrays, List.rev !equiv, List.rev !may_alias, List.rev !procs)
+
+(** [program_of_string src] parses and type-checks a complete program.
+    @raise Error on a syntax error.
+    @raise Typecheck.Error on a type error. *)
+let program_of_string (src : string) : Ast.program =
+  let toks =
+    try Lexer.tokenize src
+    with Lexer.Error (msg, pos) ->
+      raise (Error (Fmt.str "line %d: %s" (line_of src pos) msg))
+  in
+  let st = { toks; input = src } in
+  let arrays, equiv, may_alias, procs = decls st in
+  let body = stmts st in
+  expect st Lexer.EOF;
+  let p = { Ast.arrays; equiv; may_alias; procs; body } in
+  Typecheck.check_program p;
+  p
+
+(** [expr_of_string src] parses a single expression (for tests and the
+    CLI). *)
+let expr_of_string (src : string) : Ast.expr =
+  let toks =
+    try Lexer.tokenize src
+    with Lexer.Error (msg, pos) ->
+      raise (Error (Fmt.str "line %d: %s" (line_of src pos) msg))
+  in
+  let st = { toks; input = src } in
+  let e = expr st in
+  expect st Lexer.EOF;
+  e
+
+(** [flat_of_string src] parses a program and lowers it to flat form,
+    validating labels. *)
+let flat_of_string (src : string) : Flat.t =
+  let p = program_of_string src in
+  let f = Flat.flatten p in
+  Flat.validate f;
+  f

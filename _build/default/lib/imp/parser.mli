@@ -1,0 +1,25 @@
+(** Recursive-descent parser for IMP concrete syntax.
+
+    Grammar sketch (semicolons optional; ['#'] starts a line comment):
+    {v
+    program  ::= decl* stmts
+    decl     ::= "array" id "[" int "]" | "equiv" id id | "mayalias" id id
+    stmt     ::= "skip" | id ":=" expr | id "[" expr "]" ":=" expr
+               | id ":" | "goto" id | "if" expr "goto" id
+               | "if" expr "then" stmts ["else" stmts] "end"
+               | "while" expr "do" stmts "end"
+    expr     ::= usual precedence: or < and < comparisons < +,- < *,/,%
+    v} *)
+
+exception Error of string
+
+(** Parse and type-check a complete program.
+    @raise Error on a syntax error.
+    @raise Typecheck.Error on a type error. *)
+val program_of_string : string -> Ast.program
+
+(** Parse a single expression. *)
+val expr_of_string : string -> Ast.expr
+
+(** Parse, lower to flat form, validate labels. *)
+val flat_of_string : string -> Flat.t

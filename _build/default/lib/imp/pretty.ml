@@ -1,0 +1,93 @@
+(** Pretty-printing of IMP programs.
+
+    The output is valid concrete syntax: [Parser.program_of_string] parses
+    everything this module prints (round-trip tested). *)
+
+let binop_string : Ast.binop -> string = function
+  | Ast.Add -> "+"
+  | Ast.Sub -> "-"
+  | Ast.Mul -> "*"
+  | Ast.Div -> "/"
+  | Ast.Mod -> "%"
+  | Ast.Lt -> "<"
+  | Ast.Le -> "<="
+  | Ast.Gt -> ">"
+  | Ast.Ge -> ">="
+  | Ast.Eq -> "=="
+  | Ast.Ne -> "!="
+  | Ast.And -> "and"
+  | Ast.Or -> "or"
+
+(* Operator precedence, mirroring the parser: higher binds tighter. *)
+let binop_prec : Ast.binop -> int = function
+  | Ast.Or -> 1
+  | Ast.And -> 2
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne -> 3
+  | Ast.Add | Ast.Sub -> 4
+  | Ast.Mul | Ast.Div | Ast.Mod -> 5
+
+let rec pp_expr_prec (prec : int) ppf (e : Ast.expr) =
+  match e with
+  | Ast.Int n -> if n < 0 then Fmt.pf ppf "(%d)" n else Fmt.int ppf n
+  | Ast.Bool b -> Fmt.bool ppf b
+  | Ast.Var x -> Fmt.string ppf x
+  | Ast.Index (x, e1) -> Fmt.pf ppf "%s[%a]" x (pp_expr_prec 0) e1
+  | Ast.Binop (op, a, b) ->
+      let p = binop_prec op in
+      let body ppf () =
+        (* left-associative: right child needs strictly higher precedence *)
+        Fmt.pf ppf "%a %s %a" (pp_expr_prec p) a (binop_string op)
+          (pp_expr_prec (p + 1)) b
+      in
+      if p < prec then Fmt.pf ppf "(%a)" body () else body ppf ()
+  | Ast.Unop (Ast.Neg, a) -> Fmt.pf ppf "(-%a)" (pp_expr_prec 6) a
+  | Ast.Unop (Ast.Not, a) -> Fmt.pf ppf "(not %a)" (pp_expr_prec 6) a
+
+(** Print an expression with minimal parentheses. *)
+let pp_expr ppf e = pp_expr_prec 0 ppf e
+
+let pp_lvalue ppf = function
+  | Ast.Lvar x -> Fmt.string ppf x
+  | Ast.Lindex (x, e) -> Fmt.pf ppf "%s[%a]" x pp_expr e
+
+let rec pp_stmt ppf (s : Ast.stmt) =
+  match s with
+  | Ast.Skip -> Fmt.string ppf "skip"
+  | Ast.Assign (lv, e) -> Fmt.pf ppf "%a := %a" pp_lvalue lv pp_expr e
+  | Ast.Seq (a, b) -> Fmt.pf ppf "%a;@ %a" pp_stmt a pp_stmt b
+  | Ast.If (e, a, Ast.Skip) ->
+      Fmt.pf ppf "@[<v 2>if %a then@ %a@]@ end" pp_expr e pp_stmt a
+  | Ast.If (e, a, b) ->
+      Fmt.pf ppf "@[<v 2>if %a then@ %a@]@ @[<v 2>else@ %a@]@ end" pp_expr e
+        pp_stmt a pp_stmt b
+  | Ast.While (e, a) ->
+      Fmt.pf ppf "@[<v 2>while %a do@ %a@]@ end" pp_expr e pp_stmt a
+  | Ast.Label l -> Fmt.pf ppf "%s:" l
+  | Ast.Goto l -> Fmt.pf ppf "goto %s" l
+  | Ast.Cond_goto (e, l) -> Fmt.pf ppf "if %a goto %s" pp_expr e l
+  | Ast.Call (f, args) ->
+      Fmt.pf ppf "call %s(%a)" f (Fmt.list ~sep:(Fmt.any ", ") Fmt.string) args
+  | Ast.Case (e, arms, default) ->
+      Fmt.pf ppf "@[<v 2>case %a@ %a@ @[<v 2>else@ %a@]@]@ end" pp_expr e
+        (Fmt.list ~sep:Fmt.cut (fun ppf (k, s) ->
+             Fmt.pf ppf "@[<v 2>when %d then@ %a@]" k pp_stmt s))
+        arms pp_stmt default
+
+let pp_decls ppf (p : Ast.program) =
+  List.iter (fun (x, n) -> Fmt.pf ppf "array %s[%d];@ " x n) p.Ast.arrays;
+  List.iter (fun (a, b) -> Fmt.pf ppf "equiv %s %s;@ " a b) p.Ast.equiv;
+  List.iter (fun (a, b) -> Fmt.pf ppf "mayalias %s %s;@ " a b) p.Ast.may_alias;
+  List.iter
+    (fun (pr : Ast.proc) ->
+      Fmt.pf ppf "@[<v 2>proc %s(%a)@ %a@]@ end@ " pr.Ast.pname
+        (Fmt.list ~sep:(Fmt.any ", ") Fmt.string)
+        pr.Ast.params pp_stmt pr.Ast.pbody)
+    p.Ast.procs
+
+(** Print a complete program (declarations then body). *)
+let pp_program ppf (p : Ast.program) =
+  Fmt.pf ppf "@[<v>%a%a@]" pp_decls p pp_stmt p.Ast.body
+
+let expr_to_string e = Fmt.str "%a" pp_expr e
+let stmt_to_string s = Fmt.str "@[<v>%a@]" pp_stmt s
+let program_to_string p = Fmt.str "%a" pp_program p

@@ -1,0 +1,12 @@
+(** Pretty-printing of IMP programs.  The output is valid concrete
+    syntax: {!Parser.program_of_string} parses everything printed here
+    (round-trip tested). *)
+
+val binop_string : Ast.binop -> string
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_lvalue : Format.formatter -> Ast.lvalue -> unit
+val pp_stmt : Format.formatter -> Ast.stmt -> unit
+val pp_program : Format.formatter -> Ast.program -> unit
+val expr_to_string : Ast.expr -> string
+val stmt_to_string : Ast.stmt -> string
+val program_to_string : Ast.program -> string

@@ -1,0 +1,113 @@
+(** Procedure-level aliasing analysis (paper, Section 5).
+
+    The paper's alias structures originate in FORTRAN reference
+    parameters: SUBROUTINE F(X,Y,Z) called as F(A,B,A) and F(C,D,D)
+    makes X~Z and Y~Z possible but never X~Y.  This module derives that
+    structure from a procedure's call sites, and can also
+    {e instantiate} a procedure at one call site as a standalone program
+    whose [equiv] declarations realise exactly that call's actual
+    sharing.
+
+    Together these support the separate-compilation scenario the paper
+    is about: compile the procedure body {e once} against the derived
+    may-alias structure (Schema 3), then execute that single dataflow
+    graph against each call site's memory layout.  The test suite checks
+    that the one graph reproduces the reference semantics at every call
+    site. *)
+
+(** [find p f] — the procedure named [f].
+    @raise Not_found if undefined. *)
+let find (p : Ast.program) (f : string) : Ast.proc =
+  match List.find_opt (fun pr -> pr.Ast.pname = f) p.Ast.procs with
+  | Some pr -> pr
+  | None -> raise Not_found
+
+(** [call_sites p f] — the argument vectors of every (transitively
+    reachable) call of [f] in the program body and procedure bodies. *)
+let call_sites (p : Ast.program) (f : string) : Ast.var list list =
+  let rec of_stmt acc = function
+    | Ast.Call (g, args) when g = f -> args :: acc
+    | Ast.Call _ | Ast.Skip | Ast.Assign _ | Ast.Label _ | Ast.Goto _
+    | Ast.Cond_goto _ ->
+        acc
+    | Ast.Seq (a, b) -> of_stmt (of_stmt acc a) b
+    | Ast.If (_, a, b) -> of_stmt (of_stmt acc a) b
+    | Ast.While (_, a) -> of_stmt acc a
+    | Ast.Case (_, arms, default) ->
+        List.fold_left
+          (fun acc (_, s') -> of_stmt acc s')
+          (of_stmt acc default) arms
+  in
+  let in_body = of_stmt [] p.Ast.body in
+  List.fold_left
+    (fun acc pr -> of_stmt acc pr.Ast.pbody)
+    in_body p.Ast.procs
+  |> List.rev
+
+(** [param_aliases p f] — may-alias pairs among [f]'s parameters, derived
+    from its call sites: parameters [i] and [j] may alias iff some call
+    passes the same variable (or two [equiv]-related variables) for
+    both.  This is precisely how the paper's Section 5 example obtains
+    [X]~[Z] and [Y]~[Z] without [X]~[Y]. *)
+let param_aliases (p : Ast.program) (f : string) : (string * string) list =
+  let proc = find p f in
+  let layout = Layout.of_program p in
+  let related a b =
+    (* actual sharing between argument names: equality or transitive
+       equiv (arguments that the program never otherwise references have
+       no cells yet; only name equality can relate them) *)
+    a = b
+    || Hashtbl.mem layout.Layout.base a
+       && Hashtbl.mem layout.Layout.base b
+       && Layout.shares_storage layout a b
+  in
+  let pairs = ref [] in
+  List.iter
+    (fun args ->
+      if List.length args = List.length proc.Ast.params then
+        List.iteri
+          (fun i xi ->
+            List.iteri
+              (fun j xj ->
+                if i < j && related (List.nth args i) (List.nth args j) then begin
+                  let pair = (xi, xj) in
+                  if not (List.mem pair !pairs) then pairs := pair :: !pairs
+                end
+                else ignore xj)
+              proc.Ast.params)
+          proc.Ast.params)
+    (call_sites p f);
+  List.rev !pairs
+
+(** [standalone p f] — the procedure body as a compilable program: the
+    parameters become free variables carrying the derived may-alias
+    structure.  This is the "compile once" artefact of separate
+    compilation; its dataflow graph must be correct for {e every} call
+    site. *)
+let standalone (p : Ast.program) (f : string) : Ast.program =
+  let proc = find p f in
+  {
+    Ast.arrays = p.Ast.arrays;
+    equiv = [];
+    may_alias = p.Ast.may_alias @ param_aliases p f;
+    procs = [];
+    body = proc.Ast.pbody;
+  }
+
+(** [instantiate p f args] — the procedure body as a program whose
+    [equiv] declarations bind each parameter to its argument by
+    reference (repeated arguments thus really share storage), matching
+    what executing [call f(args)] does.
+    @raise Invalid_argument on arity mismatch. *)
+let instantiate (p : Ast.program) (f : string) (args : Ast.var list) :
+    Ast.program =
+  let proc = find p f in
+  if List.length args <> List.length proc.Ast.params then
+    invalid_arg "Proc.instantiate: arity mismatch";
+  {
+    Ast.arrays = p.Ast.arrays;
+    equiv = p.Ast.equiv @ List.combine proc.Ast.params args;
+    may_alias = [];
+    procs = [];
+    body = proc.Ast.pbody;
+  }

@@ -1,0 +1,30 @@
+(** Procedure-level aliasing (paper, Section 5's origin story).
+
+    Alias structures come from FORTRAN reference parameters: SUBROUTINE
+    F(X,Y,Z) called as F(A,B,A) and F(C,D,D) makes X~Z and Y~Z possible
+    but never X~Y.  This module derives such structures from call sites
+    and instantiates procedures at individual sites, supporting the
+    separate-compilation scenario: compile the body once (Schema 3, the
+    derived structure), execute the one graph against each call site's
+    memory layout. *)
+
+(** [find p f] — the procedure named [f]. @raise Not_found. *)
+val find : Ast.program -> string -> Ast.proc
+
+(** Argument vectors of every call of [f] in the program. *)
+val call_sites : Ast.program -> string -> Ast.var list list
+
+(** May-alias pairs among [f]'s parameters, derived from its call sites:
+    parameters may alias iff some call passes the same (or storage-
+    sharing) variable for both. *)
+val param_aliases : Ast.program -> string -> (string * string) list
+
+(** The body as a compilable program: parameters become free variables
+    carrying the derived may-alias structure — the compile-once
+    artefact. *)
+val standalone : Ast.program -> string -> Ast.program
+
+(** The body as a program whose [equiv] declarations bind each parameter
+    to its argument by reference, matching what [call f(args)] does.
+    @raise Invalid_argument on arity mismatch. *)
+val instantiate : Ast.program -> string -> Ast.var list -> Ast.program

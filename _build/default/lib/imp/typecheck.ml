@@ -1,0 +1,179 @@
+(** A lightweight type checker for IMP.
+
+    The discipline is minimal but load-bearing: every variable and array
+    cell holds an integer; booleans arise only from comparisons and logical
+    operators and may only be consumed by predicates ([if]/[while]/branch
+    conditions) and logical operators.  Checking this up front means every
+    interpreter -- reference and dataflow alike -- can run without dynamic
+    type failures, which differential testing relies on. *)
+
+type ty = Tint | Tbool
+
+exception Error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+let ty_to_string = function Tint -> "int" | Tbool -> "bool"
+
+(** [infer_expr arrays e] is the type of [e].
+    @raise Error on ill-typed expressions or misused array names. *)
+let rec infer_expr (arrays : (string * int) list) (e : Ast.expr) : ty =
+  match e with
+  | Ast.Int _ -> Tint
+  | Ast.Bool _ -> Tbool
+  | Ast.Var x ->
+      if List.mem_assoc x arrays then
+        err "array %s used without a subscript" x
+      else Tint
+  | Ast.Index (x, e1) ->
+      if not (List.mem_assoc x arrays) then
+        err "scalar %s used with a subscript" x;
+      expect arrays e1 Tint;
+      Tint
+  | Ast.Binop (op, a, b) -> (
+      match op with
+      | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod ->
+          expect arrays a Tint;
+          expect arrays b Tint;
+          Tint
+      | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne ->
+          expect arrays a Tint;
+          expect arrays b Tint;
+          Tbool
+      | Ast.And | Ast.Or ->
+          expect arrays a Tbool;
+          expect arrays b Tbool;
+          Tbool)
+  | Ast.Unop (Ast.Neg, a) ->
+      expect arrays a Tint;
+      Tint
+  | Ast.Unop (Ast.Not, a) ->
+      expect arrays a Tbool;
+      Tbool
+
+and expect arrays e ty =
+  let t = infer_expr arrays e in
+  if t <> ty then
+    err "expression %s has type %s, expected %s" (Pretty.expr_to_string e)
+      (ty_to_string t) (ty_to_string ty)
+
+let check_lvalue arrays (lv : Ast.lvalue) =
+  match lv with
+  | Ast.Lvar x ->
+      if List.mem_assoc x arrays then err "assignment to whole array %s" x
+  | Ast.Lindex (x, e) ->
+      if not (List.mem_assoc x arrays) then
+        err "subscripted assignment to scalar %s" x;
+      expect arrays e Tint
+
+let rec check_stmt ?(procs : Ast.proc list = []) arrays (s : Ast.stmt) =
+  let check_stmt = check_stmt ~procs in
+  match s with
+  | Ast.Skip | Ast.Label _ | Ast.Goto _ -> ()
+  | Ast.Call (f, args) -> (
+      match List.find_opt (fun pr -> pr.Ast.pname = f) procs with
+      | None -> err "call to undefined procedure %s" f
+      | Some pr ->
+          if List.length args <> List.length pr.Ast.params then
+            err "procedure %s expects %d arguments, got %d" f
+              (List.length pr.Ast.params) (List.length args);
+          List.iter
+            (fun a ->
+              if List.mem_assoc a arrays then
+                err "array %s passed to scalar parameter of %s" a f)
+            args)
+  | Ast.Assign (lv, e) ->
+      check_lvalue arrays lv;
+      expect arrays e Tint
+  | Ast.Seq (a, b) ->
+      check_stmt arrays a;
+      check_stmt arrays b
+  | Ast.If (e, a, b) ->
+      expect arrays e Tbool;
+      check_stmt arrays a;
+      check_stmt arrays b
+  | Ast.While (e, a) ->
+      expect arrays e Tbool;
+      check_stmt arrays a
+  | Ast.Cond_goto (e, _) -> expect arrays e Tbool
+  | Ast.Case (e, arms, default) ->
+      expect arrays e Tint;
+      let keys = List.map fst arms in
+      if List.length (List.sort_uniq compare keys) <> List.length keys then
+        err "duplicate case label";
+      List.iter (fun (_, s') -> check_stmt arrays s') arms;
+      check_stmt arrays default
+
+(** [check_program p] checks [p] whole.  Also rejects [equiv]/[mayalias]
+    declarations naming undeclared arrays inconsistently (an array may be
+    equivalenced to a scalar; the scalar then denotes the first cell).
+    @raise Error on the first violation found. *)
+let check_program (p : Ast.program) : unit =
+  let dup =
+    List.sort compare (List.map fst p.Ast.arrays)
+    |> fun l ->
+    let rec first_dup = function
+      | a :: (b :: _ as r) -> if a = b then Some a else first_dup r
+      | _ -> None
+    in
+    first_dup l
+  in
+  (match dup with Some x -> err "array %s declared twice" x | None -> ());
+  (* procedures: distinct names, distinct scalar parameters, well-typed
+     bodies, and an acyclic call graph (inlining cannot expand
+     recursion) *)
+  let pnames = List.map (fun pr -> pr.Ast.pname) p.Ast.procs in
+  if List.length (List.sort_uniq compare pnames) <> List.length pnames then
+    err "a procedure is defined twice";
+  List.iter
+    (fun (pr : Ast.proc) ->
+      if
+        List.length (List.sort_uniq compare pr.Ast.params)
+        <> List.length pr.Ast.params
+      then err "procedure %s has duplicate parameters" pr.Ast.pname;
+      List.iter
+        (fun x ->
+          if List.mem_assoc x p.Ast.arrays then
+            err "procedure %s parameter %s collides with an array" pr.Ast.pname
+              x)
+        pr.Ast.params;
+      check_stmt ~procs:p.Ast.procs p.Ast.arrays pr.Ast.pbody)
+    p.Ast.procs;
+  (* acyclic call graph *)
+  let rec calls_of acc = function
+    | Ast.Call (f, _) -> f :: acc
+    | Ast.Seq (a, b) -> calls_of (calls_of acc a) b
+    | Ast.If (_, a, b) -> calls_of (calls_of acc a) b
+    | Ast.While (_, a) -> calls_of acc a
+    | Ast.Case (_, arms, default) ->
+        List.fold_left
+          (fun acc (_, s') -> calls_of acc s')
+          (calls_of acc default) arms
+    | Ast.Skip | Ast.Assign _ | Ast.Label _ | Ast.Goto _ | Ast.Cond_goto _ ->
+        acc
+  in
+  let callees f =
+    match List.find_opt (fun pr -> pr.Ast.pname = f) p.Ast.procs with
+    | Some pr -> calls_of [] pr.Ast.pbody
+    | None -> []
+  in
+  let rec dfs path f =
+    if List.mem f path then err "recursive procedure %s (inlining cannot expand recursion)" f;
+    List.iter (dfs (f :: path)) (callees f)
+  in
+  List.iter (fun (pr : Ast.proc) -> dfs [] pr.Ast.pname) p.Ast.procs;
+  check_stmt ~procs:p.Ast.procs p.Ast.arrays p.Ast.body
+
+(** [check_flat f] checks a flat program: labels resolve and every
+    instruction is well-typed. *)
+let check_flat (f : Flat.t) : unit =
+  Flat.validate f;
+  let arrays = f.Flat.arrays in
+  Array.iter
+    (function
+      | Flat.Assign (lv, e) ->
+          check_lvalue arrays lv;
+          expect arrays e Tint
+      | Flat.Branch (e, _, _) -> expect arrays e Tbool
+      | Flat.Goto _ | Flat.Label _ -> ())
+    f.Flat.code

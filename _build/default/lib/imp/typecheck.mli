@@ -1,0 +1,20 @@
+(** A lightweight type checker: every variable and array cell holds an
+    integer; booleans arise from comparisons/logic and are consumed only
+    by predicates.  Checking up front lets every interpreter run without
+    dynamic type failures — a prerequisite for differential testing. *)
+
+type ty = Tint | Tbool
+
+exception Error of string
+
+(** @raise Error on ill-typed expressions or misused array names. *)
+val infer_expr : (string * int) list -> Ast.expr -> ty
+
+(** Check a whole program: statement typing, array declarations,
+    procedure definitions (distinct names and parameters, well-typed
+    bodies, acyclic call graph — inlining cannot expand recursion).
+    @raise Error on the first violation. *)
+val check_program : Ast.program -> unit
+
+(** Validate labels and types of a flat program. *)
+val check_flat : Flat.t -> unit

@@ -1,0 +1,28 @@
+(** Run-time values.  IMP memory cells always hold integers (enforced by
+    the type checker); booleans exist transiently on tokens and in
+    predicates.  Division and modulo are total by language definition (a
+    zero divisor yields 0), which lets differential tests run arbitrary
+    generated programs through every interpreter. *)
+
+type t =
+  | Int of int
+  | Bool of bool
+
+exception Type_error of string
+
+(** @raise Type_error on a boolean. *)
+val to_int : t -> int
+
+(** @raise Type_error on an integer. *)
+val to_bool : t -> bool
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** [binop op a b] with total division.
+    @raise Type_error when operand kinds do not match the operator. *)
+val binop : Ast.binop -> t -> t -> t
+
+(** @raise Type_error when the operand kind does not match. *)
+val unop : Ast.unop -> t -> t

@@ -1,0 +1,1 @@
+lib/machine/context.ml: Fmt List

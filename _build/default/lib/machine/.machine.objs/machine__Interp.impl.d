@@ -1,0 +1,1 @@
+lib/machine/interp.ml: Array Config Context Dfg Fmt Hashtbl Imp List Option Queue Stack

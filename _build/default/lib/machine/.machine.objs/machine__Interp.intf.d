@@ -1,0 +1,1 @@
+lib/machine/interp.mli: Config Context Dfg Imp

@@ -1,0 +1,74 @@
+(** Machine configuration: processing-element count and operation
+    latencies.
+
+    The simulator is cycle-driven: a firing starts in some cycle and its
+    output tokens are delivered [latency] cycles later.  With [pes = None]
+    every enabled operation starts immediately (idealised dataflow: the
+    finish time is the graph's critical path under the latency model);
+    with [pes = Some p] at most [p] operations start per cycle, modelling
+    a [p]-processor Monsoon-like configuration.  Memory operations are
+    split-phase: they occupy a PE only in their issue cycle and complete
+    [memory] cycles later without blocking the pipeline. *)
+
+type latencies = {
+  alu : int;  (** arithmetic, comparisons, constants, identity *)
+  memory : int;  (** split-phase load/store round trip *)
+  routing : int;  (** switch, merge, synch, loop control, start/end *)
+}
+
+let default_latencies = { alu = 1; memory = 4; routing = 1 }
+
+(** Unit latencies: every operation takes one cycle.  Under this model
+    the unbounded-PE cycle count is exactly the dataflow graph's critical
+    path length in operators, the paper's abstract parallelism measure. *)
+let unit_latencies = { alu = 1; memory = 1; routing = 1 }
+
+(** Ready-queue discipline when PEs are bounded.  Execution results are
+    identical under both (the graphs are determinate); only timing
+    changes.  The determinacy property is part of the test suite. *)
+type policy =
+  | Fifo  (** oldest enabled operation first (default) *)
+  | Lifo  (** newest enabled operation first (depth-first-ish) *)
+
+type t = {
+  pes : int option;  (** [None] = unbounded parallelism *)
+  memory_ports : int option;
+      (** at most this many memory operations may issue per cycle
+          ([None] = unbounded): a simple memory-bandwidth model *)
+  latencies : latencies;
+  policy : policy;
+  max_cycles : int;  (** safety bound; exceeded = divergence *)
+  detect_collisions : bool;
+      (** raise on two tokens meeting at the same (node, context, port) --
+          the single-token-per-arc discipline of explicit token store
+          machines.  Disabling it lets experiments demonstrate the
+          Figure 8 pile-up. *)
+}
+
+let default =
+  {
+    pes = None;
+    memory_ports = None;
+    latencies = default_latencies;
+    policy = Fifo;
+    max_cycles = 2_000_000;
+    detect_collisions = true;
+  }
+
+(** [ideal] -- unbounded PEs, unit latencies: pure critical-path
+    measurement. *)
+let ideal = { default with latencies = unit_latencies }
+
+(** [bounded p] -- [p] processing elements, default latencies. *)
+let bounded (p : int) = { default with pes = Some p }
+
+let latency (t : t) (kind : Dfg.Node.kind) : int =
+  match kind with
+  | Dfg.Node.Binop _ | Dfg.Node.Unop _ | Dfg.Node.Const _ | Dfg.Node.Id
+  | Dfg.Node.Sink ->
+      t.latencies.alu
+  | Dfg.Node.Load _ | Dfg.Node.Store _ -> t.latencies.memory
+  | Dfg.Node.Switch | Dfg.Node.Merge | Dfg.Node.Synch _
+  | Dfg.Node.Loop_entry _ | Dfg.Node.Loop_exit _ | Dfg.Node.Start _
+  | Dfg.Node.End _ ->
+      t.latencies.routing

@@ -1,0 +1,58 @@
+(** Machine configuration: processing-element count, operation latencies
+    and scheduling policy.
+
+    The simulator is cycle-driven: a firing starts in some cycle and its
+    output tokens are delivered [latency] cycles later.  With
+    [pes = None] every enabled operation starts immediately (idealised
+    dataflow: the finish time is the graph's critical path under the
+    latency model); with [pes = Some p] at most [p] operations start per
+    cycle.  Memory operations are split-phase: they occupy a PE only in
+    their issue cycle and complete [memory] cycles later without blocking
+    the pipeline. *)
+
+type latencies = {
+  alu : int;  (** arithmetic, comparisons, constants, identity, sink *)
+  memory : int;  (** split-phase load/store round trip *)
+  routing : int;  (** switch, merge, synch, loop control, start/end *)
+}
+
+val default_latencies : latencies
+
+(** Unit latencies: every operation takes one cycle; the unbounded-PE
+    cycle count is then exactly the graph's critical path length in
+    operators, the paper's abstract parallelism measure. *)
+val unit_latencies : latencies
+
+(** Ready-queue discipline when PEs are bounded.  Execution results are
+    identical under both (the translated graphs are determinate); only
+    timing changes. *)
+type policy =
+  | Fifo  (** oldest enabled operation first (default) *)
+  | Lifo  (** newest enabled operation first *)
+
+type t = {
+  pes : int option;  (** [None] = unbounded parallelism *)
+  memory_ports : int option;
+      (** at most this many memory operations may issue per cycle
+          ([None] = unbounded): a simple memory-bandwidth model *)
+  latencies : latencies;
+  policy : policy;
+  max_cycles : int;  (** safety bound; exceeded = divergence *)
+  detect_collisions : bool;
+      (** raise on two tokens meeting at the same (node, context, port) —
+          the single-token-per-arc discipline of explicit token store
+          machines.  Disabling it lets experiments demonstrate the
+          Figure 8 pile-up silently corrupting execution instead. *)
+}
+
+(** Unbounded PEs, default latencies, FIFO, collision detection on. *)
+val default : t
+
+(** Unbounded PEs with unit latencies: pure critical-path measurement. *)
+val ideal : t
+
+(** [bounded p] — [p] processing elements, default latencies. *)
+val bounded : int -> t
+
+(** [latency t kind] is the cycle cost of one firing of [kind]. *)
+val latency : t -> Dfg.Node.kind -> int

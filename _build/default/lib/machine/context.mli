@@ -1,0 +1,32 @@
+(** Iteration contexts (tags).
+
+    In an explicit token store machine every loop iteration gets its own
+    activation frame; tokens of different iterations rendezvous in
+    different frames.  A context is the stack of loop iteration indices
+    enclosing the token, innermost first: the top-level context is [[]];
+    entering a loop pushes [0]; taking the back edge increments the top;
+    leaving the loop pops it.  Two tokens match at an operator iff their
+    contexts are equal — the waiting-matching rule. *)
+
+type t = int list
+
+val toplevel : t
+
+(** [enter c] opens iteration 0 of a fresh loop activation under [c]. *)
+val enter : t -> t
+
+(** [next c] advances to the following iteration.
+    @raise Invalid_argument at top level. *)
+val next : t -> t
+
+(** [leave c] restores the enclosing context.
+    @raise Invalid_argument at top level. *)
+val leave : t -> t
+
+(** [depth c] is the loop-nesting depth of the context. *)
+val depth : t -> int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

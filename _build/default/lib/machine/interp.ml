@@ -1,0 +1,461 @@
+(** The explicit-token-store dataflow machine simulator.
+
+    This is the Monsoon stand-in (see DESIGN.md, substitutions): a
+    cycle-driven interpreter of {!Dfg.Graph.t} implementing
+
+    - the dataflow firing rule: an operator executes when tokens are
+      present on its required inputs;
+    - waiting-matching by (node, context): tokens of different loop
+      iterations carry different tags and rendezvous separately, as in
+      tagged-token / ETS frames;
+    - the single-token-per-arc discipline: delivering a second token to
+      an occupied (node, context, port) slot raises {!Token_collision} --
+      this is precisely what goes wrong in Figure 8 when loop-control
+      nodes are omitted;
+    - split-phase, multiply-writable memory (the paper's Section 2.2
+      extension of the dataflow model) plus I-structure memory with
+      deferred reads;
+    - unbounded or [p]-bounded processing elements with configurable
+      latencies (see {!Config}).
+
+    Execution is deterministic: the ready queue is FIFO and all graphs
+    produced by the translation schemas are determinate (merges receive
+    at most one token per context). *)
+
+exception Token_collision of string
+(** Two tokens met at the same (node, context, input port): the graph is
+    not a meaningful (ETS) dataflow computation. *)
+
+exception Double_write of string
+(** A second write to an I-structure cell. *)
+
+exception Divergence of string
+(** [max_cycles] exceeded. *)
+
+type program = {
+  graph : Dfg.Graph.t;
+  layout : Imp.Layout.t;
+}
+
+type result = {
+  memory : Imp.Memory.t;  (** final store *)
+  cycles : int;  (** makespan (last completion cycle) *)
+  firings : int;  (** total operator executions *)
+  memory_ops : int;  (** loads + stores executed *)
+  dummy_deliveries : int;
+      (** tokens delivered along dummy (access) arcs: pure
+          synchronisation traffic *)
+  value_deliveries : int;  (** tokens delivered along value arcs *)
+  profile : int array;  (** firings started per cycle *)
+  peak_parallelism : int;
+  completed : bool;  (** the End operator fired *)
+  leftover_tokens : int;  (** unconsumed tokens at quiescence *)
+  peak_matching : int;
+      (** maximum simultaneous entries in the waiting-matching store --
+          the frame-memory capacity a Monsoon-like machine would need *)
+  peak_in_flight : int;
+      (** maximum tokens travelling between operators at once *)
+  firings_by_kind : (string * int) list;
+      (** executions per operator family (loads, stores, switches, ...),
+          sorted descending *)
+}
+
+(** Average operator-level parallelism: firings per active cycle. *)
+let avg_parallelism (r : result) : float =
+  if r.cycles <= 0 then float_of_int r.firings
+  else float_of_int r.firings /. float_of_int r.cycles
+
+type delivery = {
+  d_node : int;
+  d_port : int;
+  d_ctx : Context.t;
+  d_value : Imp.Value.t;
+}
+
+type firing = { f_node : int; f_ctx : Context.t; f_inputs : Imp.Value.t array }
+
+let dummy_value = Imp.Value.Int 0
+
+(** [run ?config ?on_fire program] executes [program] to quiescence on a
+    fresh zeroed memory and returns the result record.
+    @raise Token_collision / Double_write / Divergence as documented.
+    @raise Imp.Value.Type_error on ill-typed graphs (never for graphs
+    produced by the translation schemas from type-checked programs). *)
+let run ?(config = Config.default)
+    ?(on_fire : (int -> Dfg.Node.t -> Context.t -> unit) option)
+    (p : program) : result =
+  let g = p.graph in
+  let memory = Imp.Memory.create p.layout in
+  (* I-structure state *)
+  let words = max 1 p.layout.Imp.Layout.words in
+  let present = Array.make words false in
+  let deferred : (int, (int * Context.t * Imp.Value.t array) list) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  (* waiting-matching store *)
+  let wait : (int * Context.t, Imp.Value.t option array) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  (* schedule *)
+  let deliveries : (int, delivery list) Hashtbl.t = Hashtbl.create 64 in
+  let pending = ref 0 in
+  let ready : firing Queue.t = Queue.create () in
+  let firings = ref 0 in
+  let memory_ops = ref 0 in
+  let peak_matching = ref 0 in
+  let peak_in_flight = ref 0 in
+  let dummy_deliveries = ref 0 in
+  let value_deliveries = ref 0 in
+  let by_kind : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let kind_family (k : Dfg.Node.kind) : string =
+    match k with
+    | Dfg.Node.Start _ -> "start"
+    | Dfg.Node.End _ -> "end"
+    | Dfg.Node.Const _ -> "const"
+    | Dfg.Node.Binop _ | Dfg.Node.Unop _ -> "alu"
+    | Dfg.Node.Id -> "id"
+    | Dfg.Node.Sink -> "sink"
+    | Dfg.Node.Load _ -> "load"
+    | Dfg.Node.Store _ -> "store"
+    | Dfg.Node.Switch -> "switch"
+    | Dfg.Node.Merge -> "merge"
+    | Dfg.Node.Synch _ -> "synch"
+    | Dfg.Node.Loop_entry _ -> "loop-entry"
+    | Dfg.Node.Loop_exit _ -> "loop-exit"
+  in
+  let completed = ref false in
+  let profile = ref [] in
+  let last_cycle = ref 0 in
+  let schedule_delivery t d =
+    incr pending;
+    if !pending > !peak_in_flight then peak_in_flight := !pending;
+    Hashtbl.replace deliveries t
+      (d :: (try Hashtbl.find deliveries t with Not_found -> []))
+  in
+  (* Emit a token from an output port: duplicate onto every arc. *)
+  let emit t_done node port ctx value =
+    List.iter
+      (fun a ->
+        if a.Dfg.Graph.dummy then incr dummy_deliveries
+        else incr value_deliveries;
+        schedule_delivery t_done
+          {
+            d_node = a.Dfg.Graph.dst.Dfg.Graph.node;
+            d_port = a.Dfg.Graph.dst.Dfg.Graph.index;
+            d_ctx = ctx;
+            d_value = value;
+          })
+      (Dfg.Graph.outgoing g node port)
+  in
+  (* Enabledness test given a slot array and node kind. *)
+  let enabled kind (slots : Imp.Value.t option array) : bool =
+    match kind with
+    | Dfg.Node.Loop_entry { arity; _ } ->
+        let full a b =
+          let ok = ref true in
+          for i = a to b do
+            if slots.(i) = None then ok := false
+          done;
+          !ok
+        in
+        full 0 (arity - 1) || full arity ((2 * arity) - 1)
+    | _ -> Array.for_all (fun s -> s <> None) slots
+  in
+  let deliver (d : delivery) =
+    let kind = Dfg.Graph.kind g d.d_node in
+    match kind with
+    | Dfg.Node.Merge ->
+        (* no matching: forward immediately as its own firing *)
+        Queue.add
+          { f_node = d.d_node; f_ctx = d.d_ctx; f_inputs = [| d.d_value |] }
+          ready
+    | _ ->
+        let key = (d.d_node, d.d_ctx) in
+        let slots =
+          match Hashtbl.find_opt wait key with
+          | Some s -> s
+          | None ->
+              let s = Array.make (max 1 (Dfg.Node.in_arity kind)) None in
+              Hashtbl.replace wait key s;
+              s
+        in
+        (match slots.(d.d_port) with
+        | Some _ when config.Config.detect_collisions ->
+            raise
+              (Token_collision
+                 (Fmt.str "node %d (%s) port %d ctx %s" d.d_node
+                    (Dfg.Graph.node g d.d_node).Dfg.Node.label d.d_port
+                    (Context.to_string d.d_ctx)))
+        | _ -> slots.(d.d_port) <- Some d.d_value);
+        if Hashtbl.length wait > !peak_matching then
+          peak_matching := Hashtbl.length wait;
+        if enabled kind slots then begin
+          (* consume: for loop entries, only the full group *)
+          let inputs =
+            match kind with
+            | Dfg.Node.Loop_entry { arity; _ } ->
+                let full a b =
+                  let ok = ref true in
+                  for i = a to b do
+                    if slots.(i) = None then ok := false
+                  done;
+                  !ok
+                in
+                if full 0 (arity - 1) then begin
+                  let ins =
+                    Array.init arity (fun i -> Option.get slots.(i))
+                  in
+                  for i = 0 to arity - 1 do
+                    slots.(i) <- None
+                  done;
+                  (* tag which group fired via a sentinel: group encoded in
+                     input array length: arity -> initial; arity+1 -> back *)
+                  ins
+                end
+                else begin
+                  let ins =
+                    Array.init (arity + 1) (fun i ->
+                        if i < arity then Option.get slots.(arity + i)
+                        else dummy_value)
+                  in
+                  for i = arity to (2 * arity) - 1 do
+                    slots.(i) <- None
+                  done;
+                  ins
+                end
+            | _ ->
+                let ins = Array.map Option.get slots in
+                Array.fill slots 0 (Array.length slots) None;
+                ins
+          in
+          (* drop empty slot arrays to keep the leftover count honest *)
+          if Array.for_all (fun s -> s = None) slots then
+            Hashtbl.remove wait key;
+          Queue.add { f_node = d.d_node; f_ctx = d.d_ctx; f_inputs = inputs } ready
+        end
+  in
+  let addr_of kind ctx (inputs : Imp.Value.t array) =
+    match kind with
+    | Dfg.Node.Load { var; indexed; _ } ->
+        if indexed then
+          Imp.Layout.addr p.layout var (Imp.Value.to_int inputs.(1))
+        else Imp.Layout.addr p.layout var 0
+    | Dfg.Node.Store { var; indexed; _ } ->
+        if indexed then
+          Imp.Layout.addr p.layout var (Imp.Value.to_int inputs.(2))
+        else Imp.Layout.addr p.layout var 0
+    | _ ->
+        ignore ctx;
+        assert false
+  in
+  let execute t (f : firing) =
+    let n = Dfg.Graph.node g f.f_node in
+    let kind = n.Dfg.Node.kind in
+    incr firings;
+    let family = kind_family kind in
+    Hashtbl.replace by_kind family
+      (1 + (try Hashtbl.find by_kind family with Not_found -> 0));
+    if Dfg.Node.is_memory_op kind then incr memory_ops;
+    (match on_fire with Some cb -> cb t n f.f_ctx | None -> ());
+    let t_done = t + Config.latency config kind in
+    if t_done > !last_cycle then last_cycle := t_done;
+    let out port v = emit t_done f.f_node port f.f_ctx v in
+    let out_ctx ctx port v = emit t_done f.f_node port ctx v in
+    match kind with
+    | Dfg.Node.Start k ->
+        for i = 0 to k - 1 do
+          out i dummy_value
+        done
+    | Dfg.Node.End _ -> completed := true
+    | Dfg.Node.Const v -> out 0 v
+    | Dfg.Node.Binop op ->
+        out 0 (Imp.Value.binop op f.f_inputs.(0) f.f_inputs.(1))
+    | Dfg.Node.Unop op -> out 0 (Imp.Value.unop op f.f_inputs.(0))
+    | Dfg.Node.Id -> out 0 f.f_inputs.(0)
+    | Dfg.Node.Sink -> ()
+    | Dfg.Node.Load { mem; _ } -> (
+        let a = addr_of kind f.f_ctx f.f_inputs in
+        match mem with
+        | Dfg.Node.Plain ->
+            out 0 (Imp.Value.Int (Imp.Memory.read_addr memory a));
+            out 1 dummy_value
+        | Dfg.Node.I_structure ->
+            if present.(a) then begin
+              out 0 (Imp.Value.Int (Imp.Memory.read_addr memory a));
+              out 1 dummy_value
+            end
+            else
+              (* deferred read: completes when the cell is written *)
+              Hashtbl.replace deferred a
+                ((f.f_node, f.f_ctx, f.f_inputs)
+                :: (try Hashtbl.find deferred a with Not_found -> [])))
+    | Dfg.Node.Store { mem; _ } -> (
+        let a = addr_of kind f.f_ctx f.f_inputs in
+        let v = Imp.Value.to_int f.f_inputs.(1) in
+        match mem with
+        | Dfg.Node.Plain ->
+            Imp.Memory.write_addr memory a v;
+            out 0 dummy_value
+        | Dfg.Node.I_structure ->
+            if present.(a) then
+              raise
+                (Double_write
+                   (Fmt.str "I-structure cell %d written twice (node %d)" a
+                      f.f_node));
+            Imp.Memory.write_addr memory a v;
+            present.(a) <- true;
+            out 0 dummy_value;
+            (* wake deferred readers *)
+            (match Hashtbl.find_opt deferred a with
+            | Some waiters ->
+                Hashtbl.remove deferred a;
+                List.iter
+                  (fun (rn, rctx, _) ->
+                    emit t_done rn 0
+                      rctx (* value out of the waiting load *)
+                      (Imp.Value.Int v);
+                    emit t_done rn 1 rctx dummy_value)
+                  waiters
+            | None -> ()))
+    | Dfg.Node.Switch ->
+        let data = f.f_inputs.(0) and pred = f.f_inputs.(1) in
+        if Imp.Value.to_bool pred then out 0 data else out 1 data
+    | Dfg.Node.Merge -> out 0 f.f_inputs.(0)
+    | Dfg.Node.Synch _ -> out 0 dummy_value
+    | Dfg.Node.Loop_entry { arity; _ } ->
+        (* group encoded by input array length (see [deliver]) *)
+        if Array.length f.f_inputs = arity then
+          (* initial entry: open iteration 0 *)
+          let ctx' = Context.enter f.f_ctx in
+          for i = 0 to arity - 1 do
+            out_ctx ctx' i f.f_inputs.(i)
+          done
+        else
+          (* back edge: advance the iteration tag *)
+          let ctx' = Context.next f.f_ctx in
+          for i = 0 to arity - 1 do
+            out_ctx ctx' i f.f_inputs.(i)
+          done
+    | Dfg.Node.Loop_exit { arity; _ } ->
+        let ctx' = Context.leave f.f_ctx in
+        for i = 0 to arity - 1 do
+          out_ctx ctx' i f.f_inputs.(i)
+        done
+  in
+  (* Deferred-read wakeups performed inside [execute] bypass [deliver]'s
+     collision checks by emitting from the load's own output ports --
+     exactly as a real split-phase I-fetch responds. *)
+  (* boot: fire Start at cycle 0 *)
+  Queue.add
+    { f_node = g.Dfg.Graph.start; f_ctx = Context.toplevel; f_inputs = [||] }
+    ready;
+  (* LIFO policy: enabled firings are moved onto a stack every cycle, so
+     the most recently enabled operation starts first *)
+  let lifo : firing Stack.t = Stack.create () in
+  let absorb_ready () =
+    match config.Config.policy with
+    | Config.Fifo -> ()
+    | Config.Lifo ->
+        while not (Queue.is_empty ready) do
+          Stack.push (Queue.pop ready) lifo
+        done
+  in
+  let pop_next () =
+    match config.Config.policy with
+    | Config.Fifo -> Queue.pop ready
+    | Config.Lifo -> Stack.pop lifo
+  in
+  let ready_length () =
+    Queue.length ready
+    + match config.Config.policy with
+      | Config.Fifo -> 0
+      | Config.Lifo -> Stack.length lifo
+  in
+  let t = ref 0 in
+  let finished = ref false in
+  while not !finished do
+    if !t > config.Config.max_cycles then
+      raise (Divergence (Fmt.str "exceeded %d cycles" config.Config.max_cycles));
+    (* 1. deliver tokens scheduled for this cycle *)
+    (match Hashtbl.find_opt deliveries !t with
+    | Some ds ->
+        Hashtbl.remove deliveries !t;
+        List.iter
+          (fun d ->
+            decr pending;
+            deliver d)
+          (List.rev ds)
+    | None -> ());
+    (* 2. start up to [pes] firings *)
+    absorb_ready ();
+    let budget =
+      match config.Config.pes with
+      | None -> ready_length ()
+      | Some p -> min p (ready_length ())
+    in
+    let started = ref 0 in
+    let mem_issued = ref 0 in
+    let deferred_mem : firing list ref = ref [] in
+    while !started < budget do
+      let f = pop_next () in
+      let is_mem = Dfg.Node.is_memory_op (Dfg.Graph.kind g f.f_node) in
+      let port_free =
+        match config.Config.memory_ports with
+        | None -> true
+        | Some k -> (not is_mem) || !mem_issued < max 1 k
+      in
+      if port_free then begin
+        if is_mem then incr mem_issued;
+        execute !t f;
+        incr started
+      end
+      else begin
+        (* out of memory ports this cycle: retry next cycle *)
+        deferred_mem := f :: !deferred_mem;
+        incr started
+      end
+    done;
+    List.iter (fun f -> Queue.add f ready) (List.rev !deferred_mem);
+    profile := (!started - List.length !deferred_mem) :: !profile;
+    (* 3. quiescence test *)
+    if ready_length () = 0 && !pending = 0 then finished := true else incr t
+  done;
+  let leftover =
+    Hashtbl.fold
+      (fun _ slots acc ->
+        acc
+        + Array.fold_left (fun a s -> if s = None then a else a + 1) 0 slots)
+      wait 0
+    + Hashtbl.fold (fun _ ws acc -> acc + List.length ws) deferred 0
+  in
+  let profile = Array.of_list (List.rev !profile) in
+  {
+    memory;
+    cycles = !last_cycle;
+    firings = !firings;
+    memory_ops = !memory_ops;
+    dummy_deliveries = !dummy_deliveries;
+    value_deliveries = !value_deliveries;
+    profile;
+    peak_parallelism = Array.fold_left max 0 profile;
+    completed = !completed;
+    leftover_tokens = leftover;
+    peak_matching = !peak_matching;
+    peak_in_flight = !peak_in_flight;
+    firings_by_kind =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) by_kind []
+      |> List.sort (fun (_, a) (_, b) -> compare b a);
+  }
+
+(** [run_exn ?config p] runs and additionally checks clean completion:
+    End fired, no leftover tokens.
+    @raise Failure otherwise. *)
+let run_exn ?config (p : program) : result =
+  let r = run ?config p in
+  if not r.completed then
+    failwith
+      (Fmt.str "dataflow execution deadlocked (%d leftover tokens)"
+         r.leftover_tokens);
+  if r.leftover_tokens <> 0 then
+    failwith (Fmt.str "%d tokens left at quiescence" r.leftover_tokens);
+  r

@@ -1,0 +1,69 @@
+(** The explicit-token-store dataflow machine simulator — the Monsoon
+    stand-in (DESIGN.md, substitutions).
+
+    A cycle-driven interpreter of {!Dfg.Graph.t} implementing the
+    dataflow firing rule, waiting-matching by (node, context), the
+    single-token-per-arc discipline (violations raise
+    {!Token_collision} — this is how Figure 8's pathology is observed),
+    split-phase multiply-writable memory plus I-structures with deferred
+    reads, and unbounded or bounded processing elements (see
+    {!Config}).
+
+    Execution is deterministic: the ready queue policy is fixed and all
+    graphs produced by the translation schemas are determinate. *)
+
+exception Token_collision of string
+(** Two tokens met at the same (node, context, input port): the graph is
+    not a meaningful (ETS) dataflow computation. *)
+
+exception Double_write of string
+(** A second write to an I-structure cell. *)
+
+exception Divergence of string
+(** [max_cycles] exceeded. *)
+
+type program = {
+  graph : Dfg.Graph.t;
+  layout : Imp.Layout.t;  (** variable-to-address map the graph assumes *)
+}
+
+type result = {
+  memory : Imp.Memory.t;  (** final store *)
+  cycles : int;  (** makespan (last completion cycle) *)
+  firings : int;  (** total operator executions *)
+  memory_ops : int;  (** loads + stores executed *)
+  dummy_deliveries : int;
+      (** tokens delivered along dummy (access) arcs: pure
+          synchronisation traffic *)
+  value_deliveries : int;  (** tokens delivered along value arcs *)
+  profile : int array;  (** firings started per cycle *)
+  peak_parallelism : int;
+  completed : bool;  (** the End operator fired *)
+  leftover_tokens : int;  (** unconsumed tokens at quiescence *)
+  peak_matching : int;
+      (** maximum simultaneous entries in the waiting-matching store —
+          the frame-memory capacity a Monsoon-like machine would need *)
+  peak_in_flight : int;
+      (** maximum tokens travelling between operators at once *)
+  firings_by_kind : (string * int) list;
+      (** executions per operator family (loads, stores, switches, ...),
+          sorted descending *)
+}
+
+(** Average operator-level parallelism: firings per cycle of makespan. *)
+val avg_parallelism : result -> float
+
+(** [run ?config ?on_fire program] executes [program] to quiescence on a
+    fresh zeroed memory.  [on_fire] observes every firing (cycle, node,
+    context) — the hook used by tracing.
+    @raise Token_collision / Double_write / Divergence as documented. *)
+val run :
+  ?config:Config.t ->
+  ?on_fire:(int -> Dfg.Node.t -> Context.t -> unit) ->
+  program ->
+  result
+
+(** [run_exn ?config p] runs and additionally checks clean completion:
+    the End operator fired and no tokens were left behind.
+    @raise Failure otherwise. *)
+val run_exn : ?config:Config.t -> program -> result

@@ -1,0 +1,98 @@
+(** Execution tracing: record every firing and render timelines.
+
+    Built on the interpreter's [on_fire] hook; useful for inspecting how
+    the schemas schedule work — e.g. watching iteration contexts overlap
+    under pipelined loop control, or access tokens serialize under
+    Schema 1. *)
+
+type event = {
+  cycle : int;
+  node : int;
+  label : string;
+  ctx : Context.t;
+}
+
+type t = {
+  mutable rev_events : event list;
+  mutable count : int;
+  limit : int;
+}
+
+(** [create ?limit ()] — a recorder keeping at most [limit] events
+    (default 100_000; later firings are counted but not stored). *)
+let create ?(limit = 100_000) () : t = { rev_events = []; count = 0; limit }
+
+(** The [on_fire] callback to pass to {!Interp.run}. *)
+let on_fire (t : t) : int -> Dfg.Node.t -> Context.t -> unit =
+ fun cycle node ctx ->
+  t.count <- t.count + 1;
+  if t.count <= t.limit then
+    t.rev_events <-
+      { cycle; node = node.Dfg.Node.id; label = node.Dfg.Node.label; ctx }
+      :: t.rev_events
+
+(** Recorded events in firing order. *)
+let events (t : t) : event list = List.rev t.rev_events
+
+(** Total firings observed (may exceed the stored count). *)
+let total (t : t) : int = t.count
+
+(** [pp_timeline ?max_cycles ppf t] — one line per cycle listing what
+    fired, with iteration contexts. *)
+let pp_timeline ?(max_cycles = 60) ppf (t : t) =
+  let by_cycle = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      Hashtbl.replace by_cycle e.cycle
+        (e :: (try Hashtbl.find by_cycle e.cycle with Not_found -> [])))
+    t.rev_events;
+  let cycles = Hashtbl.fold (fun c _ acc -> c :: acc) by_cycle [] in
+  let cycles = List.sort compare cycles in
+  let shown = ref 0 in
+  List.iter
+    (fun c ->
+      if !shown < max_cycles then begin
+        incr shown;
+        let es = List.rev (Hashtbl.find by_cycle c) in
+        Fmt.pf ppf "%5d | %a@." c
+          (Fmt.list ~sep:(Fmt.any ",  ") (fun ppf e ->
+               if Context.depth e.ctx = 0 then Fmt.string ppf e.label
+               else Fmt.pf ppf "%s %s" e.label (Context.to_string e.ctx)))
+          es
+      end)
+    cycles;
+  if List.length cycles > max_cycles then
+    Fmt.pf ppf "      | ... (%d more cycles)@." (List.length cycles - max_cycles)
+
+(** [per_context t] — firings per iteration context, outermost first:
+    shows how much work each loop iteration performed and how many
+    contexts were live. *)
+let per_context (t : t) : (Context.t * int) list =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      Hashtbl.replace tbl e.ctx
+        (1 + (try Hashtbl.find tbl e.ctx with Not_found -> 0)))
+    t.rev_events;
+  Hashtbl.fold (fun c n acc -> (c, n) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare (List.rev a) (List.rev b))
+
+(** [overlap t] — for each cycle, how many distinct iteration contexts
+    fired: >1 anywhere means loop iterations genuinely overlapped
+    (impossible under barrier loop control, routine under pipelined). *)
+let overlap (t : t) : int array =
+  let by_cycle = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      let s = try Hashtbl.find by_cycle e.cycle with Not_found -> [] in
+      if not (List.mem e.ctx s) then Hashtbl.replace by_cycle e.cycle (e.ctx :: s))
+    t.rev_events;
+  let max_cycle = Hashtbl.fold (fun c _ m -> max c m) by_cycle 0 in
+  Array.init (max_cycle + 1) (fun c ->
+      match Hashtbl.find_opt by_cycle c with
+      | Some s -> List.length s
+      | None -> 0)
+
+(** Maximum simultaneously-firing distinct contexts. *)
+let max_context_overlap (t : t) : int =
+  Array.fold_left max 0 (overlap t)

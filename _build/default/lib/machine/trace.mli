@@ -1,0 +1,39 @@
+(** Execution tracing via the interpreter's [on_fire] hook: record every
+    firing, render per-cycle timelines, and measure how many loop
+    iteration contexts are simultaneously live (the observable difference
+    between barrier and pipelined loop control). *)
+
+type event = {
+  cycle : int;
+  node : int;
+  label : string;
+  ctx : Context.t;
+}
+
+type t
+
+(** [create ?limit ()] — a recorder keeping at most [limit] events
+    (default 100_000; later firings are counted but not stored). *)
+val create : ?limit:int -> unit -> t
+
+(** The callback to pass to {!Interp.run}. *)
+val on_fire : t -> int -> Dfg.Node.t -> Context.t -> unit
+
+(** Recorded events in firing order. *)
+val events : t -> event list
+
+(** Total firings observed (may exceed the stored count). *)
+val total : t -> int
+
+(** One line per cycle listing what fired, with iteration contexts. *)
+val pp_timeline : ?max_cycles:int -> Format.formatter -> t -> unit
+
+(** Firings per iteration context, outermost-first order. *)
+val per_context : t -> (Context.t * int) list
+
+(** Per cycle, the number of distinct iteration contexts that fired. *)
+val overlap : t -> int array
+
+(** Maximum simultaneously-firing distinct contexts: >1 means loop
+    iterations genuinely overlapped. *)
+val max_context_overlap : t -> int

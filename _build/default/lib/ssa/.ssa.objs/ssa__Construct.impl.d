@@ -1,0 +1,1 @@
+lib/ssa/construct.ml: Analysis Array Cfg Fmt Frontier Hashtbl Imp List

@@ -1,0 +1,1 @@
+lib/ssa/frontier.ml: Analysis Array Cfg Fun List Queue

@@ -1,0 +1,1 @@
+lib/ssa/frontier.mli: Analysis Cfg

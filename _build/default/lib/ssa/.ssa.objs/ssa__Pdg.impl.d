@@ -1,0 +1,1 @@
+lib/ssa/pdg.ml: Analysis Array Buffer Cfg Construct Fmt Hashtbl List

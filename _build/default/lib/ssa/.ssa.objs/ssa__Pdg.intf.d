@@ -1,0 +1,1 @@
+lib/ssa/pdg.mli: Cfg Format

@@ -1,0 +1,240 @@
+(** Static single assignment construction over the statement-level CFG.
+
+    The paper (Sections 1, 4, 6.1) situates its translation among SSA and
+    the PDG: the joining of values "implicit in the dataflow model" is what
+    φ-functions make explicit, and the memory-elimination transform of
+    Section 6.1 "is similar in effect to conversion to static single
+    assignment form".  This module builds classical pruned-ish SSA (Cytron
+    et al.: φs at the iterated dominance frontier of the definition sites)
+    so the test suite can check the correspondences:
+
+    - merges for [access_x] in the optimized translation appear at every
+      join where SSA places a φ for [x] (and possibly more: switches also
+      multiply token sources);
+    - versions are in single-assignment form and every use is dominated by
+      its definition.
+
+    Arrays are treated as whole-name scalars (an element store is a def
+    {e and} a use of the array), exactly as the token translation treats
+    them (Section 6.3's opening remark). *)
+
+type version = { base : string; idx : int }
+
+let version_to_string v = Fmt.str "%s_%d" v.base v.idx
+
+type phi = {
+  dest : version;
+  args : (Cfg.Core.node * version) list;  (** per predecessor *)
+}
+
+type t = {
+  cfg : Cfg.Core.t;
+  dom : Analysis.Dom.t;
+  phis : (Cfg.Core.node * phi list) list;  (** joins with their φs *)
+  defs : (Cfg.Core.node * version) list;  (** renamed definition per node *)
+  uses : (Cfg.Core.node * version list) list;  (** renamed uses per node *)
+  max_version : (string, int) Hashtbl.t;
+}
+
+(* Definition and use sets at the CFG-node level (whole-name arrays). *)
+let def_of (g : Cfg.Core.t) (n : Cfg.Core.node) : string option =
+  match Cfg.Core.kind g n with
+  | Cfg.Core.Assign (Imp.Ast.Lvar x, _) -> Some x
+  | Cfg.Core.Assign (Imp.Ast.Lindex (x, _), _) -> Some x
+  | _ -> None
+
+let uses_of (g : Cfg.Core.t) (n : Cfg.Core.node) : string list =
+  match Cfg.Core.kind g n with
+  | Cfg.Core.Assign (Imp.Ast.Lvar _, e) -> Imp.Ast.expr_vars e
+  | Cfg.Core.Assign (Imp.Ast.Lindex (x, i), e) ->
+      (* an element store reads the rest of the array *)
+      List.sort_uniq compare (x :: Imp.Ast.(vars_expr i (vars_expr e [])))
+  | Cfg.Core.Fork p -> Imp.Ast.expr_vars p
+  | _ -> []
+
+(** [phi_sites g ~vars] -- per variable, the joins needing a φ: the
+    iterated dominance frontier of its definition sites (the start node
+    counts as defining every variable to its initial value). *)
+let phi_sites (g : Cfg.Core.t) ~(vars : string list) :
+    (string * Cfg.Core.node list) list =
+  let dom = Analysis.Dom.dominators_of g in
+  let df = Frontier.compute dom g in
+  List.map
+    (fun x ->
+      let sites =
+        g.Cfg.Core.start
+        :: List.filter (fun n -> def_of g n = Some x) (Cfg.Core.nodes g)
+      in
+      (x, Frontier.iterated df sites))
+    vars
+
+(** [construct g] builds SSA form for [g]. *)
+let construct (g : Cfg.Core.t) : t =
+  let dom = Analysis.Dom.dominators_of g in
+  let vars =
+    List.sort_uniq compare
+      (List.concat_map (Cfg.Core.referenced_vars g) (Cfg.Core.nodes g))
+  in
+  let sites = phi_sites g ~vars in
+  (* φ skeletons per join *)
+  let phi_at : (Cfg.Core.node, (string, phi ref) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  List.iter
+    (fun (x, joins) ->
+      List.iter
+        (fun j ->
+          let tbl =
+            match Hashtbl.find_opt phi_at j with
+            | Some tbl -> tbl
+            | None ->
+                let tbl = Hashtbl.create 4 in
+                Hashtbl.replace phi_at j tbl;
+                tbl
+          in
+          Hashtbl.replace tbl x
+            (ref { dest = { base = x; idx = -1 }; args = [] }))
+        joins)
+    sites;
+  (* renaming walk over the dominator tree *)
+  let counters = Hashtbl.create 16 in
+  let stacks : (string, int list) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun x ->
+      Hashtbl.replace counters x 0;
+      Hashtbl.replace stacks x [ 0 ] (* version 0: initial value *))
+    vars;
+  let top x =
+    match Hashtbl.find stacks x with
+    | v :: _ -> { base = x; idx = v }
+    | [] -> assert false
+  in
+  let push x =
+    let c = Hashtbl.find counters x + 1 in
+    Hashtbl.replace counters x c;
+    Hashtbl.replace stacks x (c :: Hashtbl.find stacks x);
+    { base = x; idx = c }
+  in
+  let pop x =
+    match Hashtbl.find stacks x with
+    | _ :: rest -> Hashtbl.replace stacks x rest
+    | [] -> assert false
+  in
+  let defs = ref [] and uses = ref [] in
+  let rec walk n =
+    let pushed = ref [] in
+    (* φ defs first *)
+    (match Hashtbl.find_opt phi_at n with
+    | Some tbl ->
+        Hashtbl.iter
+          (fun x cell ->
+            let v = push x in
+            pushed := x :: !pushed;
+            cell := { !cell with dest = v })
+          tbl
+    | None -> ());
+    (* uses then def *)
+    let node_uses = List.map top (uses_of g n) in
+    if node_uses <> [] then uses := (n, node_uses) :: !uses;
+    (match def_of g n with
+    | Some x ->
+        let v = push x in
+        pushed := x :: !pushed;
+        defs := (n, v) :: !defs
+    | None -> ());
+    (* fill φ args of successors *)
+    List.iter
+      (fun s ->
+        match Hashtbl.find_opt phi_at s with
+        | Some tbl ->
+            Hashtbl.iter
+              (fun x cell -> cell := { !cell with args = (n, top x) :: !cell.args })
+              tbl
+        | None -> ())
+      (Cfg.Core.succ_nodes g n);
+    (* recurse over dominator-tree children *)
+    List.iter walk dom.Analysis.Dom.children.(n);
+    List.iter pop !pushed
+  in
+  walk g.Cfg.Core.start;
+  let phis =
+    Hashtbl.fold
+      (fun j tbl acc ->
+        ( j,
+          Hashtbl.fold (fun _ cell acc -> !cell :: acc) tbl []
+          |> List.sort (fun a b -> compare a.dest b.dest) )
+        :: acc)
+      phi_at []
+    |> List.sort compare
+  in
+  { cfg = g; dom; phis; defs = !defs; uses = !uses; max_version = counters }
+
+(** [phi_joins t x] -- joins holding a φ for [x]. *)
+let phi_joins (t : t) (x : string) : Cfg.Core.node list =
+  List.filter_map
+    (fun (j, phis) ->
+      if List.exists (fun p -> p.dest.base = x) phis then Some j else None)
+    t.phis
+
+(** [verify t] checks the SSA invariants:
+    - every version is defined at most once (φs included);
+    - every use is dominated by its definition;
+    - every φ argument's definition dominates the corresponding
+      predecessor.
+    @raise Failure on a violation. *)
+let verify (t : t) : unit =
+  let g = t.cfg in
+  let def_site : (version, [ `Node of int | `Phi of int | `Initial ]) Hashtbl.t
+      =
+    Hashtbl.create 64
+  in
+  let add_def v site =
+    if Hashtbl.mem def_site v then
+      failwith (Fmt.str "version %s defined twice" (version_to_string v));
+    Hashtbl.replace def_site v site
+  in
+  List.iter (fun (n, v) -> add_def v (`Node n)) t.defs;
+  List.iter
+    (fun (j, phis) -> List.iter (fun p -> add_def p.dest (`Phi j)) phis)
+    t.phis;
+  let dominates_def v n =
+    match Hashtbl.find_opt def_site v with
+    | None ->
+        if v.idx <> 0 then
+          failwith (Fmt.str "version %s used but never defined" (version_to_string v))
+    | Some (`Node d) | Some (`Phi d) ->
+        if not (Analysis.Dom.dominates t.dom d n) then
+          failwith
+            (Fmt.str "definition of %s does not dominate its use at %d"
+               (version_to_string v) n)
+    | Some `Initial -> ()
+  in
+  List.iter (fun (n, vs) -> List.iter (fun v -> dominates_def v n) vs) t.uses;
+  List.iter
+    (fun (j, phis) ->
+      List.iter
+        (fun p ->
+          List.iter (fun (pred, v) -> dominates_def v pred) p.args;
+          (* one argument per predecessor *)
+          if
+            List.length p.args <> List.length (Cfg.Core.pred g j)
+          then
+            failwith
+              (Fmt.str "phi for %s at %d has %d args for %d preds"
+                 p.dest.base j (List.length p.args)
+                 (List.length (Cfg.Core.pred g j))))
+        phis)
+    t.phis
+
+let pp ppf (t : t) =
+  List.iter
+    (fun (j, phis) ->
+      List.iter
+        (fun p ->
+          Fmt.pf ppf "%d: %s = phi(%a)@ " j
+            (version_to_string p.dest)
+            (Fmt.list ~sep:Fmt.comma (fun ppf (pred, v) ->
+                 Fmt.pf ppf "%d:%s" pred (version_to_string v)))
+            p.args)
+        phis)
+    t.phis

@@ -1,0 +1,48 @@
+(** Static single assignment over the statement-level CFG (Cytron et
+    al.: φs at the iterated dominance frontier of definition sites),
+    built to make the paper's correspondences testable: merges for
+    [access_x] in the optimized translation appear wherever SSA places a
+    φ for [x]; versions are single-assignment; uses are dominated by
+    their definitions.  Arrays are whole-name scalars (an element store
+    defs and uses the array), as in the token translation. *)
+
+type version = { base : string; idx : int }
+
+val version_to_string : version -> string
+
+type phi = {
+  dest : version;
+  args : (Cfg.Core.node * version) list;  (** per predecessor *)
+}
+
+type t = {
+  cfg : Cfg.Core.t;
+  dom : Analysis.Dom.t;
+  phis : (Cfg.Core.node * phi list) list;  (** joins with their φs *)
+  defs : (Cfg.Core.node * version) list;
+  uses : (Cfg.Core.node * version list) list;
+  max_version : (string, int) Hashtbl.t;
+}
+
+(** Definition / use sets at CFG-node level (whole-name arrays). *)
+val def_of : Cfg.Core.t -> Cfg.Core.node -> string option
+
+val uses_of : Cfg.Core.t -> Cfg.Core.node -> string list
+
+(** Per variable, the joins needing a φ: the iterated dominance frontier
+    of its definition sites (start defines every variable's initial
+    value). *)
+val phi_sites :
+  Cfg.Core.t -> vars:string list -> (string * Cfg.Core.node list) list
+
+val construct : Cfg.Core.t -> t
+
+(** Joins holding a φ for [x]. *)
+val phi_joins : t -> string -> Cfg.Core.node list
+
+(** Check the SSA invariants (single assignment; defs dominate uses; φ
+    argument availability and arity).
+    @raise Failure on a violation. *)
+val verify : t -> unit
+
+val pp : Format.formatter -> t -> unit

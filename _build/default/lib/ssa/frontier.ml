@@ -1,0 +1,77 @@
+(** Dominance frontiers and iterated dominance frontiers.
+
+    The paper's Section 4 ties switch placement to control dependence
+    (computed from the {e postdominator} tree); the dual construction over
+    the {e dominator} tree is the dominance frontier, which drives
+    φ-placement in static single assignment form -- the representation the
+    paper's Section 6.1 memory-elimination transform effectively computes.
+    Both are provided here to make the correspondence testable. *)
+
+(** [compute dom g] -- dominance frontiers over the forward CFG:
+    [DF(n) = { m | n dominates a predecessor of m, n does not strictly
+    dominate m }]. *)
+let compute (dom : Analysis.Dom.t) (g : Cfg.Core.t) : int list array =
+  let n = Cfg.Core.num_nodes g in
+  let df = Array.make n [] in
+  let add x m = if not (List.mem m df.(x)) then df.(x) <- m :: df.(x) in
+  for m = 0 to n - 1 do
+    let preds = Cfg.Core.pred_nodes g m in
+    if List.length preds >= 2 && dom.Analysis.Dom.reach.(m) then begin
+      (* idom(m) dominates every predecessor of m, so the upward walk
+         from each predecessor terminates there (Cytron et al.) *)
+      let stop = Analysis.Dom.idom dom m in
+      List.iter
+        (fun p ->
+          if dom.Analysis.Dom.reach.(p) then begin
+            let runner = ref p in
+            while !runner <> stop do
+              add !runner m;
+              runner := Analysis.Dom.idom dom !runner
+            done
+          end)
+        preds
+    end
+  done;
+  df
+
+(** [compute_definitional dom g] -- the same set straight from the
+    definition, by quantifier enumeration; used to cross-check
+    {!compute} in tests. *)
+let compute_definitional (dom : Analysis.Dom.t) (g : Cfg.Core.t) :
+    int list array =
+  let n = Cfg.Core.num_nodes g in
+  Array.init n (fun x ->
+      List.filter
+        (fun m ->
+          List.exists
+            (fun p -> Analysis.Dom.dominates dom x p)
+            (Cfg.Core.pred_nodes g m)
+          && not (Analysis.Dom.strictly_dominates dom x m))
+        (List.init n Fun.id))
+
+(** [iterated df seeds] -- the iterated dominance frontier DF⁺ of a node
+    set: the φ-placement set of a variable defined at [seeds]. *)
+let iterated (df : int list array) (seeds : int list) : int list =
+  let n = Array.length df in
+  let in_result = Array.make n false in
+  let queued = Array.make n false in
+  let q = Queue.create () in
+  List.iter
+    (fun s ->
+      if not queued.(s) then begin
+        queued.(s) <- true;
+        Queue.add s q
+      end)
+    seeds;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    List.iter
+      (fun m ->
+        in_result.(m) <- true;
+        if not queued.(m) then begin
+          queued.(m) <- true;
+          Queue.add m q
+        end)
+      df.(v)
+  done;
+  List.filter (fun v -> in_result.(v)) (List.init n Fun.id)

@@ -1,0 +1,16 @@
+(** Dominance frontiers and iterated dominance frontiers — the
+    dominator-tree dual of the paper's postdominator-based switch
+    placement, driving φ-placement in SSA (the representation Section
+    6.1's memory elimination effectively computes). *)
+
+(** [compute dom g] — DF(n) = { m | n dominates a predecessor of m, n
+    does not strictly dominate m } (Cytron et al.'s walk). *)
+val compute : Analysis.Dom.t -> Cfg.Core.t -> int list array
+
+(** The same set straight from the definition, by enumeration; used to
+    cross-check {!compute}. *)
+val compute_definitional : Analysis.Dom.t -> Cfg.Core.t -> int list array
+
+(** [iterated df seeds] — DF⁺ of a node set: the φ-placement set of a
+    variable defined at [seeds]. *)
+val iterated : int list array -> int list -> int list

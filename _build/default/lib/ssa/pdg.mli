@@ -1,0 +1,25 @@
+(** Program dependence graphs (Ferrante–Ottenstein–Warren): control
+    dependence edges plus SSA-derived def-use flow edges, with φs traced
+    through to producing statements.  Makes the paper's Sections 1/7
+    comparison with PDG-based translation concrete and testable. *)
+
+type edge_kind =
+  | Control of bool  (** control dependence, labelled by direction *)
+  | Flow of string  (** def-use dependence on a variable *)
+
+type edge = { src : Cfg.Core.node; dst : Cfg.Core.node; kind : edge_kind }
+
+type t = {
+  cfg : Cfg.Core.t;
+  edges : edge list;
+}
+
+val build : Cfg.Core.t -> t
+val control_edges : t -> edge list
+val flow_edges : t -> edge list
+
+(** Statements whose values node [n] consumes, with the variable. *)
+val flow_deps_of : t -> Cfg.Core.node -> (Cfg.Core.node * string) list
+
+val pp : Format.formatter -> t -> unit
+val to_dot : t -> string

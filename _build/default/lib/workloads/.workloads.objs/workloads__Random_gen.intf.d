@@ -1,0 +1,1 @@
+lib/workloads/random_gen.mli: Cfg Imp Random

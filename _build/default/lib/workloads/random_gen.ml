@@ -1,0 +1,293 @@
+(** Random program and CFG generators.
+
+    Two families:
+
+    - {!structured}: well-typed, {e terminating} programs (loops are
+      bounded by dedicated counter variables never assigned in their
+      bodies).  These drive the differential semantics tests: every
+      translation schema executed on the dataflow machine must produce the
+      reference interpreter's final store.
+
+    - {!flat}: arbitrary goto-spaghetti flat programs; their CFGs exercise
+      the analyses (postdominators, control dependence, switch placement,
+      interval analysis) on genuinely unstructured -- occasionally
+      irreducible -- shapes.  Execution may diverge; analysis does not
+      care.
+
+    All generation is driven by an explicit [Random.State.t] so failures
+    reproduce from a seed. *)
+
+type config = {
+  num_vars : int;  (** scalar pool size *)
+  num_arrays : int;  (** array pool size (0 = scalar-only programs) *)
+  array_extent : int;
+  max_depth : int;  (** statement nesting depth *)
+  max_len : int;  (** statements per block *)
+  expr_depth : int;
+  loop_bound : int;  (** max iterations per generated loop *)
+  allow_alias : bool;  (** emit [equiv]/[mayalias] declarations *)
+}
+
+let default_config =
+  {
+    num_vars = 5;
+    num_arrays = 1;
+    array_extent = 6;
+    max_depth = 3;
+    max_len = 4;
+    expr_depth = 3;
+    loop_bound = 4;
+    allow_alias = false;
+  }
+
+let scalar i = Fmt.str "v%d" i
+let array_name i = Fmt.str "a%d" i
+let counter i = Fmt.str "c%d" i
+
+let pick rand l = List.nth l (Random.State.int rand (List.length l))
+
+(* --- expressions ---------------------------------------------------- *)
+
+let rec int_expr (cfg : config) rand depth : Imp.Ast.expr =
+  if depth <= 0 || Random.State.int rand 3 = 0 then
+    if Random.State.bool rand then
+      Imp.Ast.Int (Random.State.int rand 21 - 10)
+    else leaf_var cfg rand
+  else
+    match Random.State.int rand 8 with
+    | 0 -> Imp.Ast.Unop (Imp.Ast.Neg, int_expr cfg rand (depth - 1))
+    | 1 when cfg.num_arrays > 0 ->
+        Imp.Ast.Index
+          ( array_name (Random.State.int rand cfg.num_arrays),
+            int_expr cfg rand (depth - 1) )
+    | _ ->
+        let op =
+          pick rand Imp.Ast.[ Add; Sub; Mul; Div; Mod; Add; Sub ]
+        in
+        Imp.Ast.Binop (op, int_expr cfg rand (depth - 1), int_expr cfg rand (depth - 1))
+
+and leaf_var cfg rand =
+  if cfg.num_arrays > 0 && Random.State.int rand 5 = 0 then
+    Imp.Ast.Index
+      ( array_name (Random.State.int rand cfg.num_arrays),
+        Imp.Ast.Int (Random.State.int rand cfg.array_extent) )
+  else Imp.Ast.Var (scalar (Random.State.int rand cfg.num_vars))
+
+let bool_expr (cfg : config) rand depth : Imp.Ast.expr =
+  let cmp () =
+    let op = pick rand Imp.Ast.[ Lt; Le; Gt; Ge; Eq; Ne ] in
+    Imp.Ast.Binop (op, int_expr cfg rand (depth - 1), int_expr cfg rand (depth - 1))
+  in
+  match Random.State.int rand 5 with
+  | 0 ->
+      Imp.Ast.Binop
+        ( (if Random.State.bool rand then Imp.Ast.And else Imp.Ast.Or),
+          cmp (),
+          cmp () )
+  | 1 -> Imp.Ast.Unop (Imp.Ast.Not, cmp ())
+  | _ -> cmp ()
+
+(* --- structured programs -------------------------------------------- *)
+
+(* Generate a statement block; [next_counter] supplies fresh loop
+   counters (never assigned inside their loop bodies, so every loop
+   terminates). *)
+let structured_block (config : config) (next_counter : int ref)
+    (rand : Random.State.t) : Imp.Ast.stmt =
+  let assign_target rand =
+    if config.num_arrays > 0 && Random.State.int rand 4 = 0 then
+      Imp.Ast.Lindex
+        ( array_name (Random.State.int rand config.num_arrays),
+          int_expr config rand (config.expr_depth - 1) )
+    else Imp.Ast.Lvar (scalar (Random.State.int rand config.num_vars))
+  in
+  let rec block depth rand : Imp.Ast.stmt =
+    let len = 1 + Random.State.int rand config.max_len in
+    Imp.Ast.seq (List.init len (fun _ -> stmt depth rand))
+  and stmt depth rand : Imp.Ast.stmt =
+    let choice = Random.State.int rand (if depth <= 0 then 4 else 9) in
+    match choice with
+    | 0 | 1 | 2 | 3 ->
+        Imp.Ast.Assign (assign_target rand, int_expr config rand config.expr_depth)
+    | 8 ->
+        (* multi-way branch *)
+        let n_arms = 1 + Random.State.int rand 3 in
+        Imp.Ast.Case
+          ( int_expr config rand config.expr_depth,
+            List.init n_arms (fun k -> (k - 1, block (depth - 1) rand)),
+            if Random.State.bool rand then block (depth - 1) rand
+            else Imp.Ast.Skip )
+    | 4 | 5 ->
+        Imp.Ast.If
+          ( bool_expr config rand config.expr_depth,
+            block (depth - 1) rand,
+            if Random.State.bool rand then block (depth - 1) rand
+            else Imp.Ast.Skip )
+    | _ ->
+        (* Bounded loop: a dedicated counter not assigned in the body. *)
+        let c = counter !next_counter in
+        incr next_counter;
+        let bound = 1 + Random.State.int rand config.loop_bound in
+        Imp.Ast.seq
+          [
+            Imp.Ast.Assign (Imp.Ast.Lvar c, Imp.Ast.Int 0);
+            Imp.Ast.While
+              ( Imp.Ast.Binop (Imp.Ast.Lt, Imp.Ast.Var c, Imp.Ast.Int bound),
+                Imp.Ast.Seq
+                  ( block (depth - 1) rand,
+                    Imp.Ast.Assign
+                      ( Imp.Ast.Lvar c,
+                        Imp.Ast.Binop (Imp.Ast.Add, Imp.Ast.Var c, Imp.Ast.Int 1)
+                      ) ) );
+          ]
+  in
+  block config.max_depth rand
+
+(* Generate just a statement block (used for procedure bodies too). *)
+let structured_body (config : config) (rand : Random.State.t) : Imp.Ast.stmt =
+  structured_block config (ref 1000) rand
+
+let structured ?(config = default_config) (rand : Random.State.t) :
+    Imp.Ast.program =
+  let next_counter = ref 0 in
+  let body = structured_block config next_counter rand in
+  let arrays =
+    List.init config.num_arrays (fun i -> (array_name i, config.array_extent))
+  in
+  let equiv, may_alias =
+    if not config.allow_alias then ([], [])
+    else begin
+      (* A few random pairs among the scalars.  equiv pairs really share
+         storage; may_alias pairs only claim they might. *)
+      let rnd_scalar () = scalar (Random.State.int rand config.num_vars) in
+      let pairs k =
+        List.init k (fun _ -> (rnd_scalar (), rnd_scalar ()))
+        |> List.filter (fun (a, b) -> a <> b)
+      in
+      (pairs (Random.State.int rand 2), pairs (Random.State.int rand 3))
+    end
+  in
+  (* Occasionally wrap part of the workload in procedures called with
+     random by-reference arguments, exercising the inliner (and, with
+     repeated arguments, genuine parameter aliasing). *)
+  let procs, body =
+    if Random.State.int rand 3 <> 0 then ([], body)
+    else begin
+      let params = [ "p0"; "p1" ] in
+      let pconfig = { config with num_vars = 2; num_arrays = 0; max_depth = 1 } in
+      let rename s =
+        (* a body over v0/v1 becomes a body over the parameters *)
+        let sub = function "v0" -> "p0" | "v1" -> "p1" | x -> x in
+        let rec expr = function
+          | Imp.Ast.Int _ | Imp.Ast.Bool _ as e -> e
+          | Imp.Ast.Var x -> Imp.Ast.Var (sub x)
+          | Imp.Ast.Index (x, e) -> Imp.Ast.Index (sub x, expr e)
+          | Imp.Ast.Binop (op, a, b) -> Imp.Ast.Binop (op, expr a, expr b)
+          | Imp.Ast.Unop (op, a) -> Imp.Ast.Unop (op, expr a)
+        in
+        let rec stmt = function
+          | Imp.Ast.Skip -> Imp.Ast.Skip
+          | Imp.Ast.Assign (Imp.Ast.Lvar x, e) ->
+              Imp.Ast.Assign (Imp.Ast.Lvar (sub x), expr e)
+          | Imp.Ast.Assign (Imp.Ast.Lindex (x, i), e) ->
+              Imp.Ast.Assign (Imp.Ast.Lindex (sub x, expr i), expr e)
+          | Imp.Ast.Seq (a, b) -> Imp.Ast.Seq (stmt a, stmt b)
+          | Imp.Ast.If (e, a, b) -> Imp.Ast.If (expr e, stmt a, stmt b)
+          | Imp.Ast.While (e, a) -> Imp.Ast.While (expr e, stmt a)
+          | s -> s
+        in
+        stmt s
+      in
+      let pbody =
+        rename ((structured_body [@warning "-26"]) pconfig rand)
+      in
+      let proc = { Imp.Ast.pname = "helper"; params; pbody } in
+      let arg () = scalar (Random.State.int rand config.num_vars) in
+      let calls =
+        List.init
+          (1 + Random.State.int rand 2)
+          (fun _ ->
+            let a = arg () in
+            (* sometimes pass the same variable twice: parameter aliasing *)
+            let b = if Random.State.bool rand then a else arg () in
+            Imp.Ast.Call ("helper", [ a; b ]))
+      in
+      ([ proc ], Imp.Ast.Seq (body, Imp.Ast.seq calls))
+    end
+  in
+  let p = { Imp.Ast.arrays; equiv; may_alias; procs; body } in
+  Imp.Typecheck.check_program p;
+  p
+
+(* --- flat (unstructured) programs ----------------------------------- *)
+
+(** [flat ?config rand] generates a random goto program: a sequence of
+    assignments, labels, conditional branches and gotos over [k] labels.
+    Forward-biased targets keep most programs end-reachable; no
+    termination guarantee. *)
+let flat ?(config = default_config) (rand : Random.State.t) : Imp.Flat.t =
+  (* flat programs declare no arrays, so expressions must be scalar-only *)
+  let config = { config with num_arrays = 0 } in
+  let k = 2 + Random.State.int rand 5 in
+  let label i = Fmt.str "L%d" i in
+  let len = 4 + Random.State.int rand (4 * config.max_len) in
+  (* Place k labels at random distinct positions. *)
+  let buf = ref [] in
+  let emit i = buf := i :: !buf in
+  let label_positions =
+    List.init k (fun i -> (Random.State.int rand len, i))
+    |> List.sort_uniq compare
+  in
+  let target_label pos =
+    (* bias forward: 2/3 of the time pick a label at or after pos *)
+    let forward =
+      List.filter (fun (p, _) -> p >= pos) label_positions |> List.map snd
+    in
+    if forward <> [] && Random.State.int rand 3 < 2 then pick rand forward
+    else snd (pick rand label_positions)
+  in
+  for pos = 0 to len - 1 do
+    List.iter
+      (fun (p, i) -> if p = pos then emit (Imp.Flat.Label (label i)))
+      label_positions;
+    match Random.State.int rand 6 with
+    | 0 ->
+        emit
+          (Imp.Flat.Branch
+             ( bool_expr config rand config.expr_depth,
+               label (target_label pos),
+               label (target_label pos) ))
+    | 1 -> emit (Imp.Flat.Goto (label (target_label pos)))
+    | _ ->
+        emit
+          (Imp.Flat.Assign
+             ( Imp.Ast.Lvar (scalar (Random.State.int rand config.num_vars)),
+               int_expr config rand config.expr_depth ))
+  done;
+  {
+    Imp.Flat.arrays = [];
+    equiv = [];
+    may_alias = [];
+    code = Array.of_list (List.rev !buf);
+  }
+
+(** [random_cfg ?config ?max_tries rand] draws random flat programs until
+    one yields a valid CFG (all nodes reach [end]); raises [Failure] after
+    [max_tries].  Roughly one draw in three survives. *)
+let random_cfg ?(config = default_config) ?(max_tries = 100)
+    (rand : Random.State.t) : Cfg.Core.t =
+  let rec go tries =
+    if tries = 0 then failwith "random_cfg: no valid draw"
+    else
+      let f = flat ~config rand in
+      match Cfg.Builder.of_flat f with
+      | g -> g
+      | exception Cfg.Builder.Unreachable_end _ -> go (tries - 1)
+  in
+  go max_tries
+
+(** [random_structured_cfg ?config rand] is the CFG of a random structured
+    program: always reducible, always terminating. *)
+let random_structured_cfg ?(config = default_config) (rand : Random.State.t) :
+    Cfg.Core.t =
+  Cfg.Builder.of_program (structured ~config rand)

@@ -1,0 +1,44 @@
+(** Random program and CFG generators, driven by an explicit
+    [Random.State.t] so failures reproduce from a seed.
+
+    {!structured} programs are well-typed and terminating (loops bounded
+    by dedicated counters), occasionally wrapping work in procedures
+    called with by-reference arguments: they drive the differential
+    semantics tests.  {!flat} programs are goto spaghetti — possibly
+    divergent, occasionally irreducible — for the analysis property
+    tests and, filtered for termination, for node-splitting differential
+    tests. *)
+
+type config = {
+  num_vars : int;  (** scalar pool size *)
+  num_arrays : int;  (** array pool size (0 = scalar-only programs) *)
+  array_extent : int;
+  max_depth : int;  (** statement nesting depth *)
+  max_len : int;  (** statements per block *)
+  expr_depth : int;
+  loop_bound : int;  (** max iterations per generated loop *)
+  allow_alias : bool;  (** emit [equiv]/[mayalias] declarations *)
+}
+
+val default_config : config
+
+(** A random integer expression / boolean predicate over the pool. *)
+val int_expr : config -> Random.State.t -> int -> Imp.Ast.expr
+
+val bool_expr : config -> Random.State.t -> int -> Imp.Ast.expr
+
+(** A random statement block (used for procedure bodies too). *)
+val structured_body : config -> Random.State.t -> Imp.Ast.stmt
+
+(** A random well-typed terminating program. *)
+val structured : ?config:config -> Random.State.t -> Imp.Ast.program
+
+(** A random goto program (scalar-only; no termination guarantee). *)
+val flat : ?config:config -> Random.State.t -> Imp.Flat.t
+
+(** Draw {!flat} programs until one yields a valid CFG (all nodes reach
+    end). @raise Failure after [max_tries]. *)
+val random_cfg : ?config:config -> ?max_tries:int -> Random.State.t -> Cfg.Core.t
+
+(** The CFG of a random structured program: reducible, terminating. *)
+val random_structured_cfg : ?config:config -> Random.State.t -> Cfg.Core.t

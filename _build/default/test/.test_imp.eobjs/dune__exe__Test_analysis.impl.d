@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Array Cfg Fmt Hashtbl Imp List QCheck QCheck_alcotest Random Workloads

@@ -1,0 +1,1 @@
+test/test_api.ml: Alcotest Analysis Dfg Dflow Fmt Imp List Machine String

@@ -1,0 +1,1 @@
+test/test_dfg.ml: Alcotest Analysis Cfg Dfg Dflow Fmt Imp List Machine Printexc Random String Workloads

@@ -1,0 +1,1 @@
+test/test_dflow.ml: Alcotest Analysis Cfg Dfg Dflow Imp List Machine Printexc QCheck QCheck_alcotest Random String Workloads

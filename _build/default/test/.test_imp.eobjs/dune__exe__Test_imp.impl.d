@@ -1,0 +1,1 @@
+test/test_imp.ml: Alcotest Array Fmt Gen Imp List Printexc QCheck QCheck_alcotest Random Workloads

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Analysis Array Dfg Dflow Fmt Imp List Machine Random String Workloads

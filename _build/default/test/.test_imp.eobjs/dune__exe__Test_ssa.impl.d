@@ -1,0 +1,1 @@
+test/test_ssa.ml: Alcotest Analysis Array Cfg Dflow Imp List QCheck QCheck_alcotest Random Ssa String Workloads

@@ -1,0 +1,1 @@
+test/test_transforms.ml: Alcotest Analysis Cfg Dfg Dflow Fmt Imp List Machine QCheck QCheck_alcotest Random Workloads

@@ -1,0 +1,645 @@
+(* Tests for dominators, control dependence, switch placement (Theorem 1),
+   alias structures, covers and subscript analysis. *)
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let cfg_of = Cfg.Builder.of_string
+
+let find_fork g =
+  List.find
+    (fun n -> match Cfg.Core.kind g n with Cfg.Core.Fork _ -> true | _ -> false)
+    (Cfg.Core.nodes g)
+
+let find_assign_to g x =
+  List.find
+    (fun n ->
+      match Cfg.Core.kind g n with
+      | Cfg.Core.Assign (Imp.Ast.Lvar y, _) -> y = x
+      | _ -> false)
+    (Cfg.Core.nodes g)
+
+(* ------------------------------------------------------------------ *)
+(* Dominators / postdominators                                        *)
+
+let test_dom_diamond () =
+  let g = cfg_of "x := 1 if x < 2 then y := 1 else y := 2 end z := 3" in
+  let dom = Analysis.Dom.dominators_of g in
+  let f = find_fork g in
+  let z = find_assign_to g "z" in
+  checkb "fork dominates z" true (Analysis.Dom.dominates dom f z);
+  let y1 = find_assign_to g "y" in
+  checkb "branch does not dominate z" false (Analysis.Dom.dominates dom y1 z)
+
+let test_postdom_diamond () =
+  let g = cfg_of "x := 1 if x < 2 then y := 1 else y := 2 end z := 3" in
+  let pdom = Analysis.Dom.postdominators_of g in
+  let f = find_fork g in
+  let z = find_assign_to g "z" in
+  checkb "z postdominates fork" true (Analysis.Dom.dominates pdom z f);
+  (* Join postdominates the fork and is its immediate postdominator. *)
+  let ip = Analysis.Dom.idom pdom f in
+  checkb "ipostdom of fork is join" true (Cfg.Core.kind g ip = Cfg.Core.Join)
+
+let test_postdom_of_start () =
+  (* Start's immediate postdominator is End, thanks to the start->end
+     convention edge. *)
+  let g = cfg_of "x := 1 y := 2" in
+  let pdom = Analysis.Dom.postdominators_of g in
+  checki "ipostdom(start) = end" g.Cfg.Core.stop
+    (Analysis.Dom.idom pdom g.Cfg.Core.start)
+
+let test_postdom_loop () =
+  let g = Cfg.Builder.of_program (Imp.Factory.running_example ()) in
+  let pdom = Analysis.Dom.postdominators_of g in
+  let f = find_fork g in
+  (* The loop fork's immediate postdominator is end. *)
+  checki "ipostdom(loop fork)" g.Cfg.Core.stop (Analysis.Dom.idom pdom f)
+
+let prop_postdom_matches_bruteforce =
+  QCheck.Test.make ~name:"iterative postdominators = path enumeration"
+    ~count:60
+    (QCheck.make (fun st ->
+         let rand = Random.State.make [| QCheck.Gen.int st |] in
+         Workloads.Random_gen.random_cfg rand))
+    (fun g ->
+      let pdom = Analysis.Dom.postdominators_of g in
+      let n = Cfg.Core.num_nodes g in
+      let ok = ref true in
+      for a = 0 to n - 1 do
+        for b = 0 to n - 1 do
+          let fast = Analysis.Dom.dominates pdom a b in
+          let slow = Analysis.Dom.postdominates_bruteforce g a b in
+          if fast <> slow then ok := false
+        done
+      done;
+      !ok)
+
+let dominates_bruteforce g a b =
+  (* a dominates b iff removing a disconnects b from start *)
+  if a = b then true
+  else begin
+    let seen = Array.make (Cfg.Core.num_nodes g) false in
+    let rec dfs v =
+      if (not seen.(v)) && v <> a then begin
+        seen.(v) <- true;
+        List.iter dfs (Cfg.Core.succ_nodes g v)
+      end
+    in
+    dfs g.Cfg.Core.start;
+    not seen.(b)
+  end
+
+let prop_dom_matches_bruteforce =
+  QCheck.Test.make ~name:"iterative dominators = path enumeration" ~count:40
+    (QCheck.make (fun st ->
+         let rand = Random.State.make [| QCheck.Gen.int st |] in
+         Workloads.Random_gen.random_cfg rand))
+    (fun g ->
+      let dom = Analysis.Dom.dominators_of g in
+      let n = Cfg.Core.num_nodes g in
+      let ok = ref true in
+      for a = 0 to n - 1 do
+        for b = 0 to n - 1 do
+          if Analysis.Dom.dominates dom a b <> dominates_bruteforce g a b then
+            ok := false
+        done
+      done;
+      !ok)
+
+let test_order_topological () =
+  let g = cfg_of "x := 1 if x < 2 then y := 1 else y := 2 end z := 3" in
+  (match
+     Analysis.Order.topological_sort ~nn:(Cfg.Core.num_nodes g)
+       ~succ:(Cfg.Core.succ_nodes g) ~entry:g.Cfg.Core.start
+   with
+  | Some order ->
+      (* every edge goes forward in the order *)
+      let pos = Hashtbl.create 16 in
+      List.iteri (fun i v -> Hashtbl.replace pos v i) order;
+      List.iter
+        (fun u ->
+          List.iter
+            (fun v ->
+              checkb "edge goes forward" true
+                (Hashtbl.find pos u < Hashtbl.find pos v))
+            (Cfg.Core.succ_nodes g u))
+        (Cfg.Core.nodes g)
+  | None -> Alcotest.fail "acyclic graph reported cyclic");
+  let gl = Cfg.Builder.of_program (Imp.Factory.sum_kernel ()) in
+  checkb "loop detected as cycle" true
+    (Analysis.Order.topological_sort ~nn:(Cfg.Core.num_nodes gl)
+       ~succ:(Cfg.Core.succ_nodes gl) ~entry:gl.Cfg.Core.start
+    = None)
+
+let test_order_rpo () =
+  let g = cfg_of "x := 1 y := 2 z := 3" in
+  let rpo =
+    Analysis.Order.rpo_numbers ~nn:(Cfg.Core.num_nodes g)
+      ~succ:(Cfg.Core.succ_nodes g) ~entry:g.Cfg.Core.start
+  in
+  checki "start first" 0 rpo.(g.Cfg.Core.start);
+  (* every node reachable: no -1 *)
+  Array.iter (fun i -> checkb "numbered" true (i >= 0)) rpo
+
+(* ------------------------------------------------------------------ *)
+(* Control dependence                                                 *)
+
+let test_cd_if_branches () =
+  let g = cfg_of "x := 1 if x < 2 then y := 1 else y := 2 end z := 3" in
+  let cd = Analysis.Control_dep.compute g in
+  let f = find_fork g in
+  let y1 = find_assign_to g "y" in
+  checkb "branch CD on fork" true (List.mem f (Analysis.Control_dep.cd cd y1));
+  let z = find_assign_to g "z" in
+  checkb "z not CD on fork" false (List.mem f (Analysis.Control_dep.cd cd z));
+  (* z is control dependent on start (between start and end). *)
+  checkb "z CD on start" true
+    (List.mem g.Cfg.Core.start (Analysis.Control_dep.cd cd z))
+
+let test_cd_loop_self () =
+  (* The loop fork is control dependent on itself: taking the back edge
+     re-executes it. *)
+  let g = Cfg.Builder.of_program (Imp.Factory.running_example ()) in
+  let cd = Analysis.Control_dep.compute g in
+  let f = find_fork g in
+  checkb "loop fork self-dependent" true
+    (List.mem f (Analysis.Control_dep.cd cd f))
+
+let prop_cd_matches_bruteforce =
+  QCheck.Test.make ~name:"control dependence = definitional check" ~count:60
+    (QCheck.make (fun st ->
+         let rand = Random.State.make [| QCheck.Gen.int st |] in
+         Workloads.Random_gen.random_cfg rand))
+    (fun g ->
+      let cd = Analysis.Control_dep.compute g in
+      let pdom = cd.Analysis.Control_dep.pdom in
+      let n = Cfg.Core.num_nodes g in
+      let ok = ref true in
+      for f = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          let fast = List.mem f (Analysis.Control_dep.cd cd v) in
+          let slow =
+            Analysis.Control_dep.control_dependent_bruteforce g pdom f v
+          in
+          if fast <> slow then ok := false
+        done
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Switch placement / Theorem 1                                       *)
+
+let test_switch_fig9 () =
+  (* Figure 9: x is untouched by the conditional, so the fork must NOT
+     need a switch for access_x, but needs one for y and z. *)
+  let g = Cfg.Builder.of_program (Imp.Factory.bypass_example ()) in
+  let sp = Analysis.Switch_place.compute g ~vars:[ "w"; "x"; "y"; "z" ] in
+  let forks =
+    List.filter
+      (fun n ->
+        match Cfg.Core.kind g n with Cfg.Core.Fork _ -> true | _ -> false)
+      (Cfg.Core.nodes g)
+  in
+  let f = List.hd forks in
+  checkb "no switch for x" false (Analysis.Switch_place.needs_switch sp f "x");
+  checkb "switch for y" true (Analysis.Switch_place.needs_switch sp f "y");
+  checkb "switch for z" true (Analysis.Switch_place.needs_switch sp f "z")
+
+let test_switch_nested_bypass () =
+  (* Both nested forks are bypassable for x. *)
+  let g = Cfg.Builder.of_program (Imp.Factory.nested_bypass_example ()) in
+  let sp = Analysis.Switch_place.compute g ~vars:[ "u"; "w"; "x"; "y"; "z" ] in
+  List.iter
+    (fun n ->
+      match Cfg.Core.kind g n with
+      | Cfg.Core.Fork _ ->
+          checkb "no switch for x anywhere" false
+            (Analysis.Switch_place.needs_switch sp n "x")
+      | _ -> ())
+    (Cfg.Core.nodes g)
+
+let test_switch_loop_needs () =
+  (* In the running example both x and y are referenced in the loop, so
+     the loop fork needs switches for both. *)
+  let g = Cfg.Builder.of_program (Imp.Factory.running_example ()) in
+  let sp = Analysis.Switch_place.compute g ~vars:[ "x"; "y" ] in
+  let f = find_fork g in
+  checkb "switch for x" true (Analysis.Switch_place.needs_switch sp f "x");
+  checkb "switch for y" true (Analysis.Switch_place.needs_switch sp f "y")
+
+let test_switch_count () =
+  let g = Cfg.Builder.of_program (Imp.Factory.bypass_example ()) in
+  let vars = [ "u"; "w"; "x"; "y"; "z" ] in
+  let sp = Analysis.Switch_place.compute g ~vars in
+  let sp_bf = Analysis.Switch_place.compute_bruteforce g ~vars in
+  checki "counts agree" (Analysis.Switch_place.switch_count sp_bf)
+    (Analysis.Switch_place.switch_count sp)
+
+let prop_theorem1 =
+  (* Theorem 1 / Corollary 1: the Figure-10 worklist algorithm computes
+     exactly the definitional "between F and ipostdom(F)" relation. *)
+  QCheck.Test.make ~name:"theorem 1: CD+ = between(F, ipostdom F)" ~count:80
+    (QCheck.make (fun st ->
+         let rand = Random.State.make [| QCheck.Gen.int st |] in
+         Workloads.Random_gen.random_cfg rand))
+    (fun g ->
+      let vars =
+        List.sort_uniq compare
+          (List.concat_map (Cfg.Core.referenced_vars g) (Cfg.Core.nodes g))
+      in
+      if vars = [] then true
+      else begin
+        let sp = Analysis.Switch_place.compute g ~vars in
+        let sp_bf = Analysis.Switch_place.compute_bruteforce g ~vars in
+        List.for_all
+          (fun x ->
+            List.for_all
+              (fun f ->
+                (not (Cfg.Core.is_fork g f))
+                || Analysis.Switch_place.needs_switch sp f x
+                   = Analysis.Switch_place.needs_switch sp_bf f x)
+              (Cfg.Core.nodes g))
+          vars
+      end)
+
+let prop_structured_theorem1 =
+  QCheck.Test.make ~name:"theorem 1 on structured CFGs" ~count:80
+    (QCheck.make (fun st ->
+         let rand = Random.State.make [| QCheck.Gen.int st |] in
+         Workloads.Random_gen.random_structured_cfg rand))
+    (fun g ->
+      let vars =
+        List.sort_uniq compare
+          (List.concat_map (Cfg.Core.referenced_vars g) (Cfg.Core.nodes g))
+      in
+      let sp = Analysis.Switch_place.compute g ~vars in
+      let sp_bf = Analysis.Switch_place.compute_bruteforce g ~vars in
+      Analysis.Switch_place.switch_count sp
+      = Analysis.Switch_place.switch_count sp_bf)
+
+(* ------------------------------------------------------------------ *)
+(* Natural loops vs interval loops                                    *)
+
+let loops_agree g =
+  let ivs =
+    Cfg.Intervals.loops g
+    |> List.map (fun (l : Cfg.Intervals.loop) ->
+           (l.Cfg.Intervals.lheader, List.sort compare l.Cfg.Intervals.body_list))
+    |> List.sort compare
+  in
+  let nat =
+    Analysis.Natural_loops.compute g
+    |> List.map (fun (l : Analysis.Natural_loops.loop) ->
+           (l.Analysis.Natural_loops.header,
+            List.sort compare l.Analysis.Natural_loops.body))
+    |> List.sort compare
+  in
+  ivs = nat
+
+let test_natural_loops_nested () =
+  let g =
+    cfg_of
+      {| i := 0
+         while i < 3 do
+           j := 0
+           while j < 3 do j := j + 1 end
+           i := i + 1
+         end |}
+  in
+  checkb "agree on nested loops" true (loops_agree g)
+
+let test_natural_loops_multi_latch () =
+  let g =
+    cfg_of
+      {| h:
+         x := x + 1
+         if x % 2 == 0 goto h
+         if x < 9 goto h |}
+  in
+  (* two back edges to one header: a single merged loop either way *)
+  let nat = Analysis.Natural_loops.compute g in
+  checki "one natural loop" 1 (List.length nat);
+  checki "two latches" 2
+    (List.length (List.hd nat).Analysis.Natural_loops.latches);
+  checkb "agree" true (loops_agree g)
+
+let test_retreating_edge_detects_irreducible () =
+  let gi = Cfg.Builder.of_program (Imp.Factory.irreducible_example ()) in
+  checkb "irreducible witnessed" true
+    (Analysis.Natural_loops.has_non_back_retreating_edge gi);
+  let gr = Cfg.Builder.of_program (Imp.Factory.sum_kernel ()) in
+  checkb "reducible clean" false
+    (Analysis.Natural_loops.has_non_back_retreating_edge gr)
+
+let prop_interval_loops_equal_natural =
+  QCheck.Test.make
+    ~name:"interval loops = natural loops on reducible CFGs" ~count:80
+    (QCheck.make (fun st ->
+         let rand = Random.State.make [| QCheck.Gen.int st |] in
+         Workloads.Random_gen.random_structured_cfg rand))
+    loops_agree
+
+let prop_split_graphs_agree_too =
+  QCheck.Test.make
+    ~name:"after node splitting, interval loops = natural loops" ~count:40
+    (QCheck.make (fun st ->
+         let rand = Random.State.make [| QCheck.Gen.int st |] in
+         Workloads.Random_gen.random_cfg rand))
+    (fun g ->
+      let g = Cfg.Split.make_reducible g in
+      loops_agree g)
+
+(* ------------------------------------------------------------------ *)
+(* Alias structures                                                   *)
+
+let fortran_alias () =
+  Analysis.Alias.of_program (Imp.Factory.fortran_alias_example_disjoint ())
+
+let test_alias_classes () =
+  let a = fortran_alias () in
+  Alcotest.(check (list string)) "[x]" [ "x"; "z" ] (Analysis.Alias.class_of a "x");
+  Alcotest.(check (list string)) "[y]" [ "y"; "z" ] (Analysis.Alias.class_of a "y");
+  Alcotest.(check (list string))
+    "[z]" [ "x"; "y"; "z" ]
+    (Analysis.Alias.class_of a "z")
+
+let test_alias_not_transitive () =
+  let a = fortran_alias () in
+  checkb "x ~ z" true (Analysis.Alias.related a "x" "z");
+  checkb "x !~ y" false (Analysis.Alias.related a "x" "y")
+
+let test_alias_equiv_transitive () =
+  let p = Imp.Parser.program_of_string "equiv x y; equiv y z; x := 1 z := x" in
+  let a = Analysis.Alias.of_program p in
+  checkb "x ~ z via equiv" true (Analysis.Alias.related a "x" "z")
+
+let test_alias_layout_consistency () =
+  List.iter
+    (fun (name, mk) ->
+      let p = mk () in
+      let a = Analysis.Alias.of_program p in
+      let l = Imp.Layout.of_program p in
+      checkb (name ^ " alias consistent") true
+        (Analysis.Alias.consistent_with_layout a l))
+    Imp.Factory.all
+
+let test_alias_identity () =
+  let a = Analysis.Alias.identity [ "p"; "q" ] in
+  checkb "no aliasing" false (Analysis.Alias.has_aliasing a);
+  Alcotest.(check (list string)) "[p]" [ "p" ] (Analysis.Alias.class_of a "p")
+
+(* ------------------------------------------------------------------ *)
+(* Covers                                                             *)
+
+let test_cover_validate () =
+  let a = fortran_alias () in
+  Analysis.Cover.validate a (Analysis.Cover.singleton a);
+  Analysis.Cover.validate a (Analysis.Cover.classes a);
+  Analysis.Cover.validate a (Analysis.Cover.components a)
+
+let test_cover_invalid () =
+  let a = fortran_alias () in
+  match Analysis.Cover.validate a [ [ "x" ] ] with
+  | () -> Alcotest.fail "expected Invalid_cover"
+  | exception Analysis.Cover.Invalid_cover _ -> ()
+
+let test_cover_singleton_access () =
+  let a = fortran_alias () in
+  let c = Analysis.Cover.singleton a in
+  (* ops on z collect tokens for x, y and z *)
+  checki "|C[z]|" 3 (List.length (Analysis.Cover.access_set a c "z"));
+  checki "|C[x]|" 2 (List.length (Analysis.Cover.access_set a c "x"))
+
+let test_cover_components_access () =
+  let a = fortran_alias () in
+  let c = Analysis.Cover.components a in
+  (* x,y,z form one component: every op collects exactly one token. *)
+  List.iter
+    (fun v -> checki ("|C[" ^ v ^ "]|") 1 (List.length (Analysis.Cover.access_set a c v)))
+    [ "x"; "y"; "z" ]
+
+let test_cover_tradeoff () =
+  (* Chain p~q~r~s: p and s are in the same alias component but their
+     classes are disjoint, so the singleton cover lets their operations
+     run in parallel while the component cover serializes them.
+     Conversely the component cover needs exactly one token per
+     operation; the singleton cover needs up to |class| tokens. *)
+  let a =
+    Analysis.Alias.of_pairs [ "p"; "q"; "r"; "s" ] ~equiv:[]
+      ~may_alias:[ ("p", "q"); ("q", "r"); ("r", "s") ]
+  in
+  let vars = [ "p"; "q"; "r"; "s" ] in
+  let cost c = Analysis.Cover.synchronization_cost a c vars in
+  let singleton = Analysis.Cover.singleton a in
+  let comps = Analysis.Cover.components a in
+  checkb "components minimize synchronization" true
+    (cost comps < cost singleton);
+  checki "component cover: one token per op" (List.length vars) (cost comps);
+  checkb "singleton maximizes parallelism" true
+    (Analysis.Cover.spurious_serialization a singleton
+    < Analysis.Cover.spurious_serialization a comps);
+  (* Structural lower bound: pairs with intersecting alias classes are
+     serialized under any cover; the singleton cover achieves exactly
+     that bound (p-r and q-s intersect, p-s does not). *)
+  checki "singleton spurious = class-intersection pairs" 2
+    (Analysis.Cover.spurious_serialization a singleton)
+
+let prop_covers_nonempty_access =
+  (* Soundness prerequisite: for any of the three standard covers and any
+     random alias structure, every access set is non-empty and every pair
+     of related variables shares a token. *)
+  QCheck.Test.make ~name:"standard covers are sound" ~count:100
+    (QCheck.make (fun st ->
+         let rand = Random.State.make [| QCheck.Gen.int st |] in
+         let nv = 2 + Random.State.int rand 6 in
+         let vars = List.init nv (fun i -> Fmt.str "v%d" i) in
+         let rnd () = List.nth vars (Random.State.int rand nv) in
+         let pairs k = List.init k (fun _ -> (rnd (), rnd ())) in
+         Analysis.Alias.of_pairs vars
+           ~equiv:(pairs (Random.State.int rand 3))
+           ~may_alias:(pairs (Random.State.int rand 4))))
+    (fun a ->
+      let vars = Array.to_list a.Analysis.Alias.vars in
+      List.for_all
+        (fun c ->
+          Analysis.Cover.validate a c;
+          List.for_all
+            (fun x -> Analysis.Cover.access_set a c x <> [])
+            vars
+          && List.for_all
+               (fun x ->
+                 List.for_all
+                   (fun y ->
+                     (not (Analysis.Alias.related a x y))
+                     || List.exists
+                          (fun i ->
+                            List.mem i (Analysis.Cover.access_set a c y))
+                          (Analysis.Cover.access_set a c x))
+                   vars)
+               vars)
+        [
+          Analysis.Cover.singleton a;
+          Analysis.Cover.classes a;
+          Analysis.Cover.components a;
+        ])
+
+(* ------------------------------------------------------------------ *)
+(* Subscript analysis                                                 *)
+
+let test_subscript_induction () =
+  let g = Cfg.Builder.of_program (Imp.Factory.array_store_loop ()) in
+  let l = List.hd (Cfg.Intervals.loops g) in
+  let inds = Analysis.Subscript.inductions g l.Cfg.Intervals.body_list in
+  checki "one induction var" 1 (List.length inds);
+  Alcotest.(check string) "it is i" "i" (List.hd inds).Analysis.Subscript.ivar;
+  checki "step" 1 (List.hd inds).Analysis.Subscript.step
+
+let test_subscript_independent_store () =
+  let p = Imp.Factory.array_store_loop () in
+  let g = Cfg.Builder.of_program p in
+  let alias = Analysis.Alias.of_program p in
+  let l = List.hd (Cfg.Intervals.loops g) in
+  let ind = Analysis.Subscript.independent_stores g alias l.Cfg.Intervals.body_list in
+  checki "one independent store" 1 (List.length ind)
+
+let test_subscript_serial_store () =
+  (* Two stores to the same array: both serial. *)
+  let p =
+    Imp.Parser.program_of_string
+      {| array x[12]
+         s:
+         i := i + 1
+         x[i] := 1
+         x[i + 1] := 2
+         if i < 10 goto s |}
+  in
+  let g = Cfg.Builder.of_program p in
+  let alias = Analysis.Alias.of_program p in
+  let l = List.hd (Cfg.Intervals.loops g) in
+  checki "no independent stores" 0
+    (List.length
+       (Analysis.Subscript.independent_stores g alias l.Cfg.Intervals.body_list))
+
+let test_subscript_non_induction_serial () =
+  (* Subscript is a non-induction variable: serial. *)
+  let p =
+    Imp.Parser.program_of_string
+      {| array x[12]
+         s:
+         i := i + 1
+         j := j * 2
+         x[j] := 1
+         if i < 10 goto s |}
+  in
+  let g = Cfg.Builder.of_program p in
+  let alias = Analysis.Alias.of_program p in
+  let l = List.hd (Cfg.Intervals.loops g) in
+  checki "no independent stores" 0
+    (List.length
+       (Analysis.Subscript.independent_stores g alias l.Cfg.Intervals.body_list))
+
+let test_subscript_write_once () =
+  let p = Imp.Factory.array_store_loop () in
+  let g = Cfg.Builder.of_program p in
+  let alias = Analysis.Alias.of_program p in
+  let l = List.hd (Cfg.Intervals.loops g) in
+  checkb "write-once" true
+    (Analysis.Subscript.write_once g alias ~body:l.Cfg.Intervals.body_list "x")
+
+let test_subscript_offset_affine () =
+  let p =
+    Imp.Parser.program_of_string
+      {| array x[12]
+         s:
+         i := i + 2
+         x[i + 3] := 1
+         if i < 10 goto s |}
+  in
+  let g = Cfg.Builder.of_program p in
+  let alias = Analysis.Alias.of_program p in
+  let l = List.hd (Cfg.Intervals.loops g) in
+  checki "affine offset is independent" 1
+    (List.length
+       (Analysis.Subscript.independent_stores g alias l.Cfg.Intervals.body_list))
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_postdom_matches_bruteforce;
+      prop_cd_matches_bruteforce;
+      prop_theorem1;
+      prop_structured_theorem1;
+      prop_covers_nonempty_access;
+      prop_interval_loops_equal_natural;
+      prop_split_graphs_agree_too;
+      prop_dom_matches_bruteforce;
+    ]
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "dominators",
+        [
+          Alcotest.test_case "diamond dominators" `Quick test_dom_diamond;
+          Alcotest.test_case "diamond postdominators" `Quick test_postdom_diamond;
+          Alcotest.test_case "ipostdom of start" `Quick test_postdom_of_start;
+          Alcotest.test_case "loop postdominators" `Quick test_postdom_loop;
+        ] );
+      ( "order",
+        [
+          Alcotest.test_case "topological sort" `Quick test_order_topological;
+          Alcotest.test_case "reverse postorder" `Quick test_order_rpo;
+        ] );
+      ( "control dependence",
+        [
+          Alcotest.test_case "if branches" `Quick test_cd_if_branches;
+          Alcotest.test_case "loop self-dependence" `Quick test_cd_loop_self;
+        ] );
+      ( "switch placement",
+        [
+          Alcotest.test_case "figure 9 bypass" `Quick test_switch_fig9;
+          Alcotest.test_case "nested bypass" `Quick test_switch_nested_bypass;
+          Alcotest.test_case "loop needs switches" `Quick test_switch_loop_needs;
+          Alcotest.test_case "switch count" `Quick test_switch_count;
+        ] );
+      ( "natural loops",
+        [
+          Alcotest.test_case "nested" `Quick test_natural_loops_nested;
+          Alcotest.test_case "multi-latch" `Quick test_natural_loops_multi_latch;
+          Alcotest.test_case "retreating edges" `Quick
+            test_retreating_edge_detects_irreducible;
+        ] );
+      ( "alias",
+        [
+          Alcotest.test_case "fortran classes" `Quick test_alias_classes;
+          Alcotest.test_case "not transitive" `Quick test_alias_not_transitive;
+          Alcotest.test_case "equiv transitive" `Quick test_alias_equiv_transitive;
+          Alcotest.test_case "layout consistency" `Quick
+            test_alias_layout_consistency;
+          Alcotest.test_case "identity" `Quick test_alias_identity;
+        ] );
+      ( "cover",
+        [
+          Alcotest.test_case "standard covers valid" `Quick test_cover_validate;
+          Alcotest.test_case "invalid cover rejected" `Quick test_cover_invalid;
+          Alcotest.test_case "singleton access sets" `Quick
+            test_cover_singleton_access;
+          Alcotest.test_case "component access sets" `Quick
+            test_cover_components_access;
+          Alcotest.test_case "parallelism/synchronization tradeoff" `Quick
+            test_cover_tradeoff;
+        ] );
+      ( "subscript",
+        [
+          Alcotest.test_case "induction variables" `Quick test_subscript_induction;
+          Alcotest.test_case "independent store" `Quick
+            test_subscript_independent_store;
+          Alcotest.test_case "conflicting stores serial" `Quick
+            test_subscript_serial_store;
+          Alcotest.test_case "non-induction serial" `Quick
+            test_subscript_non_induction_serial;
+          Alcotest.test_case "write-once array" `Quick test_subscript_write_once;
+          Alcotest.test_case "affine offset" `Quick test_subscript_offset_affine;
+        ] );
+      ("properties", qcheck_cases);
+    ]

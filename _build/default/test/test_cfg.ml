@@ -1,0 +1,488 @@
+(* Tests for CFG construction, validation, interval analysis and
+   loop-control insertion. *)
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let cfg_of src = Cfg.Builder.of_string src
+
+let count_kind g p =
+  List.length (List.filter (fun n -> p (Cfg.Core.kind g n)) (Cfg.Core.nodes g))
+
+let num_assigns g =
+  count_kind g (function Cfg.Core.Assign _ -> true | _ -> false)
+
+let num_forks g = count_kind g (function Cfg.Core.Fork _ -> true | _ -> false)
+let num_joins g = count_kind g (function Cfg.Core.Join -> true | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Builder                                                            *)
+
+let test_straightline () =
+  let g = cfg_of "x := 1 y := 2" in
+  Cfg.Validate.check g;
+  checki "assigns" 2 (num_assigns g);
+  checki "forks" 0 (num_forks g);
+  (* start, end, 2 assigns *)
+  checki "nodes" 4 (Cfg.Core.num_nodes g)
+
+let test_start_is_fork () =
+  let g = cfg_of "x := 1" in
+  checkb "start is fork" true (Cfg.Core.is_fork g g.Cfg.Core.start);
+  let e_false = Cfg.Core.succ_on g g.Cfg.Core.start false in
+  checki "false edge to end" g.Cfg.Core.stop e_false
+
+let test_running_example_shape () =
+  (* Figure 1: join, two assignments, one fork, plus start/end. *)
+  let g = Cfg.Builder.of_program (Imp.Factory.running_example ()) in
+  Cfg.Validate.check g;
+  checki "assigns" 2 (num_assigns g);
+  checki "forks (incl. start)" 1 (num_forks g);
+  checki "joins" 1 (num_joins g);
+  checki "nodes" 6 (Cfg.Core.num_nodes g)
+
+let test_if_shape () =
+  let g = cfg_of "if x < 1 then y := 1 else y := 2 end" in
+  Cfg.Validate.check g;
+  checki "forks" 1 (num_forks g);
+  checki "assigns" 2 (num_assigns g);
+  (* fork successors are distinct *)
+  let f =
+    List.find
+      (fun n -> match Cfg.Core.kind g n with Cfg.Core.Fork _ -> true | _ -> false)
+      (Cfg.Core.nodes g)
+  in
+  let t = Cfg.Core.succ_on g f true and e = Cfg.Core.succ_on g f false in
+  checkb "distinct branches" true (t <> e)
+
+let test_dead_code_pruned () =
+  let g = cfg_of "goto l x := 99 l: y := 1" in
+  Cfg.Validate.check g;
+  checki "dead assign pruned" 1 (num_assigns g)
+
+let test_goto_chain () =
+  let g = cfg_of "goto a a: goto b b: x := 1" in
+  Cfg.Validate.check g;
+  checki "assigns" 1 (num_assigns g)
+
+let test_infinite_loop_rejected () =
+  match cfg_of "l: x := x + 1 goto l" with
+  | _ -> Alcotest.fail "expected Unreachable_end"
+  | exception Cfg.Builder.Unreachable_end _ -> ()
+
+let test_referenced_vars () =
+  let g = cfg_of "array a[3]; a[i] := x + y" in
+  let n =
+    List.find
+      (fun n ->
+        match Cfg.Core.kind g n with Cfg.Core.Assign _ -> true | _ -> false)
+      (Cfg.Core.nodes g)
+  in
+  Alcotest.(check (list string))
+    "vars" [ "a"; "i"; "x"; "y" ]
+    (Cfg.Core.referenced_vars g n)
+
+let test_all_examples_validate () =
+  List.iter
+    (fun (name, mk) ->
+      match Cfg.Builder.of_program (mk ()) with
+      | g -> (
+          try Cfg.Validate.check g
+          with Cfg.Validate.Invalid m -> Alcotest.failf "%s: %s" name m)
+      | exception Cfg.Builder.Unreachable_end _ ->
+          Alcotest.failf "%s: unreachable end" name)
+    Imp.Factory.all
+
+let test_dot_output () =
+  let g = Cfg.Builder.of_program (Imp.Factory.running_example ()) in
+  let s = Cfg.Dot.to_string g in
+  checkb "digraph" true (String.length s > 20 && String.sub s 0 7 = "digraph")
+
+(* ------------------------------------------------------------------ *)
+(* Intervals                                                          *)
+
+let test_intervals_acyclic () =
+  let g = cfg_of "x := 1 if x < 2 then y := 1 else y := 2 end z := 3" in
+  let ls = Cfg.Intervals.loops g in
+  checki "no loops" 0 (List.length ls)
+
+let test_intervals_single_loop () =
+  let g = Cfg.Builder.of_program (Imp.Factory.running_example ()) in
+  let ls = Cfg.Intervals.loops g in
+  checki "one loop" 1 (List.length ls);
+  let l = List.hd ls in
+  checkb "header is the join" true
+    (Cfg.Core.kind g l.Cfg.Intervals.lheader = Cfg.Core.Join);
+  (* Body: join, two assigns, fork. *)
+  checki "body size" 4 (List.length l.Cfg.Intervals.body_list);
+  checki "one back edge" 1 (List.length l.Cfg.Intervals.back_edges)
+
+let test_intervals_nested () =
+  let g =
+    cfg_of
+      {|
+      i := 0
+      while i < 3 do
+        j := 0
+        while j < 3 do
+          s := s + 1
+          j := j + 1
+        end
+        i := i + 1
+      end
+    |}
+  in
+  let ls = Cfg.Intervals.loops g in
+  checki "two loops" 2 (List.length ls);
+  let inner = List.nth ls 0 and outer = List.nth ls 1 in
+  checkb "inner first" true
+    (List.length inner.Cfg.Intervals.body_list
+    < List.length outer.Cfg.Intervals.body_list);
+  (* inner body contained in outer body *)
+  List.iter
+    (fun n -> checkb "containment" true outer.Cfg.Intervals.body.(n))
+    inner.Cfg.Intervals.body_list
+
+let test_intervals_sequential_loops () =
+  let g = cfg_of "while x < 3 do x := x + 1 end while y < 3 do y := y + 1 end" in
+  let ls = Cfg.Intervals.loops g in
+  checki "two loops" 2 (List.length ls);
+  let a = List.nth ls 0 and b = List.nth ls 1 in
+  (* disjoint bodies *)
+  List.iter
+    (fun n -> checkb "disjoint" false b.Cfg.Intervals.body.(n))
+    a.Cfg.Intervals.body_list
+
+let test_intervals_unstructured_loop () =
+  let g = Cfg.Builder.of_program (Imp.Factory.unstructured_example ()) in
+  let ls = Cfg.Intervals.loops g in
+  checki "one loop" 1 (List.length ls)
+
+let test_irreducible_detected () =
+  let g = Cfg.Builder.of_program (Imp.Factory.irreducible_example ()) in
+  match Cfg.Intervals.loops g with
+  | _ -> Alcotest.fail "expected Irreducible"
+  | exception Cfg.Intervals.Irreducible _ -> ()
+
+let test_reducible_predicate () =
+  checkb "structured reducible" true
+    (Cfg.Intervals.reducible (Cfg.Builder.of_program (Imp.Factory.sum_kernel ())));
+  checkb "irreducible" false
+    (Cfg.Intervals.reducible
+       (Cfg.Builder.of_program (Imp.Factory.irreducible_example ())))
+
+let test_body_vars () =
+  let g = Cfg.Builder.of_program (Imp.Factory.running_example ()) in
+  let l = List.hd (Cfg.Intervals.loops g) in
+  Alcotest.(check (list string))
+    "loop vars" [ "x"; "y" ]
+    (Cfg.Intervals.body_vars g l)
+
+(* ------------------------------------------------------------------ *)
+(* Loopify                                                            *)
+
+let test_loopify_acyclic_identity () =
+  let g = cfg_of "x := 1 if x < 2 then y := 1 end" in
+  let t = Cfg.Loopify.transform g in
+  Cfg.Validate.check t.Cfg.Loopify.graph;
+  checki "no loops" 0 (Array.length t.Cfg.Loopify.loops);
+  checki "same node count" (Cfg.Core.num_nodes g)
+    (Cfg.Core.num_nodes t.Cfg.Loopify.graph)
+
+let test_loopify_single_loop () =
+  let g = Cfg.Builder.of_program (Imp.Factory.running_example ()) in
+  let t = Cfg.Loopify.transform g in
+  Cfg.Validate.check t.Cfg.Loopify.graph;
+  checki "one loop" 1 (Array.length t.Cfg.Loopify.loops);
+  let l = t.Cfg.Loopify.loops.(0) in
+  (* Entry feeds the header. *)
+  checki "entry -> header" l.Cfg.Loopify.header
+    (Cfg.Core.the_succ t.Cfg.Loopify.graph l.Cfg.Loopify.entry);
+  (* All header preds are the entry now. *)
+  List.iter
+    (fun (p, _) -> checki "header pred is entry" l.Cfg.Loopify.entry p)
+    (Cfg.Core.pred t.Cfg.Loopify.graph l.Cfg.Loopify.header);
+  checki "one exit" 1 (List.length l.Cfg.Loopify.exits);
+  Alcotest.(check (list string)) "vars" [ "x"; "y" ] l.Cfg.Loopify.vars
+
+let test_loopify_entry_pred_classes () =
+  let g = Cfg.Builder.of_program (Imp.Factory.running_example ()) in
+  let t = Cfg.Loopify.transform g in
+  let l = t.Cfg.Loopify.loops.(0) in
+  let preds = Cfg.Core.pred_nodes t.Cfg.Loopify.graph l.Cfg.Loopify.entry in
+  checki "two entry preds" 2 (List.length preds);
+  let back =
+    List.filter (fun p -> Cfg.Loopify.is_back_edge_source t 0 p) preds
+  in
+  checki "one back edge" 1 (List.length back)
+
+let test_loopify_nested () =
+  let g =
+    cfg_of
+      {|
+      i := 0
+      while i < 3 do
+        j := 0
+        while j < 3 do
+          s := s + j
+          j := j + 1
+        end
+        i := i + 1
+      end
+    |}
+  in
+  let t = Cfg.Loopify.transform g in
+  Cfg.Validate.check t.Cfg.Loopify.graph;
+  checki "two loops" 2 (Array.length t.Cfg.Loopify.loops);
+  let inner = t.Cfg.Loopify.loops.(0) and outer = t.Cfg.Loopify.loops.(1) in
+  Alcotest.(check (option int)) "inner parent" (Some 1) inner.Cfg.Loopify.parent;
+  Alcotest.(check (option int)) "outer parent" None outer.Cfg.Loopify.parent;
+  (* Inner entry and exits are inside outer body. *)
+  checkb "inner entry in outer" true
+    t.Cfg.Loopify.in_body.(1).(inner.Cfg.Loopify.entry);
+  List.iter
+    (fun x -> checkb "inner exit in outer" true t.Cfg.Loopify.in_body.(1).(x))
+    inner.Cfg.Loopify.exits;
+  (* Exiting the inner loop towards the outer's increment shouldn't have
+     created an outer exit on that edge: outer has exactly one exit. *)
+  checki "outer exits" 1 (List.length outer.Cfg.Loopify.exits)
+
+let test_loopify_two_exits () =
+  let g = Cfg.Builder.of_program (Imp.Factory.unstructured_example ()) in
+  let t = Cfg.Loopify.transform g in
+  Cfg.Validate.check t.Cfg.Loopify.graph;
+  checki "one loop" 1 (Array.length t.Cfg.Loopify.loops);
+  checki "two exits" 2 (List.length t.Cfg.Loopify.loops.(0).Cfg.Loopify.exits)
+
+let test_loopify_all_examples () =
+  List.iter
+    (fun (name, mk) ->
+      match Cfg.Builder.of_program (mk ()) with
+      | g -> (
+          match Cfg.Loopify.transform g with
+          | t -> (
+              try Cfg.Validate.check t.Cfg.Loopify.graph
+              with Cfg.Validate.Invalid m -> Alcotest.failf "%s: %s" name m)
+          | exception Cfg.Intervals.Irreducible _ ->
+              if name <> "irreducible_example" then
+                Alcotest.failf "%s: unexpectedly irreducible" name)
+      | exception Cfg.Builder.Unreachable_end _ ->
+          Alcotest.failf "%s: unreachable end" name)
+    Imp.Factory.all
+
+(* ------------------------------------------------------------------ *)
+(* Validate: manually constructed invalid graphs                      *)
+
+let expect_invalid build =
+  match Cfg.Validate.check (build ()) with
+  | () -> Alcotest.fail "expected Invalid"
+  | exception Cfg.Validate.Invalid _ -> ()
+  | exception Cfg.Core.Malformed _ -> ()
+
+let test_validate_fork_one_edge () =
+  expect_invalid (fun () ->
+      (* a fork with a single out-edge *)
+      Cfg.Core.build
+        ~kinds:
+          [| Cfg.Core.Start; Cfg.Core.Fork (Imp.Ast.Bool true); Cfg.Core.End |]
+        ~edges:[ (0, true, 1); (0, false, 2); (1, true, 2) ])
+
+let test_validate_assign_false_edge () =
+  expect_invalid (fun () ->
+      (* an assignment whose single out-edge has the false direction *)
+      Cfg.Core.build
+        ~kinds:
+          [|
+            Cfg.Core.Start;
+            Cfg.Core.Assign (Imp.Ast.Lvar "x", Imp.Ast.Int 1);
+            Cfg.Core.End;
+          |]
+        ~edges:[ (0, true, 1); (0, false, 2); (1, false, 2) ])
+
+let test_validate_missing_convention_edge () =
+  expect_invalid (fun () ->
+      (* start's false edge must go to end *)
+      Cfg.Core.build
+        ~kinds:
+          [|
+            Cfg.Core.Start;
+            Cfg.Core.Assign (Imp.Ast.Lvar "x", Imp.Ast.Int 1);
+            Cfg.Core.End;
+          |]
+        ~edges:[ (0, true, 1); (0, false, 1); (1, true, 2) ])
+
+let test_core_accessors () =
+  let g = cfg_of "x := 1 if x < 2 then y := 1 end" in
+  let f =
+    List.find
+      (fun n -> match Cfg.Core.kind g n with Cfg.Core.Fork _ -> true | _ -> false)
+      (Cfg.Core.nodes g)
+  in
+  checkb "succ_on true/false differ" true
+    (Cfg.Core.succ_on g f true <> Cfg.Core.succ_on g f false);
+  (match Cfg.Core.the_succ g f with
+  | _ -> Alcotest.fail "the_succ on a fork must raise"
+  | exception Cfg.Core.Malformed _ -> ());
+  checki "edges = sum of succ lists" (Cfg.Core.num_edges g)
+    (List.fold_left
+       (fun acc n -> acc + List.length (Cfg.Core.succ g n))
+       0 (Cfg.Core.nodes g))
+
+(* ------------------------------------------------------------------ *)
+(* Intervals: partition-level unit checks                             *)
+
+let test_partition_covers_nodes () =
+  let g = Cfg.Builder.of_program (Imp.Factory.gcd_kernel ()) in
+  let ig = Cfg.Intervals.graph_of_cfg g in
+  let ivs = Cfg.Intervals.partition ig in
+  let covered = List.concat_map (fun iv -> iv.Cfg.Intervals.members) ivs in
+  checki "every node in exactly one interval" (Cfg.Core.num_nodes g)
+    (List.length (List.sort_uniq compare covered));
+  (* headers are members of their own intervals, listed first *)
+  List.iter
+    (fun iv ->
+      checki "header first" iv.Cfg.Intervals.header
+        (List.hd iv.Cfg.Intervals.members))
+    ivs
+
+let test_derive_shrinks () =
+  let g = Cfg.Builder.of_program (Imp.Factory.sum_kernel ()) in
+  let ig = Cfg.Intervals.graph_of_cfg g in
+  let ivs = Cfg.Intervals.partition ig in
+  let g', _ = Cfg.Intervals.derive ig ivs in
+  checkb "derived graph is smaller" true (g'.Cfg.Intervals.nn < ig.Cfg.Intervals.nn)
+
+let test_three_deep_nest () =
+  let g =
+    cfg_of
+      {| i := 0
+         while i < 2 do
+           j := 0
+           while j < 2 do
+             k := 0
+             while k < 2 do s := s + 1 k := k + 1 end
+             j := j + 1
+           end
+           i := i + 1
+         end |}
+  in
+  let t = Cfg.Loopify.transform g in
+  Cfg.Validate.check t.Cfg.Loopify.graph;
+  checki "three loops" 3 (Array.length t.Cfg.Loopify.loops);
+  (* parent chain: innermost -> middle -> outer -> None *)
+  let l0 = t.Cfg.Loopify.loops.(0) in
+  let l1 = t.Cfg.Loopify.loops.(1) in
+  let l2 = t.Cfg.Loopify.loops.(2) in
+  Alcotest.(check (option int)) "innermost parent" (Some 1) l0.Cfg.Loopify.parent;
+  Alcotest.(check (option int)) "middle parent" (Some 2) l1.Cfg.Loopify.parent;
+  Alcotest.(check (option int)) "outer parent" None l2.Cfg.Loopify.parent
+
+(* ------------------------------------------------------------------ *)
+(* Node splitting                                                     *)
+
+let test_split_irreducible_example () =
+  let g = Cfg.Builder.of_program (Imp.Factory.irreducible_example ()) in
+  checkb "irreducible before" false (Cfg.Intervals.reducible g);
+  let g' = Cfg.Split.make_reducible g in
+  Cfg.Validate.check g';
+  checkb "reducible after" true (Cfg.Intervals.reducible g');
+  checkb "copies added" true (Cfg.Split.split_count g g' > 0)
+
+let test_split_reducible_identity () =
+  let g = Cfg.Builder.of_program (Imp.Factory.sum_kernel ()) in
+  let g' = Cfg.Split.make_reducible g in
+  checki "no copies" 0 (Cfg.Split.split_count g g')
+
+let test_irreducible_region () =
+  let g = Cfg.Builder.of_program (Imp.Factory.irreducible_example ()) in
+  (match Cfg.Intervals.irreducible_region g with
+  | Some (region, entries) ->
+      checkb "region has >= 2 nodes" true (List.length region >= 2);
+      checkb "multiple entries" true (List.length entries >= 2)
+  | None -> Alcotest.fail "expected an irreducible region");
+  let r = Cfg.Builder.of_program (Imp.Factory.sum_kernel ()) in
+  checkb "reducible graph has no region" true
+    (Cfg.Intervals.irreducible_region r = None)
+
+let test_split_random_flat () =
+  (* every random goto program becomes reducible within the budget *)
+  let rand = Random.State.make [| 77 |] in
+  for _ = 1 to 60 do
+    let g = Workloads.Random_gen.random_cfg rand in
+    let g' = Cfg.Split.make_reducible g in
+    Cfg.Validate.check g';
+    checkb "reducible" true (Cfg.Intervals.reducible g')
+  done
+
+let () =
+  Alcotest.run "cfg"
+    [
+      ( "builder",
+        [
+          Alcotest.test_case "straight line" `Quick test_straightline;
+          Alcotest.test_case "start is a fork" `Quick test_start_is_fork;
+          Alcotest.test_case "running example (fig 1)" `Quick
+            test_running_example_shape;
+          Alcotest.test_case "if shape" `Quick test_if_shape;
+          Alcotest.test_case "dead code pruned" `Quick test_dead_code_pruned;
+          Alcotest.test_case "goto chain" `Quick test_goto_chain;
+          Alcotest.test_case "infinite loop rejected" `Quick
+            test_infinite_loop_rejected;
+          Alcotest.test_case "referenced vars" `Quick test_referenced_vars;
+          Alcotest.test_case "all examples validate" `Quick
+            test_all_examples_validate;
+          Alcotest.test_case "dot output" `Quick test_dot_output;
+        ] );
+      ( "intervals",
+        [
+          Alcotest.test_case "acyclic" `Quick test_intervals_acyclic;
+          Alcotest.test_case "single loop" `Quick test_intervals_single_loop;
+          Alcotest.test_case "nested loops" `Quick test_intervals_nested;
+          Alcotest.test_case "sequential loops" `Quick
+            test_intervals_sequential_loops;
+          Alcotest.test_case "unstructured loop" `Quick
+            test_intervals_unstructured_loop;
+          Alcotest.test_case "irreducible detected" `Quick
+            test_irreducible_detected;
+          Alcotest.test_case "reducible predicate" `Quick
+            test_reducible_predicate;
+          Alcotest.test_case "body vars" `Quick test_body_vars;
+        ] );
+      ( "validate",
+        [
+          Alcotest.test_case "fork with one edge" `Quick
+            test_validate_fork_one_edge;
+          Alcotest.test_case "assign with false edge" `Quick
+            test_validate_assign_false_edge;
+          Alcotest.test_case "missing convention edge" `Quick
+            test_validate_missing_convention_edge;
+          Alcotest.test_case "core accessors" `Quick test_core_accessors;
+        ] );
+      ( "interval internals",
+        [
+          Alcotest.test_case "partition covers nodes" `Quick
+            test_partition_covers_nodes;
+          Alcotest.test_case "derive shrinks" `Quick test_derive_shrinks;
+          Alcotest.test_case "three-deep nest" `Quick test_three_deep_nest;
+        ] );
+      ( "split",
+        [
+          Alcotest.test_case "irreducible example" `Quick
+            test_split_irreducible_example;
+          Alcotest.test_case "reducible identity" `Quick
+            test_split_reducible_identity;
+          Alcotest.test_case "irreducible region" `Quick test_irreducible_region;
+          Alcotest.test_case "random flat programs" `Quick test_split_random_flat;
+        ] );
+      ( "loopify",
+        [
+          Alcotest.test_case "acyclic identity" `Quick
+            test_loopify_acyclic_identity;
+          Alcotest.test_case "single loop" `Quick test_loopify_single_loop;
+          Alcotest.test_case "entry pred classes" `Quick
+            test_loopify_entry_pred_classes;
+          Alcotest.test_case "nested loops" `Quick test_loopify_nested;
+          Alcotest.test_case "two exits" `Quick test_loopify_two_exits;
+          Alcotest.test_case "all examples" `Quick test_loopify_all_examples;
+        ] );
+    ]

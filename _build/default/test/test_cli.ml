@@ -1,0 +1,136 @@
+(* Integration tests of the df_compile command-line driver: spawn the
+   real binary and check its observable behaviour (exit codes and
+   output) for every subcommand. *)
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let binary =
+  (* cwd is _build/default/test under `dune runtest`, the workspace root
+     under `dune exec` *)
+  List.find_opt Sys.file_exists
+    [ "../bin/df_compile.exe"; "_build/default/bin/df_compile.exe" ]
+  |> Option.value ~default:"../bin/df_compile.exe"
+
+let write_temp ext contents =
+  let path = Filename.temp_file "dflow_cli" ext in
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc;
+  path
+
+let capture cmd =
+  let out = Filename.temp_file "dflow_out" ".txt" in
+  let code = Sys.command (Fmt.str "%s > %s 2>&1" cmd out) in
+  let ic = open_in out in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  Sys.remove out;
+  (code, s)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1))
+  in
+  go 0
+
+let sum_program = "i := 0 s := 0 while i < 10 do s := s + i i := i + 1 end"
+
+let test_run () =
+  let f = write_temp ".imp" sum_program in
+  let code, out = capture (Fmt.str "%s run %s -s 2opt -v" binary f) in
+  checki "exit code" 0 code;
+  checkb "final store shown" true (contains out "s = 45");
+  checkb "reference checked" true (contains out "reference check  ok")
+
+let test_run_transforms_and_trace () =
+  let f = write_temp ".imp" sum_program in
+  let code, out =
+    capture (Fmt.str "%s run %s -s 2p -t value,reads --trace -O" binary f)
+  in
+  checki "exit code" 0 code;
+  checkb "timeline printed" true (contains out "== timeline");
+  checkb "contexts printed" true (contains out "firings per iteration context")
+
+let test_compare () =
+  let f = write_temp ".imp" sum_program in
+  let code, out = capture (Fmt.str "%s compare %s" binary f) in
+  checki "exit code" 0 code;
+  checkb "all schema rows" true
+    (contains out "schema1" && contains out "schema2-opt"
+    && contains out "+sec6")
+
+let test_analyze () =
+  let f =
+    write_temp ".imp"
+      "mayalias a b; h: x := x + 1 y := y + a if x < 4 goto h"
+  in
+  let code, out = capture (Fmt.str "%s analyze %s" binary f) in
+  checki "exit code" 0 code;
+  checkb "cfg printed" true (contains out "control-flow graph");
+  checkb "loop found" true (contains out "loop 0");
+  checkb "alias classes" true (contains out "alias classes");
+  checkb "switch placement" true (contains out "switch placement")
+
+let test_dot_stages () =
+  let f = write_temp ".imp" sum_program in
+  List.iter
+    (fun stage ->
+      let code, out =
+        capture (Fmt.str "%s dot %s --stage %s" binary f stage)
+      in
+      checki (stage ^ " exit code") 0 code;
+      checkb (stage ^ " is dot") true (contains out "digraph"))
+    [ "cfg"; "loopified"; "dfg"; "pdg" ]
+
+let test_emit_check_exec () =
+  let f = write_temp ".imp" sum_program in
+  let dfg = Filename.temp_file "dflow_cli" ".dfg" in
+  (* no [capture] here: its own redirection would override ours *)
+  let code = Sys.command (Fmt.str "%s emit %s -s 2opt -O > %s 2>/dev/null" binary f dfg) in
+  checki "emit exit" 0 code;
+  let code, out = capture (Fmt.str "%s check %s" binary dfg) in
+  checki "check exit" 0 code;
+  checkb "well-formed" true (contains out "well-formed");
+  let code, out = capture (Fmt.str "%s exec %s %s" binary dfg f) in
+  checki "exec exit" 0 code;
+  checkb "store" true (contains out "s = 45");
+  checkb "reference" true (contains out "reference check: ok")
+
+let test_bad_input_fails () =
+  let f = write_temp ".imp" "x := (1 +" in
+  let code, _ = capture (Fmt.str "%s run %s" binary f) in
+  checkb "nonzero exit" true (code <> 0);
+  let g = write_temp ".dfg" "node 0 bogus" in
+  let code, _ = capture (Fmt.str "%s check %s" binary g) in
+  checkb "nonzero exit for bad dfg" true (code <> 0)
+
+let test_schema_fig8 () =
+  (* acyclic program: fig8 mode is fine and must agree with reference *)
+  let f = write_temp ".imp" "x := 1 y := x + 1" in
+  let code, out = capture (Fmt.str "%s run %s -s fig8 -v" binary f) in
+  checki "exit" 0 code;
+  checkb "ok" true (contains out "reference check  ok")
+
+let () =
+  if not (Sys.file_exists binary) then begin
+    print_endline "df_compile binary not found; skipping CLI tests";
+    exit 0
+  end;
+  Alcotest.run "cli"
+    [
+      ( "subcommands",
+        [
+          Alcotest.test_case "run" `Quick test_run;
+          Alcotest.test_case "run with transforms and trace" `Quick
+            test_run_transforms_and_trace;
+          Alcotest.test_case "compare" `Quick test_compare;
+          Alcotest.test_case "analyze" `Quick test_analyze;
+          Alcotest.test_case "dot stages" `Quick test_dot_stages;
+          Alcotest.test_case "emit / check / exec" `Quick test_emit_check_exec;
+          Alcotest.test_case "bad input fails" `Quick test_bad_input_fails;
+          Alcotest.test_case "fig8 on acyclic program" `Quick test_schema_fig8;
+        ] );
+    ]

@@ -1,0 +1,668 @@
+(* End-to-end tests of the translation schemas: every schema executed on
+   the dataflow machine must reproduce the reference interpreter's final
+   store -- the library's central invariant -- plus structural properties
+   (well-formedness, switch counts, the Figure 8 pathology). *)
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let machine_of (c : Dflow.Driver.compiled) : Machine.Interp.program =
+  { Machine.Interp.graph = c.Dflow.Driver.graph; layout = c.Dflow.Driver.layout }
+
+let run_spec ?config spec p =
+  let c = Dflow.Driver.compile spec p in
+  Dfg.Check.check c.Dflow.Driver.graph;
+  Machine.Interp.run_exn ?config (machine_of c)
+
+(* All specs that must preserve sequential semantics, with the program
+   classes they are sound for. *)
+let specs_no_alias =
+  Dflow.Driver.
+    [
+      Schema1;
+      Schema2 Dflow.Engine.Barrier;
+      Schema2 Dflow.Engine.Pipelined;
+      Schema2_opt Dflow.Engine.Barrier;
+      Schema2_opt Dflow.Engine.Pipelined;
+    ]
+
+let specs_alias_ok =
+  Dflow.Driver.
+    [
+      Schema1;
+      Schema3 (Singleton, Dflow.Engine.Barrier);
+      Schema3 (Singleton, Dflow.Engine.Pipelined);
+      Schema3 (Classes, Dflow.Engine.Barrier);
+      Schema3 (Components, Dflow.Engine.Barrier);
+      Schema3 (Components, Dflow.Engine.Pipelined);
+    ]
+
+let has_aliasing p =
+  Analysis.Alias.has_aliasing (Analysis.Alias.of_program p)
+
+let differential_one spec p name =
+  match Dflow.Driver.compile spec p with
+  | c -> (
+      Dfg.Check.check c.Dflow.Driver.graph;
+      let expected = Imp.Eval.run_program ~fuel:1_000_000 p in
+      match Machine.Interp.run_exn (machine_of c) with
+      | r ->
+          if not (Imp.Memory.equal expected r.Machine.Interp.memory) then
+            Alcotest.failf "%s under %s: stores differ@.reference:@.%a@.machine:@.%a"
+              name
+              (Dflow.Driver.spec_to_string spec)
+              Imp.Memory.pp expected Imp.Memory.pp r.Machine.Interp.memory
+      | exception exn ->
+          Alcotest.failf "%s under %s: %s" name
+            (Dflow.Driver.spec_to_string spec)
+            (Printexc.to_string exn))
+  | exception Cfg.Intervals.Irreducible _ -> () (* schema 2/3 limitation *)
+
+let test_differential_examples () =
+  List.iter
+    (fun (name, mk) ->
+      let p = mk () in
+      let specs = if has_aliasing p then specs_alias_ok else specs_no_alias @ specs_alias_ok in
+      List.iter (fun spec -> differential_one spec p name) specs)
+    Imp.Factory.all
+
+(* ------------------------------------------------------------------ *)
+(* Targeted semantics checks                                          *)
+
+let read_var r x = Imp.Memory.read r.Machine.Interp.memory x 0
+
+let test_straightline_all_schemas () =
+  let p = Imp.Parser.program_of_string "x := 2 y := x * 3 z := y - x" in
+  List.iter
+    (fun spec ->
+      let r = run_spec spec p in
+      checki "z" 4 (read_var r "z"))
+    specs_no_alias
+
+let test_loop_all_schemas () =
+  let p = Imp.Factory.sum_kernel ~n:10 () in
+  List.iter
+    (fun spec ->
+      let r = run_spec spec p in
+      checki "s" 45 (read_var r "s"))
+    specs_no_alias
+
+let test_alias_example_all_covers () =
+  let p = Imp.Factory.fortran_alias_example () in
+  (* reference: x and z share storage.
+     x:=1; y:=2; z:=z+x+y -> z=x=3... with equiv x z: writes interleave. *)
+  let expected = Imp.Eval.run_program p in
+  List.iter
+    (fun spec ->
+      let r = run_spec spec p in
+      checkb
+        (Dflow.Driver.spec_to_string spec)
+        true
+        (Imp.Memory.equal expected r.Machine.Interp.memory))
+    specs_alias_ok
+
+let test_schema2_rejects_aliasing () =
+  let p = Imp.Factory.fortran_alias_example () in
+  match Dflow.Driver.compile (Dflow.Driver.Schema2 Dflow.Engine.Barrier) p with
+  | _ -> Alcotest.fail "expected Aliasing_unsupported"
+  | exception Dflow.Driver.Aliasing_unsupported _ -> ()
+
+(* A loop in which the y-statement is slow (deep expression) while the
+   x-statement and the loop predicate are fast: without loop control the
+   predicate for iteration i+1 reaches y's switch while iteration i's
+   predicate is still waiting there -- two same-tag tokens on one arc,
+   the Figure 8 pile-up. *)
+let figure8_program () =
+  Imp.Parser.program_of_string
+    {|
+      l:
+      y := ((((x + 1) * 3 + x) * 3 + x) * 3 + x) * 3 + x
+      x := x + 1
+      if x < 5 goto l
+    |}
+
+let slow_alu =
+  {
+    Machine.Config.default with
+    Machine.Config.latencies = { alu = 8; memory = 1; routing = 1 };
+  }
+
+let test_figure8_collision () =
+  let p = figure8_program () in
+  let c = Dflow.Driver.compile Dflow.Driver.Schema2_unsafe_no_loop_control p in
+  match Machine.Interp.run ~config:slow_alu (machine_of c) with
+  | _ -> Alcotest.fail "expected Token_collision"
+  | exception Machine.Interp.Token_collision _ -> ()
+
+let test_figure8_fixed_by_loop_control () =
+  (* The same program and latencies with loop control: iterations carry
+     distinct tags and execution is clean (and correct). *)
+  let p = figure8_program () in
+  let expected = Imp.Eval.run_program p in
+  List.iter
+    (fun lc ->
+      let r = run_spec ~config:slow_alu (Dflow.Driver.Schema2 lc) p in
+      checkb "store matches" true
+        (Imp.Memory.equal expected r.Machine.Interp.memory))
+    [ Dflow.Engine.Barrier; Dflow.Engine.Pipelined ]
+
+let test_figure8_acyclic_ok () =
+  (* Without cycles, Schema 2 needs no loop control at all. *)
+  let p = Imp.Parser.program_of_string "x := 1 if x < 2 then y := 1 end z := 2" in
+  let r = run_spec Dflow.Driver.Schema2_unsafe_no_loop_control p in
+  checki "y" 1 (read_var r "y")
+
+(* ------------------------------------------------------------------ *)
+(* Structural properties                                              *)
+
+let switches g = Dfg.Graph.count g (function Dfg.Node.Switch -> true | _ -> false)
+
+let test_opt_fewer_switches () =
+  (* Figure 9: the optimized construction eliminates the x-switch. *)
+  let p = Imp.Factory.bypass_example () in
+  let c2 = Dflow.Driver.compile (Dflow.Driver.Schema2 Dflow.Engine.Barrier) p in
+  let copt = Dflow.Driver.compile (Dflow.Driver.Schema2_opt Dflow.Engine.Barrier) p in
+  checkb "strictly fewer switches" true
+    (switches copt.Dflow.Driver.graph < switches c2.Dflow.Driver.graph)
+
+let test_opt_bypass_no_x_switch () =
+  (* In the optimized graph of the Figure 9 program, no switch carries
+     access_x: verify by counting switches; vars w,y,z each need one at
+     the conditional, x none, plus none at start. *)
+  let p = Imp.Factory.bypass_example () in
+  let copt = Dflow.Driver.compile (Dflow.Driver.Schema2_opt Dflow.Engine.Barrier) p in
+  (* 5 variables u?,w,x,y,z -> schema2 would put 5 switches at the fork *)
+  let c2 = Dflow.Driver.compile (Dflow.Driver.Schema2 Dflow.Engine.Barrier) p in
+  checki "schema2 switches = vars" 4 (switches c2.Dflow.Driver.graph);
+  (* only y and z are referenced between the fork and its postdominator *)
+  checki "optimized switches" 2 (switches copt.Dflow.Driver.graph)
+
+let test_size_bound_schema2 () =
+  (* |DFG| = O(E * V) for Schema 2 (Section 3). *)
+  List.iter
+    (fun (_, mk) ->
+      let p = mk () in
+      if not (has_aliasing p) then
+        match Dflow.Driver.compile (Dflow.Driver.Schema2 Dflow.Engine.Barrier) p with
+        | c ->
+            let g = c.Dflow.Driver.cfg in
+            let e = Cfg.Core.num_edges g in
+            let v = max 1 (List.length (Imp.Ast.program_vars p)) in
+            let stmt_cost =
+              (* per-statement expression graphs are program-size, not
+                 E*V; account them separately *)
+              Imp.Ast.stmt_size p.Imp.Ast.body * 4
+            in
+            checkb "size bound" true
+              (Dfg.Graph.num_arcs c.Dflow.Driver.graph <= (12 * e * v) + (8 * stmt_cost))
+        | exception Cfg.Intervals.Irreducible _ -> ())
+    Imp.Factory.all
+
+let test_dot_renders () =
+  let c =
+    Dflow.Driver.compile (Dflow.Driver.Schema2 Dflow.Engine.Barrier)
+      (Imp.Factory.running_example ())
+  in
+  let s = Dfg.Dot.to_string c.Dflow.Driver.graph in
+  checkb "digraph" true (String.sub s 0 7 = "digraph")
+
+let test_stats () =
+  let c =
+    Dflow.Driver.compile (Dflow.Driver.Schema2 Dflow.Engine.Barrier)
+      (Imp.Factory.running_example ())
+  in
+  let st = Dfg.Stats.of_graph c.Dflow.Driver.graph in
+  checkb "has switches" true (st.Dfg.Stats.switches > 0);
+  checkb "has loop controls" true (st.Dfg.Stats.loop_controls > 0);
+  checkb "has loads and stores" true (st.Dfg.Stats.loads > 0 && st.Dfg.Stats.stores > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Parallelism sanity (cycle counts under the ideal machine)          *)
+
+let ideal = Machine.Config.ideal
+
+let test_schema2_faster_on_independent () =
+  let p = Imp.Factory.independent_straightline ~k:8 () in
+  let r1 = run_spec ~config:ideal Dflow.Driver.Schema1 p in
+  let r2 = run_spec ~config:ideal (Dflow.Driver.Schema2 Dflow.Engine.Barrier) p in
+  checkb "schema2 shortens the critical path" true
+    (r2.Machine.Interp.cycles < r1.Machine.Interp.cycles)
+
+let test_no_speedup_on_chain () =
+  (* Fully dependent chain: schema 2 cannot beat schema 1 by much. *)
+  let p = Imp.Factory.dependent_chain ~k:8 () in
+  let r1 = run_spec ~config:ideal Dflow.Driver.Schema1 p in
+  let r2 = run_spec ~config:ideal (Dflow.Driver.Schema2 Dflow.Engine.Barrier) p in
+  checkb "chain stays serial" true
+    (r2.Machine.Interp.cycles * 2 > r1.Machine.Interp.cycles)
+
+let test_opt_not_slower () =
+  let p = Imp.Factory.bypass_example () in
+  let r2 = run_spec ~config:ideal (Dflow.Driver.Schema2 Dflow.Engine.Barrier) p in
+  let ro = run_spec ~config:ideal (Dflow.Driver.Schema2_opt Dflow.Engine.Barrier) p in
+  checkb "optimized not slower" true
+    (ro.Machine.Interp.cycles <= r2.Machine.Interp.cycles)
+
+let test_bounded_pes_slower () =
+  let p = Imp.Factory.independent_straightline ~k:8 () in
+  let r_inf = run_spec ~config:ideal (Dflow.Driver.Schema2 Dflow.Engine.Barrier) p in
+  let r_1 =
+    run_spec
+      ~config:{ ideal with Machine.Config.pes = Some 1 }
+      (Dflow.Driver.Schema2 Dflow.Engine.Barrier)
+      p
+  in
+  checkb "1 PE is slower than unbounded" true
+    (r_1.Machine.Interp.cycles > r_inf.Machine.Interp.cycles);
+  checki "same work" r_inf.Machine.Interp.firings r_1.Machine.Interp.firings
+
+(* ------------------------------------------------------------------ *)
+(* Edge cases                                                         *)
+
+let edge_cases =
+  [
+    ("empty program", "skip");
+    ("single assignment", "x := 42");
+    ("read-only variable", "y := x + x");
+    ("while false", "x := 1 while x < 0 do x := x + 99 end y := x");
+    ("loop body once", "x := 4 while x < 5 do x := x + 1 end");
+    ( "four-deep nest",
+      {| a := 0 i := 0
+         while i < 2 do
+           j := 0
+           while j < 2 do
+             k := 0
+             while k < 2 do
+               m := 0
+               while m < 2 do
+                 a := a + 1
+                 m := m + 1
+               end
+               k := k + 1
+             end
+             j := j + 1
+           end
+           i := i + 1
+         end |} );
+    ( "if inside loop, both arms write arrays",
+      {| array u[4] array v[4]
+         i := 0
+         while i < 4 do
+           if i % 2 == 0 then u[i] := i else v[i] := i end
+           i := i + 1
+         end
+         s := u[0] + u[2] + v[1] + v[3] |} );
+    ( "branch to same target",
+      "l: x := x + 1 if x < 3 goto l if x > 100 goto m m: y := x" );
+    ("self-referential index", "array a[4]; a[a[0]] := 7 r := a[0]");
+    ( "negative constants and unary ops",
+      "x := -5 y := -x * -2 if not (x > 0) then z := -1 end" );
+  ]
+
+let test_edge_cases () =
+  List.iter
+    (fun (name, src) ->
+      let p = Imp.Parser.program_of_string src in
+      List.iter
+        (fun spec ->
+          match differential_one spec p name with
+          | () -> ()
+          | exception exn ->
+              Alcotest.failf "%s / %s: %s" name
+                (Dflow.Driver.spec_to_string spec)
+                (Printexc.to_string exn))
+        (specs_no_alias @ specs_alias_ok))
+    edge_cases
+
+let test_edge_aliasing () =
+  (* scalar equivalenced onto an array cell, observed through schema 3 *)
+  let p =
+    Imp.Parser.program_of_string
+      {| array a[4]
+         equiv s a
+         a[0] := 7
+         t := s
+         s := t + 1
+         r := a[0] |}
+  in
+  List.iter (fun spec -> differential_one spec p "scalar/array equiv") specs_alias_ok
+
+(* ------------------------------------------------------------------ *)
+(* Separate compilation of procedures (the Section 5 scenario)        *)
+
+let test_separate_compilation () =
+  (* SUBROUTINE F compiled ONCE against the alias structure derived
+     from its call sites; the single dataflow graph must execute
+     correctly under every call site's actual storage binding --
+     the paper's motivating scenario for Schema 3. *)
+  let src = {|
+    proc f(fx, fy, fz)
+      fx := 1
+      fy := 2
+      fz := fz + fx + fy
+      fx := fy + fz
+      w := w + fx      # a global, private to no call site
+    end
+    call f(a, b, a)
+    call f(c, d, d)
+    call f(e, g, h)    # no aliasing at this site
+  |} in
+  let p = Imp.Parser.program_of_string src in
+  let once = Imp.Proc.standalone p "f" in
+  List.iter
+    (fun (choice, lc) ->
+      (* compile once *)
+      let compiled = Dflow.Driver.compile (Dflow.Driver.Schema3 (choice, lc)) once in
+      Dfg.Check.check compiled.Dflow.Driver.graph;
+      (* run the same graph against each call site's layout *)
+      List.iter
+        (fun args ->
+          let inst = Imp.Proc.instantiate p "f" args in
+          let layout = Imp.Layout.of_program inst in
+          let expected = Imp.Eval.run_program inst in
+          let r =
+            Machine.Interp.run_exn
+              { Machine.Interp.graph = compiled.Dflow.Driver.graph; layout }
+          in
+          if not (Imp.Memory.equal expected r.Machine.Interp.memory) then
+            Alcotest.failf
+              "separate compilation broke at call site f(%s) under %s"
+              (String.concat "," args)
+              (Dflow.Driver.spec_to_string
+                 (Dflow.Driver.Schema3 (choice, lc))))
+        (Imp.Proc.call_sites p "f"))
+    [
+      (Dflow.Driver.Singleton, Dflow.Engine.Barrier);
+      (Dflow.Driver.Singleton, Dflow.Engine.Pipelined);
+      (Dflow.Driver.Classes, Dflow.Engine.Barrier);
+      (Dflow.Driver.Components, Dflow.Engine.Barrier);
+    ]
+
+let test_separate_compilation_schema2_would_break () =
+  (* Without the derived alias structure, Schema 2 compiles the body
+     assuming no aliasing; at the f(a,b,a) site its graph executes with
+     fx and fz on independent tokens, and the result diverges from the
+     reference (which is why the paper needs Schema 3). *)
+  let src = {|
+    proc f(fx, fz)
+      fx := ((((7 * 3) + 2) * 5) + 1) * 9   # slow write to fx
+      b := fz                               # fast read of the alias
+    end
+    call f(a, a)
+  |} in
+  let p = Imp.Parser.program_of_string src in
+  let once = Imp.Proc.standalone p "f" in
+  (* strip the derived may-alias info: pretend no aliasing *)
+  let once_na = { once with Imp.Ast.may_alias = [] } in
+  let compiled =
+    Dflow.Driver.compile (Dflow.Driver.Schema2 Dflow.Engine.Barrier) once_na
+  in
+  let inst = Imp.Proc.instantiate p "f" [ "a"; "a" ] in
+  let layout = Imp.Layout.of_program inst in
+  let expected = Imp.Eval.run_program inst in
+  (* Reference: the write to fx lands first, so b sees it through fz.
+     Schema 2 puts fx and fz on independent tokens: the read of fz
+     issues immediately while the write is still computing, so b reads
+     the stale 0 -- unordered aliased access, exactly what Schema 3's
+     access sets forbid. *)
+  (match
+     Machine.Interp.run { Machine.Interp.graph = compiled.Dflow.Driver.graph; layout }
+   with
+  | r ->
+      checkb "schema2 without alias info is wrong here" false
+        (r.Machine.Interp.completed
+        && r.Machine.Interp.leftover_tokens = 0
+        && Imp.Memory.equal expected r.Machine.Interp.memory)
+  | exception Machine.Interp.Token_collision _ -> ())
+
+let prop_separate_compilation_random =
+  (* randomized E16: a random two-parameter procedure body, compiled once
+     under Schema 3 with the alias structure derived from random call
+     sites (some with repeated arguments), must reproduce the inlined
+     reference at every call site's layout *)
+  QCheck.Test.make ~name:"separate compilation on random procedures" ~count:40
+    (QCheck.make (fun st ->
+         let rand = Random.State.make [| QCheck.Gen.int st |] in
+         let config =
+           { Workloads.Random_gen.default_config with
+             num_vars = 2; num_arrays = 0; max_depth = 2; max_len = 3 }
+         in
+         let rename s =
+           let sub = function "v0" -> "p0" | "v1" -> "p1" | x -> x in
+           let rec expr = function
+             | (Imp.Ast.Int _ | Imp.Ast.Bool _) as e -> e
+             | Imp.Ast.Var x -> Imp.Ast.Var (sub x)
+             | Imp.Ast.Index (x, e) -> Imp.Ast.Index (sub x, expr e)
+             | Imp.Ast.Binop (op, a, b) -> Imp.Ast.Binop (op, expr a, expr b)
+             | Imp.Ast.Unop (op, a) -> Imp.Ast.Unop (op, expr a)
+           in
+           let rec stmt = function
+             | Imp.Ast.Skip -> Imp.Ast.Skip
+             | Imp.Ast.Assign (Imp.Ast.Lvar x, e) ->
+                 Imp.Ast.Assign (Imp.Ast.Lvar (sub x), expr e)
+             | Imp.Ast.Assign (Imp.Ast.Lindex (x, i), e) ->
+                 Imp.Ast.Assign (Imp.Ast.Lindex (sub x, expr i), expr e)
+             | Imp.Ast.Seq (a, b) -> Imp.Ast.Seq (stmt a, stmt b)
+             | Imp.Ast.If (e, a, b) -> Imp.Ast.If (expr e, stmt a, stmt b)
+             | Imp.Ast.While (e, a) -> Imp.Ast.While (expr e, stmt a)
+             | Imp.Ast.Case (e, arms, d) ->
+                 Imp.Ast.Case
+                   (expr e, List.map (fun (k, s') -> (k, stmt s')) arms, stmt d)
+             | s -> s
+           in
+           stmt s
+         in
+         let pbody = rename (Workloads.Random_gen.structured_body config rand) in
+         let proc = { Imp.Ast.pname = "f"; params = [ "p0"; "p1" ]; pbody } in
+         let globals = [ "g0"; "g1"; "g2" ] in
+         let arg () = List.nth globals (Random.State.int rand 3) in
+         let sites =
+           List.init
+             (1 + Random.State.int rand 3)
+             (fun _ ->
+               let a = arg () in
+               let b = if Random.State.bool rand then a else arg () in
+               [ a; b ])
+         in
+         let body =
+           Imp.Ast.seq (List.map (fun args -> Imp.Ast.Call ("f", args)) sites)
+         in
+         { Imp.Ast.arrays = []; equiv = []; may_alias = []; procs = [ proc ];
+           body }))
+    (fun program ->
+      let once = Imp.Proc.standalone program "f" in
+      let compiled =
+        Dflow.Driver.compile
+          (Dflow.Driver.Schema3 (Dflow.Driver.Singleton, Dflow.Engine.Barrier))
+          once
+      in
+      Dfg.Check.check compiled.Dflow.Driver.graph;
+      List.for_all
+        (fun args ->
+          let inst = Imp.Proc.instantiate program "f" args in
+          let layout = Imp.Layout.of_program inst in
+          let expected = Imp.Eval.run_program ~fuel:1_000_000 inst in
+          let r =
+            Machine.Interp.run_exn
+              { Machine.Interp.graph = compiled.Dflow.Driver.graph; layout }
+          in
+          Imp.Memory.equal expected r.Machine.Interp.memory)
+        (Imp.Proc.call_sites program "f"))
+
+(* ------------------------------------------------------------------ *)
+(* Irreducible programs via node splitting                            *)
+
+let test_split_differential () =
+  let p = Imp.Factory.irreducible_example () in
+  let expected = Imp.Eval.run_program p in
+  List.iter
+    (fun spec ->
+      let c = Dflow.Driver.compile ~split_irreducible:true spec p in
+      Dfg.Check.check c.Dflow.Driver.graph;
+      let r = Machine.Interp.run_exn (machine_of c) in
+      checkb
+        (Dflow.Driver.spec_to_string spec ^ " on split graph")
+        true
+        (Imp.Memory.equal expected r.Machine.Interp.memory))
+    (specs_no_alias @ specs_alias_ok)
+
+let test_split_terminating_flat_differential () =
+  (* Random goto programs that happen to terminate: after node splitting
+     every schema must reproduce the reference store.  This is the
+     strongest unstructured-control-flow test in the suite. *)
+  let rand = Random.State.make [| 90210 |] in
+  let checked = ref 0 in
+  let attempts = ref 0 in
+  while !checked < 25 && !attempts < 500 do
+    incr attempts;
+    let f = Workloads.Random_gen.flat rand in
+    match Cfg.Builder.of_flat f with
+    | exception Cfg.Builder.Unreachable_end _ -> ()
+    | _g -> (
+        let p = Imp.Flat.to_program f in
+        match Imp.Eval.run_program ~fuel:20_000 p with
+        | exception Imp.Eval.Out_of_fuel -> ()
+        | expected ->
+            incr checked;
+            List.iter
+              (fun spec ->
+                let c = Dflow.Driver.compile ~split_irreducible:true spec p in
+                let r = Machine.Interp.run_exn (machine_of c) in
+                if not (Imp.Memory.equal expected r.Machine.Interp.memory)
+                then
+                  Alcotest.failf "flat program differs under %s:@.%a"
+                    (Dflow.Driver.spec_to_string spec)
+                    Imp.Pretty.pp_program p)
+              Dflow.Driver.
+                [
+                  Schema1;
+                  Schema2 Dflow.Engine.Barrier;
+                  Schema2 Dflow.Engine.Pipelined;
+                  Schema2_opt Dflow.Engine.Barrier;
+                ])
+  done;
+  checkb "found enough terminating programs" true (!checked >= 15)
+
+(* ------------------------------------------------------------------ *)
+(* Random differential testing                                        *)
+
+let arb_structured ~alias =
+  QCheck.make
+    ~print:(fun p -> Imp.Pretty.program_to_string p)
+    (fun st ->
+      let rand = Random.State.make [| QCheck.Gen.int st |] in
+      let config =
+        { Workloads.Random_gen.default_config with allow_alias = alias }
+      in
+      Workloads.Random_gen.structured ~config rand)
+
+let differential_prop spec p =
+  let expected = Imp.Eval.run_program ~fuel:1_000_000 p in
+  let c = Dflow.Driver.compile spec p in
+  Dfg.Check.check c.Dflow.Driver.graph;
+  let r = Machine.Interp.run_exn (machine_of c) in
+  Imp.Memory.equal expected r.Machine.Interp.memory
+
+let prop_random_no_alias =
+  QCheck.Test.make ~name:"random programs: all schemas match reference"
+    ~count:60 (arb_structured ~alias:false) (fun p ->
+      List.for_all (fun spec -> differential_prop spec p) specs_no_alias)
+
+let prop_random_alias =
+  QCheck.Test.make ~name:"random aliased programs: schema 1/3 match reference"
+    ~count:60 (arb_structured ~alias:true) (fun p ->
+      List.for_all (fun spec -> differential_prop spec p) specs_alias_ok)
+
+let prop_random_deterministic_firings =
+  QCheck.Test.make ~name:"PE count changes time, not work or results"
+    ~count:30 (arb_structured ~alias:false) (fun p ->
+      let c = Dflow.Driver.compile (Dflow.Driver.Schema2 Dflow.Engine.Barrier) p in
+      let r_inf = Machine.Interp.run_exn (machine_of c) in
+      let r_2 =
+        Machine.Interp.run_exn
+          ~config:(Machine.Config.bounded 2)
+          (machine_of c)
+      in
+      r_inf.Machine.Interp.firings = r_2.Machine.Interp.firings
+      && Imp.Memory.equal r_inf.Machine.Interp.memory r_2.Machine.Interp.memory)
+
+let prop_optimized_dominates_statically =
+  QCheck.Test.make
+    ~name:"optimized construction never adds switches or merges" ~count:60
+    (arb_structured ~alias:false) (fun p ->
+      let c2 = Dflow.Driver.compile (Dflow.Driver.Schema2 Dflow.Engine.Barrier) p in
+      let co = Dflow.Driver.compile (Dflow.Driver.Schema2_opt Dflow.Engine.Barrier) p in
+      let s2 = Dfg.Stats.of_graph c2.Dflow.Driver.graph in
+      let so = Dfg.Stats.of_graph co.Dflow.Driver.graph in
+      so.Dfg.Stats.switches <= s2.Dfg.Stats.switches
+      && so.Dfg.Stats.merges <= s2.Dfg.Stats.merges)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_random_no_alias;
+      prop_random_alias;
+      prop_random_deterministic_firings;
+      prop_optimized_dominates_statically;
+      prop_separate_compilation_random;
+    ]
+
+let () =
+  Alcotest.run "dflow"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "all factory examples, all schemas" `Quick
+            test_differential_examples;
+          Alcotest.test_case "straight line" `Quick test_straightline_all_schemas;
+          Alcotest.test_case "loop" `Quick test_loop_all_schemas;
+          Alcotest.test_case "aliasing, all covers" `Quick
+            test_alias_example_all_covers;
+        ] );
+      ( "edge cases",
+        [
+          Alcotest.test_case "degenerate and nested programs" `Quick
+            test_edge_cases;
+          Alcotest.test_case "scalar/array equivalence" `Quick
+            test_edge_aliasing;
+        ] );
+      ( "schema contracts",
+        [
+          Alcotest.test_case "schema2 rejects aliasing" `Quick
+            test_schema2_rejects_aliasing;
+          Alcotest.test_case "figure 8: collision without loop control" `Quick
+            test_figure8_collision;
+          Alcotest.test_case "figure 8: acyclic is fine" `Quick
+            test_figure8_acyclic_ok;
+          Alcotest.test_case "figure 8: fixed by loop control" `Quick
+            test_figure8_fixed_by_loop_control;
+          Alcotest.test_case "separate compilation (schema 3)" `Quick
+            test_separate_compilation;
+          Alcotest.test_case "schema 2 unsound under hidden aliasing" `Quick
+            test_separate_compilation_schema2_would_break;
+          Alcotest.test_case "node splitting: irreducible example" `Quick
+            test_split_differential;
+          Alcotest.test_case "node splitting: random goto programs" `Quick
+            test_split_terminating_flat_differential;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "optimized has fewer switches" `Quick
+            test_opt_fewer_switches;
+          Alcotest.test_case "figure 9 switch counts" `Quick
+            test_opt_bypass_no_x_switch;
+          Alcotest.test_case "schema2 size bound" `Quick test_size_bound_schema2;
+          Alcotest.test_case "dot rendering" `Quick test_dot_renders;
+          Alcotest.test_case "stats" `Quick test_stats;
+        ] );
+      ( "parallelism",
+        [
+          Alcotest.test_case "schema2 beats schema1 on independent code" `Quick
+            test_schema2_faster_on_independent;
+          Alcotest.test_case "no speedup on dependence chain" `Quick
+            test_no_speedup_on_chain;
+          Alcotest.test_case "optimized not slower" `Quick test_opt_not_slower;
+          Alcotest.test_case "bounded PEs" `Quick test_bounded_pes_slower;
+        ] );
+      ("properties", qcheck_cases);
+    ]

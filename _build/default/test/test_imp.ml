@@ -1,0 +1,671 @@
+(* Tests for the IMP front end: lexer, parser, pretty-printer round trips,
+   type checker, layout/aliasing, and the two reference interpreters. *)
+
+let check = Alcotest.check
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let parse = Imp.Parser.program_of_string
+
+let run_src ?fuel src =
+  let p = parse src in
+  Imp.Eval.run_program ?fuel p
+
+let read_var mem x = Imp.Memory.read mem x 0
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                              *)
+
+let test_lex_simple () =
+  let toks = Imp.Lexer.tokenize "x := 1 + 2" |> List.map fst in
+  check
+    (Alcotest.list Alcotest.string)
+    "tokens"
+    [ "identifier \"x\""; "':='"; "integer 1"; "'+'"; "integer 2"; "end of input" ]
+    (List.map Imp.Lexer.token_to_string toks)
+
+let test_lex_comment () =
+  let toks = Imp.Lexer.tokenize "# a comment\nx := 1" |> List.map fst in
+  checki "token count" 4 (List.length toks)
+
+let test_lex_two_char_ops () =
+  let toks = Imp.Lexer.tokenize "<= >= == != :=" |> List.map fst in
+  check
+    (Alcotest.list Alcotest.string)
+    "ops"
+    [ "'<='"; "'>='"; "'=='"; "'!='"; "':='"; "end of input" ]
+    (List.map Imp.Lexer.token_to_string toks)
+
+let test_lex_error () =
+  (match Imp.Lexer.tokenize "x := @" with
+  | _ -> Alcotest.fail "expected lexer error"
+  | exception Imp.Lexer.Error (_, pos) -> checki "error offset" 5 pos)
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                             *)
+
+let test_parse_precedence () =
+  let e = Imp.Parser.expr_of_string "1 + 2 * 3 < 4 and true or false" in
+  check Alcotest.string "pretty"
+    "1 + 2 * 3 < 4 and true or false"
+    (Imp.Pretty.expr_to_string e)
+
+let test_parse_assoc () =
+  let e = Imp.Parser.expr_of_string "10 - 3 - 2" in
+  let mem = Imp.Memory.create (Imp.Layout.of_program (Imp.Ast.program Imp.Ast.Skip)) in
+  checki "left assoc" 5 (Imp.Value.to_int (Imp.Eval.eval_expr mem e))
+
+let test_parse_paren () =
+  let e = Imp.Parser.expr_of_string "2 * (3 + 4)" in
+  let mem = Imp.Memory.create (Imp.Layout.of_program (Imp.Ast.program Imp.Ast.Skip)) in
+  checki "paren" 14 (Imp.Value.to_int (Imp.Eval.eval_expr mem e))
+
+let test_parse_if_else () =
+  match (parse "if x < 1 then y := 1 else y := 2 end").Imp.Ast.body with
+  | Imp.Ast.If (_, Imp.Ast.Assign _, Imp.Ast.Assign _) -> ()
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_parse_if_no_else () =
+  match (parse "if x < 1 then y := 1 end").Imp.Ast.body with
+  | Imp.Ast.If (_, Imp.Ast.Assign _, Imp.Ast.Skip) -> ()
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_parse_label_goto () =
+  match (parse "l: goto l").Imp.Ast.body with
+  | Imp.Ast.Seq (Imp.Ast.Label "l", Imp.Ast.Goto "l") -> ()
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_parse_cond_goto () =
+  match (parse "l: if x < 5 goto l").Imp.Ast.body with
+  | Imp.Ast.Seq (Imp.Ast.Label "l", Imp.Ast.Cond_goto (_, "l")) -> ()
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_parse_decls () =
+  let p = parse "array a[4]; equiv x y; mayalias y z; a[0] := 1" in
+  checki "arrays" 1 (List.length p.Imp.Ast.arrays);
+  checki "equiv" 1 (List.length p.Imp.Ast.equiv);
+  checki "mayalias" 1 (List.length p.Imp.Ast.may_alias)
+
+let test_parse_error_messages () =
+  let expect_err src =
+    match parse src with
+    | _ -> Alcotest.failf "expected parse error for %S" src
+    | exception Imp.Parser.Error _ -> ()
+    | exception Imp.Typecheck.Error _ -> ()
+  in
+  expect_err "x :=";
+  expect_err "if x then y := 1";
+  expect_err "while x do y := 1";
+  expect_err "x + 1";
+  expect_err "array a[2]; a := 1";
+  expect_err "x := y[1]"
+
+let test_roundtrip_examples () =
+  List.iter
+    (fun (name, mk) ->
+      let p = mk () in
+      let printed = Imp.Pretty.program_to_string p in
+      match parse printed with
+      | p2 ->
+          check Alcotest.string
+            (name ^ " round trip")
+            printed
+            (Imp.Pretty.program_to_string p2)
+      | exception exn ->
+          Alcotest.failf "%s failed to re-parse: %s\n%s" name
+            (Printexc.to_string exn) printed)
+    Imp.Factory.all
+
+(* ------------------------------------------------------------------ *)
+(* Typechecker                                                        *)
+
+let test_typecheck_rejects () =
+  let expect_err src =
+    match parse src with
+    | _ -> Alcotest.failf "expected type error for %S" src
+    | exception Imp.Typecheck.Error _ -> ()
+  in
+  expect_err "x := 1 < 2";
+  expect_err "if x then y := 1 end";
+  expect_err "while 3 do y := 1 end";
+  expect_err "x := true";
+  expect_err "x := 1 + (2 < 3)";
+  expect_err "x := not 1";
+  expect_err "array a[2]; array a[3]; x := 1"
+
+let test_typecheck_accepts () =
+  List.iter
+    (fun (name, mk) ->
+      match Imp.Typecheck.check_program (mk ()) with
+      | () -> ()
+      | exception Imp.Typecheck.Error m -> Alcotest.failf "%s: %s" name m)
+    Imp.Factory.all
+
+(* ------------------------------------------------------------------ *)
+(* Layout / aliasing                                                  *)
+
+let test_layout_disjoint () =
+  let p = parse "x := 1 y := 2" in
+  let l = Imp.Layout.of_program p in
+  checkb "no sharing" false (Imp.Layout.shares_storage l "x" "y");
+  checki "words" 2 l.Imp.Layout.words
+
+let test_layout_equiv () =
+  let p = parse "equiv x y; x := 1 y := 2" in
+  let l = Imp.Layout.of_program p in
+  checkb "sharing" true (Imp.Layout.shares_storage l "x" "y");
+  checki "words" 1 l.Imp.Layout.words
+
+let test_layout_equiv_transitive () =
+  let p = parse "equiv x y; equiv y z; x := 1 z := 2" in
+  let l = Imp.Layout.of_program p in
+  checkb "x~z via y" true (Imp.Layout.shares_storage l "x" "z")
+
+let test_layout_mayalias_no_storage () =
+  let p = parse "mayalias x y; x := 1 y := 2" in
+  let l = Imp.Layout.of_program p in
+  checkb "mayalias does not share" false (Imp.Layout.shares_storage l "x" "y")
+
+let test_layout_array_equiv_scalar () =
+  let p = parse "array a[5]; equiv s a; a[3] := 7 s := 1" in
+  let l = Imp.Layout.of_program p in
+  checki "block extent" 5 l.Imp.Layout.words;
+  checki "s at base of a" (Imp.Layout.base_of l "a") (Imp.Layout.base_of l "s")
+
+let test_index_modulo () =
+  let mem = run_src "array a[3]; a[5] := 9; x := a[2]" in
+  checki "a[5] wraps to a[2]" 9 (read_var mem "x")
+
+let test_index_negative_modulo () =
+  let mem = run_src "array a[3]; a[0-1] := 4; x := a[2]" in
+  checki "a[-1] wraps to a[2]" 4 (read_var mem "x")
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                         *)
+
+let test_eval_straightline () =
+  let mem = run_src "x := 2 y := x * 3 z := y - x" in
+  checki "x" 2 (read_var mem "x");
+  checki "y" 6 (read_var mem "y");
+  checki "z" 4 (read_var mem "z")
+
+let test_eval_if () =
+  let mem = run_src "x := 3 if x > 2 then y := 1 else y := 2 end" in
+  checki "y" 1 (read_var mem "y")
+
+let test_eval_while () =
+  let mem = Imp.Eval.run_program (Imp.Factory.sum_kernel ~n:10 ()) in
+  checki "sum 0..9" 45 (read_var mem "s")
+
+let test_eval_gcd () =
+  let mem = Imp.Eval.run_program (Imp.Factory.gcd_kernel ~a:30 ~b:42 ()) in
+  checki "gcd" 6 (read_var mem "x")
+
+let test_eval_fib () =
+  let mem = Imp.Eval.run_program (Imp.Factory.fib_kernel ~n:10 ()) in
+  checki "fib" 55 (read_var mem "a")
+
+let test_eval_running_example () =
+  let mem = Imp.Eval.run_program (Imp.Factory.running_example ()) in
+  checki "x" 5 (read_var mem "x");
+  checki "y" 5 (read_var mem "y")
+
+let test_eval_unstructured () =
+  let mem = Imp.Eval.run_program (Imp.Factory.unstructured_example ()) in
+  checki "y" 21 (read_var mem "y");
+  checki "z" 27 (read_var mem "z")
+
+let test_eval_total_division () =
+  let mem = run_src "x := 7 / 0 y := 7 % 0" in
+  checki "div by zero" 0 (read_var mem "x");
+  checki "mod by zero" 0 (read_var mem "y")
+
+let test_eval_equiv_semantics () =
+  let mem = run_src "equiv x y; x := 5 y := y + 1 z := x" in
+  checki "write through alias" 6 (read_var mem "z")
+
+let test_eval_fuel () =
+  match run_src ~fuel:100 "l: x := x + 1 goto l" with
+  | _ -> Alcotest.fail "expected Out_of_fuel"
+  | exception Imp.Eval.Out_of_fuel -> ()
+
+let test_eval_structured_vs_flat () =
+  List.iter
+    (fun (name, mk) ->
+      let p = mk () in
+      let flat_mem = Imp.Eval.run_program ~fuel:100_000 p in
+      let layout = Imp.Layout.of_program p in
+      let struct_mem = Imp.Memory.create layout in
+      match Imp.Eval.run_stmt ~fuel:100_000 struct_mem p.Imp.Ast.body with
+      | () ->
+          (* compare observables only: the flat lowering writes case
+             temporaries that structured evaluation never materialises *)
+          checkb (name ^ " structured = flat") true
+            (Imp.Memory.equal_observable flat_mem struct_mem)
+      | exception Imp.Eval.Unstructured -> () (* goto programs: skip *))
+    Imp.Factory.all
+
+let test_array_store_loop () =
+  let mem = Imp.Eval.run_program (Imp.Factory.array_store_loop ~n:10 ()) in
+  checki "i" 10 (read_var mem "i");
+  checki "x[10]" 1 (Imp.Memory.read mem "x" 10);
+  checki "x[1]" 1 (Imp.Memory.read mem "x" 1);
+  checki "x[0]" 0 (Imp.Memory.read mem "x" 0)
+
+let test_matmul () =
+  let mem = Imp.Eval.run_program ~fuel:1_000_000 (Imp.Factory.matmul_kernel ~n:3 ()) in
+  (* a[i][j] = i+j, b[i][j] = i-j; c = a*b; check c[1][1]:
+     sum_k a[1][k] * b[k][1] = 1*(-1) + 2*0 + 3*1 = 2 *)
+  checki "c[1][1]" 2 (Imp.Memory.read mem "c" 4);
+  (* c[0][0] = 0*0 + 1*1 + 2*2 = 5 *)
+  checki "c[0][0]" 5 (Imp.Memory.read mem "c" 0)
+
+let test_bubble_sort () =
+  let mem = Imp.Eval.run_program ~fuel:1_000_000 (Imp.Factory.bubble_sort_kernel ~n:5 ()) in
+  let values = List.init 5 (fun i -> Imp.Memory.read mem "a" i) in
+  checkb "sorted" true (values = List.sort compare values)
+
+let test_sieve () =
+  let mem = Imp.Eval.run_program ~fuel:1_000_000 (Imp.Factory.sieve_kernel ~n:12 ()) in
+  (* primes below 12: 2 3 5 7 11 *)
+  checki "primes" 5 (Imp.Memory.read mem "primes" 0);
+  checki "flag[9] composite" 1 (Imp.Memory.read mem "flag" 9);
+  checki "flag[7] prime" 0 (Imp.Memory.read mem "flag" 7)
+
+let test_prefix_sum () =
+  let mem = Imp.Eval.run_program ~fuel:1_000_000 (Imp.Factory.prefix_sum_kernel ~n:8 ()) in
+  (* a[i] initially 2i+1; prefix sums of odds: a[i] = (i+1)^2 *)
+  List.iteri
+    (fun i expected -> checki (Fmt.str "a[%d]" i) expected (Imp.Memory.read mem "a" i))
+    [ 1; 4; 9; 16; 25; 36; 49; 64 ]
+
+let test_array_sum () =
+  let mem = Imp.Eval.run_program (Imp.Factory.array_sum_kernel ~n:8 ()) in
+  checki "s" 56 (read_var mem "s")
+
+(* ------------------------------------------------------------------ *)
+(* Flat form                                                          *)
+
+let test_flatten_shapes () =
+  let f = Imp.Flat.flatten (parse "if x < 1 then y := 1 else y := 2 end") in
+  let branches =
+    Array.to_list f.Imp.Flat.code
+    |> List.filter (function Imp.Flat.Branch _ -> true | _ -> false)
+  in
+  checki "one branch" 1 (List.length branches)
+
+let test_flatten_while () =
+  let f = Imp.Flat.flatten (parse "while x < 3 do x := x + 1 end") in
+  Imp.Flat.validate f;
+  let gotos =
+    Array.to_list f.Imp.Flat.code
+    |> List.filter (function Imp.Flat.Goto _ -> true | _ -> false)
+  in
+  checki "backedge goto" 1 (List.length gotos)
+
+let test_flat_validate_undefined () =
+  let p = parse "goto nowhere" in
+  let f = Imp.Flat.flatten p in
+  match Imp.Flat.validate f with
+  | () -> Alcotest.fail "expected Invalid"
+  | exception Imp.Flat.Invalid _ -> ()
+
+let test_flat_duplicate_label () =
+  let p = parse "l: x := 1 l: x := 2" in
+  let f = Imp.Flat.flatten p in
+  match Imp.Flat.label_table f with
+  | _ -> Alcotest.fail "expected Invalid"
+  | exception Imp.Flat.Invalid _ -> ()
+
+let test_flat_vars () =
+  let f = Imp.Flat.flatten (parse "array a[2]; a[i] := x + y if x < 1 goto l l:") in
+  check
+    (Alcotest.list Alcotest.string)
+    "vars" [ "a"; "i"; "x"; "y" ] (Imp.Flat.vars f)
+
+(* ------------------------------------------------------------------ *)
+(* Procedures                                                         *)
+
+let proc_src = {|
+  proc swap(p, q)
+    t := p
+    p := q
+    q := t
+  end
+  proc rot3(p, q, r)
+    call swap(p, q)
+    call swap(q, r)
+  end
+  x := 1 y := 2 z := 3
+  call rot3(x, y, z)
+|}
+
+let test_proc_parse () =
+  let p = parse proc_src in
+  checki "two procs" 2 (List.length p.Imp.Ast.procs);
+  let swap = List.find (fun pr -> pr.Imp.Ast.pname = "swap") p.Imp.Ast.procs in
+  Alcotest.(check (list string)) "params" [ "p"; "q" ] swap.Imp.Ast.params
+
+let test_proc_inline_eval () =
+  let mem = run_src proc_src in
+  (* rot3 rotates: x<-y<-z<-x : x=2 y=3 z=1 *)
+  checki "x" 2 (read_var mem "x");
+  checki "y" 3 (read_var mem "y");
+  checki "z" 1 (read_var mem "z")
+
+let test_proc_aliased_call () =
+  (* passing the same variable twice: the by-reference semantics *)
+  let mem = run_src {|
+    proc addinto(a, b)
+      a := a + b
+    end
+    x := 5
+    call addinto(x, x)
+  |} in
+  checki "x doubled" 10 (read_var mem "x")
+
+let test_proc_label_freshening () =
+  (* a loop inside a procedure called twice: labels must not collide *)
+  let mem = run_src {|
+    proc count(n)
+      k := 0
+      again:
+      k := k + 1
+      if k < n goto again
+      total := total + k
+    end
+    a := 3 b := 4
+    call count(a)
+    call count(b)
+  |} in
+  checki "total" 7 (read_var mem "total")
+
+let test_proc_recursion_rejected () =
+  match parse "proc f(x) call f(x) end call f(y)" with
+  | _ -> Alcotest.fail "expected type error"
+  | exception Imp.Typecheck.Error _ -> ()
+
+let test_proc_mutual_recursion_rejected () =
+  match parse "proc f(x) call g(x) end proc g(x) call f(x) end call f(y)" with
+  | _ -> Alcotest.fail "expected type error"
+  | exception Imp.Typecheck.Error _ -> ()
+
+let test_proc_arity_mismatch () =
+  match parse "proc f(x, y) x := y end call f(a)" with
+  | _ -> Alcotest.fail "expected type error"
+  | exception Imp.Typecheck.Error _ -> ()
+
+let test_proc_undefined () =
+  match parse "call nothing(x)" with
+  | _ -> Alcotest.fail "expected type error"
+  | exception Imp.Typecheck.Error _ -> ()
+
+let fortran_f = {|
+  proc f(fx, fy, fz)
+    fx := 1
+    fy := 2
+    fz := fz + fx + fy
+    fx := fy + fz
+  end
+  call f(a, b, a)
+  call f(c, d, d)
+|}
+
+let test_proc_derived_aliases () =
+  (* the paper's SUBROUTINE F example: X~Z and Y~Z, never X~Y *)
+  let p = parse fortran_f in
+  let pairs = Imp.Proc.param_aliases p "f" in
+  checkb "fx ~ fz (from f(a,b,a))" true (List.mem ("fx", "fz") pairs);
+  checkb "fy ~ fz (from f(c,d,d))" true (List.mem ("fy", "fz") pairs);
+  checkb "fx !~ fy" false (List.mem ("fx", "fy") pairs)
+
+let test_proc_call_sites () =
+  let p = parse fortran_f in
+  checki "two call sites" 2 (List.length (Imp.Proc.call_sites p "f"))
+
+let test_proc_instantiate () =
+  let p = parse fortran_f in
+  let inst = Imp.Proc.instantiate p "f" [ "a"; "b"; "a" ] in
+  let mem = Imp.Eval.run_program inst in
+  (* fx and fz share storage with a: fx:=1; fy:=2; fz:=fz+fx+fy -> a=1+..
+     trace: a(fx,fz)=1, b(fy)=2, fz:=1+1+2=4 -> a=4, fx:=2+4=6 -> a=6 *)
+  checki "a" 6 (Imp.Memory.read mem "a" 0);
+  checki "b" 2 (Imp.Memory.read mem "b" 0)
+
+(* ------------------------------------------------------------------ *)
+(* Case statements (multi-way branches, paper footnote 3)             *)
+
+let test_case_eval () =
+  let mem = run_src {|
+    x := 2
+    case x * 2
+    when 0 then r := 100
+    when 4 then r := 200
+    when 9 then r := 300
+    else r := 400
+    end
+  |} in
+  checki "matched arm" 200 (read_var mem "r")
+
+let test_case_default () =
+  let mem = run_src {|
+    case 77 when 1 then r := 1 when 2 then r := 2 else r := 99 end
+  |} in
+  checki "default arm" 99 (read_var mem "r")
+
+let test_case_no_default () =
+  let mem = run_src "case 5 when 1 then r := 1 end r := r + 7" in
+  checki "falls through" 7 (read_var mem "r")
+
+let test_case_negative_label () =
+  let mem = run_src "x := 0 - 3 case x when -3 then r := 1 else r := 2 end" in
+  checki "negative label" 1 (read_var mem "r")
+
+let test_case_scrutinee_once () =
+  (* the scrutinee is evaluated exactly once: the lowering binds it to a
+     temporary, so a self-modifying scrutinee cannot re-fire *)
+  let mem = run_src {|
+    array a[2]
+    a[0] := 1
+    case a[0] when 1 then a[0] := 5 r := 10 when 5 then r := 20 else r := 30 end
+  |} in
+  checki "first matching arm only" 10 (read_var mem "r")
+
+let test_case_duplicate_label_rejected () =
+  match parse "case x when 1 then skip when 1 then skip end" with
+  | _ -> Alcotest.fail "expected type error"
+  | exception Imp.Typecheck.Error _ -> ()
+
+let test_case_roundtrip () =
+  let p = parse "case x when 1 then r := 1 when 2 then r := 2 else r := 3 end" in
+  let printed = Imp.Pretty.program_to_string p in
+  let p2 = parse printed in
+  check Alcotest.string "stable" printed (Imp.Pretty.program_to_string p2)
+
+let test_case_in_proc () =
+  let mem = run_src {|
+    proc classify(v, out)
+      case v when 0 then out := 10 when 1 then out := 11 else out := 12 end
+    end
+    a := 1
+    call classify(a, r1)
+    b := 9
+    call classify(b, r2)
+  |} in
+  checki "arm via proc" 11 (read_var mem "r1");
+  checki "default via proc" 12 (read_var mem "r2")
+
+(* ------------------------------------------------------------------ *)
+(* QCheck: value semantics properties                                 *)
+
+let arb_small_int = QCheck.int_range (-50) 50
+
+let prop_binop_total =
+  QCheck.Test.make ~name:"integer binops are total" ~count:500
+    (QCheck.triple arb_small_int arb_small_int
+       (QCheck.oneofl
+          Imp.Ast.[ Add; Sub; Mul; Div; Mod; Lt; Le; Gt; Ge; Eq; Ne ]))
+    (fun (a, b, op) ->
+      match Imp.Value.binop op (Imp.Value.Int a) (Imp.Value.Int b) with
+      | Imp.Value.Int _ | Imp.Value.Bool _ -> true)
+
+let prop_pretty_parse_roundtrip_expr =
+  let rec gen_expr fuel st =
+    if fuel <= 0 then Imp.Ast.Int (QCheck.Gen.int_range (-20) 20 st)
+    else
+      match QCheck.Gen.int_range 0 5 st with
+      | 0 -> Imp.Ast.Int (QCheck.Gen.int_range (-20) 20 st)
+      | 1 -> Imp.Ast.Unop (Imp.Ast.Neg, gen_expr (fuel - 1) st)
+      | _ ->
+          let op = QCheck.Gen.oneofl Imp.Ast.[ Add; Sub; Mul; Div; Mod ] st in
+          Imp.Ast.Binop (op, gen_expr (fuel - 1) st, gen_expr (fuel - 1) st)
+  in
+  let arb =
+    QCheck.make ~print:(fun e -> Imp.Pretty.expr_to_string e) (gen_expr 5)
+  in
+  QCheck.Test.make ~name:"pretty/parse round trip preserves evaluation"
+    ~count:300 arb (fun e ->
+      let printed = Imp.Pretty.expr_to_string e in
+      let e2 = Imp.Parser.expr_of_string printed in
+      let mem =
+        Imp.Memory.create (Imp.Layout.of_program (Imp.Ast.program Imp.Ast.Skip))
+      in
+      Imp.Value.equal (Imp.Eval.eval_expr mem e) (Imp.Eval.eval_expr mem e2))
+
+let prop_parser_total =
+  (* random byte soup never crashes the front end with anything but its
+     own documented exceptions *)
+  QCheck.Test.make ~name:"parser is total (errors, not crashes)" ~count:500
+    QCheck.(string_of_size (Gen.int_range 0 80))
+    (fun s ->
+      match Imp.Parser.program_of_string s with
+      | _ -> true
+      | exception Imp.Parser.Error _ -> true
+      | exception Imp.Typecheck.Error _ -> true
+      | exception Imp.Lexer.Error _ -> true)
+
+let prop_program_roundtrip =
+  (* pretty-print / reparse stability for random structured programs *)
+  QCheck.Test.make ~name:"program pretty/parse round trip" ~count:100
+    (QCheck.make
+       ~print:(fun p -> Imp.Pretty.program_to_string p)
+       (fun st ->
+         let rand = Random.State.make [| QCheck.Gen.int st |] in
+         Workloads.Random_gen.structured rand))
+    (fun p ->
+      let printed = Imp.Pretty.program_to_string p in
+      let p2 = Imp.Parser.program_of_string printed in
+      Imp.Pretty.program_to_string p2 = printed)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_binop_total;
+      prop_pretty_parse_roundtrip_expr;
+      prop_parser_total;
+      prop_program_roundtrip;
+    ]
+
+let () =
+  Alcotest.run "imp"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "simple" `Quick test_lex_simple;
+          Alcotest.test_case "comment" `Quick test_lex_comment;
+          Alcotest.test_case "two-char ops" `Quick test_lex_two_char_ops;
+          Alcotest.test_case "error offset" `Quick test_lex_error;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "precedence" `Quick test_parse_precedence;
+          Alcotest.test_case "left associativity" `Quick test_parse_assoc;
+          Alcotest.test_case "parentheses" `Quick test_parse_paren;
+          Alcotest.test_case "if/else" `Quick test_parse_if_else;
+          Alcotest.test_case "if without else" `Quick test_parse_if_no_else;
+          Alcotest.test_case "label and goto" `Quick test_parse_label_goto;
+          Alcotest.test_case "conditional goto" `Quick test_parse_cond_goto;
+          Alcotest.test_case "declarations" `Quick test_parse_decls;
+          Alcotest.test_case "syntax errors" `Quick test_parse_error_messages;
+          Alcotest.test_case "factory round trips" `Quick test_roundtrip_examples;
+        ] );
+      ( "typecheck",
+        [
+          Alcotest.test_case "rejects ill-typed" `Quick test_typecheck_rejects;
+          Alcotest.test_case "accepts examples" `Quick test_typecheck_accepts;
+        ] );
+      ( "layout",
+        [
+          Alcotest.test_case "disjoint" `Quick test_layout_disjoint;
+          Alcotest.test_case "equiv shares" `Quick test_layout_equiv;
+          Alcotest.test_case "equiv transitive" `Quick test_layout_equiv_transitive;
+          Alcotest.test_case "mayalias no storage" `Quick
+            test_layout_mayalias_no_storage;
+          Alcotest.test_case "array/scalar equiv" `Quick
+            test_layout_array_equiv_scalar;
+          Alcotest.test_case "index modulo" `Quick test_index_modulo;
+          Alcotest.test_case "negative index modulo" `Quick
+            test_index_negative_modulo;
+        ] );
+      ( "eval",
+        [
+          Alcotest.test_case "straight line" `Quick test_eval_straightline;
+          Alcotest.test_case "if" `Quick test_eval_if;
+          Alcotest.test_case "while sum" `Quick test_eval_while;
+          Alcotest.test_case "gcd" `Quick test_eval_gcd;
+          Alcotest.test_case "fib" `Quick test_eval_fib;
+          Alcotest.test_case "running example" `Quick test_eval_running_example;
+          Alcotest.test_case "unstructured" `Quick test_eval_unstructured;
+          Alcotest.test_case "total division" `Quick test_eval_total_division;
+          Alcotest.test_case "equiv write-through" `Quick
+            test_eval_equiv_semantics;
+          Alcotest.test_case "fuel exhaustion" `Quick test_eval_fuel;
+          Alcotest.test_case "structured = flat" `Quick
+            test_eval_structured_vs_flat;
+          Alcotest.test_case "array store loop" `Quick test_array_store_loop;
+          Alcotest.test_case "matrix multiply" `Quick test_matmul;
+          Alcotest.test_case "bubble sort" `Quick test_bubble_sort;
+          Alcotest.test_case "sieve" `Quick test_sieve;
+          Alcotest.test_case "prefix sums" `Quick test_prefix_sum;
+          Alcotest.test_case "array sum" `Quick test_array_sum;
+        ] );
+      ( "flat",
+        [
+          Alcotest.test_case "if shape" `Quick test_flatten_shapes;
+          Alcotest.test_case "while shape" `Quick test_flatten_while;
+          Alcotest.test_case "undefined label" `Quick test_flat_validate_undefined;
+          Alcotest.test_case "duplicate label" `Quick test_flat_duplicate_label;
+          Alcotest.test_case "variable collection" `Quick test_flat_vars;
+        ] );
+      ( "case statements",
+        [
+          Alcotest.test_case "matching arm" `Quick test_case_eval;
+          Alcotest.test_case "default arm" `Quick test_case_default;
+          Alcotest.test_case "no default" `Quick test_case_no_default;
+          Alcotest.test_case "negative label" `Quick test_case_negative_label;
+          Alcotest.test_case "scrutinee evaluated once" `Quick
+            test_case_scrutinee_once;
+          Alcotest.test_case "duplicate labels rejected" `Quick
+            test_case_duplicate_label_rejected;
+          Alcotest.test_case "round trip" `Quick test_case_roundtrip;
+          Alcotest.test_case "inside procedures" `Quick test_case_in_proc;
+        ] );
+      ( "procedures",
+        [
+          Alcotest.test_case "parse" `Quick test_proc_parse;
+          Alcotest.test_case "inline + eval" `Quick test_proc_inline_eval;
+          Alcotest.test_case "aliased call" `Quick test_proc_aliased_call;
+          Alcotest.test_case "label freshening" `Quick test_proc_label_freshening;
+          Alcotest.test_case "recursion rejected" `Quick
+            test_proc_recursion_rejected;
+          Alcotest.test_case "mutual recursion rejected" `Quick
+            test_proc_mutual_recursion_rejected;
+          Alcotest.test_case "arity mismatch" `Quick test_proc_arity_mismatch;
+          Alcotest.test_case "undefined procedure" `Quick test_proc_undefined;
+          Alcotest.test_case "derived aliases (paper example)" `Quick
+            test_proc_derived_aliases;
+          Alcotest.test_case "call sites" `Quick test_proc_call_sites;
+          Alcotest.test_case "instantiate" `Quick test_proc_instantiate;
+        ] );
+      ("properties", qcheck_cases);
+    ]

@@ -1,0 +1,284 @@
+(* Tests for SSA construction, dominance frontiers, the PDG, and the
+   paper's claimed correspondence between dataflow merge placement and
+   φ-placement (Sections 4 and 6.1). *)
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let cfg_of = Cfg.Builder.of_string
+
+let random_cfg_arb =
+  QCheck.make (fun st ->
+      let rand = Random.State.make [| QCheck.Gen.int st |] in
+      Workloads.Random_gen.random_cfg rand)
+
+let random_structured_arb =
+  QCheck.make
+    ~print:(fun p -> Imp.Pretty.program_to_string p)
+    (fun st ->
+      let rand = Random.State.make [| QCheck.Gen.int st |] in
+      Workloads.Random_gen.structured rand)
+
+(* ------------------------------------------------------------------ *)
+(* Dominance frontiers                                                *)
+
+let test_df_diamond () =
+  let g = cfg_of "x := 1 if x < 2 then y := 1 else y := 2 end z := 3" in
+  let dom = Analysis.Dom.dominators_of g in
+  let df = Ssa.Frontier.compute dom g in
+  (* the join is in the frontier of both branch assignments *)
+  let join =
+    List.find (fun n -> Cfg.Core.kind g n = Cfg.Core.Join) (Cfg.Core.nodes g)
+  in
+  let branches =
+    List.filter
+      (fun n ->
+        match Cfg.Core.kind g n with
+        | Cfg.Core.Assign (Imp.Ast.Lvar "y", _) -> true
+        | _ -> false)
+      (Cfg.Core.nodes g)
+  in
+  List.iter
+    (fun b -> checkb "join in DF(branch)" true (List.mem join df.(b)))
+    branches
+
+let prop_df_matches_definition =
+  QCheck.Test.make ~name:"dominance frontier = definitional set" ~count:80
+    random_cfg_arb (fun g ->
+      let dom = Analysis.Dom.dominators_of g in
+      let fast = Ssa.Frontier.compute dom g in
+      let slow = Ssa.Frontier.compute_definitional dom g in
+      Array.for_all2
+        (fun a b -> List.sort compare a = List.sort compare b)
+        fast slow)
+
+(* ------------------------------------------------------------------ *)
+(* SSA construction                                                   *)
+
+(* The start->end convention edge makes [end] a join of every variable's
+   initial version with its final one, so a φ at [end] is expected; the
+   interesting φs are the interior ones. *)
+let interior_phis g ssa x =
+  List.filter (fun j -> j <> g.Cfg.Core.stop) (Ssa.Construct.phi_joins ssa x)
+
+let test_ssa_diamond () =
+  let g = cfg_of "x := 1 if x < 2 then y := 1 else y := 2 end z := y" in
+  let ssa = Ssa.Construct.construct g in
+  Ssa.Construct.verify ssa;
+  checki "one interior phi for y" 1 (List.length (interior_phis g ssa "y"));
+  checki "no interior phi for x" 0 (List.length (interior_phis g ssa "x"));
+  (* plus the convention phi at end *)
+  checki "end phi for y" 1
+    (List.length
+       (List.filter (fun j -> j = g.Cfg.Core.stop) (Ssa.Construct.phi_joins ssa "y")))
+
+let test_ssa_loop () =
+  let g = Cfg.Builder.of_program (Imp.Factory.running_example ()) in
+  let ssa = Ssa.Construct.construct g in
+  Ssa.Construct.verify ssa;
+  (* the loop header join needs φs for both x and y *)
+  checki "phi for x at header" 1 (List.length (interior_phis g ssa "x"));
+  checki "phi for y at header" 1 (List.length (interior_phis g ssa "y"))
+
+let test_ssa_versions_count () =
+  let g = cfg_of "x := 1 x := x + 1 x := x * 2" in
+  let ssa = Ssa.Construct.construct g in
+  Ssa.Construct.verify ssa;
+  checki "three statement defs of x" 3
+    (List.length
+       (List.filter
+          (fun (_, v) -> v.Ssa.Construct.base = "x")
+          ssa.Ssa.Construct.defs))
+
+let test_ssa_array_whole_name () =
+  let g = cfg_of "array a[4]; a[0] := 1 a[1] := a[0] + 1" in
+  let ssa = Ssa.Construct.construct g in
+  Ssa.Construct.verify ssa;
+  (* each element store is a def of the whole array *)
+  checki "two defs of a" 2
+    (List.length
+       (List.filter
+          (fun (_, v) -> v.Ssa.Construct.base = "a")
+          ssa.Ssa.Construct.defs))
+
+let prop_ssa_invariants =
+  QCheck.Test.make ~name:"SSA invariants on random unstructured CFGs"
+    ~count:80 random_cfg_arb (fun g ->
+      let ssa = Ssa.Construct.construct g in
+      match Ssa.Construct.verify ssa with () -> true)
+
+let prop_phi_iterated_frontier =
+  QCheck.Test.make ~name:"phi joins = iterated dominance frontier" ~count:60
+    random_cfg_arb (fun g ->
+      let ssa = Ssa.Construct.construct g in
+      let dom = Analysis.Dom.dominators_of g in
+      let df = Ssa.Frontier.compute_definitional dom g in
+      let vars =
+        List.sort_uniq compare
+          (List.concat_map (Cfg.Core.referenced_vars g) (Cfg.Core.nodes g))
+      in
+      List.for_all
+        (fun x ->
+          let sites =
+            g.Cfg.Core.start
+            :: List.filter
+                 (fun n -> Ssa.Construct.def_of g n = Some x)
+                 (Cfg.Core.nodes g)
+          in
+          let expected =
+            Ssa.Frontier.iterated df sites |> List.sort compare
+          in
+          List.sort compare (Ssa.Construct.phi_joins ssa x) = expected)
+        vars)
+
+(* ------------------------------------------------------------------ *)
+(* The merge/φ correspondence                                         *)
+
+let merge_placement p =
+  let g = Cfg.Builder.of_program p in
+  let lp = Cfg.Loopify.transform g in
+  let report = ref [] in
+  (* the flattened variable set: includes case-lowering temporaries *)
+  let vars = Imp.Flat.vars (Imp.Flat.flatten p) in
+  let _ =
+    Dflow.Optimized.translate ~merge_report:report lp ~vars
+  in
+  (!report, lp)
+
+let prop_phi_implies_merge =
+  (* Every SSA φ of the original CFG implies a token merge for the same
+     variable in the optimized translation (at the corresponding join of
+     the loopified graph).  The converse need not hold: switches multiply
+     token sources without multiplying values. *)
+  QCheck.Test.make ~name:"phi placement implies merge placement" ~count:60
+    random_structured_arb (fun p ->
+      let g = Cfg.Builder.of_program p in
+      if Analysis.Alias.has_aliasing (Analysis.Alias.of_program p) then true
+      else begin
+        let ssa = Ssa.Construct.construct g in
+        let merges, lp = merge_placement p in
+        let vars = Imp.Flat.vars (Imp.Flat.flatten p) in
+        (* map original joins to loopified-graph nodes: Loopify preserves
+           the ids of original nodes (it only appends) *)
+        ignore lp;
+        List.for_all
+          (fun x ->
+            List.for_all
+              (fun j ->
+                (* a φ at a loop header turns into the loop entry's merge
+                   of initial and back tokens; other φs must show up as a
+                   token merge at the same join. *)
+                let is_end = j = g.Cfg.Core.stop in
+                let header_of_loop =
+                  Array.exists
+                    (fun (l : Cfg.Loopify.loop_info) ->
+                      l.Cfg.Loopify.header = j
+                      && List.mem x l.Cfg.Loopify.vars)
+                    lp.Cfg.Loopify.loops
+                in
+                is_end || header_of_loop || List.mem (j, x) merges)
+              (Ssa.Construct.phi_joins ssa x))
+          vars
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* PDG                                                                *)
+
+let test_pdg_flow_edges () =
+  let g = cfg_of "x := 1 y := x + 1 z := x + y" in
+  let pdg = Ssa.Pdg.build g in
+  let assign_to v =
+    List.find
+      (fun n ->
+        match Cfg.Core.kind g n with
+        | Cfg.Core.Assign (Imp.Ast.Lvar w, _) -> w = v
+        | _ -> false)
+      (Cfg.Core.nodes g)
+  in
+  let deps = Ssa.Pdg.flow_deps_of pdg (assign_to "z") in
+  checkb "z depends on x := 1" true (List.mem (assign_to "x", "x") deps);
+  checkb "z depends on y := x+1" true (List.mem (assign_to "y", "y") deps)
+
+let test_pdg_control_edges () =
+  let g = cfg_of "x := 1 if x < 2 then y := 1 else y := 2 end" in
+  let pdg = Ssa.Pdg.build g in
+  let fork =
+    List.find
+      (fun n -> match Cfg.Core.kind g n with Cfg.Core.Fork _ -> true | _ -> false)
+      (Cfg.Core.nodes g)
+  in
+  let ctl =
+    List.filter (fun e -> e.Ssa.Pdg.src = fork) (Ssa.Pdg.control_edges pdg)
+  in
+  checki "two dependents" 2 (List.length ctl)
+
+let test_pdg_phi_traced () =
+  (* uses after a join see both reaching definitions *)
+  let g = cfg_of "if w < 1 then y := 1 else y := 2 end z := y" in
+  let pdg = Ssa.Pdg.build g in
+  let z =
+    List.find
+      (fun n ->
+        match Cfg.Core.kind g n with
+        | Cfg.Core.Assign (Imp.Ast.Lvar "z", _) -> true
+        | _ -> false)
+      (Cfg.Core.nodes g)
+  in
+  let deps = Ssa.Pdg.flow_deps_of pdg z in
+  checki "two reaching defs of y" 2
+    (List.length (List.filter (fun (_, v) -> v = "y") deps))
+
+let test_pdg_loop_carried () =
+  let g = Cfg.Builder.of_program (Imp.Factory.running_example ()) in
+  let pdg = Ssa.Pdg.build g in
+  let x_assign =
+    List.find
+      (fun n ->
+        match Cfg.Core.kind g n with
+        | Cfg.Core.Assign (Imp.Ast.Lvar "x", _) -> true
+        | _ -> false)
+      (Cfg.Core.nodes g)
+  in
+  (* x := x + 1 depends on itself through the loop φ *)
+  let deps = Ssa.Pdg.flow_deps_of pdg x_assign in
+  checkb "loop-carried self-dependence" true
+    (List.mem (x_assign, "x") deps)
+
+let test_pdg_dot () =
+  let g = cfg_of "x := 1 y := x" in
+  let s = Ssa.Pdg.to_dot (Ssa.Pdg.build g) in
+  checkb "digraph" true (String.sub s 0 7 = "digraph")
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_df_matches_definition;
+      prop_ssa_invariants;
+      prop_phi_iterated_frontier;
+      prop_phi_implies_merge;
+    ]
+
+let () =
+  Alcotest.run "ssa"
+    [
+      ( "frontier",
+        [ Alcotest.test_case "diamond" `Quick test_df_diamond ] );
+      ( "construction",
+        [
+          Alcotest.test_case "diamond phi" `Quick test_ssa_diamond;
+          Alcotest.test_case "loop phi" `Quick test_ssa_loop;
+          Alcotest.test_case "version counting" `Quick test_ssa_versions_count;
+          Alcotest.test_case "arrays as whole names" `Quick
+            test_ssa_array_whole_name;
+        ] );
+      ( "pdg",
+        [
+          Alcotest.test_case "flow edges" `Quick test_pdg_flow_edges;
+          Alcotest.test_case "control edges" `Quick test_pdg_control_edges;
+          Alcotest.test_case "phi-traced uses" `Quick test_pdg_phi_traced;
+          Alcotest.test_case "loop-carried dependence" `Quick
+            test_pdg_loop_carried;
+          Alcotest.test_case "dot" `Quick test_pdg_dot;
+        ] );
+      ("properties", qcheck_cases);
+    ]

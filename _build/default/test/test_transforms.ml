@@ -1,0 +1,333 @@
+(* Tests for the Section 6 parallelizing transformations: memory
+   elimination (value passing), read parallelization, Figure 14 array
+   store parallelization, and I-structure placement. *)
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let machine_of (c : Dflow.Driver.compiled) : Machine.Interp.program =
+  { Machine.Interp.graph = c.Dflow.Driver.graph; layout = c.Dflow.Driver.layout }
+
+let run ?config ?transforms spec p =
+  let c = Dflow.Driver.compile ?transforms spec p in
+  Dfg.Check.check c.Dflow.Driver.graph;
+  (c, Machine.Interp.run_exn ?config (machine_of c))
+
+let differential ?transforms spec p =
+  let expected = Imp.Eval.run_program ~fuel:1_000_000 p in
+  let _, r = run ?transforms spec p in
+  Imp.Memory.equal expected r.Machine.Interp.memory
+
+let vp = { Dflow.Driver.no_transforms with Dflow.Driver.value_passing = true }
+let pr = { Dflow.Driver.no_transforms with Dflow.Driver.parallel_reads = true }
+let ap = { Dflow.Driver.no_transforms with Dflow.Driver.array_parallel = true }
+let is_ = { Dflow.Driver.no_transforms with Dflow.Driver.istructure = true }
+
+let s2b = Dflow.Driver.Schema2 Dflow.Engine.Barrier
+let s2p = Dflow.Driver.Schema2 Dflow.Engine.Pipelined
+let s2ob = Dflow.Driver.Schema2_opt Dflow.Engine.Barrier
+let s2op = Dflow.Driver.Schema2_opt Dflow.Engine.Pipelined
+
+(* ------------------------------------------------------------------ *)
+(* Eligibility analyses                                               *)
+
+let test_value_eligible () =
+  let p = Imp.Parser.program_of_string "array a[3]; equiv x y; x := 1 z := 2 a[0] := 3" in
+  Alcotest.(check (list string))
+    "only unaliased scalars" [ "z" ]
+    (Dflow.Transforms.value_eligible p)
+
+let test_async_candidates () =
+  let p = Imp.Factory.array_store_loop () in
+  let lp = Cfg.Loopify.transform (Cfg.Builder.of_program p) in
+  let cands = Dflow.Transforms.async_candidates p lp in
+  checki "one candidate" 1 (List.length cands);
+  Alcotest.(check string) "array x" "x" (snd (List.hd cands))
+
+let test_async_rejects_read () =
+  (* x is read in the loop: Figure 14 does not apply. *)
+  let p =
+    Imp.Parser.program_of_string
+      {| array x[12]
+         s:
+         i := i + 1
+         x[i] := x[i] + 1
+         if i < 10 goto s |}
+  in
+  let lp = Cfg.Loopify.transform (Cfg.Builder.of_program p) in
+  checki "no candidates" 0 (List.length (Dflow.Transforms.async_candidates p lp))
+
+let test_async_rejects_two_stores () =
+  let p =
+    Imp.Parser.program_of_string
+      {| array x[12]
+         s:
+         i := i + 1
+         x[i] := 1
+         x[i + 1] := 2
+         if i < 10 goto s |}
+  in
+  let lp = Cfg.Loopify.transform (Cfg.Builder.of_program p) in
+  checki "no candidates" 0 (List.length (Dflow.Transforms.async_candidates p lp))
+
+let test_istructure_candidates () =
+  let p = Imp.Factory.array_sum_kernel () in
+  let lp = Cfg.Loopify.transform (Cfg.Builder.of_program p) in
+  Alcotest.(check (list string))
+    "x is write-once" [ "x" ]
+    (Dflow.Transforms.istructure_candidates p lp)
+
+let test_istructure_rejects_nested () =
+  (* nested loop restarts the induction variable: cells rewritten *)
+  let p =
+    Imp.Parser.program_of_string
+      {| array x[8]
+         j := 0
+         while j < 2 do
+           i := 0
+           while i < 8 do
+             x[i] := j
+             i := i + 1
+           end
+           j := j + 1
+         end |}
+  in
+  let lp = Cfg.Loopify.transform (Cfg.Builder.of_program p) in
+  checki "no candidates" 0
+    (List.length (Dflow.Transforms.istructure_candidates p lp))
+
+(* ------------------------------------------------------------------ *)
+(* Value passing: semantics                                           *)
+
+let test_value_passing_examples () =
+  List.iter
+    (fun (name, mk) ->
+      let p = mk () in
+      if not (Analysis.Alias.has_aliasing (Analysis.Alias.of_program p)) then
+        List.iter
+          (fun spec ->
+            match differential ~transforms:vp spec p with
+            | true -> ()
+            | false ->
+                Alcotest.failf "%s: value passing changed semantics (%s)" name
+                  (Dflow.Driver.spec_to_string spec)
+            | exception Cfg.Intervals.Irreducible _ -> ())
+          [ s2b; s2p; s2ob; s2op ])
+    Imp.Factory.all
+
+let test_value_passing_eliminates_memory () =
+  (* Scalar-only program: the only remaining memory operations are the
+     final write-backs (one store per variable, zero loads). *)
+  let p = Imp.Factory.sum_kernel ~n:5 () in
+  let c, r = run ~transforms:vp s2b p in
+  let st = Dfg.Stats.of_graph c.Dflow.Driver.graph in
+  checki "no loads" 0 st.Dfg.Stats.loads;
+  checki "write-backs only" 2 st.Dfg.Stats.stores;
+  (* i and s *)
+  checki "memory ops executed" 2 r.Machine.Interp.memory_ops
+
+let test_value_passing_shortens_critical_path () =
+  let p = Imp.Factory.fib_kernel ~n:10 () in
+  let config = Machine.Config.default in
+  let _, plain = run ~config s2p p in
+  let _, valued = run ~config ~transforms:vp s2p p in
+  checkb "value passing is faster" true
+    (valued.Machine.Interp.cycles < plain.Machine.Interp.cycles)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel reads                                                     *)
+
+let read_heavy () =
+  Imp.Parser.program_of_string
+    {| array a[8]
+       a[0] := 3 a[1] := 1 a[2] := 4 a[3] := 1 a[4] := 5 a[5] := 9
+       s := a[0] + a[1] + a[2] + a[3] + a[4] + a[5] |}
+
+let test_parallel_reads_semantics () =
+  List.iter
+    (fun (name, mk) ->
+      let p = mk () in
+      let specs =
+        if Analysis.Alias.has_aliasing (Analysis.Alias.of_program p) then
+          [ Dflow.Driver.Schema1;
+            Dflow.Driver.Schema3 (Dflow.Driver.Components, Dflow.Engine.Barrier) ]
+        else [ Dflow.Driver.Schema1; s2b; s2ob ]
+      in
+      List.iter
+        (fun spec ->
+          match differential ~transforms:pr spec p with
+          | true -> ()
+          | false ->
+              Alcotest.failf "%s: parallel reads changed semantics (%s)" name
+                (Dflow.Driver.spec_to_string spec)
+          | exception Cfg.Intervals.Irreducible _ -> ())
+        specs)
+    Imp.Factory.all
+
+let test_parallel_reads_speedup () =
+  (* Six reads of the same array in one statement: serialized they cost
+     6 memory latencies on the access chain; parallel, one. *)
+  let p = read_heavy () in
+  let config = Machine.Config.default in
+  let _, serial = run ~config s2b p in
+  let _, par = run ~config ~transforms:pr s2b p in
+  checkb "parallel reads shorten the path" true
+    (par.Machine.Interp.cycles < serial.Machine.Interp.cycles);
+  checki "same memory traffic" serial.Machine.Interp.memory_ops
+    par.Machine.Interp.memory_ops
+
+let test_parallel_reads_schema1 () =
+  (* Under Schema 1 every read in a statement shares the single token:
+     read parallelization helps even the sequential schema. *)
+  let p = read_heavy () in
+  let config = Machine.Config.default in
+  let _, serial = run ~config Dflow.Driver.Schema1 p in
+  let _, par = run ~config ~transforms:pr Dflow.Driver.Schema1 p in
+  checkb "faster" true
+    (par.Machine.Interp.cycles < serial.Machine.Interp.cycles)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 14: array store parallelization                             *)
+
+let test_array_parallel_semantics () =
+  let p = Imp.Factory.array_store_loop ~n:10 () in
+  checkb "barrier" true (differential ~transforms:ap s2b p);
+  checkb "pipelined" true (differential ~transforms:ap s2p p);
+  let both =
+    { ap with Dflow.Driver.value_passing = true; parallel_reads = true }
+  in
+  checkb "with value passing" true (differential ~transforms:both s2p p)
+
+let test_array_parallel_overlaps_stores () =
+  (* With value passing on the scalars, the induction update is pure
+     token traffic; overlapped stores then pipeline the memory latency
+     across iterations. *)
+  let slow_mem =
+    {
+      Machine.Config.default with
+      Machine.Config.latencies = { alu = 1; memory = 24; routing = 1 };
+    }
+  in
+  let p = Imp.Factory.array_store_loop ~n:16 () in
+  let t = { vp with Dflow.Driver.parallel_reads = true } in
+  let _, plain = run ~config:slow_mem ~transforms:t s2p p in
+  let t' = { t with Dflow.Driver.array_parallel = true } in
+  let _, overlapped = run ~config:slow_mem ~transforms:t' s2p p in
+  checkb
+    (Fmt.str "stores overlap (%d < %d cycles)" overlapped.Machine.Interp.cycles
+       plain.Machine.Interp.cycles)
+    true
+    (overlapped.Machine.Interp.cycles < plain.Machine.Interp.cycles)
+
+let test_array_parallel_random () =
+  (* Array-heavy random programs keep their semantics under the
+     transform (whether or not any loop qualifies). *)
+  let rand = Random.State.make [| 421 |] in
+  for _ = 1 to 30 do
+    let config =
+      { Workloads.Random_gen.default_config with num_arrays = 2; max_depth = 2 }
+    in
+    let p = Workloads.Random_gen.structured ~config rand in
+    checkb "semantics preserved" true (differential ~transforms:ap s2p p)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* I-structures                                                       *)
+
+let test_istructure_semantics () =
+  let p = Imp.Factory.array_sum_kernel ~n:8 () in
+  checkb "barrier" true (differential ~transforms:is_ s2b p);
+  checkb "pipelined" true (differential ~transforms:is_ s2p p)
+
+let test_istructure_deferred_reads_overlap () =
+  (* The consumer loop's reads can issue before the producer loop's
+     writes land; with high memory latency the I-structure version wins. *)
+  let slow_mem =
+    {
+      Machine.Config.default with
+      Machine.Config.latencies = { alu = 1; memory = 24; routing = 1 };
+    }
+  in
+  let p = Imp.Factory.array_sum_kernel ~n:8 () in
+  let t = { vp with Dflow.Driver.parallel_reads = true } in
+  let _, plain = run ~config:slow_mem ~transforms:t s2p p in
+  let t' = { t with Dflow.Driver.istructure = true } in
+  let _, istr = run ~config:slow_mem ~transforms:t' s2p p in
+  checkb
+    (Fmt.str "I-structure overlaps producer/consumer (%d <= %d)"
+       istr.Machine.Interp.cycles plain.Machine.Interp.cycles)
+    true
+    (istr.Machine.Interp.cycles < plain.Machine.Interp.cycles)
+
+(* ------------------------------------------------------------------ *)
+(* Random differential with every transform enabled                   *)
+
+let prop_random_all_transforms =
+  QCheck.Test.make ~name:"random programs with all transforms" ~count:50
+    (QCheck.make
+       ~print:(fun p -> Imp.Pretty.program_to_string p)
+       (fun st ->
+         let rand = Random.State.make [| QCheck.Gen.int st |] in
+         Workloads.Random_gen.structured rand))
+    (fun p ->
+      List.for_all
+        (fun spec ->
+          differential ~transforms:Dflow.Driver.all_transforms spec p)
+        [ s2b; s2p ]
+      && List.for_all
+           (fun spec -> differential ~transforms:vp spec p)
+           [ s2ob; s2op ])
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest [ prop_random_all_transforms ]
+
+let () =
+  Alcotest.run "transforms"
+    [
+      ( "eligibility",
+        [
+          Alcotest.test_case "value-eligible variables" `Quick test_value_eligible;
+          Alcotest.test_case "async candidates" `Quick test_async_candidates;
+          Alcotest.test_case "async rejects in-loop reads" `Quick
+            test_async_rejects_read;
+          Alcotest.test_case "async rejects conflicting stores" `Quick
+            test_async_rejects_two_stores;
+          Alcotest.test_case "I-structure candidates" `Quick
+            test_istructure_candidates;
+          Alcotest.test_case "I-structure rejects nested loops" `Quick
+            test_istructure_rejects_nested;
+        ] );
+      ( "value passing",
+        [
+          Alcotest.test_case "semantics on all examples" `Quick
+            test_value_passing_examples;
+          Alcotest.test_case "eliminates interior memory ops" `Quick
+            test_value_passing_eliminates_memory;
+          Alcotest.test_case "shortens critical path" `Quick
+            test_value_passing_shortens_critical_path;
+        ] );
+      ( "parallel reads",
+        [
+          Alcotest.test_case "semantics on all examples" `Quick
+            test_parallel_reads_semantics;
+          Alcotest.test_case "speedup on read runs" `Quick
+            test_parallel_reads_speedup;
+          Alcotest.test_case "helps schema 1 too" `Quick
+            test_parallel_reads_schema1;
+        ] );
+      ( "array parallel (fig 14)",
+        [
+          Alcotest.test_case "semantics" `Quick test_array_parallel_semantics;
+          Alcotest.test_case "stores overlap across iterations" `Quick
+            test_array_parallel_overlaps_stores;
+          Alcotest.test_case "random array programs" `Quick
+            test_array_parallel_random;
+        ] );
+      ( "I-structures",
+        [
+          Alcotest.test_case "semantics" `Quick test_istructure_semantics;
+          Alcotest.test_case "deferred reads overlap loops" `Quick
+            test_istructure_deferred_reads_overlap;
+        ] );
+      ("properties", qcheck_cases);
+    ]
