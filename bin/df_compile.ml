@@ -102,7 +102,31 @@ let config_of pes mem_latency =
 
 (* --- run ------------------------------------------------------------- *)
 
-let run_cmd file schema transforms pes mem_latency verbose trace optimize =
+let fault_seed_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "fault-seed" ] ~docv:"SEED"
+        ~doc:
+          "Inject a deterministic fault plan derived from SEED at the \
+           machine's delivery and memory-issue boundaries; the diagnosis \
+           reports every injection.")
+
+let fault_rate_arg =
+  Arg.(
+    value & opt float 0.01
+    & info [ "fault-rate" ] ~docv:"P"
+        ~doc:"Per-event fault injection probability (with --fault-seed).")
+
+let fault_classes_arg =
+  Arg.(
+    value & opt string "all"
+    & info [ "fault-classes" ] ~docv:"LIST"
+        ~doc:
+          "Fault classes to draw from: any of drop, dup, flip, delay, \
+           stall, or all (comma separated).")
+
+let run_cmd file schema transforms pes mem_latency verbose trace optimize
+    fault_seed fault_rate fault_classes =
   let p = read_program file in
   let transforms = transforms_of_list transforms in
   let compiled = Dflow.Driver.compile ~transforms schema p in
@@ -111,12 +135,36 @@ let run_cmd file schema transforms pes mem_latency verbose trace optimize =
   let config = config_of pes mem_latency in
   let tracer = Machine.Trace.create () in
   let on_fire = if trace then Some (Machine.Trace.on_fire tracer) else None in
-  let result =
-    Machine.Interp.run ~config ?on_fire
-      { Machine.Interp.graph = graph; layout = compiled.Dflow.Driver.layout }
+  let faults =
+    Option.map
+      (fun seed ->
+        let classes =
+          try Machine.Fault.classes_of_string fault_classes
+          with Failure msg ->
+            Fmt.epr "df_compile: %s@." msg;
+            exit 2
+        in
+        Machine.Fault.make
+          (Machine.Fault.spec ~seed ~rate:fault_rate ~classes ()))
+      fault_seed
   in
-  if not result.Machine.Interp.completed then
-    failwith "dataflow execution did not complete";
+  let result =
+    match
+      Machine.Interp.run_report ~config ?faults ?on_fire
+        { Machine.Interp.graph = graph; layout = compiled.Dflow.Driver.layout }
+    with
+    | Ok r -> r
+    | Error d ->
+        Fmt.epr "execution failed:@.%a@." Machine.Diagnosis.pp d;
+        exit 1
+  in
+  if not (Machine.Diagnosis.is_clean result.Machine.Interp.diagnosis) then
+    Fmt.pr "== diagnosis ==@.%a@." Machine.Diagnosis.pp
+      result.Machine.Interp.diagnosis;
+  if not result.Machine.Interp.completed then begin
+    Fmt.epr "dataflow execution did not complete (see diagnosis above)@.";
+    exit 1
+  end;
   Fmt.pr "== final store ==@.%a@." Imp.Memory.pp result.Machine.Interp.memory;
   Fmt.pr "== execution ==@.";
   Fmt.pr "schema           %s@." (Dflow.Driver.spec_to_string schema);
@@ -154,7 +202,7 @@ let run_term =
     $ mem_latency_arg
     $ Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print graph statistics and check against the reference interpreter.")
     $ Arg.(value & flag & info [ "trace" ] ~doc:"Print an execution timeline and per-context firing counts.")
-    $ optimize_arg)
+    $ optimize_arg $ fault_seed_arg $ fault_rate_arg $ fault_classes_arg)
 
 (* --- dot ------------------------------------------------------------- *)
 
@@ -361,6 +409,43 @@ let compare_cmd file pes mem_latency =
 
 let compare_term = Term.(const compare_cmd $ file_arg $ pes_arg $ mem_latency_arg)
 
+(* --- selfcheck: the differential schema oracle ----------------------- *)
+
+let selfcheck_cmd seed count broken =
+  let report =
+    Dflow.Oracle.selfcheck ~seed ~count ~include_broken:broken ()
+  in
+  Fmt.pr "%a@." Dflow.Oracle.pp_report report;
+  if report.Dflow.Oracle.r_divergences <> [] then begin
+    Fmt.epr "selfcheck FAILED: %d reference divergence(s) under sound schemas@."
+      (List.length report.Dflow.Oracle.r_divergences);
+    exit 1
+  end;
+  if broken && report.Dflow.Oracle.r_broken_caught = [] then begin
+    Fmt.epr
+      "selfcheck FAILED: the deliberately broken schema produced no \
+       divergence — the oracle has lost its teeth (try more programs)@.";
+    exit 1
+  end;
+  Fmt.pr "selfcheck ok@."
+
+let selfcheck_term =
+  Term.(
+    const selfcheck_cmd
+    $ Arg.(
+        value & opt int 42
+        & info [ "seed" ] ~docv:"N" ~doc:"Random program generator seed.")
+    $ Arg.(
+        value & opt int 50
+        & info [ "count" ] ~docv:"M" ~doc:"Number of random programs to validate.")
+    $ Arg.(
+        value & flag
+        & info [ "broken" ]
+            ~doc:
+              "Also run the deliberately broken schema variant (Schema 2 \
+               without loop control) and require the oracle to catch it \
+               with a shrunk minimal reproducer."))
+
 (* --- command assembly ------------------------------------------------ *)
 
 let cmds =
@@ -381,11 +466,22 @@ let cmds =
       check_term;
     Cmd.v (Cmd.info "analyze" ~doc:"Print analyses") analyze_term;
     Cmd.v (Cmd.info "compare" ~doc:"Tabulate every schema") compare_term;
+    Cmd.v
+      (Cmd.info "selfcheck"
+         ~doc:
+           "Differential schema oracle: validate every schema x transform \
+            combination against the reference interpreter on seeded random \
+            programs, shrinking any divergence to a minimal reproducer")
+      selfcheck_term;
   ]
 
 let () =
+  (* accept the flag spelling too: `df_compile --selfcheck ...` *)
+  let argv =
+    Array.map (fun a -> if a = "--selfcheck" then "selfcheck" else a) Sys.argv
+  in
   let info =
     Cmd.info "df_compile" ~version:"1.0"
       ~doc:"Translate imperative programs to dataflow graphs (Beck, Johnson & Pingali 1990)"
   in
-  exit (Cmd.eval (Cmd.group info cmds))
+  exit (Cmd.eval ~argv (Cmd.group info cmds))

@@ -27,9 +27,13 @@ let spec_to_string = function
   | Schema2 Engine.Barrier -> "schema2"
   | Schema2 Engine.Pipelined -> "schema2-pipelined"
   | Schema2_unsafe_no_loop_control -> "schema2-no-loop-control"
-  | Schema3 (Singleton, _) -> "schema3-singleton"
-  | Schema3 (Classes, _) -> "schema3-classes"
-  | Schema3 (Components, _) -> "schema3-components"
+  | Schema3 (cover, lc) ->
+      Fmt.str "schema3-%s%s"
+        (match cover with
+        | Singleton -> "singleton"
+        | Classes -> "classes"
+        | Components -> "components")
+        (match lc with Engine.Barrier -> "" | Engine.Pipelined -> "-pipelined")
   | Schema2_opt Engine.Barrier -> "schema2-opt"
   | Schema2_opt Engine.Pipelined -> "schema2-opt-pipelined"
 

@@ -1,0 +1,105 @@
+(** The differential schema oracle: translation validation at scale.
+
+    The paper's soundness claim is that every applicable translation
+    schema (1, 2, 2-opt, 3 with each cover, plus the Section 6
+    transforms) produces a graph whose machine execution reproduces the
+    reference interpreter's final store.  The oracle checks that claim
+    mechanically: it compiles a program under {e every} applicable
+    schema × transform × cover combination, runs each on the ETS
+    machine, checks {!Dfg.Check} invariants, and compares stores against
+    {!Imp.Eval}.  On a divergence it shrinks the failing program to a
+    minimal reproducer (greedy first-improvement over a structural
+    shrinker, QCheck-style).
+
+    [selfcheck] drives this over seeded random programs
+    ({!Workloads.Random_gen.structured}) — the randomized tier of the
+    test suite and the [df_compile selfcheck] subcommand.  Deliberately
+    broken schema variants (Schema 2 without loop control — the Figure 8
+    pathology) can be included to prove the oracle actually catches
+    unsound translations. *)
+
+(** One point of the validation matrix. *)
+type combo = {
+  c_spec : Driver.spec;
+  c_transforms : Driver.transforms;
+  c_name : string;  (** e.g. ["schema2-pipelined+value+reads"] *)
+  c_broken : bool;  (** a deliberately unsound variant: failures expected *)
+}
+
+(** [combos_for ?include_broken p] — every combination applicable to
+    [p]: Schema 1 and Schema 3 (all covers) always; Schema 2 / 2-opt
+    families with their transform sets when [p] is alias-free; the
+    broken [Schema2_unsafe_no_loop_control] variant when asked for. *)
+val combos_for : ?include_broken:bool -> Imp.Ast.program -> combo list
+
+(** Outcome of one combo on one program. *)
+type status =
+  | Agree  (** compiled, ran cleanly, store matches the reference *)
+  | Skip of string  (** combo not applicable (irreducible, aliasing) *)
+  | Fail of string  (** divergence: mismatch, unclean run, or crash *)
+
+(** [run_combo ?machine combo p] compiles and executes one combination
+    and compares against the reference store.  Never raises. *)
+val run_combo : ?machine:Machine.Config.t -> combo -> Imp.Ast.program -> status
+
+(** [check_program ?machine ?include_broken p] — all combos on one
+    program; returns [(combo name, status)] in combo order. *)
+val check_program :
+  ?machine:Machine.Config.t ->
+  ?include_broken:bool ->
+  Imp.Ast.program ->
+  (string * status) list
+
+(** Structural program shrinker: statement deletion/hoisting, arm and
+    branch selection, expression simplification, declaration dropping.
+    Candidates may be ill-typed; consumers filter with {!minimize}'s
+    type guard. *)
+val shrink_program : Imp.Ast.program -> Imp.Ast.program QCheck.Iter.t
+
+(** [minimize fails p] greedily shrinks [p] while [fails] holds (only
+    well-typed candidates are offered to [fails]); returns the minimal
+    failing program found and the number of successful shrink steps. *)
+val minimize :
+  (Imp.Ast.program -> bool) -> Imp.Ast.program -> Imp.Ast.program * int
+
+(** One shrunk divergence found by {!selfcheck}. *)
+type divergence = {
+  dv_index : int;  (** which generated program (0-based) *)
+  dv_combo : string;
+  dv_reason : string;
+  dv_program : Imp.Ast.program;  (** as generated *)
+  dv_shrunk : Imp.Ast.program;  (** minimal reproducer *)
+  dv_steps : int;  (** successful shrink steps *)
+}
+
+type report = {
+  r_seed : int;
+  r_count : int;  (** programs requested *)
+  r_agreements : int;  (** combo runs that agreed with the reference *)
+  r_skips : int;
+  r_matrix : (string * int) list;
+      (** combo name -> programs on which it was exercised (agree or
+          fail), in combo order: the schema-agreement matrix *)
+  r_divergences : divergence list;  (** failures of sound combos *)
+  r_broken_caught : divergence list;
+      (** failures of deliberately broken combos — expected; their
+          presence proves the oracle has teeth *)
+}
+
+(** [selfcheck ~seed ~count ()] generates [count] random structured
+    programs from [seed] and validates each against every applicable
+    combo.  Every divergence is shrunk to a minimal reproducer (the
+    first [max_shrunk] per category; later ones are recorded unshrunk).
+    Deterministic: same seed, same report. *)
+val selfcheck :
+  ?gen:Workloads.Random_gen.config ->
+  ?machine:Machine.Config.t ->
+  ?include_broken:bool ->
+  ?max_shrunk:int ->
+  seed:int ->
+  count:int ->
+  unit ->
+  report
+
+val pp_divergence : Format.formatter -> divergence -> unit
+val pp_report : Format.formatter -> report -> unit

@@ -43,6 +43,13 @@ type t = {
           the single-token-per-arc discipline of explicit token store
           machines.  Disabling it lets experiments demonstrate the
           Figure 8 pile-up. *)
+  max_matching : int option;
+      (** bounded waiting-matching store capacity ([None] = unbounded).
+          A delivery that would open an entry beyond the bound is
+          throttled to the next cycle instead of crashing; sustained
+          overflow shows up as pressure in the diagnosis (and ultimately
+          as divergence), modelling a finite ETS frame memory that
+          degrades gracefully. *)
 }
 
 let default =
@@ -53,6 +60,7 @@ let default =
     policy = Fifo;
     max_cycles = 2_000_000;
     detect_collisions = true;
+    max_matching = None;
   }
 
 (** [ideal] -- unbounded PEs, unit latencies: pure critical-path

@@ -43,6 +43,11 @@ type t = {
           the single-token-per-arc discipline of explicit token store
           machines.  Disabling it lets experiments demonstrate the
           Figure 8 pile-up silently corrupting execution instead. *)
+  max_matching : int option;
+      (** bounded waiting-matching store capacity ([None] = unbounded).
+          Deliveries that would overflow are throttled to the next cycle
+          and counted as pressure in the diagnosis rather than crashing
+          — a finite ETS frame memory that degrades gracefully. *)
 }
 
 (** Unbounded PEs, default latencies, FIFO, collision detection on. *)

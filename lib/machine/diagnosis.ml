@@ -1,0 +1,103 @@
+(** Structured post-mortems of dataflow execution (see the interface).
+    Construction happens inside {!Interp}; this module owns the types
+    and the rendering. *)
+
+type blocked = {
+  b_node : int;
+  b_label : string;
+  b_ctx : Context.t;
+  b_present : int list;
+  b_missing : int list;
+}
+
+type pressure = {
+  capacity : int option;
+  peak : int;
+  throttled : int;
+  spilled : int;
+}
+
+type verdict =
+  | Clean
+  | Deadlock
+  | Leftover of int
+  | Collision of string
+  | Double_write of string
+  | Diverged of int
+
+type t = {
+  verdict : verdict;
+  cycles : int;
+  leftover_tokens : int;
+  blocked : blocked list;
+  deferred_reads : (int * int) list;
+  tokens_by_context : (Context.t * int) list;
+  pressure : pressure;
+  faults : Fault.event list;
+}
+
+let is_clean (d : t) = d.verdict = Clean && d.faults = []
+
+let verdict_to_string = function
+  | Clean -> "clean"
+  | Deadlock -> "deadlock (End never fired)"
+  | Leftover n -> Fmt.str "completed with %d leftover tokens" n
+  | Collision m -> Fmt.str "token collision: %s" m
+  | Double_write m -> Fmt.str "I-structure double write: %s" m
+  | Diverged bound -> Fmt.str "diverged (exceeded %d cycles)" bound
+
+let pp_blocked ppf (b : blocked) =
+  Fmt.pf ppf "node %d (%s) ctx %s: have ports {%a}, missing {%a}" b.b_node
+    b.b_label
+    (Context.to_string b.b_ctx)
+    Fmt.(list ~sep:comma int)
+    b.b_present
+    Fmt.(list ~sep:comma int)
+    b.b_missing
+
+let pp ppf (d : t) =
+  Fmt.pf ppf "verdict: %s@." (verdict_to_string d.verdict);
+  Fmt.pf ppf "cycles reached: %d, leftover tokens: %d@." d.cycles
+    d.leftover_tokens;
+  (match d.pressure.capacity with
+  | Some cap ->
+      Fmt.pf ppf
+        "matching store: peak %d of capacity %d, %d deliveries throttled, %d \
+         spilled over capacity@."
+        d.pressure.peak cap d.pressure.throttled d.pressure.spilled
+  | None ->
+      if d.pressure.peak > 0 then
+        Fmt.pf ppf "matching store: peak %d entries (unbounded)@."
+          d.pressure.peak);
+  if d.blocked <> [] then begin
+    Fmt.pf ppf "blocked frontier (%d partial matches):@."
+      (List.length d.blocked);
+    List.iteri
+      (fun i b -> if i < 20 then Fmt.pf ppf "  %a@." pp_blocked b)
+      d.blocked;
+    if List.length d.blocked > 20 then
+      Fmt.pf ppf "  ... and %d more@." (List.length d.blocked - 20)
+  end;
+  if d.deferred_reads <> [] then begin
+    Fmt.pf ppf "deferred I-structure reads:@.";
+    List.iter
+      (fun (addr, n) -> Fmt.pf ppf "  address %d: %d reader(s)@." addr n)
+      d.deferred_reads
+  end;
+  if d.tokens_by_context <> [] then begin
+    Fmt.pf ppf "waiting tokens per context:@.";
+    List.iteri
+      (fun i (ctx, n) ->
+        if i < 10 then Fmt.pf ppf "  %-16s %d@." (Context.to_string ctx) n)
+      d.tokens_by_context
+  end;
+  if d.faults <> [] then begin
+    Fmt.pf ppf "injected faults (%d):@." (List.length d.faults);
+    List.iteri
+      (fun i e -> if i < 20 then Fmt.pf ppf "  %a@." Fault.pp_event e)
+      d.faults;
+    if List.length d.faults > 20 then
+      Fmt.pf ppf "  ... and %d more@." (List.length d.faults - 20)
+  end
+
+let to_string (d : t) = Fmt.str "%a" pp d

@@ -1,0 +1,61 @@
+(** Structured post-mortems of dataflow execution.
+
+    Every run of {!Interp} — clean, deadlocked, collided or diverged —
+    yields a diagnosis: a verdict plus the machine state needed to
+    understand it.  On a stall this is the waiting-matching store's
+    partial matches (the frontier of operators blocked on missing
+    inputs), per-context token counts and any deferred I-structure
+    reads; on matching-store pressure it is the capacity model's
+    throttle statistics; with fault injection enabled it carries the
+    fault log, so no injected corruption can pass silently. *)
+
+(** One operator with a partial match: some input ports filled, some
+    still waiting.  This is the stall frontier — the nodes that would
+    fire next if the missing tokens arrived. *)
+type blocked = {
+  b_node : int;
+  b_label : string;  (** the node's rendering, e.g. ["load x"] *)
+  b_ctx : Context.t;
+  b_present : int list;  (** input ports holding a token *)
+  b_missing : int list;  (** input ports still empty *)
+}
+
+(** Waiting-matching store pressure under the bounded-capacity model
+    ({!Config.max_matching}). *)
+type pressure = {
+  capacity : int option;  (** [None] = unbounded store *)
+  peak : int;  (** most simultaneous entries observed *)
+  throttled : int;
+      (** deliveries postponed because the store was at capacity *)
+  spilled : int;
+      (** deliveries admitted over capacity to break a stagnant cycle in
+          which every pending delivery was throttled (the overflow
+          mechanism that keeps the bounded store livelock-free) *)
+}
+
+type verdict =
+  | Clean  (** End fired, no tokens left *)
+  | Deadlock  (** quiescent but End never fired: tokens starved *)
+  | Leftover of int  (** End fired with that many unconsumed tokens *)
+  | Collision of string  (** single-token-per-arc discipline violated *)
+  | Double_write of string  (** I-structure cell written twice *)
+  | Diverged of int  (** the cycle bound that was exceeded *)
+
+type t = {
+  verdict : verdict;
+  cycles : int;  (** last cycle reached *)
+  leftover_tokens : int;
+  blocked : blocked list;  (** stall frontier, largest contexts first *)
+  deferred_reads : (int * int) list;  (** address, waiting readers *)
+  tokens_by_context : (Context.t * int) list;
+      (** waiting tokens per iteration context, descending *)
+  pressure : pressure;
+  faults : Fault.event list;  (** injected faults, in injection order *)
+}
+
+(** [is_clean d] — verdict is {!Clean} and no faults were injected. *)
+val is_clean : t -> bool
+
+val verdict_to_string : verdict -> string
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,158 @@
+(** Deterministic fault injection: every decision is a pure hash of
+    (seed, event index), so a seed fully determines the fault plan.  See
+    the interface for the detection story per fault class. *)
+
+type fault =
+  | Drop
+  | Duplicate
+  | Bit_flip of int
+  | Delay of int
+  | Port_stall of int
+
+let fault_to_string = function
+  | Drop -> "drop"
+  | Duplicate -> "duplicate"
+  | Bit_flip b -> Fmt.str "bit-flip(%d)" b
+  | Delay d -> Fmt.str "delay(%d)" d
+  | Port_stall c -> Fmt.str "port-stall(%d)" c
+
+type classes = {
+  drop : bool;
+  duplicate : bool;
+  bit_flip : bool;
+  delay : bool;
+  port_stall : bool;
+}
+
+let no_classes =
+  { drop = false; duplicate = false; bit_flip = false; delay = false;
+    port_stall = false }
+
+let all_classes =
+  { drop = true; duplicate = true; bit_flip = true; delay = true;
+    port_stall = true }
+
+let classes_of_string (s : string) : classes =
+  String.split_on_char ',' s
+  |> List.fold_left
+       (fun acc name ->
+         match String.trim name with
+         | "" -> acc
+         | "all" -> all_classes
+         | "drop" -> { acc with drop = true }
+         | "dup" | "duplicate" -> { acc with duplicate = true }
+         | "flip" | "bitflip" | "bit-flip" -> { acc with bit_flip = true }
+         | "delay" -> { acc with delay = true }
+         | "stall" | "port-stall" -> { acc with port_stall = true }
+         | other -> Fmt.failwith "unknown fault class %S" other)
+       no_classes
+
+type spec = {
+  seed : int;
+  rate : float;
+  classes : classes;
+  max_faults : int;
+}
+
+let spec ?(rate = 0.01) ?(classes = all_classes) ?(max_faults = max_int) ~seed
+    () =
+  { seed; rate; classes; max_faults }
+
+type event = {
+  ev_index : int;
+  ev_cycle : int;
+  ev_node : int;
+  ev_fault : fault;
+}
+
+let pp_event ppf (e : event) =
+  Fmt.pf ppf "event %d @@cycle %d node %d: %s" e.ev_index e.ev_cycle e.ev_node
+    (fault_to_string e.ev_fault)
+
+type plan = {
+  p_spec : spec;
+  mutable deliveries : int;  (* delivery events consulted so far *)
+  mutable issues : int;  (* memory-issue events consulted so far *)
+  mutable injected : int;
+  mutable log : event list;  (* newest first *)
+}
+
+let make (s : spec) : plan =
+  { p_spec = s; deliveries = 0; issues = 0; injected = 0; log = [] }
+
+let seed (p : plan) = p.p_spec.seed
+let events (p : plan) = List.rev p.log
+
+type action = Pass | Act of fault
+
+(* A small avalanche mixer (murmur3 finalizer constants): decision [i]
+   is a pure function of (seed, stream, i) and stable across runs and
+   OCaml versions. *)
+let mix (seed : int) (stream : int) (i : int) : int =
+  let h = ref (seed lxor (stream * 0x9E3779B1) lxor (i * 0x85EBCA6B)) in
+  h := !h lxor (!h lsr 16);
+  h := !h * 0x85EBCA6B land max_int;
+  h := !h lxor (!h lsr 13);
+  h := !h * 0xC2B2AE35 land max_int;
+  h := !h lxor (!h lsr 16);
+  !h land max_int
+
+let fires (s : spec) (h : int) : bool =
+  float_of_int (h mod 1_000_000) < s.rate *. 1_000_000.
+
+(* Delivery-boundary classes enabled in the spec, in a fixed order. *)
+let delivery_menu (c : classes) : (int -> fault) list =
+  List.filter_map
+    (fun x -> x)
+    [
+      (if c.drop then Some (fun _ -> Drop) else None);
+      (if c.duplicate then Some (fun _ -> Duplicate) else None);
+      (if c.bit_flip then Some (fun h -> Bit_flip (h mod 62)) else None);
+      (if c.delay then Some (fun h -> Delay (1 + (h mod 7))) else None);
+    ]
+
+let decision (s : spec) (i : int) : action =
+  let menu = delivery_menu s.classes in
+  if menu = [] then Pass
+  else
+    let h = mix s.seed 1 i in
+    if not (fires s h) then Pass
+    else
+      let h' = mix s.seed 2 i in
+      Act ((List.nth menu (h' mod List.length menu)) (mix s.seed 3 i))
+
+let record (p : plan) ~index ~cycle ~node (f : fault) =
+  p.injected <- p.injected + 1;
+  p.log <-
+    { ev_index = index; ev_cycle = cycle; ev_node = node; ev_fault = f }
+    :: p.log
+
+let on_delivery (p : plan) ~cycle ~node ~value:_ : action =
+  let i = p.deliveries in
+  p.deliveries <- i + 1;
+  if p.injected >= p.p_spec.max_faults then Pass
+  else
+    match decision p.p_spec i with
+    | Pass -> Pass
+    | Act f ->
+        record p ~index:i ~cycle ~node f;
+        Act f
+
+let on_memory_issue (p : plan) ~cycle ~node : bool =
+  let i = p.issues in
+  p.issues <- i + 1;
+  if (not p.p_spec.classes.port_stall) || p.injected >= p.p_spec.max_faults
+  then false
+  else
+    let h = mix p.p_spec.seed 4 i in
+    if fires p.p_spec h then begin
+      record p ~index:i ~cycle ~node
+        (Port_stall (1 + (mix p.p_spec.seed 5 i mod 3)));
+      true
+    end
+    else false
+
+let flip_value (bit : int) (v : Imp.Value.t) : Imp.Value.t =
+  match v with
+  | Imp.Value.Int n -> Imp.Value.Int (n lxor (1 lsl (bit mod 62)))
+  | Imp.Value.Bool b -> Imp.Value.Bool (not b)

@@ -1,0 +1,101 @@
+(** Deterministic fault injection for the ETS machine.
+
+    A fault plan is a pure function of a seed: decision [i] depends only
+    on [(seed, i)], never on wall-clock time or global random state, so
+    the same seed on the same program and configuration reproduces the
+    same faults, the same detections and the same diagnosis — the
+    property the robustness tests rely on.
+
+    Faults are injected at the two boundaries the machine exposes:
+
+    - {e token delivery} (every token scheduled onto an arc): the token
+      can be dropped, duplicated, bit-flipped or delayed;
+    - {e memory issue} (every load/store leaving the ready queue): the
+      memory port can stall, bouncing the operation to a later cycle.
+
+    Each corruption class maps to a detection mechanism rather than a
+    silently wrong store: duplicates trip the single-token-per-arc
+    check ({!Interp.Token_collision}), drops starve the graph and are
+    reported by the stall diagnosis ({!Diagnosis.t}'s blocked frontier),
+    delays and port stalls perturb timing only (determinacy keeps the
+    store intact), and bit-flips are recorded in the fault log carried
+    by the diagnosis so a downstream store comparison can attribute the
+    corruption. *)
+
+type fault =
+  | Drop  (** the token never arrives *)
+  | Duplicate  (** the token arrives twice in the same cycle *)
+  | Bit_flip of int  (** payload corrupted: bit [i] of an Int flipped,
+                         Bools negated *)
+  | Delay of int  (** delivery postponed by that many cycles *)
+  | Port_stall of int
+      (** the memory port refuses issue; the operation retries *)
+
+val fault_to_string : fault -> string
+
+(** Which fault classes the plan may draw from. *)
+type classes = {
+  drop : bool;
+  duplicate : bool;
+  bit_flip : bool;
+  delay : bool;
+  port_stall : bool;
+}
+
+val no_classes : classes
+val all_classes : classes
+
+(** [classes_of_string "drop,dup,flip,delay,stall"] (or "all").
+    @raise Failure on an unknown class name. *)
+val classes_of_string : string -> classes
+
+type spec = {
+  seed : int;
+  rate : float;  (** per-event injection probability in [0, 1] *)
+  classes : classes;
+  max_faults : int;  (** total injections are capped at this many *)
+}
+
+val spec :
+  ?rate:float -> ?classes:classes -> ?max_faults:int -> seed:int -> unit -> spec
+
+(** One injected fault, as it actually happened during a run. *)
+type event = {
+  ev_index : int;  (** delivery (or memory-issue) sequence number *)
+  ev_cycle : int;  (** cycle the event was scheduled for *)
+  ev_node : int;  (** destination node (delivery) or issuing node (stall) *)
+  ev_fault : fault;
+}
+
+val pp_event : Format.formatter -> event -> unit
+
+(** A live plan: the spec plus the log of injections performed so far.
+    Plans are single-use — make a fresh one per run. *)
+type plan
+
+val make : spec -> plan
+val seed : plan -> int
+
+(** Faults injected so far, in injection order. *)
+val events : plan -> event list
+
+(** What the machine should do with one token delivery. *)
+type action = Pass | Act of fault
+
+(** [on_delivery plan ~cycle ~node ~value] decides the fate of the next
+    token delivery and logs any injection.  Only delivery classes (drop,
+    duplicate, bit-flip, delay) are drawn here. *)
+val on_delivery : plan -> cycle:int -> node:int -> value:Imp.Value.t -> action
+
+(** [on_memory_issue plan ~cycle ~node] decides whether the next memory
+    issue is refused by a stalled port (and logs it). *)
+val on_memory_issue : plan -> cycle:int -> node:int -> bool
+
+(** [flip_value bit v] — the corrupted payload: Ints get [bit] flipped
+    (modulo the int width), Bools are negated. *)
+val flip_value : int -> Imp.Value.t -> Imp.Value.t
+
+(** [decision spec i] — the pure decision function underlying
+    {!on_delivery}: what the plan will do to delivery event [i].  Exposed
+    so tests can enumerate a plan without running the machine. *)
+val decision : spec -> int -> action

@@ -16,7 +16,11 @@
       extension of the dataflow model) plus I-structure memory with
       deferred reads;
     - unbounded or [p]-bounded processing elements with configurable
-      latencies (see {!Config}).
+      latencies and an optionally bounded waiting-matching store (see
+      {!Config});
+    - deterministic fault injection at the delivery and memory-issue
+      boundaries ({!Fault}), with every run summarised by a structured
+      {!Diagnosis.t}.
 
     Execution is deterministic: the ready queue is FIFO and all graphs
     produced by the translation schemas are determinate (merges receive
@@ -58,6 +62,12 @@ type result = {
   firings_by_kind : (string * int) list;
       (** executions per operator family (loads, stores, switches, ...),
           sorted descending *)
+  matching_throttled : int;
+      (** deliveries postponed because the bounded matching store was at
+          capacity ({!Config.max_matching}) *)
+  diagnosis : Diagnosis.t;
+      (** the structured post-mortem: verdict, stall frontier, pressure
+          and fault log *)
 }
 
 (** Average operator-level parallelism: firings per active cycle. *)
@@ -76,14 +86,21 @@ type firing = { f_node : int; f_ctx : Context.t; f_inputs : Imp.Value.t array }
 
 let dummy_value = Imp.Value.Int 0
 
-(** [run ?config ?on_fire program] executes [program] to quiescence on a
-    fresh zeroed memory and returns the result record.
-    @raise Token_collision / Double_write / Divergence as documented.
+exception Abort of Diagnosis.t
+(* Internal: carries the structured post-mortem out of the machine loop;
+   [run] re-raises the legacy exception matching the verdict. *)
+
+(** [run_report ?config ?faults ?on_fire program] executes [program] to
+    quiescence on a fresh zeroed memory.  [Ok r] means the machine
+    reached quiescence ([r.diagnosis] still distinguishes clean runs
+    from deadlocks and leftovers); [Error d] is a hard failure
+    (collision, double write, divergence) with the full machine state at
+    the point of failure.
     @raise Imp.Value.Type_error on ill-typed graphs (never for graphs
     produced by the translation schemas from type-checked programs). *)
-let run ?(config = Config.default)
+let run_report ?(config = Config.default) ?(faults : Fault.plan option)
     ?(on_fire : (int -> Dfg.Node.t -> Context.t -> unit) option)
-    (p : program) : result =
+    (p : program) : (result, Diagnosis.t) Stdlib.result =
   let g = p.graph in
   let memory = Imp.Memory.create p.layout in
   (* I-structure state *)
@@ -106,6 +123,15 @@ let run ?(config = Config.default)
   let peak_in_flight = ref 0 in
   let dummy_deliveries = ref 0 in
   let value_deliveries = ref 0 in
+  let throttled = ref 0 in
+  (* stagnation spill: when a whole cycle makes no progress because every
+     pending delivery was throttled by the bounded matching store, admit
+     one delivery over capacity next cycle so the machine cannot
+     livelock (the frame-store overflow recourse) *)
+  let spilled = ref 0 in
+  let spill = ref false in
+  let progressed = ref false in
+  let throttled_this_cycle = ref 0 in
   let by_kind : (string, int) Hashtbl.t = Hashtbl.create 16 in
   let kind_family (k : Dfg.Node.kind) : string =
     match k with
@@ -126,25 +152,117 @@ let run ?(config = Config.default)
   let completed = ref false in
   let profile = ref [] in
   let last_cycle = ref 0 in
+  let t = ref 0 in
+  (* --- structured post-mortem ---------------------------------------- *)
+  let leftover_count () =
+    Hashtbl.fold
+      (fun _ slots acc ->
+        acc
+        + Array.fold_left (fun a s -> if s = None then a else a + 1) 0 slots)
+      wait 0
+    + Hashtbl.fold (fun _ ws acc -> acc + List.length ws) deferred 0
+  in
+  let diagnose (verdict : Diagnosis.verdict) : Diagnosis.t =
+    let blocked =
+      Hashtbl.fold
+        (fun (n, ctx) slots acc ->
+          let present, missing =
+            Array.to_seqi slots
+            |> Seq.fold_left
+                 (fun (h, m) (i, s) ->
+                   match s with Some _ -> (i :: h, m) | None -> (h, i :: m))
+                 ([], [])
+          in
+          if present = [] then acc
+          else
+            {
+              Diagnosis.b_node = n;
+              b_label = (Dfg.Graph.node g n).Dfg.Node.label;
+              b_ctx = ctx;
+              b_present = List.rev present;
+              b_missing = List.rev missing;
+            }
+            :: acc)
+        wait []
+      |> List.sort (fun a b ->
+             compare
+               (a.Diagnosis.b_node, a.Diagnosis.b_ctx)
+               (b.Diagnosis.b_node, b.Diagnosis.b_ctx))
+    in
+    let tokens_by_context =
+      Hashtbl.fold
+        (fun (_, ctx) slots acc ->
+          let n =
+            Array.fold_left (fun a s -> if s = None then a else a + 1) 0 slots
+          in
+          if n = 0 then acc
+          else
+            match List.assoc_opt ctx acc with
+            | Some m -> (ctx, m + n) :: List.remove_assoc ctx acc
+            | None -> (ctx, n) :: acc)
+        wait []
+      |> List.sort (fun (_, a) (_, b) -> compare b a)
+    in
+    let deferred_reads =
+      Hashtbl.fold (fun addr ws acc -> (addr, List.length ws) :: acc) deferred []
+      |> List.sort compare
+    in
+    {
+      Diagnosis.verdict;
+      cycles = !t;
+      leftover_tokens = leftover_count ();
+      blocked;
+      deferred_reads;
+      tokens_by_context;
+      pressure =
+        {
+          Diagnosis.capacity = config.Config.max_matching;
+          peak = !peak_matching;
+          throttled = !throttled;
+          spilled = !spilled;
+        };
+      faults = (match faults with Some pl -> Fault.events pl | None -> []);
+    }
+  in
+  let abort verdict = raise (Abort (diagnose verdict)) in
+  (* --- token transport ------------------------------------------------ *)
   let schedule_delivery t d =
     incr pending;
     if !pending > !peak_in_flight then peak_in_flight := !pending;
     Hashtbl.replace deliveries t
       (d :: (try Hashtbl.find deliveries t with Not_found -> []))
   in
-  (* Emit a token from an output port: duplicate onto every arc. *)
+  (* Emit a token from an output port: duplicate onto every arc.  This is
+     the delivery boundary where the fault plan may drop, duplicate,
+     corrupt or delay individual tokens. *)
   let emit t_done node port ctx value =
     List.iter
       (fun a ->
-        if a.Dfg.Graph.dummy then incr dummy_deliveries
-        else incr value_deliveries;
-        schedule_delivery t_done
-          {
-            d_node = a.Dfg.Graph.dst.Dfg.Graph.node;
-            d_port = a.Dfg.Graph.dst.Dfg.Graph.index;
-            d_ctx = ctx;
-            d_value = value;
-          })
+        let dst = a.Dfg.Graph.dst.Dfg.Graph.node in
+        let when_, value, copies =
+          match faults with
+          | None -> (t_done, value, 1)
+          | Some plan -> (
+              match Fault.on_delivery plan ~cycle:t_done ~node:dst ~value with
+              | Fault.Pass -> (t_done, value, 1)
+              | Fault.Act Fault.Drop -> (t_done, value, 0)
+              | Fault.Act Fault.Duplicate -> (t_done, value, 2)
+              | Fault.Act (Fault.Bit_flip b) ->
+                  (t_done, Fault.flip_value b value, 1)
+              | Fault.Act (Fault.Delay d) -> (t_done + d, value, 1)
+              | Fault.Act (Fault.Port_stall _) -> (t_done, value, 1))
+        in
+        for _ = 1 to copies do
+          if a.Dfg.Graph.dummy then incr dummy_deliveries
+          else incr value_deliveries;
+          schedule_delivery when_
+            {
+              d_node = dst;
+              d_port = a.Dfg.Graph.dst.Dfg.Graph.index;
+              d_ctx = ctx;
+              d_value = value;
+            }
+        done)
       (Dfg.Graph.outgoing g node port)
   in
   (* Enabledness test given a slot array and node kind. *)
@@ -161,7 +279,7 @@ let run ?(config = Config.default)
         full 0 (arity - 1) || full arity ((2 * arity) - 1)
     | _ -> Array.for_all (fun s -> s <> None) slots
   in
-  let deliver (d : delivery) =
+  let deliver t (d : delivery) =
     let kind = Dfg.Graph.kind g d.d_node in
     match kind with
     | Dfg.Node.Merge ->
@@ -169,70 +287,93 @@ let run ?(config = Config.default)
         Queue.add
           { f_node = d.d_node; f_ctx = d.d_ctx; f_inputs = [| d.d_value |] }
           ready
-    | _ ->
+    | _ -> (
         let key = (d.d_node, d.d_ctx) in
-        let slots =
-          match Hashtbl.find_opt wait key with
-          | Some s -> s
-          | None ->
-              let s = Array.make (max 1 (Dfg.Node.in_arity kind)) None in
-              Hashtbl.replace wait key s;
-              s
+        let at_capacity =
+          match config.Config.max_matching with
+          | Some cap ->
+              Hashtbl.length wait >= cap && not (Hashtbl.mem wait key)
+          | None -> false
         in
-        (match slots.(d.d_port) with
-        | Some _ when config.Config.detect_collisions ->
-            raise
-              (Token_collision
-                 (Fmt.str "node %d (%s) port %d ctx %s" d.d_node
-                    (Dfg.Graph.node g d.d_node).Dfg.Node.label d.d_port
-                    (Context.to_string d.d_ctx)))
-        | _ -> slots.(d.d_port) <- Some d.d_value);
-        if Hashtbl.length wait > !peak_matching then
-          peak_matching := Hashtbl.length wait;
-        if enabled kind slots then begin
-          (* consume: for loop entries, only the full group *)
-          let inputs =
-            match kind with
-            | Dfg.Node.Loop_entry { arity; _ } ->
-                let full a b =
-                  let ok = ref true in
-                  for i = a to b do
-                    if slots.(i) = None then ok := false
-                  done;
-                  !ok
-                in
-                if full 0 (arity - 1) then begin
-                  let ins =
-                    Array.init arity (fun i -> Option.get slots.(i))
-                  in
-                  for i = 0 to arity - 1 do
-                    slots.(i) <- None
-                  done;
-                  (* tag which group fired via a sentinel: group encoded in
-                     input array length: arity -> initial; arity+1 -> back *)
-                  ins
-                end
-                else begin
-                  let ins =
-                    Array.init (arity + 1) (fun i ->
-                        if i < arity then Option.get slots.(arity + i)
-                        else dummy_value)
-                  in
-                  for i = arity to (2 * arity) - 1 do
-                    slots.(i) <- None
-                  done;
-                  ins
-                end
-            | _ ->
-                let ins = Array.map Option.get slots in
-                Array.fill slots 0 (Array.length slots) None;
-                ins
-          in
-          (* drop empty slot arrays to keep the leftover count honest *)
-          if Array.for_all (fun s -> s = None) slots then
-            Hashtbl.remove wait key;
-          Queue.add { f_node = d.d_node; f_ctx = d.d_ctx; f_inputs = inputs } ready
+        if at_capacity && not !spill then begin
+          (* bounded frame memory: postpone the rendezvous instead of
+             crashing, and account for the pressure *)
+          incr throttled;
+          incr throttled_this_cycle;
+          schedule_delivery (t + 1) d
         end
+        else begin
+          if at_capacity then begin
+            (* the one-per-stagnant-cycle overflow admission *)
+            spill := false;
+            incr spilled
+          end;
+          progressed := true;
+          let slots =
+            match Hashtbl.find_opt wait key with
+            | Some s -> s
+            | None ->
+                let s = Array.make (max 1 (Dfg.Node.in_arity kind)) None in
+                Hashtbl.replace wait key s;
+                s
+          in
+          (match slots.(d.d_port) with
+          | Some _ when config.Config.detect_collisions ->
+              abort
+                (Diagnosis.Collision
+                   (Fmt.str "node %d (%s) port %d ctx %s" d.d_node
+                      (Dfg.Graph.node g d.d_node).Dfg.Node.label d.d_port
+                      (Context.to_string d.d_ctx)))
+          | _ -> slots.(d.d_port) <- Some d.d_value);
+          if Hashtbl.length wait > !peak_matching then
+            peak_matching := Hashtbl.length wait;
+          if enabled kind slots then begin
+            (* consume: for loop entries, only the full group *)
+            let inputs =
+              match kind with
+              | Dfg.Node.Loop_entry { arity; _ } ->
+                  let full a b =
+                    let ok = ref true in
+                    for i = a to b do
+                      if slots.(i) = None then ok := false
+                    done;
+                    !ok
+                  in
+                  if full 0 (arity - 1) then begin
+                    let ins =
+                      Array.init arity (fun i -> Option.get slots.(i))
+                    in
+                    for i = 0 to arity - 1 do
+                      slots.(i) <- None
+                    done;
+                    (* tag which group fired via a sentinel: group encoded in
+                       input array length: arity -> initial; arity+1 -> back *)
+                    ins
+                  end
+                  else begin
+                    let ins =
+                      Array.init (arity + 1) (fun i ->
+                          if i < arity then Option.get slots.(arity + i)
+                          else dummy_value)
+                    in
+                    for i = arity to (2 * arity) - 1 do
+                      slots.(i) <- None
+                    done;
+                    ins
+                  end
+              | _ ->
+                  let ins = Array.map Option.get slots in
+                  Array.fill slots 0 (Array.length slots) None;
+                  ins
+            in
+            (* drop empty slot arrays to keep the leftover count honest *)
+            if Array.for_all (fun s -> s = None) slots then
+              Hashtbl.remove wait key;
+            Queue.add
+              { f_node = d.d_node; f_ctx = d.d_ctx; f_inputs = inputs }
+              ready
+          end
+        end)
   in
   let addr_of kind ctx (inputs : Imp.Value.t array) =
     match kind with
@@ -298,8 +439,8 @@ let run ?(config = Config.default)
             out 0 dummy_value
         | Dfg.Node.I_structure ->
             if present.(a) then
-              raise
-                (Double_write
+              abort
+                (Diagnosis.Double_write
                    (Fmt.str "I-structure cell %d written twice (node %d)" a
                       f.f_node));
             Imp.Memory.write_addr memory a v;
@@ -371,91 +512,130 @@ let run ?(config = Config.default)
       | Config.Fifo -> 0
       | Config.Lifo -> Stack.length lifo
   in
-  let t = ref 0 in
-  let finished = ref false in
-  while not !finished do
-    if !t > config.Config.max_cycles then
-      raise (Divergence (Fmt.str "exceeded %d cycles" config.Config.max_cycles));
-    (* 1. deliver tokens scheduled for this cycle *)
-    (match Hashtbl.find_opt deliveries !t with
-    | Some ds ->
-        Hashtbl.remove deliveries !t;
-        List.iter
-          (fun d ->
-            decr pending;
-            deliver d)
-          (List.rev ds)
-    | None -> ());
-    (* 2. start up to [pes] firings *)
-    absorb_ready ();
-    let budget =
-      match config.Config.pes with
-      | None -> ready_length ()
-      | Some p -> min p (ready_length ())
-    in
-    let started = ref 0 in
-    let mem_issued = ref 0 in
-    let deferred_mem : firing list ref = ref [] in
-    while !started < budget do
-      let f = pop_next () in
-      let is_mem = Dfg.Node.is_memory_op (Dfg.Graph.kind g f.f_node) in
-      let port_free =
-        match config.Config.memory_ports with
-        | None -> true
-        | Some k -> (not is_mem) || !mem_issued < max 1 k
+  try
+    let finished = ref false in
+    while not !finished do
+      if !t > config.Config.max_cycles then
+        abort (Diagnosis.Diverged config.Config.max_cycles);
+      (* 1. deliver tokens scheduled for this cycle *)
+      (match Hashtbl.find_opt deliveries !t with
+      | Some ds ->
+          Hashtbl.remove deliveries !t;
+          List.iter
+            (fun d ->
+              decr pending;
+              deliver !t d)
+            (List.rev ds)
+      | None -> ());
+      (* 2. start up to [pes] firings *)
+      absorb_ready ();
+      let budget =
+        match config.Config.pes with
+        | None -> ready_length ()
+        | Some p -> min p (ready_length ())
       in
-      if port_free then begin
-        if is_mem then incr mem_issued;
-        execute !t f;
-        incr started
-      end
-      else begin
-        (* out of memory ports this cycle: retry next cycle *)
-        deferred_mem := f :: !deferred_mem;
-        incr started
-      end
+      let started = ref 0 in
+      let mem_issued = ref 0 in
+      let deferred_mem : firing list ref = ref [] in
+      while !started < budget do
+        let f = pop_next () in
+        let is_mem = Dfg.Node.is_memory_op (Dfg.Graph.kind g f.f_node) in
+        let port_free =
+          match config.Config.memory_ports with
+          | None -> true
+          | Some k -> (not is_mem) || !mem_issued < max 1 k
+        in
+        (* the memory-issue boundary: an injected port stall refuses the
+           issue this cycle; the operation retries like a busy port *)
+        let port_stalled =
+          is_mem
+          &&
+          match faults with
+          | Some plan -> Fault.on_memory_issue plan ~cycle:!t ~node:f.f_node
+          | None -> false
+        in
+        if port_free && not port_stalled then begin
+          if is_mem then incr mem_issued;
+          execute !t f;
+          progressed := true;
+          incr started
+        end
+        else begin
+          (* out of memory ports this cycle: retry next cycle *)
+          deferred_mem := f :: !deferred_mem;
+          incr started
+        end
+      done;
+      List.iter (fun f -> Queue.add f ready) (List.rev !deferred_mem);
+      profile := (!started - List.length !deferred_mem) :: !profile;
+      (* 3. stagnation test: all throttle, no progress -> spill next cycle *)
+      if !throttled_this_cycle > 0 && not !progressed then spill := true;
+      throttled_this_cycle := 0;
+      progressed := false;
+      (* 4. quiescence test *)
+      if ready_length () = 0 && !pending = 0 then finished := true else incr t
     done;
-    List.iter (fun f -> Queue.add f ready) (List.rev !deferred_mem);
-    profile := (!started - List.length !deferred_mem) :: !profile;
-    (* 3. quiescence test *)
-    if ready_length () = 0 && !pending = 0 then finished := true else incr t
-  done;
-  let leftover =
-    Hashtbl.fold
-      (fun _ slots acc ->
-        acc
-        + Array.fold_left (fun a s -> if s = None then a else a + 1) 0 slots)
-      wait 0
-    + Hashtbl.fold (fun _ ws acc -> acc + List.length ws) deferred 0
-  in
-  let profile = Array.of_list (List.rev !profile) in
-  {
-    memory;
-    cycles = !last_cycle;
-    firings = !firings;
-    memory_ops = !memory_ops;
-    dummy_deliveries = !dummy_deliveries;
-    value_deliveries = !value_deliveries;
-    profile;
-    peak_parallelism = Array.fold_left max 0 profile;
-    completed = !completed;
-    leftover_tokens = leftover;
-    peak_matching = !peak_matching;
-    peak_in_flight = !peak_in_flight;
-    firings_by_kind =
-      Hashtbl.fold (fun k v acc -> (k, v) :: acc) by_kind []
-      |> List.sort (fun (_, a) (_, b) -> compare b a);
-  }
+    let leftover = leftover_count () in
+    let verdict =
+      if not !completed then Diagnosis.Deadlock
+      else if leftover <> 0 then Diagnosis.Leftover leftover
+      else Diagnosis.Clean
+    in
+    let profile = Array.of_list (List.rev !profile) in
+    Ok
+      {
+        memory;
+        cycles = !last_cycle;
+        firings = !firings;
+        memory_ops = !memory_ops;
+        dummy_deliveries = !dummy_deliveries;
+        value_deliveries = !value_deliveries;
+        profile;
+        peak_parallelism = Array.fold_left max 0 profile;
+        completed = !completed;
+        leftover_tokens = leftover;
+        peak_matching = !peak_matching;
+        peak_in_flight = !peak_in_flight;
+        firings_by_kind =
+          Hashtbl.fold (fun k v acc -> (k, v) :: acc) by_kind []
+          |> List.sort (fun (_, a) (_, b) -> compare b a);
+        matching_throttled = !throttled;
+        diagnosis = diagnose verdict;
+      }
+  with Abort d -> Error d
+
+(** [run ?config ?faults ?on_fire program] executes [program] to
+    quiescence and returns the result record; hard failures raise the
+    legacy exceptions, now carrying the full diagnosis dump.
+    @raise Token_collision / Double_write / Divergence as documented. *)
+let run ?config ?faults ?on_fire (p : program) : result =
+  match run_report ?config ?faults ?on_fire p with
+  | Ok r -> r
+  | Error d -> (
+      let dump detail = Fmt.str "%s@.%s" detail (Diagnosis.to_string d) in
+      match d.Diagnosis.verdict with
+      | Diagnosis.Collision m -> raise (Token_collision (dump m))
+      | Diagnosis.Double_write m -> raise (Double_write (dump m))
+      | Diagnosis.Diverged bound ->
+          raise (Divergence (dump (Fmt.str "exceeded %d cycles" bound)))
+      | Diagnosis.Clean | Diagnosis.Deadlock | Diagnosis.Leftover _ ->
+          assert false)
 
 (** [run_exn ?config p] runs and additionally checks clean completion:
-    End fired, no leftover tokens.
+    End fired, no leftover tokens.  The [Failure] message carries the
+    structured diagnosis: blocked frontier, per-context token counts,
+    matching-store pressure and any injected faults.
     @raise Failure otherwise. *)
-let run_exn ?config (p : program) : result =
-  let r = run ?config p in
+let run_exn ?config ?faults (p : program) : result =
+  let r = run ?config ?faults p in
   if not r.completed then
     failwith
-      (Fmt.str "dataflow execution deadlocked (%d leftover tokens)"
-         r.leftover_tokens);
+      (Fmt.str "dataflow execution deadlocked (%d leftover tokens)@.%s"
+         r.leftover_tokens
+         (Diagnosis.to_string r.diagnosis));
   if r.leftover_tokens <> 0 then
-    failwith (Fmt.str "%d tokens left at quiescence" r.leftover_tokens);
+    failwith
+      (Fmt.str "%d tokens left at quiescence (End fired: %b)@.%s"
+         r.leftover_tokens r.completed
+         (Diagnosis.to_string r.diagnosis));
   r

@@ -6,21 +6,28 @@
     single-token-per-arc discipline (violations raise
     {!Token_collision} — this is how Figure 8's pathology is observed),
     split-phase multiply-writable memory plus I-structures with deferred
-    reads, and unbounded or bounded processing elements (see
-    {!Config}).
+    reads, and unbounded or bounded processing elements and
+    waiting-matching store (see {!Config}).
+
+    Robustness layer: a seeded {!Fault.plan} can be injected at the
+    delivery and memory-issue boundaries, and every run — clean or not —
+    is summarised by a structured {!Diagnosis.t} (verdict, blocked
+    frontier, matching-store pressure, fault log).
 
     Execution is deterministic: the ready queue policy is fixed and all
     graphs produced by the translation schemas are determinate. *)
 
 exception Token_collision of string
 (** Two tokens met at the same (node, context, input port): the graph is
-    not a meaningful (ETS) dataflow computation. *)
+    not a meaningful (ETS) dataflow computation.  The message carries
+    the full diagnosis dump. *)
 
 exception Double_write of string
 (** A second write to an I-structure cell. *)
 
 exception Divergence of string
-(** [max_cycles] exceeded. *)
+(** [max_cycles] exceeded; the message carries the full diagnosis dump
+    (blocked frontier, token counts, pressure). *)
 
 type program = {
   graph : Dfg.Graph.t;
@@ -48,22 +55,44 @@ type result = {
   firings_by_kind : (string * int) list;
       (** executions per operator family (loads, stores, switches, ...),
           sorted descending *)
+  matching_throttled : int;
+      (** deliveries postponed because the bounded matching store was at
+          capacity ({!Config.max_matching}) *)
+  diagnosis : Diagnosis.t;
+      (** structured post-mortem: verdict, stall frontier, pressure and
+          fault log *)
 }
 
 (** Average operator-level parallelism: firings per cycle of makespan. *)
 val avg_parallelism : result -> float
 
-(** [run ?config ?on_fire program] executes [program] to quiescence on a
-    fresh zeroed memory.  [on_fire] observes every firing (cycle, node,
-    context) — the hook used by tracing.
+(** [run_report ?config ?faults ?on_fire program] executes [program] to
+    quiescence on a fresh zeroed memory.  [Ok r] means the machine
+    reached quiescence — inspect [r.diagnosis] to distinguish clean
+    completion from deadlock or leftover tokens; [Error d] is a hard
+    failure (collision, double write, divergence) with the machine state
+    at the failure point.  Never raises the legacy exceptions. *)
+val run_report :
+  ?config:Config.t ->
+  ?faults:Fault.plan ->
+  ?on_fire:(int -> Dfg.Node.t -> Context.t -> unit) ->
+  program ->
+  (result, Diagnosis.t) Stdlib.result
+
+(** [run ?config ?faults ?on_fire program] executes [program] to
+    quiescence.  [on_fire] observes every firing (cycle, node, context)
+    — the hook used by tracing.  [faults] injects a deterministic fault
+    plan at the delivery and memory-issue boundaries.
     @raise Token_collision / Double_write / Divergence as documented. *)
 val run :
   ?config:Config.t ->
+  ?faults:Fault.plan ->
   ?on_fire:(int -> Dfg.Node.t -> Context.t -> unit) ->
   program ->
   result
 
-(** [run_exn ?config p] runs and additionally checks clean completion:
-    the End operator fired and no tokens were left behind.
-    @raise Failure otherwise. *)
-val run_exn : ?config:Config.t -> program -> result
+(** [run_exn ?config ?faults p] runs and additionally checks clean
+    completion: the End operator fired and no tokens were left behind.
+    @raise Failure otherwise, with the diagnosis (blocked frontier,
+    leftover and unfired-End details) in the message. *)
+val run_exn : ?config:Config.t -> ?faults:Fault.plan -> program -> result

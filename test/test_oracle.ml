@@ -1,0 +1,137 @@
+(* The randomized differential tier: Dflow.Oracle validates every
+   applicable schema x transform x cover combination against the
+   reference interpreter over seeded random programs, and proves its
+   own teeth by catching the deliberately broken
+   Schema2_unsafe_no_loop_control variant and shrinking the failure. *)
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+module O = Dflow.Oracle
+
+let test_combo_names_distinct () =
+  let p = Imp.Factory.sum_kernel ~n:4 () in
+  let names =
+    List.map (fun c -> c.O.c_name) (O.combos_for ~include_broken:true p)
+  in
+  checki "every matrix row has its own name" (List.length names)
+    (List.length (List.sort_uniq compare names));
+  checkb "the broken combo is listed when asked for" true
+    (List.exists (fun c -> c.O.c_broken) (O.combos_for ~include_broken:true p));
+  checkb "the broken combo is absent by default" true
+    (List.for_all (fun c -> not c.O.c_broken) (O.combos_for p))
+
+let test_figure8_pathology_caught () =
+  (* Schema 2 without loop control on a cyclic program is the paper's
+     Figure 8 pathology; the oracle must flag it while sound Schema 2
+     agrees on the same program.  The fib kernel's two parallel loop
+     updates give iterations room to overlap, so tokens from different
+     iterations actually meet. *)
+  let p = Imp.Factory.fib_kernel ~n:8 () in
+  let combo spec name broken =
+    {
+      O.c_spec = spec;
+      c_transforms = Dflow.Driver.no_transforms;
+      c_name = name;
+      c_broken = broken;
+    }
+  in
+  (match
+     O.run_combo (combo Dflow.Driver.Schema2_unsafe_no_loop_control "broken" true) p
+   with
+  | O.Fail _ -> ()
+  | O.Agree -> Alcotest.fail "Figure 8 pathology not caught"
+  | O.Skip s -> Alcotest.failf "unexpected skip: %s" s);
+  match
+    O.run_combo (combo (Dflow.Driver.Schema2 Dflow.Engine.Barrier) "sound" false) p
+  with
+  | O.Agree -> ()
+  | O.Fail s -> Alcotest.failf "sound schema diverged: %s" s
+  | O.Skip s -> Alcotest.failf "unexpected skip: %s" s
+
+let test_selfcheck_sound_combos_agree () =
+  let r = O.selfcheck ~seed:7 ~count:8 () in
+  checki "no sound divergence" 0 (List.length r.O.r_divergences);
+  checki "nothing deliberately broken was run" 0
+    (List.length r.O.r_broken_caught);
+  checkb "the matrix was exercised" true (r.O.r_agreements > 0);
+  List.iter
+    (fun (_, n) -> checki "every combo saw every program" 8 n)
+    r.O.r_matrix
+
+let test_selfcheck_deterministic () =
+  let a = O.selfcheck ~seed:3 ~count:5 () in
+  let b = O.selfcheck ~seed:3 ~count:5 () in
+  checkb "same seed, same matrix" true (a.O.r_matrix = b.O.r_matrix);
+  checki "same seed, same agreements" a.O.r_agreements b.O.r_agreements;
+  checki "same seed, same skips" a.O.r_skips b.O.r_skips
+
+let test_broken_schema_caught_and_shrunk () =
+  (* seed 2 generates a nested cyclic program within ten draws *)
+  let r = O.selfcheck ~seed:2 ~count:10 ~include_broken:true () in
+  checki "sound combos still agree" 0 (List.length r.O.r_divergences);
+  checkb "the broken schema was caught" true (r.O.r_broken_caught <> []);
+  let d = List.hd r.O.r_broken_caught in
+  checkb "shrinking made progress" true (d.O.dv_steps > 0);
+  checkb "the reproducer shrank" true
+    (Imp.Ast.stmt_size d.O.dv_shrunk.Imp.Ast.body
+    < Imp.Ast.stmt_size d.O.dv_program.Imp.Ast.body);
+  (* the minimal reproducer must still fail under the same combo *)
+  let combos = O.combos_for ~include_broken:true d.O.dv_shrunk in
+  match List.find_opt (fun c -> c.O.c_name = d.O.dv_combo) combos with
+  | None -> Alcotest.fail "combo vanished from the shrunk program's matrix"
+  | Some c -> (
+      match O.run_combo c d.O.dv_shrunk with
+      | O.Fail _ -> ()
+      | O.Agree -> Alcotest.fail "shrunk reproducer no longer fails"
+      | O.Skip s -> Alcotest.failf "shrunk reproducer skipped: %s" s)
+
+let test_minimize_respects_predicate () =
+  (* minimize must return a program the predicate still rejects, and
+     never offer an ill-typed candidate to the predicate *)
+  let p = Imp.Factory.sum_kernel ~n:5 () in
+  let saw_ill_typed = ref false in
+  let fails q =
+    (match Imp.Typecheck.check_program q with
+    | () -> ()
+    | exception _ -> saw_ill_typed := true);
+    (* "fails" = still contains a loop *)
+    let rec has_loop (s : Imp.Ast.stmt) =
+      match s with
+      | Imp.Ast.While _ -> true
+      | Imp.Ast.Seq (a, b) | Imp.Ast.If (_, a, b) -> has_loop a || has_loop b
+      | Imp.Ast.Case (_, arms, d) ->
+          List.exists (fun (_, s) -> has_loop s) arms || has_loop d
+      | _ -> false
+    in
+    has_loop q.Imp.Ast.body
+  in
+  let shrunk, steps = O.minimize fails p in
+  checkb "result still fails" true (fails shrunk);
+  checkb "no ill-typed candidate offered" true (not !saw_ill_typed);
+  checkb "some progress or already minimal" true (steps >= 0)
+
+let () =
+  Alcotest.run "oracle"
+    [
+      ( "matrix",
+        [
+          Alcotest.test_case "combo names distinct" `Quick
+            test_combo_names_distinct;
+          Alcotest.test_case "figure 8 pathology caught" `Quick
+            test_figure8_pathology_caught;
+        ] );
+      ( "selfcheck",
+        [
+          Alcotest.test_case "sound combos agree" `Slow
+            test_selfcheck_sound_combos_agree;
+          Alcotest.test_case "deterministic" `Slow test_selfcheck_deterministic;
+          Alcotest.test_case "broken schema caught and shrunk" `Slow
+            test_broken_schema_caught_and_shrunk;
+        ] );
+      ( "shrinker",
+        [
+          Alcotest.test_case "minimize respects predicate" `Quick
+            test_minimize_respects_predicate;
+        ] );
+    ]
