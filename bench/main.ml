@@ -867,6 +867,156 @@ let bechamel_benches () =
     rows
 
 (* ===================================================================== *)
+(* E20 -- BENCH_machine.json: the program x schema machine matrix        *)
+
+(* The four columns of the matrix.  "schema2-opt" runs pipelined: it is
+   the best sound no-aliasing configuration, which is what the Section 4
+   optimization is for. *)
+let bench_schemas =
+  [
+    ("schema1", s1);
+    ("schema2-barrier", s2b);
+    ("schema2-pipelined", s2p);
+    ("schema2-opt", s2op);
+  ]
+
+let bench_random_seeds = [ 11; 23; 47 ]
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let find_programs_dir () =
+  List.find_opt Sys.file_exists
+    [
+      "examples/programs";
+      "../examples/programs";
+      "../../examples/programs";
+      "../../../examples/programs";
+    ]
+
+(* One cell: compile, run traced, check against the reference
+   interpreter.  Cells a schema cannot express are real results — the
+   record says why instead of vanishing from the matrix. *)
+let bench_cell ~program:(pname, p) ~schema:(sname, spec) =
+  match compile spec p with
+  | exception Cfg.Intervals.Irreducible _ ->
+      ( Machine.Profile.bench_record ~program:pname ~schema:sname
+          ~status:"irreducible" (),
+        None )
+  | exception Dflow.Driver.Aliasing_unsupported _ ->
+      ( Machine.Profile.bench_record ~program:pname ~schema:sname
+          ~status:"unsupported-aliasing" (),
+        None )
+  | c ->
+      let tracer = Machine.Trace.create () in
+      let r =
+        Machine.Interp.run ~on_fire:(Machine.Trace.on_fire tracer)
+          {
+            Machine.Interp.graph = c.Dflow.Driver.graph;
+            layout = c.Dflow.Driver.layout;
+          }
+      in
+      if not r.Machine.Interp.completed then
+        ( Machine.Profile.bench_record ~program:pname ~schema:sname
+            ~status:"stalled" (),
+          None )
+      else
+        let reference = Imp.Eval.run_program ~fuel:10_000_000 p in
+        let ok = Imp.Memory.equal reference r.Machine.Interp.memory in
+        let stats = Dfg.Stats.of_graph c.Dflow.Driver.graph in
+        ( Machine.Profile.bench_record ~program:pname ~schema:sname ~status:"ok"
+            ~stats ~result:r ~reference_ok:ok
+            ~max_overlap:(Machine.Trace.max_context_overlap tracer) (),
+          Some (ok, Machine.Interp.avg_parallelism r) )
+
+let bench_json ~out ~programs_dir () =
+  let dir =
+    match programs_dir with Some d -> Some d | None -> find_programs_dir ()
+  in
+  let examples =
+    match dir with
+    | None ->
+        Fmt.epr
+          "bench: cannot find examples/programs from %s (pass --programs DIR)@."
+          (Sys.getcwd ());
+        exit 2
+    | Some d ->
+        Sys.readdir d |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".imp")
+        |> List.sort compare
+        |> List.map (fun f ->
+               ( Filename.chop_extension f,
+                 Imp.Parser.program_of_string (read_file (Filename.concat d f))
+               ))
+  in
+  let randoms =
+    List.map
+      (fun seed ->
+        ( Fmt.str "random-%03d" seed,
+          Workloads.Random_gen.structured (Random.State.make [| seed |]) ))
+      bench_random_seeds
+  in
+  let programs = examples @ randoms in
+  let divergences = ref [] in
+  let avg_par = Hashtbl.create 16 in
+  let records =
+    List.concat_map
+      (fun ((pname, _) as program) ->
+        List.map
+          (fun ((sname, _) as schema) ->
+            let record, dyn = bench_cell ~program ~schema in
+            (match dyn with
+            | Some (ok, par) ->
+                if not ok then divergences := (pname, sname) :: !divergences;
+                Hashtbl.replace avg_par (pname, sname) par
+            | None -> ());
+            record)
+          bench_schemas)
+      programs
+  in
+  let text =
+    Machine.Json.to_string_pretty (Machine.Profile.bench_file ~records)
+  in
+  List.iter
+    (fun (pname, sname) ->
+      Fmt.epr "bench: %s under %s DIVERGED from the reference interpreter@."
+        pname sname)
+    !divergences;
+  (* self-check: re-parse the exact text we are about to write and
+     validate it against the shared schema (divergence is a validation
+     error too, so CI fails on either) *)
+  (match Machine.Profile.validate_bench (Machine.Json.of_string text) with
+  | Ok () -> ()
+  | Error msg ->
+      Fmt.epr "bench: generated document failed validation: %s@." msg;
+      exit 1);
+  (* the headline claim of the paper's Section 5: pipelined loop control
+     buys real parallelism over the single access token *)
+  (match
+     ( Hashtbl.find_opt avg_par ("stencil", "schema2-pipelined"),
+       Hashtbl.find_opt avg_par ("stencil", "schema1") )
+   with
+  | Some p2, Some p1 when p2 > p1 ->
+      Fmt.pr "stencil avg parallelism: schema2-pipelined %.2f > schema1 %.2f@."
+        p2 p1
+  | Some p2, Some p1 ->
+      Fmt.epr
+        "bench: expected schema2-pipelined to beat schema1 on stencil \
+         (%.2f vs %.2f)@."
+        p2 p1;
+      exit 1
+  | _ -> Fmt.epr "bench: warning: no stencil rows in this matrix@.");
+  let oc = open_out out in
+  output_string oc text;
+  close_out oc;
+  Fmt.pr "wrote %s: %d records (%d programs x %d schemas)@." out
+    (List.length records) (List.length programs) (List.length bench_schemas)
+
+(* ===================================================================== *)
 
 let experiments =
   [
@@ -878,6 +1028,27 @@ let experiments =
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  let rec split_opt key acc = function
+    | [] -> (None, List.rev acc)
+    | k :: v :: rest when k = key -> (Some v, List.rev_append acc rest)
+    | a :: rest -> split_opt key (a :: acc) rest
+  in
+  let json_out, args = split_opt "--json" [] args in
+  match json_out with
+  | Some out ->
+      let programs_dir, args = split_opt "--programs" [] args in
+      if args <> [] then begin
+        Fmt.epr "bench: unexpected arguments with --json: %a@."
+          Fmt.(list ~sep:sp string)
+          args;
+        exit 2
+      end;
+      bench_json ~out ~programs_dir ()
+  | None ->
+  if List.mem "--json" args then begin
+    Fmt.epr "bench: --json needs an output path (e.g. --json BENCH_machine.json)@.";
+    exit 2
+  end;
   let quick = List.mem "quick" args in
   let selected = List.filter (fun a -> a <> "quick") args in
   let to_run =

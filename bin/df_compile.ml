@@ -181,10 +181,7 @@ let run_cmd file schema transforms pes mem_latency verbose trace optimize
     Fmt.pr "== timeline (first 60 cycles) ==@.";
     Fmt.pr "%a" (Machine.Trace.pp_timeline ~max_cycles:60) tracer;
     Fmt.pr "== firings per iteration context ==@.";
-    List.iter
-      (fun (ctx, n) ->
-        Fmt.pr "  %-16s %d@." (Machine.Context.to_string ctx) n)
-      (Machine.Trace.per_context tracer);
+    Fmt.pr "%a" Machine.Trace.pp_per_context tracer;
     Fmt.pr "max overlapping contexts: %d@."
       (Machine.Trace.max_context_overlap tracer)
   end;
@@ -203,6 +200,74 @@ let run_term =
     $ Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print graph statistics and check against the reference interpreter.")
     $ Arg.(value & flag & info [ "trace" ] ~doc:"Print an execution timeline and per-context firing counts.")
     $ optimize_arg $ fault_seed_arg $ fault_rate_arg $ fault_classes_arg)
+
+(* --- profile: critical path, curves, Chrome trace -------------------- *)
+
+let profile_cmd file schema transforms pes mem_latency optimize trace_out
+    summary_json limit =
+  let p = read_program file in
+  let transforms = transforms_of_list transforms in
+  let compiled = Dflow.Driver.compile ~transforms schema p in
+  let graph = maybe_optimize optimize compiled.Dflow.Driver.graph in
+  Dfg.Check.check graph;
+  let config = config_of pes mem_latency in
+  let tracer = Machine.Trace.create ~limit () in
+  let result =
+    match
+      Machine.Interp.run_report ~config
+        ~on_fire:(Machine.Trace.on_fire tracer)
+        { Machine.Interp.graph = graph; layout = compiled.Dflow.Driver.layout }
+    with
+    | Ok r -> r
+    | Error d ->
+        Fmt.epr "execution failed:@.%a@." Machine.Diagnosis.pp d;
+        exit 1
+  in
+  let profile = Machine.Profile.make ~graph ~trace:tracer result in
+  let out =
+    match trace_out with
+    | Some path -> path
+    | None -> Filename.remove_extension (Filename.basename file) ^ ".trace.json"
+  in
+  let chrome = Machine.Profile.chrome_trace ~config ~graph tracer in
+  let oc = open_out out in
+  output_string oc (Machine.Json.to_string chrome);
+  output_char oc '\n';
+  close_out oc;
+  if summary_json then
+    Fmt.pr "%s" (Machine.Json.to_string_pretty (Machine.Profile.summary_json profile))
+  else begin
+    Fmt.pr "== profile (%s, %s) ==@." file (Dflow.Driver.spec_to_string schema);
+    Fmt.pr "%a" Machine.Profile.pp profile
+  end;
+  Fmt.epr "chrome trace written to %s (load it in chrome://tracing or \
+           ui.perfetto.dev)@." out;
+  let reference = Imp.Eval.run_program ~fuel:10_000_000 p in
+  if not (Imp.Memory.equal reference result.Machine.Interp.memory) then begin
+    Fmt.epr "profile run DIVERGED from the reference interpreter@.";
+    exit 1
+  end
+
+let profile_term =
+  Term.(
+    const profile_cmd $ file_arg $ schema_arg $ transforms_arg $ pes_arg
+    $ mem_latency_arg $ optimize_arg
+    $ Arg.(
+        value & opt (some string) None
+        & info [ "trace-out" ] ~docv:"PATH"
+            ~doc:
+              "Where to write the Chrome trace_event JSON (default: \
+               <FILE>.trace.json in the current directory).")
+    $ Arg.(
+        value & flag
+        & info [ "json" ]
+            ~doc:"Print the profile summary as JSON instead of text.")
+    $ Arg.(
+        value & opt int 100_000
+        & info [ "limit" ] ~docv:"N"
+            ~doc:
+              "Trace recorder capacity; runs longer than N firings are \
+               truncated (and say so)."))
 
 (* --- dot ------------------------------------------------------------- *)
 
@@ -453,6 +518,13 @@ let cmds =
     Cmd.v
       (Cmd.info "run" ~doc:"Compile and execute on the dataflow machine")
       run_term;
+    Cmd.v
+      (Cmd.info "profile"
+         ~doc:
+           "Compile, execute, and profile: firing histograms, parallelism \
+            and matching-store curves, the dynamic critical path against \
+            the static one, and a Chrome trace_event JSON export")
+      profile_term;
     Cmd.v (Cmd.info "dot" ~doc:"Emit DOT renderings") dot_term;
     Cmd.v
       (Cmd.info "emit" ~doc:"Emit the textual dataflow IR (.dfg)")

@@ -15,7 +15,38 @@ type t = {
   alu : int;  (** binops + unops + consts + ids *)
   loop_controls : int;
   dummy_arcs : int;
+  critical_path : int;
+      (** longest acyclic operator chain from Start (nodes counted, loop
+          back arcs cut): the single-iteration critical path the machine
+          cannot beat; the dynamic critical path reported by
+          {!Machine.Interp} additionally unrolls loop iterations *)
 }
+
+(* Longest node-count path from [start] over forward arcs.  The graphs
+   are cyclic (loop control); arcs closing a cycle — gray targets during
+   the DFS — contribute length 0, which cuts every back arc exactly
+   once and keeps the measure well-defined on arbitrary graphs. *)
+let longest_path (g : Graph.t) : int =
+  let nn = Graph.num_nodes g in
+  let memo = Array.make nn (-1) in
+  let on_stack = Array.make nn false in
+  let rec visit n =
+    if memo.(n) >= 0 then memo.(n)
+    else if on_stack.(n) then 0
+    else begin
+      on_stack.(n) <- true;
+      let best = ref 0 in
+      Array.iter
+        (List.iter (fun a ->
+             let d = visit a.Graph.dst.Graph.node in
+             if d > !best then best := d))
+        g.Graph.outs.(n);
+      on_stack.(n) <- false;
+      memo.(n) <- 1 + !best;
+      1 + !best
+    end
+  in
+  visit g.Graph.start
 
 let of_graph (g : Graph.t) : t =
   let count p = Graph.count g p in
@@ -44,13 +75,14 @@ let of_graph (g : Graph.t) : t =
       Array.fold_left
         (fun acc a -> if a.Graph.dummy then acc + 1 else acc)
         0 g.Graph.arcs;
+    critical_path = longest_path g;
   }
 
 let pp ppf (s : t) =
   Fmt.pf ppf
     "nodes=%d arcs=%d switches=%d merges=%d synchs=%d(synch-in=%d) loads=%d \
-     stores=%d alu=%d loop-ctl=%d dummy-arcs=%d"
+     stores=%d alu=%d loop-ctl=%d dummy-arcs=%d crit-path=%d"
     s.nodes s.arcs s.switches s.merges s.synchs s.synch_inputs s.loads
-    s.stores s.alu s.loop_controls s.dummy_arcs
+    s.stores s.alu s.loop_controls s.dummy_arcs s.critical_path
 
 let to_string (s : t) = Fmt.str "%a" pp s

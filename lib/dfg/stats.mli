@@ -15,6 +15,10 @@ type t = {
   alu : int;  (** binops + unops + consts + ids + sinks *)
   loop_controls : int;
   dummy_arcs : int;
+  critical_path : int;
+      (** longest acyclic operator chain from Start (nodes counted, loop
+          back arcs cut): the single-iteration static critical path, for
+          comparison with the machine's dynamic critical path *)
 }
 
 val of_graph : Graph.t -> t

@@ -65,6 +65,22 @@ type result = {
   matching_throttled : int;
       (** deliveries postponed because the bounded matching store was at
           capacity ({!Config.max_matching}) *)
+  in_flight_curve : int array;
+      (** per cycle, tokens travelling between operators at the end of
+          the cycle (the curve whose maximum is [peak_in_flight]) *)
+  matching_curve : int array;
+      (** per cycle, occupied waiting-matching entries at the end of the
+          cycle (the curve whose maximum is [peak_matching]) *)
+  critical_path : int;
+      (** dynamic critical path: the longest dependence chain of firings
+          actually executed (each firing's depth is one more than the
+          deepest firing that produced one of its input tokens).  Under
+          {!Config.ideal} this equals [cycles]; under other latency
+          models it is the latency-independent chain length. *)
+  critical_chain : (int * Context.t) list;
+      (** one maximal dependence chain, source to sink, as
+          (node id, context) pairs — [List.length critical_chain =
+          critical_path] *)
   diagnosis : Diagnosis.t;
       (** the structured post-mortem: verdict, stall frontier, pressure
           and fault log *)
@@ -80,9 +96,21 @@ type delivery = {
   d_port : int;
   d_ctx : Context.t;
   d_value : Imp.Value.t;
+  d_depth : int;  (** firing depth of the producer (chain length so far) *)
+  d_src : int;  (** firing-log index of the producer, [-1] for none *)
 }
 
-type firing = { f_node : int; f_ctx : Context.t; f_inputs : Imp.Value.t array }
+(* A waiting token: its value plus the provenance needed for dynamic
+   critical-path accounting. *)
+type slot = { s_value : Imp.Value.t; s_depth : int; s_src : int }
+
+type firing = {
+  f_node : int;
+  f_ctx : Context.t;
+  f_inputs : Imp.Value.t array;
+  f_in_depth : int;  (** max depth over the consumed input tokens *)
+  f_pred : int;  (** firing-log index of the deepest producer, [-1] *)
+}
 
 let dummy_value = Imp.Value.Int 0
 
@@ -106,11 +134,13 @@ let run_report ?(config = Config.default) ?(faults : Fault.plan option)
   (* I-structure state *)
   let words = max 1 p.layout.Imp.Layout.words in
   let present = Array.make words false in
-  let deferred : (int, (int * Context.t * Imp.Value.t array) list) Hashtbl.t =
+  (* deferred I-structure readers: load node, context, and the load
+     firing's depth/log index for critical-path accounting *)
+  let deferred : (int, (int * Context.t * int * int) list) Hashtbl.t =
     Hashtbl.create 16
   in
   (* waiting-matching store *)
-  let wait : (int * Context.t, Imp.Value.t option array) Hashtbl.t =
+  let wait : (int * Context.t, slot option array) Hashtbl.t =
     Hashtbl.create 64
   in
   (* schedule *)
@@ -151,6 +181,12 @@ let run_report ?(config = Config.default) ?(faults : Fault.plan option)
   in
   let completed = ref false in
   let profile = ref [] in
+  let in_flight_curve = ref [] in
+  let matching_curve = ref [] in
+  (* firing log for dynamic critical-path reconstruction: one entry per
+     firing, in firing order: (node, ctx, depth, predecessor index) *)
+  let fire_log : (int * Context.t * int * int) list ref = ref [] in
+  let fire_count = ref 0 in
   let last_cycle = ref 0 in
   let t = ref 0 in
   (* --- structured post-mortem ---------------------------------------- *)
@@ -234,8 +270,9 @@ let run_report ?(config = Config.default) ?(faults : Fault.plan option)
   in
   (* Emit a token from an output port: duplicate onto every arc.  This is
      the delivery boundary where the fault plan may drop, duplicate,
-     corrupt or delay individual tokens. *)
-  let emit t_done node port ctx value =
+     corrupt or delay individual tokens.  [depth]/[src] carry the
+     producing firing's chain depth and log index onto the token. *)
+  let emit t_done node port ctx value ~depth ~src =
     List.iter
       (fun a ->
         let dst = a.Dfg.Graph.dst.Dfg.Graph.node in
@@ -261,12 +298,14 @@ let run_report ?(config = Config.default) ?(faults : Fault.plan option)
               d_port = a.Dfg.Graph.dst.Dfg.Graph.index;
               d_ctx = ctx;
               d_value = value;
+              d_depth = depth;
+              d_src = src;
             }
         done)
       (Dfg.Graph.outgoing g node port)
   in
   (* Enabledness test given a slot array and node kind. *)
-  let enabled kind (slots : Imp.Value.t option array) : bool =
+  let enabled kind (slots : slot option array) : bool =
     match kind with
     | Dfg.Node.Loop_entry { arity; _ } ->
         let full a b =
@@ -285,7 +324,13 @@ let run_report ?(config = Config.default) ?(faults : Fault.plan option)
     | Dfg.Node.Merge ->
         (* no matching: forward immediately as its own firing *)
         Queue.add
-          { f_node = d.d_node; f_ctx = d.d_ctx; f_inputs = [| d.d_value |] }
+          {
+            f_node = d.d_node;
+            f_ctx = d.d_ctx;
+            f_inputs = [| d.d_value |];
+            f_in_depth = d.d_depth;
+            f_pred = d.d_src;
+          }
           ready
     | _ -> (
         let key = (d.d_node, d.d_ctx) in
@@ -324,11 +369,25 @@ let run_report ?(config = Config.default) ?(faults : Fault.plan option)
                    (Fmt.str "node %d (%s) port %d ctx %s" d.d_node
                       (Dfg.Graph.node g d.d_node).Dfg.Node.label d.d_port
                       (Context.to_string d.d_ctx)))
-          | _ -> slots.(d.d_port) <- Some d.d_value);
+          | _ ->
+              slots.(d.d_port) <-
+                Some
+                  { s_value = d.d_value; s_depth = d.d_depth; s_src = d.d_src });
           if Hashtbl.length wait > !peak_matching then
             peak_matching := Hashtbl.length wait;
           if enabled kind slots then begin
-            (* consume: for loop entries, only the full group *)
+            (* consume: for loop entries, only the full group.  While
+               consuming, track the deepest input token for the dynamic
+               critical path. *)
+            let in_depth = ref 0 and pred = ref (-1) in
+            let take i =
+              let s = Option.get slots.(i) in
+              if s.s_depth > !in_depth then begin
+                in_depth := s.s_depth;
+                pred := s.s_src
+              end;
+              s.s_value
+            in
             let inputs =
               match kind with
               | Dfg.Node.Loop_entry { arity; _ } ->
@@ -340,9 +399,7 @@ let run_report ?(config = Config.default) ?(faults : Fault.plan option)
                     !ok
                   in
                   if full 0 (arity - 1) then begin
-                    let ins =
-                      Array.init arity (fun i -> Option.get slots.(i))
-                    in
+                    let ins = Array.init arity take in
                     for i = 0 to arity - 1 do
                       slots.(i) <- None
                     done;
@@ -353,8 +410,7 @@ let run_report ?(config = Config.default) ?(faults : Fault.plan option)
                   else begin
                     let ins =
                       Array.init (arity + 1) (fun i ->
-                          if i < arity then Option.get slots.(arity + i)
-                          else dummy_value)
+                          if i < arity then take (arity + i) else dummy_value)
                     in
                     for i = arity to (2 * arity) - 1 do
                       slots.(i) <- None
@@ -362,7 +418,9 @@ let run_report ?(config = Config.default) ?(faults : Fault.plan option)
                     ins
                   end
               | _ ->
-                  let ins = Array.map Option.get slots in
+                  let ins =
+                    Array.init (Array.length slots) take
+                  in
                   Array.fill slots 0 (Array.length slots) None;
                   ins
             in
@@ -370,7 +428,13 @@ let run_report ?(config = Config.default) ?(faults : Fault.plan option)
             if Array.for_all (fun s -> s = None) slots then
               Hashtbl.remove wait key;
             Queue.add
-              { f_node = d.d_node; f_ctx = d.d_ctx; f_inputs = inputs }
+              {
+                f_node = d.d_node;
+                f_ctx = d.d_ctx;
+                f_inputs = inputs;
+                f_in_depth = !in_depth;
+                f_pred = !pred;
+              }
               ready
           end
         end)
@@ -400,8 +464,15 @@ let run_report ?(config = Config.default) ?(faults : Fault.plan option)
     (match on_fire with Some cb -> cb t n f.f_ctx | None -> ());
     let t_done = t + Config.latency config kind in
     if t_done > !last_cycle then last_cycle := t_done;
-    let out port v = emit t_done f.f_node port f.f_ctx v in
-    let out_ctx ctx port v = emit t_done f.f_node port ctx v in
+    (* chain accounting: this firing extends the deepest input chain *)
+    let depth = f.f_in_depth + 1 in
+    let my_id = !fire_count in
+    incr fire_count;
+    fire_log := (f.f_node, f.f_ctx, depth, f.f_pred) :: !fire_log;
+    let out port v = emit t_done f.f_node port f.f_ctx v ~depth ~src:my_id in
+    let out_ctx ctx port v =
+      emit t_done f.f_node port ctx v ~depth ~src:my_id
+    in
     match kind with
     | Dfg.Node.Start k ->
         for i = 0 to k - 1 do
@@ -428,7 +499,7 @@ let run_report ?(config = Config.default) ?(faults : Fault.plan option)
             else
               (* deferred read: completes when the cell is written *)
               Hashtbl.replace deferred a
-                ((f.f_node, f.f_ctx, f.f_inputs)
+                ((f.f_node, f.f_ctx, depth, my_id)
                 :: (try Hashtbl.find deferred a with Not_found -> [])))
     | Dfg.Node.Store { mem; _ } -> (
         let a = addr_of kind f.f_ctx f.f_inputs in
@@ -451,11 +522,16 @@ let run_report ?(config = Config.default) ?(faults : Fault.plan option)
             | Some waiters ->
                 Hashtbl.remove deferred a;
                 List.iter
-                  (fun (rn, rctx, _) ->
+                  (fun (rn, rctx, rdepth, rid) ->
+                    (* the completed split-phase read depends on both the
+                       deferred load and the store that satisfied it *)
+                    let wdepth, wsrc =
+                      if rdepth >= depth then (rdepth, rid) else (depth, my_id)
+                    in
                     emit t_done rn 0
                       rctx (* value out of the waiting load *)
-                      (Imp.Value.Int v);
-                    emit t_done rn 1 rctx dummy_value)
+                      (Imp.Value.Int v) ~depth:wdepth ~src:wsrc;
+                    emit t_done rn 1 rctx dummy_value ~depth:wdepth ~src:wsrc)
                   waiters
             | None -> ()))
     | Dfg.Node.Switch ->
@@ -488,7 +564,13 @@ let run_report ?(config = Config.default) ?(faults : Fault.plan option)
      exactly as a real split-phase I-fetch responds. *)
   (* boot: fire Start at cycle 0 *)
   Queue.add
-    { f_node = g.Dfg.Graph.start; f_ctx = Context.toplevel; f_inputs = [||] }
+    {
+      f_node = g.Dfg.Graph.start;
+      f_ctx = Context.toplevel;
+      f_inputs = [||];
+      f_in_depth = 0;
+      f_pred = -1;
+    }
     ready;
   (* LIFO policy: enabled firings are moved onto a stack every cycle, so
      the most recently enabled operation starts first *)
@@ -568,6 +650,9 @@ let run_report ?(config = Config.default) ?(faults : Fault.plan option)
       done;
       List.iter (fun f -> Queue.add f ready) (List.rev !deferred_mem);
       profile := (!started - List.length !deferred_mem) :: !profile;
+      (* occupancy curves, sampled at the end of every cycle *)
+      in_flight_curve := !pending :: !in_flight_curve;
+      matching_curve := Hashtbl.length wait :: !matching_curve;
       (* 3. stagnation test: all throttle, no progress -> spill next cycle *)
       if !throttled_this_cycle > 0 && not !progressed then spill := true;
       throttled_this_cycle := 0;
@@ -582,6 +667,26 @@ let run_report ?(config = Config.default) ?(faults : Fault.plan option)
       else Diagnosis.Clean
     in
     let profile = Array.of_list (List.rev !profile) in
+    (* dynamic critical path: deepest firing, chain walked back through
+       the logged predecessor indices *)
+    let log = Array.of_list (List.rev !fire_log) in
+    let critical_path =
+      Array.fold_left (fun m (_, _, d, _) -> max m d) 0 log
+    in
+    let critical_chain =
+      let best = ref (-1) in
+      Array.iteri
+        (fun i (_, _, d, _) ->
+          if !best = -1 && d = critical_path then best := i)
+        log;
+      let rec walk i acc =
+        if i < 0 then acc
+        else
+          let n, ctx, _, pred = log.(i) in
+          walk pred ((n, ctx) :: acc)
+      in
+      if !best < 0 then [] else walk !best []
+    in
     Ok
       {
         memory;
@@ -600,6 +705,10 @@ let run_report ?(config = Config.default) ?(faults : Fault.plan option)
           Hashtbl.fold (fun k v acc -> (k, v) :: acc) by_kind []
           |> List.sort (fun (_, a) (_, b) -> compare b a);
         matching_throttled = !throttled;
+        in_flight_curve = Array.of_list (List.rev !in_flight_curve);
+        matching_curve = Array.of_list (List.rev !matching_curve);
+        critical_path;
+        critical_chain;
         diagnosis = diagnose verdict;
       }
   with Abort d -> Error d

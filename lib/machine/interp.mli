@@ -58,6 +58,19 @@ type result = {
   matching_throttled : int;
       (** deliveries postponed because the bounded matching store was at
           capacity ({!Config.max_matching}) *)
+  in_flight_curve : int array;
+      (** per cycle, tokens travelling between operators at the end of
+          the cycle; its maximum is [peak_in_flight] *)
+  matching_curve : int array;
+      (** per cycle, occupied waiting-matching entries at the end of the
+          cycle; its maximum is [peak_matching] *)
+  critical_path : int;
+      (** dynamic critical path: length (in firings) of the longest
+          dependence chain actually executed.  Equals [cycles] under
+          {!Config.ideal}; latency-independent otherwise. *)
+  critical_chain : (int * Context.t) list;
+      (** one maximal chain, source to sink, as (node id, context);
+          its length is [critical_path] *)
   diagnosis : Diagnosis.t;
       (** structured post-mortem: verdict, stall frontier, pressure and
           fault log *)

@@ -1,0 +1,304 @@
+(** A minimal JSON tree with a printer and a parser.
+
+    The repository deliberately avoids external dependencies beyond the
+    toolchain it was seeded with, so the profiling exporters
+    ({!Profile}) and the benchmark harness carry their own JSON support:
+    enough of RFC 8259 to emit Chrome [trace_event] files and
+    [BENCH_*.json] records, and to re-read them for validation.
+    Integers are kept distinct from floats so cycle counts survive a
+    round trip exactly. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Assoc of (string * t) list
+
+(* ---------------------------------------------------------------- *)
+(* printing                                                         *)
+
+let escape (s : string) : string =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Fmt.str "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let float_repr f =
+  if Float.is_integer f && Float.abs f < 1e15 then Fmt.str "%.1f" f
+  else Fmt.str "%.12g" f
+
+let rec write buf (j : t) =
+  match j with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_repr f)
+  | String s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape s);
+      Buffer.add_char buf '"'
+  | List l ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          write buf x)
+        l;
+      Buffer.add_char buf ']'
+  | Assoc kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (escape k);
+          Buffer.add_string buf "\":";
+          write buf v)
+        kvs;
+      Buffer.add_char buf '}'
+
+let to_string (j : t) : string =
+  let buf = Buffer.create 1024 in
+  write buf j;
+  Buffer.contents buf
+
+(* Pretty printer: two-space indentation, one key or element per line
+   for containers -- the layout committed BENCH files use so diffs stay
+   reviewable. *)
+let rec write_pretty buf indent (j : t) =
+  let pad n = Buffer.add_string buf (String.make n ' ') in
+  match j with
+  | Null | Bool _ | Int _ | Float _ | String _ -> write buf j
+  | List [] -> Buffer.add_string buf "[]"
+  | List l ->
+      Buffer.add_string buf "[\n";
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          pad (indent + 2);
+          write_pretty buf (indent + 2) x)
+        l;
+      Buffer.add_char buf '\n';
+      pad indent;
+      Buffer.add_char buf ']'
+  | Assoc [] -> Buffer.add_string buf "{}"
+  | Assoc kvs ->
+      Buffer.add_string buf "{\n";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          pad (indent + 2);
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (escape k);
+          Buffer.add_string buf "\": ";
+          write_pretty buf (indent + 2) v)
+        kvs;
+      Buffer.add_char buf '\n';
+      pad indent;
+      Buffer.add_char buf '}'
+
+let to_string_pretty (j : t) : string =
+  let buf = Buffer.create 4096 in
+  write_pretty buf 0 j;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let pp ppf j = Fmt.string ppf (to_string j)
+
+(* ---------------------------------------------------------------- *)
+(* parsing                                                          *)
+
+exception Parse_error of string
+
+type cursor = { src : string; mutable pos : int }
+
+let error c msg =
+  raise (Parse_error (Fmt.str "%s at offset %d" msg c.pos))
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let rec skip_ws c =
+  match peek c with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance c;
+      skip_ws c
+  | _ -> ()
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | _ -> error c (Fmt.str "expected %c" ch)
+
+let parse_literal c lit value =
+  let n = String.length lit in
+  if
+    c.pos + n <= String.length c.src
+    && String.sub c.src c.pos n = lit
+  then begin
+    c.pos <- c.pos + n;
+    value
+  end
+  else error c (Fmt.str "expected %s" lit)
+
+let parse_string_body c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> error c "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' -> (
+        advance c;
+        match peek c with
+        | Some '"' -> advance c; Buffer.add_char buf '"'; go ()
+        | Some '\\' -> advance c; Buffer.add_char buf '\\'; go ()
+        | Some '/' -> advance c; Buffer.add_char buf '/'; go ()
+        | Some 'n' -> advance c; Buffer.add_char buf '\n'; go ()
+        | Some 'r' -> advance c; Buffer.add_char buf '\r'; go ()
+        | Some 't' -> advance c; Buffer.add_char buf '\t'; go ()
+        | Some 'b' -> advance c; Buffer.add_char buf '\b'; go ()
+        | Some 'f' -> advance c; Buffer.add_char buf '\012'; go ()
+        | Some 'u' ->
+            advance c;
+            if c.pos + 4 > String.length c.src then error c "bad \\u escape";
+            let hex = String.sub c.src c.pos 4 in
+            c.pos <- c.pos + 4;
+            let code =
+              try int_of_string ("0x" ^ hex)
+              with _ -> error c "bad \\u escape"
+            in
+            (* BMP only; encode as UTF-8 *)
+            if code < 0x80 then Buffer.add_char buf (Char.chr code)
+            else if code < 0x800 then begin
+              Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+            end
+            else begin
+              Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+              Buffer.add_char buf
+                (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+            end;
+            go ()
+        | _ -> error c "bad escape")
+    | Some ch ->
+        advance c;
+        Buffer.add_char buf ch;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number c =
+  let start = c.pos in
+  let is_num_char ch =
+    match ch with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while
+    match peek c with Some ch when is_num_char ch -> true | _ -> false
+  do
+    advance c
+  done;
+  let s = String.sub c.src start (c.pos - start) in
+  match int_of_string_opt s with
+  | Some i -> Int i
+  | None -> (
+      match float_of_string_opt s with
+      | Some f -> Float f
+      | None -> error c (Fmt.str "bad number %S" s))
+
+let rec parse_value c : t =
+  skip_ws c;
+  match peek c with
+  | None -> error c "unexpected end of input"
+  | Some 'n' -> parse_literal c "null" Null
+  | Some 't' -> parse_literal c "true" (Bool true)
+  | Some 'f' -> parse_literal c "false" (Bool false)
+  | Some '"' -> String (parse_string_body c)
+  | Some '[' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some ']' then begin
+        advance c;
+        List []
+      end
+      else begin
+        let items = ref [] in
+        let rec go () =
+          items := parse_value c :: !items;
+          skip_ws c;
+          match peek c with
+          | Some ',' -> advance c; go ()
+          | Some ']' -> advance c
+          | _ -> error c "expected , or ]"
+        in
+        go ();
+        List (List.rev !items)
+      end
+  | Some '{' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some '}' then begin
+        advance c;
+        Assoc []
+      end
+      else begin
+        let items = ref [] in
+        let rec go () =
+          skip_ws c;
+          let k = parse_string_body c in
+          skip_ws c;
+          expect c ':';
+          let v = parse_value c in
+          items := (k, v) :: !items;
+          skip_ws c;
+          match peek c with
+          | Some ',' -> advance c; go ()
+          | Some '}' -> advance c
+          | _ -> error c "expected , or }"
+        in
+        go ();
+        Assoc (List.rev !items)
+      end
+  | Some _ -> parse_number c
+
+let of_string (s : string) : t =
+  let c = { src = s; pos = 0 } in
+  let v = parse_value c in
+  skip_ws c;
+  if c.pos <> String.length s then error c "trailing garbage";
+  v
+
+(* ---------------------------------------------------------------- *)
+(* accessors                                                        *)
+
+let member (key : string) (j : t) : t option =
+  match j with Assoc kvs -> List.assoc_opt key kvs | _ -> None
+
+let to_list_opt = function List l -> Some l | _ -> None
+let to_int_opt = function Int i -> Some i | _ -> None
+
+let to_float_opt = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let to_string_opt = function String s -> Some s | _ -> None
+let to_bool_opt = function Bool b -> Some b | _ -> None

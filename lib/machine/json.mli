@@ -1,0 +1,41 @@
+(** A minimal JSON tree (printer + parser), carried in-tree so the
+    profiling exporters and benchmark harness need no external
+    dependency.  Integers and floats are distinct constructors so cycle
+    counts round-trip exactly. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Assoc of (string * t) list
+
+(** Compact single-line rendering (what Chrome's [trace_event] loader
+    reads). *)
+val to_string : t -> string
+
+(** Two-space-indented rendering with a trailing newline, for committed
+    artifacts whose diffs should stay reviewable. *)
+val to_string_pretty : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+exception Parse_error of string
+
+(** [of_string s] parses [s].
+    @raise Parse_error on malformed input (with the failing offset). *)
+val of_string : string -> t
+
+(** [member k j] — the value under key [k] if [j] is an object. *)
+val member : string -> t -> t option
+
+val to_list_opt : t -> t list option
+val to_int_opt : t -> int option
+
+(** Accepts both [Int] and [Float]. *)
+val to_float_opt : t -> float option
+
+val to_string_opt : t -> string option
+val to_bool_opt : t -> bool option

@@ -1,0 +1,89 @@
+(** Machine observability: post-run profiles computed from the
+    interpreter's [on_fire] hook (a recorded {!Trace.t}) and the
+    {!Interp.result}, plus exporters — Chrome [trace_event] JSON and the
+    compact summary records aggregated into [BENCH_machine.json]. *)
+
+type node_firings = {
+  nf_node : int;
+  nf_label : string;
+  nf_family : string;  (** operator family: "alu", "load", "switch", ... *)
+  nf_count : int;
+}
+
+type t = {
+  cycles : int;
+  firings : int;
+  avg_parallelism : float;
+  peak_parallelism : int;
+  parallelism_curve : int array;  (** firings started per cycle *)
+  in_flight_curve : int array;  (** tokens between operators, per cycle *)
+  matching_curve : int array;  (** waiting-matching occupancy, per cycle *)
+  peak_matching : int;
+  node_firings : node_firings list;  (** descending firing count *)
+  overlap : int array;  (** distinct iteration contexts firing, per cycle *)
+  max_overlap : int;
+  per_context : (Context.t * int) list;
+  dynamic_critical_path : int;
+      (** longest dependence chain actually executed, in firings *)
+  critical_chain : (int * Context.t) list;
+  static_critical_path : int;
+      (** single-iteration operator chain from {!Dfg.Stats} *)
+  dropped_events : int;
+      (** trace truncation: nonzero means histogram/overlap/context
+          views cover only a prefix of the run *)
+}
+
+(** The operator family of a node kind (the [cat] of its trace events
+    and the key of {!Interp.result.firings_by_kind}). *)
+val family : Dfg.Node.kind -> string
+
+(** [make ~graph ~trace result] assembles the profile of one run.
+    [trace] must come from the same run as [result] (pass
+    [Trace.on_fire] to the interpreter). *)
+val make : graph:Dfg.Graph.t -> trace:Trace.t -> Interp.result -> t
+
+(** [chrome_trace ?config ~graph trace] — the run as Chrome
+    [trace_event] JSON ([ph:"X"] duration events; ts = cycle, dur =
+    the configured latency).  Tracks: one per access-token variable
+    ("access x"), one shared "control" track (switches, merges, synchs,
+    loop control), and greedy "alu-<i>" lanes so simultaneous ALU
+    firings render side by side.  Load the output in [chrome://tracing]
+    or {{:https://ui.perfetto.dev}Perfetto}. *)
+val chrome_trace : ?config:Config.t -> graph:Dfg.Graph.t -> Trace.t -> Json.t
+
+(** Compact JSON rendering of a profile (curves included). *)
+val summary_json : t -> Json.t
+
+(** Terminal rendering: headline metrics, sparkline curves, hottest
+    operators, and the critical chain; says so explicitly when the
+    recorder dropped events. *)
+val pp : Format.formatter -> t -> unit
+
+(** {1 Benchmark records}
+
+    The [BENCH_machine.json] vocabulary, shared by [bench/main.exe] and
+    the test layer so the schema cannot drift between writer and
+    checker. *)
+
+val bench_schema_version : int
+
+(** One matrix cell.  [status] is ["ok"], ["unsupported-aliasing"] or
+    ["irreducible"]; static and dynamic metrics accompany ["ok"] cells. *)
+val bench_record :
+  program:string ->
+  schema:string ->
+  status:string ->
+  ?stats:Dfg.Stats.t ->
+  ?result:Interp.result ->
+  ?reference_ok:bool ->
+  ?max_overlap:int ->
+  unit ->
+  Json.t
+
+(** The whole document: meta header plus records. *)
+val bench_file : records:Json.t list -> Json.t
+
+(** Structural validation of a BENCH document: meta version, required
+    fields per ["ok"] record, and [reference_ok = true] everywhere —
+    a reference divergence is a validation error. *)
+val validate_bench : Json.t -> (unit, string) result

@@ -37,6 +37,21 @@ let events (t : t) : event list = List.rev t.rev_events
 (** Total firings observed (may exceed the stored count). *)
 let total (t : t) : int = t.count
 
+(** The recorder's event capacity. *)
+let limit (t : t) : int = t.limit
+
+(** [dropped t] — firings observed but not stored because the recorder
+    was full: a nonzero value means every derived view (timeline,
+    per-context counts, overlap) describes a {e prefix} of the run. *)
+let dropped (t : t) : int = max 0 (t.count - t.limit)
+
+let pp_truncation ppf (t : t) =
+  if dropped t > 0 then
+    Fmt.pf ppf
+      "TRUNCATED: %d of %d firings not recorded (limit %d); counts and \
+       timelines below cover only the first %d firings@."
+      (dropped t) t.count t.limit t.limit
+
 (** [pp_timeline ?max_cycles ppf t] — one line per cycle listing what
     fired, with iteration contexts. *)
 let pp_timeline ?(max_cycles = 60) ppf (t : t) =
@@ -62,7 +77,8 @@ let pp_timeline ?(max_cycles = 60) ppf (t : t) =
       end)
     cycles;
   if List.length cycles > max_cycles then
-    Fmt.pf ppf "      | ... (%d more cycles)@." (List.length cycles - max_cycles)
+    Fmt.pf ppf "      | ... (%d more cycles)@." (List.length cycles - max_cycles);
+  pp_truncation ppf t
 
 (** [per_context t] — firings per iteration context, outermost first:
     shows how much work each loop iteration performed and how many
@@ -76,6 +92,15 @@ let per_context (t : t) : (Context.t * int) list =
     t.rev_events;
   Hashtbl.fold (fun c n acc -> (c, n) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> compare (List.rev a) (List.rev b))
+
+(** [pp_per_context ppf t] — the {!per_context} table with an explicit
+    truncation banner when the recorder dropped events, so a profile
+    over the default 100k-event limit cannot be misread as complete. *)
+let pp_per_context ppf (t : t) =
+  pp_truncation ppf t;
+  List.iter
+    (fun (ctx, n) -> Fmt.pf ppf "  %-16s %d@." (Context.to_string ctx) n)
+    (per_context t)
 
 (** [overlap t] — for each cycle, how many distinct iteration contexts
     fired: >1 anywhere means loop iterations genuinely overlapped

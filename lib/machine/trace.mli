@@ -25,11 +25,25 @@ val events : t -> event list
 (** Total firings observed (may exceed the stored count). *)
 val total : t -> int
 
-(** One line per cycle listing what fired, with iteration contexts. *)
+(** The recorder's event capacity. *)
+val limit : t -> int
+
+(** Firings observed but not stored ([total - limit], clamped at 0).
+    Nonzero means every derived view covers only a prefix of the run. *)
+val dropped : t -> int
+
+(** One line per cycle listing what fired, with iteration contexts.
+    Ends with an explicit truncation banner when events were dropped. *)
 val pp_timeline : ?max_cycles:int -> Format.formatter -> t -> unit
 
-(** Firings per iteration context, outermost-first order. *)
+(** Firings per iteration context, outermost-first order.  When
+    {!dropped} is nonzero the counts cover only the stored prefix; use
+    {!pp_per_context} for output that says so explicitly. *)
 val per_context : t -> (Context.t * int) list
+
+(** The {!per_context} table prefixed by a truncation banner when the
+    recorder dropped events. *)
+val pp_per_context : Format.formatter -> t -> unit
 
 (** Per cycle, the number of distinct iteration contexts that fired. *)
 val overlap : t -> int array

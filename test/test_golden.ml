@@ -1,0 +1,154 @@
+(* Golden snapshots: every example program, compiled under the four
+   benchmark schemas, reduced to its static shape (node / arc / switch /
+   merge counts) plus the machine verdict.  Any translation change that
+   moves these numbers shows up as a readable diff against the files in
+   test/golden/; deliberate changes are re-blessed with
+
+     dune exec test/test_golden.exe -- --update      (from the repo root)
+
+   which rewrites the snapshots in the source tree. *)
+
+let schemas =
+  [
+    ("schema1", Dflow.Driver.Schema1);
+    ("schema2-barrier", Dflow.Driver.Schema2 Dflow.Engine.Barrier);
+    ("schema2-pipelined", Dflow.Driver.Schema2 Dflow.Engine.Pipelined);
+    ("schema2-opt", Dflow.Driver.Schema2_opt Dflow.Engine.Pipelined);
+  ]
+
+(* cwd is _build/default/test under `dune runtest` (deps below copy the
+   programs and snapshots there), the repo root under `dune exec` *)
+let programs_dir =
+  List.find_opt Sys.file_exists
+    [ "../examples/programs"; "examples/programs" ]
+
+let golden_dir =
+  List.find_opt Sys.file_exists [ "golden"; "test/golden" ]
+  |> Option.value ~default:"golden"
+
+(* --update must write into the source tree, never the build sandbox *)
+let golden_src_dir =
+  List.find_opt Sys.file_exists [ "test/golden"; "../../../test/golden" ]
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let programs () =
+  match programs_dir with
+  | None ->
+      Alcotest.fail
+        "cannot locate examples/programs (expected as a dune dep or from \
+         the repo root)"
+  | Some dir ->
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".imp")
+      |> List.sort compare
+      |> List.map (fun f -> (Filename.chop_extension f, Filename.concat dir f))
+
+(* One snapshot line per schema: static counts and the machine verdict.
+   Cells a schema cannot express snapshot the reason instead. *)
+let verdict_line name spec p =
+  match Dflow.Driver.compile spec p with
+  | exception Cfg.Intervals.Irreducible _ -> Fmt.str "%-18s irreducible" name
+  | exception Dflow.Driver.Aliasing_unsupported _ ->
+      Fmt.str "%-18s unsupported-aliasing" name
+  | c ->
+      let st = Dfg.Stats.of_graph c.Dflow.Driver.graph in
+      let verdict =
+        match
+          Machine.Interp.run
+            {
+              Machine.Interp.graph = c.Dflow.Driver.graph;
+              layout = c.Dflow.Driver.layout;
+            }
+        with
+        | r when not r.Machine.Interp.completed -> "stalled"
+        | r ->
+            let reference = Imp.Eval.run_program ~fuel:10_000_000 p in
+            if Imp.Memory.equal reference r.Machine.Interp.memory then "ok"
+            else "diverged"
+        | exception e -> Fmt.str "raised %s" (Printexc.to_string e)
+      in
+      Fmt.str "%-18s nodes=%-4d arcs=%-4d switches=%-3d merges=%-3d verdict=%s"
+        name st.Dfg.Stats.nodes st.Dfg.Stats.arcs st.Dfg.Stats.switches
+        st.Dfg.Stats.merges verdict
+
+let snapshot name path =
+  let p = Imp.Parser.program_of_string (read_file path) in
+  let lines =
+    List.map (fun (sname, spec) -> verdict_line sname spec p) schemas
+  in
+  Fmt.str "# %s.imp — static counts and machine verdict per schema@.%s@."
+    name
+    (String.concat "\n" lines)
+
+(* line-oriented diff rendering; good enough to read in a CI log *)
+let diff_lines expected actual =
+  let split s = String.split_on_char '\n' s in
+  let e = Array.of_list (split expected) and a = Array.of_list (split actual) in
+  let n = max (Array.length e) (Array.length a) in
+  let buf = Buffer.create 256 in
+  for i = 0 to n - 1 do
+    let ei = if i < Array.length e then Some e.(i) else None in
+    let ai = if i < Array.length a then Some a.(i) else None in
+    match (ei, ai) with
+    | Some x, Some y when x = y -> Buffer.add_string buf (Fmt.str "  %s\n" x)
+    | _ ->
+        Option.iter (fun x -> Buffer.add_string buf (Fmt.str "- %s\n" x)) ei;
+        Option.iter (fun y -> Buffer.add_string buf (Fmt.str "+ %s\n" y)) ai
+  done;
+  Buffer.contents buf
+
+let check_program (name, path) () =
+  let actual = snapshot name path in
+  let golden_path = Filename.concat golden_dir (name ^ ".golden") in
+  if not (Sys.file_exists golden_path) then
+    Alcotest.failf
+      "no golden snapshot %s — bless it with `dune exec \
+       test/test_golden.exe -- --update` and review the new file"
+      golden_path
+  else
+    let expected = read_file golden_path in
+    if expected <> actual then
+      Alcotest.failf
+        "golden drift for %s.imp (-%s, +current):@.%s@.if the change is \
+         intended, re-bless with `dune exec test/test_golden.exe -- \
+         --update` and commit the diff"
+        name golden_path (diff_lines expected actual)
+
+let update () =
+  let dir =
+    match golden_src_dir with
+    | Some d -> d
+    | None ->
+        (* first blessing: create test/golden under the repo root *)
+        if Sys.file_exists "test" then begin
+          Sys.mkdir "test/golden" 0o755;
+          "test/golden"
+        end
+        else Fmt.failwith "run --update from the repo root"
+  in
+  List.iter
+    (fun (name, path) ->
+      let out = Filename.concat dir (name ^ ".golden") in
+      let oc = open_out out in
+      output_string oc (snapshot name path);
+      close_out oc;
+      Fmt.pr "blessed %s@." out)
+    (programs ())
+
+let () =
+  if Array.exists (( = ) "--update") Sys.argv then update ()
+  else
+    Alcotest.run "golden"
+      [
+        ( "snapshots",
+          List.map
+            (fun pr ->
+              Alcotest.test_case (fst pr) `Quick (check_program pr))
+            (programs ()) );
+      ]

@@ -1,0 +1,386 @@
+(* Unit tests of the observability layer: the Json module, the Trace
+   recorder (including the truncation reporting), the Profile builder
+   with its dynamic critical path, the Chrome trace exporter, and the
+   BENCH record schema shared between bench/main.exe and CI. *)
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+
+module J = Machine.Json
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1))
+  in
+  go 0
+
+(* --- Json ------------------------------------------------------------ *)
+
+let sample =
+  J.Assoc
+    [
+      ("a", J.List [ J.Int 1; J.Float 2.5; J.String "x\"y\n"; J.Bool true; J.Null ]);
+      ("b", J.Assoc [ ("c", J.Int (-3)) ]);
+      ("empty", J.List []);
+      ("none", J.Assoc []);
+    ]
+
+let test_json_roundtrip () =
+  checkb "compact roundtrip" true (J.of_string (J.to_string sample) = sample);
+  checkb "pretty roundtrip" true
+    (J.of_string (J.to_string_pretty sample) = sample)
+
+let test_json_numbers () =
+  (* ints and floats stay distinct through a round trip: cycle counts
+     must reread as ints *)
+  checks "int prints bare" "7" (J.to_string (J.Int 7));
+  checkb "int rereads as Int" true (J.of_string "7" = J.Int 7);
+  checkb "float rereads as Float" true (J.of_string "7.0" = J.Float 7.0);
+  checks "integral float keeps its point" "7.0" (J.to_string (J.Float 7.));
+  checkb "exponent parses" true (J.of_string "1e3" = J.Float 1000.);
+  checkb "to_float_opt accepts Int" true
+    (J.to_float_opt (J.Int 3) = Some 3.0)
+
+let test_json_escaping () =
+  let s = "quote\" back\\ nl\n tab\t ctl\x01" in
+  checkb "escaped string roundtrips" true
+    (J.of_string (J.to_string (J.String s)) = J.String s);
+  checkb "control char escaped as \\u" true
+    (contains (J.to_string (J.String "\x01")) "\\u0001")
+
+let test_json_errors () =
+  let rejects s =
+    match J.of_string s with
+    | exception J.Parse_error _ -> true
+    | _ -> false
+  in
+  checkb "trailing garbage" true (rejects "1 2");
+  checkb "unterminated string" true (rejects "\"abc");
+  checkb "bare word" true (rejects "nope");
+  checkb "unclosed object" true (rejects "{\"a\":1");
+  checkb "empty input" true (rejects "")
+
+let test_json_accessors () =
+  checkb "member" true (J.member "b" sample <> None);
+  checkb "member missing" true (J.member "zzz" sample = None);
+  checkb "member on non-object" true (J.member "a" (J.Int 1) = None);
+  checki "nested int" (-3)
+    (Option.get
+       (Option.bind
+          (Option.bind (J.member "b" sample) (J.member "c"))
+          J.to_int_opt))
+
+(* --- Trace: recording, truncation, overlap --------------------------- *)
+
+let fake_node id label = { Dfg.Node.id; kind = Dfg.Node.Id; label }
+
+let test_trace_limit () =
+  let tr = Machine.Trace.create ~limit:4 () in
+  for i = 1 to 7 do
+    Machine.Trace.on_fire tr i (fake_node i "op") Machine.Context.toplevel
+  done;
+  checki "limit" 4 (Machine.Trace.limit tr);
+  checki "total counts past the limit" 7 (Machine.Trace.total tr);
+  checki "stored events capped" 4 (List.length (Machine.Trace.events tr));
+  checki "dropped" 3 (Machine.Trace.dropped tr)
+
+let test_trace_truncation_banners () =
+  let tr = Machine.Trace.create ~limit:2 () in
+  for i = 1 to 5 do
+    Machine.Trace.on_fire tr i (fake_node i "op") Machine.Context.toplevel
+  done;
+  let timeline = Fmt.str "%a" (Machine.Trace.pp_timeline ~max_cycles:10) tr in
+  let per_ctx = Fmt.str "%a" Machine.Trace.pp_per_context tr in
+  checkb "timeline says TRUNCATED" true (contains timeline "TRUNCATED");
+  checkb "timeline counts the loss" true
+    (contains timeline "3 of 5 firings not recorded");
+  checkb "per-context says TRUNCATED" true (contains per_ctx "TRUNCATED");
+  (* and a recorder that kept everything says nothing of the sort *)
+  let ok = Machine.Trace.create ~limit:100 () in
+  Machine.Trace.on_fire ok 1 (fake_node 1 "op") Machine.Context.toplevel;
+  checki "no drops" 0 (Machine.Trace.dropped ok);
+  checkb "no banner" false
+    (contains (Fmt.str "%a" (Machine.Trace.pp_timeline ~max_cycles:10) ok)
+       "TRUNCATED")
+
+let test_trace_overlap () =
+  let tr = Machine.Trace.create () in
+  let c0 = Machine.Context.toplevel in
+  let c1 = Machine.Context.enter c0 in
+  let c2 = Machine.Context.next c1 in
+  (* cycle 1: two contexts; cycle 2: three; cycle 3: one, repeated *)
+  Machine.Trace.on_fire tr 1 (fake_node 0 "a") c0;
+  Machine.Trace.on_fire tr 1 (fake_node 1 "b") c1;
+  Machine.Trace.on_fire tr 2 (fake_node 2 "c") c0;
+  Machine.Trace.on_fire tr 2 (fake_node 3 "d") c1;
+  Machine.Trace.on_fire tr 2 (fake_node 4 "e") c2;
+  Machine.Trace.on_fire tr 3 (fake_node 5 "f") c2;
+  Machine.Trace.on_fire tr 3 (fake_node 6 "g") c2;
+  let ov = Machine.Trace.overlap tr in
+  checki "cycle 1 overlap" 2 ov.(1);
+  checki "cycle 2 overlap" 3 ov.(2);
+  checki "cycle 3 overlap" 1 ov.(3);
+  checki "max overlap" 3 (Machine.Trace.max_context_overlap tr);
+  checki "three contexts in the table" 3
+    (List.length (Machine.Trace.per_context tr))
+
+(* --- Profile: end-to-end on a real run ------------------------------- *)
+
+let sum_src = "i := 0 s := 0 while i < 10 do s := s + i i := i + 1 end"
+
+let traced_run ?(config = Machine.Config.ideal) spec src =
+  let p = Imp.Parser.program_of_string src in
+  let c = Dflow.Driver.compile spec p in
+  let tracer = Machine.Trace.create () in
+  let r =
+    Machine.Interp.run ~config ~on_fire:(Machine.Trace.on_fire tracer)
+      {
+        Machine.Interp.graph = c.Dflow.Driver.graph;
+        layout = c.Dflow.Driver.layout;
+      }
+  in
+  (c.Dflow.Driver.graph, tracer, r)
+
+let test_profile_critical_path () =
+  (* under unit latencies and unbounded PEs the machine is exactly
+     dataflow-limited: the dynamic critical path IS the cycle count *)
+  List.iter
+    (fun spec ->
+      let graph, tracer, r = traced_run spec sum_src in
+      let prof = Machine.Profile.make ~graph ~trace:tracer r in
+      checkb "completed" true r.Machine.Interp.completed;
+      checki
+        (Fmt.str "%s: ideal machine is critical-path bound"
+           (Dflow.Driver.spec_to_string spec))
+        r.Machine.Interp.cycles prof.Machine.Profile.dynamic_critical_path;
+      checki "chain length = critical path"
+        prof.Machine.Profile.dynamic_critical_path
+        (List.length prof.Machine.Profile.critical_chain);
+      checkb "static path is a single-iteration lower bound" true
+        (prof.Machine.Profile.static_critical_path
+        <= prof.Machine.Profile.dynamic_critical_path);
+      checkb "static path positive" true
+        (prof.Machine.Profile.static_critical_path > 0))
+    [
+      Dflow.Driver.Schema1;
+      Dflow.Driver.Schema2 Dflow.Engine.Barrier;
+      Dflow.Driver.Schema2 Dflow.Engine.Pipelined;
+      Dflow.Driver.Schema2_opt Dflow.Engine.Pipelined;
+    ]
+
+let test_profile_fields () =
+  let graph, tracer, r =
+    traced_run (Dflow.Driver.Schema2 Dflow.Engine.Pipelined) sum_src
+  in
+  let prof = Machine.Profile.make ~graph ~trace:tracer r in
+  checki "cycles" r.Machine.Interp.cycles prof.Machine.Profile.cycles;
+  checki "firings" r.Machine.Interp.firings prof.Machine.Profile.firings;
+  checki "curves cover the same cycles"
+    (Array.length prof.Machine.Profile.parallelism_curve)
+    (Array.length prof.Machine.Profile.in_flight_curve);
+  checki "matching curve too"
+    (Array.length prof.Machine.Profile.parallelism_curve)
+    (Array.length prof.Machine.Profile.matching_curve);
+  checkb "histogram sums to the firing count" true
+    (List.fold_left
+       (fun acc nf -> acc + nf.Machine.Profile.nf_count)
+       0 prof.Machine.Profile.node_firings
+    = r.Machine.Interp.firings);
+  checkb "histogram sorted descending" true
+    (let rec sorted = function
+       | a :: (b :: _ as rest) ->
+           a.Machine.Profile.nf_count >= b.Machine.Profile.nf_count
+           && sorted rest
+       | _ -> true
+     in
+     sorted prof.Machine.Profile.node_firings);
+  checki "nothing dropped" 0 prof.Machine.Profile.dropped_events;
+  checkb "the loop pipeline overlaps iterations" true
+    (prof.Machine.Profile.max_overlap >= 1);
+  let rendered = Fmt.str "%a" Machine.Profile.pp prof in
+  checkb "pp mentions the critical path" true
+    (contains rendered "critical path");
+  checkb "pp has no truncation banner" false (contains rendered "TRUNCATED")
+
+let test_profile_truncated () =
+  let p = Imp.Parser.program_of_string sum_src in
+  let c = Dflow.Driver.compile (Dflow.Driver.Schema1) p in
+  let tracer = Machine.Trace.create ~limit:10 () in
+  let r =
+    Machine.Interp.run ~on_fire:(Machine.Trace.on_fire tracer)
+      {
+        Machine.Interp.graph = c.Dflow.Driver.graph;
+        layout = c.Dflow.Driver.layout;
+      }
+  in
+  let prof = Machine.Profile.make ~graph:c.Dflow.Driver.graph ~trace:tracer r in
+  checkb "drop count surfaces" true (prof.Machine.Profile.dropped_events > 0);
+  checkb "pp says TRUNCATED" true
+    (contains (Fmt.str "%a" Machine.Profile.pp prof) "TRUNCATED")
+
+(* --- Chrome trace export --------------------------------------------- *)
+
+let test_chrome_trace () =
+  let graph, tracer, r =
+    traced_run (Dflow.Driver.Schema2 Dflow.Engine.Pipelined) sum_src
+  in
+  checkb "completed" true r.Machine.Interp.completed;
+  let j = Machine.Profile.chrome_trace ~graph tracer in
+  (* the export must survive its own printer/parser: what a browser
+     receives is the printed text *)
+  let reread = J.of_string (J.to_string j) in
+  let events =
+    Option.get (Option.bind (J.member "traceEvents" reread) J.to_list_opt)
+  in
+  checkb "has events" true (events <> []);
+  let xs =
+    List.filter
+      (fun e ->
+        Option.bind (J.member "ph" e) J.to_string_opt = Some "X")
+      events
+  in
+  checki "one X event per recorded firing"
+    (List.length (Machine.Trace.events tracer))
+    (List.length xs);
+  let named_tids =
+    List.filter_map
+      (fun e ->
+        if Option.bind (J.member "ph" e) J.to_string_opt = Some "M" then
+          Option.bind (J.member "tid" e) J.to_int_opt
+        else None)
+      events
+  in
+  let prev = ref min_int in
+  List.iter
+    (fun e ->
+      let ts = Option.get (Option.bind (J.member "ts" e) J.to_int_opt) in
+      let dur = Option.get (Option.bind (J.member "dur" e) J.to_int_opt) in
+      let tid = Option.get (Option.bind (J.member "tid" e) J.to_int_opt) in
+      checkb "cycle-monotone" true (ts >= !prev);
+      prev := ts;
+      checkb "positive duration" true (dur >= 1);
+      checkb "tid has a thread_name" true (List.mem tid named_tids);
+      checkb "named" true (J.member "name" e <> None))
+    xs
+
+(* --- BENCH record schema --------------------------------------------- *)
+
+let good_bench_doc () =
+  let graph, tracer, r =
+    traced_run (Dflow.Driver.Schema2 Dflow.Engine.Pipelined) sum_src
+  in
+  let record =
+    Machine.Profile.bench_record ~program:"sum" ~schema:"schema2-pipelined"
+      ~status:"ok"
+      ~stats:(Dfg.Stats.of_graph graph)
+      ~result:r ~reference_ok:true
+      ~max_overlap:(Machine.Trace.max_context_overlap tracer) ()
+  in
+  Machine.Profile.bench_file ~records:[ record ]
+
+let test_bench_validate_ok () =
+  let doc = good_bench_doc () in
+  (match Machine.Profile.validate_bench doc with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "well-formed document rejected: %s" e);
+  (* validation must hold on the printed text, not just the tree *)
+  match
+    Machine.Profile.validate_bench (J.of_string (J.to_string_pretty doc))
+  with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "reparsed document rejected: %s" e
+
+let test_bench_validate_rejects () =
+  let expect_error what doc =
+    match Machine.Profile.validate_bench doc with
+    | Ok () -> Alcotest.failf "%s: accepted" what
+    | Error _ -> ()
+  in
+  expect_error "no meta" (J.Assoc [ ("records", J.List []) ]);
+  expect_error "wrong version"
+    (J.Assoc
+       [
+         ("meta", J.Assoc [ ("schema_version", J.Int 999) ]);
+         ("records", J.List [ J.Assoc [] ]);
+       ]);
+  expect_error "empty records"
+    (J.Assoc
+       [
+         ( "meta",
+           J.Assoc
+             [ ("schema_version", J.Int Machine.Profile.bench_schema_version) ]
+         );
+         ("records", J.List []);
+       ]);
+  (* an "ok" record must carry its metrics *)
+  expect_error "bare ok record"
+    (Machine.Profile.bench_file
+       ~records:
+         [
+           Machine.Profile.bench_record ~program:"p" ~schema:"s" ~status:"ok"
+             ();
+         ]);
+  (* a reference divergence is a validation failure, not a data point *)
+  let graph, tracer, r =
+    traced_run (Dflow.Driver.Schema2 Dflow.Engine.Pipelined) sum_src
+  in
+  expect_error "diverged record"
+    (Machine.Profile.bench_file
+       ~records:
+         [
+           Machine.Profile.bench_record ~program:"sum" ~schema:"s" ~status:"ok"
+             ~stats:(Dfg.Stats.of_graph graph)
+             ~result:r ~reference_ok:false
+             ~max_overlap:(Machine.Trace.max_context_overlap tracer) ();
+         ]);
+  (* non-ok cells need no metrics: they explain themselves *)
+  match
+    Machine.Profile.validate_bench
+      (Machine.Profile.bench_file
+         ~records:
+           [
+             Machine.Profile.bench_record ~program:"p" ~schema:"s"
+               ~status:"irreducible" ();
+           ])
+  with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "irreducible cell rejected: %s" e
+
+let () =
+  Alcotest.run "profile"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "numbers" `Quick test_json_numbers;
+          Alcotest.test_case "escaping" `Quick test_json_escaping;
+          Alcotest.test_case "parse errors" `Quick test_json_errors;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "limit and dropped" `Quick test_trace_limit;
+          Alcotest.test_case "truncation banners" `Quick
+            test_trace_truncation_banners;
+          Alcotest.test_case "context overlap" `Quick test_trace_overlap;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "ideal machine is critical-path bound" `Quick
+            test_profile_critical_path;
+          Alcotest.test_case "fields are consistent" `Quick test_profile_fields;
+          Alcotest.test_case "truncated runs say so" `Quick
+            test_profile_truncated;
+        ] );
+      ( "chrome-trace",
+        [ Alcotest.test_case "well-formed and monotone" `Quick test_chrome_trace ] );
+      ( "bench-schema",
+        [
+          Alcotest.test_case "accepts the real document" `Quick
+            test_bench_validate_ok;
+          Alcotest.test_case "rejects malformed documents" `Quick
+            test_bench_validate_rejects;
+        ] );
+    ]

@@ -1,0 +1,94 @@
+(* Theorem 1 (paper, Section 4.1): a fork F needs a switch for access_x
+   iff F is in the iterated control dependence CD+ of the set of nodes
+   referencing x.  The production placement (Analysis.Switch_place.compute,
+   the Figure 10 worklist) is checked on seeded random CFGs against two
+   independent characterizations:
+
+     - CD+ computed directly from the control-dependence relation
+       (Definition 5 via Control_dep.iterated over the seed set), and
+     - the definitional "between" form (Definition 1: some node
+       referencing x lies on a path from F that avoids ipostdom(F)).
+
+   Agreement of all three on hundreds of graphs is the theorem. *)
+
+let graphs_per_flavour = 120 (* x2 flavours = 240 seeded graphs *)
+
+let vars_of g =
+  List.sort_uniq compare
+    (List.concat_map (Cfg.Core.referenced_vars g) (Cfg.Core.nodes g))
+
+let check_graph ~what ~seed (g : Cfg.Core.t) =
+  let vars = vars_of g in
+  if vars <> [] then begin
+    let sp = Analysis.Switch_place.compute g ~vars in
+    let cdeps = Analysis.Control_dep.compute g in
+    let pdom = cdeps.Analysis.Control_dep.pdom in
+    let nodes = Cfg.Core.nodes g in
+    let forks = List.filter (Cfg.Core.is_fork g) nodes in
+    List.iter
+      (fun x ->
+        let seeds =
+          List.filter
+            (fun n -> List.mem x (Cfg.Core.referenced_vars g n))
+            nodes
+        in
+        let cd_plus = Analysis.Control_dep.iterated cdeps seeds in
+        List.iter
+          (fun f ->
+            let got = Analysis.Switch_place.needs_switch sp f x in
+            let by_cd = List.mem f cd_plus in
+            let between = Analysis.Control_dep.between g pdom f in
+            let by_def = List.exists (fun n -> between.(n)) seeds in
+            if got <> by_cd then
+              Alcotest.failf
+                "%s seed %d: fork %d, var %s: Switch_place says %b but CD+ \
+                 of the referencing nodes says %b"
+                what seed f x got by_cd;
+            if got <> by_def then
+              Alcotest.failf
+                "%s seed %d: fork %d, var %s: Switch_place says %b but the \
+                 definitional between-form says %b (Theorem 1 violated)"
+                what seed f x got by_def)
+          forks)
+      vars
+  end
+
+let test_flavour what gen () =
+  for seed = 1 to graphs_per_flavour do
+    let rand = Random.State.make [| 0xD0E5; seed |] in
+    check_graph ~what ~seed (gen rand)
+  done
+
+(* the empty seed set must iterate to the empty set: no references, no
+   switches anywhere (the degenerate corner of the theorem) *)
+let test_no_refs () =
+  let rand = Random.State.make [| 7 |] in
+  let g = Workloads.Random_gen.random_structured_cfg rand in
+  let cdeps = Analysis.Control_dep.compute g in
+  Alcotest.(check (list int))
+    "CD+ of {} is {}" []
+    (Analysis.Control_dep.iterated cdeps []);
+  let sp = Analysis.Switch_place.compute g ~vars:[ "not_referenced" ] in
+  List.iter
+    (fun f ->
+      if Cfg.Core.is_fork g f then
+        Alcotest.(check bool)
+          (Fmt.str "fork %d needs no switch for an unreferenced variable" f)
+          false
+          (Analysis.Switch_place.needs_switch sp f "not_referenced"))
+    (Cfg.Core.nodes g)
+
+let () =
+  Alcotest.run "switch-minimality"
+    [
+      ( "theorem1",
+        [
+          Alcotest.test_case "goto spaghetti CFGs" `Quick
+            (test_flavour "flat" (fun rand ->
+                 Workloads.Random_gen.random_cfg rand));
+          Alcotest.test_case "structured CFGs" `Quick
+            (test_flavour "structured" (fun rand ->
+                 Workloads.Random_gen.random_structured_cfg rand));
+          Alcotest.test_case "no references, no switches" `Quick test_no_refs;
+        ] );
+    ]
