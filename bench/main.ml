@@ -869,16 +869,27 @@ let bechamel_benches () =
 (* ===================================================================== *)
 (* E20 -- BENCH_machine.json: the program x schema machine matrix        *)
 
-(* The four columns of the matrix.  "schema2-opt" runs pipelined: it is
+(* The five columns of the matrix.  "schema2-opt" runs pipelined: it is
    the best sound no-aliasing configuration, which is what the Section 4
-   optimization is for. *)
+   optimization is for; "value-passing" adds the Section 6.1 transform on
+   top of it, the configuration with the fewest memory round trips. *)
 let bench_schemas =
   [
-    ("schema1", s1);
-    ("schema2-barrier", s2b);
-    ("schema2-pipelined", s2p);
-    ("schema2-opt", s2op);
+    ("schema1", s1, Dflow.Driver.no_transforms);
+    ("schema2-barrier", s2b, Dflow.Driver.no_transforms);
+    ("schema2-pipelined", s2p, Dflow.Driver.no_transforms);
+    ("schema2-opt", s2op, Dflow.Driver.no_transforms);
+    ( "value-passing",
+      s2op,
+      { Dflow.Driver.no_transforms with Dflow.Driver.value_passing = true } );
   ]
+
+(* The scalability sweep (E21) runs on the schemas whose token supply can
+   actually feed multiple PEs -- the barrier variant serialises loop
+   iterations by construction, so sweeping it would only restate E6. *)
+let mp_schemas = [ "schema1"; "schema2-pipelined"; "schema2-opt"; "value-passing" ]
+let mp_pe_counts = [ 1; 2; 4; 8; 16 ]
+let mp_placements = [ Machine.Placement.Hash; Machine.Placement.Affinity ]
 
 let bench_random_seeds = [ 11; 23; 47 ]
 
@@ -898,11 +909,64 @@ let find_programs_dir () =
       "../../../examples/programs";
     ]
 
+(* The multiprocessor sweep for one compiled cell: every PE count x
+   placement on the default network, each run differentially checked
+   against the reference store.  [note] receives every cell for the
+   cross-matrix summary scalars. *)
+let mp_sweep ~note ~reference (c : Dflow.Driver.compiled) =
+  let prog =
+    { Machine.Interp.graph = c.Dflow.Driver.graph; layout = c.Dflow.Driver.layout }
+  in
+  List.concat_map
+    (fun placement ->
+      List.map
+        (fun pes ->
+          let cell =
+            match Machine.Multiproc.run ~placement ~pes prog with
+            | Ok r ->
+                let det =
+                  r.Machine.Multiproc.completed
+                  && r.Machine.Multiproc.leftover_tokens = 0
+                  && Imp.Memory.equal reference r.Machine.Multiproc.memory
+                in
+                let util = r.Machine.Multiproc.utilisation in
+                {
+                  Machine.Profile.mp_pes = pes;
+                  mp_placement = Machine.Placement.policy_to_string placement;
+                  mp_cycles = r.Machine.Multiproc.cycles;
+                  mp_net_messages = r.Machine.Multiproc.net_messages;
+                  mp_cut_traffic = r.Machine.Multiproc.cut_traffic;
+                  mp_backpressure = r.Machine.Multiproc.backpressure;
+                  mp_avg_utilisation =
+                    (if Array.length util = 0 then 0.0
+                     else
+                       Array.fold_left ( +. ) 0.0 util
+                       /. float_of_int (Array.length util));
+                  mp_determinate = det;
+                }
+            | Error _ ->
+                {
+                  Machine.Profile.mp_pes = pes;
+                  mp_placement = Machine.Placement.policy_to_string placement;
+                  mp_cycles = 0;
+                  mp_net_messages = 0;
+                  mp_cut_traffic = 0.0;
+                  mp_backpressure = 0;
+                  mp_avg_utilisation = 0.0;
+                  mp_determinate = false;
+                }
+          in
+          note cell;
+          cell)
+        mp_pe_counts)
+    mp_placements
+
 (* One cell: compile, run traced, check against the reference
    interpreter.  Cells a schema cannot express are real results — the
    record says why instead of vanishing from the matrix. *)
-let bench_cell ~program:(pname, p) ~schema:(sname, spec) =
-  match compile spec p with
+let bench_cell ?mp_note ~program:(pname, p) ~schema:(sname, spec, transforms) ()
+    =
+  match compile ~transforms spec p with
   | exception Cfg.Intervals.Irreducible _ ->
       ( Machine.Profile.bench_record ~program:pname ~schema:sname
           ~status:"irreducible" (),
@@ -928,9 +992,16 @@ let bench_cell ~program:(pname, p) ~schema:(sname, spec) =
         let reference = Imp.Eval.run_program ~fuel:10_000_000 p in
         let ok = Imp.Memory.equal reference r.Machine.Interp.memory in
         let stats = Dfg.Stats.of_graph c.Dflow.Driver.graph in
+        let multiproc =
+          match mp_note with
+          | Some note when List.mem sname mp_schemas ->
+              Some (mp_sweep ~note ~reference c)
+          | _ -> None
+        in
         ( Machine.Profile.bench_record ~program:pname ~schema:sname ~status:"ok"
             ~stats ~result:r ~reference_ok:ok
-            ~max_overlap:(Machine.Trace.max_context_overlap tracer) (),
+            ~max_overlap:(Machine.Trace.max_context_overlap tracer) ?multiproc
+            (),
           Some (ok, Machine.Interp.avg_parallelism r) )
 
 let bench_json ~out ~programs_dir () =
@@ -961,14 +1032,40 @@ let bench_json ~out ~programs_dir () =
       bench_random_seeds
   in
   let programs = examples @ randoms in
+  let example_names = List.map fst examples in
   let divergences = ref [] in
   let avg_par = Hashtbl.create 16 in
+  (* (program, schema, placement, pes) -> (cycles, net messages); the
+     feed for the summary scalars and the scalability floors *)
+  let mp_table = Hashtbl.create 64 in
+  let mp_diverged = ref false in
   let records =
     List.concat_map
       (fun ((pname, _) as program) ->
         List.map
-          (fun ((sname, _) as schema) ->
-            let record, dyn = bench_cell ~program ~schema in
+          (fun ((sname, _, _) as schema) ->
+            let mp_note =
+              if List.mem pname example_names then
+                Some
+                  (fun (c : Machine.Profile.mp_cell) ->
+                    if not c.Machine.Profile.mp_determinate then begin
+                      mp_diverged := true;
+                      Fmt.epr
+                        "bench: %s under %s DIVERGED on the multiprocessor \
+                         (%s, p=%d)@."
+                        pname sname c.Machine.Profile.mp_placement
+                        c.Machine.Profile.mp_pes
+                    end;
+                    Hashtbl.replace mp_table
+                      ( pname,
+                        sname,
+                        c.Machine.Profile.mp_placement,
+                        c.Machine.Profile.mp_pes )
+                      ( c.Machine.Profile.mp_cycles,
+                        c.Machine.Profile.mp_net_messages ))
+              else None
+            in
+            let record, dyn = bench_cell ?mp_note ~program ~schema () in
             (match dyn with
             | Some (ok, par) ->
                 if not ok then divergences := (pname, sname) :: !divergences;
@@ -978,8 +1075,51 @@ let bench_json ~out ~programs_dir () =
           bench_schemas)
       programs
   in
+  (* summary scalars over the whole matrix *)
+  let best_cycles pname sname pes =
+    List.filter_map
+      (fun pl ->
+        let pl = Machine.Placement.policy_to_string pl in
+        Option.map fst (Hashtbl.find_opt mp_table (pname, sname, pl, pes)))
+      mp_placements
+    |> function
+    | [] -> None
+    | l -> Some (List.fold_left min max_int l)
+  in
+  let speedup_p8 =
+    List.fold_left
+      (fun acc pname ->
+        List.fold_left
+          (fun acc sname ->
+            match (best_cycles pname sname 1, best_cycles pname sname 8) with
+            | Some c1, Some c8 when c8 > 0 ->
+                max acc (float_of_int c1 /. float_of_int c8)
+            | _ -> acc)
+          acc mp_schemas)
+      0.0 example_names
+  in
+  let sum_messages placement =
+    let pl = Machine.Placement.policy_to_string placement in
+    Hashtbl.fold
+      (fun (_, _, p, pes) (_, msgs) acc ->
+        if p = pl && pes = 4 then acc + msgs else acc)
+      mp_table 0
+  in
+  let hash_msgs = sum_messages Machine.Placement.Hash in
+  let affinity_msgs = sum_messages Machine.Placement.Affinity in
+  let cut_traffic_ratio =
+    float_of_int affinity_msgs /. float_of_int (max 1 hash_msgs)
+  in
+  let summary =
+    [
+      ("speedup_p8", Machine.Json.Float speedup_p8);
+      ("cut_traffic_ratio", Machine.Json.Float cut_traffic_ratio);
+      ("multiproc_determinate", Machine.Json.Bool (not !mp_diverged));
+    ]
+  in
   let text =
-    Machine.Json.to_string_pretty (Machine.Profile.bench_file ~records)
+    Machine.Json.to_string_pretty
+      (Machine.Profile.bench_file ~summary ~records ())
   in
   List.iter
     (fun (pname, sname) ->
@@ -1010,11 +1150,128 @@ let bench_json ~out ~programs_dir () =
         p2 p1;
       exit 1
   | _ -> Fmt.epr "bench: warning: no stencil rows in this matrix@.");
+  (* the scalability floors of E21: optimized loop control must keep
+     scaling on the stencil where the single access token flattens, and
+     the affinity placement must not generate more cross-PE traffic than
+     the hash baseline *)
+  (match (best_cycles "stencil" "schema2-opt" 4, best_cycles "stencil" "schema2-opt" 1)
+   with
+  | Some c4, Some c1 when c4 < c1 ->
+      Fmt.pr "stencil schema2-opt: p=4 %d cycles < p=1 %d cycles (%.2fx)@." c4
+        c1
+        (float_of_int c1 /. float_of_int c4)
+  | Some c4, Some c1 ->
+      Fmt.epr
+        "bench: stencil under schema2-opt failed to speed up at p=4 \
+         (%d cycles vs %d at p=1)@."
+        c4 c1;
+      exit 1
+  | _ -> Fmt.epr "bench: warning: no stencil multiproc cells in this matrix@.");
+  if affinity_msgs > hash_msgs then begin
+    Fmt.epr
+      "bench: affinity placement produced MORE cross-PE traffic than hash \
+       at p=4 (%d vs %d messages)@."
+      affinity_msgs hash_msgs;
+    exit 1
+  end
+  else
+    Fmt.pr "cut traffic at p=4: affinity %d messages vs hash %d (ratio %.2f)@."
+      affinity_msgs hash_msgs cut_traffic_ratio;
+  if !mp_diverged then begin
+    Fmt.epr "bench: multiprocessor determinacy divergence (see above)@.";
+    exit 1
+  end;
   let oc = open_out out in
   output_string oc text;
   close_out oc;
-  Fmt.pr "wrote %s: %d records (%d programs x %d schemas)@." out
-    (List.length records) (List.length programs) (List.length bench_schemas)
+  Fmt.pr
+    "wrote %s: %d records (%d programs x %d schemas; multiproc sweep on %d \
+     examples x %d schemas x p in {%s})@."
+    out (List.length records) (List.length programs)
+    (List.length bench_schemas) (List.length examples)
+    (List.length mp_schemas)
+    (String.concat "," (List.map string_of_int mp_pe_counts))
+
+(* ===================================================================== *)
+(* E21 -- multiprocessor scalability                                     *)
+
+let e21 () =
+  section "E21" "Multiprocessor scalability: schema x placement x PE count";
+  claim
+    "on the multi-PE machine the optimized loop control (schema 2-opt) and \
+     value passing keep scaling with PE count where schema 1's single \
+     access token flattens, and the affinity placement cuts cross-PE \
+     traffic versus the hash baseline -- the fine-grain multiprocessor \
+     argument the ETS design is for";
+  match find_programs_dir () with
+  | None -> Fmt.epr "  (skipped: examples/programs not found)@."
+  | Some dir ->
+      let p =
+        Imp.Parser.program_of_string
+          (read_file (Filename.concat dir "stencil.imp"))
+      in
+      let reference = Imp.Eval.run_program ~fuel:10_000_000 p in
+      let pes_list = [ 1; 2; 4; 8; 16 ] in
+      Fmt.pr "  stencil, affinity placement, default network@.";
+      Fmt.pr "  %-18s %8s %8s %8s %8s %8s %10s@." "schema" "p=1" "p=2" "p=4"
+        "p=8" "p=16" "speedup@8";
+      List.iter
+        (fun (sname, spec, transforms) ->
+          if List.mem sname mp_schemas then
+            match compile ~transforms spec p with
+            | exception Cfg.Intervals.Irreducible _
+            | exception Dflow.Driver.Aliasing_unsupported _ ->
+                Fmt.pr "  %-18s (not expressible)@." sname
+            | c ->
+                let prog =
+                  {
+                    Machine.Interp.graph = c.Dflow.Driver.graph;
+                    layout = c.Dflow.Driver.layout;
+                  }
+                in
+                let cycles =
+                  List.map
+                    (fun pes ->
+                      let r =
+                        Machine.Multiproc.run_exn
+                          ~placement:Machine.Placement.Affinity ~pes prog
+                      in
+                      if
+                        not
+                          (Imp.Memory.equal reference r.Machine.Multiproc.memory)
+                      then failwith "E21: multiprocessor store diverged!";
+                      r.Machine.Multiproc.cycles)
+                    pes_list
+                in
+                let c1 = List.nth cycles 0 and c8 = List.nth cycles 3 in
+                Fmt.pr "  %-18s %8d %8d %8d %8d %8d %9.2fx@." sname
+                  (List.nth cycles 0) (List.nth cycles 1) (List.nth cycles 2)
+                  (List.nth cycles 3) (List.nth cycles 4)
+                  (float_of_int c1 /. float_of_int (max 1 c8)))
+        bench_schemas;
+      Fmt.pr "@.  placement quality at p=4 (stencil, schema2-opt)@.";
+      Fmt.pr "  %-12s %9s %9s %12s %12s@." "placement" "cut-arcs" "messages"
+        "cut-traffic" "backpressure";
+      let c = compile s2op p in
+      let prog =
+        {
+          Machine.Interp.graph = c.Dflow.Driver.graph;
+          layout = c.Dflow.Driver.layout;
+        }
+      in
+      List.iter
+        (fun placement ->
+          let r = Machine.Multiproc.run_exn ~placement ~pes:4 prog in
+          if not (Imp.Memory.equal reference r.Machine.Multiproc.memory) then
+            failwith "E21: multiprocessor store diverged!";
+          let st = r.Machine.Multiproc.placement_stats in
+          Fmt.pr "  %-12s %9d %9d %11.1f%% %12d@."
+            (Machine.Placement.policy_to_string placement)
+            st.Machine.Placement.cut_arcs r.Machine.Multiproc.net_messages
+            (100.0 *. r.Machine.Multiproc.cut_traffic)
+            r.Machine.Multiproc.backpressure)
+        [ Machine.Placement.Hash; Machine.Placement.Round_robin;
+          Machine.Placement.Affinity ]
 
 (* ===================================================================== *)
 
@@ -1023,7 +1280,7 @@ let experiments =
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
     ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
-    ("E17", e17); ("E18", e18);
+    ("E17", e17); ("E18", e18); ("E21", e21);
   ]
 
 let () =

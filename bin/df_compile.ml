@@ -269,6 +269,132 @@ let profile_term =
               "Trace recorder capacity; runs longer than N firings are \
                truncated (and say so)."))
 
+(* --- simulate: the multiprocessor machine ----------------------------- *)
+
+let placement_conv : Machine.Placement.policy Arg.conv =
+  ( (fun s ->
+      match Machine.Placement.policy_of_string s with
+      | Ok p -> `Ok p
+      | Error e -> `Error e),
+    fun ppf p -> Fmt.string ppf (Machine.Placement.policy_to_string p) )
+
+let simulate_cmd file schema transforms optimize mp_pes placement net_latency
+    net_bandwidth net_queue modules mem_latency trace_out =
+  let p = read_program file in
+  let transforms = transforms_of_list transforms in
+  let compiled = Dflow.Driver.compile ~transforms schema p in
+  let graph = maybe_optimize optimize compiled.Dflow.Driver.graph in
+  Dfg.Check.check graph;
+  let config = config_of None mem_latency in
+  let net =
+    {
+      Machine.Network.latency = net_latency;
+      bandwidth = net_bandwidth;
+      queue_capacity = net_queue;
+      modules;
+    }
+  in
+  let events = ref [] in
+  let on_fire cycle node ctx ~pe =
+    if trace_out <> None then
+      events := (cycle, node.Dfg.Node.id, ctx, pe) :: !events
+  in
+  let r =
+    match
+      Machine.Multiproc.run ~config ~net ~placement ~on_fire ~pes:mp_pes
+        { Machine.Interp.graph; layout = compiled.Dflow.Driver.layout }
+    with
+    | Ok r -> r
+    | Error d ->
+        Fmt.epr "simulation failed:@.%a@." Machine.Diagnosis.pp d;
+        exit 1
+  in
+  if not r.Machine.Multiproc.completed then begin
+    Fmt.epr "simulation did not complete:@.%a@." Machine.Diagnosis.pp
+      r.Machine.Multiproc.diagnosis;
+    exit 1
+  end;
+  Fmt.pr "== final store ==@.%a@." Imp.Memory.pp r.Machine.Multiproc.memory;
+  Fmt.pr "== multiprocessor (%d PEs, %s placement) ==@." mp_pes
+    (Machine.Placement.policy_to_string placement);
+  Fmt.pr "schema           %s@." (Dflow.Driver.spec_to_string schema);
+  Fmt.pr "cycles           %d@." r.Machine.Multiproc.cycles;
+  Fmt.pr "operations       %d@." r.Machine.Multiproc.firings;
+  Fmt.pr "memory ops       %d (%d local, %d remote)@."
+    r.Machine.Multiproc.memory_ops r.Machine.Multiproc.mem_local
+    r.Machine.Multiproc.mem_remote;
+  Fmt.pr "placement        %a@." Machine.Placement.pp_stats
+    r.Machine.Multiproc.placement_stats;
+  Fmt.pr "network          %d messages (%d local deliveries), cut traffic \
+          %.1f%%@."
+    r.Machine.Multiproc.net_messages r.Machine.Multiproc.local_deliveries
+    (100.0 *. r.Machine.Multiproc.cut_traffic);
+  Fmt.pr "backpressure     %d stalled enqueues, peak queue %d@."
+    r.Machine.Multiproc.backpressure r.Machine.Multiproc.peak_queue;
+  Array.iteri
+    (fun pe u ->
+      Fmt.pr "pe %-2d            %5d firings, %4.1f%% busy@." pe
+        r.Machine.Multiproc.per_pe_firings.(pe)
+        (100.0 *. u))
+    r.Machine.Multiproc.utilisation;
+  (match trace_out with
+  | None -> ()
+  | Some out ->
+      let chrome =
+        Machine.Profile.chrome_trace_pes ~config ~graph (List.rev !events)
+      in
+      let oc = open_out out in
+      output_string oc (Machine.Json.to_string chrome);
+      output_char oc '\n';
+      close_out oc;
+      Fmt.epr "chrome trace written to %s (one track per PE; load it in \
+               chrome://tracing or ui.perfetto.dev)@." out);
+  let reference = Imp.Eval.run_program ~fuel:10_000_000 p in
+  if Imp.Memory.equal reference r.Machine.Multiproc.memory then
+    Fmt.pr "reference check  ok@."
+  else begin
+    Fmt.epr "reference check  MISMATCH@.";
+    exit 1
+  end
+
+let simulate_term =
+  Term.(
+    const simulate_cmd $ file_arg $ schema_arg $ transforms_arg $ optimize_arg
+    $ Arg.(
+        value & opt int 4
+        & info [ "p"; "pes" ] ~docv:"N"
+            ~doc:"Number of processing elements.")
+    $ Arg.(
+        value
+        & opt placement_conv Machine.Placement.Affinity
+        & info [ "placement" ] ~docv:"POLICY"
+            ~doc:"Node-to-PE placement: hash, rr, or affinity.")
+    $ Arg.(
+        value & opt int Machine.Network.default.Machine.Network.latency
+        & info [ "net-latency" ] ~docv:"CYCLES"
+            ~doc:"Interconnect latency in cycles per hop.")
+    $ Arg.(
+        value & opt int Machine.Network.default.Machine.Network.bandwidth
+        & info [ "net-bandwidth" ] ~docv:"MSGS"
+            ~doc:"Messages each PE may inject per cycle.")
+    $ Arg.(
+        value
+        & opt (some int) Machine.Network.default.Machine.Network.queue_capacity
+        & info [ "net-queue" ] ~docv:"N"
+            ~doc:
+              "Injection queue capacity per PE (enqueues beyond it count \
+               as backpressure).")
+    $ Arg.(
+        value & opt (some int) None
+        & info [ "modules" ] ~docv:"N"
+            ~doc:"Interleaved memory modules (default: one per PE).")
+    $ mem_latency_arg
+    $ Arg.(
+        value & opt (some string) None
+        & info [ "trace-out" ] ~docv:"PATH"
+            ~doc:
+              "Write a Chrome trace_event JSON with one track per PE."))
+
 (* --- dot ------------------------------------------------------------- *)
 
 let dot_cmd file schema transforms stage =
@@ -525,6 +651,13 @@ let cmds =
             and matching-store curves, the dynamic critical path against \
             the static one, and a Chrome trace_event JSON export")
       profile_term;
+    Cmd.v
+      (Cmd.info "simulate"
+         ~doc:
+           "Execute on the multiprocessor ETS machine: partitioned over N \
+            processing elements joined by a latency/bandwidth-modelled \
+            interconnect with interleaved memory modules")
+      simulate_term;
     Cmd.v (Cmd.info "dot" ~doc:"Emit DOT renderings") dot_term;
     Cmd.v
       (Cmd.info "emit" ~doc:"Emit the textual dataflow IR (.dfg)")

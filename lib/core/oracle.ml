@@ -10,6 +10,7 @@ type combo = {
   c_transforms : Driver.transforms;
   c_name : string;
   c_broken : bool;
+  c_multiproc : (Machine.Placement.policy * int * Machine.Network.config) option;
 }
 
 let transforms_suffix (t : Driver.transforms) : string =
@@ -23,12 +24,21 @@ let transforms_suffix (t : Driver.transforms) : string =
          (t.Driver.istructure, "istructures");
        ])
 
-let combo ?(broken = false) spec transforms =
+let combo ?(broken = false) ?multiproc spec transforms =
+  let mp_suffix =
+    match multiproc with
+    | None -> ""
+    | Some (policy, pes, net) ->
+        Fmt.str "@p%d-%s%s" pes
+          (Machine.Placement.policy_to_string policy)
+          (if net = Machine.Network.fast then "-fast" else "")
+  in
   {
     c_spec = spec;
     c_transforms = transforms;
-    c_name = Driver.spec_to_string spec ^ transforms_suffix transforms;
+    c_name = Driver.spec_to_string spec ^ transforms_suffix transforms ^ mp_suffix;
     c_broken = broken;
+    c_multiproc = multiproc;
   }
 
 let combos_for ?(include_broken = false) (p : Imp.Ast.program) : combo list =
@@ -69,7 +79,32 @@ let combos_for ?(include_broken = false) (p : Imp.Ast.program) : combo list =
       [ combo ~broken:true Schema2_unsafe_no_loop_control t0 ]
     else []
   in
-  base @ s2 @ s3 @ broken
+  (* the multiprocessor tier: the same differential bar — final store
+     equal to the reference — with nodes partitioned over PEs and tokens
+     crossing a modelled interconnect.  Two placements, two network
+     configurations, and the aliasing side covered through Schema 3. *)
+  let mp =
+    let deflt = Machine.Network.default and fast = Machine.Network.fast in
+    [
+      combo ~multiproc:(Machine.Placement.Hash, 2, deflt) Schema1 t0;
+      combo
+        ~multiproc:(Machine.Placement.Affinity, 4, deflt)
+        (Schema3 (Classes, Engine.Barrier))
+        t0;
+    ]
+    @
+    if aliasing then []
+    else
+      [
+        combo
+          ~multiproc:(Machine.Placement.Affinity, 4, deflt)
+          (Schema2_opt Engine.Pipelined) t0;
+        combo
+          ~multiproc:(Machine.Placement.Round_robin, 3, fast)
+          (Schema2 Engine.Pipelined) value;
+      ]
+  in
+  base @ s2 @ s3 @ mp @ broken
 
 type status =
   | Agree
@@ -101,25 +136,45 @@ let run_combo ?(machine = default_machine) (c : combo) (p : Imp.Ast.program) :
                   layout = compiled.Driver.layout;
                 }
               in
-              match Machine.Interp.run_report ~config:machine prog with
-              | exception exn -> Fail ("machine: " ^ Printexc.to_string exn)
-              | Error d ->
+              let finish (diag : Machine.Diagnosis.t)
+                  (memory : Imp.Memory.t) =
+                if diag.Machine.Diagnosis.verdict <> Machine.Diagnosis.Clean
+                then
                   Fail
-                    (Machine.Diagnosis.verdict_to_string d.Machine.Diagnosis.verdict)
-              | Ok r ->
-                  let d = r.Machine.Interp.diagnosis in
-                  if d.Machine.Diagnosis.verdict <> Machine.Diagnosis.Clean then
-                    Fail
-                      (Machine.Diagnosis.verdict_to_string
-                         d.Machine.Diagnosis.verdict)
-                  else if
-                    not (Imp.Memory.equal reference r.Machine.Interp.memory)
-                  then
-                    Fail
-                      (Fmt.str "store mismatch@.reference:@.%a@.machine:@.%a"
-                         Imp.Memory.pp reference Imp.Memory.pp
-                         r.Machine.Interp.memory)
-                  else Agree)))
+                    (Machine.Diagnosis.verdict_to_string
+                       diag.Machine.Diagnosis.verdict)
+                else if not (Imp.Memory.equal reference memory) then
+                  Fail
+                    (Fmt.str "store mismatch@.reference:@.%a@.machine:@.%a"
+                       Imp.Memory.pp reference Imp.Memory.pp memory)
+                else Agree
+              in
+              match c.c_multiproc with
+              | None -> (
+                  match Machine.Interp.run_report ~config:machine prog with
+                  | exception exn ->
+                      Fail ("machine: " ^ Printexc.to_string exn)
+                  | Error d ->
+                      Fail
+                        (Machine.Diagnosis.verdict_to_string
+                           d.Machine.Diagnosis.verdict)
+                  | Ok r ->
+                      finish r.Machine.Interp.diagnosis
+                        r.Machine.Interp.memory)
+              | Some (placement, pes, net) -> (
+                  match
+                    Machine.Multiproc.run ~config:machine ~net ~placement
+                      ~pes prog
+                  with
+                  | exception exn ->
+                      Fail ("multiproc: " ^ Printexc.to_string exn)
+                  | Error d ->
+                      Fail
+                        (Machine.Diagnosis.verdict_to_string
+                           d.Machine.Diagnosis.verdict)
+                  | Ok r ->
+                      finish r.Machine.Multiproc.diagnosis
+                        r.Machine.Multiproc.memory))))
 
 let check_program ?machine ?include_broken (p : Imp.Ast.program) :
     (string * status) list =

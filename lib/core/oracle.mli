@@ -22,14 +22,22 @@
 type combo = {
   c_spec : Driver.spec;
   c_transforms : Driver.transforms;
-  c_name : string;  (** e.g. ["schema2-pipelined+value+reads"] *)
+  c_name : string;
+      (** e.g. ["schema2-pipelined+value+reads"] or
+          ["schema2-opt-pipelined\@p4-affinity"] for a multiprocessor
+          point *)
   c_broken : bool;  (** a deliberately unsound variant: failures expected *)
+  c_multiproc : (Machine.Placement.policy * int * Machine.Network.config) option;
+      (** [Some (policy, pes, net)] executes on {!Machine.Multiproc}
+          instead of the single-PE machine — same differential bar *)
 }
 
 (** [combos_for ?include_broken p] — every combination applicable to
     [p]: Schema 1 and Schema 3 (all covers) always; Schema 2 / 2-opt
-    families with their transform sets when [p] is alias-free; the
-    broken [Schema2_unsafe_no_loop_control] variant when asked for. *)
+    families with their transform sets when [p] is alias-free; a
+    multiprocessor tier (two placements, two network configurations,
+    Schema 3 covering the aliasing side); the broken
+    [Schema2_unsafe_no_loop_control] variant when asked for. *)
 val combos_for : ?include_broken:bool -> Imp.Ast.program -> combo list
 
 (** Outcome of one combo on one program. *)

@@ -17,6 +17,13 @@ type pressure = {
   spilled : int;
 }
 
+type net_pressure = {
+  net_messages : int;
+  net_backpressure : int;
+  net_peak_queue : int;
+  net_peak_in_flight : int;
+}
+
 type verdict =
   | Clean
   | Deadlock
@@ -33,6 +40,7 @@ type t = {
   deferred_reads : (int * int) list;
   tokens_by_context : (Context.t * int) list;
   pressure : pressure;
+  network : net_pressure option;
   faults : Fault.event list;
 }
 
@@ -69,6 +77,13 @@ let pp ppf (d : t) =
       if d.pressure.peak > 0 then
         Fmt.pf ppf "matching store: peak %d entries (unbounded)@."
           d.pressure.peak);
+  (match d.network with
+  | Some n ->
+      Fmt.pf ppf
+        "network: %d cross-PE messages, %d backpressured enqueues, peak \
+         queue %d, peak in flight %d@."
+        n.net_messages n.net_backpressure n.net_peak_queue n.net_peak_in_flight
+  | None -> ());
   if d.blocked <> [] then begin
     Fmt.pf ppf "blocked frontier (%d partial matches):@."
       (List.length d.blocked);

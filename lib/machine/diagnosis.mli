@@ -33,6 +33,18 @@ type pressure = {
           mechanism that keeps the bounded store livelock-free) *)
 }
 
+(** Interconnect pressure of a multiprocessor run ({!Multiproc}); absent
+    on single-PE runs.  Backpressured enqueues are counted, never
+    dropped — a finite injection queue slows the machine down, it does
+    not lose tokens. *)
+type net_pressure = {
+  net_messages : int;  (** tokens that crossed between PEs *)
+  net_backpressure : int;
+      (** enqueues that found the finite injection queue already full *)
+  net_peak_queue : int;  (** deepest single injection queue observed *)
+  net_peak_in_flight : int;  (** most messages queued + flying at once *)
+}
+
 type verdict =
   | Clean  (** End fired, no tokens left *)
   | Deadlock  (** quiescent but End never fired: tokens starved *)
@@ -50,6 +62,7 @@ type t = {
   tokens_by_context : (Context.t * int) list;
       (** waiting tokens per iteration context, descending *)
   pressure : pressure;
+  network : net_pressure option;  (** [Some] only for multiprocessor runs *)
   faults : Fault.event list;  (** injected faults, in injection order *)
 }
 

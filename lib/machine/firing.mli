@@ -1,0 +1,67 @@
+(** The dataflow firing rule: what one operator execution does, shared
+    by the single-PE interpreter ({!Interp}) and the multiprocessor
+    stepper ({!Multiproc}).
+
+    The rule is parametrised over a ['meta] provenance type carried on
+    every emitted token: the single-PE machine threads (depth, firing
+    index) pairs through it for dynamic critical-path accounting; the
+    multiprocessor uses [unit].  Timing, scheduling, fan-out and token
+    transport stay with the caller — [execute] only decides {e which}
+    output ports emit {e which} values (and in which context), and
+    performs the split-phase memory side effects. *)
+
+(** The value carried by dummy (access) tokens. *)
+val dummy_value : Imp.Value.t
+
+(** The operator family of a node kind ("alu", "load", "switch", ...):
+    the trace-event category and the key of
+    {!Interp.result.firings_by_kind}. *)
+val family : Dfg.Node.kind -> string
+
+(** Shared split-phase memory state: the store, I-structure presence
+    bits, and deferred I-structure readers keyed by address.  Each
+    deferred reader is (load node, context, meta). *)
+type 'meta env = {
+  graph : Dfg.Graph.t;
+  layout : Imp.Layout.t;
+  memory : Imp.Memory.t;
+  present : bool array;
+  deferred : (int, (int * Context.t * 'meta) list) Hashtbl.t;
+}
+
+val make_env : graph:Dfg.Graph.t -> layout:Imp.Layout.t -> Imp.Memory.t -> 'meta env
+
+(** Deferred readers still parked, total and per address (sorted). *)
+val deferred_count : 'meta env -> int
+val deferred_reads : 'meta env -> (int * int) list
+
+(** [address env kind inputs] — the memory address a [Load]/[Store]
+    firing with these inputs touches (used by the multiprocessor to
+    route the access to its owning memory module).
+    @raise Assert_failure on non-memory kinds. *)
+val address : 'meta env -> Dfg.Node.kind -> Imp.Value.t array -> int
+
+(** [execute env ~emit ~meta ~meta_max ~on_complete ~double_write ~node
+    ~ctx ~inputs] performs one firing of [node] in context [ctx] on the
+    consumed [inputs] (as produced by {!Matching.deliver} — for
+    [Loop_entry] the group is encoded in the array length).
+
+    Every output token goes through [emit]; ordinary emissions carry
+    [meta], and a deferred I-structure read completed by a store carries
+    [meta_max reader_meta meta] (the completed split-phase read depends
+    on both the parked load and the store that satisfied it).
+    [on_complete] runs when the [End] operator fires.  [double_write]
+    receives the message of a second write to an I-structure cell and
+    {e must raise}. *)
+val execute :
+  'meta env ->
+  emit:
+    (node:int -> port:int -> ctx:Context.t -> meta:'meta -> Imp.Value.t -> unit) ->
+  meta:'meta ->
+  meta_max:('meta -> 'meta -> 'meta) ->
+  on_complete:(unit -> unit) ->
+  double_write:(string -> unit) ->
+  node:int ->
+  ctx:Context.t ->
+  inputs:Imp.Value.t array ->
+  unit

@@ -112,7 +112,7 @@ type firing = {
   f_pred : int;  (** firing-log index of the deepest producer, [-1] *)
 }
 
-let dummy_value = Imp.Value.Int 0
+let dummy_value = Firing.dummy_value
 
 exception Abort of Diagnosis.t
 (* Internal: carries the structured post-mortem out of the machine loop;
@@ -131,18 +131,14 @@ let run_report ?(config = Config.default) ?(faults : Fault.plan option)
     (p : program) : (result, Diagnosis.t) Stdlib.result =
   let g = p.graph in
   let memory = Imp.Memory.create p.layout in
-  (* I-structure state *)
-  let words = max 1 p.layout.Imp.Layout.words in
-  let present = Array.make words false in
-  (* deferred I-structure readers: load node, context, and the load
-     firing's depth/log index for critical-path accounting *)
-  let deferred : (int, (int * Context.t * int * int) list) Hashtbl.t =
-    Hashtbl.create 16
+  (* split-phase memory state (store, I-structure presence, deferred
+     readers); the 'meta on deferred readers is the (depth, log index)
+     provenance for critical-path accounting *)
+  let env : (int * int) Firing.env =
+    Firing.make_env ~graph:g ~layout:p.layout memory
   in
   (* waiting-matching store *)
-  let wait : (int * Context.t, slot option array) Hashtbl.t =
-    Hashtbl.create 64
-  in
+  let wait : slot Matching.store = Matching.create () in
   (* schedule *)
   let deliveries : (int, delivery list) Hashtbl.t = Hashtbl.create 64 in
   let pending = ref 0 in
@@ -163,22 +159,6 @@ let run_report ?(config = Config.default) ?(faults : Fault.plan option)
   let progressed = ref false in
   let throttled_this_cycle = ref 0 in
   let by_kind : (string, int) Hashtbl.t = Hashtbl.create 16 in
-  let kind_family (k : Dfg.Node.kind) : string =
-    match k with
-    | Dfg.Node.Start _ -> "start"
-    | Dfg.Node.End _ -> "end"
-    | Dfg.Node.Const _ -> "const"
-    | Dfg.Node.Binop _ | Dfg.Node.Unop _ -> "alu"
-    | Dfg.Node.Id -> "id"
-    | Dfg.Node.Sink -> "sink"
-    | Dfg.Node.Load _ -> "load"
-    | Dfg.Node.Store _ -> "store"
-    | Dfg.Node.Switch -> "switch"
-    | Dfg.Node.Merge -> "merge"
-    | Dfg.Node.Synch _ -> "synch"
-    | Dfg.Node.Loop_entry _ -> "loop-entry"
-    | Dfg.Node.Loop_exit _ -> "loop-exit"
-  in
   let completed = ref false in
   let profile = ref [] in
   let in_flight_curve = ref [] in
@@ -191,65 +171,27 @@ let run_report ?(config = Config.default) ?(faults : Fault.plan option)
   let t = ref 0 in
   (* --- structured post-mortem ---------------------------------------- *)
   let leftover_count () =
-    Hashtbl.fold
-      (fun _ slots acc ->
-        acc
-        + Array.fold_left (fun a s -> if s = None then a else a + 1) 0 slots)
-      wait 0
-    + Hashtbl.fold (fun _ ws acc -> acc + List.length ws) deferred 0
+    Matching.leftover [ wait ] + Firing.deferred_count env
   in
   let diagnose (verdict : Diagnosis.verdict) : Diagnosis.t =
     let blocked =
-      Hashtbl.fold
-        (fun (n, ctx) slots acc ->
-          let present, missing =
-            Array.to_seqi slots
-            |> Seq.fold_left
-                 (fun (h, m) (i, s) ->
-                   match s with Some _ -> (i :: h, m) | None -> (h, i :: m))
-                 ([], [])
-          in
-          if present = [] then acc
-          else
-            {
-              Diagnosis.b_node = n;
-              b_label = (Dfg.Graph.node g n).Dfg.Node.label;
-              b_ctx = ctx;
-              b_present = List.rev present;
-              b_missing = List.rev missing;
-            }
-            :: acc)
-        wait []
-      |> List.sort (fun a b ->
-             compare
-               (a.Diagnosis.b_node, a.Diagnosis.b_ctx)
-               (b.Diagnosis.b_node, b.Diagnosis.b_ctx))
-    in
-    let tokens_by_context =
-      Hashtbl.fold
-        (fun (_, ctx) slots acc ->
-          let n =
-            Array.fold_left (fun a s -> if s = None then a else a + 1) 0 slots
-          in
-          if n = 0 then acc
-          else
-            match List.assoc_opt ctx acc with
-            | Some m -> (ctx, m + n) :: List.remove_assoc ctx acc
-            | None -> (ctx, n) :: acc)
-        wait []
-      |> List.sort (fun (_, a) (_, b) -> compare b a)
-    in
-    let deferred_reads =
-      Hashtbl.fold (fun addr ws acc -> (addr, List.length ws) :: acc) deferred []
-      |> List.sort compare
+      Matching.partial_matches [ wait ]
+      |> List.map (fun (n, ctx, present, missing) ->
+             {
+               Diagnosis.b_node = n;
+               b_label = (Dfg.Graph.node g n).Dfg.Node.label;
+               b_ctx = ctx;
+               b_present = present;
+               b_missing = missing;
+             })
     in
     {
       Diagnosis.verdict;
       cycles = !t;
       leftover_tokens = leftover_count ();
       blocked;
-      deferred_reads;
-      tokens_by_context;
+      deferred_reads = Firing.deferred_reads env;
+      tokens_by_context = Matching.tokens_by_context [ wait ];
       pressure =
         {
           Diagnosis.capacity = config.Config.max_matching;
@@ -257,6 +199,7 @@ let run_report ?(config = Config.default) ?(faults : Fault.plan option)
           throttled = !throttled;
           spilled = !spilled;
         };
+      network = None;
       faults = (match faults with Some pl -> Fault.events pl | None -> []);
     }
   in
@@ -304,20 +247,6 @@ let run_report ?(config = Config.default) ?(faults : Fault.plan option)
         done)
       (Dfg.Graph.outgoing g node port)
   in
-  (* Enabledness test given a slot array and node kind. *)
-  let enabled kind (slots : slot option array) : bool =
-    match kind with
-    | Dfg.Node.Loop_entry { arity; _ } ->
-        let full a b =
-          let ok = ref true in
-          for i = a to b do
-            if slots.(i) = None then ok := false
-          done;
-          !ok
-        in
-        full 0 (arity - 1) || full arity ((2 * arity) - 1)
-    | _ -> Array.for_all (fun s -> s <> None) slots
-  in
   let deliver t (d : delivery) =
     let kind = Dfg.Graph.kind g d.d_node in
     match kind with
@@ -337,7 +266,7 @@ let run_report ?(config = Config.default) ?(faults : Fault.plan option)
         let at_capacity =
           match config.Config.max_matching with
           | Some cap ->
-              Hashtbl.length wait >= cap && not (Hashtbl.mem wait key)
+              Matching.entries wait >= cap && not (Hashtbl.mem wait key)
           | None -> false
         in
         if at_capacity && not !spill then begin
@@ -354,110 +283,50 @@ let run_report ?(config = Config.default) ?(faults : Fault.plan option)
             incr spilled
           end;
           progressed := true;
-          let slots =
-            match Hashtbl.find_opt wait key with
-            | Some s -> s
-            | None ->
-                let s = Array.make (max 1 (Dfg.Node.in_arity kind)) None in
-                Hashtbl.replace wait key s;
-                s
-          in
-          (match slots.(d.d_port) with
-          | Some _ when config.Config.detect_collisions ->
+          match
+            Matching.deliver ~kind
+              ~detect_collisions:config.Config.detect_collisions
+              ~pad:{ s_value = dummy_value; s_depth = 0; s_src = -1 }
+              ~on_insert:(fun () ->
+                if Matching.entries wait > !peak_matching then
+                  peak_matching := Matching.entries wait)
+              wait ~node:d.d_node ~ctx:d.d_ctx ~port:d.d_port
+              { s_value = d.d_value; s_depth = d.d_depth; s_src = d.d_src }
+          with
+          | Matching.Collision ->
               abort
                 (Diagnosis.Collision
                    (Fmt.str "node %d (%s) port %d ctx %s" d.d_node
                       (Dfg.Graph.node g d.d_node).Dfg.Node.label d.d_port
                       (Context.to_string d.d_ctx)))
-          | _ ->
-              slots.(d.d_port) <-
-                Some
-                  { s_value = d.d_value; s_depth = d.d_depth; s_src = d.d_src });
-          if Hashtbl.length wait > !peak_matching then
-            peak_matching := Hashtbl.length wait;
-          if enabled kind slots then begin
-            (* consume: for loop entries, only the full group.  While
-               consuming, track the deepest input token for the dynamic
-               critical path. *)
-            let in_depth = ref 0 and pred = ref (-1) in
-            let take i =
-              let s = Option.get slots.(i) in
-              if s.s_depth > !in_depth then begin
-                in_depth := s.s_depth;
-                pred := s.s_src
-              end;
-              s.s_value
-            in
-            let inputs =
-              match kind with
-              | Dfg.Node.Loop_entry { arity; _ } ->
-                  let full a b =
-                    let ok = ref true in
-                    for i = a to b do
-                      if slots.(i) = None then ok := false
-                    done;
-                    !ok
-                  in
-                  if full 0 (arity - 1) then begin
-                    let ins = Array.init arity take in
-                    for i = 0 to arity - 1 do
-                      slots.(i) <- None
-                    done;
-                    (* tag which group fired via a sentinel: group encoded in
-                       input array length: arity -> initial; arity+1 -> back *)
-                    ins
-                  end
-                  else begin
-                    let ins =
-                      Array.init (arity + 1) (fun i ->
-                          if i < arity then take (arity + i) else dummy_value)
-                    in
-                    for i = arity to (2 * arity) - 1 do
-                      slots.(i) <- None
-                    done;
-                    ins
-                  end
-              | _ ->
-                  let ins =
-                    Array.init (Array.length slots) take
-                  in
-                  Array.fill slots 0 (Array.length slots) None;
-                  ins
-            in
-            (* drop empty slot arrays to keep the leftover count honest *)
-            if Array.for_all (fun s -> s = None) slots then
-              Hashtbl.remove wait key;
-            Queue.add
-              {
-                f_node = d.d_node;
-                f_ctx = d.d_ctx;
-                f_inputs = inputs;
-                f_in_depth = !in_depth;
-                f_pred = !pred;
-              }
-              ready
-          end
+          | Matching.Wait -> ()
+          | Matching.Fire slots ->
+              (* the consumed inputs carry the deepest producer forward
+                 for dynamic critical-path accounting *)
+              let in_depth = ref 0 and pred = ref (-1) in
+              Array.iter
+                (fun s ->
+                  if s.s_depth > !in_depth then begin
+                    in_depth := s.s_depth;
+                    pred := s.s_src
+                  end)
+                slots;
+              Queue.add
+                {
+                  f_node = d.d_node;
+                  f_ctx = d.d_ctx;
+                  f_inputs = Array.map (fun s -> s.s_value) slots;
+                  f_in_depth = !in_depth;
+                  f_pred = !pred;
+                }
+                ready
         end)
-  in
-  let addr_of kind ctx (inputs : Imp.Value.t array) =
-    match kind with
-    | Dfg.Node.Load { var; indexed; _ } ->
-        if indexed then
-          Imp.Layout.addr p.layout var (Imp.Value.to_int inputs.(1))
-        else Imp.Layout.addr p.layout var 0
-    | Dfg.Node.Store { var; indexed; _ } ->
-        if indexed then
-          Imp.Layout.addr p.layout var (Imp.Value.to_int inputs.(2))
-        else Imp.Layout.addr p.layout var 0
-    | _ ->
-        ignore ctx;
-        assert false
   in
   let execute t (f : firing) =
     let n = Dfg.Graph.node g f.f_node in
     let kind = n.Dfg.Node.kind in
     incr firings;
-    let family = kind_family kind in
+    let family = Firing.family kind in
     Hashtbl.replace by_kind family
       (1 + (try Hashtbl.find by_kind family with Not_found -> 0));
     if Dfg.Node.is_memory_op kind then incr memory_ops;
@@ -469,95 +338,17 @@ let run_report ?(config = Config.default) ?(faults : Fault.plan option)
     let my_id = !fire_count in
     incr fire_count;
     fire_log := (f.f_node, f.f_ctx, depth, f.f_pred) :: !fire_log;
-    let out port v = emit t_done f.f_node port f.f_ctx v ~depth ~src:my_id in
-    let out_ctx ctx port v =
-      emit t_done f.f_node port ctx v ~depth ~src:my_id
-    in
-    match kind with
-    | Dfg.Node.Start k ->
-        for i = 0 to k - 1 do
-          out i dummy_value
-        done
-    | Dfg.Node.End _ -> completed := true
-    | Dfg.Node.Const v -> out 0 v
-    | Dfg.Node.Binop op ->
-        out 0 (Imp.Value.binop op f.f_inputs.(0) f.f_inputs.(1))
-    | Dfg.Node.Unop op -> out 0 (Imp.Value.unop op f.f_inputs.(0))
-    | Dfg.Node.Id -> out 0 f.f_inputs.(0)
-    | Dfg.Node.Sink -> ()
-    | Dfg.Node.Load { mem; _ } -> (
-        let a = addr_of kind f.f_ctx f.f_inputs in
-        match mem with
-        | Dfg.Node.Plain ->
-            out 0 (Imp.Value.Int (Imp.Memory.read_addr memory a));
-            out 1 dummy_value
-        | Dfg.Node.I_structure ->
-            if present.(a) then begin
-              out 0 (Imp.Value.Int (Imp.Memory.read_addr memory a));
-              out 1 dummy_value
-            end
-            else
-              (* deferred read: completes when the cell is written *)
-              Hashtbl.replace deferred a
-                ((f.f_node, f.f_ctx, depth, my_id)
-                :: (try Hashtbl.find deferred a with Not_found -> [])))
-    | Dfg.Node.Store { mem; _ } -> (
-        let a = addr_of kind f.f_ctx f.f_inputs in
-        let v = Imp.Value.to_int f.f_inputs.(1) in
-        match mem with
-        | Dfg.Node.Plain ->
-            Imp.Memory.write_addr memory a v;
-            out 0 dummy_value
-        | Dfg.Node.I_structure ->
-            if present.(a) then
-              abort
-                (Diagnosis.Double_write
-                   (Fmt.str "I-structure cell %d written twice (node %d)" a
-                      f.f_node));
-            Imp.Memory.write_addr memory a v;
-            present.(a) <- true;
-            out 0 dummy_value;
-            (* wake deferred readers *)
-            (match Hashtbl.find_opt deferred a with
-            | Some waiters ->
-                Hashtbl.remove deferred a;
-                List.iter
-                  (fun (rn, rctx, rdepth, rid) ->
-                    (* the completed split-phase read depends on both the
-                       deferred load and the store that satisfied it *)
-                    let wdepth, wsrc =
-                      if rdepth >= depth then (rdepth, rid) else (depth, my_id)
-                    in
-                    emit t_done rn 0
-                      rctx (* value out of the waiting load *)
-                      (Imp.Value.Int v) ~depth:wdepth ~src:wsrc;
-                    emit t_done rn 1 rctx dummy_value ~depth:wdepth ~src:wsrc)
-                  waiters
-            | None -> ()))
-    | Dfg.Node.Switch ->
-        let data = f.f_inputs.(0) and pred = f.f_inputs.(1) in
-        if Imp.Value.to_bool pred then out 0 data else out 1 data
-    | Dfg.Node.Merge -> out 0 f.f_inputs.(0)
-    | Dfg.Node.Synch _ -> out 0 dummy_value
-    | Dfg.Node.Loop_entry { arity; _ } ->
-        (* group encoded by input array length (see [deliver]) *)
-        if Array.length f.f_inputs = arity then
-          (* initial entry: open iteration 0 *)
-          let ctx' = Context.enter f.f_ctx in
-          for i = 0 to arity - 1 do
-            out_ctx ctx' i f.f_inputs.(i)
-          done
-        else
-          (* back edge: advance the iteration tag *)
-          let ctx' = Context.next f.f_ctx in
-          for i = 0 to arity - 1 do
-            out_ctx ctx' i f.f_inputs.(i)
-          done
-    | Dfg.Node.Loop_exit { arity; _ } ->
-        let ctx' = Context.leave f.f_ctx in
-        for i = 0 to arity - 1 do
-          out_ctx ctx' i f.f_inputs.(i)
-        done
+    (* the shared firing rule, instantiated with (depth, log index)
+       provenance so tokens carry the dynamic critical path *)
+    Firing.execute env
+      ~emit:(fun ~node ~port ~ctx ~meta:(d, s) v ->
+        emit t_done node port ctx v ~depth:d ~src:s)
+      ~meta:(depth, my_id)
+      ~meta_max:(fun (d1, s1) (d2, s2) ->
+        if d1 >= d2 then (d1, s1) else (d2, s2))
+      ~on_complete:(fun () -> completed := true)
+      ~double_write:(fun msg -> abort (Diagnosis.Double_write msg))
+      ~node:f.f_node ~ctx:f.f_ctx ~inputs:f.f_inputs
   in
   (* Deferred-read wakeups performed inside [execute] bypass [deliver]'s
      collision checks by emitting from the load's own output ports --

@@ -1,0 +1,378 @@
+(** The multiprocessor ETS machine (see the interface): per-PE matching
+    stores, ready queues and ALUs composed with the {!Network}
+    interconnect under a {!Placement}.  The operator semantics are
+    {!Firing.execute} — the same rule the single-PE {!Interp} runs —
+    instantiated with [unit] token metadata: the multiprocessor measures
+    communication, not critical paths. *)
+
+type result = {
+  memory : Imp.Memory.t;
+  cycles : int;
+  firings : int;
+  memory_ops : int;
+  completed : bool;
+  leftover_tokens : int;
+  peak_matching : int;
+  per_pe_firings : int array;
+  per_pe_busy : int array;
+  utilisation : float array;
+  per_pe_curve : int array array;
+  local_deliveries : int;
+  net_messages : int;
+  cut_traffic : float;
+  mem_local : int;
+  mem_remote : int;
+  backpressure : int;
+  peak_queue : int;
+  net_occupancy : int array;
+  placement : Placement.t;
+  placement_stats : Placement.stats;
+  diagnosis : Diagnosis.t;
+}
+
+(* A token in transit to one input port; values only — the slot type of
+   the per-PE matching stores is bare [Imp.Value.t]. *)
+type delivery = {
+  m_node : int;
+  m_port : int;
+  m_ctx : Context.t;
+  m_value : Imp.Value.t;
+}
+
+type firing = {
+  x_node : int;
+  x_ctx : Context.t;
+  x_inputs : Imp.Value.t array;
+}
+
+exception Abort of Diagnosis.t
+
+let run ?(config = Config.default) ?(net = Network.default)
+    ?(placement = Placement.Hash) ?(issue_width = 1)
+    ?(on_fire : (int -> Dfg.Node.t -> Context.t -> pe:int -> unit) option)
+    ~pes (p : Interp.program) : (result, Diagnosis.t) Stdlib.result =
+  if pes < 1 then invalid_arg "Multiproc.run: pes must be >= 1";
+  let g = p.Interp.graph in
+  let pcount = pes in
+  let place = Placement.compute placement ~pes:pcount g in
+  let pstats = Placement.stats g place in
+  let memory = Imp.Memory.create p.Interp.layout in
+  let env : unit Firing.env =
+    Firing.make_env ~graph:g ~layout:p.Interp.layout memory
+  in
+  (* per-PE machine state *)
+  let wait : Imp.Value.t Matching.store array =
+    Array.init pcount (fun _ -> Matching.create ())
+  in
+  let ready : firing Queue.t array =
+    Array.init pcount (fun _ -> Queue.create ())
+  in
+  let lifo : firing Stack.t array =
+    Array.init pcount (fun _ -> Stack.create ())
+  in
+  (* transport: same-PE tokens bypass the network on a local schedule;
+     cross-PE tokens are scheduled into their source PE's injection
+     queue at the producing firing's completion cycle *)
+  let locals : (int, delivery list) Hashtbl.t = Hashtbl.create 64 in
+  let local_pending = ref 0 in
+  let to_inject : (int, (int * int * delivery) list) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let inject_pending = ref 0 in
+  let network : delivery Network.t = Network.create ~config:net ~pes:pcount () in
+  (* counters *)
+  let firings = ref 0 in
+  let memory_ops = ref 0 in
+  let per_pe_firings = Array.make pcount 0 in
+  let per_pe_busy = Array.make pcount 0 in
+  let per_pe_curve = Array.make pcount [] in
+  let local_deliveries = ref 0 in
+  let mem_local = ref 0 in
+  let mem_remote = ref 0 in
+  let peak_matching = ref 0 in
+  let net_occupancy = ref [] in
+  let completed = ref false in
+  let last_cycle = ref 0 in
+  let t = ref 0 in
+  let leftover_count () =
+    Matching.leftover (Array.to_list wait) + Firing.deferred_count env
+  in
+  let diagnose (verdict : Diagnosis.verdict) : Diagnosis.t =
+    let stores = Array.to_list wait in
+    let st = Network.stats network in
+    {
+      Diagnosis.verdict;
+      cycles = !t;
+      leftover_tokens = leftover_count ();
+      blocked =
+        Matching.partial_matches stores
+        |> List.map (fun (n, ctx, present, missing) ->
+               {
+                 Diagnosis.b_node = n;
+                 b_label = (Dfg.Graph.node g n).Dfg.Node.label;
+                 b_ctx = ctx;
+                 b_present = present;
+                 b_missing = missing;
+               });
+      deferred_reads = Firing.deferred_reads env;
+      tokens_by_context = Matching.tokens_by_context stores;
+      pressure =
+        {
+          Diagnosis.capacity = None;
+          peak = !peak_matching;
+          throttled = 0;
+          spilled = 0;
+        };
+      network =
+        Some
+          {
+            Diagnosis.net_messages = st.Network.s_messages;
+            net_backpressure = st.Network.s_backpressure;
+            net_peak_queue = st.Network.s_peak_queue;
+            net_peak_in_flight = st.Network.s_peak_in_flight;
+          };
+      faults = [];
+    }
+  in
+  let abort verdict = raise (Abort (diagnose verdict)) in
+  let schedule_local at d =
+    incr local_pending;
+    Hashtbl.replace locals at
+      (d :: (try Hashtbl.find locals at with Not_found -> []))
+  in
+  let schedule_inject at src dst d =
+    incr inject_pending;
+    Hashtbl.replace to_inject at
+      ((src, dst, d) :: (try Hashtbl.find to_inject at with Not_found -> []))
+  in
+  let deliver (d : delivery) =
+    let kind = Dfg.Graph.kind g d.m_node in
+    let pe = place.Placement.assign.(d.m_node) in
+    match kind with
+    | Dfg.Node.Merge ->
+        (* no matching: forward immediately as its own firing *)
+        Queue.add
+          { x_node = d.m_node; x_ctx = d.m_ctx; x_inputs = [| d.m_value |] }
+          ready.(pe)
+    | _ -> (
+        match
+          Matching.deliver ~kind
+            ~detect_collisions:config.Config.detect_collisions
+            ~pad:Firing.dummy_value wait.(pe) ~node:d.m_node ~ctx:d.m_ctx
+            ~port:d.m_port d.m_value
+        with
+        | Matching.Collision ->
+            abort
+              (Diagnosis.Collision
+                 (Fmt.str "node %d (%s) port %d ctx %s (PE %d)" d.m_node
+                    (Dfg.Graph.node g d.m_node).Dfg.Node.label d.m_port
+                    (Context.to_string d.m_ctx)
+                    pe))
+        | Matching.Wait -> ()
+        | Matching.Fire inputs ->
+            Queue.add
+              { x_node = d.m_node; x_ctx = d.m_ctx; x_inputs = inputs }
+              ready.(pe))
+  in
+  let execute pe (f : firing) =
+    let n = Dfg.Graph.node g f.x_node in
+    let kind = n.Dfg.Node.kind in
+    incr firings;
+    per_pe_firings.(pe) <- per_pe_firings.(pe) + 1;
+    (match on_fire with Some cb -> cb !t n f.x_ctx ~pe | None -> ());
+    let lat = Config.latency config kind in
+    (* Interleaved memory: an access whose owning module hangs off a
+       different PE pays the request/response round trip — but only on
+       the loaded value.  The request itself is fire-and-forget in
+       access-chain order (that is what split-phase means), so the
+       chain's successor token and a store's ordering token leave at
+       pipeline speed; serialising whole round trips onto the
+       per-variable chains would deny the machine the latency tolerance
+       dataflow exists to provide. *)
+    let mem_penalty =
+      if Dfg.Node.is_memory_op kind then begin
+        incr memory_ops;
+        let addr = Firing.address env kind f.x_inputs in
+        if Network.home_pe net ~pes:pcount ~addr = pe then begin
+          incr mem_local;
+          0
+        end
+        else begin
+          incr mem_remote;
+          2 * max 1 net.Network.latency
+        end
+      end
+      else 0
+    in
+    let t_done = !t + lat in
+    let value_done = t_done + mem_penalty in
+    if value_done > !last_cycle then last_cycle := value_done;
+    let is_load = match kind with Dfg.Node.Load _ -> true | _ -> false in
+    Firing.execute env
+      ~emit:(fun ~node ~port ~ctx ~meta:() v ->
+        (* emissions route from the PE of the emitting node: a deferred
+           I-structure read completed by a remote store answers from the
+           parked load's PE, not the store's *)
+        let t_done =
+          if is_load && node = f.x_node && port = 0 then value_done else t_done
+        in
+        let src_pe = place.Placement.assign.(node) in
+        List.iter
+          (fun (a : Dfg.Graph.arc) ->
+            let dstn = a.Dfg.Graph.dst.Dfg.Graph.node in
+            let d =
+              {
+                m_node = dstn;
+                m_port = a.Dfg.Graph.dst.Dfg.Graph.index;
+                m_ctx = ctx;
+                m_value = v;
+              }
+            in
+            if place.Placement.assign.(dstn) = src_pe then begin
+              incr local_deliveries;
+              schedule_local t_done d
+            end
+            else schedule_inject t_done src_pe place.Placement.assign.(dstn) d)
+          (Dfg.Graph.outgoing g node port))
+      ~meta:() ~meta_max:(fun () () -> ())
+      ~on_complete:(fun () -> completed := true)
+      ~double_write:(fun msg -> abort (Diagnosis.Double_write msg))
+      ~node:f.x_node ~ctx:f.x_ctx ~inputs:f.x_inputs
+  in
+  (* boot: fire Start on its home PE at cycle 0 *)
+  Queue.add
+    { x_node = g.Dfg.Graph.start; x_ctx = Context.toplevel; x_inputs = [||] }
+    ready.(place.Placement.assign.(g.Dfg.Graph.start));
+  let absorb_ready pe =
+    match config.Config.policy with
+    | Config.Fifo -> ()
+    | Config.Lifo ->
+        while not (Queue.is_empty ready.(pe)) do
+          Stack.push (Queue.pop ready.(pe)) lifo.(pe)
+        done
+  in
+  let pop_next pe =
+    match config.Config.policy with
+    | Config.Fifo -> Queue.pop ready.(pe)
+    | Config.Lifo -> Stack.pop lifo.(pe)
+  in
+  let ready_length pe =
+    Queue.length ready.(pe)
+    +
+    match config.Config.policy with
+    | Config.Fifo -> 0
+    | Config.Lifo -> Stack.length lifo.(pe)
+  in
+  let all_idle () =
+    let idle = ref true in
+    for pe = 0 to pcount - 1 do
+      if ready_length pe > 0 then idle := false
+    done;
+    !idle && !local_pending = 0 && !inject_pending = 0
+    && Network.in_transit network = 0
+  in
+  try
+    let finished = ref false in
+    while not !finished do
+      if !t > config.Config.max_cycles then
+        abort (Diagnosis.Diverged config.Config.max_cycles);
+      (* 1. network arrivals rendezvous at their destination PE *)
+      List.iter (fun (_dst, d) -> deliver d) (Network.arrivals network ~now:!t);
+      (* 2. same-PE deliveries scheduled for this cycle *)
+      (match Hashtbl.find_opt locals !t with
+      | Some ds ->
+          Hashtbl.remove locals !t;
+          List.iter
+            (fun d ->
+              decr local_pending;
+              deliver d)
+            (List.rev ds)
+      | None -> ());
+      (* 3. completed firings' cross-PE tokens enter injection queues *)
+      (match Hashtbl.find_opt to_inject !t with
+      | Some ms ->
+          Hashtbl.remove to_inject !t;
+          List.iter
+            (fun (src, dst, d) ->
+              decr inject_pending;
+              Network.inject network ~src ~dst d)
+            (List.rev ms)
+      | None -> ());
+      (* 4. every PE issues up to [issue_width] enabled firings *)
+      for pe = 0 to pcount - 1 do
+        absorb_ready pe;
+        let budget = min issue_width (ready_length pe) in
+        for _ = 1 to budget do
+          execute pe (pop_next pe)
+        done;
+        per_pe_curve.(pe) <- budget :: per_pe_curve.(pe);
+        if budget > 0 then per_pe_busy.(pe) <- per_pe_busy.(pe) + 1
+      done;
+      (* 5. the interconnect moves bandwidth-limited messages into flight *)
+      Network.step network ~now:!t;
+      (* end-of-cycle sampling *)
+      net_occupancy := Network.in_transit network :: !net_occupancy;
+      let waiting = Array.fold_left (fun a w -> a + Matching.entries w) 0 wait in
+      if waiting > !peak_matching then peak_matching := waiting;
+      (* quiescence *)
+      if all_idle () then finished := true else incr t
+    done;
+    let leftover = leftover_count () in
+    let verdict =
+      if not !completed then Diagnosis.Deadlock
+      else if leftover <> 0 then Diagnosis.Leftover leftover
+      else Diagnosis.Clean
+    in
+    let st = Network.stats network in
+    let total_cycles = !t + 1 in
+    let nm = st.Network.s_messages in
+    Ok
+      {
+        memory;
+        cycles = !last_cycle;
+        firings = !firings;
+        memory_ops = !memory_ops;
+        completed = !completed;
+        leftover_tokens = leftover;
+        peak_matching = !peak_matching;
+        per_pe_firings;
+        per_pe_busy;
+        utilisation =
+          Array.map
+            (fun b -> float_of_int b /. float_of_int (max 1 total_cycles))
+            per_pe_busy;
+        per_pe_curve =
+          Array.map (fun c -> Array.of_list (List.rev c)) per_pe_curve;
+        local_deliveries = !local_deliveries;
+        net_messages = nm;
+        cut_traffic =
+          (if nm + !local_deliveries = 0 then 0.0
+           else float_of_int nm /. float_of_int (nm + !local_deliveries));
+        mem_local = !mem_local;
+        mem_remote = !mem_remote;
+        backpressure = st.Network.s_backpressure;
+        peak_queue = st.Network.s_peak_queue;
+        net_occupancy = Array.of_list (List.rev !net_occupancy);
+        placement = place;
+        placement_stats = pstats;
+        diagnosis = diagnose verdict;
+      }
+  with Abort d -> Error d
+
+let run_exn ?config ?net ?placement ?issue_width ?on_fire ~pes p : result =
+  match run ?config ?net ?placement ?issue_width ?on_fire ~pes p with
+  | Error d ->
+      failwith
+        (Fmt.str "multiproc execution failed@.%s" (Diagnosis.to_string d))
+  | Ok r ->
+      if not r.completed then
+        failwith
+          (Fmt.str "multiproc execution deadlocked (%d leftover tokens)@.%s"
+             r.leftover_tokens
+             (Diagnosis.to_string r.diagnosis));
+      if r.leftover_tokens <> 0 then
+        failwith
+          (Fmt.str "multiproc: %d tokens left at quiescence@.%s"
+             r.leftover_tokens
+             (Diagnosis.to_string r.diagnosis));
+      r

@@ -1,0 +1,98 @@
+(** Cycle-driven token interconnect (see the interface). *)
+
+type config = {
+  latency : int;
+  bandwidth : int;
+  queue_capacity : int option;
+  modules : int option;
+}
+
+let default =
+  { latency = 2; bandwidth = 2; queue_capacity = Some 8; modules = None }
+
+let fast =
+  { latency = 1; bandwidth = max_int; queue_capacity = None; modules = None }
+
+let home_pe (c : config) ~pes ~addr =
+  let m = match c.modules with Some m -> max 1 m | None -> max 1 pes in
+  addr mod m mod max 1 pes
+
+type 'msg t = {
+  cfg : config;
+  queues : (int * 'msg) Queue.t array;  (** per-PE: (dst, msg) *)
+  flight : (int, (int * 'msg) list) Hashtbl.t;
+      (** arrival cycle -> reversed (dst, msg) list *)
+  mutable flying : int;
+  mutable messages : int;
+  mutable backpressure : int;
+  mutable peak_queue : int;
+  mutable peak_in_flight : int;
+}
+
+let create ?(config = default) ~pes () =
+  {
+    cfg = config;
+    queues = Array.init (max 1 pes) (fun _ -> Queue.create ());
+    flight = Hashtbl.create 64;
+    flying = 0;
+    messages = 0;
+    backpressure = 0;
+    peak_queue = 0;
+    peak_in_flight = 0;
+  }
+
+let queued t = Array.fold_left (fun a q -> a + Queue.length q) 0 t.queues
+let in_transit t = t.flying + queued t
+
+let note_peaks t =
+  let it = in_transit t in
+  if it > t.peak_in_flight then t.peak_in_flight <- it
+
+let inject t ~src ~dst msg =
+  (match t.cfg.queue_capacity with
+  | Some cap when Queue.length t.queues.(src) >= cap ->
+      (* full queue: count the stall, never drop the token *)
+      t.backpressure <- t.backpressure + 1
+  | _ -> ());
+  Queue.add (dst, msg) t.queues.(src);
+  t.messages <- t.messages + 1;
+  let ql = Queue.length t.queues.(src) in
+  if ql > t.peak_queue then t.peak_queue <- ql;
+  note_peaks t
+
+let step t ~now =
+  let at = now + max 1 t.cfg.latency in
+  Array.iter
+    (fun q ->
+      let budget = min t.cfg.bandwidth (Queue.length q) in
+      for _ = 1 to budget do
+        let m = Queue.pop q in
+        Hashtbl.replace t.flight at
+          (m :: (try Hashtbl.find t.flight at with Not_found -> []));
+        t.flying <- t.flying + 1
+      done)
+    t.queues;
+  note_peaks t
+
+let arrivals t ~now =
+  match Hashtbl.find_opt t.flight now with
+  | Some l ->
+      Hashtbl.remove t.flight now;
+      t.flying <- t.flying - List.length l;
+      List.rev l
+  | None -> []
+
+type stats = {
+  s_messages : int;
+  s_backpressure : int;
+  s_peak_queue : int;
+  s_peak_in_flight : int;
+}
+
+let stats t =
+  {
+    s_messages = t.messages;
+    s_backpressure = t.backpressure;
+    s_peak_queue = t.peak_queue;
+    s_peak_in_flight = t.peak_in_flight;
+  }

@@ -1,0 +1,71 @@
+(** The token interconnect of the multiprocessor machine: a cycle-driven
+    model of per-link latency and bandwidth joining PEs and interleaved
+    memory modules.
+
+    Tokens whose producer and consumer live on the same PE bypass the
+    network entirely.  A token crossing PEs enters its source PE's
+    injection queue; each cycle every PE drains at most [bandwidth]
+    messages from its queue into flight, and a message in flight arrives
+    [latency] cycles later.  Injection queues may be finite
+    ([queue_capacity]): an enqueue that finds the queue full is {e
+    counted as backpressure} — never dropped — so a saturated network
+    shows up as pressure in {!Diagnosis} and longer makespans, not lost
+    tokens.
+
+    Memory is interleaved across [modules] (default: one per PE);
+    {!home_pe} maps an address to the PE owning its module.  A load
+    issued from a different PE pays the request/response round trip of
+    [2 * latency] extra cycles on its {e value} output only — requests
+    travel in access-chain order and are fire-and-forget, so the chain's
+    successor token leaves at pipeline speed (split-phase access). *)
+
+type config = {
+  latency : int;  (** cycles a message spends in flight between PEs *)
+  bandwidth : int;  (** messages each PE may inject per cycle *)
+  queue_capacity : int option;
+      (** finite injection queue bound; [None] = unbounded *)
+  modules : int option;
+      (** interleaved memory modules; [None] = one per PE *)
+}
+
+(** latency 2, bandwidth 2, queue capacity 8, one module per PE. *)
+val default : config
+
+(** An idealised interconnect: latency 1, unbounded bandwidth and
+    queues — placement still matters, contention does not. *)
+val fast : config
+
+(** [home_pe config ~pes ~addr] — the PE owning the memory module that
+    address [addr] interleaves onto (module [addr mod modules], modules
+    distributed round-robin over PEs). *)
+val home_pe : config -> pes:int -> addr:int -> int
+
+type 'msg t
+
+val create : ?config:config -> pes:int -> unit -> 'msg t
+
+(** [inject t ~src ~dst msg] — enqueue a message on PE [src]'s injection
+    queue bound for PE [dst].  Counts backpressure when the queue is
+    already at capacity (the message still enters the queue). *)
+val inject : 'msg t -> src:int -> dst:int -> 'msg -> unit
+
+(** [step t ~now] — end-of-cycle transport: each PE moves up to
+    [bandwidth] queued messages into flight, arriving at
+    [now + latency]. *)
+val step : 'msg t -> now:int -> unit
+
+(** [arrivals t ~now] — messages arriving this cycle, as (dst, msg) in
+    deterministic injection order; removes them from the network. *)
+val arrivals : 'msg t -> now:int -> (int * 'msg) list
+
+(** Messages currently queued or in flight (0 = network quiescent). *)
+val in_transit : 'msg t -> int
+
+type stats = {
+  s_messages : int;  (** total messages injected *)
+  s_backpressure : int;  (** enqueues that found a full queue *)
+  s_peak_queue : int;  (** deepest single injection queue observed *)
+  s_peak_in_flight : int;  (** most messages queued + flying at once *)
+}
+
+val stats : 'msg t -> stats

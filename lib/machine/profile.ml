@@ -220,6 +220,64 @@ let chrome_trace ?(config = Config.default) ~(graph : Dfg.Graph.t)
           ] );
     ]
 
+(* Per-PE tracks for a multiprocessor run: one lane per processing
+   element, fed by Multiproc's on_fire (cycle, node, ctx, pe).  The
+   single-PE exporter groups by operator family; here the interesting
+   axis is which PE did the work, so the placement's load balance and
+   the network-induced idle gaps are visible at a glance. *)
+let chrome_trace_pes ?(config = Config.default) ~(graph : Dfg.Graph.t)
+    (events : (int * int * Context.t * int) list) : Json.t =
+  let events =
+    List.stable_sort (fun (c1, _, _, _) (c2, _, _, _) -> compare c1 c2) events
+  in
+  let max_pe = List.fold_left (fun m (_, _, _, pe) -> max m pe) 0 events in
+  let trace_events =
+    List.map
+      (fun (cycle, node, ctx, pe) ->
+        let kind = Dfg.Graph.kind graph node in
+        let label = (Dfg.Graph.node graph node).Dfg.Node.label in
+        Json.Assoc
+          [
+            ("name", Json.String label);
+            ("cat", Json.String (family kind));
+            ("ph", Json.String "X");
+            ("ts", Json.Int cycle);
+            ("dur", Json.Int (Config.latency config kind));
+            ("pid", Json.Int 1);
+            ("tid", Json.Int pe);
+            ( "args",
+              Json.Assoc
+                [
+                  ("node", Json.Int node);
+                  ("ctx", Json.String (Context.to_string ctx));
+                  ("pe", Json.Int pe);
+                ] );
+          ])
+      events
+  in
+  let metadata =
+    List.init (max_pe + 1) (fun pe ->
+        Json.Assoc
+          [
+            ("name", Json.String "thread_name");
+            ("ph", Json.String "M");
+            ("pid", Json.Int 1);
+            ("tid", Json.Int pe);
+            ("args", Json.Assoc [ ("name", Json.String (Fmt.str "pe-%d" pe)) ]);
+          ])
+  in
+  Json.Assoc
+    [
+      ("traceEvents", Json.List (metadata @ trace_events));
+      ("displayTimeUnit", Json.String "ms");
+      ( "otherData",
+        Json.Assoc
+          [
+            ("generator", Json.String "df_compile simulate");
+            ("clock", Json.String "machine cycles (1 cycle = 1 us)");
+          ] );
+    ]
+
 (* ---------------------------------------------------------------- *)
 (* summary record                                                   *)
 
@@ -332,11 +390,36 @@ let pp ppf (p : t) =
 (* ---------------------------------------------------------------- *)
 (* benchmark records (shared by bench/main.ml and the tests)        *)
 
-let bench_schema_version = 1
+let bench_schema_version = 2
+
+type mp_cell = {
+  mp_pes : int;
+  mp_placement : string;
+  mp_cycles : int;
+  mp_net_messages : int;
+  mp_cut_traffic : float;
+  mp_backpressure : int;
+  mp_avg_utilisation : float;
+  mp_determinate : bool;
+}
+
+let mp_cell_json (c : mp_cell) : Json.t =
+  Json.Assoc
+    [
+      ("pes", Json.Int c.mp_pes);
+      ("placement", Json.String c.mp_placement);
+      ("cycles", Json.Int c.mp_cycles);
+      ("net_messages", Json.Int c.mp_net_messages);
+      ("cut_traffic", Json.Float c.mp_cut_traffic);
+      ("backpressure", Json.Int c.mp_backpressure);
+      ("avg_utilisation", Json.Float c.mp_avg_utilisation);
+      ("determinate", Json.Bool c.mp_determinate);
+    ]
 
 let bench_record ~(program : string) ~(schema : string) ~(status : string)
     ?(stats : Dfg.Stats.t option) ?(result : Interp.result option)
-    ?(reference_ok : bool option) ?(max_overlap : int option) () : Json.t =
+    ?(reference_ok : bool option) ?(max_overlap : int option)
+    ?(multiproc : mp_cell list option) () : Json.t =
   let base =
     [
       ("program", Json.String program);
@@ -377,25 +460,32 @@ let bench_record ~(program : string) ~(schema : string) ~(status : string)
     (match max_overlap with
     | Some m -> [ ("max_context_overlap", Json.Int m) ]
     | None -> [])
+    @ (match reference_ok with
+      | Some b -> [ ("reference_ok", Json.Bool b) ]
+      | None -> [])
     @
-    match reference_ok with
-    | Some b -> [ ("reference_ok", Json.Bool b) ]
+    match multiproc with
+    | Some cells -> [ ("multiproc", Json.List (List.map mp_cell_json cells)) ]
     | None -> []
   in
   Json.Assoc (base @ static @ dynamic @ extra)
 
-let bench_file ~(records : Json.t list) : Json.t =
+let bench_file ?(summary : (string * Json.t) list option)
+    ~(records : Json.t list) () : Json.t =
   Json.Assoc
-    [
-      ( "meta",
-        Json.Assoc
-          [
-            ("schema_version", Json.Int bench_schema_version);
-            ("generator", Json.String "bench/main.exe --json");
-            ("unit", Json.String "machine cycles");
-          ] );
-      ("records", Json.List records);
-    ]
+    ([
+       ( "meta",
+         Json.Assoc
+           [
+             ("schema_version", Json.Int bench_schema_version);
+             ("generator", Json.String "bench/main.exe --json");
+             ("unit", Json.String "machine cycles");
+           ] );
+     ]
+    @ (match summary with
+      | Some s -> [ ("multiproc_summary", Json.Assoc s) ]
+      | None -> [])
+    @ [ ("records", Json.List records) ])
 
 (* Schema validation for the whole BENCH document: used by the harness
    before writing (fail fast) and by the test layer on the committed
@@ -418,6 +508,49 @@ let validate_bench (j : Json.t) : (unit, string) result =
       (Option.bind (Json.member "records" j) Json.to_list_opt)
   in
   let* () = if records = [] then Error "no records" else Ok () in
+  (* the multiproc summary scalars are optional (a matrix-less run emits
+     none) but when present they must be well-typed and the determinacy
+     bit must hold — a divergent matrix is a validation failure *)
+  let* () =
+    match Json.member "multiproc_summary" j with
+    | None -> Ok ()
+    | Some s ->
+        let* _ =
+          req "multiproc_summary.speedup_p8 not a number"
+            (Option.bind (Json.member "speedup_p8" s) Json.to_float_opt)
+        in
+        let* _ =
+          req "multiproc_summary.cut_traffic_ratio not a number"
+            (Option.bind (Json.member "cut_traffic_ratio" s) Json.to_float_opt)
+        in
+        let* det =
+          req "multiproc_summary.multiproc_determinate not a bool"
+            (Option.bind
+               (Json.member "multiproc_determinate" s)
+               Json.to_bool_opt)
+        in
+        if det then Ok ()
+        else Error "multiproc_summary: determinacy divergence in the matrix"
+  in
+  let check_mp_cell i program k c =
+    let int key = Option.bind (Json.member key c) Json.to_int_opt in
+    let where what =
+      Fmt.str "record %d (%s): multiproc cell %d: %s" i program k what
+    in
+    let* pes = req (where "missing pes") (int "pes") in
+    let* () = if pes >= 1 then Ok () else Error (where "pes < 1") in
+    let* _ =
+      req (where "missing placement")
+        (Option.bind (Json.member "placement" c) Json.to_string_opt)
+    in
+    let* cyc = req (where "missing cycles") (int "cycles") in
+    let* () = if cyc >= 0 then Ok () else Error (where "negative cycles") in
+    let* det =
+      req (where "missing determinate")
+        (Option.bind (Json.member "determinate" c) Json.to_bool_opt)
+    in
+    if det then Ok () else Error (where "determinacy divergence")
+  in
   let check_record i r =
     let str k = Option.bind (Json.member k r) Json.to_string_opt in
     let int k = Option.bind (Json.member k r) Json.to_int_opt in
@@ -454,8 +587,25 @@ let validate_bench (j : Json.t) : (unit, string) result =
         req (Fmt.str "record %d (%s): missing reference_ok" i program)
           (bool "reference_ok")
       in
-      if ref_ok then Ok ()
-      else Error (Fmt.str "record %d (%s): reference divergence" i program)
+      let* () =
+        if ref_ok then Ok ()
+        else Error (Fmt.str "record %d (%s): reference divergence" i program)
+      in
+      match Json.member "multiproc" r with
+      | None -> Ok ()
+      | Some mp ->
+          let* cells =
+            req
+              (Fmt.str "record %d (%s): multiproc not a list" i program)
+              (Json.to_list_opt mp)
+          in
+          let rec cells_ok k = function
+            | [] -> Ok ()
+            | c :: rest ->
+                let* () = check_mp_cell i program k c in
+                cells_ok (k + 1) rest
+          in
+          cells_ok 0 cells
     end
   in
   let rec go i = function

@@ -51,8 +51,28 @@ val make : graph:Dfg.Graph.t -> trace:Trace.t -> Interp.result -> t
     or {{:https://ui.perfetto.dev}Perfetto}. *)
 val chrome_trace : ?config:Config.t -> graph:Dfg.Graph.t -> Trace.t -> Json.t
 
+(** [chrome_trace_pes ?config ~graph events] — a multiprocessor run as
+    Chrome [trace_event] JSON with one track per processing element.
+    [events] are (cycle, node, context, pe) in deterministic firing
+    order, exactly what {!Multiproc.run}'s [on_fire] hook yields; the
+    per-PE lanes make the placement's load balance and network-induced
+    idle gaps directly visible. *)
+val chrome_trace_pes :
+  ?config:Config.t ->
+  graph:Dfg.Graph.t ->
+  (int * int * Context.t * int) list ->
+  Json.t
+
 (** Compact JSON rendering of a profile (curves included). *)
 val summary_json : t -> Json.t
+
+(** [sparkline curve] — one glyph per sample
+    ([' '=0 '.'=1 ':'=2 '|'=3 '#'=4+]). *)
+val sparkline : int array -> string
+
+(** [resample curve w] — downsample to at most [w] columns, taking the
+    max over each bucket, so long runs fit a terminal line. *)
+val resample : int array -> int -> int array
 
 (** Terminal rendering: headline metrics, sparkline curves, hottest
     operators, and the critical chain; says so explicitly when the
@@ -67,8 +87,24 @@ val pp : Format.formatter -> t -> unit
 
 val bench_schema_version : int
 
+(** One point of the multiprocessor scalability matrix attached to a
+    (program, schema) record: cycle count and network traffic at a given
+    PE count and placement, plus whether the run reproduced the
+    reference store. *)
+type mp_cell = {
+  mp_pes : int;
+  mp_placement : string;  (** {!Placement.policy_to_string} *)
+  mp_cycles : int;
+  mp_net_messages : int;  (** tokens that crossed PEs *)
+  mp_cut_traffic : float;  (** cross-PE fraction of all deliveries *)
+  mp_backpressure : int;
+  mp_avg_utilisation : float;  (** mean per-PE busy fraction *)
+  mp_determinate : bool;  (** final store equals the reference *)
+}
+
 (** One matrix cell.  [status] is ["ok"], ["unsupported-aliasing"] or
-    ["irreducible"]; static and dynamic metrics accompany ["ok"] cells. *)
+    ["irreducible"]; static and dynamic metrics accompany ["ok"] cells,
+    and [multiproc] carries the scalability sweep when one was run. *)
 val bench_record :
   program:string ->
   schema:string ->
@@ -77,13 +113,19 @@ val bench_record :
   ?result:Interp.result ->
   ?reference_ok:bool ->
   ?max_overlap:int ->
+  ?multiproc:mp_cell list ->
   unit ->
   Json.t
 
-(** The whole document: meta header plus records. *)
-val bench_file : records:Json.t list -> Json.t
+(** The whole document: meta header, optional [multiproc_summary]
+    scalars (e.g. [speedup_p8], [cut_traffic_ratio],
+    [multiproc_determinate]) and the records. *)
+val bench_file : ?summary:(string * Json.t) list -> records:Json.t list ->
+  unit -> Json.t
 
 (** Structural validation of a BENCH document: meta version, required
-    fields per ["ok"] record, and [reference_ok = true] everywhere —
-    a reference divergence is a validation error. *)
+    fields per ["ok"] record, [reference_ok = true] everywhere, every
+    multiproc cell [determinate], and — when the summary block is
+    present — well-typed scalars with [multiproc_determinate = true].
+    Any divergence is a validation error. *)
 val validate_bench : Json.t -> (unit, string) result

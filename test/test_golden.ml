@@ -77,10 +77,60 @@ let verdict_line name spec p =
         name st.Dfg.Stats.nodes st.Dfg.Stats.arcs st.Dfg.Stats.switches
         st.Dfg.Stats.merges verdict
 
+(* One multiprocessor line per placement at p=4: the partition shape
+   (cut arcs, balance) and the differential verdict against the
+   reference store.  Uses the best sound no-aliasing schema that
+   compiles (2-opt pipelined, else schema 1) and says which. *)
+let multiproc_line placement p =
+  let sname, c =
+    match Dflow.Driver.compile (Dflow.Driver.Schema2_opt Dflow.Engine.Pipelined) p with
+    | c -> ("schema2-opt", Some c)
+    | exception (Cfg.Intervals.Irreducible _ | Dflow.Driver.Aliasing_unsupported _)
+      -> (
+        match Dflow.Driver.compile Dflow.Driver.Schema1 p with
+        | c -> ("schema1", Some c)
+        | exception _ -> ("none", None))
+  in
+  let pname = Machine.Placement.policy_to_string placement in
+  match c with
+  | None -> Fmt.str "multiproc p=4 %-12s not-compilable" pname
+  | Some c -> (
+      let prog =
+        {
+          Machine.Interp.graph = c.Dflow.Driver.graph;
+          layout = c.Dflow.Driver.layout;
+        }
+      in
+      match Machine.Multiproc.run ~placement ~pes:4 prog with
+      | exception e ->
+          Fmt.str "multiproc p=4 %-12s (%s) raised %s" pname sname
+            (Printexc.to_string e)
+      | Error _ -> Fmt.str "multiproc p=4 %-12s (%s) failed" pname sname
+      | Ok r ->
+          let verdict =
+            if not r.Machine.Multiproc.completed then "stalled"
+            else if r.Machine.Multiproc.leftover_tokens <> 0 then "leftover"
+            else if
+              Imp.Memory.equal
+                (Imp.Eval.run_program ~fuel:10_000_000 p)
+                r.Machine.Multiproc.memory
+            then "ok"
+            else "diverged"
+          in
+          let st = r.Machine.Multiproc.placement_stats in
+          Fmt.str
+            "multiproc p=4 %-12s (%s) cut=%d/%d balance=%.2f verdict=%s"
+            pname sname st.Machine.Placement.cut_arcs
+            st.Machine.Placement.total_arcs st.Machine.Placement.balance
+            verdict)
+
 let snapshot name path =
   let p = Imp.Parser.program_of_string (read_file path) in
   let lines =
     List.map (fun (sname, spec) -> verdict_line sname spec p) schemas
+    @ List.map
+        (fun placement -> multiproc_line placement p)
+        [ Machine.Placement.Hash; Machine.Placement.Affinity ]
   in
   Fmt.str "# %s.imp — static counts and machine verdict per schema@.%s@."
     name

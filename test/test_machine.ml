@@ -353,6 +353,39 @@ let test_policy_determinacy () =
     (Imp.Memory.equal rf.Machine.Interp.memory rl.Machine.Interp.memory);
   checki "same work" rf.Machine.Interp.firings rl.Machine.Interp.firings
 
+let test_policy_timing_differs () =
+  (* The other half of the Fifo/Lifo claim: the policies really do take
+     different schedules, so on a PE-bound loop kernel the cycle counts
+     must differ while the stores stay identical.  A loop keeps enough
+     ready tokens alive per cycle that issue order is observable. *)
+  let p = Imp.Factory.fib_kernel ~n:10 () in
+  let c = Dflow.Driver.compile (Dflow.Driver.Schema2 Dflow.Engine.Pipelined) p in
+  let prog =
+    { Machine.Interp.graph = c.Dflow.Driver.graph; layout = c.Dflow.Driver.layout }
+  in
+  let reference = Imp.Eval.run_program ~fuel:1_000_000 p in
+  let run pes policy =
+    Machine.Interp.run_exn
+      ~config:{ Machine.Config.default with Machine.Config.pes = Some pes; policy }
+      prog
+  in
+  (* scan a few PE bounds: the schedules only diverge once the machine
+     is narrow enough that the ready queue holds real choices *)
+  let diverged =
+    List.exists
+      (fun pes ->
+        let rf = run pes Machine.Config.Fifo in
+        let rl = run pes Machine.Config.Lifo in
+        checkb "fifo matches reference" true
+          (Imp.Memory.equal reference rf.Machine.Interp.memory);
+        checkb "lifo matches reference" true
+          (Imp.Memory.equal reference rl.Machine.Interp.memory);
+        checki "same work" rf.Machine.Interp.firings rl.Machine.Interp.firings;
+        rf.Machine.Interp.cycles <> rl.Machine.Interp.cycles)
+      [ 1; 2; 3 ]
+  in
+  checkb "some PE bound shows differing cycle counts" true diverged
+
 let test_matching_store_stats () =
   let p = Imp.Factory.fib_kernel ~n:8 () in
   let c = Dflow.Driver.compile (Dflow.Driver.Schema2 Dflow.Engine.Barrier) p in
@@ -465,6 +498,8 @@ let () =
             test_profile_sums_to_firings;
           Alcotest.test_case "scheduling policy determinacy" `Quick
             test_policy_determinacy;
+          Alcotest.test_case "scheduling policy timing differs" `Quick
+            test_policy_timing_differs;
           Alcotest.test_case "memory ports" `Quick test_memory_ports;
           Alcotest.test_case "determinacy across configurations" `Quick
             test_configuration_determinacy;

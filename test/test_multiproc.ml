@@ -1,0 +1,325 @@
+(* The multiprocessor tier: placement policies, the interconnect model,
+   and the central determinacy property — the final store of a
+   multiproc run must equal the reference interpreter's and the
+   single-PE machine's for every placement policy × network config × PE
+   count, on the example suite and on seeded random programs. *)
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+module P = Machine.Placement
+module Net = Machine.Network
+module MP = Machine.Multiproc
+
+let contended =
+  {
+    Net.latency = 3;
+    bandwidth = 1;
+    queue_capacity = Some 2;
+    modules = Some 2;
+  }
+
+let net_grid = [ ("fast", Net.fast); ("contended", contended) ]
+
+let programs_dir =
+  List.find_opt Sys.file_exists
+    [ "../examples/programs"; "examples/programs" ]
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let example_programs () =
+  match programs_dir with
+  | None -> Alcotest.fail "cannot locate examples/programs"
+  | Some dir ->
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".imp")
+      |> List.sort compare
+      |> List.map (fun f ->
+             ( Filename.chop_extension f,
+               Imp.Parser.program_of_string
+                 (read_file (Filename.concat dir f)) ))
+
+let example name = List.assoc name (example_programs ())
+
+(* Compile under schema 2-opt where the program admits it, schema 1
+   otherwise (aliasing, irreducibility); multiproc determinacy must hold
+   for any compiled graph. *)
+let compile_best (p : Imp.Ast.program) : Dflow.Driver.compiled =
+  match Dflow.Driver.compile (Dflow.Driver.Schema2_opt Dflow.Engine.Pipelined) p with
+  | c -> c
+  | exception (Dflow.Driver.Aliasing_unsupported _ | Cfg.Intervals.Irreducible _) ->
+      Dflow.Driver.compile Dflow.Driver.Schema1 p
+
+(* ------------------------------------------------------------------ *)
+(* Placement                                                          *)
+
+let test_placement_valid () =
+  List.iter
+    (fun (name, p) ->
+      let c = compile_best p in
+      List.iter
+        (fun policy ->
+          List.iter
+            (fun pes ->
+              let t = P.compute policy ~pes c.Dflow.Driver.graph in
+              checki
+                (Fmt.str "%s/%s/p%d: every node placed" name
+                   (P.policy_to_string policy) pes)
+                (Dfg.Graph.num_nodes c.Dflow.Driver.graph)
+                (Array.length t.P.assign);
+              Array.iter
+                (fun pe ->
+                  checkb "PE in range" true (pe >= 0 && pe < pes))
+                t.P.assign;
+              let t' = P.compute policy ~pes c.Dflow.Driver.graph in
+              checkb "placement is deterministic" true (t.P.assign = t'.P.assign))
+            [ 1; 3; 4 ])
+        P.all_policies)
+    (example_programs ())
+
+let test_placement_stats () =
+  let c = compile_best (Imp.Factory.sum_kernel ~n:4 ()) in
+  let t = P.compute P.Round_robin ~pes:4 c.Dflow.Driver.graph in
+  let s = P.stats c.Dflow.Driver.graph t in
+  checki "every node counted once"
+    (Dfg.Graph.num_nodes c.Dflow.Driver.graph)
+    (Array.fold_left ( + ) 0 s.P.per_pe_nodes);
+  checkb "cut fraction within [0,1]" true
+    (s.P.cut_fraction >= 0.0 && s.P.cut_fraction <= 1.0);
+  checkb "balance at least 1" true (s.P.balance >= 0.99);
+  (* p=1 cuts nothing *)
+  let t1 = P.compute P.Hash ~pes:1 c.Dflow.Driver.graph in
+  checki "single PE has no cut arcs" 0
+    (P.stats c.Dflow.Driver.graph t1).P.cut_arcs
+
+let test_affinity_beats_hash_on_cut () =
+  (* the point of the Affinity policy: fewer cut arcs than the
+     structure-blind hash, aggregated over the example suite at p=4 *)
+  let hash_cut = ref 0 and aff_cut = ref 0 in
+  List.iter
+    (fun (_, p) ->
+      let g = (compile_best p).Dflow.Driver.graph in
+      let cut pol = (P.stats g (P.compute pol ~pes:4 g)).P.cut_arcs in
+      hash_cut := !hash_cut + cut P.Hash;
+      aff_cut := !aff_cut + cut P.Affinity)
+    (example_programs ());
+  checkb
+    (Fmt.str "affinity cut (%d) < hash cut (%d)" !aff_cut !hash_cut)
+    true (!aff_cut < !hash_cut)
+
+(* ------------------------------------------------------------------ *)
+(* Network                                                            *)
+
+let test_network_transport () =
+  let cfg =
+    { Net.latency = 3; bandwidth = 1; queue_capacity = Some 1; modules = None }
+  in
+  let n : string Net.t = Net.create ~config:cfg ~pes:2 () in
+  Net.inject n ~src:0 ~dst:1 "a";
+  Net.inject n ~src:0 ~dst:1 "b";
+  Net.inject n ~src:0 ~dst:1 "c";
+  let st = Net.stats n in
+  checki "three messages" 3 st.Net.s_messages;
+  checki "two enqueues found the queue full" 2 st.Net.s_backpressure;
+  checki "all in transit" 3 (Net.in_transit n);
+  (* bandwidth 1: one departure per cycle, arriving latency cycles on *)
+  Net.step n ~now:0;
+  checki "nothing arrives before the latency" 0
+    (List.length (Net.arrivals n ~now:1));
+  Alcotest.(check (list (pair int string)))
+    "first message arrives at now+latency"
+    [ (1, "a") ]
+    (Net.arrivals n ~now:3);
+  Net.step n ~now:3;
+  Net.step n ~now:4;
+  Alcotest.(check (list (pair int string)))
+    "second departure" [ (1, "b") ] (Net.arrivals n ~now:6);
+  Alcotest.(check (list (pair int string)))
+    "third departure" [ (1, "c") ] (Net.arrivals n ~now:7);
+  checki "network quiescent" 0 (Net.in_transit n)
+
+let test_memory_interleaving () =
+  let cfg = { Net.default with modules = Some 4 } in
+  checki "addr 5 on module 1" 1 (Net.home_pe cfg ~pes:4 ~addr:5);
+  checki "addr 6 on module 2" 2 (Net.home_pe cfg ~pes:4 ~addr:6);
+  (* more modules than PEs: modules wrap round-robin over PEs *)
+  checki "module 3 hangs off PE 1" 1 (Net.home_pe cfg ~pes:2 ~addr:3)
+
+(* ------------------------------------------------------------------ *)
+(* Determinacy: examples × placements × networks × PE counts          *)
+
+let grid_stores_agree name (c : Dflow.Driver.compiled) reference =
+  let prog = { Machine.Interp.graph = c.Dflow.Driver.graph; layout = c.Dflow.Driver.layout } in
+  let single = Machine.Interp.run_exn prog in
+  checkb (name ^ ": single-PE machine agrees with reference") true
+    (Imp.Memory.equal reference single.Machine.Interp.memory);
+  List.iter
+    (fun policy ->
+      List.iter
+        (fun (net_name, net) ->
+          List.iter
+            (fun pes ->
+              let r = MP.run_exn ~net ~placement:policy ~pes prog in
+              checkb
+                (Fmt.str "%s: multiproc(%s, %s, p=%d) agrees with reference"
+                   name (P.policy_to_string policy) net_name pes)
+                true
+                (Imp.Memory.equal reference r.MP.memory);
+              checkb
+                (Fmt.str "%s: multiproc(%s, %s, p=%d) agrees with single-PE"
+                   name (P.policy_to_string policy) net_name pes)
+                true
+                (Imp.Memory.equal single.Machine.Interp.memory r.MP.memory))
+            [ 1; 2; 4 ])
+        net_grid)
+    P.all_policies
+
+let test_examples_determinate () =
+  List.iter
+    (fun (name, p) ->
+      let c = compile_best p in
+      let reference = Imp.Eval.run_program ~fuel:1_000_000 p in
+      grid_stores_agree name c reference)
+    (example_programs ())
+
+(* ------------------------------------------------------------------ *)
+(* Determinacy under per-PE LIFO scheduling                           *)
+
+let test_lifo_multiproc_determinate () =
+  let p = Imp.Factory.fib_kernel ~n:8 () in
+  let c = compile_best p in
+  let prog = { Machine.Interp.graph = c.Dflow.Driver.graph; layout = c.Dflow.Driver.layout } in
+  let reference = Imp.Eval.run_program ~fuel:1_000_000 p in
+  let lifo = { Machine.Config.default with policy = Machine.Config.Lifo } in
+  List.iter
+    (fun pes ->
+      let r = MP.run_exn ~config:lifo ~placement:P.Affinity ~pes prog in
+      checkb (Fmt.str "LIFO multiproc p=%d agrees" pes) true
+        (Imp.Memory.equal reference r.MP.memory))
+    [ 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Accounting invariants of one multiproc run                         *)
+
+let test_multiproc_accounting () =
+  let p = example "stencil" in
+  let c = compile_best p in
+  let prog = { Machine.Interp.graph = c.Dflow.Driver.graph; layout = c.Dflow.Driver.layout } in
+  let r = MP.run_exn ~placement:P.Affinity ~pes:4 prog in
+  checki "per-PE firings sum to the total" r.MP.firings
+    (Array.fold_left ( + ) 0 r.MP.per_pe_firings);
+  checkb "network saw traffic" true (r.MP.net_messages > 0);
+  checkb "most tokens stayed local under affinity" true
+    (r.MP.local_deliveries > r.MP.net_messages);
+  checkb "cut traffic is the network share" true
+    (r.MP.cut_traffic > 0.0 && r.MP.cut_traffic < 1.0);
+  checkb "memory accesses all routed" true
+    (r.MP.mem_local + r.MP.mem_remote = r.MP.memory_ops);
+  checki "occupancy curve covers the run"
+    (Array.length r.MP.per_pe_curve.(0))
+    (Array.length r.MP.net_occupancy);
+  checkb "diagnosis carries the network section" true
+    (r.MP.diagnosis.Machine.Diagnosis.network <> None);
+  (* p=1 never touches the network *)
+  let r1 = MP.run_exn ~placement:P.Hash ~pes:1 prog in
+  checki "p=1 sends no messages" 0 r1.MP.net_messages;
+  checki "p=1 pays no remote accesses" 0 r1.MP.mem_remote
+
+let test_backpressure_counted_not_dropped () =
+  (* a one-slot, one-per-cycle network under round-robin placement:
+     heavy backpressure, yet nothing is lost and the store still
+     agrees *)
+  let p = example "stencil" in
+  let reference = Imp.Eval.run_program ~fuel:1_000_000 p in
+  let c = compile_best p in
+  let prog = { Machine.Interp.graph = c.Dflow.Driver.graph; layout = c.Dflow.Driver.layout } in
+  let net =
+    { Net.latency = 2; bandwidth = 1; queue_capacity = Some 1; modules = None }
+  in
+  let r = MP.run_exn ~net ~placement:P.Round_robin ~pes:4 prog in
+  checkb "backpressure events recorded" true (r.MP.backpressure > 0);
+  checkb "store agrees despite saturation" true
+    (Imp.Memory.equal reference r.MP.memory);
+  checki "no leftover tokens" 0 r.MP.leftover_tokens
+
+(* ------------------------------------------------------------------ *)
+(* The qcheck differential suite: ≥100 seeded random programs         *)
+
+let small_cfg =
+  {
+    Workloads.Random_gen.default_config with
+    num_vars = 4;
+    num_arrays = 1;
+    array_extent = 4;
+    max_depth = 2;
+    max_len = 3;
+    loop_bound = 3;
+  }
+
+let arb_program =
+  QCheck.make
+    ~print:Imp.Pretty.program_to_string
+    (Workloads.Random_gen.structured ~config:small_cfg)
+
+let prop_multiproc_determinate (p : Imp.Ast.program) =
+  let reference = Imp.Eval.run_program ~fuel:1_000_000 p in
+  let c = compile_best p in
+  let prog = { Machine.Interp.graph = c.Dflow.Driver.graph; layout = c.Dflow.Driver.layout } in
+  let single = Machine.Interp.run_exn prog in
+  Imp.Memory.equal reference single.Machine.Interp.memory
+  && List.for_all
+       (fun policy ->
+         List.for_all
+           (fun (_, net) ->
+             List.for_all
+               (fun pes ->
+                 let r = MP.run_exn ~net ~placement:policy ~pes prog in
+                 Imp.Memory.equal reference r.MP.memory)
+               [ 1; 2; 4 ])
+           net_grid)
+       P.all_policies
+
+let qcheck_determinacy =
+  QCheck_alcotest.to_alcotest
+    ~rand:(Random.State.make [| 0xD1F0 |])
+    (QCheck.Test.make ~name:"multiproc determinacy (random programs)"
+       ~count:100 arb_program prop_multiproc_determinate)
+
+let () =
+  Alcotest.run "multiproc"
+    [
+      ( "placement",
+        [
+          Alcotest.test_case "assignments valid" `Quick test_placement_valid;
+          Alcotest.test_case "stats" `Quick test_placement_stats;
+          Alcotest.test_case "affinity beats hash on cut" `Quick
+            test_affinity_beats_hash_on_cut;
+        ] );
+      ( "network",
+        [
+          Alcotest.test_case "latency, bandwidth, backpressure" `Quick
+            test_network_transport;
+          Alcotest.test_case "memory interleaving" `Quick
+            test_memory_interleaving;
+        ] );
+      ( "determinacy",
+        [
+          Alcotest.test_case "example suite grid" `Quick
+            test_examples_determinate;
+          Alcotest.test_case "per-PE LIFO scheduling" `Quick
+            test_lifo_multiproc_determinate;
+          qcheck_determinacy;
+        ] );
+      ( "accounting",
+        [
+          Alcotest.test_case "counters and curves" `Quick
+            test_multiproc_accounting;
+          Alcotest.test_case "backpressure counted, not dropped" `Quick
+            test_backpressure_counted_not_dropped;
+        ] );
+    ]

@@ -34,6 +34,7 @@ let test_figure8_pathology_caught () =
       c_transforms = Dflow.Driver.no_transforms;
       c_name = name;
       c_broken = broken;
+      c_multiproc = None;
     }
   in
   (match

@@ -278,7 +278,7 @@ let good_bench_doc () =
       ~result:r ~reference_ok:true
       ~max_overlap:(Machine.Trace.max_context_overlap tracer) ()
   in
-  Machine.Profile.bench_file ~records:[ record ]
+  Machine.Profile.bench_file ~records:[ record ] ()
 
 let test_bench_validate_ok () =
   let doc = good_bench_doc () in
@@ -321,7 +321,8 @@ let test_bench_validate_rejects () =
          [
            Machine.Profile.bench_record ~program:"p" ~schema:"s" ~status:"ok"
              ();
-         ]);
+         ]
+       ());
   (* a reference divergence is a validation failure, not a data point *)
   let graph, tracer, r =
     traced_run (Dflow.Driver.Schema2 Dflow.Engine.Pipelined) sum_src
@@ -334,7 +335,8 @@ let test_bench_validate_rejects () =
              ~stats:(Dfg.Stats.of_graph graph)
              ~result:r ~reference_ok:false
              ~max_overlap:(Machine.Trace.max_context_overlap tracer) ();
-         ]);
+         ]
+       ());
   (* non-ok cells need no metrics: they explain themselves *)
   match
     Machine.Profile.validate_bench
@@ -343,7 +345,8 @@ let test_bench_validate_rejects () =
            [
              Machine.Profile.bench_record ~program:"p" ~schema:"s"
                ~status:"irreducible" ();
-           ])
+           ]
+         ())
   with
   | Ok () -> ()
   | Error e -> Alcotest.failf "irreducible cell rejected: %s" e
