@@ -961,11 +961,104 @@ let mp_sweep ~note ~reference (c : Dflow.Driver.compiled) =
         mp_pe_counts)
     mp_placements
 
+(* The fault-tolerance sweep (E22): the best sound configuration
+   (schema2-opt) at p=4 under seeded link faults and one seeded PE
+   fail-stop, recovered by reliable transport + checkpoint/replay,
+   across a range of checkpoint intervals.  The cost is measured
+   against the fault-free run of the same cell.  Seed 7 matches the
+   golden snapshots, so the death schedule is the audited one. *)
+let recovery_intervals = [ 10; 25; 50; 100 ]
+let recovery_fault_seed = 7
+let recovery_schema = "schema2-opt"
+
+(* CI ceiling: the stencil kernel must survive one PE death plus link
+   faults at the default checkpoint cadence for under a quarter of the
+   fault-free makespan (measured: ~3%; the margin absorbs placement or
+   transport tuning, not a rollback livelock). *)
+let recovery_overhead_ceiling = 0.25
+let recovery_ceiling_interval = 25
+
+let recovery_sweep ~note ~reference (c : Dflow.Driver.compiled) =
+  let prog =
+    { Machine.Interp.graph = c.Dflow.Driver.graph; layout = c.Dflow.Driver.layout }
+  in
+  let pes = 4 and placement = Machine.Placement.Affinity in
+  let baseline = Machine.Multiproc.run_exn ~placement ~pes prog in
+  let base = baseline.Machine.Multiproc.cycles in
+  List.map
+    (fun interval ->
+      let faults =
+        Machine.Fault.make
+          (Machine.Fault.spec ~rate:0.01 ~classes:Machine.Fault.link_classes
+             ~seed:recovery_fault_seed ())
+      in
+      let recovery =
+        Machine.Recovery.spec ~interval
+          ~deaths:
+            (Machine.Recovery.seeded_deaths ~seed:recovery_fault_seed ~pes
+               ~window:60)
+          ()
+      in
+      let cell =
+        match Machine.Multiproc.run ~placement ~pes ~faults ~recovery prog with
+        | Ok r ->
+            let recovered =
+              r.Machine.Multiproc.completed
+              && r.Machine.Multiproc.leftover_tokens = 0
+              && Imp.Memory.equal reference r.Machine.Multiproc.memory
+            in
+            let m =
+              match r.Machine.Multiproc.recovery with
+              | Some m -> m
+              | None -> Machine.Recovery.metrics_create ()
+            in
+            {
+              Machine.Profile.rc_pes = pes;
+              rc_placement = Machine.Placement.policy_to_string placement;
+              rc_interval = interval;
+              rc_cycles = r.Machine.Multiproc.cycles;
+              rc_baseline_cycles = base;
+              rc_overhead =
+                (float_of_int r.Machine.Multiproc.cycles
+                /. float_of_int (max 1 base))
+                -. 1.0;
+              rc_deaths = m.Machine.Recovery.m_deaths;
+              rc_rollbacks = m.Machine.Recovery.m_rollbacks;
+              rc_checkpoints = m.Machine.Recovery.m_checkpoints;
+              rc_lost_cycles = m.Machine.Recovery.m_lost_cycles;
+              rc_replayed_firings = m.Machine.Recovery.m_replayed_firings;
+              rc_retransmits =
+                (match r.Machine.Multiproc.transport with
+                | Some s -> s.Machine.Network.r_retransmits
+                | None -> 0);
+              rc_recovered = recovered;
+            }
+        | Error _ ->
+            {
+              Machine.Profile.rc_pes = pes;
+              rc_placement = Machine.Placement.policy_to_string placement;
+              rc_interval = interval;
+              rc_cycles = 0;
+              rc_baseline_cycles = base;
+              rc_overhead = 0.0;
+              rc_deaths = 0;
+              rc_rollbacks = 0;
+              rc_checkpoints = 0;
+              rc_lost_cycles = 0;
+              rc_replayed_firings = 0;
+              rc_retransmits = 0;
+              rc_recovered = false;
+            }
+      in
+      note cell;
+      cell)
+    recovery_intervals
+
 (* One cell: compile, run traced, check against the reference
    interpreter.  Cells a schema cannot express are real results — the
    record says why instead of vanishing from the matrix. *)
-let bench_cell ?mp_note ~program:(pname, p) ~schema:(sname, spec, transforms) ()
-    =
+let bench_cell ?mp_note ?recovery_note ~program:(pname, p)
+    ~schema:(sname, spec, transforms) () =
   match compile ~transforms spec p with
   | exception Cfg.Intervals.Irreducible _ ->
       ( Machine.Profile.bench_record ~program:pname ~schema:sname
@@ -998,10 +1091,16 @@ let bench_cell ?mp_note ~program:(pname, p) ~schema:(sname, spec, transforms) ()
               Some (mp_sweep ~note ~reference c)
           | _ -> None
         in
+        let recovery =
+          match recovery_note with
+          | Some note when sname = recovery_schema ->
+              Some (recovery_sweep ~note ~reference c)
+          | _ -> None
+        in
         ( Machine.Profile.bench_record ~program:pname ~schema:sname ~status:"ok"
             ~stats ~result:r ~reference_ok:ok
             ~max_overlap:(Machine.Trace.max_context_overlap tracer) ?multiproc
-            (),
+            ?recovery (),
           Some (ok, Machine.Interp.avg_parallelism r) )
 
 let bench_json ~out ~programs_dir () =
@@ -1039,6 +1138,10 @@ let bench_json ~out ~programs_dir () =
      feed for the summary scalars and the scalability floors *)
   let mp_table = Hashtbl.create 64 in
   let mp_diverged = ref false in
+  (* (program, checkpoint interval) -> recovery cell; the feed for the
+     E22 overhead ceiling *)
+  let recovery_table = Hashtbl.create 16 in
+  let recovery_failed = ref false in
   let records =
     List.concat_map
       (fun ((pname, _) as program) ->
@@ -1065,7 +1168,25 @@ let bench_json ~out ~programs_dir () =
                         c.Machine.Profile.mp_net_messages ))
               else None
             in
-            let record, dyn = bench_cell ?mp_note ~program ~schema () in
+            let recovery_note =
+              if List.mem pname example_names then
+                Some
+                  (fun (c : Machine.Profile.recovery_cell) ->
+                    if not c.Machine.Profile.rc_recovered then begin
+                      recovery_failed := true;
+                      Fmt.epr
+                        "bench: %s under %s FAILED to recover (checkpoint \
+                         interval %d)@."
+                        pname sname c.Machine.Profile.rc_interval
+                    end;
+                    Hashtbl.replace recovery_table
+                      (pname, c.Machine.Profile.rc_interval)
+                      c)
+              else None
+            in
+            let record, dyn =
+              bench_cell ?mp_note ?recovery_note ~program ~schema ()
+            in
             (match dyn with
             | Some (ok, par) ->
                 if not ok then divergences := (pname, sname) :: !divergences;
@@ -1181,16 +1302,45 @@ let bench_json ~out ~programs_dir () =
     Fmt.epr "bench: multiprocessor determinacy divergence (see above)@.";
     exit 1
   end;
+  (* the fault-tolerance floors of E22: every seeded faulty run must
+     have recovered the reference store, and the stencil's recovery
+     overhead at the default checkpoint cadence stays under the ceiling *)
+  if !recovery_failed then begin
+    Fmt.epr "bench: fault-tolerance sweep failed to recover (see above)@.";
+    exit 1
+  end;
+  (match
+     Hashtbl.find_opt recovery_table ("stencil", recovery_ceiling_interval)
+   with
+  | Some c ->
+      let ov = c.Machine.Profile.rc_overhead in
+      if ov > recovery_overhead_ceiling then begin
+        Fmt.epr
+          "bench: stencil recovery overhead %.2f exceeds the ceiling %.2f \
+           (checkpoint interval %d)@."
+          ov recovery_overhead_ceiling recovery_ceiling_interval;
+        exit 1
+      end
+      else
+        Fmt.pr
+          "stencil recovery overhead at interval %d: %.2f of the fault-free \
+           makespan (ceiling %.2f; %d death(s), %d rollback(s))@."
+          recovery_ceiling_interval ov recovery_overhead_ceiling
+          c.Machine.Profile.rc_deaths c.Machine.Profile.rc_rollbacks
+  | None -> Fmt.epr "bench: warning: no stencil recovery cells in this matrix@.");
   let oc = open_out out in
   output_string oc text;
   close_out oc;
   Fmt.pr
     "wrote %s: %d records (%d programs x %d schemas; multiproc sweep on %d \
-     examples x %d schemas x p in {%s})@."
+     examples x %d schemas x p in {%s}; recovery sweep on %s at p=4 x \
+     intervals {%s})@."
     out (List.length records) (List.length programs)
     (List.length bench_schemas) (List.length examples)
     (List.length mp_schemas)
     (String.concat "," (List.map string_of_int mp_pe_counts))
+    recovery_schema
+    (String.concat "," (List.map string_of_int recovery_intervals))
 
 (* ===================================================================== *)
 (* E21 -- multiprocessor scalability                                     *)
@@ -1274,13 +1424,122 @@ let e21 () =
           Machine.Placement.Affinity ]
 
 (* ===================================================================== *)
+(* E22 -- fault tolerance: recovery overhead vs checkpoint interval      *)
+
+let e22 () =
+  section "E22" "Fault tolerance: recovery cost vs checkpoint cadence";
+  claim
+    "under seeded link faults and one PE fail-stop the machine recovers \
+     the exact reference store (determinacy makes replay safe); the \
+     makespan overhead trades checkpoint frequency against replay \
+     distance -- tight intervals lose little progress per rollback, \
+     loose ones checkpoint rarely but replay more";
+  match find_programs_dir () with
+  | None -> Fmt.epr "  (skipped: examples/programs not found)@."
+  | Some dir ->
+      let p =
+        Imp.Parser.program_of_string
+          (read_file (Filename.concat dir "stencil.imp"))
+      in
+      let reference = Imp.Eval.run_program ~fuel:10_000_000 p in
+      let c = compile s2op p in
+      Fmt.pr "  stencil, schema2-opt, p=4 affinity, seed %d (rate 0.01 link \
+              faults + 1 fail-stop)@." recovery_fault_seed;
+      Fmt.pr "  %-10s %8s %9s %8s %6s %6s %6s %8s %8s %6s@." "interval"
+        "cycles" "overhead" "ckpts" "death" "rollbk" "lost" "replayed"
+        "retrans" "store";
+      let cells =
+        recovery_sweep ~note:(fun _ -> ()) ~reference c
+      in
+      List.iter
+        (fun (cell : Machine.Profile.recovery_cell) ->
+          Fmt.pr "  %-10d %8d %8.1f%% %8d %6d %6d %6d %8d %8d %6s@."
+            cell.Machine.Profile.rc_interval cell.Machine.Profile.rc_cycles
+            (100.0 *. cell.Machine.Profile.rc_overhead)
+            cell.Machine.Profile.rc_checkpoints
+            cell.Machine.Profile.rc_deaths cell.Machine.Profile.rc_rollbacks
+            cell.Machine.Profile.rc_lost_cycles
+            cell.Machine.Profile.rc_replayed_firings
+            cell.Machine.Profile.rc_retransmits
+            (if cell.Machine.Profile.rc_recovered then "ok" else "WRONG"))
+        cells;
+      (match cells with
+      | first :: _ ->
+          Fmt.pr "  fault-free baseline: %d cycles@."
+            first.Machine.Profile.rc_baseline_cycles
+      | [] -> ());
+      if
+        List.exists
+          (fun (c : Machine.Profile.recovery_cell) ->
+            not c.Machine.Profile.rc_recovered)
+          cells
+      then failwith "E22: a faulty run failed to recover the reference store!";
+      (* the other axis: fault rate at the default checkpoint cadence *)
+      let prog =
+        {
+          Machine.Interp.graph = c.Dflow.Driver.graph;
+          layout = c.Dflow.Driver.layout;
+        }
+      in
+      let pes = 4 and placement = Machine.Placement.Affinity in
+      let base =
+        (Machine.Multiproc.run_exn ~placement ~pes prog).Machine.Multiproc.cycles
+      in
+      Fmt.pr "@.  fault-rate sweep at checkpoint interval %d:@."
+        recovery_ceiling_interval;
+      Fmt.pr "  %-10s %8s %9s %10s %8s %6s@." "rate" "cycles" "overhead"
+        "wire-flts" "retrans" "store";
+      List.iter
+        (fun rate ->
+          let faults =
+            Machine.Fault.make
+              (Machine.Fault.spec ~rate ~classes:Machine.Fault.link_classes
+                 ~seed:recovery_fault_seed ())
+          in
+          let recovery =
+            Machine.Recovery.spec ~interval:recovery_ceiling_interval
+              ~deaths:
+                (Machine.Recovery.seeded_deaths ~seed:recovery_fault_seed ~pes
+                   ~window:60)
+              ()
+          in
+          match Machine.Multiproc.run ~placement ~pes ~faults ~recovery prog with
+          | Ok r ->
+              let recovered =
+                r.Machine.Multiproc.completed
+                && r.Machine.Multiproc.leftover_tokens = 0
+                && Imp.Memory.equal reference r.Machine.Multiproc.memory
+              in
+              let wire, retrans =
+                match r.Machine.Multiproc.transport with
+                | Some s ->
+                    (s.Machine.Network.r_wire_faults,
+                     s.Machine.Network.r_retransmits)
+                | None -> (0, 0)
+              in
+              if not recovered then
+                failwith "E22: a faulty run failed to recover!";
+              Fmt.pr "  %-10.3f %8d %8.1f%% %10d %8d %6s@." rate
+                r.Machine.Multiproc.cycles
+                (100.0
+                *. ((float_of_int r.Machine.Multiproc.cycles
+                    /. float_of_int (max 1 base))
+                   -. 1.0))
+                wire retrans "ok"
+          | Error d ->
+              Fmt.epr "  rate %.3f: hard failure:@.%a@." rate
+                Machine.Diagnosis.pp d;
+              failwith "E22: a faulty run failed hard")
+        [ 0.0; 0.005; 0.01; 0.02; 0.05 ]
+
+(* ===================================================================== *)
 
 let experiments =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
     ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
-    ("E17", e17); ("E18", e18); ("E21", e21);
+    ("E17", e17); ("E18", e18); ("E21", e21); ("E22", e22);
   ]
 
 let () =

@@ -123,7 +123,7 @@ let fault_classes_arg =
     & info [ "fault-classes" ] ~docv:"LIST"
         ~doc:
           "Fault classes to draw from: any of drop, dup, flip, delay, \
-           stall, or all (comma separated).")
+           stall, reorder, or all (comma separated).")
 
 let run_cmd file schema transforms pes mem_latency verbose trace optimize
     fault_seed fault_rate fault_classes =
@@ -279,13 +279,38 @@ let placement_conv : Machine.Placement.policy Arg.conv =
     fun ppf p -> Fmt.string ppf (Machine.Placement.policy_to_string p) )
 
 let simulate_cmd file schema transforms optimize mp_pes placement net_latency
-    net_bandwidth net_queue modules mem_latency trace_out =
+    net_bandwidth net_queue modules mem_latency trace_out fault_seed fault_rate
+    fault_classes recover =
   let p = read_program file in
   let transforms = transforms_of_list transforms in
   let compiled = Dflow.Driver.compile ~transforms schema p in
   let graph = maybe_optimize optimize compiled.Dflow.Driver.graph in
   Dfg.Check.check graph;
   let config = config_of None mem_latency in
+  let faults =
+    Option.map
+      (fun seed ->
+        let classes =
+          try Machine.Fault.classes_of_string fault_classes
+          with Failure msg ->
+            Fmt.epr "df_compile: %s@." msg;
+            exit 2
+        in
+        Machine.Fault.make
+          (Machine.Fault.spec ~seed ~rate:fault_rate ~classes ()))
+      fault_seed
+  in
+  let recovery =
+    if not recover then None
+    else
+      let deaths =
+        match fault_seed with
+        | Some seed ->
+            Machine.Recovery.seeded_deaths ~seed ~pes:mp_pes ~window:60
+        | None -> []
+      in
+      Some (Machine.Recovery.spec ~deaths ())
+  in
   let net =
     {
       Machine.Network.latency = net_latency;
@@ -301,7 +326,8 @@ let simulate_cmd file schema transforms optimize mp_pes placement net_latency
   in
   let r =
     match
-      Machine.Multiproc.run ~config ~net ~placement ~on_fire ~pes:mp_pes
+      Machine.Multiproc.run ~config ~net ~placement ~on_fire ?faults ?recovery
+        ~pes:mp_pes
         { Machine.Interp.graph; layout = compiled.Dflow.Driver.layout }
     with
     | Ok r -> r
@@ -331,6 +357,28 @@ let simulate_cmd file schema transforms optimize mp_pes placement net_latency
     (100.0 *. r.Machine.Multiproc.cut_traffic);
   Fmt.pr "backpressure     %d stalled enqueues, peak queue %d@."
     r.Machine.Multiproc.backpressure r.Machine.Multiproc.peak_queue;
+  (match (r.Machine.Multiproc.transport, r.Machine.Multiproc.recovery) with
+  | None, None -> ()
+  | transport, recovery ->
+      Fmt.pr "== fault tolerance ==@.";
+      (match transport with
+      | None -> ()
+      | Some st ->
+          Fmt.pr
+            "transport        %d sends, %d retransmits, %d dup drops, %d \
+             wire faults, %d losses@."
+            st.Machine.Network.r_sends st.Machine.Network.r_retransmits
+            st.Machine.Network.r_dups_dropped st.Machine.Network.r_wire_faults
+            st.Machine.Network.r_losses);
+      (match recovery with
+      | None -> ()
+      | Some m ->
+          Fmt.pr
+            "recovery         recovered: %d death(s), %d rollback(s), %d \
+             checkpoint(s), %d lost cycles, %d replayed firings@."
+            m.Machine.Recovery.m_deaths m.Machine.Recovery.m_rollbacks
+            m.Machine.Recovery.m_checkpoints m.Machine.Recovery.m_lost_cycles
+            m.Machine.Recovery.m_replayed_firings));
   Array.iteri
     (fun pe u ->
       Fmt.pr "pe %-2d            %5d firings, %4.1f%% busy@." pe
@@ -393,7 +441,15 @@ let simulate_term =
         value & opt (some string) None
         & info [ "trace-out" ] ~docv:"PATH"
             ~doc:
-              "Write a Chrome trace_event JSON with one track per PE."))
+              "Write a Chrome trace_event JSON with one track per PE.")
+    $ fault_seed_arg $ fault_rate_arg $ fault_classes_arg
+    $ Arg.(
+        value & flag
+        & info [ "recover" ]
+            ~doc:
+              "Enable checkpoint/replay recovery: epoch snapshots, plus — \
+               with --fault-seed — one seeded PE fail-stop whose nodes are \
+               remapped over the survivors and replayed."))
 
 (* --- dot ------------------------------------------------------------- *)
 

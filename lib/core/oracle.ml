@@ -11,6 +11,7 @@ type combo = {
   c_name : string;
   c_broken : bool;
   c_multiproc : (Machine.Placement.policy * int * Machine.Network.config) option;
+  c_faulty : bool;
 }
 
 let transforms_suffix (t : Driver.transforms) : string =
@@ -24,14 +25,15 @@ let transforms_suffix (t : Driver.transforms) : string =
          (t.Driver.istructure, "istructures");
        ])
 
-let combo ?(broken = false) ?multiproc spec transforms =
+let combo ?(broken = false) ?multiproc ?(faulty = false) spec transforms =
   let mp_suffix =
     match multiproc with
     | None -> ""
     | Some (policy, pes, net) ->
-        Fmt.str "@p%d-%s%s" pes
+        Fmt.str "@p%d-%s%s%s" pes
           (Machine.Placement.policy_to_string policy)
           (if net = Machine.Network.fast then "-fast" else "")
+          (if faulty then "+faults+recover" else "")
   in
   {
     c_spec = spec;
@@ -39,6 +41,7 @@ let combo ?(broken = false) ?multiproc spec transforms =
     c_name = Driver.spec_to_string spec ^ transforms_suffix transforms ^ mp_suffix;
     c_broken = broken;
     c_multiproc = multiproc;
+    c_faulty = faulty;
   }
 
 let combos_for ?(include_broken = false) (p : Imp.Ast.program) : combo list =
@@ -104,7 +107,28 @@ let combos_for ?(include_broken = false) (p : Imp.Ast.program) : combo list =
           (Schema2 Engine.Pipelined) value;
       ]
   in
-  base @ s2 @ s3 @ mp @ broken
+  (* faulty multiprocessor points: seeded link faults and one seeded PE
+     fail-stop under reliable transport + checkpoint/replay — the
+     recovered store must still equal the reference, zero divergences.
+     Schema 3 keeps the aliasing side covered here too. *)
+  let mp_faulty =
+    let deflt = Machine.Network.default in
+    [
+      combo ~faulty:true
+        ~multiproc:(Machine.Placement.Hash, 2, deflt)
+        (Schema3 (Classes, Engine.Barrier))
+        t0;
+    ]
+    @
+    if aliasing then []
+    else
+      [
+        combo ~faulty:true
+          ~multiproc:(Machine.Placement.Affinity, 4, deflt)
+          (Schema2_opt Engine.Pipelined) t0;
+      ]
+  in
+  base @ s2 @ s3 @ mp @ mp_faulty @ broken
 
 type status =
   | Agree
@@ -162,9 +186,30 @@ let run_combo ?(machine = default_machine) (c : combo) (p : Imp.Ast.program) :
                       finish r.Machine.Interp.diagnosis
                         r.Machine.Interp.memory)
               | Some (placement, pes, net) -> (
+                  (* faulty points derive their whole fault schedule from
+                     the program text, so any divergence replays *)
+                  let faults, recovery =
+                    if not c.c_faulty then (None, None)
+                    else
+                      let seed =
+                        1
+                        + (Hashtbl.hash (Imp.Pretty.program_to_string p)
+                          land 0xFFFF)
+                      in
+                      ( Some
+                          (Machine.Fault.make
+                             (Machine.Fault.spec ~seed ~rate:0.01
+                                ~classes:Machine.Fault.link_classes ())),
+                        Some
+                          (Machine.Recovery.spec
+                             ~deaths:
+                               (Machine.Recovery.seeded_deaths ~seed ~pes
+                                  ~window:60)
+                             ()) )
+                  in
                   match
                     Machine.Multiproc.run ~config:machine ~net ~placement
-                      ~pes prog
+                      ?faults ?recovery ~pes prog
                   with
                   | exception exn ->
                       Fail ("multiproc: " ^ Printexc.to_string exn)

@@ -30,14 +30,21 @@ type combo = {
   c_multiproc : (Machine.Placement.policy * int * Machine.Network.config) option;
       (** [Some (policy, pes, net)] executes on {!Machine.Multiproc}
           instead of the single-PE machine — same differential bar *)
+  c_faulty : bool;
+      (** multiprocessor point executed under seeded link faults plus
+          one seeded PE fail-stop, with reliable transport and
+          checkpoint/replay recovery on: the recovered run must still
+          verdict [Clean] and match the reference store exactly *)
 }
 
 (** [combos_for ?include_broken p] — every combination applicable to
     [p]: Schema 1 and Schema 3 (all covers) always; Schema 2 / 2-opt
     families with their transform sets when [p] is alias-free; a
     multiprocessor tier (two placements, two network configurations,
-    Schema 3 covering the aliasing side); the broken
-    [Schema2_unsafe_no_loop_control] variant when asked for. *)
+    Schema 3 covering the aliasing side); faulty multiprocessor points
+    (link faults plus one PE fail-stop, recovery on — zero divergences
+    expected); the broken [Schema2_unsafe_no_loop_control] variant when
+    asked for. *)
 val combos_for : ?include_broken:bool -> Imp.Ast.program -> combo list
 
 (** Outcome of one combo on one program. *)

@@ -8,6 +8,7 @@ type blocked = {
   b_ctx : Context.t;
   b_present : int list;
   b_missing : int list;
+  b_pe : int option;
 }
 
 type pressure = {
@@ -31,6 +32,7 @@ type verdict =
   | Collision of string
   | Double_write of string
   | Diverged of int
+  | Corrupted of string
 
 type t = {
   verdict : verdict;
@@ -39,12 +41,15 @@ type t = {
   blocked : blocked list;
   deferred_reads : (int * int) list;
   tokens_by_context : (Context.t * int) list;
+  waiting_by_pe : (int * int) list;
   pressure : pressure;
   network : net_pressure option;
   faults : Fault.event list;
+  sanitizer : Sanitize.violation list;
 }
 
-let is_clean (d : t) = d.verdict = Clean && d.faults = []
+let is_clean (d : t) =
+  d.verdict = Clean && d.faults = [] && d.sanitizer = []
 
 let verdict_to_string = function
   | Clean -> "clean"
@@ -53,8 +58,12 @@ let verdict_to_string = function
   | Collision m -> Fmt.str "token collision: %s" m
   | Double_write m -> Fmt.str "I-structure double write: %s" m
   | Diverged bound -> Fmt.str "diverged (exceeded %d cycles)" bound
+  | Corrupted m -> Fmt.str "corrupted (sanitizer): %s" m
 
 let pp_blocked ppf (b : blocked) =
+  (match b.b_pe with
+  | Some pe -> Fmt.pf ppf "[pe %d] " pe
+  | None -> ());
   Fmt.pf ppf "node %d (%s) ctx %s: have ports {%a}, missing {%a}" b.b_node
     b.b_label
     (Context.to_string b.b_ctx)
@@ -105,6 +114,18 @@ let pp ppf (d : t) =
       (fun i (ctx, n) ->
         if i < 10 then Fmt.pf ppf "  %-16s %d@." (Context.to_string ctx) n)
       d.tokens_by_context
+  end;
+  if d.waiting_by_pe <> [] then begin
+    Fmt.pf ppf "waiting tokens per PE:@.";
+    List.iter
+      (fun (pe, n) -> Fmt.pf ppf "  pe %-3d %d@." pe n)
+      d.waiting_by_pe
+  end;
+  if d.sanitizer <> [] then begin
+    Fmt.pf ppf "sanitizer violations (%d):@." (List.length d.sanitizer);
+    List.iteri
+      (fun i v -> if i < 20 then Fmt.pf ppf "  %a@." Sanitize.pp_violation v)
+      d.sanitizer
   end;
   if d.faults <> [] then begin
     Fmt.pf ppf "injected faults (%d):@." (List.length d.faults);

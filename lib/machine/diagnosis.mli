@@ -18,6 +18,9 @@ type blocked = {
   b_ctx : Context.t;
   b_present : int list;  (** input ports holding a token *)
   b_missing : int list;  (** input ports still empty *)
+  b_pe : int option;
+      (** PE whose matching store holds the partial match; [None] on
+          single-PE runs *)
 }
 
 (** Waiting-matching store pressure under the bounded-capacity model
@@ -52,6 +55,9 @@ type verdict =
   | Collision of string  (** single-token-per-arc discipline violated *)
   | Double_write of string  (** I-structure cell written twice *)
   | Diverged of int  (** the cycle bound that was exceeded *)
+  | Corrupted of string
+      (** the sanitizer found an invariant violation recovery could not
+          (or was not allowed to) roll back *)
 
 type t = {
   verdict : verdict;
@@ -61,12 +67,19 @@ type t = {
   deferred_reads : (int * int) list;  (** address, waiting readers *)
   tokens_by_context : (Context.t * int) list;
       (** waiting tokens per iteration context, descending *)
+  waiting_by_pe : (int * int) list;
+      (** waiting tokens per PE (multiprocessor runs; [] on single-PE) —
+          a dead or backpressured PE shows up as the one hoarding
+          partial matches *)
   pressure : pressure;
   network : net_pressure option;  (** [Some] only for multiprocessor runs *)
   faults : Fault.event list;  (** injected faults, in injection order *)
+  sanitizer : Sanitize.violation list;
+      (** token-conservation violations still standing at the end *)
 }
 
-(** [is_clean d] — verdict is {!Clean} and no faults were injected. *)
+(** [is_clean d] — verdict is {!Clean}, no faults were injected and the
+    sanitizer found nothing. *)
 val is_clean : t -> bool
 
 val verdict_to_string : verdict -> string

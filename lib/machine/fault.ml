@@ -8,6 +8,8 @@ type fault =
   | Bit_flip of int
   | Delay of int
   | Port_stall of int
+  | Reorder of int
+  | Pe_death
 
 let fault_to_string = function
   | Drop -> "drop"
@@ -15,6 +17,8 @@ let fault_to_string = function
   | Bit_flip b -> Fmt.str "bit-flip(%d)" b
   | Delay d -> Fmt.str "delay(%d)" d
   | Port_stall c -> Fmt.str "port-stall(%d)" c
+  | Reorder d -> Fmt.str "reorder(%d)" d
+  | Pe_death -> "pe-death"
 
 type classes = {
   drop : bool;
@@ -22,15 +26,27 @@ type classes = {
   bit_flip : bool;
   delay : bool;
   port_stall : bool;
+  reorder : bool;
 }
 
 let no_classes =
   { drop = false; duplicate = false; bit_flip = false; delay = false;
-    port_stall = false }
+    port_stall = false; reorder = false }
 
 let all_classes =
   { drop = true; duplicate = true; bit_flip = true; delay = true;
-    port_stall = true }
+    port_stall = true; reorder = true }
+
+(** Link-level classes only: what the reliable transport masks.  No
+    bit-flips (unmasked corruption) and no port stalls (a memory-side
+    fault). *)
+let link_classes =
+  { no_classes with drop = true; duplicate = true; delay = true;
+    reorder = true }
+
+let valid_class_names =
+  "drop, dup|duplicate, flip|bitflip|bit-flip, delay, stall|port-stall, \
+   reorder, all"
 
 let classes_of_string (s : string) : classes =
   String.split_on_char ',' s
@@ -44,7 +60,10 @@ let classes_of_string (s : string) : classes =
          | "flip" | "bitflip" | "bit-flip" -> { acc with bit_flip = true }
          | "delay" -> { acc with delay = true }
          | "stall" | "port-stall" -> { acc with port_stall = true }
-         | other -> Fmt.failwith "unknown fault class %S" other)
+         | "reorder" -> { acc with reorder = true }
+         | other ->
+             Fmt.failwith "unknown fault class %S (valid classes: %s)" other
+               valid_class_names)
        no_classes
 
 type spec = {
@@ -73,12 +92,13 @@ type plan = {
   p_spec : spec;
   mutable deliveries : int;  (* delivery events consulted so far *)
   mutable issues : int;  (* memory-issue events consulted so far *)
+  mutable links : int;  (* link (wire) events consulted so far *)
   mutable injected : int;
   mutable log : event list;  (* newest first *)
 }
 
 let make (s : spec) : plan =
-  { p_spec = s; deliveries = 0; issues = 0; injected = 0; log = [] }
+  { p_spec = s; deliveries = 0; issues = 0; links = 0; injected = 0; log = [] }
 
 let seed (p : plan) = p.p_spec.seed
 let events (p : plan) = List.rev p.log
@@ -137,6 +157,48 @@ let on_delivery (p : plan) ~cycle ~node ~value:_ : action =
     | Act f ->
         record p ~index:i ~cycle ~node f;
         Act f
+
+(* Wire-boundary classes enabled in the spec, in a fixed order.  These
+   are the faults a lossy inter-PE link can exhibit: the reliable
+   transport masks drop/duplicate/delay/reorder; a bit flip corrupts the
+   payload in a way sequence numbers cannot see (no checksums), so it is
+   the sanitizer's problem. *)
+let link_menu (c : classes) : (int -> fault) list =
+  List.filter_map
+    (fun x -> x)
+    [
+      (if c.drop then Some (fun _ -> Drop) else None);
+      (if c.duplicate then Some (fun _ -> Duplicate) else None);
+      (if c.delay then Some (fun h -> Delay (1 + (h mod 7))) else None);
+      (if c.reorder then Some (fun h -> Reorder (1 + (h mod 3))) else None);
+      (if c.bit_flip then Some (fun h -> Bit_flip (h mod 62)) else None);
+    ]
+
+let link_decision (s : spec) (i : int) : action =
+  let menu = link_menu s.classes in
+  if menu = [] then Pass
+  else
+    let h = mix s.seed 6 i in
+    if not (fires s h) then Pass
+    else
+      let h' = mix s.seed 7 i in
+      Act ((List.nth menu (h' mod List.length menu)) (mix s.seed 8 i))
+
+let on_link (p : plan) ~cycle ~dst : action =
+  let i = p.links in
+  p.links <- i + 1;
+  if p.injected >= p.p_spec.max_faults then Pass
+  else
+    match link_decision p.p_spec i with
+    | Pass -> Pass
+    | Act f ->
+        record p ~index:i ~cycle ~node:dst f;
+        Act f
+
+let record_death (p : plan) ~cycle ~pe =
+  p.log <-
+    { ev_index = p.links; ev_cycle = cycle; ev_node = pe; ev_fault = Pe_death }
+    :: p.log
 
 let on_memory_issue (p : plan) ~cycle ~node : bool =
   let i = p.issues in

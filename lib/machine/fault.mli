@@ -30,6 +30,10 @@ type fault =
   | Delay of int  (** delivery postponed by that many cycles *)
   | Port_stall of int
       (** the memory port refuses issue; the operation retries *)
+  | Reorder of int
+      (** wire fault: the frame is held back that many cycles so later
+          traffic on the link overtakes it *)
+  | Pe_death  (** fail-stop: the PE stops executing (see {!Recovery}) *)
 
 val fault_to_string : fault -> string
 
@@ -40,13 +44,20 @@ type classes = {
   bit_flip : bool;
   delay : bool;
   port_stall : bool;
+  reorder : bool;
 }
 
 val no_classes : classes
 val all_classes : classes
 
-(** [classes_of_string "drop,dup,flip,delay,stall"] (or "all").
-    @raise Failure on an unknown class name. *)
+(** The classes a lossy inter-PE link exhibits and the reliable
+    transport masks: drop, duplicate, delay, reorder — no bit flips
+    (unmasked payload corruption) and no port stalls. *)
+val link_classes : classes
+
+(** [classes_of_string "drop,dup,flip,delay,stall,reorder"] (or "all").
+    @raise Failure on an unknown class name; the message lists the valid
+    class names. *)
 val classes_of_string : string -> classes
 
 type spec = {
@@ -91,6 +102,17 @@ val on_delivery : plan -> cycle:int -> node:int -> value:Imp.Value.t -> action
     issue is refused by a stalled port (and logs it). *)
 val on_memory_issue : plan -> cycle:int -> node:int -> bool
 
+(** [on_link plan ~cycle ~dst] decides the fate of the next frame put on
+    the inter-PE wire (and logs any injection, with [ev_node] carrying
+    the {e destination PE}).  Draws from the link classes of the spec
+    (drop, duplicate, delay, reorder, bit-flip); a fresh decision stream,
+    independent of the delivery and memory-issue streams. *)
+val on_link : plan -> cycle:int -> dst:int -> action
+
+(** [record_death plan ~cycle ~pe] logs a fail-stop PE death (scheduled
+    by {!Recovery}, not drawn per-event) so the diagnosis carries it. *)
+val record_death : plan -> cycle:int -> pe:int -> unit
+
 (** [flip_value bit v] — the corrupted payload: Ints get [bit] flipped
     (modulo the int width), Bools are negated. *)
 val flip_value : int -> Imp.Value.t -> Imp.Value.t
@@ -99,3 +121,13 @@ val flip_value : int -> Imp.Value.t -> Imp.Value.t
     {!on_delivery}: what the plan will do to delivery event [i].  Exposed
     so tests can enumerate a plan without running the machine. *)
 val decision : spec -> int -> action
+
+(** [link_decision spec i] — likewise for {!on_link}: what the plan will
+    do to wire event [i]. *)
+val link_decision : spec -> int -> action
+
+(** [mix seed stream i] — the avalanche hash every decision stream draws
+    from: a pure function of its arguments, stable across runs and OCaml
+    versions.  Exposed so other seeded schedules (e.g. {!Recovery}'s
+    fail-stop plan) stay on the same deterministic footing. *)
+val mix : int -> int -> int -> int

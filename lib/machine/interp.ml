@@ -131,6 +131,10 @@ let run_report ?(config = Config.default) ?(faults : Fault.plan option)
     (p : program) : (result, Diagnosis.t) Stdlib.result =
   let g = p.graph in
   let memory = Imp.Memory.create p.layout in
+  (* token-conservation sanitizer, report-only on the single-PE path:
+     violations observed during the run land in the diagnosis *)
+  let san = Sanitize.create g in
+  let violations : Sanitize.violation list ref = ref [] in
   (* split-phase memory state (store, I-structure presence, deferred
      readers); the 'meta on deferred readers is the (depth, log index)
      provenance for critical-path accounting *)
@@ -183,6 +187,7 @@ let run_report ?(config = Config.default) ?(faults : Fault.plan option)
                b_ctx = ctx;
                b_present = present;
                b_missing = missing;
+               b_pe = None;
              })
     in
     {
@@ -192,6 +197,7 @@ let run_report ?(config = Config.default) ?(faults : Fault.plan option)
       blocked;
       deferred_reads = Firing.deferred_reads env;
       tokens_by_context = Matching.tokens_by_context [ wait ];
+      waiting_by_pe = [];
       pressure =
         {
           Diagnosis.capacity = config.Config.max_matching;
@@ -201,6 +207,7 @@ let run_report ?(config = Config.default) ?(faults : Fault.plan option)
         };
       network = None;
       faults = (match faults with Some pl -> Fault.events pl | None -> []);
+      sanitizer = List.rev !violations;
     }
   in
   let abort verdict = raise (Abort (diagnose verdict)) in
@@ -229,8 +236,10 @@ let run_report ?(config = Config.default) ?(faults : Fault.plan option)
               | Fault.Act Fault.Duplicate -> (t_done, value, 2)
               | Fault.Act (Fault.Bit_flip b) ->
                   (t_done, Fault.flip_value b value, 1)
-              | Fault.Act (Fault.Delay d) -> (t_done + d, value, 1)
-              | Fault.Act (Fault.Port_stall _) -> (t_done, value, 1))
+              | Fault.Act (Fault.Delay d) | Fault.Act (Fault.Reorder d) ->
+                  (t_done + d, value, 1)
+              | Fault.Act (Fault.Port_stall _) | Fault.Act Fault.Pe_death ->
+                  (t_done, value, 1))
         in
         for _ = 1 to copies do
           if a.Dfg.Graph.dummy then incr dummy_deliveries
@@ -283,6 +292,7 @@ let run_report ?(config = Config.default) ?(faults : Fault.plan option)
             incr spilled
           end;
           progressed := true;
+          Sanitize.on_delivery san ~node:d.d_node ~port:d.d_port;
           match
             Matching.deliver ~kind
               ~detect_collisions:config.Config.detect_collisions
@@ -331,6 +341,12 @@ let run_report ?(config = Config.default) ?(faults : Fault.plan option)
       (1 + (try Hashtbl.find by_kind family with Not_found -> 0));
     if Dfg.Node.is_memory_op kind then incr memory_ops;
     (match on_fire with Some cb -> cb t n f.f_ctx | None -> ());
+    (match
+       Sanitize.on_fire san ~node:f.f_node ~ctx:f.f_ctx
+         ~group:(Array.length f.f_inputs)
+     with
+    | Some v -> violations := v :: !violations
+    | None -> ());
     let t_done = t + Config.latency config kind in
     if t_done > !last_cycle then last_cycle := t_done;
     (* chain accounting: this firing extends the deepest input chain *)
@@ -452,6 +468,9 @@ let run_report ?(config = Config.default) ?(faults : Fault.plan option)
       if ready_length () = 0 && !pending = 0 then finished := true else incr t
     done;
     let leftover = leftover_count () in
+    List.iter
+      (fun v -> violations := v :: !violations)
+      (Sanitize.at_quiescence san ~leftover:(Matching.leftover [ wait ]));
     let verdict =
       if not !completed then Diagnosis.Deadlock
       else if leftover <> 0 then Diagnosis.Leftover leftover
@@ -518,7 +537,8 @@ let run ?config ?faults ?on_fire (p : program) : result =
       | Diagnosis.Double_write m -> raise (Double_write (dump m))
       | Diagnosis.Diverged bound ->
           raise (Divergence (dump (Fmt.str "exceeded %d cycles" bound)))
-      | Diagnosis.Clean | Diagnosis.Deadlock | Diagnosis.Leftover _ ->
+      | Diagnosis.Clean | Diagnosis.Deadlock | Diagnosis.Leftover _
+      | Diagnosis.Corrupted _ ->
           assert false)
 
 (** [run_exn ?config p] runs and additionally checks clean completion:

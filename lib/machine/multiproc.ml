@@ -3,7 +3,14 @@
     interconnect under a {!Placement}.  The operator semantics are
     {!Firing.execute} — the same rule the single-PE {!Interp} runs —
     instantiated with [unit] token metadata: the multiprocessor measures
-    communication, not critical paths. *)
+    communication, not critical paths.
+
+    With [?faults] or [?recovery] the machine switches from the raw wire
+    to the {!Network} reliable transport, runs the {!Sanitize} invariant
+    checker, and (when [?recovery] is given) takes epoch checkpoints it
+    can replay from after a PE fail-stop or a sanitizer violation.  The
+    fault-free path is untouched: same transport, same timing, same
+    counters as before. *)
 
 type result = {
   memory : Imp.Memory.t;
@@ -27,6 +34,8 @@ type result = {
   net_occupancy : int array;
   placement : Placement.t;
   placement_stats : Placement.stats;
+  transport : Network.rt_stats option;
+  recovery : Recovery.metrics option;
   diagnosis : Diagnosis.t;
 }
 
@@ -47,15 +56,50 @@ type firing = {
 
 exception Abort of Diagnosis.t
 
+(* Internal: unwinds a partially executed cycle back to the recovery
+   loop, which restores the last epoch.  Everything stateful is rebuilt
+   from the snapshot, so aborting mid-cycle is safe. *)
+exception Rollback
+
+(* An epoch checkpoint: a consistent cut of the whole machine taken at
+   the end of a cycle.  Matching stores and ready queues are kept in
+   their per-PE buckets but restore re-buckets them through the current
+   placement, so a snapshot taken before a death replays cleanly onto
+   the survivors.  Undelivered transport payloads are captured as
+   (src, dst, payload) — delivered-but-unacked frames are excluded,
+   their effect is already inside the snapshot's receiver state. *)
+type snapshot = {
+  sp_wait : (int * Context.t, Imp.Value.t option array) Hashtbl.t array;
+  sp_ready : firing Queue.t array;
+  sp_lifo : firing Stack.t array;
+  sp_locals : (int, delivery list) Hashtbl.t;
+  sp_local_pending : int;
+  sp_to_inject : (int, (int * int * delivery) list) Hashtbl.t;
+  sp_inject_pending : int;
+  sp_cells : int array;
+  sp_present : bool array;
+  sp_deferred : (int, (int * Context.t * unit) list) Hashtbl.t;
+  sp_undelivered : (int * int * delivery) list;
+  sp_completed : bool;
+  sp_firings : int;
+  sp_san : Sanitize.snap option;
+}
+
+let copy_store (s : Imp.Value.t Matching.store) :
+    (int * Context.t, Imp.Value.t option array) Hashtbl.t =
+  let c = Hashtbl.create (max 16 (Hashtbl.length s)) in
+  Hashtbl.iter (fun k arr -> Hashtbl.replace c k (Array.copy arr)) s;
+  c
+
 let run ?(config = Config.default) ?(net = Network.default)
     ?(placement = Placement.Hash) ?(issue_width = 1)
     ?(on_fire : (int -> Dfg.Node.t -> Context.t -> pe:int -> unit) option)
-    ~pes (p : Interp.program) : (result, Diagnosis.t) Stdlib.result =
+    ?(faults : Fault.plan option) ?(recovery : Recovery.spec option) ~pes
+    (p : Interp.program) : (result, Diagnosis.t) Stdlib.result =
   if pes < 1 then invalid_arg "Multiproc.run: pes must be >= 1";
   let g = p.Interp.graph in
   let pcount = pes in
-  let place = Placement.compute placement ~pes:pcount g in
-  let pstats = Placement.stats g place in
+  let place = ref (Placement.compute placement ~pes:pcount g) in
   let memory = Imp.Memory.create p.Interp.layout in
   let env : unit Firing.env =
     Firing.make_env ~graph:g ~layout:p.Interp.layout memory
@@ -79,7 +123,33 @@ let run ?(config = Config.default) ?(net = Network.default)
     Hashtbl.create 64
   in
   let inject_pending = ref 0 in
+  (* fault tolerance switches the machine from the raw wire to the
+     reliable transport; the fault-free path keeps the raw network and
+     its exact timing *)
+  let ft = faults <> None || recovery <> None in
   let network : delivery Network.t = Network.create ~config:net ~pes:pcount () in
+  let make_rt () : delivery Network.rt =
+    Network.rt_create ~config:net
+      ?fault:
+        (Option.map
+           (fun plan -> fun ~cycle ~dst -> Fault.on_link plan ~cycle ~dst)
+           faults)
+      ~corrupt:(fun b d -> { d with m_value = Fault.flip_value b d.m_value })
+      ~pes:pcount ()
+  in
+  let rt : delivery Network.rt option ref =
+    ref (if ft then Some (make_rt ()) else None)
+  in
+  let san = if ft then Some (Sanitize.create g) else None in
+  let alive = Array.make pcount true in
+  let subst = ref (Array.init pcount (fun i -> i)) in
+  let journal : snapshot Recovery.journal = Recovery.journal_create () in
+  let metrics = Recovery.metrics_create () in
+  let san_rollbacks = ref 0 in
+  let pending_deaths =
+    ref (match recovery with Some rs -> rs.Recovery.deaths | None -> [])
+  in
+  let standing_violations : Sanitize.violation list ref = ref [] in
   (* counters *)
   let firings = ref 0 in
   let memory_ops = ref 0 in
@@ -94,28 +164,61 @@ let run ?(config = Config.default) ?(net = Network.default)
   let completed = ref false in
   let last_cycle = ref 0 in
   let t = ref 0 in
+  let net_inject ~src ~dst d =
+    match !rt with
+    | Some r -> Network.rt_send r ~now:!t ~src ~dst d
+    | None -> Network.inject network ~src ~dst d
+  in
+  let net_arrivals () =
+    match !rt with
+    | Some r -> Network.rt_arrivals r ~now:!t
+    | None -> Network.arrivals network ~now:!t
+  in
+  let net_step () =
+    match !rt with
+    | Some r -> Network.rt_step r ~now:!t
+    | None -> Network.step network ~now:!t
+  in
+  let net_pending () =
+    match !rt with
+    | Some r -> Network.rt_pending r
+    | None -> Network.in_transit network
+  in
+  let wire_stats () =
+    match !rt with
+    | Some r -> Network.rt_wire_stats r
+    | None -> Network.stats network
+  in
   let leftover_count () =
     Matching.leftover (Array.to_list wait) + Firing.deferred_count env
   in
   let diagnose (verdict : Diagnosis.verdict) : Diagnosis.t =
-    let stores = Array.to_list wait in
-    let st = Network.stats network in
+    let st = wire_stats () in
+    let blocked =
+      List.concat
+        (List.init pcount (fun pe ->
+             Matching.partial_matches [ wait.(pe) ]
+             |> List.map (fun (n, ctx, present, missing) ->
+                    {
+                      Diagnosis.b_node = n;
+                      b_label = (Dfg.Graph.node g n).Dfg.Node.label;
+                      b_ctx = ctx;
+                      b_present = present;
+                      b_missing = missing;
+                      b_pe = Some pe;
+                    })))
+    in
     {
       Diagnosis.verdict;
       cycles = !t;
       leftover_tokens = leftover_count ();
-      blocked =
-        Matching.partial_matches stores
-        |> List.map (fun (n, ctx, present, missing) ->
-               {
-                 Diagnosis.b_node = n;
-                 b_label = (Dfg.Graph.node g n).Dfg.Node.label;
-                 b_ctx = ctx;
-                 b_present = present;
-                 b_missing = missing;
-               });
+      blocked;
       deferred_reads = Firing.deferred_reads env;
-      tokens_by_context = Matching.tokens_by_context stores;
+      tokens_by_context = Matching.tokens_by_context (Array.to_list wait);
+      waiting_by_pe =
+        Array.to_list
+          (Array.mapi (fun pe w -> (pe, Matching.leftover [ w ])) wait)
+        |> List.filter (fun (_, n) -> n <> 0);
       pressure =
         {
           Diagnosis.capacity = None;
@@ -131,7 +234,8 @@ let run ?(config = Config.default) ?(net = Network.default)
             net_peak_queue = st.Network.s_peak_queue;
             net_peak_in_flight = st.Network.s_peak_in_flight;
           };
-      faults = [];
+      faults = (match faults with Some pl -> Fault.events pl | None -> []);
+      sanitizer = !standing_violations;
     }
   in
   let abort verdict = raise (Abort (diagnose verdict)) in
@@ -147,7 +251,10 @@ let run ?(config = Config.default) ?(net = Network.default)
   in
   let deliver (d : delivery) =
     let kind = Dfg.Graph.kind g d.m_node in
-    let pe = place.Placement.assign.(d.m_node) in
+    let pe = (!place).Placement.assign.(d.m_node) in
+    (match san with
+    | Some s -> Sanitize.on_delivery s ~node:d.m_node ~port:d.m_port
+    | None -> ());
     match kind with
     | Dfg.Node.Merge ->
         (* no matching: forward immediately as its own firing *)
@@ -174,12 +281,37 @@ let run ?(config = Config.default) ?(net = Network.default)
               { x_node = d.m_node; x_ctx = d.m_ctx; x_inputs = inputs }
               ready.(pe))
   in
+  (* Can a sanitizer violation be rolled back right now? *)
+  let can_roll_back () =
+    match recovery with
+    | Some rs ->
+        !san_rollbacks < rs.Recovery.max_rollbacks
+        && Recovery.last journal <> None
+    | None -> false
+  in
   let execute pe (f : firing) =
     let n = Dfg.Graph.node g f.x_node in
     let kind = n.Dfg.Node.kind in
     incr firings;
     per_pe_firings.(pe) <- per_pe_firings.(pe) + 1;
     (match on_fire with Some cb -> cb !t n f.x_ctx ~pe | None -> ());
+    (match san with
+    | Some s -> (
+        match
+          Sanitize.on_fire s ~node:f.x_node ~ctx:f.x_ctx
+            ~group:(Array.length f.x_inputs)
+        with
+        | Some v ->
+            if can_roll_back () then begin
+              incr san_rollbacks;
+              raise Rollback
+            end
+            else begin
+              standing_violations := !standing_violations @ [ v ];
+              abort (Diagnosis.Corrupted (Sanitize.violation_to_string v))
+            end
+        | None -> ())
+    | None -> ());
     let lat = Config.latency config kind in
     (* Interleaved memory: an access whose owning module hangs off a
        different PE pays the request/response round trip — but only on
@@ -188,12 +320,13 @@ let run ?(config = Config.default) ?(net = Network.default)
        chain's successor token and a store's ordering token leave at
        pipeline speed; serialising whole round trips onto the
        per-variable chains would deny the machine the latency tolerance
-       dataflow exists to provide. *)
+       dataflow exists to provide.  A module homed on a dead PE is
+       served by that PE's substitute. *)
     let mem_penalty =
       if Dfg.Node.is_memory_op kind then begin
         incr memory_ops;
         let addr = Firing.address env kind f.x_inputs in
-        if Network.home_pe net ~pes:pcount ~addr = pe then begin
+        if (!subst).(Network.home_pe net ~pes:pcount ~addr) = pe then begin
           incr mem_local;
           0
         end
@@ -216,7 +349,7 @@ let run ?(config = Config.default) ?(net = Network.default)
         let t_done =
           if is_load && node = f.x_node && port = 0 then value_done else t_done
         in
-        let src_pe = place.Placement.assign.(node) in
+        let src_pe = (!place).Placement.assign.(node) in
         List.iter
           (fun (a : Dfg.Graph.arc) ->
             let dstn = a.Dfg.Graph.dst.Dfg.Graph.node in
@@ -228,21 +361,134 @@ let run ?(config = Config.default) ?(net = Network.default)
                 m_value = v;
               }
             in
-            if place.Placement.assign.(dstn) = src_pe then begin
+            if (!place).Placement.assign.(dstn) = src_pe then begin
               incr local_deliveries;
               schedule_local t_done d
             end
-            else schedule_inject t_done src_pe place.Placement.assign.(dstn) d)
+            else
+              schedule_inject t_done src_pe (!place).Placement.assign.(dstn) d)
           (Dfg.Graph.outgoing g node port))
       ~meta:() ~meta_max:(fun () () -> ())
       ~on_complete:(fun () -> completed := true)
       ~double_write:(fun msg -> abort (Diagnosis.Double_write msg))
       ~node:f.x_node ~ctx:f.x_ctx ~inputs:f.x_inputs
   in
+  (* --- checkpoint / restore ------------------------------------------- *)
+  let take_snapshot () : snapshot =
+    {
+      sp_wait = Array.map copy_store wait;
+      sp_ready = Array.map Queue.copy ready;
+      sp_lifo = Array.map Stack.copy lifo;
+      sp_locals = Hashtbl.copy locals;
+      sp_local_pending = !local_pending;
+      sp_to_inject = Hashtbl.copy to_inject;
+      sp_inject_pending = !inject_pending;
+      sp_cells = Array.copy memory.Imp.Memory.cells;
+      sp_present = Array.copy env.Firing.present;
+      sp_deferred = Hashtbl.copy env.Firing.deferred;
+      sp_undelivered =
+        (match !rt with Some r -> Network.rt_undelivered r | None -> []);
+      sp_completed = !completed;
+      sp_firings = !firings;
+      sp_san = Option.map Sanitize.snapshot san;
+    }
+  in
+  (* Restore the last epoch and resume after the failover penalty.  Time
+     is monotonic: the cycles between the epoch and the failure are lost
+     (and charged), never rewound — pending schedules are rebased onto
+     the resume cycle, and matching/ready state is re-bucketed through
+     the current (possibly remapped) placement. *)
+  let do_restore (rs : Recovery.spec) =
+    let c, sp =
+      match Recovery.last journal with Some x -> x | None -> assert false
+    in
+    metrics.Recovery.m_rollbacks <- metrics.Recovery.m_rollbacks + 1;
+    metrics.Recovery.m_lost_cycles <-
+      metrics.Recovery.m_lost_cycles + (!t - c) + rs.Recovery.failover;
+    metrics.Recovery.m_replayed_firings <-
+      metrics.Recovery.m_replayed_firings + (!firings - sp.sp_firings);
+    let resume = !t + rs.Recovery.failover + 1 in
+    let delta = resume - (c + 1) in
+    (* matching stores and ready queues, re-bucketed by current assign *)
+    for pe = 0 to pcount - 1 do
+      wait.(pe) <- Matching.create ();
+      ready.(pe) <- Queue.create ();
+      lifo.(pe) <- Stack.create ()
+    done;
+    Array.iter
+      (fun store ->
+        Hashtbl.iter
+          (fun ((node, _) as key) arr ->
+            Hashtbl.replace wait.((!place).Placement.assign.(node)) key
+              (Array.copy arr))
+          store)
+      sp.sp_wait;
+    let requeue (f : firing) =
+      Queue.add f ready.((!place).Placement.assign.(f.x_node))
+    in
+    Array.iter (fun q -> Queue.iter requeue q) sp.sp_ready;
+    Array.iter
+      (fun s ->
+        (* stack snapshots iterate top-first; re-add bottom-first so the
+           replay order matches the original enabling order *)
+        let l = ref [] in
+        Stack.iter (fun f -> l := f :: !l) s;
+        List.iter requeue !l)
+      sp.sp_lifo;
+    (* pending schedules, rebased onto the resume cycle *)
+    Hashtbl.reset locals;
+    Hashtbl.iter
+      (fun k v -> Hashtbl.replace locals (k + delta) v)
+      sp.sp_locals;
+    local_pending := sp.sp_local_pending;
+    Hashtbl.reset to_inject;
+    Hashtbl.iter
+      (fun k v ->
+        Hashtbl.replace to_inject (k + delta)
+          (List.map
+             (fun (src, dst, d) -> ((!subst).(src), (!subst).(dst), d))
+             v))
+      sp.sp_to_inject;
+    inject_pending := sp.sp_inject_pending;
+    (* memory and split-phase state *)
+    Array.blit sp.sp_cells 0 memory.Imp.Memory.cells 0
+      (Array.length sp.sp_cells);
+    Array.blit sp.sp_present 0 env.Firing.present 0
+      (Array.length sp.sp_present);
+    Hashtbl.reset env.Firing.deferred;
+    Hashtbl.iter
+      (fun k v -> Hashtbl.replace env.Firing.deferred k v)
+      sp.sp_deferred;
+    (* fresh transport; resend everything undelivered at the epoch, from
+       the substitutes of any dead sources *)
+    rt := Some (make_rt ());
+    let r = match !rt with Some r -> r | None -> assert false in
+    List.iter
+      (fun (src, dst, d) ->
+        Network.rt_send r ~now:resume ~src:((!subst).(src))
+          ~dst:((!subst).(dst)) d)
+      sp.sp_undelivered;
+    completed := sp.sp_completed;
+    (match (san, sp.sp_san) with
+    | Some s, Some snap -> Sanitize.restore s snap
+    | _ -> ());
+    t := resume;
+    if resume > !last_cycle then last_cycle := resume
+  in
   (* boot: fire Start on its home PE at cycle 0 *)
   Queue.add
     { x_node = g.Dfg.Graph.start; x_ctx = Context.toplevel; x_inputs = [||] }
-    ready.(place.Placement.assign.(g.Dfg.Graph.start));
+    ready.((!place).Placement.assign.(g.Dfg.Graph.start));
+  (* epoch 0: with recovery enabled even a death before the first
+     periodic checkpoint replays from the boot state *)
+  let next_checkpoint =
+    match recovery with
+    | Some rs ->
+        Recovery.record journal ~cycle:(-1) (take_snapshot ());
+        metrics.Recovery.m_checkpoints <- 1;
+        ref rs.Recovery.interval
+    | None -> ref max_int
+  in
   let absorb_ready pe =
     match config.Config.policy with
     | Config.Fifo -> ()
@@ -268,64 +514,133 @@ let run ?(config = Config.default) ?(net = Network.default)
     for pe = 0 to pcount - 1 do
       if ready_length pe > 0 then idle := false
     done;
-    !idle && !local_pending = 0 && !inject_pending = 0
-    && Network.in_transit network = 0
+    !idle && !local_pending = 0 && !inject_pending = 0 && net_pending () = 0
+  in
+  (* one scheduled fail-stop, if due this cycle: mark the PE dead, remap
+     its nodes over the survivors, and report that a restore is needed *)
+  let process_death () =
+    match !pending_deaths with
+    | (dc, dpe) :: rest when dc <= !t ->
+        pending_deaths := rest;
+        if pcount > 1 && dpe >= 0 && dpe < pcount && alive.(dpe) then begin
+          alive.(dpe) <- false;
+          (match faults with
+          | Some pl -> Fault.record_death pl ~cycle:!t ~pe:dpe
+          | None -> ());
+          metrics.Recovery.m_deaths <- metrics.Recovery.m_deaths + 1;
+          subst := Recovery.substitute ~pes:pcount ~alive;
+          place := Recovery.remap !place ~alive;
+          true
+        end
+        else false
+    | _ -> false
   in
   try
     let finished = ref false in
     while not !finished do
       if !t > config.Config.max_cycles then
         abort (Diagnosis.Diverged config.Config.max_cycles);
-      (* 1. network arrivals rendezvous at their destination PE *)
-      List.iter (fun (_dst, d) -> deliver d) (Network.arrivals network ~now:!t);
-      (* 2. same-PE deliveries scheduled for this cycle *)
-      (match Hashtbl.find_opt locals !t with
-      | Some ds ->
-          Hashtbl.remove locals !t;
-          List.iter
-            (fun d ->
-              decr local_pending;
-              deliver d)
-            (List.rev ds)
-      | None -> ());
-      (* 3. completed firings' cross-PE tokens enter injection queues *)
-      (match Hashtbl.find_opt to_inject !t with
-      | Some ms ->
-          Hashtbl.remove to_inject !t;
-          List.iter
-            (fun (src, dst, d) ->
-              decr inject_pending;
-              Network.inject network ~src ~dst d)
-            (List.rev ms)
-      | None -> ());
-      (* 4. every PE issues up to [issue_width] enabled firings *)
-      for pe = 0 to pcount - 1 do
-        absorb_ready pe;
-        let budget = min issue_width (ready_length pe) in
-        for _ = 1 to budget do
-          execute pe (pop_next pe)
-        done;
-        per_pe_curve.(pe) <- budget :: per_pe_curve.(pe);
-        if budget > 0 then per_pe_busy.(pe) <- per_pe_busy.(pe) + 1
-      done;
-      (* 5. the interconnect moves bandwidth-limited messages into flight *)
-      Network.step network ~now:!t;
-      (* end-of-cycle sampling *)
-      net_occupancy := Network.in_transit network :: !net_occupancy;
-      let waiting = Array.fold_left (fun a w -> a + Matching.entries w) 0 wait in
-      if waiting > !peak_matching then peak_matching := waiting;
-      (* quiescence *)
-      if all_idle () then finished := true else incr t
+      match recovery with
+      | Some rs when process_death () -> do_restore rs
+      | _ -> (
+          try
+            (* 1. network arrivals rendezvous at their destination PE *)
+            List.iter (fun (_dst, d) -> deliver d) (net_arrivals ());
+            (* 2. same-PE deliveries scheduled for this cycle *)
+            (match Hashtbl.find_opt locals !t with
+            | Some ds ->
+                Hashtbl.remove locals !t;
+                List.iter
+                  (fun d ->
+                    decr local_pending;
+                    deliver d)
+                  (List.rev ds)
+            | None -> ());
+            (* 3. completed firings' cross-PE tokens enter injection queues *)
+            (match Hashtbl.find_opt to_inject !t with
+            | Some ms ->
+                Hashtbl.remove to_inject !t;
+                List.iter
+                  (fun (src, dst, d) ->
+                    decr inject_pending;
+                    net_inject ~src ~dst d)
+                  (List.rev ms)
+            | None -> ());
+            (* 4. every live PE issues up to [issue_width] enabled firings *)
+            for pe = 0 to pcount - 1 do
+              if alive.(pe) then begin
+                absorb_ready pe;
+                let budget = min issue_width (ready_length pe) in
+                for _ = 1 to budget do
+                  execute pe (pop_next pe)
+                done;
+                per_pe_curve.(pe) <- budget :: per_pe_curve.(pe);
+                if budget > 0 then per_pe_busy.(pe) <- per_pe_busy.(pe) + 1
+              end
+              else per_pe_curve.(pe) <- 0 :: per_pe_curve.(pe)
+            done;
+            (* 5. the interconnect moves bandwidth-limited messages into
+               flight (plus retransmits and held frames under faults) *)
+            net_step ();
+            (* end-of-cycle sampling *)
+            net_occupancy := net_pending () :: !net_occupancy;
+            let waiting =
+              Array.fold_left (fun a w -> a + Matching.entries w) 0 wait
+            in
+            if waiting > !peak_matching then peak_matching := waiting;
+            (* epoch checkpoint *)
+            (match recovery with
+            | Some rs when !t >= !next_checkpoint ->
+                Recovery.record journal ~cycle:!t (take_snapshot ());
+                metrics.Recovery.m_checkpoints <-
+                  metrics.Recovery.m_checkpoints + 1;
+                next_checkpoint := !t + rs.Recovery.interval
+            | _ -> ());
+            (* quiescence *)
+            if all_idle () then begin
+              match san with
+              | Some s ->
+                  let leftover = leftover_count () in
+                  let vs =
+                    Sanitize.at_quiescence s
+                      ~leftover:(Matching.leftover (Array.to_list wait))
+                  in
+                  let bad = vs <> [] || (not !completed) || leftover <> 0 in
+                  if bad && can_roll_back () then begin
+                    (* quiesced corrupted, starved or leaky: the fault
+                       plan is stateful, so a replay draws fresh wire
+                       decisions and the transient does not repeat *)
+                    incr san_rollbacks;
+                    raise Rollback
+                  end
+                  else begin
+                    standing_violations := vs;
+                    finished := true
+                  end
+              | None -> finished := true
+            end
+            else incr t
+          with Rollback -> (
+            match recovery with
+            | Some rs -> do_restore rs
+            | None -> assert false))
     done;
     let leftover = leftover_count () in
     let verdict =
-      if not !completed then Diagnosis.Deadlock
-      else if leftover <> 0 then Diagnosis.Leftover leftover
-      else Diagnosis.Clean
+      match !standing_violations with
+      | v :: _ -> Diagnosis.Corrupted (Sanitize.violation_to_string v)
+      | [] ->
+          if not !completed then Diagnosis.Deadlock
+          else if leftover <> 0 then Diagnosis.Leftover leftover
+          else Diagnosis.Clean
     in
-    let st = Network.stats network in
+    let st = wire_stats () in
     let total_cycles = !t + 1 in
-    let nm = st.Network.s_messages in
+    let payloads =
+      match !rt with
+      | Some r -> (Network.rt_stats r).Network.r_sends
+      | None -> st.Network.s_messages
+    in
     Ok
       {
         memory;
@@ -344,23 +659,30 @@ let run ?(config = Config.default) ?(net = Network.default)
         per_pe_curve =
           Array.map (fun c -> Array.of_list (List.rev c)) per_pe_curve;
         local_deliveries = !local_deliveries;
-        net_messages = nm;
+        net_messages = payloads;
         cut_traffic =
-          (if nm + !local_deliveries = 0 then 0.0
-           else float_of_int nm /. float_of_int (nm + !local_deliveries));
+          (if payloads + !local_deliveries = 0 then 0.0
+           else
+             float_of_int payloads
+             /. float_of_int (payloads + !local_deliveries));
         mem_local = !mem_local;
         mem_remote = !mem_remote;
         backpressure = st.Network.s_backpressure;
         peak_queue = st.Network.s_peak_queue;
         net_occupancy = Array.of_list (List.rev !net_occupancy);
-        placement = place;
-        placement_stats = pstats;
+        placement = !place;
+        placement_stats = Placement.stats g !place;
+        transport = Option.map Network.rt_stats !rt;
+        recovery = (match recovery with Some _ -> Some metrics | None -> None);
         diagnosis = diagnose verdict;
       }
   with Abort d -> Error d
 
-let run_exn ?config ?net ?placement ?issue_width ?on_fire ~pes p : result =
-  match run ?config ?net ?placement ?issue_width ?on_fire ~pes p with
+let run_exn ?config ?net ?placement ?issue_width ?on_fire ?faults ?recovery
+    ~pes p : result =
+  match
+    run ?config ?net ?placement ?issue_width ?on_fire ?faults ?recovery ~pes p
+  with
   | Error d ->
       failwith
         (Fmt.str "multiproc execution failed@.%s" (Diagnosis.to_string d))

@@ -27,7 +27,25 @@
     Of {!Config.t} the multiprocessor honours [latencies], [policy],
     [max_cycles] and [detect_collisions]; [pes], [memory_ports] and
     [max_matching] are single-machine notions superseded by [~pes],
-    the module interleaving and per-PE stores. *)
+    the module interleaving and per-PE stores.
+
+    {b Fault tolerance.}  Passing [?faults] and/or [?recovery] switches
+    the machine from the raw wire to the {!Network} reliable transport
+    (sequence numbers, receiver dedup, ack/retransmit with backoff) and
+    runs the {!Sanitize} token-conservation checker.  [?faults] injects
+    seeded wire faults via {!Fault.on_link}.  [?recovery] adds epoch
+    checkpoints of the whole machine — matching stores, ready queues,
+    undelivered transport payloads, memory and split-phase state,
+    sanitizer counters — plus a schedule of PE fail-stops: on a death
+    the dead PE's nodes are remapped over the survivors
+    ({!Recovery.remap}) and the last epoch is replayed.  Time is
+    monotonic across rollbacks: lost cycles and the failover penalty
+    show up in the makespan, and the cost is accounted in
+    [result.recovery].  Determinacy is what makes replay safe — any
+    arrival order yields the same final store, so resuming from a
+    consistent cut with different timing (and one PE fewer) converges on
+    the reference store.  Without these options the machine's behaviour
+    and timing are bit-identical to the fault-free original. *)
 
 type result = {
   memory : Imp.Memory.t;  (** final store *)
@@ -55,7 +73,12 @@ type result = {
   net_occupancy : int array;
       (** per cycle, messages queued + in flight at end of cycle *)
   placement : Placement.t;
+      (** the placement in force at the end — remapped if a PE died *)
   placement_stats : Placement.stats;
+  transport : Network.rt_stats option;
+      (** reliable-transport counters; [Some] iff faults/recovery on *)
+  recovery : Recovery.metrics option;
+      (** checkpoint/rollback cost accounting; [Some] iff recovery on *)
   diagnosis : Diagnosis.t;  (** [diagnosis.network] is always [Some _] *)
 }
 
@@ -71,6 +94,8 @@ val run :
   ?placement:Placement.policy ->
   ?issue_width:int ->
   ?on_fire:(int -> Dfg.Node.t -> Context.t -> pe:int -> unit) ->
+  ?faults:Fault.plan ->
+  ?recovery:Recovery.spec ->
   pes:int ->
   Interp.program ->
   (result, Diagnosis.t) Stdlib.result
@@ -84,6 +109,8 @@ val run_exn :
   ?placement:Placement.policy ->
   ?issue_width:int ->
   ?on_fire:(int -> Dfg.Node.t -> Context.t -> pe:int -> unit) ->
+  ?faults:Fault.plan ->
+  ?recovery:Recovery.spec ->
   pes:int ->
   Interp.program ->
   result

@@ -69,3 +69,78 @@ type stats = {
 }
 
 val stats : 'msg t -> stats
+
+(** {1 Reliable transport}
+
+    Exactly-once delivery over an at-least-once wire.  Each payload
+    crossing a (src, dst) channel carries a per-channel sequence number;
+    the receiver acks every data frame and silently drops sequence
+    numbers it has already delivered; the sender retransmits unacked
+    frames on timeout (initial RTO [4*latency + 2]) with exponential
+    backoff, giving up after [budget] attempts — a genuine loss then
+    surfaces as a counted token loss and a diagnosable deadlock rather
+    than a livelock.
+
+    Wire faults are applied {e per frame} by the [fault] hook (one
+    decision per frame put on the wire, acks included): drop loses the
+    frame, duplicate injects it twice, delay/reorder hold it back so
+    later traffic overtakes it, and a bit flip rewrites a data payload
+    through the [corrupt] callback — sequence numbers cannot see payload
+    corruption (there are no checksums), which is the
+    {!Sanitize} invariant checker's job. *)
+
+type 'msg rt
+
+(** [rt_create ?config ?fault ?corrupt ?budget ~pes ()] — a reliable
+    transport over a fresh raw wire.  [fault] decides each frame's fate
+    (typically {!Fault.on_link} of a plan); [corrupt] applies a bit flip
+    to a payload; [budget] caps retransmit attempts per frame
+    (default 16). *)
+val rt_create :
+  ?config:config ->
+  ?fault:(cycle:int -> dst:int -> Fault.action) ->
+  ?corrupt:(int -> 'msg -> 'msg) ->
+  ?budget:int ->
+  pes:int ->
+  unit ->
+  'msg rt
+
+(** [rt_send rt ~now ~src ~dst msg] — sequence, record for retransmit,
+    and put a data frame on the wire. *)
+val rt_send : 'msg rt -> now:int -> src:int -> dst:int -> 'msg -> unit
+
+(** [rt_arrivals rt ~now] — payloads delivered this cycle, deduped, in
+    deterministic order; acks (and re-acks of duplicates) are sent as a
+    side effect. *)
+val rt_arrivals : 'msg rt -> now:int -> (int * 'msg) list
+
+(** [rt_step rt ~now] — end-of-cycle transport: release frames held by
+    delay/reorder faults, retransmit frames past their deadline (sorted
+    channel order), then step the raw wire. *)
+val rt_step : 'msg rt -> now:int -> unit
+
+(** Frames queued, flying, held or awaiting ack (0 = transport
+    quiescent; replaces {!in_transit} in the machine's idle check). *)
+val rt_pending : 'msg rt -> int
+
+(** [rt_undelivered rt] — (src, dst, payload) of every frame sent but
+    not yet handed to its receiver, sorted by channel and sequence
+    number: what a checkpoint must capture and a restore must resend.
+    Delivered-but-unacked frames are excluded — their effect is already
+    in the checkpointed receiver state. *)
+val rt_undelivered : 'msg rt -> (int * int * 'msg) list
+
+type rt_stats = {
+  r_sends : int;  (** distinct payloads sent *)
+  r_retransmits : int;  (** timeout-driven resends *)
+  r_dups_dropped : int;  (** receiver-side dedup hits *)
+  r_acks : int;  (** ack frames sent *)
+  r_wire_faults : int;  (** frames the fault hook acted on *)
+  r_losses : int;  (** frames abandoned undelivered (budget exhausted) *)
+}
+
+val rt_stats : 'msg rt -> rt_stats
+
+(** Raw wire counters underneath the reliable layer (retransmits and
+    acks inflate [s_messages] relative to payloads). *)
+val rt_wire_stats : 'msg rt -> stats

@@ -390,7 +390,7 @@ let pp ppf (p : t) =
 (* ---------------------------------------------------------------- *)
 (* benchmark records (shared by bench/main.ml and the tests)        *)
 
-let bench_schema_version = 2
+let bench_schema_version = 3
 
 type mp_cell = {
   mp_pes : int;
@@ -416,10 +416,45 @@ let mp_cell_json (c : mp_cell) : Json.t =
       ("determinate", Json.Bool c.mp_determinate);
     ]
 
+type recovery_cell = {
+  rc_pes : int;
+  rc_placement : string;
+  rc_interval : int;
+  rc_cycles : int;
+  rc_baseline_cycles : int;
+  rc_overhead : float;
+  rc_deaths : int;
+  rc_rollbacks : int;
+  rc_checkpoints : int;
+  rc_lost_cycles : int;
+  rc_replayed_firings : int;
+  rc_retransmits : int;
+  rc_recovered : bool;
+}
+
+let recovery_cell_json (c : recovery_cell) : Json.t =
+  Json.Assoc
+    [
+      ("pes", Json.Int c.rc_pes);
+      ("placement", Json.String c.rc_placement);
+      ("checkpoint_interval", Json.Int c.rc_interval);
+      ("cycles", Json.Int c.rc_cycles);
+      ("baseline_cycles", Json.Int c.rc_baseline_cycles);
+      ("overhead", Json.Float c.rc_overhead);
+      ("deaths", Json.Int c.rc_deaths);
+      ("rollbacks", Json.Int c.rc_rollbacks);
+      ("checkpoints", Json.Int c.rc_checkpoints);
+      ("lost_cycles", Json.Int c.rc_lost_cycles);
+      ("replayed_firings", Json.Int c.rc_replayed_firings);
+      ("retransmits", Json.Int c.rc_retransmits);
+      ("recovered", Json.Bool c.rc_recovered);
+    ]
+
 let bench_record ~(program : string) ~(schema : string) ~(status : string)
     ?(stats : Dfg.Stats.t option) ?(result : Interp.result option)
     ?(reference_ok : bool option) ?(max_overlap : int option)
-    ?(multiproc : mp_cell list option) () : Json.t =
+    ?(multiproc : mp_cell list option)
+    ?(recovery : recovery_cell list option) () : Json.t =
   let base =
     [
       ("program", Json.String program);
@@ -463,9 +498,13 @@ let bench_record ~(program : string) ~(schema : string) ~(status : string)
     @ (match reference_ok with
       | Some b -> [ ("reference_ok", Json.Bool b) ]
       | None -> [])
+    @ (match multiproc with
+      | Some cells -> [ ("multiproc", Json.List (List.map mp_cell_json cells)) ]
+      | None -> [])
     @
-    match multiproc with
-    | Some cells -> [ ("multiproc", Json.List (List.map mp_cell_json cells)) ]
+    match recovery with
+    | Some cells ->
+        [ ("recovery", Json.List (List.map recovery_cell_json cells)) ]
     | None -> []
   in
   Json.Assoc (base @ static @ dynamic @ extra)
@@ -551,6 +590,49 @@ let validate_bench (j : Json.t) : (unit, string) result =
     in
     if det then Ok () else Error (where "determinacy divergence")
   in
+  (* recovery cells: well-typed cost accounting and a successful
+     recovery — a faulty run that failed to reproduce the reference
+     store is a validation failure, same bar as determinacy *)
+  let check_recovery_cell i program k c =
+    let where what =
+      Fmt.str "record %d (%s): recovery cell %d: %s" i program k what
+    in
+    let int key = Option.bind (Json.member key c) Json.to_int_opt in
+    let need_int key =
+      match int key with
+      | Some v when v >= 0 -> Ok ()
+      | Some _ -> Error (where ("negative " ^ key))
+      | None -> Error (where ("missing int " ^ key))
+    in
+    let* pes = req (where "missing pes") (int "pes") in
+    let* () = if pes >= 1 then Ok () else Error (where "pes < 1") in
+    let* _ =
+      req (where "missing placement")
+        (Option.bind (Json.member "placement" c) Json.to_string_opt)
+    in
+    let* iv = req (where "missing checkpoint_interval")
+        (int "checkpoint_interval") in
+    let* () =
+      if iv >= 1 then Ok () else Error (where "checkpoint_interval < 1")
+    in
+    let* () = need_int "cycles" in
+    let* () = need_int "baseline_cycles" in
+    let* _ =
+      req (where "missing overhead")
+        (Option.bind (Json.member "overhead" c) Json.to_float_opt)
+    in
+    let* () = need_int "deaths" in
+    let* () = need_int "rollbacks" in
+    let* () = need_int "checkpoints" in
+    let* () = need_int "lost_cycles" in
+    let* () = need_int "replayed_firings" in
+    let* () = need_int "retransmits" in
+    let* rec_ok =
+      req (where "missing recovered")
+        (Option.bind (Json.member "recovered" c) Json.to_bool_opt)
+    in
+    if rec_ok then Ok () else Error (where "recovery failed")
+  in
   let check_record i r =
     let str k = Option.bind (Json.member k r) Json.to_string_opt in
     let int k = Option.bind (Json.member k r) Json.to_int_opt in
@@ -591,18 +673,35 @@ let validate_bench (j : Json.t) : (unit, string) result =
         if ref_ok then Ok ()
         else Error (Fmt.str "record %d (%s): reference divergence" i program)
       in
-      match Json.member "multiproc" r with
+      let* () =
+        match Json.member "multiproc" r with
+        | None -> Ok ()
+        | Some mp ->
+            let* cells =
+              req
+                (Fmt.str "record %d (%s): multiproc not a list" i program)
+                (Json.to_list_opt mp)
+            in
+            let rec cells_ok k = function
+              | [] -> Ok ()
+              | c :: rest ->
+                  let* () = check_mp_cell i program k c in
+                  cells_ok (k + 1) rest
+            in
+            cells_ok 0 cells
+      in
+      match Json.member "recovery" r with
       | None -> Ok ()
-      | Some mp ->
+      | Some rc ->
           let* cells =
             req
-              (Fmt.str "record %d (%s): multiproc not a list" i program)
-              (Json.to_list_opt mp)
+              (Fmt.str "record %d (%s): recovery not a list" i program)
+              (Json.to_list_opt rc)
           in
           let rec cells_ok k = function
             | [] -> Ok ()
             | c :: rest ->
-                let* () = check_mp_cell i program k c in
+                let* () = check_recovery_cell i program k c in
                 cells_ok (k + 1) rest
           in
           cells_ok 0 cells

@@ -102,9 +102,32 @@ type mp_cell = {
   mp_determinate : bool;  (** final store equals the reference *)
 }
 
+(** One point of the fault-tolerance sweep attached to a (program,
+    schema) record: a faulty multiprocessor run (seeded link faults plus
+    one PE fail-stop) under reliable transport and checkpoint/replay,
+    with its cost relative to the fault-free baseline at the same PE
+    count and placement. *)
+type recovery_cell = {
+  rc_pes : int;
+  rc_placement : string;  (** {!Placement.policy_to_string} *)
+  rc_interval : int;  (** checkpoint interval, cycles *)
+  rc_cycles : int;  (** faulty + recovered makespan *)
+  rc_baseline_cycles : int;  (** fault-free makespan, same cell *)
+  rc_overhead : float;  (** [cycles / baseline - 1] *)
+  rc_deaths : int;
+  rc_rollbacks : int;  (** restores (death- or sanitizer-driven) *)
+  rc_checkpoints : int;
+  rc_lost_cycles : int;  (** progress discarded by rollbacks *)
+  rc_replayed_firings : int;
+  rc_retransmits : int;  (** transport timeout-driven resends *)
+  rc_recovered : bool;
+      (** clean completion and the final store equals the reference *)
+}
+
 (** One matrix cell.  [status] is ["ok"], ["unsupported-aliasing"] or
     ["irreducible"]; static and dynamic metrics accompany ["ok"] cells,
-    and [multiproc] carries the scalability sweep when one was run. *)
+    [multiproc] carries the scalability sweep when one was run, and
+    [recovery] the fault-tolerance sweep. *)
 val bench_record :
   program:string ->
   schema:string ->
@@ -114,6 +137,7 @@ val bench_record :
   ?reference_ok:bool ->
   ?max_overlap:int ->
   ?multiproc:mp_cell list ->
+  ?recovery:recovery_cell list ->
   unit ->
   Json.t
 
@@ -125,7 +149,8 @@ val bench_file : ?summary:(string * Json.t) list -> records:Json.t list ->
 
 (** Structural validation of a BENCH document: meta version, required
     fields per ["ok"] record, [reference_ok = true] everywhere, every
-    multiproc cell [determinate], and — when the summary block is
+    multiproc cell [determinate], every recovery cell [recovered] with
+    well-typed cost accounting, and — when the summary block is
     present — well-typed scalars with [multiproc_determinate = true].
     Any divergence is a validation error. *)
 val validate_bench : Json.t -> (unit, string) result

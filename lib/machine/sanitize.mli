@@ -1,0 +1,80 @@
+(** Online token-conservation sanitizer.
+
+    Determinate schema graphs obey counting invariants that hold for
+    {e every} legal execution, independent of timing, placement or
+    arrival order:
+
+    - each (node, context) pair fires at most once — the single-token-
+      per-arc discipline seen from the firing side (a loop gateway's
+      initial fire happens at the {e parent} context and each back-edge
+      fire at a distinct body context, so the rule has no exceptions);
+    - a switch fires exactly once per data token delivered to it;
+    - every activation of a loop (one distinct initial-entry context)
+      drives each of its entry gateways exactly once, and leaves through
+      exactly one of its exit sites — one distinct exit context per
+      activation, with the exit fires bounded by the gateway count (a
+      goto program's loop may have several exit sites, of which an
+      activation takes one);
+    - the matching store drains to empty at quiescence.
+
+    The sanitizer checks these incrementally as the machine runs.  A
+    violation is evidence of unmasked corruption — a duplicated token
+    the transport missed, a bit-flipped predicate desynchronising a
+    loop's gates, a leak — and is what triggers rollback in
+    {!Multiproc} when recovery is enabled.  It cannot see value
+    corruption that stays structurally legal (there are no checksums);
+    that residue is caught by the differential store comparison in
+    {!Core.Oracle}.
+
+    The sanitizer's memory must roll back with the machine — see
+    {!snapshot}/{!restore} — or every replayed firing would read as a
+    double fire. *)
+
+type violation =
+  | Double_fire of { df_node : int; df_ctx : Context.t }
+  | Switch_imbalance of { sw_node : int; sw_in : int; sw_fired : int }
+      (** fires vs data tokens delivered on port 0 *)
+  | Loop_imbalance of {
+      li_loop : int;
+      li_activations : int;  (** distinct initial-entry contexts *)
+      li_entries : int;  (** initial-group entry-gateway fires *)
+      li_entry_gates : int;
+      li_exits : int;  (** exit-gateway fires *)
+      li_exit_ctxs : int;  (** distinct exit contexts *)
+      li_exit_gates : int;
+    }
+  | Store_leak of { sl_tokens : int }
+      (** tokens still waiting in matching stores at quiescence *)
+
+val violation_to_string : violation -> string
+val pp_violation : Format.formatter -> violation -> unit
+
+type t
+
+val create : Dfg.Graph.t -> t
+
+(** [on_delivery t ~node ~port] — count a token delivery (data inflow of
+    switches).  Call once per token actually handed to matching. *)
+val on_delivery : t -> node:int -> port:int -> unit
+
+(** [on_fire t ~node ~ctx ~group] — record a firing ([group] = matched
+    input-array length, which distinguishes a loop gateway's initial
+    group from its back edge).  Returns the violation immediately if
+    this (node, ctx) has already fired — the rollback trigger. *)
+val on_fire : t -> node:int -> ctx:Context.t -> group:int -> violation option
+
+(** Total firings recorded (used for the replayed-firings metric). *)
+val fire_count : t -> int
+
+(** [at_quiescence t ~leftover] — the balance checks that only make
+    sense once the machine is quiet: switch in/out balance, per-loop
+    entry/exit balance, and the matching-store leak ([leftover] tokens
+    still waiting). *)
+val at_quiescence : t -> leftover:int -> violation list
+
+(** {1 Checkpoint support} *)
+
+type snap
+
+val snapshot : t -> snap
+val restore : t -> snap -> unit

@@ -99,6 +99,28 @@ let test_emit_check_exec () =
   checkb "store" true (contains out "s = 45");
   checkb "reference" true (contains out "reference check: ok")
 
+let test_simulate_with_recovery () =
+  let f = write_temp ".imp" sum_program in
+  let code, out =
+    capture
+      (Fmt.str
+         "%s simulate %s -s 2opt -p 4 --fault-seed 7 --fault-rate 0.02 \
+          --fault-classes drop,dup,delay,reorder --recover"
+         binary f)
+  in
+  checki "exit code" 0 code;
+  checkb "fault-tolerance section" true (contains out "== fault tolerance ==");
+  checkb "transport counters shown" true (contains out "retransmits");
+  checkb "recovery reported" true (contains out "recovered");
+  checkb "reference checked" true (contains out "reference check  ok");
+  (* an unknown fault class is a usage error that names the valid ones *)
+  let code, out =
+    capture
+      (Fmt.str "%s simulate %s --fault-seed 1 --fault-classes bogus" binary f)
+  in
+  checki "unknown class exit code" 2 code;
+  checkb "error lists valid classes" true (contains out "valid classes")
+
 let test_bad_input_fails () =
   let f = write_temp ".imp" "x := (1 +" in
   let code, _ = capture (Fmt.str "%s run %s" binary f) in
@@ -130,6 +152,8 @@ let () =
           Alcotest.test_case "analyze" `Quick test_analyze;
           Alcotest.test_case "dot stages" `Quick test_dot_stages;
           Alcotest.test_case "emit / check / exec" `Quick test_emit_check_exec;
+          Alcotest.test_case "simulate with faults and recovery" `Quick
+            test_simulate_with_recovery;
           Alcotest.test_case "bad input fails" `Quick test_bad_input_fails;
           Alcotest.test_case "fig8 on acyclic program" `Quick test_schema_fig8;
         ] );

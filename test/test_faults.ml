@@ -54,6 +54,24 @@ let test_decision_respects_classes () =
   done;
   checkb "a 20%% drop plan does drop" true (!acted > 0)
 
+let test_classes_of_string () =
+  let c = F.classes_of_string "drop,reorder" in
+  checkb "drop parsed" true c.F.drop;
+  checkb "reorder parsed" true c.F.reorder;
+  checkb "others off" false
+    (c.F.duplicate || c.F.bit_flip || c.F.delay || c.F.port_stall);
+  checkb "all turns everything on" true (F.classes_of_string "all" = F.all_classes);
+  checkb "aliases accepted" true
+    ((F.classes_of_string "dup").F.duplicate
+    && (F.classes_of_string "bitflip").F.bit_flip);
+  match F.classes_of_string "drop,bogus" with
+  | _ -> Alcotest.fail "unknown class must be rejected"
+  | exception Failure msg ->
+      checkb "error names the offender" true (contains msg "bogus");
+      checkb "error lists the valid classes" true
+        (contains msg "valid classes" && contains msg "reorder"
+        && contains msg "drop")
+
 (* ------------------------------------------------------------------ *)
 (* Whole-run reproducibility                                          *)
 
@@ -112,7 +130,7 @@ let test_drop_detected () =
   | D.Deadlock | D.Leftover _ ->
       checkb "stall diagnosis shows state" true
         (d.D.blocked <> [] || d.D.leftover_tokens > 0)
-  | D.Diverged _ | D.Collision _ | D.Double_write _ -> ()
+  | D.Diverged _ | D.Collision _ | D.Double_write _ | D.Corrupted _ -> ()
   | D.Clean -> Alcotest.fail "unreachable"
 
 let test_duplicate_detected () =
@@ -260,6 +278,8 @@ let () =
             test_decision_deterministic;
           Alcotest.test_case "decisions respect classes" `Quick
             test_decision_respects_classes;
+          Alcotest.test_case "classes_of_string rejects unknowns" `Quick
+            test_classes_of_string;
           Alcotest.test_case "same seed, same outcome" `Quick
             test_same_seed_same_outcome;
         ] );

@@ -124,6 +124,66 @@ let multiproc_line placement p =
             st.Machine.Placement.total_arcs st.Machine.Placement.balance
             verdict)
 
+(* One fault-tolerance line at p=4: seeded link faults plus one seeded
+   PE fail-stop under checkpoint/replay recovery.  The whole fault
+   schedule is a pure function of the seed, so the recovery cost is as
+   snapshot-stable as the static counts. *)
+let recovery_line p =
+  let c =
+    match Dflow.Driver.compile (Dflow.Driver.Schema2_opt Dflow.Engine.Pipelined) p with
+    | c -> Some c
+    | exception (Cfg.Intervals.Irreducible _ | Dflow.Driver.Aliasing_unsupported _)
+      -> (
+        match Dflow.Driver.compile Dflow.Driver.Schema1 p with
+        | c -> Some c
+        | exception _ -> None)
+  in
+  match c with
+  | None -> "multiproc p=4 faulty+recover not-compilable"
+  | Some c -> (
+      let prog =
+        {
+          Machine.Interp.graph = c.Dflow.Driver.graph;
+          layout = c.Dflow.Driver.layout;
+        }
+      in
+      let seed = 7 in
+      let faults =
+        Machine.Fault.make
+          (Machine.Fault.spec ~seed ~rate:0.01
+             ~classes:Machine.Fault.link_classes ())
+      in
+      let recovery =
+        Machine.Recovery.spec
+          ~deaths:(Machine.Recovery.seeded_deaths ~seed ~pes:4 ~window:60)
+          ()
+      in
+      match
+        Machine.Multiproc.run ~placement:Machine.Placement.Affinity ~pes:4
+          ~faults ~recovery prog
+      with
+      | exception e ->
+          Fmt.str "multiproc p=4 faulty+recover raised %s" (Printexc.to_string e)
+      | Error _ -> "multiproc p=4 faulty+recover failed"
+      | Ok r ->
+          let verdict =
+            if not r.Machine.Multiproc.completed then "stalled"
+            else if
+              Imp.Memory.equal
+                (Imp.Eval.run_program ~fuel:10_000_000 p)
+                r.Machine.Multiproc.memory
+            then "ok"
+            else "diverged"
+          in
+          let m =
+            match r.Machine.Multiproc.recovery with
+            | Some m -> m
+            | None -> Machine.Recovery.metrics_create ()
+          in
+          Fmt.str
+            "multiproc p=4 faulty+recover  deaths=%d rollbacks=%d verdict=%s"
+            m.Machine.Recovery.m_deaths m.Machine.Recovery.m_rollbacks verdict)
+
 let snapshot name path =
   let p = Imp.Parser.program_of_string (read_file path) in
   let lines =
@@ -131,6 +191,7 @@ let snapshot name path =
     @ List.map
         (fun placement -> multiproc_line placement p)
         [ Machine.Placement.Hash; Machine.Placement.Affinity ]
+    @ [ recovery_line p ]
   in
   Fmt.str "# %s.imp — static counts and machine verdict per schema@.%s@."
     name

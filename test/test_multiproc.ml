@@ -248,6 +248,130 @@ let test_backpressure_counted_not_dropped () =
   checki "no leftover tokens" 0 r.MP.leftover_tokens
 
 (* ------------------------------------------------------------------ *)
+(* Fault tolerance: reliable transport, fail-stop recovery, sanitizer *)
+
+module F = Machine.Fault
+module R = Machine.Recovery
+module San = Machine.Sanitize
+
+let test_transport_masks_link_faults () =
+  (* seeded wire faults on every link; the sequence-numbered
+     ack/retransmit transport must mask them all — same store, clean
+     verdict, and the fault/retry counters on record *)
+  let p = example "stencil" in
+  let reference = Imp.Eval.run_program ~fuel:1_000_000 p in
+  let c = compile_best p in
+  let prog = { Machine.Interp.graph = c.Dflow.Driver.graph; layout = c.Dflow.Driver.layout } in
+  let faults =
+    F.make (F.spec ~rate:0.05 ~classes:F.link_classes ~seed:7 ())
+  in
+  let r = MP.run_exn ~placement:P.Round_robin ~pes:4 ~faults prog in
+  checkb "store agrees under link faults" true
+    (Imp.Memory.equal reference r.MP.memory);
+  checki "no leftover tokens" 0 r.MP.leftover_tokens;
+  match r.MP.transport with
+  | None -> Alcotest.fail "fault run must report transport stats"
+  | Some st ->
+      checkb "wire faults were injected" true (st.Net.r_wire_faults > 0);
+      checkb "transport worked for its living" true
+        (st.Net.r_retransmits > 0 || st.Net.r_dups_dropped > 0);
+      checki "no undelivered payloads at quiescence" 0 st.Net.r_losses
+
+let test_failstop_recovery () =
+  (* kill PE 1 mid-run: the machine must roll back to the last epoch,
+     remap the dead PE's nodes over the survivors, replay, and still
+     produce the reference store — with the cost on record *)
+  let p = example "stencil" in
+  let reference = Imp.Eval.run_program ~fuel:1_000_000 p in
+  let c = compile_best p in
+  let prog = { Machine.Interp.graph = c.Dflow.Driver.graph; layout = c.Dflow.Driver.layout } in
+  let recovery =
+    R.spec ~interval:25 ~failover:5 ~deaths:[ (30, 1) ] ()
+  in
+  let r = MP.run_exn ~placement:P.Affinity ~pes:4 ~recovery prog in
+  checkb "store agrees after fail-stop recovery" true
+    (Imp.Memory.equal reference r.MP.memory);
+  (match r.MP.recovery with
+  | None -> Alcotest.fail "recovery run must report metrics"
+  | Some m ->
+      checki "one death" 1 m.R.m_deaths;
+      checkb "the death forced a rollback" true (m.R.m_rollbacks >= 1);
+      checkb "epoch checkpoints were taken" true (m.R.m_checkpoints >= 1);
+      checkb "lost cycles accounted" true (m.R.m_lost_cycles > 0));
+  (* the dead PE keeps none of its nodes and issues no firings after
+     the remap replays everything it had done *)
+  checkb "no node remains on the dead PE" true
+    (Array.for_all (fun pe -> pe <> 1) r.MP.placement.P.assign)
+
+let test_recovery_policy_units () =
+  (* substitute: identity for the living, round-robin over survivors *)
+  let alive = [| true; false; true; false |] in
+  let s = R.substitute ~pes:4 ~alive in
+  checkb "live PEs map to themselves" true (s.(0) = 0 && s.(2) = 2);
+  checkb "dead PEs map to survivors" true
+    (Array.for_all (fun pe -> alive.(pe)) (Array.map (fun i -> s.(i)) [| 1; 3 |]));
+  checkb "dead PEs spread round-robin" true (s.(1) <> s.(3));
+  (* remap: survivors keep their nodes, the dead PE's nodes rebalance *)
+  let g = (compile_best (example "stencil")).Dflow.Driver.graph in
+  let place = P.compute P.Hash ~pes:4 g in
+  let alive = [| true; true; false; true |] in
+  let place' = R.remap place ~alive in
+  Array.iteri
+    (fun n pe ->
+      if pe <> 2 then checki "survivor keeps its node" pe place'.P.assign.(n)
+      else checkb "dead PE's node moved to a survivor" true
+        (alive.(place'.P.assign.(n))))
+    place.P.assign;
+  (* the one-deep journal keeps only the newest epoch *)
+  let j = R.journal_create () in
+  checkb "empty journal has no epoch" true (R.last j = None);
+  R.record j ~cycle:10 "a";
+  R.record j ~cycle:20 "b";
+  checkb "journal keeps the newest epoch" true (R.last j = Some (20, "b"))
+
+let test_sanitizer_double_fire () =
+  let g = (compile_best (example "sum")).Dflow.Driver.graph in
+  let san = San.create g in
+  let ctx = Machine.Context.toplevel in
+  checkb "first fire is fine" true (San.on_fire san ~node:0 ~ctx ~group:2 = None);
+  (match San.on_fire san ~node:0 ~ctx ~group:2 with
+  | Some (San.Double_fire { df_node = 0; _ }) -> ()
+  | _ -> Alcotest.fail "re-firing a (node, ctx) must trip the sanitizer");
+  (* snapshot/restore: replayed firings must not read as double fires *)
+  let snap = San.snapshot san in
+  checkb "fresh (node, ctx) fires" true
+    (San.on_fire san ~node:1 ~ctx ~group:2 = None);
+  San.restore san snap;
+  checkb "restored sanitizer forgets post-snapshot fires" true
+    (San.on_fire san ~node:1 ~ctx ~group:2 = None);
+  (match San.on_fire san ~node:0 ~ctx ~group:2 with
+  | Some (San.Double_fire _) -> ()
+  | _ -> Alcotest.fail "restored sanitizer must remember pre-snapshot fires");
+  (* a quiescent machine with waiting tokens is a leak *)
+  checkb "store leak reported" true
+    (List.exists
+       (function San.Store_leak { sl_tokens = 3 } -> true | _ -> false)
+       (San.at_quiescence san ~leftover:3))
+
+let test_sanitizer_multi_exit_clean () =
+  (* a goto program whose loop leaves through one of several exit sites:
+     the balance law must count activations (distinct contexts), not
+     expect every exit gateway to fire — a clean run has no violations *)
+  let c = compile_best (example "spaghetti") in
+  let prog = { Machine.Interp.graph = c.Dflow.Driver.graph; layout = c.Dflow.Driver.layout } in
+  let r = Machine.Interp.run prog in
+  Alcotest.(check (list string))
+    "no sanitizer violations on a clean multi-exit run" []
+    (List.map San.violation_to_string
+       r.Machine.Interp.diagnosis.Machine.Diagnosis.sanitizer);
+  (* and the fault-tolerant multiproc path quiesces without rollbacks *)
+  let recovery = R.spec ~interval:25 () in
+  let r = MP.run_exn ~placement:P.Affinity ~pes:4 ~recovery prog in
+  match r.MP.recovery with
+  | None -> Alcotest.fail "recovery metrics missing"
+  | Some m -> checki "no spurious rollbacks" 0 m.R.m_rollbacks
+
+(* ------------------------------------------------------------------ *)
 (* The qcheck differential suite: ≥100 seeded random programs         *)
 
 let small_cfg =
@@ -290,6 +414,39 @@ let qcheck_determinacy =
     (QCheck.Test.make ~name:"multiproc determinacy (random programs)"
        ~count:100 arb_program prop_multiproc_determinate)
 
+(* The recovery closure property: link faults plus one seeded fail-stop,
+   and the recovered machine still lands on the reference store.  The
+   fault seed is a pure function of the program text, so every
+   counterexample replays. *)
+let prop_recovery_determinate (p : Imp.Ast.program) =
+  let reference = Imp.Eval.run_program ~fuel:1_000_000 p in
+  let c = compile_best p in
+  let prog = { Machine.Interp.graph = c.Dflow.Driver.graph; layout = c.Dflow.Driver.layout } in
+  let seed = 1 + (Hashtbl.hash (Imp.Pretty.program_to_string p) land 0xFFFF) in
+  List.for_all
+    (fun policy ->
+      List.for_all
+        (fun pes ->
+          let faults =
+            F.make (F.spec ~rate:0.01 ~classes:F.link_classes ~seed ())
+          in
+          let recovery =
+            R.spec ~interval:40
+              ~deaths:(R.seeded_deaths ~seed ~pes ~window:60)
+              ()
+          in
+          let r = MP.run_exn ~placement:policy ~pes ~faults ~recovery prog in
+          Imp.Memory.equal reference r.MP.memory)
+        [ 2; 4; 8 ])
+    [ P.Hash; P.Affinity ]
+
+let qcheck_recovery =
+  QCheck_alcotest.to_alcotest
+    ~rand:(Random.State.make [| 0xFA17 |])
+    (QCheck.Test.make
+       ~name:"recovered faulty runs match the reference (random programs)"
+       ~count:50 arb_program prop_recovery_determinate)
+
 let () =
   Alcotest.run "multiproc"
     [
@@ -321,5 +478,19 @@ let () =
             test_multiproc_accounting;
           Alcotest.test_case "backpressure counted, not dropped" `Quick
             test_backpressure_counted_not_dropped;
+        ] );
+      ( "fault-tolerance",
+        [
+          Alcotest.test_case "transport masks link faults" `Quick
+            test_transport_masks_link_faults;
+          Alcotest.test_case "fail-stop recovery replays to the reference"
+            `Quick test_failstop_recovery;
+          Alcotest.test_case "recovery policy units" `Quick
+            test_recovery_policy_units;
+          Alcotest.test_case "sanitizer catches a double fire" `Quick
+            test_sanitizer_double_fire;
+          Alcotest.test_case "sanitizer clean on multi-exit loops" `Quick
+            test_sanitizer_multi_exit_clean;
+          qcheck_recovery;
         ] );
     ]

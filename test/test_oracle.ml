@@ -19,7 +19,11 @@ let test_combo_names_distinct () =
   checkb "the broken combo is listed when asked for" true
     (List.exists (fun c -> c.O.c_broken) (O.combos_for ~include_broken:true p));
   checkb "the broken combo is absent by default" true
-    (List.for_all (fun c -> not c.O.c_broken) (O.combos_for p))
+    (List.for_all (fun c -> not c.O.c_broken) (O.combos_for p));
+  checkb "faulty multiprocessor points are in the matrix" true
+    (List.exists
+       (fun c -> c.O.c_faulty && c.O.c_multiproc <> None)
+       (O.combos_for p))
 
 let test_figure8_pathology_caught () =
   (* Schema 2 without loop control on a cyclic program is the paper's
@@ -35,6 +39,7 @@ let test_figure8_pathology_caught () =
       c_name = name;
       c_broken = broken;
       c_multiproc = None;
+      c_faulty = false;
     }
   in
   (match

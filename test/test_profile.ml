@@ -337,6 +337,41 @@ let test_bench_validate_rejects () =
              ~max_overlap:(Machine.Trace.max_context_overlap tracer) ();
          ]
        ());
+  (* recovery cells: failed recovery is a validation failure, a
+     successful one with well-typed cost accounting passes *)
+  let rc recovered =
+    {
+      Machine.Profile.rc_pes = 4;
+      rc_placement = "affinity";
+      rc_interval = 25;
+      rc_cycles = 130;
+      rc_baseline_cycles = 100;
+      rc_overhead = 0.3;
+      rc_deaths = 1;
+      rc_rollbacks = 1;
+      rc_checkpoints = 4;
+      rc_lost_cycles = 13;
+      rc_replayed_firings = 40;
+      rc_retransmits = 2;
+      rc_recovered = recovered;
+    }
+  in
+  let with_recovery cell =
+    Machine.Profile.bench_file
+      ~records:
+        [
+          Machine.Profile.bench_record ~program:"sum" ~schema:"s" ~status:"ok"
+            ~stats:(Dfg.Stats.of_graph graph)
+            ~result:r ~reference_ok:true
+            ~max_overlap:(Machine.Trace.max_context_overlap tracer)
+            ~recovery:[ cell ] ();
+        ]
+      ()
+  in
+  expect_error "failed recovery cell" (with_recovery (rc false));
+  (match Machine.Profile.validate_bench (with_recovery (rc true)) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "good recovery cell rejected: %s" e);
   (* non-ok cells need no metrics: they explain themselves *)
   match
     Machine.Profile.validate_bench
