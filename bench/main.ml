@@ -1054,10 +1054,75 @@ let recovery_sweep ~note ~reference (c : Dflow.Driver.compiled) =
       cell)
     recovery_intervals
 
+(* The certificate-overhead sweep (E23): every certified cell runs
+   twice per PE count — fractional-permission certificate attached,
+   then stripped — and records the cycle ratio.  Certification is pure
+   bookkeeping on token payloads, invisible to the scheduler, so the
+   measured overhead is exactly 0.0; the cells keep that claim audited
+   instead of asserted, and the CI ceiling below catches any future
+   change that couples certification into timing. *)
+let certificate_pe_counts = [ 1; 4 ]
+let certificate_overhead_ceiling = 0.15
+let certificate_ceiling_pes = 4
+
+let certificate_sweep ~note (c : Dflow.Driver.compiled) =
+  let g = c.Dflow.Driver.graph in
+  match g.Dfg.Graph.cert with
+  | None -> None (* uncertified translation: nothing to measure *)
+  | Some saved ->
+      let prog = { Machine.Interp.graph = g; layout = c.Dflow.Driver.layout } in
+      let run_at pes =
+        if pes = 1 then
+          let r = Machine.Interp.run prog in
+          ( r.Machine.Interp.cycles,
+            r.Machine.Interp.completed,
+            r.Machine.Interp.diagnosis )
+        else
+          match
+            Machine.Multiproc.run ~placement:Machine.Placement.Affinity ~pes
+              prog
+          with
+          | Ok r ->
+              ( r.Machine.Multiproc.cycles,
+                r.Machine.Multiproc.completed,
+                r.Machine.Multiproc.diagnosis )
+          | Error d -> (0, false, d)
+      in
+      let cells =
+        List.map
+          (fun pes ->
+            let cycles, completed, diag = run_at pes in
+            Dfg.Graph.set_cert g None;
+            let stripped, _, _ = run_at pes in
+            Dfg.Graph.set_cert g (Some saved);
+            let elements, checks =
+              match diag.Machine.Diagnosis.certified with
+              | Some ec -> ec
+              | None -> (0, 0)
+            in
+            let cell =
+              {
+                Machine.Profile.cc_pes = pes;
+                cc_elements = elements;
+                cc_checks = checks;
+                cc_cycles = cycles;
+                cc_stripped_cycles = stripped;
+                cc_overhead =
+                  (float_of_int cycles /. float_of_int (max 1 stripped)) -. 1.0;
+                cc_clean =
+                  completed && diag.Machine.Diagnosis.permission = [];
+              }
+            in
+            note cell;
+            cell)
+          certificate_pe_counts
+      in
+      Some cells
+
 (* One cell: compile, run traced, check against the reference
    interpreter.  Cells a schema cannot express are real results — the
    record says why instead of vanishing from the matrix. *)
-let bench_cell ?mp_note ?recovery_note ~program:(pname, p)
+let bench_cell ?mp_note ?recovery_note ?cert_note ~program:(pname, p)
     ~schema:(sname, spec, transforms) () =
   match compile ~transforms spec p with
   | exception Cfg.Intervals.Irreducible _ ->
@@ -1097,10 +1162,15 @@ let bench_cell ?mp_note ?recovery_note ~program:(pname, p)
               Some (recovery_sweep ~note ~reference c)
           | _ -> None
         in
+        let certificate =
+          match cert_note with
+          | Some note -> certificate_sweep ~note c
+          | None -> None
+        in
         ( Machine.Profile.bench_record ~program:pname ~schema:sname ~status:"ok"
             ~stats ~result:r ~reference_ok:ok
             ~max_overlap:(Machine.Trace.max_context_overlap tracer) ?multiproc
-            ?recovery (),
+            ?recovery ?certificate (),
           Some (ok, Machine.Interp.avg_parallelism r) )
 
 let bench_json ~out ~programs_dir () =
@@ -1142,6 +1212,10 @@ let bench_json ~out ~programs_dir () =
      E22 overhead ceiling *)
   let recovery_table = Hashtbl.create 16 in
   let recovery_failed = ref false in
+  (* (program, schema, pes) -> certificate cell; the feed for the E23
+     overhead ceiling *)
+  let cert_table = Hashtbl.create 64 in
+  let cert_failed = ref false in
   let records =
     List.concat_map
       (fun ((pname, _) as program) ->
@@ -1184,8 +1258,23 @@ let bench_json ~out ~programs_dir () =
                       c)
               else None
             in
+            let cert_note =
+              if List.mem pname example_names then
+                Some
+                  (fun (c : Machine.Profile.certificate_cell) ->
+                    if not c.Machine.Profile.cc_clean then begin
+                      cert_failed := true;
+                      Fmt.epr
+                        "bench: %s under %s certificate VIOLATED at p=%d@."
+                        pname sname c.Machine.Profile.cc_pes
+                    end;
+                    Hashtbl.replace cert_table
+                      (pname, sname, c.Machine.Profile.cc_pes)
+                      c)
+              else None
+            in
             let record, dyn =
-              bench_cell ?mp_note ?recovery_note ~program ~schema ()
+              bench_cell ?mp_note ?recovery_note ?cert_note ~program ~schema ()
             in
             (match dyn with
             | Some (ok, par) ->
@@ -1328,19 +1417,51 @@ let bench_json ~out ~programs_dir () =
           recovery_ceiling_interval ov recovery_overhead_ceiling
           c.Machine.Profile.rc_deaths c.Machine.Profile.rc_rollbacks
   | None -> Fmt.epr "bench: warning: no stencil recovery cells in this matrix@.");
+  (* the certificate floors of E23: every certified example run — at
+     p=1 and p=4, under every certified schema — must carry a clean
+     certificate, and attaching it must not cost cycles on the stencil
+     at p=4 (measured: exactly 0; the ceiling tolerates 15% so only a
+     real coupling of certification into scheduling trips it) *)
+  if !cert_failed then begin
+    Fmt.epr "bench: certificate sweep found standing violations (see above)@.";
+    exit 1
+  end;
+  (match
+     Hashtbl.find_opt cert_table
+       ("stencil", recovery_schema, certificate_ceiling_pes)
+   with
+  | Some c ->
+      let ov = c.Machine.Profile.cc_overhead in
+      if ov > certificate_overhead_ceiling then begin
+        Fmt.epr
+          "bench: stencil certificate overhead %.2f exceeds the ceiling %.2f \
+           at p=%d@."
+          ov certificate_overhead_ceiling certificate_ceiling_pes;
+        exit 1
+      end
+      else
+        Fmt.pr
+          "stencil certificate overhead at p=%d: %.2f (ceiling %.2f; %d \
+           cover elements, %d ownership checks)@."
+          certificate_ceiling_pes ov certificate_overhead_ceiling
+          c.Machine.Profile.cc_elements c.Machine.Profile.cc_checks
+  | None ->
+      Fmt.epr "bench: warning: no stencil certificate cells in this matrix@.");
   let oc = open_out out in
   output_string oc text;
   close_out oc;
   Fmt.pr
     "wrote %s: %d records (%d programs x %d schemas; multiproc sweep on %d \
      examples x %d schemas x p in {%s}; recovery sweep on %s at p=4 x \
-     intervals {%s})@."
+     intervals {%s}; certificate sweep on every certified example cell x \
+     p in {%s})@."
     out (List.length records) (List.length programs)
     (List.length bench_schemas) (List.length examples)
     (List.length mp_schemas)
     (String.concat "," (List.map string_of_int mp_pe_counts))
     recovery_schema
     (String.concat "," (List.map string_of_int recovery_intervals))
+    (String.concat "," (List.map string_of_int certificate_pe_counts))
 
 (* ===================================================================== *)
 (* E21 -- multiprocessor scalability                                     *)

@@ -34,6 +34,7 @@ let spec_of_string (s : string) : (Dflow.Driver.spec, string) result =
   | "3c" | "schema3-components" ->
       Ok (Dflow.Driver.Schema3 (Dflow.Driver.Components, Dflow.Engine.Barrier))
   | "fig8" -> Ok Dflow.Driver.Schema2_unsafe_no_loop_control
+  | "3bad" | "schema3-bad-cover" -> Ok Dflow.Driver.Schema3_unsafe_bad_cover
   | _ -> Error (Fmt.str "unknown schema %S" s)
 
 let schema_conv : Dflow.Driver.spec Arg.conv =
@@ -50,8 +51,9 @@ let schema_arg =
     & opt schema_conv (Dflow.Driver.Schema2_opt Dflow.Engine.Barrier)
     & info [ "s"; "schema" ] ~docv:"SCHEMA"
         ~doc:
-          "Translation schema: 1, 2, 2p, 2opt, 2optp, 3, 3s, 3c, or fig8 \
-           (schema 2 without loop control).")
+          "Translation schema: 1, 2, 2p, 2opt, 2optp, 3, 3s, 3c, fig8 \
+           (schema 2 without loop control), or 3bad (schema 3 with \
+           truncated access sets).")
 
 let transforms_arg =
   Arg.(
@@ -100,6 +102,28 @@ let config_of pes mem_latency =
     latencies = { Machine.Config.default_latencies with memory = mem_latency };
   }
 
+let no_certify_arg =
+  Arg.(
+    value & flag
+    & info [ "no-certify" ]
+        ~doc:
+          "Strip the fractional-permission certificate before executing: \
+           no per-run translation validation, no certificate line in the \
+           output, and certificate violations cannot fail the run.")
+
+let certificate_line (d : Machine.Diagnosis.t) =
+  match d.Machine.Diagnosis.certified with
+  | None -> "none (uncertified translation)"
+  | Some (elements, checks) ->
+      if d.Machine.Diagnosis.permission = [] then
+        Fmt.str "ok (%d element%s, %d ownership checks)" elements
+          (if elements = 1 then "" else "s")
+        checks
+      else
+        Fmt.str "VIOLATED (%d standing violation%s)"
+          (List.length d.Machine.Diagnosis.permission)
+          (if List.length d.Machine.Diagnosis.permission = 1 then "" else "s")
+
 (* --- run ------------------------------------------------------------- *)
 
 let fault_seed_arg =
@@ -126,12 +150,13 @@ let fault_classes_arg =
            stall, reorder, or all (comma separated).")
 
 let run_cmd file schema transforms pes mem_latency verbose trace optimize
-    fault_seed fault_rate fault_classes =
+    fault_seed fault_rate fault_classes no_certify =
   let p = read_program file in
   let transforms = transforms_of_list transforms in
   let compiled = Dflow.Driver.compile ~transforms schema p in
   let graph = maybe_optimize optimize compiled.Dflow.Driver.graph in
   Dfg.Check.check graph;
+  if no_certify then Dfg.Graph.set_cert graph None;
   let config = config_of pes mem_latency in
   let tracer = Machine.Trace.create () in
   let on_fire = if trace then Some (Machine.Trace.on_fire tracer) else None in
@@ -177,6 +202,8 @@ let run_cmd file schema transforms pes mem_latency verbose trace optimize
   Fmt.pr "op breakdown     %a@."
     Fmt.(list ~sep:(any ", ") (pair ~sep:(any ":") string int))
     result.Machine.Interp.firings_by_kind;
+  Fmt.pr "certificate      %s@."
+    (certificate_line result.Machine.Interp.diagnosis);
   if trace then begin
     Fmt.pr "== timeline (first 60 cycles) ==@.";
     Fmt.pr "%a" (Machine.Trace.pp_timeline ~max_cycles:60) tracer;
@@ -199,7 +226,8 @@ let run_term =
     $ mem_latency_arg
     $ Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print graph statistics and check against the reference interpreter.")
     $ Arg.(value & flag & info [ "trace" ] ~doc:"Print an execution timeline and per-context firing counts.")
-    $ optimize_arg $ fault_seed_arg $ fault_rate_arg $ fault_classes_arg)
+    $ optimize_arg $ fault_seed_arg $ fault_rate_arg $ fault_classes_arg
+    $ no_certify_arg)
 
 (* --- profile: critical path, curves, Chrome trace -------------------- *)
 
@@ -280,12 +308,13 @@ let placement_conv : Machine.Placement.policy Arg.conv =
 
 let simulate_cmd file schema transforms optimize mp_pes placement net_latency
     net_bandwidth net_queue modules mem_latency trace_out fault_seed fault_rate
-    fault_classes recover =
+    fault_classes recover no_certify =
   let p = read_program file in
   let transforms = transforms_of_list transforms in
   let compiled = Dflow.Driver.compile ~transforms schema p in
   let graph = maybe_optimize optimize compiled.Dflow.Driver.graph in
   Dfg.Check.check graph;
+  if no_certify then Dfg.Graph.set_cert graph None;
   let config = config_of None mem_latency in
   let faults =
     Option.map
@@ -357,6 +386,8 @@ let simulate_cmd file schema transforms optimize mp_pes placement net_latency
     (100.0 *. r.Machine.Multiproc.cut_traffic);
   Fmt.pr "backpressure     %d stalled enqueues, peak queue %d@."
     r.Machine.Multiproc.backpressure r.Machine.Multiproc.peak_queue;
+  Fmt.pr "certificate      %s@."
+    (certificate_line r.Machine.Multiproc.diagnosis);
   (match (r.Machine.Multiproc.transport, r.Machine.Multiproc.recovery) with
   | None, None -> ()
   | transport, recovery ->
@@ -402,6 +433,22 @@ let simulate_cmd file schema transforms optimize mp_pes placement net_latency
     Fmt.pr "reference check  ok@."
   else begin
     Fmt.epr "reference check  MISMATCH@.";
+    exit 1
+  end;
+  (* even a run that completed and matched the reference is rejected when
+     the sanitizer or the permission certificate reported violations in
+     report-only mode: a lucky store is not a certified store *)
+  let diag = r.Machine.Multiproc.diagnosis in
+  if
+    diag.Machine.Diagnosis.sanitizer <> []
+    || diag.Machine.Diagnosis.permission <> []
+  then begin
+    Fmt.epr "== diagnosis ==@.%a@." Machine.Diagnosis.pp diag;
+    Fmt.epr
+      "simulation rejected: %d sanitizer violation(s), %d permission \
+       violation(s) (run with --no-certify to waive certification)@."
+      (List.length diag.Machine.Diagnosis.sanitizer)
+      (List.length diag.Machine.Diagnosis.permission);
     exit 1
   end
 
@@ -449,7 +496,8 @@ let simulate_term =
             ~doc:
               "Enable checkpoint/replay recovery: epoch snapshots, plus — \
                with --fault-seed — one seeded PE fail-stop whose nodes are \
-               remapped over the survivors and replayed."))
+               remapped over the survivors and replayed.")
+    $ no_certify_arg)
 
 (* --- dot ------------------------------------------------------------- *)
 
@@ -658,14 +706,29 @@ let compare_term = Term.(const compare_cmd $ file_arg $ pes_arg $ mem_latency_ar
 
 (* --- selfcheck: the differential schema oracle ----------------------- *)
 
-let selfcheck_cmd seed count broken =
+let selfcheck_cmd seed count broken certify_only =
+  (* certificate-only validation exercises the aliasing side too: the
+     bad-cover variant is a no-op on alias-free programs, so the
+     generator must be allowed to produce aliased ones *)
+  let gen =
+    if certify_only then
+      Some
+        {
+          Workloads.Random_gen.default_config with
+          Workloads.Random_gen.allow_alias = true;
+        }
+    else None
+  in
   let report =
-    Dflow.Oracle.selfcheck ~seed ~count ~include_broken:broken ()
+    Dflow.Oracle.selfcheck ?gen ~seed ~count ~certify_only
+      ~include_broken:broken ()
   in
   Fmt.pr "%a@." Dflow.Oracle.pp_report report;
   if report.Dflow.Oracle.r_divergences <> [] then begin
-    Fmt.epr "selfcheck FAILED: %d reference divergence(s) under sound schemas@."
-      (List.length report.Dflow.Oracle.r_divergences);
+    Fmt.epr "selfcheck FAILED: %d %s under sound schemas@."
+      (List.length report.Dflow.Oracle.r_divergences)
+      (if certify_only then "false certificate rejection(s)"
+       else "reference divergence(s)");
     exit 1
   end;
   if broken && report.Dflow.Oracle.r_broken_caught = [] then begin
@@ -673,6 +736,32 @@ let selfcheck_cmd seed count broken =
       "selfcheck FAILED: the deliberately broken schema produced no \
        divergence — the oracle has lost its teeth (try more programs)@.";
     exit 1
+  end;
+  if broken && certify_only then begin
+    (* the certificate alone — no reference store, no collision detection
+       — must catch BOTH seeded miscompilations *)
+    let caught =
+      List.map
+        (fun d -> d.Dflow.Oracle.dv_combo)
+        report.Dflow.Oracle.r_broken_caught
+    in
+    let has prefix =
+      List.exists
+        (fun n ->
+          String.length n >= String.length prefix
+          && String.sub n 0 (String.length prefix) = prefix)
+        caught
+    in
+    List.iter
+      (fun variant ->
+        if not (has variant) then begin
+          Fmt.epr
+            "selfcheck FAILED: the permission certificate alone did not \
+             catch %s (try more programs)@."
+            variant;
+          exit 1
+        end)
+      [ "schema2-no-loop-control"; "schema3-bad-cover" ]
   end;
   Fmt.pr "selfcheck ok@."
 
@@ -689,9 +778,19 @@ let selfcheck_term =
         value & flag
         & info [ "broken" ]
             ~doc:
-              "Also run the deliberately broken schema variant (Schema 2 \
-               without loop control) and require the oracle to catch it \
-               with a shrunk minimal reproducer."))
+              "Also run the deliberately broken schema variants (Schema 2 \
+               without loop control; Schema 3 with truncated access sets) \
+               and require the oracle to catch them with shrunk minimal \
+               reproducers.")
+    $ Arg.(
+        value & flag
+        & info [ "certify-only" ]
+            ~doc:
+              "Validate with the fractional-permission certificate ALONE: \
+               collision detection off, reference store not compared. With \
+               --broken, both unsound variants must still be caught. The \
+               program generator is allowed to produce aliased programs so \
+               the bad-cover variant is exercised."))
 
 (* --- command assembly ------------------------------------------------ *)
 

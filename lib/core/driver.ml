@@ -19,6 +19,13 @@ type spec =
           pathology on cyclic programs; for experiments only *)
   | Schema3 of cover_choice * Engine.loop_control
       (** per-cover-element tokens; sound under aliasing *)
+  | Schema3_unsafe_bad_cover
+      (** Schema 3 over the singleton cover with every access set
+          truncated to its first element: an aliased program's stores
+          proceed without the permission of the other elements they
+          conflict with.  The store ordering the cover was meant to
+          enforce is silently gone — only the per-run certificate
+          notices.  For experiments only. *)
   | Schema2_opt of Engine.loop_control
       (** Section 4's direct construction without redundant switches *)
 
@@ -27,6 +34,7 @@ let spec_to_string = function
   | Schema2 Engine.Barrier -> "schema2"
   | Schema2 Engine.Pipelined -> "schema2-pipelined"
   | Schema2_unsafe_no_loop_control -> "schema2-no-loop-control"
+  | Schema3_unsafe_bad_cover -> "schema3-bad-cover"
   | Schema3 (cover, lc) ->
       Fmt.str "schema3-%s%s"
         (match cover with
@@ -86,6 +94,33 @@ let cover_of (choice : cover_choice) (alias : Analysis.Alias.t) :
   | Classes -> Analysis.Cover.classes alias
   | Components -> Analysis.Cover.components alias
 
+(* The fractional-permission certificate: the token-universe names plus,
+   per memory operation, the TRUE access set of its variable.  Crucially
+   this is recomputed from the token map (hence from the alias/cover
+   analysis), never read off the graph's own token wiring — a graph whose
+   wiring under-collects cannot vouch for itself. *)
+let make_cert (tokens : Token_map.t) (g : Dfg.Graph.t) : Dfg.Graph.cert =
+  let require = Array.make (Dfg.Graph.num_nodes g) [] in
+  for n = 0 to Dfg.Graph.num_nodes g - 1 do
+    match Dfg.Graph.kind g n with
+    | Dfg.Node.Load { var; _ } | Dfg.Node.Store { var; _ } ->
+        require.(n) <- tokens.Token_map.access_set var
+    | _ -> ()
+  done;
+  {
+    Dfg.Graph.cert_elements = Array.copy tokens.Token_map.names;
+    cert_require = require;
+  }
+
+(* Attach the certificate to a freshly translated graph.  [None] (leave
+   the graph uncertified) when the translation used value passing,
+   Figure 14 array overlap or I-structures: those transforms retire or
+   copy access tokens outside the circulation discipline the certificate
+   accounts for. *)
+let certify (tokens : Token_map.t) (c : compiled) : compiled =
+  Dfg.Graph.set_cert c.graph (Some (make_cert tokens c.graph));
+  c
+
 (** [compile ?transforms ?split_irreducible spec p] compiles program [p]
     under [spec].
     @raise Aliasing_unsupported for Schema 2 on aliased programs.
@@ -132,17 +167,23 @@ let compile ?(transforms = no_transforms) ?(split_irreducible = false)
   in
   match spec with
   | Schema1 ->
-      { graph = Engine.schema1 ~mode:base_mode g; layout; cfg = g; spec }
+      certify Token_map.single
+        { graph = Engine.schema1 ~mode:base_mode g; layout; cfg = g; spec }
   | Schema2_unsafe_no_loop_control ->
       check_no_alias ();
-      {
-        graph =
-          Engine.translate ~mode:base_mode
-            ~tokens:(Token_map.per_variable vars) g;
-        layout;
-        cfg = g;
-        spec;
-      }
+      (* the certificate is attached to the broken translation too: the
+         requirement metadata is true even when the wiring is not, which
+         is exactly what lets the checker catch the Figure 8 pathology *)
+      certify
+        (Token_map.per_variable vars)
+        {
+          graph =
+            Engine.translate ~mode:base_mode
+              ~tokens:(Token_map.per_variable vars) g;
+          layout;
+          cfg = g;
+          spec;
+        }
   | Schema2 lc ->
       check_no_alias ();
       let lp = Cfg.Loopify.transform g in
@@ -172,35 +213,74 @@ let compile ?(transforms = no_transforms) ?(split_irreducible = false)
           (fun x -> (List.hd (tokens.Token_map.access_set x), x))
           value_vars
       in
-      {
-        graph =
-          Engine.translate ~loop_control:lc ~mode ~value_tokens ~async_arrays
-            ~tokens ~loops:lp lp.Cfg.Loopify.graph;
-        layout;
-        cfg = lp.Cfg.Loopify.graph;
-        spec;
-      }
+      let c =
+        {
+          graph =
+            Engine.translate ~loop_control:lc ~mode ~value_tokens ~async_arrays
+              ~tokens ~loops:lp lp.Cfg.Loopify.graph;
+          layout;
+          cfg = lp.Cfg.Loopify.graph;
+          spec;
+        }
+      in
+      (* certified only when no token leaves the circulation discipline:
+         no value passing, no Figure 14 overlap, no I-structures
+         (effective lists, not requested flags) *)
+      if value_tokens = [] && async_arrays = [] && istructs = [] then
+        certify tokens c
+      else c
   | Schema3 (choice, lc) ->
       let lp = Cfg.Loopify.transform g in
       let cover = cover_of choice alias in
-      {
-        graph = Engine.schema3 ~loop_control:lc ~mode:base_mode lp ~alias ~cover;
-        layout;
-        cfg = lp.Cfg.Loopify.graph;
-        spec;
-      }
+      certify
+        (Token_map.of_cover alias cover)
+        {
+          graph =
+            Engine.schema3 ~loop_control:lc ~mode:base_mode lp ~alias ~cover;
+          layout;
+          cfg = lp.Cfg.Loopify.graph;
+          spec;
+        }
+  | Schema3_unsafe_bad_cover ->
+      let lp = Cfg.Loopify.transform g in
+      let cover = cover_of Singleton alias in
+      let tokens = Token_map.of_cover alias cover in
+      (* the seeded miscompilation: wire every memory operation to collect
+         only the FIRST element of its access set.  Alias-free programs
+         are unaffected (singleton access sets); on aliased programs the
+         store ordering between related names silently disappears.  The
+         certificate is built from the untruncated map. *)
+      let bad =
+        {
+          tokens with
+          Token_map.access_set =
+            (fun x -> [ List.hd (tokens.Token_map.access_set x) ]);
+        }
+      in
+      certify tokens
+        {
+          graph =
+            Engine.translate ~loop_control:Engine.Barrier ~mode:base_mode
+              ~tokens:bad ~loops:lp lp.Cfg.Loopify.graph;
+          layout;
+          cfg = lp.Cfg.Loopify.graph;
+          spec;
+        }
   | Schema2_opt lc ->
       check_no_alias ();
       let lp = Cfg.Loopify.transform g in
       let value_vars = value_vars_of lp in
-      {
-        graph =
-          Optimized.translate ~loop_control:lc ~mode:base_mode ~value_vars lp
-            ~vars;
-        layout;
-        cfg = lp.Cfg.Loopify.graph;
-        spec;
-      }
+      let c =
+        {
+          graph =
+            Optimized.translate ~loop_control:lc ~mode:base_mode ~value_vars lp
+              ~vars;
+          layout;
+          cfg = lp.Cfg.Loopify.graph;
+          spec;
+        }
+      in
+      if value_vars = [] then certify (Token_map.per_variable vars) c else c
 
 (** [compile_string ?transforms spec src] parses and compiles. *)
 let compile_string ?transforms ?split_irreducible (spec : spec) (src : string)

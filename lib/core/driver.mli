@@ -20,6 +20,11 @@ type spec =
           pathology on cyclic programs; for experiments only *)
   | Schema3 of cover_choice * Engine.loop_control
       (** per-cover-element tokens; sound under aliasing *)
+  | Schema3_unsafe_bad_cover
+      (** Schema 3 over the singleton cover with every access set
+          truncated to its first element: on aliased programs the store
+          ordering between related names silently disappears — only the
+          per-run certificate notices.  For experiments only. *)
   | Schema2_opt of Engine.loop_control
       (** Section 4's direct construction without redundant switches *)
 

@@ -258,20 +258,25 @@ let translate ?(loop_control = Barrier) ?(mode = Statement.default_mode)
   in
   (* Feed a list of source terminals into a set of input ports: a single
      source fans out directly; several sources are funnelled through a
-     merge first. *)
-  let feed (sources : Statement.terminal list)
-      (ports : Statement.terminal list) : unit =
-    if ports <> [] then begin
+     merge first.  [ports] receive token [tau]'s permission (labelled
+     arcs); [untagged] ports (constant triggers) are activated by the
+     same token but carry none. *)
+  let feed (tau : int) (sources : Statement.terminal list)
+      ?(untagged = []) (ports : Statement.terminal list) : unit =
+    if ports <> [] || untagged <> [] then begin
       let src =
         match sources with
         | [] -> invalid_arg "feed: no sources"
         | [ s ] -> s
         | many ->
             let m = B.add b Dfg.Node.Merge in
-            List.iter (fun s -> B.connect b ~dummy:true s (m, 0)) many;
+            List.iter
+              (fun s -> B.connect b ~dummy:true ~tokens:[ tau ] s (m, 0))
+              many;
             (m, 0)
       in
-      List.iter (fun p -> B.connect b ~dummy:true src p) ports
+      List.iter (fun p -> B.connect b ~dummy:true ~tokens:[ tau ] src p) ports;
+      List.iter (fun p -> B.connect b ~dummy:true src p) untagged
     end
   in
   (* Wire every node's inputs from its predecessors. *)
@@ -318,27 +323,37 @@ let translate ?(loop_control = Barrier) ?(mode = Statement.default_mode)
                 B.connect b ~dummy:true src (st, 0);
                 B.connect b src (st, 1);
                 B.connect b ~dummy:true (st, 0) (n, tau)
-            | None -> feed sources [ (n, tau) ])
+            | None -> feed tau sources [ (n, tau) ])
           all_tokens
     | S_join ports ->
         List.iter
           (fun tau ->
             (* merges accept several arcs on their single port directly *)
             List.iter
-              (fun s -> B.connect b ~dummy:true s ports.(tau))
+              (fun s -> B.connect b ~dummy:true ~tokens:[ tau ] s ports.(tau))
               (sources_for tau preds))
           all_tokens
     | S_chain c ->
         List.iter
           (fun tau ->
-            if c.Statement.entries.(tau) <> [] then
-              feed (sources_for tau preds) c.Statement.entries.(tau))
+            if
+              c.Statement.entries.(tau) <> []
+              || c.Statement.untagged.(tau) <> []
+            then
+              feed tau (sources_for tau preds)
+                ~untagged:c.Statement.untagged.(tau)
+                c.Statement.entries.(tau))
           all_tokens
     | S_fork f ->
         List.iter
           (fun tau ->
-            if f.Statement.f_entries.(tau) <> [] then
-              feed (sources_for tau preds) f.Statement.f_entries.(tau))
+            if
+              f.Statement.f_entries.(tau) <> []
+              || f.Statement.f_untagged.(tau) <> []
+            then
+              feed tau (sources_for tau preds)
+                ~untagged:f.Statement.f_untagged.(tau)
+                f.Statement.f_entries.(tau))
           all_tokens
     | S_entry e ->
         let l =
@@ -351,12 +366,12 @@ let translate ?(loop_control = Barrier) ?(mode = Statement.default_mode)
         in
         List.iter
           (fun tau ->
-            feed (sources_for tau initial_preds) [ e.e_initial.(tau) ];
-            feed (sources_for tau back_preds) [ e.e_back.(tau) ])
+            feed tau (sources_for tau initial_preds) [ e.e_initial.(tau) ];
+            feed tau (sources_for tau back_preds) [ e.e_back.(tau) ])
           all_tokens
     | S_exit x ->
         List.iter
-          (fun tau -> feed (sources_for tau preds) [ x.x_ins.(tau) ])
+          (fun tau -> feed tau (sources_for tau preds) [ x.x_ins.(tau) ])
           all_tokens
   done;
   B.finish b

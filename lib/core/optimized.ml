@@ -169,9 +169,13 @@ let translate ?(loop_control = Engine.Barrier) ?(mode = Statement.default_mode)
         invalid_arg
           (Fmt.str "no terminal for access_%s at node %d dir %b" x m d)
   in
-  (* Feed sources into input ports (merge when several sources). *)
-  let feed x (sources : source list) (ports : Statement.terminal list) : unit =
-    if ports <> [] then begin
+  (* Feed sources into input ports (merge when several sources).
+     [ports] receive the variable's token permission; [untagged] ports
+     (constant triggers) are activated without it. *)
+  let feed x (sources : source list) ?(untagged = [])
+      (ports : Statement.terminal list) : unit =
+    if ports <> [] || untagged <> [] then begin
+      let tau = var_index x in
       let src =
         match sources with
         | [] ->
@@ -179,10 +183,14 @@ let translate ?(loop_control = Engine.Barrier) ?(mode = Statement.default_mode)
         | [ s ] -> term_of x s
         | many ->
             let m = B.add b ~label:(Fmt.str "merge %s" x) Dfg.Node.Merge in
-            List.iter (fun s -> B.connect b ~dummy:true (term_of x s) (m, 0)) many;
+            List.iter
+              (fun s ->
+                B.connect b ~dummy:true ~tokens:[ tau ] (term_of x s) (m, 0))
+              many;
             (m, 0)
       in
-      List.iter (fun p -> B.connect b ~dummy:true src p) ports
+      List.iter (fun p -> B.connect b ~dummy:true ~tokens:[ tau ] src p) ports;
+      List.iter (fun p -> B.connect b ~dummy:true src p) untagged
     end
   in
   (* propagate [srcs] for x to successor S of N along direction d *)
@@ -266,8 +274,13 @@ let translate ?(loop_control = Engine.Barrier) ?(mode = Statement.default_mode)
           List.iter
             (fun x ->
               let i = var_index x in
-              if chain.Statement.entries.(i) <> [] then begin
-                feed x sv.(n).(i) chain.Statement.entries.(i);
+              if
+                chain.Statement.entries.(i) <> []
+                || chain.Statement.untagged.(i) <> []
+              then begin
+                feed x sv.(n).(i)
+                  ~untagged:chain.Statement.untagged.(i)
+                  chain.Statement.entries.(i);
                 match chain.Statement.exits.(i) with
                 | Some t ->
                     Hashtbl.replace out_term (n, x, true) t;
@@ -306,8 +319,13 @@ let translate ?(loop_control = Engine.Barrier) ?(mode = Statement.default_mode)
           List.iter
             (fun x ->
               let i = var_index x in
-              if fc.Statement.f_entries.(i) <> [] then
-                feed x sv.(n).(i) fc.Statement.f_entries.(i);
+              if
+                fc.Statement.f_entries.(i) <> []
+                || fc.Statement.f_untagged.(i) <> []
+              then
+                feed x sv.(n).(i)
+                  ~untagged:fc.Statement.f_untagged.(i)
+                  fc.Statement.f_entries.(i);
               match fc.Statement.f_outs.(i) with
               | Statement.F_switched (t, f) ->
                   Hashtbl.replace out_term (n, x, true) t;
@@ -343,7 +361,9 @@ let translate ?(loop_control = Engine.Barrier) ?(mode = Statement.default_mode)
                     B.add b ~label:(Fmt.str "merge %s" x) Dfg.Node.Merge
                   in
                   List.iter
-                    (fun s -> B.connect b ~dummy:true (term_of x s) (m, 0))
+                    (fun s ->
+                      B.connect b ~dummy:true ~tokens:[ i ] (term_of x s)
+                        (m, 0))
                     many;
                   Hashtbl.replace out_term (n, x, true) (m, 0);
                   propagate n x [ (n, true) ])

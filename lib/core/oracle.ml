@@ -78,8 +78,15 @@ let combos_for ?(include_broken = false) (p : Imp.Ast.program) : combo list =
       ]
   in
   let broken =
-    if include_broken && not aliasing then
-      [ combo ~broken:true Schema2_unsafe_no_loop_control t0 ]
+    (* two seeded miscompilations: Figure 8 (loop control omitted;
+       alias-free programs only — Schema 2 territory) and the truncated
+       cover (meaningful only where aliasing exists to be missed) *)
+    (if include_broken && not aliasing then
+       [ combo ~broken:true Schema2_unsafe_no_loop_control t0 ]
+     else [])
+    @
+    if include_broken && aliasing then
+      [ combo ~broken:true Schema3_unsafe_bad_cover t0 ]
     else []
   in
   (* the multiprocessor tier: the same differential bar — final store
@@ -141,8 +148,17 @@ type status =
 let default_machine =
   { Machine.Config.default with Machine.Config.max_cycles = 200_000 }
 
-let run_combo ?(machine = default_machine) (c : combo) (p : Imp.Ast.program) :
-    status =
+let run_combo ?(machine = default_machine) ?(certify_only = false) (c : combo)
+    (p : Imp.Ast.program) : status =
+  (* certify-only mode: collision detection off, reference comparison
+     off — a Fail means the fractional-permission certificate ALONE
+     rejected the run.  This is the mode that proves the checker needs
+     no ground truth to catch a miscompilation. *)
+  let machine =
+    if certify_only then
+      { machine with Machine.Config.detect_collisions = false }
+    else machine
+  in
   match Imp.Eval.run_program ~fuel:1_000_000 p with
   | exception Imp.Eval.Out_of_fuel -> Skip "reference out of fuel"
   | reference -> (
@@ -160,28 +176,49 @@ let run_combo ?(machine = default_machine) (c : combo) (p : Imp.Ast.program) :
                   layout = compiled.Driver.layout;
                 }
               in
+              let perm_fail (diag : Machine.Diagnosis.t) =
+                match diag.Machine.Diagnosis.permission with
+                | [] -> None
+                | v :: _ ->
+                    Some
+                      ("permission: "
+                      ^ Machine.Permission.violation_to_string v)
+              in
               let finish (diag : Machine.Diagnosis.t)
                   (memory : Imp.Memory.t) =
-                if diag.Machine.Diagnosis.verdict <> Machine.Diagnosis.Clean
+                if certify_only then
+                  match perm_fail diag with Some m -> Fail m | None -> Agree
+                else if
+                  diag.Machine.Diagnosis.verdict <> Machine.Diagnosis.Clean
                 then
                   Fail
                     (Machine.Diagnosis.verdict_to_string
                        diag.Machine.Diagnosis.verdict)
-                else if not (Imp.Memory.equal reference memory) then
+                else
+                  match perm_fail diag with
+                  | Some m -> Fail m
+                  | None ->
+                      if not (Imp.Memory.equal reference memory) then
+                        Fail
+                          (Fmt.str
+                             "store mismatch@.reference:@.%a@.machine:@.%a"
+                             Imp.Memory.pp reference Imp.Memory.pp memory)
+                      else Agree
+              in
+              let hard_fail (d : Machine.Diagnosis.t) =
+                if certify_only then
+                  match perm_fail d with Some m -> Fail m | None -> Agree
+                else
                   Fail
-                    (Fmt.str "store mismatch@.reference:@.%a@.machine:@.%a"
-                       Imp.Memory.pp reference Imp.Memory.pp memory)
-                else Agree
+                    (Machine.Diagnosis.verdict_to_string
+                       d.Machine.Diagnosis.verdict)
               in
               match c.c_multiproc with
               | None -> (
                   match Machine.Interp.run_report ~config:machine prog with
                   | exception exn ->
                       Fail ("machine: " ^ Printexc.to_string exn)
-                  | Error d ->
-                      Fail
-                        (Machine.Diagnosis.verdict_to_string
-                           d.Machine.Diagnosis.verdict)
+                  | Error d -> hard_fail d
                   | Ok r ->
                       finish r.Machine.Interp.diagnosis
                         r.Machine.Interp.memory)
@@ -213,18 +250,15 @@ let run_combo ?(machine = default_machine) (c : combo) (p : Imp.Ast.program) :
                   with
                   | exception exn ->
                       Fail ("multiproc: " ^ Printexc.to_string exn)
-                  | Error d ->
-                      Fail
-                        (Machine.Diagnosis.verdict_to_string
-                           d.Machine.Diagnosis.verdict)
+                  | Error d -> hard_fail d
                   | Ok r ->
                       finish r.Machine.Multiproc.diagnosis
                         r.Machine.Multiproc.memory))))
 
-let check_program ?machine ?include_broken (p : Imp.Ast.program) :
-    (string * status) list =
+let check_program ?machine ?certify_only ?include_broken
+    (p : Imp.Ast.program) : (string * status) list =
   List.map
-    (fun c -> (c.c_name, run_combo ?machine c p))
+    (fun c -> (c.c_name, run_combo ?machine ?certify_only c p))
     (combos_for ?include_broken p)
 
 (* --- shrinking ------------------------------------------------------- *)
@@ -370,7 +404,8 @@ type report = {
 }
 
 let selfcheck ?(gen = Workloads.Random_gen.default_config) ?machine
-    ?(include_broken = false) ?(max_shrunk = 3) ~seed ~count () : report =
+    ?certify_only ?(include_broken = false) ?(max_shrunk = 3) ~seed ~count ()
+    : report =
   let rand = Random.State.make [| seed |] in
   let agreements = ref 0 in
   let skips = ref 0 in
@@ -388,7 +423,7 @@ let selfcheck ?(gen = Workloads.Random_gen.default_config) ?machine
     let p = Workloads.Random_gen.structured ~config:gen rand in
     List.iter
       (fun c ->
-        match run_combo ?machine c p with
+        match run_combo ?machine ?certify_only c p with
         | Agree ->
             bump c.c_name;
             incr agreements
@@ -400,7 +435,7 @@ let selfcheck ?(gen = Workloads.Random_gen.default_config) ?machine
               if List.length !bucket < max_shrunk then
                 minimize
                   (fun q ->
-                    match run_combo ?machine c q with
+                    match run_combo ?machine ?certify_only c q with
                     | Fail _ -> true
                     | Agree | Skip _ -> false)
                   p

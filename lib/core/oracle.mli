@@ -43,8 +43,9 @@ type combo = {
     multiprocessor tier (two placements, two network configurations,
     Schema 3 covering the aliasing side); faulty multiprocessor points
     (link faults plus one PE fail-stop, recovery on — zero divergences
-    expected); the broken [Schema2_unsafe_no_loop_control] variant when
-    asked for. *)
+    expected); when asked for, the broken variants —
+    [Schema2_unsafe_no_loop_control] on alias-free programs and
+    [Schema3_unsafe_bad_cover] on aliased ones. *)
 val combos_for : ?include_broken:bool -> Imp.Ast.program -> combo list
 
 (** Outcome of one combo on one program. *)
@@ -53,14 +54,27 @@ type status =
   | Skip of string  (** combo not applicable (irreducible, aliasing) *)
   | Fail of string  (** divergence: mismatch, unclean run, or crash *)
 
-(** [run_combo ?machine combo p] compiles and executes one combination
-    and compares against the reference store.  Never raises. *)
-val run_combo : ?machine:Machine.Config.t -> combo -> Imp.Ast.program -> status
+(** [run_combo ?machine ?certify_only combo p] compiles and executes one
+    combination and compares against the reference store.  A clean run
+    with standing permission-certificate violations is a [Fail] — a
+    certified run must also be a correctly certified run.  With
+    [certify_only] the differential bar is removed entirely: collision
+    detection is off, the reference store is not compared, and [Fail]
+    means the fractional-permission certificate alone rejected the run.
+    Never raises. *)
+val run_combo :
+  ?machine:Machine.Config.t ->
+  ?certify_only:bool ->
+  combo ->
+  Imp.Ast.program ->
+  status
 
-(** [check_program ?machine ?include_broken p] — all combos on one
-    program; returns [(combo name, status)] in combo order. *)
+(** [check_program ?machine ?certify_only ?include_broken p] — all
+    combos on one program; returns [(combo name, status)] in combo
+    order. *)
 val check_program :
   ?machine:Machine.Config.t ->
+  ?certify_only:bool ->
   ?include_broken:bool ->
   Imp.Ast.program ->
   (string * status) list
@@ -109,6 +123,7 @@ type report = {
 val selfcheck :
   ?gen:Workloads.Random_gen.config ->
   ?machine:Machine.Config.t ->
+  ?certify_only:bool ->
   ?include_broken:bool ->
   ?max_shrunk:int ->
   seed:int ->

@@ -60,6 +60,10 @@ let default_mode =
 
 type chain = {
   entries : terminal list array;  (** per token: input ports to feed *)
+  untagged : terminal list array;
+      (** per token: input ports fed by the same incoming token but
+          carrying no permission (constant triggers): the token merely
+          {e activates} them, its permission does not flow there *)
   exits : terminal option array;  (** per token: output terminal *)
   async : (string * terminal) list;
       (** async store completions: (variable, completion terminal) *)
@@ -71,6 +75,7 @@ type state = {
   tokens : Token_map.t;
   mode : mode;
   entries : terminal list array;
+  untagged_entries : terminal list array;  (** trigger ports per token *)
   base : terminal option array;  (** last barrier terminal per token *)
   pending : terminal list array;  (** read completions since the barrier *)
   mutable trigger_ports : terminal list;
@@ -86,6 +91,7 @@ let new_state b tokens mode : state =
     tokens;
     mode;
     entries = Array.make k [];
+    untagged_entries = Array.make k [];
     base = Array.make k None;
     pending = Array.make k [];
     trigger_ports = [];
@@ -108,7 +114,7 @@ let collapse (st : state) (tau : int) : terminal option =
       Some t
   | ts ->
       let s = B.add st.b (Dfg.Node.Synch (List.length ts)) in
-      List.iteri (fun i t -> B.connect st.b ~dummy:true t (s, i)) ts;
+      List.iteri (fun i t -> B.connect st.b ~dummy:true ~tokens:[ tau ] t (s, i)) ts;
       st.pending.(tau) <- [];
       st.base.(tau) <- Some (s, 0);
       Some (s, 0)
@@ -117,14 +123,14 @@ let collapse (st : state) (tau : int) : terminal option =
    the statement entry).  Pending reads are not collected. *)
 let copy_feed (st : state) (tau : int) (port : terminal) : unit =
   match st.base.(tau) with
-  | Some t -> B.connect st.b ~dummy:true t port
+  | Some t -> B.connect st.b ~dummy:true ~tokens:[ tau ] t port
   | None -> st.entries.(tau) <- st.entries.(tau) @ [ port ]
 
 (* Feed [port] with the COLLECTED token of tau (synch over pending
    reads). *)
 let barrier_feed (st : state) (tau : int) (port : terminal) : unit =
   match collapse st tau with
-  | Some t -> B.connect st.b ~dummy:true t port
+  | Some t -> B.connect st.b ~dummy:true ~tokens:[ tau ] t port
   | None -> st.entries.(tau) <- st.entries.(tau) @ [ port ]
 
 (* Thread a memory operation on [var] through the token machinery.
@@ -144,7 +150,7 @@ let thread_op (st : state) (var : string)
     | taus ->
         let s = B.add st.b (Dfg.Node.Synch (List.length taus)) in
         List.iteri (fun j tau -> feed1 tau (s, j)) taus;
-        B.connect st.b ~dummy:true (s, 0) access_in
+        B.connect st.b ~dummy:true ~tokens:taus (s, 0) access_in
   in
   match kind with
   | `Read when st.mode.parallel_reads ->
@@ -241,7 +247,8 @@ let rec compile_expr (st : state) (e : Imp.Ast.expr) : terminal =
    entry fan-out rather than the op chain. *)
 let attach_triggers (st : state) (tau : int) : unit =
   List.iter
-    (fun port -> st.entries.(tau) <- st.entries.(tau) @ [ port ])
+    (fun port ->
+      st.untagged_entries.(tau) <- st.untagged_entries.(tau) @ [ port ])
     (List.rev st.trigger_ports);
   st.trigger_ports <- []
 
@@ -252,7 +259,12 @@ let finish_chain (st : state) : chain =
     Array.init k (fun tau ->
         match st.pending.(tau) with [] -> st.base.(tau) | _ -> collapse st tau)
   in
-  { entries = st.entries; exits; async = List.rev st.async }
+  {
+    entries = st.entries;
+    untagged = st.untagged_entries;
+    exits;
+    async = List.rev st.async;
+  }
 
 (* Perform the store of an assignment. *)
 let do_store (st : state) (lv : Imp.Ast.lvalue) (value : terminal) : unit =
@@ -312,6 +324,7 @@ type fork_out =
 
 type fork_chain = {
   f_entries : terminal list array;
+  f_untagged : terminal list array;  (** trigger ports, no permission *)
   f_outs : fork_out array;
 }
 
@@ -359,4 +372,4 @@ let fork (b : B.t) ~(tokens : Token_map.t) ?(mode = default_mode)
           | None -> ())
       | F_switched _ | F_straight _ -> ())
     outs;
-  { f_entries = st.entries; f_outs = outs }
+  { f_entries = st.entries; f_untagged = st.untagged_entries; f_outs = outs }

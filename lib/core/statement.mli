@@ -42,6 +42,9 @@ val default_mode : mode
 
 type chain = {
   entries : terminal list array;  (** per token: input ports to feed *)
+  untagged : terminal list array;
+      (** per token: input ports fed by the same incoming token but
+          carrying no permission (constant triggers) *)
   exits : terminal option array;  (** per token: output terminal *)
   async : (string * terminal) list;
       (** async store completions: (variable, completion terminal) *)
@@ -66,6 +69,7 @@ type fork_out =
 
 type fork_chain = {
   f_entries : terminal list array;
+  f_untagged : terminal list array;  (** trigger ports, no permission *)
   f_outs : fork_out array;
 }
 

@@ -13,6 +13,21 @@ type arc = {
   src : port;
   dst : port;
   dummy : bool;  (** carries a dummy (access) token; drawn dotted *)
+  tokens : int list;
+      (** token-universe elements whose permission flows along this arc;
+          [[]] on value, predicate and trigger arcs *)
+}
+
+(** Certificate metadata for dynamic translation validation: the token
+    universe's element names plus, per node, the elements a memory
+    operation must hold permission for.  Computed by the translation
+    driver from the {e true} alias/cover analysis, independent of the
+    (possibly deliberately broken) token wiring of the graph itself. *)
+type cert = {
+  cert_elements : string array;  (** cover-element (token) names *)
+  cert_require : int list array;
+      (** per node: element indices a load/store on that node must hold;
+          [[]] for non-memory nodes *)
 }
 
 type t = {
@@ -22,6 +37,9 @@ type t = {
   ins : arc list array array;  (** [ins.(n).(p)] = arcs entering port p of n *)
   start : int;
   stop : int;
+  mutable cert : cert option;
+      (** certificate metadata, attached after {!Builder.finish} by the
+          driver; [None] = this run cannot be certified *)
 }
 
 let num_nodes (g : t) = Array.length g.nodes
@@ -55,12 +73,19 @@ module Builder = struct
     b.rev_nodes <- { Node.id; kind; label } :: b.rev_nodes;
     id
 
-  (** [connect b ~dummy (n1, p1) (n2, p2)] adds an arc from output port
-      [p1] of [n1] to input port [p2] of [n2]. *)
-  let connect (b : t) ?(dummy = false) ((n1, p1) : int * int)
+  (** [connect b ~dummy ~tokens (n1, p1) (n2, p2)] adds an arc from
+      output port [p1] of [n1] to input port [p2] of [n2].  [tokens]
+      labels the arc with the token-universe elements whose permission
+      it carries (empty for value/predicate/trigger arcs). *)
+  let connect (b : t) ?(dummy = false) ?(tokens = []) ((n1, p1) : int * int)
       ((n2, p2) : int * int) : unit =
     b.rev_arcs <-
-      { src = { node = n1; index = p1 }; dst = { node = n2; index = p2 }; dummy }
+      {
+        src = { node = n1; index = p1 };
+        dst = { node = n2; index = p2 };
+        dummy;
+        tokens;
+      }
       :: b.rev_arcs
 
   exception Ill_formed of string
@@ -135,8 +160,22 @@ module Builder = struct
       find_unique (function Node.Start _ -> true | _ -> false) "start"
     in
     let stop = find_unique (function Node.End _ -> true | _ -> false) "end" in
-    { nodes; arcs; outs; ins; start; stop }
+    { nodes; arcs; outs; ins; start; stop; cert = None }
 end
+
+(** [set_cert g c] attaches certificate metadata (driver-side). *)
+let set_cert (g : t) (c : cert option) : unit = g.cert <- c
+
+(** [remap_cert c remap n] — the certificate after a rebuild pass that
+    renumbered nodes: [remap.(old)] is the new id or [-1] if dropped
+    (rebuild passes only drop pure value nodes, whose requirement is
+    empty), [n] the new node count. *)
+let remap_cert (c : cert) (remap : int array) (n : int) : cert =
+  let require = Array.make n [] in
+  Array.iteri
+    (fun old nw -> if nw >= 0 then require.(nw) <- c.cert_require.(old))
+    remap;
+  { c with cert_require = require }
 
 (** [iter_nodes g f] applies [f] to every node. *)
 let iter_nodes (g : t) (f : Node.t -> unit) : unit = Array.iter f g.nodes

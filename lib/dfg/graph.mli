@@ -12,6 +12,21 @@ type arc = {
   src : port;
   dst : port;
   dummy : bool;  (** carries a dummy (access) token; drawn dashed *)
+  tokens : int list;
+      (** token-universe elements whose permission flows along this arc;
+          [[]] on value, predicate and trigger arcs *)
+}
+
+(** Certificate metadata for dynamic translation validation (see
+    {!Machine.Permission}): element names of the token universe plus the
+    per-node access sets a memory operation must hold full (store) or
+    partial (load) permission for.  Computed by the driver from the true
+    alias/cover analysis — deliberately independent of the token wiring
+    of the graph, so a mistranslated graph cannot vouch for itself. *)
+type cert = {
+  cert_elements : string array;  (** cover-element (token) names *)
+  cert_require : int list array;
+      (** per node: required element indices; [[]] for non-memory nodes *)
 }
 
 type t = {
@@ -21,6 +36,9 @@ type t = {
   ins : arc list array array;  (** [ins.(n).(p)] — arcs entering port p *)
   start : int;
   stop : int;
+  mutable cert : cert option;
+      (** attached after {!Builder.finish} by the driver; [None] = the
+          run cannot be certified *)
 }
 
 val num_nodes : t -> int
@@ -41,9 +59,10 @@ module Builder : sig
       to the kind's rendering. *)
   val add : t -> ?label:string -> Node.kind -> int
 
-  (** [connect b ~dummy (n1, p1) (n2, p2)] — an arc from output port
-      [p1] of [n1] to input port [p2] of [n2]. *)
-  val connect : t -> ?dummy:bool -> int * int -> int * int -> unit
+  (** [connect b ~dummy ~tokens (n1, p1) (n2, p2)] — an arc from output
+      port [p1] of [n1] to input port [p2] of [n2]; [tokens] labels the
+      arc with the elements whose permission it carries. *)
+  val connect : t -> ?dummy:bool -> ?tokens:int list -> int * int -> int * int -> unit
 
   exception Ill_formed of string
 
@@ -54,6 +73,14 @@ module Builder : sig
 end
 
 val iter_nodes : t -> (Node.t -> unit) -> unit
+
+(** [set_cert g c] attaches certificate metadata (driver-side). *)
+val set_cert : t -> cert option -> unit
+
+(** [remap_cert c remap n] — the certificate after a rebuild pass:
+    [remap.(old)] is the new node id ([-1] if dropped), [n] the new node
+    count. *)
+val remap_cert : cert -> int array -> int -> cert
 
 (** [count g p] — nodes whose kind satisfies [p]. *)
 val count : t -> (Node.kind -> bool) -> int

@@ -239,6 +239,7 @@ let run (g : Graph.t) : Graph.t =
                 end
             | None ->
                 Graph.Builder.connect b ~dummy:a.Graph.dummy
+                  ~tokens:a.Graph.tokens
                   (remap.(src.Graph.node), src.Graph.index)
                   (remap.(dst), a.Graph.dst.Graph.index)
           else begin
@@ -264,5 +265,12 @@ let run (g : Graph.t) : Graph.t =
           end
         end)
       g.Graph.arcs;
-    Graph.Builder.finish b
+    let out = Graph.Builder.finish b in
+    (* permission labels live on structural arcs, which this pass never
+       rewrites; the certificate only needs its node ids renumbered *)
+    Option.iter
+      (fun c ->
+        Graph.set_cert out (Some (Graph.remap_cert c remap (Graph.num_nodes out))))
+      g.Graph.cert;
+    out
   end

@@ -20,15 +20,17 @@ let run (g : Graph.t) : Graph.t =
   done;
   if not (Array.exists Fun.id splice) then g
   else begin
-    (* resolve a source port through spliced nodes *)
-    let rec resolve (p : Graph.port) : Graph.port * bool =
+    (* resolve a source port through spliced nodes, unioning the dummy
+       flag and permission labels of the chain *)
+    let rec resolve (p : Graph.port) : Graph.port * bool * int list =
       if splice.(p.Graph.node) then
         match Graph.incoming g p.Graph.node 0 with
         | [ a ] ->
-            let src, d = resolve a.Graph.src in
-            (src, d || a.Graph.dummy)
+            let src, d, toks = resolve a.Graph.src in
+            (src, d || a.Graph.dummy,
+             List.sort_uniq compare (toks @ a.Graph.tokens))
         | _ -> assert false
-      else (p, false)
+      else (p, false, [])
     in
     let remap = Array.make n (-1) in
     let next = ref 0 in
@@ -51,13 +53,19 @@ let run (g : Graph.t) : Graph.t =
         (* keep arcs whose destination survives; re-source through
            spliced chains *)
         if not splice.(a.Graph.dst.Graph.node) then begin
-          let src, extra_dummy = resolve a.Graph.src in
+          let src, extra_dummy, extra_tokens = resolve a.Graph.src in
           if not splice.(src.Graph.node) then
             Graph.Builder.connect b
               ~dummy:(a.Graph.dummy || extra_dummy)
+              ~tokens:(List.sort_uniq compare (a.Graph.tokens @ extra_tokens))
               (remap.(src.Graph.node), src.Graph.index)
               (remap.(a.Graph.dst.Graph.node), a.Graph.dst.Graph.index)
         end)
       g.Graph.arcs;
-    Graph.Builder.finish b
+    let out = Graph.Builder.finish b in
+    Option.iter
+      (fun c ->
+        Graph.set_cert out (Some (Graph.remap_cert c remap (Graph.num_nodes out))))
+      g.Graph.cert;
+    out
   end

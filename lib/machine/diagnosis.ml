@@ -46,10 +46,14 @@ type t = {
   network : net_pressure option;
   faults : Fault.event list;
   sanitizer : Sanitize.violation list;
+  permission : Permission.violation list;
+  certified : (int * int) option;
+      (** (elements, ownership checks) when the run carried a
+          fractional-permission certificate; [None] = not certified *)
 }
 
 let is_clean (d : t) =
-  d.verdict = Clean && d.faults = [] && d.sanitizer = []
+  d.verdict = Clean && d.faults = [] && d.sanitizer = [] && d.permission = []
 
 let verdict_to_string = function
   | Clean -> "clean"
@@ -126,6 +130,15 @@ let pp ppf (d : t) =
     List.iteri
       (fun i v -> if i < 20 then Fmt.pf ppf "  %a@." Sanitize.pp_violation v)
       d.sanitizer
+  end;
+  if d.permission <> [] then begin
+    Fmt.pf ppf "permission violations (%d):@." (List.length d.permission);
+    List.iteri
+      (fun i v ->
+        if i < 20 then Fmt.pf ppf "  %a@." Permission.pp_violation v)
+      d.permission;
+    if List.length d.permission > 20 then
+      Fmt.pf ppf "  ... and %d more@." (List.length d.permission - 20)
   end;
   if d.faults <> [] then begin
     Fmt.pf ppf "injected faults (%d):@." (List.length d.faults);

@@ -76,10 +76,17 @@ type t = {
   faults : Fault.event list;  (** injected faults, in injection order *)
   sanitizer : Sanitize.violation list;
       (** token-conservation violations still standing at the end *)
+  permission : Permission.violation list;
+      (** fractional-permission certificate violations still standing;
+          always [] when the run carried no certificate *)
+  certified : (int * int) option;
+      (** (elements, ownership checks) when the run carried a
+          fractional-permission certificate; [None] = not certified *)
 }
 
-(** [is_clean d] — verdict is {!Clean}, no faults were injected and the
-    sanitizer found nothing. *)
+(** [is_clean d] — verdict is {!Clean}, no faults were injected and
+    neither the sanitizer nor the permission certificate found
+    anything. *)
 val is_clean : t -> bool
 
 val verdict_to_string : verdict -> string

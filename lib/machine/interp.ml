@@ -98,11 +98,17 @@ type delivery = {
   d_value : Imp.Value.t;
   d_depth : int;  (** firing depth of the producer (chain length so far) *)
   d_src : int;  (** firing-log index of the producer, [-1] for none *)
+  d_bag : Permission.bag;  (** fractional permissions riding the token *)
 }
 
 (* A waiting token: its value plus the provenance needed for dynamic
-   critical-path accounting. *)
-type slot = { s_value : Imp.Value.t; s_depth : int; s_src : int }
+   critical-path accounting and the permission fractions it carries. *)
+type slot = {
+  s_value : Imp.Value.t;
+  s_depth : int;
+  s_src : int;
+  s_bag : Permission.bag;
+}
 
 type firing = {
   f_node : int;
@@ -110,6 +116,7 @@ type firing = {
   f_inputs : Imp.Value.t array;
   f_in_depth : int;  (** max depth over the consumed input tokens *)
   f_pred : int;  (** firing-log index of the deepest producer, [-1] *)
+  f_bags : Permission.bag list;  (** permission bags of the consumed tokens *)
 }
 
 let dummy_value = Firing.dummy_value
@@ -135,6 +142,14 @@ let run_report ?(config = Config.default) ?(faults : Fault.plan option)
      violations observed during the run land in the diagnosis *)
   let san = Sanitize.create g in
   let violations : Sanitize.violation list ref = ref [] in
+  (* fractional-permission certificate, active only when the translation
+     attached its cover metadata; like the sanitizer it is report-only
+     here -- violations land in the diagnosis *)
+  let perm =
+    match g.Dfg.Graph.cert with
+    | Some c -> Some (Permission.create g c)
+    | None -> None
+  in
   (* split-phase memory state (store, I-structure presence, deferred
      readers); the 'meta on deferred readers is the (depth, log index)
      provenance for critical-path accounting *)
@@ -208,6 +223,12 @@ let run_report ?(config = Config.default) ?(faults : Fault.plan option)
       network = None;
       faults = (match faults with Some pl -> Fault.events pl | None -> []);
       sanitizer = List.rev !violations;
+      permission =
+        (match perm with Some p -> Permission.violations p | None -> []);
+      certified =
+        (match perm with
+        | Some p -> Some (Permission.elements p, Permission.checks p)
+        | None -> None);
     }
   in
   let abort verdict = raise (Abort (diagnose verdict)) in
@@ -218,43 +239,42 @@ let run_report ?(config = Config.default) ?(faults : Fault.plan option)
     Hashtbl.replace deliveries t
       (d :: (try Hashtbl.find deliveries t with Not_found -> []))
   in
-  (* Emit a token from an output port: duplicate onto every arc.  This is
-     the delivery boundary where the fault plan may drop, duplicate,
-     corrupt or delay individual tokens.  [depth]/[src] carry the
-     producing firing's chain depth and log index onto the token. *)
-  let emit t_done node port ctx value ~depth ~src =
-    List.iter
-      (fun a ->
-        let dst = a.Dfg.Graph.dst.Dfg.Graph.node in
-        let when_, value, copies =
-          match faults with
-          | None -> (t_done, value, 1)
-          | Some plan -> (
-              match Fault.on_delivery plan ~cycle:t_done ~node:dst ~value with
-              | Fault.Pass -> (t_done, value, 1)
-              | Fault.Act Fault.Drop -> (t_done, value, 0)
-              | Fault.Act Fault.Duplicate -> (t_done, value, 2)
-              | Fault.Act (Fault.Bit_flip b) ->
-                  (t_done, Fault.flip_value b value, 1)
-              | Fault.Act (Fault.Delay d) | Fault.Act (Fault.Reorder d) ->
-                  (t_done + d, value, 1)
-              | Fault.Act (Fault.Port_stall _) | Fault.Act Fault.Pe_death ->
-                  (t_done, value, 1))
-        in
-        for _ = 1 to copies do
-          if a.Dfg.Graph.dummy then incr dummy_deliveries
-          else incr value_deliveries;
-          schedule_delivery when_
-            {
-              d_node = dst;
-              d_port = a.Dfg.Graph.dst.Dfg.Graph.index;
-              d_ctx = ctx;
-              d_value = value;
-              d_depth = depth;
-              d_src = src;
-            }
-        done)
-      (Dfg.Graph.outgoing g node port)
+  (* Emit a token along one arc.  This is the delivery boundary where the
+     fault plan may drop, duplicate, corrupt or delay individual tokens.
+     [depth]/[src] carry the producing firing's chain depth and log index
+     onto the token; [bag] is the permission fraction it transports (a
+     dropped token destroys its bag, a duplicated one duplicates it --
+     exactly what the quiescence account then reports). *)
+  let emit_arc t_done (a : Dfg.Graph.arc) ctx value ~depth ~src ~bag =
+    let dst = a.Dfg.Graph.dst.Dfg.Graph.node in
+    let when_, value, copies =
+      match faults with
+      | None -> (t_done, value, 1)
+      | Some plan -> (
+          match Fault.on_delivery plan ~cycle:t_done ~node:dst ~value with
+          | Fault.Pass -> (t_done, value, 1)
+          | Fault.Act Fault.Drop -> (t_done, value, 0)
+          | Fault.Act Fault.Duplicate -> (t_done, value, 2)
+          | Fault.Act (Fault.Bit_flip b) -> (t_done, Fault.flip_value b value, 1)
+          | Fault.Act (Fault.Delay d) | Fault.Act (Fault.Reorder d) ->
+              (t_done + d, value, 1)
+          | Fault.Act (Fault.Port_stall _) | Fault.Act Fault.Pe_death ->
+              (t_done, value, 1))
+    in
+    for _ = 1 to copies do
+      if a.Dfg.Graph.dummy then incr dummy_deliveries
+      else incr value_deliveries;
+      schedule_delivery when_
+        {
+          d_node = dst;
+          d_port = a.Dfg.Graph.dst.Dfg.Graph.index;
+          d_ctx = ctx;
+          d_value = value;
+          d_depth = depth;
+          d_src = src;
+          d_bag = bag;
+        }
+    done
   in
   let deliver t (d : delivery) =
     let kind = Dfg.Graph.kind g d.d_node in
@@ -268,6 +288,7 @@ let run_report ?(config = Config.default) ?(faults : Fault.plan option)
             f_inputs = [| d.d_value |];
             f_in_depth = d.d_depth;
             f_pred = d.d_src;
+            f_bags = [ d.d_bag ];
           }
           ready
     | _ -> (
@@ -296,12 +317,23 @@ let run_report ?(config = Config.default) ?(faults : Fault.plan option)
           match
             Matching.deliver ~kind
               ~detect_collisions:config.Config.detect_collisions
-              ~pad:{ s_value = dummy_value; s_depth = 0; s_src = -1 }
+              ~pad:
+                {
+                  s_value = dummy_value;
+                  s_depth = 0;
+                  s_src = -1;
+                  s_bag = Permission.empty_bag;
+                }
               ~on_insert:(fun () ->
                 if Matching.entries wait > !peak_matching then
                   peak_matching := Matching.entries wait)
               wait ~node:d.d_node ~ctx:d.d_ctx ~port:d.d_port
-              { s_value = d.d_value; s_depth = d.d_depth; s_src = d.d_src }
+              {
+                s_value = d.d_value;
+                s_depth = d.d_depth;
+                s_src = d.d_src;
+                s_bag = d.d_bag;
+              }
           with
           | Matching.Collision ->
               abort
@@ -328,6 +360,8 @@ let run_report ?(config = Config.default) ?(faults : Fault.plan option)
                   f_inputs = Array.map (fun s -> s.s_value) slots;
                   f_in_depth = !in_depth;
                   f_pred = !pred;
+                  f_bags =
+                    Array.to_list (Array.map (fun s -> s.s_bag) slots);
                 }
                 ready
         end)
@@ -354,17 +388,56 @@ let run_report ?(config = Config.default) ?(faults : Fault.plan option)
     let my_id = !fire_count in
     incr fire_count;
     fire_log := (f.f_node, f.f_ctx, depth, f.f_pred) :: !fire_log;
+    (* certificate: join the consumed bags and assert the cover
+       requirement before the operator's effect *)
+    let held =
+      match perm with
+      | Some p -> fst (Permission.on_fire p ~node:f.f_node ~ctx:f.f_ctx f.f_bags)
+      | None -> Permission.empty_bag
+    in
     (* the shared firing rule, instantiated with (depth, log index)
-       provenance so tokens carry the dynamic critical path *)
+       provenance so tokens carry the dynamic critical path.  Emissions
+       are buffered so the held permission can be split over the actual
+       deliveries; the replay below preserves the original per-arc order,
+       keeping fault draws and scheduling bit-identical. *)
+    let buffered : (int * int * Context.t * int * int * Imp.Value.t) list ref =
+      ref []
+    in
     Firing.execute env
       ~emit:(fun ~node ~port ~ctx ~meta:(d, s) v ->
-        emit t_done node port ctx v ~depth:d ~src:s)
+        buffered := (node, port, ctx, d, s, v) :: !buffered)
       ~meta:(depth, my_id)
       ~meta_max:(fun (d1, s1) (d2, s2) ->
         if d1 >= d2 then (d1, s1) else (d2, s2))
       ~on_complete:(fun () -> completed := true)
       ~double_write:(fun msg -> abort (Diagnosis.Double_write msg))
-      ~node:f.f_node ~ctx:f.f_ctx ~inputs:f.f_inputs
+      ~node:f.f_node ~ctx:f.f_ctx ~inputs:f.f_inputs;
+    (* one entry per prospective delivery, in emission then arc order;
+       only the firing node's own arcs carry its permission (deferred
+       I-structure wakeups emit from the reader's node and carry none) *)
+    let flat =
+      List.concat_map
+        (fun ((node, port, _, _, _, _) as em) ->
+          List.map (fun a -> (em, a)) (Dfg.Graph.outgoing g node port))
+        (List.rev !buffered)
+    in
+    let bags =
+      match perm with
+      | None -> Array.make (List.length flat) Permission.empty_bag
+      | Some p ->
+          let labels =
+            Array.of_list
+              (List.map
+                 (fun ((node, _, _, _, _, _), a) ->
+                   if node = f.f_node then a.Dfg.Graph.tokens else [])
+                 flat)
+          in
+          fst (Permission.split p ~node:f.f_node ~held labels)
+    in
+    List.iteri
+      (fun i ((_, _, ctx, d, s, v), a) ->
+        emit_arc t_done a ctx v ~depth:d ~src:s ~bag:bags.(i))
+      flat
   in
   (* Deferred-read wakeups performed inside [execute] bypass [deliver]'s
      collision checks by emitting from the load's own output ports --
@@ -377,6 +450,9 @@ let run_report ?(config = Config.default) ?(faults : Fault.plan option)
       f_inputs = [||];
       f_in_depth = 0;
       f_pred = -1;
+      (* Start mints the full permission of every cover element *)
+      f_bags =
+        (match perm with Some p -> [ Permission.mint p ] | None -> []);
     }
     ready;
   (* LIFO policy: enabled firings are moved onto a stack every cycle, so
@@ -471,6 +547,9 @@ let run_report ?(config = Config.default) ?(faults : Fault.plan option)
     List.iter
       (fun v -> violations := v :: !violations)
       (Sanitize.at_quiescence san ~leftover:(Matching.leftover [ wait ]));
+    (match perm with
+    | Some p -> ignore (Permission.at_quiescence p : Permission.violation list)
+    | None -> ());
     let verdict =
       if not !completed then Diagnosis.Deadlock
       else if leftover <> 0 then Diagnosis.Leftover leftover

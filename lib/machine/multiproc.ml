@@ -39,19 +39,22 @@ type result = {
   diagnosis : Diagnosis.t;
 }
 
-(* A token in transit to one input port; values only — the slot type of
-   the per-PE matching stores is bare [Imp.Value.t]. *)
+(* A token in transit to one input port: its value plus the permission
+   fractions riding it — the slot type of the per-PE matching stores is
+   the (value, bag) pair. *)
 type delivery = {
   m_node : int;
   m_port : int;
   m_ctx : Context.t;
   m_value : Imp.Value.t;
+  m_bag : Permission.bag;
 }
 
 type firing = {
   x_node : int;
   x_ctx : Context.t;
   x_inputs : Imp.Value.t array;
+  x_bags : Permission.bag list;  (** permission bags of the consumed tokens *)
 }
 
 exception Abort of Diagnosis.t
@@ -68,8 +71,10 @@ exception Rollback
    the survivors.  Undelivered transport payloads are captured as
    (src, dst, payload) — delivered-but-unacked frames are excluded,
    their effect is already inside the snapshot's receiver state. *)
+type slot = Imp.Value.t * Permission.bag
+
 type snapshot = {
-  sp_wait : (int * Context.t, Imp.Value.t option array) Hashtbl.t array;
+  sp_wait : (int * Context.t, slot option array) Hashtbl.t array;
   sp_ready : firing Queue.t array;
   sp_lifo : firing Stack.t array;
   sp_locals : (int, delivery list) Hashtbl.t;
@@ -83,10 +88,11 @@ type snapshot = {
   sp_completed : bool;
   sp_firings : int;
   sp_san : Sanitize.snap option;
+  sp_perm : Permission.snap option;
 }
 
-let copy_store (s : Imp.Value.t Matching.store) :
-    (int * Context.t, Imp.Value.t option array) Hashtbl.t =
+let copy_store (s : slot Matching.store) :
+    (int * Context.t, slot option array) Hashtbl.t =
   let c = Hashtbl.create (max 16 (Hashtbl.length s)) in
   Hashtbl.iter (fun k arr -> Hashtbl.replace c k (Array.copy arr)) s;
   c
@@ -104,8 +110,16 @@ let run ?(config = Config.default) ?(net = Network.default)
   let env : unit Firing.env =
     Firing.make_env ~graph:g ~layout:p.Interp.layout memory
   in
+  (* fractional-permission certificate, active only when the translation
+     attached its cover metadata; violations mirror sanitizer handling:
+     bounded rollback under recovery, structured report otherwise *)
+  let perm =
+    match g.Dfg.Graph.cert with
+    | Some c -> Some (Permission.create g c)
+    | None -> None
+  in
   (* per-PE machine state *)
-  let wait : Imp.Value.t Matching.store array =
+  let wait : slot Matching.store array =
     Array.init pcount (fun _ -> Matching.create ())
   in
   let ready : firing Queue.t array =
@@ -236,6 +250,12 @@ let run ?(config = Config.default) ?(net = Network.default)
           };
       faults = (match faults with Some pl -> Fault.events pl | None -> []);
       sanitizer = !standing_violations;
+      permission =
+        (match perm with Some p -> Permission.violations p | None -> []);
+      certified =
+        (match perm with
+        | Some p -> Some (Permission.elements p, Permission.checks p)
+        | None -> None);
     }
   in
   let abort verdict = raise (Abort (diagnose verdict)) in
@@ -259,14 +279,20 @@ let run ?(config = Config.default) ?(net = Network.default)
     | Dfg.Node.Merge ->
         (* no matching: forward immediately as its own firing *)
         Queue.add
-          { x_node = d.m_node; x_ctx = d.m_ctx; x_inputs = [| d.m_value |] }
+          {
+            x_node = d.m_node;
+            x_ctx = d.m_ctx;
+            x_inputs = [| d.m_value |];
+            x_bags = [ d.m_bag ];
+          }
           ready.(pe)
     | _ -> (
         match
           Matching.deliver ~kind
             ~detect_collisions:config.Config.detect_collisions
-            ~pad:Firing.dummy_value wait.(pe) ~node:d.m_node ~ctx:d.m_ctx
-            ~port:d.m_port d.m_value
+            ~pad:(Firing.dummy_value, Permission.empty_bag)
+            wait.(pe) ~node:d.m_node ~ctx:d.m_ctx ~port:d.m_port
+            (d.m_value, d.m_bag)
         with
         | Matching.Collision ->
             abort
@@ -276,9 +302,14 @@ let run ?(config = Config.default) ?(net = Network.default)
                     (Context.to_string d.m_ctx)
                     pe))
         | Matching.Wait -> ()
-        | Matching.Fire inputs ->
+        | Matching.Fire slots ->
             Queue.add
-              { x_node = d.m_node; x_ctx = d.m_ctx; x_inputs = inputs }
+              {
+                x_node = d.m_node;
+                x_ctx = d.m_ctx;
+                x_inputs = Array.map fst slots;
+                x_bags = Array.to_list (Array.map snd slots);
+              }
               ready.(pe))
   in
   (* Can a sanitizer violation be rolled back right now? *)
@@ -312,6 +343,23 @@ let run ?(config = Config.default) ?(net = Network.default)
             end
         | None -> ())
     | None -> ());
+    (* certificate: join the consumed bags and assert the cover
+       requirement; a violation rolls back like a sanitizer hit when an
+       epoch is available, otherwise the run stops with the report *)
+    let held =
+      match perm with
+      | Some p -> (
+          match Permission.on_fire p ~node:f.x_node ~ctx:f.x_ctx f.x_bags with
+          | held, [] -> held
+          | _, v :: _ ->
+              if can_roll_back () then begin
+                incr san_rollbacks;
+                raise Rollback
+              end
+              else
+                abort (Diagnosis.Corrupted (Permission.violation_to_string v)))
+      | None -> Permission.empty_bag
+    in
     let lat = Config.latency config kind in
     (* Interleaved memory: an access whose owning module hangs off a
        different PE pays the request/response round trip — but only on
@@ -341,8 +389,41 @@ let run ?(config = Config.default) ?(net = Network.default)
     let value_done = t_done + mem_penalty in
     if value_done > !last_cycle then last_cycle := value_done;
     let is_load = match kind with Dfg.Node.Load _ -> true | _ -> false in
+    (* emissions are buffered so the held permission can be split over
+       the actual deliveries; the replay below preserves the original
+       per-arc order, keeping routing and timing bit-identical *)
+    let buffered : (int * int * Context.t * Imp.Value.t) list ref = ref [] in
     Firing.execute env
       ~emit:(fun ~node ~port ~ctx ~meta:() v ->
+        buffered := (node, port, ctx, v) :: !buffered)
+      ~meta:() ~meta_max:(fun () () -> ())
+      ~on_complete:(fun () -> completed := true)
+      ~double_write:(fun msg -> abort (Diagnosis.Double_write msg))
+      ~node:f.x_node ~ctx:f.x_ctx ~inputs:f.x_inputs;
+    (* one entry per prospective delivery, in emission then arc order;
+       only the firing node's own arcs carry its permission (deferred
+       I-structure wakeups emit from the reader's node and carry none) *)
+    let flat =
+      List.concat_map
+        (fun ((node, port, _, _) as em) ->
+          List.map (fun a -> (em, a)) (Dfg.Graph.outgoing g node port))
+        (List.rev !buffered)
+    in
+    let bags =
+      match perm with
+      | None -> Array.make (List.length flat) Permission.empty_bag
+      | Some p ->
+          let labels =
+            Array.of_list
+              (List.map
+                 (fun ((node, _, _, _), a) ->
+                   if node = f.x_node then a.Dfg.Graph.tokens else [])
+                 flat)
+          in
+          fst (Permission.split p ~node:f.x_node ~held labels)
+    in
+    List.iteri
+      (fun i ((node, port, ctx, v), (a : Dfg.Graph.arc)) ->
         (* emissions route from the PE of the emitting node: a deferred
            I-structure read completed by a remote store answers from the
            parked load's PE, not the store's *)
@@ -350,28 +431,22 @@ let run ?(config = Config.default) ?(net = Network.default)
           if is_load && node = f.x_node && port = 0 then value_done else t_done
         in
         let src_pe = (!place).Placement.assign.(node) in
-        List.iter
-          (fun (a : Dfg.Graph.arc) ->
-            let dstn = a.Dfg.Graph.dst.Dfg.Graph.node in
-            let d =
-              {
-                m_node = dstn;
-                m_port = a.Dfg.Graph.dst.Dfg.Graph.index;
-                m_ctx = ctx;
-                m_value = v;
-              }
-            in
-            if (!place).Placement.assign.(dstn) = src_pe then begin
-              incr local_deliveries;
-              schedule_local t_done d
-            end
-            else
-              schedule_inject t_done src_pe (!place).Placement.assign.(dstn) d)
-          (Dfg.Graph.outgoing g node port))
-      ~meta:() ~meta_max:(fun () () -> ())
-      ~on_complete:(fun () -> completed := true)
-      ~double_write:(fun msg -> abort (Diagnosis.Double_write msg))
-      ~node:f.x_node ~ctx:f.x_ctx ~inputs:f.x_inputs
+        let dstn = a.Dfg.Graph.dst.Dfg.Graph.node in
+        let d =
+          {
+            m_node = dstn;
+            m_port = a.Dfg.Graph.dst.Dfg.Graph.index;
+            m_ctx = ctx;
+            m_value = v;
+            m_bag = bags.(i);
+          }
+        in
+        if (!place).Placement.assign.(dstn) = src_pe then begin
+          incr local_deliveries;
+          schedule_local t_done d
+        end
+        else schedule_inject t_done src_pe (!place).Placement.assign.(dstn) d)
+      flat
   in
   (* --- checkpoint / restore ------------------------------------------- *)
   let take_snapshot () : snapshot =
@@ -391,6 +466,7 @@ let run ?(config = Config.default) ?(net = Network.default)
       sp_completed = !completed;
       sp_firings = !firings;
       sp_san = Option.map Sanitize.snapshot san;
+      sp_perm = Option.map Permission.snapshot perm;
     }
   in
   (* Restore the last epoch and resume after the failover penalty.  Time
@@ -472,12 +548,22 @@ let run ?(config = Config.default) ?(net = Network.default)
     (match (san, sp.sp_san) with
     | Some s, Some snap -> Sanitize.restore s snap
     | _ -> ());
+    (* replayed firings must re-earn their permissions, not double-count *)
+    (match (perm, sp.sp_perm) with
+    | Some p, Some snap -> Permission.restore p snap
+    | _ -> ());
     t := resume;
     if resume > !last_cycle then last_cycle := resume
   in
-  (* boot: fire Start on its home PE at cycle 0 *)
+  (* boot: fire Start on its home PE at cycle 0; Start mints the full
+     permission of every cover element *)
   Queue.add
-    { x_node = g.Dfg.Graph.start; x_ctx = Context.toplevel; x_inputs = [||] }
+    {
+      x_node = g.Dfg.Graph.start;
+      x_ctx = Context.toplevel;
+      x_inputs = [||];
+      x_bags = (match perm with Some p -> [ Permission.mint p ] | None -> []);
+    }
     ready.((!place).Placement.assign.(g.Dfg.Graph.start));
   (* epoch 0: with recovery enabled even a death before the first
      periodic checkpoint replays from the boot state *)
@@ -598,26 +684,42 @@ let run ?(config = Config.default) ?(net = Network.default)
             | _ -> ());
             (* quiescence *)
             if all_idle () then begin
-              match san with
-              | Some s ->
-                  let leftover = leftover_count () in
-                  let vs =
-                    Sanitize.at_quiescence s
+              let leftover = leftover_count () in
+              let san_vs =
+                match san with
+                | Some s ->
+                    let by_pe =
+                      Array.to_list
+                        (Array.mapi
+                           (fun pe w -> (pe, Matching.leftover [ w ]))
+                           wait)
+                    in
+                    Sanitize.at_quiescence s ~by_pe
                       ~leftover:(Matching.leftover (Array.to_list wait))
-                  in
-                  let bad = vs <> [] || (not !completed) || leftover <> 0 in
-                  if bad && can_roll_back () then begin
-                    (* quiesced corrupted, starved or leaky: the fault
-                       plan is stateful, so a replay draws fresh wire
-                       decisions and the transient does not repeat *)
-                    incr san_rollbacks;
-                    raise Rollback
-                  end
-                  else begin
-                    standing_violations := vs;
-                    finished := true
-                  end
-              | None -> finished := true
+                | None -> []
+              in
+              (* the certificate's global account: every element retired
+                 exactly 1 *)
+              let perm_vs =
+                match perm with
+                | Some p -> Permission.at_quiescence p
+                | None -> []
+              in
+              let bad =
+                san_vs <> [] || perm_vs <> []
+                || (san <> None && ((not !completed) || leftover <> 0))
+              in
+              if bad && can_roll_back () then begin
+                (* quiesced corrupted, starved or leaky: the fault plan is
+                   stateful, so a replay draws fresh wire decisions and
+                   the transient does not repeat *)
+                incr san_rollbacks;
+                raise Rollback
+              end
+              else begin
+                standing_violations := san_vs;
+                finished := true
+              end
             end
             else incr t
           with Rollback -> (
@@ -629,10 +731,16 @@ let run ?(config = Config.default) ?(net = Network.default)
     let verdict =
       match !standing_violations with
       | v :: _ -> Diagnosis.Corrupted (Sanitize.violation_to_string v)
-      | [] ->
-          if not !completed then Diagnosis.Deadlock
-          else if leftover <> 0 then Diagnosis.Leftover leftover
-          else Diagnosis.Clean
+      | [] -> (
+          match perm with
+          | Some p when Permission.violations p <> [] ->
+              Diagnosis.Corrupted
+                (Permission.violation_to_string
+                   (List.hd (Permission.violations p)))
+          | _ ->
+              if not !completed then Diagnosis.Deadlock
+              else if leftover <> 0 then Diagnosis.Leftover leftover
+              else Diagnosis.Clean)
     in
     let st = wire_stats () in
     let total_cycles = !t + 1 in

@@ -390,7 +390,7 @@ let pp ppf (p : t) =
 (* ---------------------------------------------------------------- *)
 (* benchmark records (shared by bench/main.ml and the tests)        *)
 
-let bench_schema_version = 3
+let bench_schema_version = 4
 
 type mp_cell = {
   mp_pes : int;
@@ -450,11 +450,34 @@ let recovery_cell_json (c : recovery_cell) : Json.t =
       ("recovered", Json.Bool c.rc_recovered);
     ]
 
+type certificate_cell = {
+  cc_pes : int;
+  cc_elements : int;
+  cc_checks : int;
+  cc_cycles : int;
+  cc_stripped_cycles : int;
+  cc_overhead : float;
+  cc_clean : bool;
+}
+
+let certificate_cell_json (c : certificate_cell) : Json.t =
+  Json.Assoc
+    [
+      ("pes", Json.Int c.cc_pes);
+      ("elements", Json.Int c.cc_elements);
+      ("ownership_checks", Json.Int c.cc_checks);
+      ("cycles", Json.Int c.cc_cycles);
+      ("stripped_cycles", Json.Int c.cc_stripped_cycles);
+      ("overhead", Json.Float c.cc_overhead);
+      ("certified_clean", Json.Bool c.cc_clean);
+    ]
+
 let bench_record ~(program : string) ~(schema : string) ~(status : string)
     ?(stats : Dfg.Stats.t option) ?(result : Interp.result option)
     ?(reference_ok : bool option) ?(max_overlap : int option)
     ?(multiproc : mp_cell list option)
-    ?(recovery : recovery_cell list option) () : Json.t =
+    ?(recovery : recovery_cell list option)
+    ?(certificate : certificate_cell list option) () : Json.t =
   let base =
     [
       ("program", Json.String program);
@@ -501,10 +524,14 @@ let bench_record ~(program : string) ~(schema : string) ~(status : string)
     @ (match multiproc with
       | Some cells -> [ ("multiproc", Json.List (List.map mp_cell_json cells)) ]
       | None -> [])
+    @ (match recovery with
+      | Some cells ->
+          [ ("recovery", Json.List (List.map recovery_cell_json cells)) ]
+      | None -> [])
     @
-    match recovery with
+    match certificate with
     | Some cells ->
-        [ ("recovery", Json.List (List.map recovery_cell_json cells)) ]
+        [ ("certificate", Json.List (List.map certificate_cell_json cells)) ]
     | None -> []
   in
   Json.Assoc (base @ static @ dynamic @ extra)
@@ -633,6 +660,42 @@ let validate_bench (j : Json.t) : (unit, string) result =
     in
     if rec_ok then Ok () else Error (where "recovery failed")
   in
+  (* certificate cells: well-typed accounting and a clean certification
+     — a certified run with standing permission violations, or a
+     certificate that checked nothing on a run with memory traffic, is a
+     validation failure *)
+  let check_certificate_cell i program k c =
+    let where what =
+      Fmt.str "record %d (%s): certificate cell %d: %s" i program k what
+    in
+    let int key = Option.bind (Json.member key c) Json.to_int_opt in
+    let* pes = req (where "missing pes") (int "pes") in
+    let* () = if pes >= 1 then Ok () else Error (where "pes < 1") in
+    let* elems = req (where "missing elements") (int "elements") in
+    let* () = if elems >= 1 then Ok () else Error (where "elements < 1") in
+    let* checks = req (where "missing ownership_checks")
+        (int "ownership_checks") in
+    let* () =
+      if checks >= 0 then Ok () else Error (where "negative ownership_checks")
+    in
+    let* cyc = req (where "missing cycles") (int "cycles") in
+    let* () = if cyc >= 0 then Ok () else Error (where "negative cycles") in
+    let* stripped = req (where "missing stripped_cycles")
+        (int "stripped_cycles") in
+    let* () =
+      if stripped >= 0 then Ok ()
+      else Error (where "negative stripped_cycles")
+    in
+    let* _ =
+      req (where "missing overhead")
+        (Option.bind (Json.member "overhead" c) Json.to_float_opt)
+    in
+    let* clean =
+      req (where "missing certified_clean")
+        (Option.bind (Json.member "certified_clean" c) Json.to_bool_opt)
+    in
+    if clean then Ok () else Error (where "certificate violation")
+  in
   let check_record i r =
     let str k = Option.bind (Json.member k r) Json.to_string_opt in
     let int k = Option.bind (Json.member k r) Json.to_int_opt in
@@ -690,18 +753,35 @@ let validate_bench (j : Json.t) : (unit, string) result =
             in
             cells_ok 0 cells
       in
-      match Json.member "recovery" r with
+      let* () =
+        match Json.member "recovery" r with
+        | None -> Ok ()
+        | Some rc ->
+            let* cells =
+              req
+                (Fmt.str "record %d (%s): recovery not a list" i program)
+                (Json.to_list_opt rc)
+            in
+            let rec cells_ok k = function
+              | [] -> Ok ()
+              | c :: rest ->
+                  let* () = check_recovery_cell i program k c in
+                  cells_ok (k + 1) rest
+            in
+            cells_ok 0 cells
+      in
+      match Json.member "certificate" r with
       | None -> Ok ()
-      | Some rc ->
+      | Some cc ->
           let* cells =
             req
-              (Fmt.str "record %d (%s): recovery not a list" i program)
-              (Json.to_list_opt rc)
+              (Fmt.str "record %d (%s): certificate not a list" i program)
+              (Json.to_list_opt cc)
           in
           let rec cells_ok k = function
             | [] -> Ok ()
             | c :: rest ->
-                let* () = check_recovery_cell i program k c in
+                let* () = check_certificate_cell i program k c in
                 cells_ok (k + 1) rest
           in
           cells_ok 0 cells

@@ -124,10 +124,28 @@ type recovery_cell = {
       (** clean completion and the final store equals the reference *)
 }
 
+(** One point of the certificate-overhead sweep (E23): the same graph
+    executed with its fractional-permission certificate attached and
+    with it stripped, at the same PE count.  Certification is pure
+    bookkeeping on token payloads — it never changes scheduling — so
+    [cc_overhead] (cycles ratio, certified / stripped - 1) is exactly
+    [0.0]; the cell exists to keep that claim measured rather than
+    asserted. *)
+type certificate_cell = {
+  cc_pes : int;  (** 1 = the single-PE machine *)
+  cc_elements : int;  (** cover elements (tokens) tracked *)
+  cc_checks : int;  (** ownership assertions during the run *)
+  cc_cycles : int;  (** certified makespan *)
+  cc_stripped_cycles : int;  (** same graph, certificate removed *)
+  cc_overhead : float;  (** [cycles / stripped_cycles - 1] *)
+  cc_clean : bool;  (** run completed with zero standing violations *)
+}
+
 (** One matrix cell.  [status] is ["ok"], ["unsupported-aliasing"] or
     ["irreducible"]; static and dynamic metrics accompany ["ok"] cells,
-    [multiproc] carries the scalability sweep when one was run, and
-    [recovery] the fault-tolerance sweep. *)
+    [multiproc] carries the scalability sweep when one was run,
+    [recovery] the fault-tolerance sweep, and [certificate] the
+    certificate-overhead sweep. *)
 val bench_record :
   program:string ->
   schema:string ->
@@ -138,6 +156,7 @@ val bench_record :
   ?max_overlap:int ->
   ?multiproc:mp_cell list ->
   ?recovery:recovery_cell list ->
+  ?certificate:certificate_cell list ->
   unit ->
   Json.t
 
@@ -150,7 +169,9 @@ val bench_file : ?summary:(string * Json.t) list -> records:Json.t list ->
 (** Structural validation of a BENCH document: meta version, required
     fields per ["ok"] record, [reference_ok = true] everywhere, every
     multiproc cell [determinate], every recovery cell [recovered] with
-    well-typed cost accounting, and — when the summary block is
-    present — well-typed scalars with [multiproc_determinate = true].
-    Any divergence is a validation error. *)
+    well-typed cost accounting, every certificate cell
+    [certified_clean] with well-typed overhead accounting, and — when
+    the summary block is present — well-typed scalars with
+    [multiproc_determinate = true].  Any divergence is a validation
+    error. *)
 val validate_bench : Json.t -> (unit, string) result

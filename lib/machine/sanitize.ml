@@ -12,7 +12,7 @@ type violation =
       li_exit_ctxs : int;  (** distinct exit contexts *)
       li_exit_gates : int;
     }
-  | Store_leak of { sl_tokens : int }
+  | Store_leak of { sl_tokens : int; sl_by_pe : (int * int) list }
 
 let violation_to_string = function
   | Double_fire { df_node; df_ctx } ->
@@ -28,9 +28,17 @@ let violation_to_string = function
          entry gateway(s), %d exits at %d context(s) over %d exit gateway(s)"
         li_loop li_activations li_entries li_entry_gates li_exits li_exit_ctxs
         li_exit_gates
-  | Store_leak { sl_tokens } ->
-      Fmt.str "%d token(s) leaked in the matching store at quiescence"
+  | Store_leak { sl_tokens; sl_by_pe } ->
+      Fmt.str "%d token(s) leaked in the matching store at quiescence%s"
         sl_tokens
+        (match sl_by_pe with
+        | [] -> ""
+        | by_pe ->
+            Fmt.str " (%s)"
+              (String.concat ", "
+                 (List.map
+                    (fun (pe, n) -> Fmt.str "pe %d: %d" pe n)
+                    by_pe)))
 
 let pp_violation ppf v = Fmt.string ppf (violation_to_string v)
 
@@ -103,9 +111,17 @@ let on_fire (t : t) ~node ~ctx ~group : violation option =
 
 let fire_count (t : t) = t.fires
 
-let at_quiescence (t : t) ~leftover : violation list =
+let at_quiescence ?(by_pe = []) (t : t) ~leftover : violation list =
   let vs = ref [] in
-  if leftover > 0 then vs := [ Store_leak { sl_tokens = leftover } ];
+  if leftover > 0 then
+    vs :=
+      [
+        Store_leak
+          {
+            sl_tokens = leftover;
+            sl_by_pe = List.filter (fun (_, n) -> n > 0) by_pe;
+          };
+      ];
   (* Every loop's activations must balance.  An activation is one
      distinct initial-entry context.  Each activation drives every entry
      gateway exactly once (initial group), and leaves through exactly

@@ -43,8 +43,12 @@ type violation =
       li_exit_ctxs : int;  (** distinct exit contexts *)
       li_exit_gates : int;
     }
-  | Store_leak of { sl_tokens : int }
-      (** tokens still waiting in matching stores at quiescence *)
+  | Store_leak of { sl_tokens : int; sl_by_pe : (int * int) list }
+      (** tokens still waiting in matching stores at quiescence;
+          [sl_by_pe] breaks the count down as [(pe, tokens)] pairs on
+          multiprocessor runs (non-zero entries only, [] on single-PE) —
+          a dead or partitioned PE shows up as the one hoarding the
+          leak *)
 
 val violation_to_string : violation -> string
 val pp_violation : Format.formatter -> violation -> unit
@@ -66,11 +70,12 @@ val on_fire : t -> node:int -> ctx:Context.t -> group:int -> violation option
 (** Total firings recorded (used for the replayed-firings metric). *)
 val fire_count : t -> int
 
-(** [at_quiescence t ~leftover] — the balance checks that only make
-    sense once the machine is quiet: switch in/out balance, per-loop
-    entry/exit balance, and the matching-store leak ([leftover] tokens
-    still waiting). *)
-val at_quiescence : t -> leftover:int -> violation list
+(** [at_quiescence ?by_pe t ~leftover] — the balance checks that only
+    make sense once the machine is quiet: switch in/out balance,
+    per-loop entry/exit balance, and the matching-store leak ([leftover]
+    tokens still waiting, broken down per PE when the caller supplies
+    [by_pe]). *)
+val at_quiescence : ?by_pe:(int * int) list -> t -> leftover:int -> violation list
 
 (** {1 Checkpoint support} *)
 

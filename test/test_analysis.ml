@@ -444,6 +444,53 @@ let test_cover_tradeoff () =
   checki "singleton spurious = class-intersection pairs" 2
     (Analysis.Cover.spurious_serialization a singleton)
 
+let test_cover_single_variable () =
+  (* the degenerate alias structure of a single-variable program: every
+     standard cover collapses to the one element [[x]], every access set
+     to [[0]], and there is nothing to serialize spuriously *)
+  let p = Imp.Parser.program_of_string "x := 1 x := x + 1" in
+  let a = Analysis.Alias.of_program p in
+  List.iter
+    (fun (name, c) ->
+      Analysis.Cover.validate a c;
+      Alcotest.(check (list (list string))) (name ^ " cover") [ [ "x" ] ] c;
+      Alcotest.(check (list int))
+        (name ^ " access set") [ 0 ]
+        (Analysis.Cover.access_set a c "x");
+      checki (name ^ " spurious") 0 (Analysis.Cover.spurious_serialization a c);
+      checki (name ^ " cost") 1
+        (Analysis.Cover.synchronization_cost a c [ "x" ]))
+    [
+      ("singleton", Analysis.Cover.singleton a);
+      ("classes", Analysis.Cover.classes a);
+      ("components", Analysis.Cover.components a);
+    ]
+
+let test_cover_components_spurious () =
+  (* the component cover serializes every non-aliased pair inside a
+     component — the chain p~q~r~s has three such pairs (p-r, p-s, q-s)
+     — but never across components *)
+  let a =
+    Analysis.Alias.of_pairs [ "p"; "q"; "r"; "s" ] ~equiv:[]
+      ~may_alias:[ ("p", "q"); ("q", "r"); ("r", "s") ]
+  in
+  checki "chain component spurious pairs" 3
+    (Analysis.Cover.spurious_serialization a (Analysis.Cover.components a));
+  let b =
+    Analysis.Alias.of_pairs [ "p"; "q"; "r"; "s" ] ~equiv:[]
+      ~may_alias:[ ("p", "q"); ("r", "s") ]
+  in
+  checki "disjoint components stay parallel" 0
+    (Analysis.Cover.spurious_serialization b (Analysis.Cover.components b))
+
+let test_cover_empty_element_rejected () =
+  (* an empty element covers nothing and would mint a token no operation
+     ever collects: rejected even when every variable is covered *)
+  let a = fortran_alias () in
+  match Analysis.Cover.validate a [ [ "x"; "z" ]; []; [ "y"; "z" ] ] with
+  | () -> Alcotest.fail "expected Invalid_cover for the empty element"
+  | exception Analysis.Cover.Invalid_cover _ -> ()
+
 let prop_covers_nonempty_access =
   (* Soundness prerequisite: for any of the three standard covers and any
      random alias structure, every access set is non-empty and every pair
@@ -628,6 +675,12 @@ let () =
             test_cover_components_access;
           Alcotest.test_case "parallelism/synchronization tradeoff" `Quick
             test_cover_tradeoff;
+          Alcotest.test_case "single-variable degenerate cover" `Quick
+            test_cover_single_variable;
+          Alcotest.test_case "components spurious serialization" `Quick
+            test_cover_components_spurious;
+          Alcotest.test_case "empty element rejected" `Quick
+            test_cover_empty_element_rejected;
         ] );
       ( "subscript",
         [

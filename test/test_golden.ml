@@ -49,6 +49,17 @@ let programs () =
       |> List.sort compare
       |> List.map (fun f -> (Filename.chop_extension f, Filename.concat dir f))
 
+(* The certificate cell: element count when the run was certified clean,
+   VIOLATED when permission violations stood, none when the translation
+   carried no certificate. *)
+let cert_cell (d : Machine.Diagnosis.t) =
+  match d.Machine.Diagnosis.certified with
+  | None -> "cert=none"
+  | Some (elements, _) ->
+      if d.Machine.Diagnosis.permission = [] then
+        Fmt.str "cert=ok(%d)" elements
+      else "cert=VIOLATED"
+
 (* One snapshot line per schema: static counts and the machine verdict.
    Cells a schema cannot express snapshot the reason instead. *)
 let verdict_line name spec p =
@@ -58,7 +69,7 @@ let verdict_line name spec p =
       Fmt.str "%-18s unsupported-aliasing" name
   | c ->
       let st = Dfg.Stats.of_graph c.Dflow.Driver.graph in
-      let verdict =
+      let verdict, cert =
         match
           Machine.Interp.run
             {
@@ -66,16 +77,19 @@ let verdict_line name spec p =
               layout = c.Dflow.Driver.layout;
             }
         with
-        | r when not r.Machine.Interp.completed -> "stalled"
+        | r when not r.Machine.Interp.completed ->
+            ("stalled", cert_cell r.Machine.Interp.diagnosis)
         | r ->
             let reference = Imp.Eval.run_program ~fuel:10_000_000 p in
-            if Imp.Memory.equal reference r.Machine.Interp.memory then "ok"
-            else "diverged"
-        | exception e -> Fmt.str "raised %s" (Printexc.to_string e)
+            ( (if Imp.Memory.equal reference r.Machine.Interp.memory then "ok"
+               else "diverged"),
+              cert_cell r.Machine.Interp.diagnosis )
+        | exception e -> (Fmt.str "raised %s" (Printexc.to_string e), "cert=?")
       in
-      Fmt.str "%-18s nodes=%-4d arcs=%-4d switches=%-3d merges=%-3d verdict=%s"
+      Fmt.str
+        "%-18s nodes=%-4d arcs=%-4d switches=%-3d merges=%-3d verdict=%s %s"
         name st.Dfg.Stats.nodes st.Dfg.Stats.arcs st.Dfg.Stats.switches
-        st.Dfg.Stats.merges verdict
+        st.Dfg.Stats.merges verdict cert
 
 (* One multiprocessor line per placement at p=4: the partition shape
    (cut arcs, balance) and the differential verdict against the
@@ -119,10 +133,11 @@ let multiproc_line placement p =
           in
           let st = r.Machine.Multiproc.placement_stats in
           Fmt.str
-            "multiproc p=4 %-12s (%s) cut=%d/%d balance=%.2f verdict=%s"
+            "multiproc p=4 %-12s (%s) cut=%d/%d balance=%.2f verdict=%s %s"
             pname sname st.Machine.Placement.cut_arcs
             st.Machine.Placement.total_arcs st.Machine.Placement.balance
-            verdict)
+            verdict
+            (cert_cell r.Machine.Multiproc.diagnosis))
 
 (* One fault-tolerance line at p=4: seeded link faults plus one seeded
    PE fail-stop under checkpoint/replay recovery.  The whole fault
@@ -181,8 +196,9 @@ let recovery_line p =
             | None -> Machine.Recovery.metrics_create ()
           in
           Fmt.str
-            "multiproc p=4 faulty+recover  deaths=%d rollbacks=%d verdict=%s"
-            m.Machine.Recovery.m_deaths m.Machine.Recovery.m_rollbacks verdict)
+            "multiproc p=4 faulty+recover  deaths=%d rollbacks=%d verdict=%s %s"
+            m.Machine.Recovery.m_deaths m.Machine.Recovery.m_rollbacks verdict
+            (cert_cell r.Machine.Multiproc.diagnosis))
 
 let snapshot name path =
   let p = Imp.Parser.program_of_string (read_file path) in

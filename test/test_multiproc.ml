@@ -350,8 +350,17 @@ let test_sanitizer_double_fire () =
   (* a quiescent machine with waiting tokens is a leak *)
   checkb "store leak reported" true
     (List.exists
-       (function San.Store_leak { sl_tokens = 3 } -> true | _ -> false)
-       (San.at_quiescence san ~leftover:3))
+       (function San.Store_leak { sl_tokens = 3; _ } -> true | _ -> false)
+       (San.at_quiescence san ~leftover:3));
+  (* the per-PE breakdown keeps only the PEs actually hoarding tokens *)
+  checkb "store leak per-PE breakdown" true
+    (List.exists
+       (function
+         | San.Store_leak { sl_tokens = 3; sl_by_pe = [ (1, 2); (3, 1) ] } ->
+             true
+         | _ -> false)
+       (San.at_quiescence san ~leftover:3
+          ~by_pe:[ (0, 0); (1, 2); (2, 0); (3, 1) ]))
 
 let test_sanitizer_multi_exit_clean () =
   (* a goto program whose loop leaves through one of several exit sites:

@@ -372,6 +372,35 @@ let test_bench_validate_rejects () =
   (match Machine.Profile.validate_bench (with_recovery (rc true)) with
   | Ok () -> ()
   | Error e -> Alcotest.failf "good recovery cell rejected: %s" e);
+  (* certificate cells: a standing violation is a validation failure, a
+     clean cell with well-typed overhead accounting passes *)
+  let cc clean =
+    {
+      Machine.Profile.cc_pes = 4;
+      cc_elements = 3;
+      cc_checks = 120;
+      cc_cycles = 100;
+      cc_stripped_cycles = 100;
+      cc_overhead = 0.0;
+      cc_clean = clean;
+    }
+  in
+  let with_certificate cell =
+    Machine.Profile.bench_file
+      ~records:
+        [
+          Machine.Profile.bench_record ~program:"sum" ~schema:"s" ~status:"ok"
+            ~stats:(Dfg.Stats.of_graph graph)
+            ~result:r ~reference_ok:true
+            ~max_overlap:(Machine.Trace.max_context_overlap tracer)
+            ~certificate:[ cell ] ();
+        ]
+      ()
+  in
+  expect_error "violated certificate cell" (with_certificate (cc false));
+  (match Machine.Profile.validate_bench (with_certificate (cc true)) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "clean certificate cell rejected: %s" e);
   (* non-ok cells need no metrics: they explain themselves *)
   match
     Machine.Profile.validate_bench
