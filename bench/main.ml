@@ -1119,10 +1119,96 @@ let certificate_sweep ~note (c : Dflow.Driver.compiled) =
       in
       Some cells
 
+(* The engine-throughput sweep (E24): the same compiled graph executed
+   end to end under the reference interpreter and the packed engine, in
+   service mode (sanitizer off, certificate stripped — identically for
+   both engines), timed best-of-N wall clock.  The differential bar
+   stays up: the packed run must reproduce the reference engine's final
+   store and firing count bit for bit, or the cell fails validation.
+   The CI floor below holds the packed engine to >= 10x on the stencil
+   kernel — the whole point of compiling the graph to flat arrays. *)
+let throughput_schema = "schema2-opt"
+let throughput_floor = 10.0
+let throughput_runs_reference = 40
+let throughput_runs_packed = 200
+
+(* best-of-N: the minimum observed wall time is the least-noise estimate
+   of the true cost (noise is strictly additive) *)
+let time_best ~runs f =
+  ignore (f ());
+  let best = ref infinity in
+  for _ = 1 to runs do
+    let t0 = Unix.gettimeofday () in
+    ignore (f ());
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt
+  done;
+  !best
+
+let throughput_sweep ~note (c : Dflow.Driver.compiled) =
+  let g = c.Dflow.Driver.graph in
+  let layout = c.Dflow.Driver.layout in
+  let saved = g.Dfg.Graph.cert in
+  Dfg.Graph.set_cert g None;
+  let prog = { Machine.Interp.graph = g; layout } in
+  let rref = Machine.Interp.run_exn prog in
+  let code = Machine.Packed.compile_graph g in
+  let cells =
+    match Machine.Packed.run_report ~sanitize:false ~layout code with
+    | Error _ ->
+        [
+          {
+            Machine.Profile.tp_engine = "packed";
+            tp_firings = 0;
+            tp_runs = 0;
+            tp_seconds = 0.0;
+            tp_firings_per_sec = 0.0;
+            tp_speedup = 0.0;
+            tp_identical = false;
+          };
+        ]
+    | Ok rpk ->
+        let identical =
+          rpk.Machine.Packed.completed
+          && rpk.Machine.Packed.firings = rref.Machine.Interp.firings
+          && Imp.Memory.equal rref.Machine.Interp.memory
+               rpk.Machine.Packed.memory
+        in
+        let t_ref =
+          time_best ~runs:throughput_runs_reference (fun () ->
+              Machine.Interp.run_exn prog)
+        in
+        let t_pk =
+          time_best ~runs:throughput_runs_packed (fun () ->
+              Machine.Packed.run_report ~sanitize:false ~layout code)
+        in
+        let cell engine firings secs speedup identical =
+          {
+            Machine.Profile.tp_engine = engine;
+            tp_firings = firings;
+            tp_runs =
+              (if engine = "packed" then throughput_runs_packed
+               else throughput_runs_reference);
+            tp_seconds = secs;
+            tp_firings_per_sec = float_of_int firings /. secs;
+            tp_speedup = speedup;
+            tp_identical = identical;
+          }
+        in
+        [
+          cell "reference" rref.Machine.Interp.firings t_ref 1.0 true;
+          cell "packed" rpk.Machine.Packed.firings t_pk (t_ref /. t_pk)
+            identical;
+        ]
+  in
+  Dfg.Graph.set_cert g saved;
+  List.iter note cells;
+  cells
+
 (* One cell: compile, run traced, check against the reference
    interpreter.  Cells a schema cannot express are real results — the
    record says why instead of vanishing from the matrix. *)
-let bench_cell ?mp_note ?recovery_note ?cert_note ~program:(pname, p)
+let bench_cell ?mp_note ?recovery_note ?cert_note ?tp_note ~program:(pname, p)
     ~schema:(sname, spec, transforms) () =
   match compile ~transforms spec p with
   | exception Cfg.Intervals.Irreducible _ ->
@@ -1167,10 +1253,16 @@ let bench_cell ?mp_note ?recovery_note ?cert_note ~program:(pname, p)
           | Some note -> certificate_sweep ~note c
           | None -> None
         in
+        let throughput =
+          match tp_note with
+          | Some note when sname = throughput_schema ->
+              Some (throughput_sweep ~note c)
+          | _ -> None
+        in
         ( Machine.Profile.bench_record ~program:pname ~schema:sname ~status:"ok"
             ~stats ~result:r ~reference_ok:ok
             ~max_overlap:(Machine.Trace.max_context_overlap tracer) ?multiproc
-            ?recovery ?certificate (),
+            ?recovery ?certificate ?throughput (),
           Some (ok, Machine.Interp.avg_parallelism r) )
 
 let bench_json ~out ~programs_dir () =
@@ -1216,6 +1308,10 @@ let bench_json ~out ~programs_dir () =
      overhead ceiling *)
   let cert_table = Hashtbl.create 64 in
   let cert_failed = ref false in
+  (* program -> packed throughput cell; the feed for the E24 speedup
+     floor *)
+  let tp_table = Hashtbl.create 16 in
+  let tp_failed = ref false in
   let records =
     List.concat_map
       (fun ((pname, _) as program) ->
@@ -1273,8 +1369,24 @@ let bench_json ~out ~programs_dir () =
                       c)
               else None
             in
+            let tp_note =
+              if List.mem pname example_names then
+                Some
+                  (fun (c : Machine.Profile.throughput_cell) ->
+                    if not c.Machine.Profile.tp_identical then begin
+                      tp_failed := true;
+                      Fmt.epr
+                        "bench: %s under %s engine %s DIVERGED from the \
+                         reference engine@."
+                        pname sname c.Machine.Profile.tp_engine
+                    end;
+                    if c.Machine.Profile.tp_engine = "packed" then
+                      Hashtbl.replace tp_table pname c)
+              else None
+            in
             let record, dyn =
-              bench_cell ?mp_note ?recovery_note ?cert_note ~program ~schema ()
+              bench_cell ?mp_note ?recovery_note ?cert_note ?tp_note ~program
+                ~schema ()
             in
             (match dyn with
             | Some (ok, par) ->
@@ -1447,6 +1559,30 @@ let bench_json ~out ~programs_dir () =
           c.Machine.Profile.cc_elements c.Machine.Profile.cc_checks
   | None ->
       Fmt.epr "bench: warning: no stencil certificate cells in this matrix@.");
+  (* the throughput floor of E24: the packed engine must be worth its
+     complexity — at least 10x the reference interpreter's wall clock on
+     the stencil kernel, with a bit-identical final store *)
+  if !tp_failed then begin
+    Fmt.epr "bench: engine throughput sweep diverged (see above)@.";
+    exit 1
+  end;
+  (match Hashtbl.find_opt tp_table "stencil" with
+  | Some c ->
+      let sp = c.Machine.Profile.tp_speedup in
+      if sp < throughput_floor then begin
+        Fmt.epr
+          "bench: packed engine only %.1fx the reference on stencil \
+           (floor %.1fx)@."
+          sp throughput_floor;
+        exit 1
+      end
+      else
+        Fmt.pr
+          "stencil packed throughput: %.2e firings/sec, %.1fx the reference \
+           engine (floor %.1fx)@."
+          c.Machine.Profile.tp_firings_per_sec sp throughput_floor
+  | None ->
+      Fmt.epr "bench: warning: no stencil throughput cells in this matrix@.");
   let oc = open_out out in
   output_string oc text;
   close_out oc;

@@ -149,15 +149,34 @@ let fault_classes_arg =
           "Fault classes to draw from: any of drop, dup, flip, delay, \
            stall, reorder, or all (comma separated).")
 
+let engine_arg =
+  Arg.(
+    value & opt string "reference"
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Execution core: $(b,reference) (event-driven interpreter) or \
+           $(b,packed) (compiled flat-array engine with an explicit token \
+           store).  Both produce bit-identical final stores.")
+
+(** @raise on an unknown name: prints the valid engines and exits 2. *)
+let engine_of_flag (s : string) : Machine.Config.engine =
+  try Machine.Config.engine_of_string s
+  with Failure msg ->
+    Fmt.epr "df_compile: %s@." msg;
+    exit 2
+
 let run_cmd file schema transforms pes mem_latency verbose trace optimize
-    fault_seed fault_rate fault_classes no_certify =
+    fault_seed fault_rate fault_classes no_certify engine =
   let p = read_program file in
   let transforms = transforms_of_list transforms in
   let compiled = Dflow.Driver.compile ~transforms schema p in
   let graph = maybe_optimize optimize compiled.Dflow.Driver.graph in
   Dfg.Check.check graph;
   if no_certify then Dfg.Graph.set_cert graph None;
-  let config = config_of pes mem_latency in
+  let config =
+    { (config_of pes mem_latency) with
+      Machine.Config.engine = engine_of_flag engine }
+  in
   let tracer = Machine.Trace.create () in
   let on_fire = if trace then Some (Machine.Trace.on_fire tracer) else None in
   let faults =
@@ -227,7 +246,7 @@ let run_term =
     $ Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print graph statistics and check against the reference interpreter.")
     $ Arg.(value & flag & info [ "trace" ] ~doc:"Print an execution timeline and per-context firing counts.")
     $ optimize_arg $ fault_seed_arg $ fault_rate_arg $ fault_classes_arg
-    $ no_certify_arg)
+    $ no_certify_arg $ engine_arg)
 
 (* --- profile: critical path, curves, Chrome trace -------------------- *)
 
@@ -308,14 +327,17 @@ let placement_conv : Machine.Placement.policy Arg.conv =
 
 let simulate_cmd file schema transforms optimize mp_pes placement net_latency
     net_bandwidth net_queue modules mem_latency trace_out fault_seed fault_rate
-    fault_classes recover no_certify =
+    fault_classes recover no_certify engine =
   let p = read_program file in
   let transforms = transforms_of_list transforms in
   let compiled = Dflow.Driver.compile ~transforms schema p in
   let graph = maybe_optimize optimize compiled.Dflow.Driver.graph in
   Dfg.Check.check graph;
   if no_certify then Dfg.Graph.set_cert graph None;
-  let config = config_of None mem_latency in
+  let config =
+    { (config_of None mem_latency) with
+      Machine.Config.engine = engine_of_flag engine }
+  in
   let faults =
     Option.map
       (fun seed ->
@@ -497,7 +519,7 @@ let simulate_term =
               "Enable checkpoint/replay recovery: epoch snapshots, plus — \
                with --fault-seed — one seeded PE fail-stop whose nodes are \
                remapped over the survivors and replayed.")
-    $ no_certify_arg)
+    $ no_certify_arg $ engine_arg)
 
 (* --- dot ------------------------------------------------------------- *)
 

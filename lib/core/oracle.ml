@@ -12,6 +12,7 @@ type combo = {
   c_broken : bool;
   c_multiproc : (Machine.Placement.policy * int * Machine.Network.config) option;
   c_faulty : bool;
+  c_engine : Machine.Config.engine;
 }
 
 let transforms_suffix (t : Driver.transforms) : string =
@@ -25,7 +26,8 @@ let transforms_suffix (t : Driver.transforms) : string =
          (t.Driver.istructure, "istructures");
        ])
 
-let combo ?(broken = false) ?multiproc ?(faulty = false) spec transforms =
+let combo ?(broken = false) ?multiproc ?(faulty = false)
+    ?(engine = Machine.Config.Reference) spec transforms =
   let mp_suffix =
     match multiproc with
     | None -> ""
@@ -38,10 +40,15 @@ let combo ?(broken = false) ?multiproc ?(faulty = false) spec transforms =
   {
     c_spec = spec;
     c_transforms = transforms;
-    c_name = Driver.spec_to_string spec ^ transforms_suffix transforms ^ mp_suffix;
+    c_name =
+      Driver.spec_to_string spec ^ transforms_suffix transforms ^ mp_suffix
+      ^ (match engine with
+        | Machine.Config.Reference -> ""
+        | Machine.Config.Packed -> "+packed");
     c_broken = broken;
     c_multiproc = multiproc;
     c_faulty = faulty;
+    c_engine = engine;
   }
 
 let combos_for ?(include_broken = false) (p : Imp.Ast.program) : combo list =
@@ -135,7 +142,35 @@ let combos_for ?(include_broken = false) (p : Imp.Ast.program) : combo list =
           (Schema2_opt Engine.Pipelined) t0;
       ]
   in
-  base @ s2 @ s3 @ mp @ mp_faulty @ broken
+  (* the packed-engine tier: the same differential bar again on the
+     compiled core — bit-identical final stores are exactly what the
+     packed engine promises.  Fault injection stays reference-only, so
+     no faulty packed points *)
+  let packed =
+    let deflt = Machine.Network.default in
+    let pk = combo ~engine:Machine.Config.Packed in
+    [ pk Schema1 t0; pk (Schema3 (Classes, Engine.Barrier)) t0 ]
+    @ (if aliasing then []
+       else
+         [
+           pk (Schema2 Engine.Pipelined) t0;
+           pk (Schema2_opt Engine.Pipelined) all_transforms;
+         ])
+    @ [
+        combo ~engine:Machine.Config.Packed
+          ~multiproc:(Machine.Placement.Hash, 2, deflt)
+          Schema1 t0;
+      ]
+    @
+    if aliasing then []
+    else
+      [
+        combo ~engine:Machine.Config.Packed
+          ~multiproc:(Machine.Placement.Affinity, 4, deflt)
+          (Schema2_opt Engine.Pipelined) t0;
+      ]
+  in
+  base @ s2 @ s3 @ mp @ mp_faulty @ packed @ broken
 
 type status =
   | Agree
@@ -154,6 +189,7 @@ let run_combo ?(machine = default_machine) ?(certify_only = false) (c : combo)
      off — a Fail means the fractional-permission certificate ALONE
      rejected the run.  This is the mode that proves the checker needs
      no ground truth to catch a miscompilation. *)
+  let machine = { machine with Machine.Config.engine = c.c_engine } in
   let machine =
     if certify_only then
       { machine with Machine.Config.detect_collisions = false }

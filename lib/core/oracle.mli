@@ -35,6 +35,10 @@ type combo = {
           one seeded PE fail-stop, with reliable transport and
           checkpoint/replay recovery on: the recovered run must still
           verdict [Clean] and match the reference store exactly *)
+  c_engine : Machine.Config.engine;
+      (** execution core for this point; [Packed] points carry a
+          ["+packed"] name suffix and hold the compiled engine to the
+          same differential bar *)
 }
 
 (** [combos_for ?include_broken p] — every combination applicable to

@@ -30,6 +30,32 @@ type policy =
   | Fifo  (** oldest enabled operation first (default) *)
   | Lifo  (** newest enabled operation first (depth-first-ish) *)
 
+(** Which execution core runs the graph.  [Reference] is the
+    map-and-list interpreter this module always had — the differential
+    oracle's ground machine.  [Packed] is the compiled engine
+    ({!Packed}): the graph is lowered once to flat instruction arrays
+    and tokens rendezvous in preallocated per-context frames with
+    presence bits, driven by an event-driven ready wheel.  Determinate
+    graphs produce bit-identical final stores under both; the packed
+    engine's observability is coarser (no per-cycle curves, no dynamic
+    critical path) and fault injection stays a reference-engine
+    feature. *)
+type engine =
+  | Reference
+  | Packed
+
+let engine_to_string = function Reference -> "reference" | Packed -> "packed"
+let valid_engine_names = "reference, packed"
+
+(** @raise Failure on an unknown name, listing the valid engines. *)
+let engine_of_string (s : string) : engine =
+  match String.lowercase_ascii (String.trim s) with
+  | "reference" | "ref" -> Reference
+  | "packed" -> Packed
+  | other ->
+      Fmt.failwith "unknown engine %S (valid engines: %s)" other
+        valid_engine_names
+
 type t = {
   pes : int option;  (** [None] = unbounded parallelism *)
   memory_ports : int option;
@@ -50,6 +76,11 @@ type t = {
           overflow shows up as pressure in the diagnosis (and ultimately
           as divergence), modelling a finite ETS frame memory that
           degrades gracefully. *)
+  engine : engine;
+      (** execution core; [Reference] unless explicitly switched.  The
+          packed engine interprets [max_matching] at frame granularity
+          (simultaneously live contexts) rather than per (node, context)
+          entry. *)
 }
 
 let default =
@@ -61,6 +92,7 @@ let default =
     max_cycles = 2_000_000;
     detect_collisions = true;
     max_matching = None;
+    engine = Reference;
   }
 
 (** [ideal] -- unbounded PEs, unit latencies: pure critical-path

@@ -30,6 +30,28 @@ type policy =
   | Fifo  (** oldest enabled operation first (default) *)
   | Lifo  (** newest enabled operation first *)
 
+(** Which execution core runs the graph.  [Reference] is the original
+    map-and-list interpreter — the differential oracle's ground machine.
+    [Packed] is the compiled engine ({!Packed}): flat instruction
+    arrays, preallocated per-context frames with presence bits, and an
+    event-driven ready wheel.  Determinate graphs produce bit-identical
+    final stores under both engines; packed observability is coarser
+    (no per-cycle curves or dynamic critical path) and fault injection
+    remains a reference-engine feature. *)
+type engine =
+  | Reference
+  | Packed
+
+val engine_to_string : engine -> string
+
+(** The valid names accepted by {!engine_of_string}, for error
+    messages and CLI docs. *)
+val valid_engine_names : string
+
+(** Accepts ["reference"]/["ref"] and ["packed"].
+    @raise Failure on anything else, listing the valid engines. *)
+val engine_of_string : string -> engine
+
 type t = {
   pes : int option;  (** [None] = unbounded parallelism *)
   memory_ports : int option;
@@ -47,7 +69,11 @@ type t = {
       (** bounded waiting-matching store capacity ([None] = unbounded).
           Deliveries that would overflow are throttled to the next cycle
           and counted as pressure in the diagnosis rather than crashing
-          — a finite ETS frame memory that degrades gracefully. *)
+          — a finite ETS frame memory that degrades gracefully.  The
+          packed engine reads the bound at frame granularity:
+          simultaneously live iteration contexts instead of (node,
+          context) entries. *)
+  engine : engine;  (** execution core; [Reference] by default *)
 }
 
 (** Unbounded PEs, default latencies, FIFO, collision detection on. *)

@@ -125,6 +125,46 @@ exception Abort of Diagnosis.t
 (* Internal: carries the structured post-mortem out of the machine loop;
    [run] re-raises the legacy exception matching the verdict. *)
 
+(* Packed-engine path: compile the graph once and run it on the explicit
+   token store ({!Packed}), then translate the packed result into the
+   reference result shape.  The per-cycle curves and the dynamic
+   critical path are observability the packed engine deliberately does
+   not collect; they come back empty. *)
+let run_packed ~(config : Config.t)
+    ?(on_fire : (int -> Dfg.Node.t -> Context.t -> unit) option)
+    (p : program) : (result, Diagnosis.t) Stdlib.result =
+  let code = Packed.compile_graph p.graph in
+  let on_fire =
+    Option.map
+      (fun cb t node ctx ~pe:_ -> cb t (Dfg.Graph.node p.graph node) ctx)
+      on_fire
+  in
+  match Packed.run_report ~config ?on_fire ~layout:p.layout code with
+  | Error d -> Error d
+  | Ok r ->
+      Ok
+        {
+          memory = r.Packed.memory;
+          cycles = r.Packed.cycles;
+          firings = r.Packed.firings;
+          memory_ops = r.Packed.memory_ops;
+          dummy_deliveries = r.Packed.dummy_deliveries;
+          value_deliveries = r.Packed.value_deliveries;
+          profile = [||];
+          peak_parallelism = r.Packed.peak_parallelism;
+          completed = r.Packed.completed;
+          leftover_tokens = r.Packed.leftover_tokens;
+          peak_matching = r.Packed.peak_frames;
+          peak_in_flight = r.Packed.peak_in_flight;
+          firings_by_kind = r.Packed.firings_by_kind;
+          matching_throttled = r.Packed.throttled;
+          in_flight_curve = [||];
+          matching_curve = [||];
+          critical_path = 0;
+          critical_chain = [];
+          diagnosis = r.Packed.diagnosis;
+        }
+
 (** [run_report ?config ?faults ?on_fire program] executes [program] to
     quiescence on a fresh zeroed memory.  [Ok r] means the machine
     reached quiescence ([r.diagnosis] still distinguishes clean runs
@@ -136,6 +176,11 @@ exception Abort of Diagnosis.t
 let run_report ?(config = Config.default) ?(faults : Fault.plan option)
     ?(on_fire : (int -> Dfg.Node.t -> Context.t -> unit) option)
     (p : program) : (result, Diagnosis.t) Stdlib.result =
+  match (config.Config.engine, faults) with
+  | Config.Packed, None -> run_packed ~config ?on_fire p
+  | (Config.Packed | Config.Reference), _ ->
+  (* fault injection is a reference-engine feature: a faulty run under
+     [engine = Packed] silently uses the reference machine *)
   let g = p.graph in
   let memory = Imp.Memory.create p.layout in
   (* token-conservation sanitizer, report-only on the single-PE path:

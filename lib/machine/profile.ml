@@ -390,7 +390,7 @@ let pp ppf (p : t) =
 (* ---------------------------------------------------------------- *)
 (* benchmark records (shared by bench/main.ml and the tests)        *)
 
-let bench_schema_version = 4
+let bench_schema_version = 5
 
 type mp_cell = {
   mp_pes : int;
@@ -472,12 +472,35 @@ let certificate_cell_json (c : certificate_cell) : Json.t =
       ("certified_clean", Json.Bool c.cc_clean);
     ]
 
+type throughput_cell = {
+  tp_engine : string;
+  tp_firings : int;
+  tp_runs : int;
+  tp_seconds : float;
+  tp_firings_per_sec : float;
+  tp_speedup : float;
+  tp_identical : bool;
+}
+
+let throughput_cell_json (c : throughput_cell) : Json.t =
+  Json.Assoc
+    [
+      ("engine", Json.String c.tp_engine);
+      ("firings", Json.Int c.tp_firings);
+      ("runs", Json.Int c.tp_runs);
+      ("seconds_per_run", Json.Float c.tp_seconds);
+      ("firings_per_sec", Json.Float c.tp_firings_per_sec);
+      ("speedup", Json.Float c.tp_speedup);
+      ("identical_store", Json.Bool c.tp_identical);
+    ]
+
 let bench_record ~(program : string) ~(schema : string) ~(status : string)
     ?(stats : Dfg.Stats.t option) ?(result : Interp.result option)
     ?(reference_ok : bool option) ?(max_overlap : int option)
     ?(multiproc : mp_cell list option)
     ?(recovery : recovery_cell list option)
-    ?(certificate : certificate_cell list option) () : Json.t =
+    ?(certificate : certificate_cell list option)
+    ?(throughput : throughput_cell list option) () : Json.t =
   let base =
     [
       ("program", Json.String program);
@@ -528,10 +551,14 @@ let bench_record ~(program : string) ~(schema : string) ~(status : string)
       | Some cells ->
           [ ("recovery", Json.List (List.map recovery_cell_json cells)) ]
       | None -> [])
+    @ (match certificate with
+      | Some cells ->
+          [ ("certificate", Json.List (List.map certificate_cell_json cells)) ]
+      | None -> [])
     @
-    match certificate with
+    match throughput with
     | Some cells ->
-        [ ("certificate", Json.List (List.map certificate_cell_json cells)) ]
+        [ ("throughput", Json.List (List.map throughput_cell_json cells)) ]
     | None -> []
   in
   Json.Assoc (base @ static @ dynamic @ extra)
@@ -696,6 +723,40 @@ let validate_bench (j : Json.t) : (unit, string) result =
     in
     if clean then Ok () else Error (where "certificate violation")
   in
+  (* throughput cells: wall-clock engine comparison — an engine whose
+     final store diverged from the reference, or a non-positive rate, is
+     a validation failure *)
+  let check_throughput_cell i program k c =
+    let where what =
+      Fmt.str "record %d (%s): throughput cell %d: %s" i program k what
+    in
+    let int key = Option.bind (Json.member key c) Json.to_int_opt in
+    let flt key = Option.bind (Json.member key c) Json.to_float_opt in
+    let* _ =
+      req (where "missing engine")
+        (Option.bind (Json.member "engine" c) Json.to_string_opt)
+    in
+    let* firings = req (where "missing firings") (int "firings") in
+    let* () = if firings >= 1 then Ok () else Error (where "firings < 1") in
+    let* runs = req (where "missing runs") (int "runs") in
+    let* () = if runs >= 1 then Ok () else Error (where "runs < 1") in
+    let* secs = req (where "missing seconds_per_run") (flt "seconds_per_run") in
+    let* () =
+      if secs > 0.0 then Ok ()
+      else Error (where "non-positive seconds_per_run")
+    in
+    let* rate = req (where "missing firings_per_sec") (flt "firings_per_sec") in
+    let* () =
+      if rate > 0.0 then Ok ()
+      else Error (where "non-positive firings_per_sec")
+    in
+    let* _ = req (where "missing speedup") (flt "speedup") in
+    let* same =
+      req (where "missing identical_store")
+        (Option.bind (Json.member "identical_store" c) Json.to_bool_opt)
+    in
+    if same then Ok () else Error (where "store divergence between engines")
+  in
   let check_record i r =
     let str k = Option.bind (Json.member k r) Json.to_string_opt in
     let int k = Option.bind (Json.member k r) Json.to_int_opt in
@@ -770,18 +831,35 @@ let validate_bench (j : Json.t) : (unit, string) result =
             in
             cells_ok 0 cells
       in
-      match Json.member "certificate" r with
+      let* () =
+        match Json.member "certificate" r with
+        | None -> Ok ()
+        | Some cc ->
+            let* cells =
+              req
+                (Fmt.str "record %d (%s): certificate not a list" i program)
+                (Json.to_list_opt cc)
+            in
+            let rec cells_ok k = function
+              | [] -> Ok ()
+              | c :: rest ->
+                  let* () = check_certificate_cell i program k c in
+                  cells_ok (k + 1) rest
+            in
+            cells_ok 0 cells
+      in
+      match Json.member "throughput" r with
       | None -> Ok ()
-      | Some cc ->
+      | Some tp ->
           let* cells =
             req
-              (Fmt.str "record %d (%s): certificate not a list" i program)
-              (Json.to_list_opt cc)
+              (Fmt.str "record %d (%s): throughput not a list" i program)
+              (Json.to_list_opt tp)
           in
           let rec cells_ok k = function
             | [] -> Ok ()
             | c :: rest ->
-                let* () = check_certificate_cell i program k c in
+                let* () = check_throughput_cell i program k c in
                 cells_ok (k + 1) rest
           in
           cells_ok 0 cells

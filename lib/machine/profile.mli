@@ -141,11 +141,28 @@ type certificate_cell = {
   cc_clean : bool;  (** run completed with zero standing violations *)
 }
 
+(** One point of the engine-throughput comparison (E24): the same
+    compiled graph executed end-to-end under an execution engine, timed
+    over [tp_runs] repetitions.  [tp_speedup] is relative to the
+    [reference] cell of the same record (so the reference cell carries
+    [1.0]); [tp_identical] asserts the engine reproduced the reference
+    engine's final store bit for bit. *)
+type throughput_cell = {
+  tp_engine : string;  (** {!Config.engine_to_string} *)
+  tp_firings : int;  (** firings per run (identical across engines) *)
+  tp_runs : int;  (** timed repetitions *)
+  tp_seconds : float;  (** best-of wall-clock seconds per run *)
+  tp_firings_per_sec : float;  (** [tp_firings / tp_seconds] *)
+  tp_speedup : float;  (** reference seconds / this engine's seconds *)
+  tp_identical : bool;  (** final store equals the reference engine's *)
+}
+
 (** One matrix cell.  [status] is ["ok"], ["unsupported-aliasing"] or
     ["irreducible"]; static and dynamic metrics accompany ["ok"] cells,
     [multiproc] carries the scalability sweep when one was run,
-    [recovery] the fault-tolerance sweep, and [certificate] the
-    certificate-overhead sweep. *)
+    [recovery] the fault-tolerance sweep, [certificate] the
+    certificate-overhead sweep, and [throughput] the engine
+    wall-clock comparison. *)
 val bench_record :
   program:string ->
   schema:string ->
@@ -157,6 +174,7 @@ val bench_record :
   ?multiproc:mp_cell list ->
   ?recovery:recovery_cell list ->
   ?certificate:certificate_cell list ->
+  ?throughput:throughput_cell list ->
   unit ->
   Json.t
 
@@ -170,7 +188,8 @@ val bench_file : ?summary:(string * Json.t) list -> records:Json.t list ->
     fields per ["ok"] record, [reference_ok = true] everywhere, every
     multiproc cell [determinate], every recovery cell [recovered] with
     well-typed cost accounting, every certificate cell
-    [certified_clean] with well-typed overhead accounting, and — when
+    [certified_clean] with well-typed overhead accounting, every
+    throughput cell with a positive rate and [identical_store], and — when
     the summary block is present — well-typed scalars with
     [multiproc_determinate = true].  Any divergence is a validation
     error. *)

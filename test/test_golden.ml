@@ -200,6 +200,68 @@ let recovery_line p =
             m.Machine.Recovery.m_deaths m.Machine.Recovery.m_rollbacks verdict
             (cert_cell r.Machine.Multiproc.diagnosis))
 
+(* One packed-engine line: the same graph compiled to the flat-array
+   core and executed over the explicit token store, differentially
+   checked against BOTH the reference interpreter's store (bit-identity
+   between engines, the tentpole claim) and {!Imp.Eval}.  Firings,
+   cycles and peak frames are deterministic, so the line is as
+   snapshot-stable as the static counts. *)
+let packed_line p =
+  let sname, c =
+    match Dflow.Driver.compile (Dflow.Driver.Schema2_opt Dflow.Engine.Pipelined) p with
+    | c -> ("schema2-opt", Some c)
+    | exception (Cfg.Intervals.Irreducible _ | Dflow.Driver.Aliasing_unsupported _)
+      -> (
+        match Dflow.Driver.compile Dflow.Driver.Schema1 p with
+        | c -> ("schema1", Some c)
+        | exception _ -> ("none", None))
+  in
+  match c with
+  | None -> "packed engine not-compilable"
+  | Some c -> (
+      let code = Machine.Packed.compile_graph c.Dflow.Driver.graph in
+      match
+        Machine.Packed.run_report ~layout:c.Dflow.Driver.layout code
+      with
+      | exception e -> Fmt.str "packed engine (%s) raised %s" sname
+          (Printexc.to_string e)
+      | Error d ->
+          Fmt.str "packed engine (%s) failed: %s" sname
+            (Machine.Diagnosis.verdict_to_string d.Machine.Diagnosis.verdict)
+      | Ok r ->
+          let rref =
+            Machine.Interp.run
+              {
+                Machine.Interp.graph = c.Dflow.Driver.graph;
+                layout = c.Dflow.Driver.layout;
+              }
+          in
+          let store =
+            if
+              r.Machine.Packed.completed
+              && rref.Machine.Interp.completed
+              && r.Machine.Packed.firings = rref.Machine.Interp.firings
+              && Imp.Memory.equal rref.Machine.Interp.memory
+                   r.Machine.Packed.memory
+            then "identical"
+            else "DIVERGED"
+          in
+          let verdict =
+            if not r.Machine.Packed.completed then "stalled"
+            else if
+              Imp.Memory.equal
+                (Imp.Eval.run_program ~fuel:10_000_000 p)
+                r.Machine.Packed.memory
+            then "ok"
+            else "diverged"
+          in
+          Fmt.str
+            "packed engine (%s) firings=%-5d cycles=%-5d frames=%-3d \
+             verdict=%s store=%s %s"
+            sname r.Machine.Packed.firings r.Machine.Packed.cycles
+            r.Machine.Packed.peak_frames verdict store
+            (cert_cell r.Machine.Packed.diagnosis))
+
 let snapshot name path =
   let p = Imp.Parser.program_of_string (read_file path) in
   let lines =
@@ -207,7 +269,7 @@ let snapshot name path =
     @ List.map
         (fun placement -> multiproc_line placement p)
         [ Machine.Placement.Hash; Machine.Placement.Affinity ]
-    @ [ recovery_line p ]
+    @ [ recovery_line p; packed_line p ]
   in
   Fmt.str "# %s.imp — static counts and machine verdict per schema@.%s@."
     name

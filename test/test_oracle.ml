@@ -40,6 +40,7 @@ let test_figure8_pathology_caught () =
       c_broken = broken;
       c_multiproc = None;
       c_faulty = false;
+      c_engine = Machine.Config.Reference;
     }
   in
   (match
