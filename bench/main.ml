@@ -24,7 +24,10 @@ let claim what = Fmt.pr "claim: %s@.@." what
 
 (* --- shared helpers -------------------------------------------------- *)
 
-let compile ?transforms spec p = Dflow.Driver.compile ?transforms spec p
+(* All compilation in the harness routes through the content-addressed
+   cache: each (program, schema, transforms) pair is compiled exactly
+   once per process however many experiments mention it. *)
+let compile ?transforms spec p = Dflow.Memo.compile ?transforms spec p
 
 let execute ?(config = Machine.Config.default) (c : Dflow.Driver.compiled) =
   Dfg.Check.check c.Dflow.Driver.graph;
@@ -1132,6 +1135,20 @@ let throughput_floor = 10.0
 let throughput_runs_reference = 40
 let throughput_runs_packed = 200
 
+(* The batch-service sweep (E25): the whole example-program oracle grid
+   submitted as one batch of per-combo selfcheck jobs through the
+   [df_compile serve] protocol, executed on a warm memoization cache at
+   jobs = 1 and jobs = [service_jobs_parallel].  The CI floors: the two
+   outputs must be byte-identical (the deterministic-pool guarantee),
+   every job must succeed, the warm-cache hit rate must stay above 1/2,
+   the multi-domain run must be at least 2x the serial one, and the
+   batch must sustain a conservative jobs/sec rate (set well below the
+   measured figure so only a real serialization regression trips it). *)
+let service_jobs_parallel = 4
+let service_speedup_floor = 2.0
+let service_hit_rate_floor = 0.5
+let service_jobs_per_sec_floor = 5.0
+
 (* best-of-N: the minimum observed wall time is the least-noise estimate
    of the true cost (noise is strictly additive) *)
 let time_best ~runs f =
@@ -1439,9 +1456,92 @@ let bench_json ~out ~programs_dir () =
       ("multiproc_determinate", Machine.Json.Bool (not !mp_diverged));
     ]
   in
+  (* the batch-service sweep (E25): one serve-protocol job per
+     (example program, oracle combo), the grid the `selfcheck` command
+     walks — first a warm pass to fill the memoization cache, then the
+     identical batch timed at jobs = 1 and jobs = service_jobs_parallel
+     on the warm cache.  Byte-equality of the two outputs is the
+     determinism claim; the counter delta across the timed runs is the
+     warm hit rate. *)
+  let service_batch =
+    List.concat_map
+      (fun (_, p) ->
+        let src = Imp.Pretty.program_to_string p in
+        List.map
+          (fun (c : Dflow.Oracle.combo) ->
+            Machine.Json.to_string
+              (Machine.Json.Assoc
+                 [
+                   ("op", Machine.Json.String "selfcheck-combo");
+                   ("source", Machine.Json.String src);
+                   ("combo", Machine.Json.String c.Dflow.Oracle.c_name);
+                 ]))
+          (Dflow.Oracle.combos_for p))
+      examples
+  in
+  let service_n = List.length service_batch in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  ignore
+    (Serve.Server.run_batch ~jobs:service_jobs_parallel service_batch);
+  let cache_before = Dflow.Memo.stats () in
+  let out1, secs1 =
+    timed (fun () -> Serve.Server.run_batch ~jobs:1 service_batch)
+  in
+  let outp, secsp =
+    timed (fun () ->
+        Serve.Server.run_batch ~jobs:service_jobs_parallel service_batch)
+  in
+  let cache_delta =
+    Service.Cache.diff ~after:(Dflow.Memo.stats ()) ~before:cache_before
+  in
+  let service_deterministic = out1 = outp in
+  let service_clean =
+    List.for_all
+      (fun line ->
+        match Machine.Json.member "ok" (Machine.Json.of_string line) with
+        | Some (Machine.Json.Bool true) -> true
+        | _ -> false)
+      out1
+  in
+  let service_hit_rate = Service.Cache.hit_rate cache_delta in
+  let service_speedup = secs1 /. secsp in
+  let service_cells =
+    List.map Machine.Profile.service_cell_json
+      [
+        {
+          Machine.Profile.sv_jobs = 1;
+          sv_batch = service_n;
+          sv_seconds = secs1;
+          sv_jobs_per_sec = float_of_int service_n /. secs1;
+          sv_speedup = 1.0;
+        };
+        {
+          Machine.Profile.sv_jobs = service_jobs_parallel;
+          sv_batch = service_n;
+          sv_seconds = secsp;
+          sv_jobs_per_sec = float_of_int service_n /. secsp;
+          sv_speedup = service_speedup;
+        };
+      ]
+  in
+  let service =
+    [
+      ("batch", Machine.Json.Int service_n);
+      ("cache_hits", Machine.Json.Int cache_delta.Service.Cache.hits);
+      ("cache_misses", Machine.Json.Int cache_delta.Service.Cache.misses);
+      ("cache_evictions", Machine.Json.Int cache_delta.Service.Cache.evictions);
+      ("hit_rate", Machine.Json.Float service_hit_rate);
+      ("deterministic", Machine.Json.Bool service_deterministic);
+      ("cells", Machine.Json.List service_cells);
+    ]
+  in
   let text =
     Machine.Json.to_string_pretty
-      (Machine.Profile.bench_file ~summary ~records ())
+      (Machine.Profile.bench_file ~summary ~service ~records ())
   in
   List.iter
     (fun (pname, sname) ->
@@ -1583,6 +1683,62 @@ let bench_json ~out ~programs_dir () =
           c.Machine.Profile.tp_firings_per_sec sp throughput_floor
   | None ->
       Fmt.epr "bench: warning: no stencil throughput cells in this matrix@.");
+  (* the batch-service floors of E25: byte-identical output at any jobs
+     setting, every job a success, a warm cache that actually hits, a
+     real parallel speedup, and a sane absolute rate *)
+  if not service_deterministic then begin
+    Fmt.epr
+      "bench: serve batch output DIFFERS between --jobs 1 and --jobs %d@."
+      service_jobs_parallel;
+    exit 1
+  end;
+  if not service_clean then begin
+    Fmt.epr "bench: serve batch contains failing jobs (see the output)@.";
+    exit 1
+  end;
+  if service_hit_rate < service_hit_rate_floor then begin
+    Fmt.epr
+      "bench: warm-cache hit rate %.2f below the floor %.2f (%d hits, %d \
+       misses)@."
+      service_hit_rate service_hit_rate_floor cache_delta.Service.Cache.hits
+      cache_delta.Service.Cache.misses;
+    exit 1
+  end;
+  (* the speedup floor needs hardware to speed up on: with fewer cores
+     than the parallel cell uses, extra domains are pure overhead, so
+     the floor is only enforced where it is physically meaningful
+     (CI runners qualify; the measured figure is recorded either way) *)
+  let service_can_scale =
+    Service.Pool.default_jobs () >= service_jobs_parallel
+  in
+  if service_can_scale && service_speedup < service_speedup_floor then begin
+    Fmt.epr
+      "bench: serve batch at --jobs %d only %.2fx over --jobs 1 (floor \
+       %.1fx; %.3fs vs %.3fs for %d jobs)@."
+      service_jobs_parallel service_speedup service_speedup_floor secsp secs1
+      service_n;
+    exit 1
+  end;
+  if not service_can_scale then
+    Fmt.epr
+      "bench: warning: only %d core(s) available; serve speedup floor not \
+       enforced (measured %.2fx at --jobs %d)@."
+      (Service.Pool.default_jobs ())
+      service_speedup service_jobs_parallel;
+  let service_rate = float_of_int service_n /. min secs1 secsp in
+  if service_rate < service_jobs_per_sec_floor then begin
+    Fmt.epr
+      "bench: serve batch sustained only %.1f jobs/sec (floor %.1f)@."
+      service_rate service_jobs_per_sec_floor;
+    exit 1
+  end;
+  Fmt.pr
+    "serve batch: %d jobs, %.2fx at --jobs %d (floor %.1fx when >= %d \
+     cores), %.1f jobs/sec (floor %.1f), warm hit rate %.2f (floor %.2f), \
+     byte-identical output@."
+    service_n service_speedup service_jobs_parallel service_speedup_floor
+    service_jobs_parallel service_rate service_jobs_per_sec_floor
+    service_hit_rate service_hit_rate_floor;
   let oc = open_out out in
   output_string oc text;
   close_out oc;
@@ -1590,7 +1746,7 @@ let bench_json ~out ~programs_dir () =
     "wrote %s: %d records (%d programs x %d schemas; multiproc sweep on %d \
      examples x %d schemas x p in {%s}; recovery sweep on %s at p=4 x \
      intervals {%s}; certificate sweep on every certified example cell x \
-     p in {%s})@."
+     p in {%s}; serve batch of %d combo jobs at jobs in {1,%d})@."
     out (List.length records) (List.length programs)
     (List.length bench_schemas) (List.length examples)
     (List.length mp_schemas)
@@ -1598,6 +1754,7 @@ let bench_json ~out ~programs_dir () =
     recovery_schema
     (String.concat "," (List.map string_of_int recovery_intervals))
     (String.concat "," (List.map string_of_int certificate_pe_counts))
+    service_n service_jobs_parallel
 
 (* ===================================================================== *)
 (* E21 -- multiprocessor scalability                                     *)

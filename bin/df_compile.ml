@@ -18,24 +18,8 @@ let read_program path =
   close_in ic;
   Imp.Parser.program_of_string src
 
-let spec_of_string (s : string) : (Dflow.Driver.spec, string) result =
-  match s with
-  | "1" | "schema1" -> Ok Dflow.Driver.Schema1
-  | "2" | "schema2" -> Ok (Dflow.Driver.Schema2 Dflow.Engine.Barrier)
-  | "2p" | "schema2-pipelined" ->
-      Ok (Dflow.Driver.Schema2 Dflow.Engine.Pipelined)
-  | "2opt" | "schema2-opt" -> Ok (Dflow.Driver.Schema2_opt Dflow.Engine.Barrier)
-  | "2optp" | "schema2-opt-pipelined" ->
-      Ok (Dflow.Driver.Schema2_opt Dflow.Engine.Pipelined)
-  | "3" | "schema3" ->
-      Ok (Dflow.Driver.Schema3 (Dflow.Driver.Classes, Dflow.Engine.Barrier))
-  | "3s" | "schema3-singleton" ->
-      Ok (Dflow.Driver.Schema3 (Dflow.Driver.Singleton, Dflow.Engine.Barrier))
-  | "3c" | "schema3-components" ->
-      Ok (Dflow.Driver.Schema3 (Dflow.Driver.Components, Dflow.Engine.Barrier))
-  | "fig8" -> Ok Dflow.Driver.Schema2_unsafe_no_loop_control
-  | "3bad" | "schema3-bad-cover" -> Ok Dflow.Driver.Schema3_unsafe_bad_cover
-  | _ -> Error (Fmt.str "unknown schema %S" s)
+(* schema names are shared with the serve protocol's "schema" field *)
+let spec_of_string = Serve.Server.spec_of_string
 
 let schema_conv : Dflow.Driver.spec Arg.conv =
   let parse s = match spec_of_string s with Ok v -> `Ok v | Error e -> `Error e in
@@ -728,7 +712,33 @@ let compare_term = Term.(const compare_cmd $ file_arg $ pes_arg $ mem_latency_ar
 
 (* --- selfcheck: the differential schema oracle ----------------------- *)
 
-let selfcheck_cmd seed count broken certify_only =
+(* --- serve: the batched, memoized, domain-parallel job server -------- *)
+
+let jobs_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the batch (default: the machine's \
+           recommended domain count).  Results are emitted in submission \
+           order and are byte-identical at every N.")
+
+(** Mirrors [engine_of_flag]: an out-of-range value prints a usage
+    message and exits 2. *)
+let jobs_of_flag (jobs : int option) : int =
+  match jobs with
+  | None -> Service.Pool.default_jobs ()
+  | Some n when n >= 1 -> n
+  | Some n ->
+      Fmt.epr "df_compile: --jobs must be at least 1 (got %d)@." n;
+      exit 2
+
+let serve_cmd jobs =
+  Serve.Server.serve ~jobs:(jobs_of_flag jobs) stdin stdout
+
+let serve_term = Term.(const serve_cmd $ jobs_arg)
+
+let selfcheck_cmd seed count broken certify_only jobs =
   (* certificate-only validation exercises the aliasing side too: the
      bad-cover variant is a no-op on alias-free programs, so the
      generator must be allowed to produce aliased ones *)
@@ -743,7 +753,7 @@ let selfcheck_cmd seed count broken certify_only =
   in
   let report =
     Dflow.Oracle.selfcheck ?gen ~seed ~count ~certify_only
-      ~include_broken:broken ()
+      ~include_broken:broken ~jobs:(jobs_of_flag jobs) ()
   in
   Fmt.pr "%a@." Dflow.Oracle.pp_report report;
   if report.Dflow.Oracle.r_divergences <> [] then begin
@@ -812,7 +822,8 @@ let selfcheck_term =
                collision detection off, reference store not compared. With \
                --broken, both unsound variants must still be caught. The \
                program generator is allowed to produce aliased programs so \
-               the bad-cover variant is exercised."))
+               the bad-cover variant is exercised.")
+    $ jobs_arg)
 
 (* --- command assembly ------------------------------------------------ *)
 
@@ -855,6 +866,15 @@ let cmds =
             combination against the reference interpreter on seeded random \
             programs, shrinking any divergence to a minimal reproducer")
       selfcheck_term;
+    Cmd.v
+      (Cmd.info "serve"
+         ~doc:
+           "Persistent batch service: read line-delimited JSON job \
+            requests (compile / run / simulate / selfcheck-combo / stats) \
+            on stdin, execute them on a fixed pool of worker domains with \
+            content-hashed memoization of the compilation pipeline, and \
+            write one JSON result line per job in submission order")
+      serve_term;
   ]
 
 let () =

@@ -86,6 +86,23 @@ type compiled = {
   spec : spec;
 }
 
+(** The schema-independent front end: everything the pipeline computes
+    before schema dispatch, bundled so a cache (or a client compiling
+    the same program under several schemas) pays for it once.  The loop
+    decomposition is eagerly attempted and its outcome captured — not a
+    [Lazy.t], which is unsafe to force from several domains — so a
+    shared front never raises on construction and Schema 1 still
+    accepts irreducible graphs. *)
+type front = {
+  f_program : Imp.Ast.program;
+  f_layout : Imp.Layout.t;
+  f_cfg : Cfg.Core.t;  (** as built (node-split if requested) *)
+  f_vars : string list;  (** flattened-program token universe *)
+  f_alias : Analysis.Alias.t;
+  f_loops : (Cfg.Loopify.t, exn) result;
+      (** interval/loop decomposition, or the [Irreducible] it raised *)
+}
+
 (** [cover_of choice alias] materialises the chosen cover. *)
 let cover_of (choice : cover_choice) (alias : Analysis.Alias.t) :
     Analysis.Cover.t =
@@ -121,15 +138,12 @@ let certify (tokens : Token_map.t) (c : compiled) : compiled =
   Dfg.Graph.set_cert c.graph (Some (make_cert tokens c.graph));
   c
 
-(** [compile ?transforms ?split_irreducible spec p] compiles program [p]
-    under [spec].
-    @raise Aliasing_unsupported for Schema 2 on aliased programs.
-    @raise Cfg.Intervals.Irreducible on irreducible control flow under
-    Schemas 2/3 unless [split_irreducible] is set (Schema 1 accepts any
-    CFG); with [split_irreducible], node splitting (code copying,
-    {!Cfg.Split}) makes the graph reducible first. *)
-let compile ?(transforms = no_transforms) ?(split_irreducible = false)
-    (spec : spec) (p : Imp.Ast.program) : compiled =
+(** [front ?split_irreducible p] runs the schema-independent stages:
+    typecheck, layout, CFG construction (optionally node-split until
+    reducible), flattened-variable collection, alias analysis, and the
+    interval/loop decomposition.
+    @raise Imp.Typecheck.Error on ill-typed programs. *)
+let front ?(split_irreducible = false) (p : Imp.Ast.program) : front =
   Imp.Typecheck.check_program p;
   let layout = Imp.Layout.of_program p in
   let g = Cfg.Builder.of_program p in
@@ -144,6 +158,28 @@ let compile ?(transforms = no_transforms) ?(split_irreducible = false)
      (procedure locals, case-lowering temporaries) *)
   let vars = Imp.Flat.vars (Imp.Flat.flatten p) in
   let alias = Analysis.Alias.of_program p in
+  let loops = try Ok (Cfg.Loopify.transform g) with e -> Error e in
+  {
+    f_program = p;
+    f_layout = layout;
+    f_cfg = g;
+    f_vars = vars;
+    f_alias = alias;
+    f_loops = loops;
+  }
+
+(** [compile_front ?transforms fr spec] dispatches a front end to a
+    schema.  Exceptions as for {!compile}. *)
+let compile_front ?(transforms = no_transforms) (fr : front) (spec : spec) :
+    compiled =
+  let p = fr.f_program in
+  let layout = fr.f_layout in
+  let g = fr.f_cfg in
+  let vars = fr.f_vars in
+  let alias = fr.f_alias in
+  let loopify () =
+    match fr.f_loops with Ok lp -> lp | Error e -> raise e
+  in
   let check_no_alias () =
     if Analysis.Alias.has_aliasing alias then
       raise
@@ -186,7 +222,7 @@ let compile ?(transforms = no_transforms) ?(split_irreducible = false)
         }
   | Schema2 lc ->
       check_no_alias ();
-      let lp = Cfg.Loopify.transform g in
+      let lp = loopify () in
       let value_vars = value_vars_of lp in
       let async_arrays =
         if transforms.array_parallel then Transforms.async_candidates p lp
@@ -230,7 +266,7 @@ let compile ?(transforms = no_transforms) ?(split_irreducible = false)
         certify tokens c
       else c
   | Schema3 (choice, lc) ->
-      let lp = Cfg.Loopify.transform g in
+      let lp = loopify () in
       let cover = cover_of choice alias in
       certify
         (Token_map.of_cover alias cover)
@@ -242,7 +278,7 @@ let compile ?(transforms = no_transforms) ?(split_irreducible = false)
           spec;
         }
   | Schema3_unsafe_bad_cover ->
-      let lp = Cfg.Loopify.transform g in
+      let lp = loopify () in
       let cover = cover_of Singleton alias in
       let tokens = Token_map.of_cover alias cover in
       (* the seeded miscompilation: wire every memory operation to collect
@@ -268,7 +304,7 @@ let compile ?(transforms = no_transforms) ?(split_irreducible = false)
         }
   | Schema2_opt lc ->
       check_no_alias ();
-      let lp = Cfg.Loopify.transform g in
+      let lp = loopify () in
       let value_vars = value_vars_of lp in
       let c =
         {
@@ -281,6 +317,17 @@ let compile ?(transforms = no_transforms) ?(split_irreducible = false)
         }
       in
       if value_vars = [] then certify (Token_map.per_variable vars) c else c
+
+(** [compile ?transforms ?split_irreducible spec p] compiles program [p]
+    under [spec]: {!front} then {!compile_front}.
+    @raise Aliasing_unsupported for Schema 2 on aliased programs.
+    @raise Cfg.Intervals.Irreducible on irreducible control flow under
+    Schemas 2/3 unless [split_irreducible] is set (Schema 1 accepts any
+    CFG); with [split_irreducible], node splitting (code copying,
+    {!Cfg.Split}) makes the graph reducible first. *)
+let compile ?transforms ?split_irreducible (spec : spec)
+    (p : Imp.Ast.program) : compiled =
+  compile_front ?transforms (front ?split_irreducible p) spec
 
 (** [compile_string ?transforms spec src] parses and compiles. *)
 let compile_string ?transforms ?split_irreducible (spec : spec) (src : string)

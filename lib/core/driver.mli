@@ -58,6 +58,30 @@ type compiled = {
   spec : spec;
 }
 
+(** The schema-independent front end: typecheck, layout, CFG (optionally
+    node-split), flattened-variable universe, alias analysis, and the
+    interval/loop decomposition.  The decomposition is attempted eagerly
+    with its outcome captured (no [Lazy.t] — unsafe across domains), so
+    a front can be computed once, cached, and dispatched to any number
+    of schemas: Schema 1 ignores a failed decomposition, the others
+    re-raise it at dispatch exactly as {!compile} always has. *)
+type front = {
+  f_program : Imp.Ast.program;
+  f_layout : Imp.Layout.t;
+  f_cfg : Cfg.Core.t;  (** as built (node-split if requested) *)
+  f_vars : string list;  (** flattened-program token universe *)
+  f_alias : Analysis.Alias.t;
+  f_loops : (Cfg.Loopify.t, exn) result;
+}
+
+(** [front ?split_irreducible p] runs the schema-independent stages.
+    @raise Imp.Typecheck.Error on ill-typed programs. *)
+val front : ?split_irreducible:bool -> Imp.Ast.program -> front
+
+(** [compile_front ?transforms fr spec] dispatches a front end to a
+    schema.  Exceptions as for {!compile}. *)
+val compile_front : ?transforms:transforms -> front -> spec -> compiled
+
 (** [cover_of choice alias] materialises the chosen cover. *)
 val cover_of : cover_choice -> Analysis.Alias.t -> Analysis.Cover.t
 

@@ -195,10 +195,14 @@ let run_combo ?(machine = default_machine) ?(certify_only = false) (c : combo)
       { machine with Machine.Config.detect_collisions = false }
     else machine
   in
-  match Imp.Eval.run_program ~fuel:1_000_000 p with
+  (* both the reference store and the compiled graph come from the
+     process-global memo: a program's 20+ combos (and any number of
+     shrink probes) evaluate the reference once and run the front end /
+     per-schema translation once per distinct (spec, transforms) *)
+  match Memo.reference ~fuel:1_000_000 p with
   | exception Imp.Eval.Out_of_fuel -> Skip "reference out of fuel"
   | reference -> (
-      match Driver.compile ~transforms:c.c_transforms c.c_spec p with
+      match Memo.compile ~transforms:c.c_transforms c.c_spec p with
       | exception Cfg.Intervals.Irreducible m -> Skip ("irreducible: " ^ m)
       | exception Driver.Aliasing_unsupported m -> Skip ("aliasing: " ^ m)
       | exception exn -> Fail ("compile: " ^ Printexc.to_string exn)
@@ -440,8 +444,8 @@ type report = {
 }
 
 let selfcheck ?(gen = Workloads.Random_gen.default_config) ?machine
-    ?certify_only ?(include_broken = false) ?(max_shrunk = 3) ~seed ~count ()
-    : report =
+    ?certify_only ?(include_broken = false) ?(max_shrunk = 3) ?(jobs = 1)
+    ~seed ~count () : report =
   let rand = Random.State.make [| seed |] in
   let agreements = ref 0 in
   let skips = ref 0 in
@@ -455,40 +459,60 @@ let selfcheck ?(gen = Workloads.Random_gen.default_config) ?machine
     Hashtbl.replace matrix name
       (1 + (try Hashtbl.find matrix name with Not_found -> 0))
   in
-  for index = 0 to count - 1 do
-    let p = Workloads.Random_gen.structured ~config:gen rand in
-    List.iter
-      (fun c ->
-        match run_combo ?machine ?certify_only c p with
-        | Agree ->
-            bump c.c_name;
-            incr agreements
-        | Skip _ -> incr skips
-        | Fail reason ->
-            bump c.c_name;
-            let bucket = if c.c_broken then broken_caught else divergences in
-            let shrunk, steps =
-              if List.length !bucket < max_shrunk then
-                minimize
-                  (fun q ->
-                    match run_combo ?machine ?certify_only c q with
-                    | Fail _ -> true
-                    | Agree | Skip _ -> false)
-                  p
-              else (p, 0)
-            in
-            bucket :=
-              {
-                dv_index = index;
-                dv_combo = c.c_name;
-                dv_reason = reason;
-                dv_program = p;
-                dv_shrunk = shrunk;
-                dv_steps = steps;
-              }
-              :: !bucket)
-      (combos_for ~include_broken p)
-  done;
+  (* The whole (program x combo) grid is materialised up front — random
+     generation stays a single sequential draw from [rand] — and then
+     submitted as one batch to the domain pool.  run_combo is pure
+     modulo the single-flight memo, so statuses are independent of
+     scheduling; folding them back in submission order makes the report
+     (matrix order, shrink budget consumption) identical at any [jobs],
+     including the sequential jobs=1 of the original loop. *)
+  let grid =
+    Array.concat
+      (List.init count (fun index ->
+           let p = Workloads.Random_gen.structured ~config:gen rand in
+           Array.of_list
+             (List.map (fun c -> (index, p, c)) (combos_for ~include_broken p))))
+  in
+  let statuses =
+    Service.Pool.map ~jobs
+      (fun (_, p, c) -> run_combo ?machine ?certify_only c p)
+      grid
+  in
+  Array.iteri
+    (fun i st ->
+      let index, p, c = grid.(i) in
+      let st = match st with Ok st -> st | Error e -> raise e in
+      match st with
+      | Agree ->
+          bump c.c_name;
+          incr agreements
+      | Skip _ -> incr skips
+      | Fail reason ->
+          bump c.c_name;
+          let bucket = if c.c_broken then broken_caught else divergences in
+          (* shrinking stays sequential, after the parallel phase: it
+             consumes the bounded per-bucket budget in grid order *)
+          let shrunk, steps =
+            if List.length !bucket < max_shrunk then
+              minimize
+                (fun q ->
+                  match run_combo ?machine ?certify_only c q with
+                  | Fail _ -> true
+                  | Agree | Skip _ -> false)
+                p
+            else (p, 0)
+          in
+          bucket :=
+            {
+              dv_index = index;
+              dv_combo = c.c_name;
+              dv_reason = reason;
+              dv_program = p;
+              dv_shrunk = shrunk;
+              dv_steps = steps;
+            }
+            :: !bucket)
+    statuses;
   {
     r_seed = seed;
     r_count = count;

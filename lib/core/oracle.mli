@@ -121,15 +121,19 @@ type report = {
 
 (** [selfcheck ~seed ~count ()] generates [count] random structured
     programs from [seed] and validates each against every applicable
-    combo.  Every divergence is shrunk to a minimal reproducer (the
-    first [max_shrunk] per category; later ones are recorded unshrunk).
-    Deterministic: same seed, same report. *)
+    combo.  The whole (program x combo) grid is submitted as one batch
+    to a {!Service.Pool} of [jobs] domains (default 1); statuses are
+    folded back in submission order, so the report is identical at any
+    [jobs] setting.  Every divergence is shrunk to a minimal reproducer
+    (the first [max_shrunk] per category; later ones are recorded
+    unshrunk).  Deterministic: same seed, same report. *)
 val selfcheck :
   ?gen:Workloads.Random_gen.config ->
   ?machine:Machine.Config.t ->
   ?certify_only:bool ->
   ?include_broken:bool ->
   ?max_shrunk:int ->
+  ?jobs:int ->
   seed:int ->
   count:int ->
   unit ->

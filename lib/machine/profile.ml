@@ -390,7 +390,7 @@ let pp ppf (p : t) =
 (* ---------------------------------------------------------------- *)
 (* benchmark records (shared by bench/main.ml and the tests)        *)
 
-let bench_schema_version = 5
+let bench_schema_version = 6
 
 type mp_cell = {
   mp_pes : int;
@@ -563,8 +563,29 @@ let bench_record ~(program : string) ~(schema : string) ~(status : string)
   in
   Json.Assoc (base @ static @ dynamic @ extra)
 
+(* One timed point of the batch-service sweep: the oracle grid pushed
+   through [df_compile serve] at a given domain count. *)
+type service_cell = {
+  sv_jobs : int;
+  sv_batch : int;  (** jobs in the batch *)
+  sv_seconds : float;
+  sv_jobs_per_sec : float;
+  sv_speedup : float;  (** vs the [jobs = 1] cell (1.0 there) *)
+}
+
+let service_cell_json (c : service_cell) : Json.t =
+  Json.Assoc
+    [
+      ("jobs", Json.Int c.sv_jobs);
+      ("batch", Json.Int c.sv_batch);
+      ("seconds", Json.Float c.sv_seconds);
+      ("jobs_per_sec", Json.Float c.sv_jobs_per_sec);
+      ("speedup", Json.Float c.sv_speedup);
+    ]
+
 let bench_file ?(summary : (string * Json.t) list option)
-    ~(records : Json.t list) () : Json.t =
+    ?(service : (string * Json.t) list option) ~(records : Json.t list) () :
+    Json.t =
   Json.Assoc
     ([
        ( "meta",
@@ -577,6 +598,9 @@ let bench_file ?(summary : (string * Json.t) list option)
      ]
     @ (match summary with
       | Some s -> [ ("multiproc_summary", Json.Assoc s) ]
+      | None -> [])
+    @ (match service with
+      | Some s -> [ ("service", Json.Assoc s) ]
       | None -> [])
     @ [ ("records", Json.List records) ])
 
@@ -624,6 +648,71 @@ let validate_bench (j : Json.t) : (unit, string) result =
         in
         if det then Ok ()
         else Error "multiproc_summary: determinacy divergence in the matrix"
+  in
+  (* the batch-service section is optional (a matrix-less run emits
+     none) but when present the cells must be well-typed, the cache
+     counters consistent, and the byte-determinism bit must hold — a
+     batch whose output depends on the jobs setting is a validation
+     failure *)
+  let* () =
+    match Json.member "service" j with
+    | None -> Ok ()
+    | Some s ->
+        let int key = Option.bind (Json.member key s) Json.to_int_opt in
+        let need_nonneg key =
+          match int key with
+          | Some v when v >= 0 -> Ok ()
+          | Some _ -> Error (Fmt.str "service: negative %s" key)
+          | None -> Error (Fmt.str "service: missing int %s" key)
+        in
+        let* () = need_nonneg "cache_hits" in
+        let* () = need_nonneg "cache_misses" in
+        let* () = need_nonneg "cache_evictions" in
+        let* _ =
+          req "service: missing hit_rate"
+            (Option.bind (Json.member "hit_rate" s) Json.to_float_opt)
+        in
+        let* det =
+          req "service: missing deterministic"
+            (Option.bind (Json.member "deterministic" s) Json.to_bool_opt)
+        in
+        let* () =
+          if det then Ok ()
+          else Error "service: batch output depends on the jobs setting"
+        in
+        let* cells =
+          req "service: missing cells"
+            (Option.bind (Json.member "cells" s) Json.to_list_opt)
+        in
+        let* () = if cells = [] then Error "service: no cells" else Ok () in
+        let check_cell k c =
+          let where what = Fmt.str "service cell %d: %s" k what in
+          let int key = Option.bind (Json.member key c) Json.to_int_opt in
+          let flt key = Option.bind (Json.member key c) Json.to_float_opt in
+          let* jobs = req (where "missing jobs") (int "jobs") in
+          let* () = if jobs >= 1 then Ok () else Error (where "jobs < 1") in
+          let* batch = req (where "missing batch") (int "batch") in
+          let* () = if batch >= 1 then Ok () else Error (where "batch < 1") in
+          let* secs = req (where "missing seconds") (flt "seconds") in
+          let* () =
+            if secs > 0.0 then Ok ()
+            else Error (where "non-positive seconds")
+          in
+          let* rate = req (where "missing jobs_per_sec") (flt "jobs_per_sec") in
+          let* () =
+            if rate > 0.0 then Ok ()
+            else Error (where "non-positive jobs_per_sec")
+          in
+          let* sp = req (where "missing speedup") (flt "speedup") in
+          if sp > 0.0 then Ok () else Error (where "non-positive speedup")
+        in
+        let rec cells_ok k = function
+          | [] -> Ok ()
+          | c :: rest ->
+              let* () = check_cell k c in
+              cells_ok (k + 1) rest
+        in
+        cells_ok 0 cells
   in
   let check_mp_cell i program k c =
     let int key = Option.bind (Json.member key c) Json.to_int_opt in

@@ -178,19 +178,42 @@ val bench_record :
   unit ->
   Json.t
 
+(** One timed point of the batch-service sweep (E25): the oracle's
+    (program × combo) grid submitted as one batch to
+    [df_compile serve] at a given domain count.  [sv_speedup] is
+    relative to the [sv_jobs = 1] cell of the same section (so that
+    cell carries [1.0]). *)
+type service_cell = {
+  sv_jobs : int;  (** worker domains *)
+  sv_batch : int;  (** jobs in the batch *)
+  sv_seconds : float;  (** best-of wall-clock seconds for the batch *)
+  sv_jobs_per_sec : float;  (** [sv_batch / sv_seconds] *)
+  sv_speedup : float;  (** jobs=1 seconds / this cell's seconds *)
+}
+
+val service_cell_json : service_cell -> Json.t
+
 (** The whole document: meta header, optional [multiproc_summary]
     scalars (e.g. [speedup_p8], [cut_traffic_ratio],
-    [multiproc_determinate]) and the records. *)
-val bench_file : ?summary:(string * Json.t) list -> records:Json.t list ->
-  unit -> Json.t
+    [multiproc_determinate]), optional [service] section (cache
+    counters, [deterministic] byte-stability bit, and the timed
+    {!service_cell}s under ["cells"]) and the records. *)
+val bench_file :
+  ?summary:(string * Json.t) list ->
+  ?service:(string * Json.t) list ->
+  records:Json.t list ->
+  unit ->
+  Json.t
 
 (** Structural validation of a BENCH document: meta version, required
     fields per ["ok"] record, [reference_ok = true] everywhere, every
     multiproc cell [determinate], every recovery cell [recovered] with
     well-typed cost accounting, every certificate cell
     [certified_clean] with well-typed overhead accounting, every
-    throughput cell with a positive rate and [identical_store], and — when
+    throughput cell with a positive rate and [identical_store], when
     the summary block is present — well-typed scalars with
-    [multiproc_determinate = true].  Any divergence is a validation
-    error. *)
+    [multiproc_determinate = true] — and when the [service] section is
+    present: well-typed cache counters and cells with
+    [deterministic = true] (byte-identical batch output at every jobs
+    setting).  Any divergence is a validation error. *)
 val validate_bench : Json.t -> (unit, string) result

@@ -1,0 +1,134 @@
+type 'a entry =
+  | Computing  (** some domain is running the compute function *)
+  | Ready of ('a, exn) result
+
+type 'a t = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+  table : (string, 'a entry) Hashtbl.t;
+  last_use : (string, int) Hashtbl.t;  (** completed keys -> LRU tick *)
+  capacity : int;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+type stats = { hits : int; misses : int; evictions : int; size : int }
+
+let create ?(capacity = 1024) () =
+  {
+    mutex = Mutex.create ();
+    cond = Condition.create ();
+    table = Hashtbl.create 64;
+    last_use = Hashtbl.create 64;
+    capacity = max 1 capacity;
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let touch t key =
+  t.tick <- t.tick + 1;
+  Hashtbl.replace t.last_use key t.tick
+
+(* Evict completed least-recently-used entries until at most [capacity]
+   remain.  In-flight Computing entries are never evicted (their waiters
+   hold no reference we could honour) and don't count against capacity. *)
+let evict_over_capacity t =
+  while Hashtbl.length t.last_use > t.capacity do
+    let victim =
+      Hashtbl.fold
+        (fun key tick acc ->
+          match acc with
+          | Some (_, best) when best <= tick -> acc
+          | _ -> Some (key, tick))
+        t.last_use None
+    in
+    match victim with
+    | None -> ()
+    | Some (key, _) ->
+        Hashtbl.remove t.table key;
+        Hashtbl.remove t.last_use key;
+        t.evictions <- t.evictions + 1
+  done
+
+let find_or_compute (t : 'a t) ~(key : string) (f : unit -> 'a) : 'a =
+  Mutex.lock t.mutex;
+  (* Classify the lookup once, at first observation: present (ready or
+     in flight) is a hit, absent is a miss.  Waiting and re-checking
+     must not count again. *)
+  let rec await counted =
+    match Hashtbl.find_opt t.table key with
+    | Some (Ready r) ->
+        if not counted then t.hits <- t.hits + 1;
+        touch t key;
+        Mutex.unlock t.mutex;
+        (match r with Ok v -> v | Error e -> raise e)
+    | Some Computing ->
+        if not counted then t.hits <- t.hits + 1;
+        Condition.wait t.cond t.mutex;
+        await true
+    | None ->
+        if counted then
+          (* the computing domain's entry vanished (reset under our
+             feet); fall through and recompute without recounting *)
+          ()
+        else t.misses <- t.misses + 1;
+        Hashtbl.replace t.table key Computing;
+        Mutex.unlock t.mutex;
+        let r = try Ok (f ()) with e -> Error e in
+        Mutex.lock t.mutex;
+        Hashtbl.replace t.table key (Ready r);
+        touch t key;
+        evict_over_capacity t;
+        Condition.broadcast t.cond;
+        Mutex.unlock t.mutex;
+        (match r with Ok v -> v | Error e -> raise e)
+  in
+  await false
+
+let stats t =
+  Mutex.lock t.mutex;
+  let s =
+    {
+      hits = t.hits;
+      misses = t.misses;
+      evictions = t.evictions;
+      size = Hashtbl.length t.table;
+    }
+  in
+  Mutex.unlock t.mutex;
+  s
+
+let hit_rate (s : stats) : float =
+  let total = s.hits + s.misses in
+  if total = 0 then 0.0 else float_of_int s.hits /. float_of_int total
+
+let diff ~(after : stats) ~(before : stats) : stats =
+  {
+    hits = after.hits - before.hits;
+    misses = after.misses - before.misses;
+    evictions = after.evictions - before.evictions;
+    size = after.size;
+  }
+
+let add (a : stats) (b : stats) : stats =
+  {
+    hits = a.hits + b.hits;
+    misses = a.misses + b.misses;
+    evictions = a.evictions + b.evictions;
+    size = a.size + b.size;
+  }
+
+let reset t =
+  Mutex.lock t.mutex;
+  Hashtbl.reset t.table;
+  Hashtbl.reset t.last_use;
+  t.tick <- 0;
+  t.hits <- 0;
+  t.misses <- 0;
+  t.evictions <- 0;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mutex

@@ -1,0 +1,53 @@
+(** Content-addressed, single-flight memoization cache.
+
+    Keys are opaque strings (produced by {!Hash.key}); values are
+    whatever the compute function returns.  Three properties matter to
+    the service layer:
+
+    - {b Single-flight}: when several domains ask for the same absent
+      key concurrently, exactly one runs the compute function; the
+      others block on a condition variable and receive the same result.
+      This is what makes the hit/miss counters deterministic under
+      parallelism — misses always equal the number of distinct keys
+      computed, no matter how the scheduler interleaves the domains.
+    - {b Failure caching}: a compute function that raises has its
+      exception cached and re-raised on every subsequent lookup of that
+      key.  Compilation failures are deterministic, so retrying them
+      would only re-pay the cost of discovering the same error.
+    - {b Bounded}: at most [capacity] completed entries are retained;
+      beyond that the least-recently-used entry is evicted (and
+      counted).  Note that an evicted key looked up again recomputes —
+      a second miss for the same content — so under parallel load with
+      an undersized cache the counters regain a scheduling dependence.
+      Size the capacity above the working set (the defaults do). *)
+
+type 'a t
+
+type stats = {
+  hits : int;  (** lookups answered from the table (incl. waiters) *)
+  misses : int;  (** lookups that ran the compute function *)
+  evictions : int;  (** completed entries dropped for capacity *)
+  size : int;  (** entries currently resident *)
+}
+
+val create : ?capacity:int -> unit -> 'a t
+(** [capacity] defaults to 1024 entries. *)
+
+val find_or_compute : 'a t -> key:string -> (unit -> 'a) -> 'a
+(** [find_or_compute t ~key f] returns the cached value for [key],
+    computing it with [f] (outside the cache lock) on first use.
+    Re-raises the cached exception if [f] raised. *)
+
+val stats : 'a t -> stats
+val hit_rate : stats -> float
+(** [hits / (hits + misses)]; 0 when there were no lookups. *)
+
+val diff : after:stats -> before:stats -> stats
+(** Counter delta between two snapshots of the same cache ([size] is
+    taken from [after]). *)
+
+val add : stats -> stats -> stats
+(** Pointwise sum — for aggregating the counters of several caches. *)
+
+val reset : 'a t -> unit
+(** Drop every entry and zero the counters. *)

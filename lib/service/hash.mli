@@ -1,0 +1,24 @@
+(** Stable content hashing for the compilation cache.
+
+    Cache keys must be reproducible across runs and across machines, so
+    they are built from an explicit FNV-1a computation over the raw key
+    material — never from [Hashtbl.hash], whose value is unspecified and
+    free to change between compiler releases.
+
+    Keying is deliberately *raw-text*: two sources that differ only in
+    whitespace or comments hash to distinct keys.  Canonicalising before
+    hashing would re-run the parser on every lookup, which is exactly
+    the work the cache exists to avoid; a spurious miss costs one
+    recompile, a spurious hit would be unsound. *)
+
+val fnv1a : ?seed:int64 -> string -> int64
+(** 64-bit FNV-1a of a byte string.  [seed] overrides the standard
+    offset basis (used internally to derive a second independent
+    stream). *)
+
+val key : string list -> string
+(** [key parts] is a 32-hex-character digest of the parts.  Each part is
+    length-prefixed before hashing, so [["ab"; "c"]] and [["a"; "bc"]]
+    produce distinct keys.  Two independent 64-bit FNV-1a streams are
+    concatenated, making accidental collisions negligible at cache
+    scale (birthday bound ~2^64 keys). *)

@@ -1,0 +1,83 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+let check_jobs jobs =
+  if jobs < 1 then
+    invalid_arg (Printf.sprintf "Pool: jobs must be at least 1 (got %d)" jobs)
+
+let run_task f x = try Ok (f x) with e -> Error e
+
+let map ?(jobs = default_jobs ()) (f : 'a -> 'b) (items : 'a array) :
+    ('b, exn) result array =
+  check_jobs jobs;
+  let n = Array.length items in
+  let results = Array.make n (Error Not_found) in
+  let workers = min jobs n in
+  if workers <= 1 then
+    Array.iteri (fun i x -> results.(i) <- run_task f x) items
+  else begin
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec go () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (* distinct indices: no two domains ever touch the same slot,
+             and Domain.join publishes every write to the caller *)
+          results.(i) <- run_task f items.(i);
+          go ()
+        end
+      in
+      go ()
+    in
+    let spawned = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join spawned
+  end;
+  results
+
+let map_emit ?(jobs = default_jobs ())
+    ~(emit : int -> ('b, exn) result -> unit) (f : 'a -> 'b)
+    (items : 'a array) : unit =
+  check_jobs jobs;
+  let n = Array.length items in
+  let workers = min jobs n in
+  if workers <= 1 then
+    Array.iteri (fun i x -> emit i (run_task f x)) items
+  else begin
+    let slots : ('b, exn) result option array = Array.make n None in
+    let mutex = Mutex.create () in
+    let flushed = ref 0 in
+    let next = Atomic.make 0 in
+    (* the flush front: whoever completes slot [!flushed] drains every
+       contiguous ready slot, under the mutex, so emissions are strictly
+       ordered and never concurrent *)
+    let deposit i r =
+      Mutex.lock mutex;
+      slots.(i) <- Some r;
+      let rec drain () =
+        if !flushed < n then
+          match slots.(!flushed) with
+          | Some r ->
+              let i = !flushed in
+              incr flushed;
+              slots.(i) <- None;
+              emit i r;
+              drain ()
+          | None -> ()
+      in
+      drain ();
+      Mutex.unlock mutex
+    in
+    let worker () =
+      let rec go () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          deposit i (run_task f items.(i));
+          go ()
+        end
+      in
+      go ()
+    in
+    let spawned = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join spawned
+  end

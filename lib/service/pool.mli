@@ -1,0 +1,29 @@
+(** Fixed-size domain pool with deterministic, submission-ordered
+    results.
+
+    There is deliberately no work stealing and no reordering: workers
+    pull the next task index from a shared atomic counter, write their
+    result into a slot owned by that index, and the caller reads the
+    slots back in index order.  Scheduling can change *when* a task
+    runs, never *where* its result lands — which is why a batch's
+    output stream is byte-stable at any [jobs] setting. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a array -> ('b, exn) result array
+(** [map ~jobs f items] applies [f] to every item on at most [jobs]
+    domains (default {!default_jobs}) and returns per-item results in
+    input order.  A task that raises yields [Error] in its own slot and
+    never disturbs its neighbours.  [jobs <= 1] runs inline on the
+    calling domain — same results, no domains spawned.
+    @raise Invalid_argument if [jobs < 1]. *)
+
+val map_emit :
+  ?jobs:int -> emit:(int -> ('b, exn) result -> unit) -> ('a -> 'b) ->
+  'a array -> unit
+(** Like {!map} but streams: [emit i r] is called exactly once per item,
+    strictly in index order, as soon as every result up to [i] is
+    available.  [emit] runs on the calling domain for [jobs <= 1] and on
+    whichever worker completes the flush-front otherwise, but never
+    concurrently with itself. *)

@@ -136,6 +136,56 @@ let test_schema_fig8 () =
   checki "exit" 0 code;
   checkb "ok" true (contains out "reference check  ok")
 
+let test_serve_smoke () =
+  (* a small batch through the real binary: one result line per job, in
+     order, with a per-job error for the malformed line *)
+  let jobs =
+    write_temp ".jsonl"
+      ({|{"op":"compile","source":"x := 1"}|} ^ "\n"
+      ^ {|{"op":"run","source":"x := 1 y := x + 1","schema":"2opt"}|} ^ "\n"
+      ^ "{not json\n" ^ {|{"op":"stats"}|} ^ "\n")
+  in
+  let code, out = capture (Fmt.str "%s serve < %s" binary jobs) in
+  checki "exit code" 0 code;
+  let lines = String.split_on_char '\n' (String.trim out) in
+  checki "one line per job" 4 (List.length lines);
+  checkb "compile ok" true (contains (List.nth lines 0) "\"ok\":true");
+  checkb "run checked reference" true
+    (contains (List.nth lines 1) "\"reference\":\"ok\"");
+  checkb "malformed line is a per-job error" true
+    (contains (List.nth lines 2) "\"ok\":false"
+    && contains (List.nth lines 2) "\"id\":2");
+  checkb "stats answered" true (contains (List.nth lines 3) "\"hit_rate\"")
+
+let test_serve_bad_jobs () =
+  (* --jobs below 1 is a usage error, same contract as --engine *)
+  List.iter
+    (fun n ->
+      let code, out =
+        capture (Fmt.str "echo '' | %s serve --jobs=%d" binary n)
+      in
+      checki (Fmt.str "jobs=%d exit code" n) 2 code;
+      checkb "error names the flag" true (contains out "--jobs"))
+    [ 0; -3 ];
+  (* selfcheck shares the flag and the validation *)
+  let code, out = capture (Fmt.str "%s selfcheck --count 1 --jobs 0" binary) in
+  checki "selfcheck jobs=0 exit code" 2 code;
+  checkb "error names the flag" true (contains out "--jobs")
+
+let test_serve_jobs_byte_identical () =
+  let jobs =
+    write_temp ".jsonl"
+      ({|{"op":"run","source":"i := 0 s := 0 while i < 6 do s := s + i i := i + 1 end","schema":"2p"}|}
+     ^ "\n"
+      ^ {|{"op":"simulate","source":"i := 0 s := 0 while i < 6 do s := s + i i := i + 1 end","schema":"2optp","pes":4,"fault-seed":7,"recover":true}|}
+     ^ "\n")
+  in
+  let c1, out1 = capture (Fmt.str "%s serve --jobs 1 < %s" binary jobs) in
+  let c4, out4 = capture (Fmt.str "%s serve --jobs 4 < %s" binary jobs) in
+  checki "jobs 1 exit" 0 c1;
+  checki "jobs 4 exit" 0 c4;
+  Alcotest.(check string) "byte-identical output" out1 out4
+
 let () =
   if not (Sys.file_exists binary) then begin
     print_endline "df_compile binary not found; skipping CLI tests";
@@ -156,5 +206,10 @@ let () =
             test_simulate_with_recovery;
           Alcotest.test_case "bad input fails" `Quick test_bad_input_fails;
           Alcotest.test_case "fig8 on acyclic program" `Quick test_schema_fig8;
+          Alcotest.test_case "serve smoke" `Quick test_serve_smoke;
+          Alcotest.test_case "serve rejects bad --jobs" `Quick
+            test_serve_bad_jobs;
+          Alcotest.test_case "serve byte-identical across jobs" `Quick
+            test_serve_jobs_byte_identical;
         ] );
     ]

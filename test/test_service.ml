@@ -1,0 +1,330 @@
+(* Tests of the batch-service layer: the stable content hash, the
+   single-flight memoization cache, the deterministic domain pool, the
+   process-global compilation cache (cached == uncached, by qcheck),
+   and the serve protocol's byte-stability across jobs settings. *)
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1))
+  in
+  go 0
+
+(* --- Hash ------------------------------------------------------------ *)
+
+let test_hash_stable () =
+  (* same parts, same key -- and the digest is pinned, so a change to
+     the hash function (which would silently orphan every cached
+     artifact across runs) fails loudly here *)
+  checks "pinned digest" "ffd9c7b64661d4ff2a6d597c7c90a166"
+    (Service.Hash.key [ "df"; "compile" ]);
+  checks "identical parts, identical key"
+    (Service.Hash.key [ "x := 1"; "schema2" ])
+    (Service.Hash.key [ "x := 1"; "schema2" ]);
+  checki "32 hex chars" 32 (String.length (Service.Hash.key []))
+
+let test_hash_framing () =
+  (* part boundaries are part of the digest *)
+  checkb "[ab;c] <> [a;bc]" true
+    (Service.Hash.key [ "ab"; "c" ] <> Service.Hash.key [ "a"; "bc" ]);
+  checkb "[] <> [\"\"]" true (Service.Hash.key [] <> Service.Hash.key [ "" ])
+
+let test_hash_raw_text () =
+  (* keying is deliberately raw-text: whitespace and comment edits give
+     distinct keys (a spurious miss costs one recompile; canonicalising
+     would re-run the parser on every lookup) *)
+  checkb "whitespace edit, distinct key" true
+    (Service.Hash.key [ "x := 1" ] <> Service.Hash.key [ "x  := 1" ]);
+  checkb "trailing newline, distinct key" true
+    (Service.Hash.key [ "x := 1" ] <> Service.Hash.key [ "x := 1\n" ])
+
+(* --- Cache ----------------------------------------------------------- *)
+
+let test_cache_counters () =
+  let c = Service.Cache.create () in
+  let runs = ref 0 in
+  let get k =
+    Service.Cache.find_or_compute c ~key:k (fun () ->
+        incr runs;
+        String.length k)
+  in
+  checki "computed" 1 (get "a");
+  checki "cached" 1 (get "a");
+  checki "other key" 2 (get "bb");
+  checki "compute ran once per key" 2 !runs;
+  let s = Service.Cache.stats c in
+  checki "hits" 1 s.Service.Cache.hits;
+  checki "misses" 2 s.Service.Cache.misses;
+  checki "evictions" 0 s.Service.Cache.evictions;
+  checki "size" 2 s.Service.Cache.size;
+  Alcotest.(check (float 0.001)) "hit rate" (1. /. 3.)
+    (Service.Cache.hit_rate s)
+
+let test_cache_eviction () =
+  let c = Service.Cache.create ~capacity:2 () in
+  let get k = Service.Cache.find_or_compute c ~key:k (fun () -> k) in
+  ignore (get "a");
+  ignore (get "b");
+  ignore (get "c");
+  (* capacity 2: "a" (least recently used) was dropped *)
+  let s = Service.Cache.stats c in
+  checki "one eviction" 1 s.Service.Cache.evictions;
+  checki "size bounded" 2 s.Service.Cache.size;
+  ignore (get "a");
+  let s = Service.Cache.stats c in
+  checki "evicted key recomputes" 4 s.Service.Cache.misses
+
+let test_cache_failure_cached () =
+  let c = Service.Cache.create () in
+  let runs = ref 0 in
+  let get () =
+    Service.Cache.find_or_compute c ~key:"boom" (fun () ->
+        incr runs;
+        failwith "deterministic failure")
+  in
+  let raised f = match f () with exception Failure _ -> true | _ -> false in
+  checkb "first lookup raises" true (raised get);
+  checkb "second lookup re-raises" true (raised get);
+  checki "compute ran once" 1 !runs;
+  let s = Service.Cache.stats c in
+  checki "failure hit counted" 1 s.Service.Cache.hits
+
+let test_cache_reset () =
+  let c = Service.Cache.create () in
+  ignore (Service.Cache.find_or_compute c ~key:"k" (fun () -> 0));
+  Service.Cache.reset c;
+  let s = Service.Cache.stats c in
+  checkb "zeroed" true
+    (s.Service.Cache.hits = 0 && s.Service.Cache.misses = 0
+   && s.Service.Cache.size = 0)
+
+(* --- Pool ------------------------------------------------------------ *)
+
+let unpack = function Ok v -> v | Error e -> raise e
+
+let test_pool_deterministic () =
+  let items = Array.init 100 Fun.id in
+  let f x = x * x in
+  let r1 = Service.Pool.map ~jobs:1 f items in
+  let r4 = Service.Pool.map ~jobs:4 f items in
+  checkb "jobs 1 = jobs 4" true (r1 = r4);
+  checki "in submission order" 81 (unpack r4.(9))
+
+let test_pool_error_isolation () =
+  let items = Array.init 10 Fun.id in
+  let f x = if x = 5 then failwith "five" else x in
+  List.iter
+    (fun jobs ->
+      let r = Service.Pool.map ~jobs f items in
+      checkb "failing slot is Error" true
+        (match r.(5) with Error (Failure _) -> true | _ -> false);
+      checki "neighbour undisturbed" 6 (unpack r.(6)))
+    [ 1; 4 ]
+
+let test_pool_invalid_jobs () =
+  List.iter
+    (fun jobs ->
+      checkb
+        (Fmt.str "jobs=%d rejected" jobs)
+        true
+        (match Service.Pool.map ~jobs Fun.id [| 1 |] with
+        | exception Invalid_argument _ -> true
+        | _ -> false))
+    [ 0; -1 ]
+
+let test_pool_emit_order () =
+  let seen = ref [] in
+  Service.Pool.map_emit ~jobs:4
+    ~emit:(fun i r -> seen := (i, unpack r) :: !seen)
+    (fun x -> x + 1)
+    (Array.init 50 Fun.id);
+  let expected = List.init 50 (fun i -> (49 - i, 50 - i)) in
+  checkb "emitted strictly in index order" true (!seen = expected)
+
+(* --- Memo: cached == uncached ---------------------------------------- *)
+
+let specs =
+  [
+    Dflow.Driver.Schema1;
+    Dflow.Driver.Schema2 Dflow.Engine.Pipelined;
+    Dflow.Driver.Schema2_opt Dflow.Engine.Pipelined;
+  ]
+
+let outcome compile p spec =
+  (* graph text + executed store, or the exception: the full observable
+     behaviour of one compile *)
+  match compile spec p with
+  | exception e -> Error (Printexc.to_string e)
+  | c ->
+      let r =
+        Machine.Interp.run_exn
+          {
+            Machine.Interp.graph = c.Dflow.Driver.graph;
+            layout = c.Dflow.Driver.layout;
+          }
+      in
+      Ok
+        ( Dfg.Text.print c.Dflow.Driver.graph,
+          Imp.Memory.dump_vars r.Machine.Interp.memory )
+
+let prop_memo_transparent =
+  QCheck.Test.make ~name:"Memo.compile == Driver.compile (graph + store)"
+    ~count:30
+    (QCheck.make (fun st ->
+         let rand = Random.State.make [| QCheck.Gen.int st |] in
+         Workloads.Random_gen.structured rand))
+    (fun p ->
+      List.for_all
+        (fun spec ->
+          (* twice through the cache: the second call exercises the hit
+             path, and both must equal the uncached compile *)
+          let cached = outcome (fun s q -> Dflow.Memo.compile s q) p spec in
+          let cached2 = outcome (fun s q -> Dflow.Memo.compile s q) p spec in
+          let fresh = outcome (fun s q -> Dflow.Driver.compile s q) p spec in
+          cached = fresh && cached2 = fresh)
+        specs)
+
+let test_memo_reference () =
+  let p =
+    Imp.Parser.program_of_string
+      "i := 0 s := 0 while i < 10 do s := s + i i := i + 1 end"
+  in
+  let expected = Imp.Eval.run_program ~fuel:10_000_000 p in
+  checkb "memoized reference = direct" true
+    (Imp.Memory.equal expected (Dflow.Memo.reference p));
+  checkb "second fetch identical" true
+    (Imp.Memory.equal expected (Dflow.Memo.reference p))
+
+(* --- Server: the serve protocol -------------------------------------- *)
+
+module J = Machine.Json
+
+let line fields = J.to_string (J.Assoc fields)
+
+let sum_source = "i := 0 s := 0 while i < 10 do s := s + i i := i + 1 end"
+
+let array_source =
+  "array a[4]\ni := 0\nwhile i < 4 do\n  a[i] := i\n  i := i + 1\nend"
+
+let batch =
+  [
+    line [ ("op", J.String "compile"); ("source", J.String sum_source) ];
+    line
+      [
+        ("op", J.String "run");
+        ("source", J.String sum_source);
+        ("schema", J.String "2opt");
+      ];
+    (* seeded faults + fail-stop recovery: the scheduling-heaviest op
+       the protocol has, exactly the one that would expose a
+       nondeterministic pool *)
+    line
+      [
+        ("op", J.String "simulate");
+        ("source", J.String array_source);
+        ("schema", J.String "2optp");
+        ("pes", J.Int 4);
+        ("fault-seed", J.Int 7);
+        ("recover", J.Bool true);
+      ];
+    line
+      [
+        ("op", J.String "selfcheck-combo");
+        ("source", J.String array_source);
+        ("combo", J.String "schema1");
+      ];
+    "{this is not JSON";
+    line [ ("op", J.String "no-such-op"); ("id", J.Int 42) ];
+    line [ ("op", J.String "stats") ];
+  ]
+
+let test_server_byte_identical () =
+  (* the tentpole guarantee: one batch, any jobs setting, identical
+     bytes -- including the stats line, whose counters are
+     deterministic thanks to single-flight (reset puts both runs in
+     the same cold-cache state) *)
+  Dflow.Memo.reset ();
+  let out1 = Serve.Server.run_batch ~jobs:1 batch in
+  Dflow.Memo.reset ();
+  let out4 = Serve.Server.run_batch ~jobs:4 batch in
+  checki "one result per job" (List.length batch) (List.length out1);
+  checkb "jobs 1 == jobs 4, byte for byte" true (out1 = out4)
+
+let test_server_results () =
+  Dflow.Memo.reset ();
+  let out = Array.of_list (Serve.Server.run_batch ~jobs:2 batch) in
+  checkb "compile carries node count" true (contains out.(0) "\"nodes\"");
+  checkb "run checked the reference" true
+    (contains out.(1) "\"reference\":\"ok\"");
+  checkb "run final store" true (contains out.(1) "\"s[0]\":45");
+  checkb "faulty simulate recovered" true
+    (contains out.(2) "\"reference\":\"ok\"" && contains out.(2) "\"ok\":true");
+  checkb "selfcheck-combo agreed" true
+    (contains out.(3) "\"divergences\":0");
+  checkb "malformed line is a per-job error" true
+    (contains out.(4) "\"ok\":false" && contains out.(4) "\"id\":4");
+  checkb "unknown op is a per-job error with the caller's id" true
+    (contains out.(5) "\"ok\":false" && contains out.(5) "\"id\":42");
+  checkb "stats line carries the counters" true
+    (contains out.(6) "\"hits\"" && contains out.(6) "\"hit_rate\"")
+
+let test_server_id_defaults () =
+  let out =
+    Serve.Server.run_batch ~jobs:1
+      [
+        line [ ("op", J.String "compile"); ("source", J.String "x := 1") ];
+        line
+          [
+            ("op", J.String "compile");
+            ("source", J.String "x := 2");
+            ("id", J.Int 7);
+          ];
+      ]
+  in
+  match out with
+  | [ a; b ] ->
+      checkb "0-based index id" true (contains a "\"id\":0");
+      checkb "explicit id echoed" true (contains b "\"id\":7")
+  | _ -> Alcotest.fail "expected two result lines"
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "hash",
+        [
+          Alcotest.test_case "stable + pinned" `Quick test_hash_stable;
+          Alcotest.test_case "framing" `Quick test_hash_framing;
+          Alcotest.test_case "raw-text keying" `Quick test_hash_raw_text;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hit/miss counters" `Quick test_cache_counters;
+          Alcotest.test_case "LRU eviction" `Quick test_cache_eviction;
+          Alcotest.test_case "failures cached" `Quick
+            test_cache_failure_cached;
+          Alcotest.test_case "reset" `Quick test_cache_reset;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "deterministic order" `Quick
+            test_pool_deterministic;
+          Alcotest.test_case "error isolation" `Quick
+            test_pool_error_isolation;
+          Alcotest.test_case "invalid jobs" `Quick test_pool_invalid_jobs;
+          Alcotest.test_case "emit in order" `Quick test_pool_emit_order;
+        ] );
+      ( "memo",
+        [ Alcotest.test_case "reference store" `Quick test_memo_reference ]
+        @ List.map QCheck_alcotest.to_alcotest [ prop_memo_transparent ] );
+      ( "server",
+        [
+          Alcotest.test_case "byte-identical across jobs" `Quick
+            test_server_byte_identical;
+          Alcotest.test_case "per-op results" `Quick test_server_results;
+          Alcotest.test_case "id defaulting" `Quick test_server_id_defaults;
+        ] );
+    ]
