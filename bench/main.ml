@@ -894,6 +894,81 @@ let mp_schemas = [ "schema1"; "schema2-pipelined"; "schema2-opt"; "value-passing
 let mp_pe_counts = [ 1; 2; 4; 8; 16 ]
 let mp_placements = [ Machine.Placement.Hash; Machine.Placement.Affinity ]
 
+(* The scaling sweep (E26) extends the same PE axis to hundreds of PEs
+   -- one list, shared with E21 and the cross-matrix sweep above, so the
+   two experiments can never drift apart on the common prefix. *)
+let scale_pe_counts = mp_pe_counts @ [ 32; 64; 128; 256 ]
+let scale_schema = "schema2-opt"
+let scale_program = "stencil"
+
+(* (net, placement, steal): the seed's uniform wire with the
+   structure-blind hash as the baseline, then the full scaling stack --
+   mesh interconnect + hierarchical placement -- with stealing isolated
+   as its own curve. *)
+let scale_configs =
+  [
+    ("uniform", Machine.Placement.Hash, false);
+    ("mesh", Machine.Placement.Hier, false);
+    ("mesh", Machine.Placement.Hier, true);
+  ]
+
+let scale_sweep ~reference (c : Dflow.Driver.compiled) =
+  let prog =
+    { Machine.Interp.graph = c.Dflow.Driver.graph; layout = c.Dflow.Driver.layout }
+  in
+  let tree = c.Dflow.Driver.ltree in
+  List.concat_map
+    (fun (net_name, placement, steal) ->
+      let kind =
+        match Sched.Topology.kind_of_string net_name with
+        | Ok k -> k
+        | Error msg -> failwith msg
+      in
+      let base = ref 0 in
+      List.map
+        (fun pes ->
+          let topo =
+            match kind with
+            | Sched.Topology.Uniform -> None
+            | k -> Some (Sched.Topology.make k ~pes)
+          in
+          let steal_spec = if steal then Some Sched.Steal.default else None in
+          let r =
+            Machine.Multiproc.run_exn ~tree ?topo ?steal:steal_spec ~placement
+              ~pes prog
+          in
+          let det =
+            r.Machine.Multiproc.completed
+            && r.Machine.Multiproc.leftover_tokens = 0
+            && Imp.Memory.equal reference r.Machine.Multiproc.memory
+          in
+          if pes = 1 then base := r.Machine.Multiproc.cycles;
+          let cycles = r.Machine.Multiproc.cycles in
+          {
+            Machine.Profile.sc_pes = pes;
+            sc_net = net_name;
+            sc_placement = Machine.Placement.policy_to_string placement;
+            sc_steal = steal;
+            sc_cycles = cycles;
+            sc_firings = r.Machine.Multiproc.firings;
+            sc_fpc =
+              float_of_int r.Machine.Multiproc.firings
+              /. float_of_int (max 1 cycles);
+            sc_speedup = float_of_int !base /. float_of_int (max 1 cycles);
+            sc_net_messages = r.Machine.Multiproc.net_messages;
+            sc_net_hops = r.Machine.Multiproc.net_hops;
+            sc_steals = r.Machine.Multiproc.steals;
+            sc_determinate = det;
+          })
+        scale_pe_counts)
+    scale_configs
+
+(* CI floor: the full scaling stack must buy real throughput -- stencil
+   under schema2-opt at p=64 on the mesh (hier placement, stealing on)
+   must beat the p=16 uniform-wire baseline on firings per cycle. *)
+let scale_floor_hi = (64, "mesh", "hier", true)
+let scale_floor_lo = (16, "uniform", "hash", false)
+
 let bench_random_seeds = [ 11; 23; 47 ]
 
 let read_file path =
@@ -1539,9 +1614,51 @@ let bench_json ~out ~programs_dir () =
       ("cells", Machine.Json.List service_cells);
     ]
   in
+  (* the scaling sweep (E26): the scale program under the scale schema
+     across the extended PE axis, uniform-wire baseline vs the mesh +
+     hierarchical placement stack, stealing as its own curve *)
+  let scale_cells =
+    let p = List.assoc scale_program examples in
+    let reference = Imp.Eval.run_program ~fuel:10_000_000 p in
+    scale_sweep ~reference (compile s2op p)
+  in
+  let scale_determinate =
+    List.for_all
+      (fun (c : Machine.Profile.scale_cell) -> c.Machine.Profile.sc_determinate)
+      scale_cells
+  in
+  let scale_fpc (pes, net, placement, steal) =
+    List.find_opt
+      (fun (c : Machine.Profile.scale_cell) ->
+        c.Machine.Profile.sc_pes = pes
+        && c.Machine.Profile.sc_net = net
+        && c.Machine.Profile.sc_placement = placement
+        && c.Machine.Profile.sc_steal = steal)
+      scale_cells
+    |> Option.map (fun (c : Machine.Profile.scale_cell) ->
+           c.Machine.Profile.sc_fpc)
+  in
+  let scale =
+    [
+      ("program", Machine.Json.String scale_program);
+      ("schema", Machine.Json.String scale_schema);
+      ( "max_pes",
+        Machine.Json.Int (List.fold_left max 1 scale_pe_counts) );
+      ( "fpc_floor_lo",
+        Machine.Json.Float
+          (Option.value ~default:0.0 (scale_fpc scale_floor_lo)) );
+      ( "fpc_floor_hi",
+        Machine.Json.Float
+          (Option.value ~default:0.0 (scale_fpc scale_floor_hi)) );
+      ("determinate", Machine.Json.Bool scale_determinate);
+      ( "cells",
+        Machine.Json.List
+          (List.map Machine.Profile.scale_cell_json scale_cells) );
+    ]
+  in
   let text =
     Machine.Json.to_string_pretty
-      (Machine.Profile.bench_file ~summary ~service ~records ())
+      (Machine.Profile.bench_file ~summary ~service ~scale ~records ())
   in
   List.iter
     (fun (pname, sname) ->
@@ -1739,6 +1856,29 @@ let bench_json ~out ~programs_dir () =
     service_n service_speedup service_jobs_parallel service_speedup_floor
     service_jobs_parallel service_rate service_jobs_per_sec_floor
     service_hit_rate service_hit_rate_floor;
+  (* the scaling floors of E26: every topology/stealing cell must have
+     reproduced the reference store, and the full scaling stack must buy
+     real throughput over the baseline wire *)
+  if not scale_determinate then begin
+    Fmt.epr "bench: scaling sweep perturbed the store (see the cells)@.";
+    exit 1
+  end;
+  (let pes_hi, net_hi, pl_hi, _ = scale_floor_hi
+   and pes_lo, net_lo, pl_lo, _ = scale_floor_lo in
+   match (scale_fpc scale_floor_hi, scale_fpc scale_floor_lo) with
+   | Some hi, Some lo when hi > lo ->
+       Fmt.pr
+         "%s %s scaling: p=%d %s/%s+steal %.2f firings/cycle > p=%d %s/%s \
+          %.2f@."
+         scale_program scale_schema pes_hi net_hi pl_hi hi pes_lo net_lo pl_lo
+         lo
+   | Some hi, Some lo ->
+       Fmt.epr
+         "bench: %s at p=%d %s/%s+steal only %.2f firings/cycle, not above \
+          the p=%d %s/%s baseline %.2f@."
+         scale_program pes_hi net_hi pl_hi hi pes_lo net_lo pl_lo lo;
+       exit 1
+   | _ -> Fmt.epr "bench: warning: scaling floor cells missing@.");
   let oc = open_out out in
   output_string oc text;
   close_out oc;
@@ -1746,7 +1886,8 @@ let bench_json ~out ~programs_dir () =
     "wrote %s: %d records (%d programs x %d schemas; multiproc sweep on %d \
      examples x %d schemas x p in {%s}; recovery sweep on %s at p=4 x \
      intervals {%s}; certificate sweep on every certified example cell x \
-     p in {%s}; serve batch of %d combo jobs at jobs in {1,%d})@."
+     p in {%s}; serve batch of %d combo jobs at jobs in {1,%d}; scaling \
+     sweep on %s x %d configs x p up to %d)@."
     out (List.length records) (List.length programs)
     (List.length bench_schemas) (List.length examples)
     (List.length mp_schemas)
@@ -1754,7 +1895,9 @@ let bench_json ~out ~programs_dir () =
     recovery_schema
     (String.concat "," (List.map string_of_int recovery_intervals))
     (String.concat "," (List.map string_of_int certificate_pe_counts))
-    service_n service_jobs_parallel
+    service_n service_jobs_parallel scale_program
+    (List.length scale_configs)
+    (List.fold_left max 1 scale_pe_counts)
 
 (* ===================================================================== *)
 (* E21 -- multiprocessor scalability                                     *)
@@ -1775,7 +1918,7 @@ let e21 () =
           (read_file (Filename.concat dir "stencil.imp"))
       in
       let reference = Imp.Eval.run_program ~fuel:10_000_000 p in
-      let pes_list = [ 1; 2; 4; 8; 16 ] in
+      let pes_list = mp_pe_counts in
       Fmt.pr "  stencil, affinity placement, default network@.";
       Fmt.pr "  %-18s %8s %8s %8s %8s %8s %10s@." "schema" "p=1" "p=2" "p=4"
         "p=8" "p=16" "speedup@8";
@@ -1948,12 +2091,91 @@ let e22 () =
 
 (* ===================================================================== *)
 
+(* ===================================================================== *)
+(* E26 -- scaling to hundreds of PEs                                     *)
+
+let e26 () =
+  section "E26"
+    "Scaling to hundreds of PEs: topology x hierarchical placement x \
+     stealing";
+  claim
+    "with a per-hop interconnect cost the structure-blind baseline stops \
+     scaling once messages cross the whole machine; carving the PE grid \
+     along the program's loop hierarchy keeps traffic inside contiguous \
+     sub-grids, and work stealing re-fills PEs the static placement left \
+     idle -- all without perturbing a single store bit (the determinacy \
+     argument is placement-independent)";
+  match find_programs_dir () with
+  | None -> Fmt.epr "  (skipped: examples/programs not found)@."
+  | Some dir ->
+      let p =
+        Imp.Parser.program_of_string
+          (read_file (Filename.concat dir (scale_program ^ ".imp")))
+      in
+      let reference = Imp.Eval.run_program ~fuel:10_000_000 p in
+      let cells = scale_sweep ~reference (compile s2op p) in
+      List.iter
+        (fun (net_name, placement, steal) ->
+          Fmt.pr "@.  %s, %s, %s placement, %s network%s@." scale_program
+            scale_schema
+            (Machine.Placement.policy_to_string placement)
+            net_name
+            (if steal then ", stealing on" else "");
+          Fmt.pr "  %6s %8s %8s %9s %9s %9s %8s %7s %6s@." "pes" "cycles"
+            "fir/cyc" "speedup" "messages" "hops" "avg-dist" "steals" "store";
+          List.iter
+            (fun (c : Machine.Profile.scale_cell) ->
+              if
+                c.Machine.Profile.sc_net = net_name
+                && c.Machine.Profile.sc_placement
+                   = Machine.Placement.policy_to_string placement
+                && c.Machine.Profile.sc_steal = steal
+              then
+                Fmt.pr "  %6d %8d %8.2f %8.2fx %9d %9d %8.2f %7d %6s@."
+                  c.Machine.Profile.sc_pes c.Machine.Profile.sc_cycles
+                  c.Machine.Profile.sc_fpc c.Machine.Profile.sc_speedup
+                  c.Machine.Profile.sc_net_messages
+                  c.Machine.Profile.sc_net_hops
+                  (float_of_int c.Machine.Profile.sc_net_hops
+                  /. float_of_int (max 1 c.Machine.Profile.sc_net_messages))
+                  c.Machine.Profile.sc_steals
+                  (if c.Machine.Profile.sc_determinate then "ok" else "WRONG"))
+            cells)
+        scale_configs;
+      if
+        List.exists
+          (fun (c : Machine.Profile.scale_cell) ->
+            not c.Machine.Profile.sc_determinate)
+          cells
+      then failwith "E26: a scaled run perturbed the store!";
+      let fpc (pes, net, placement, steal) =
+        List.find_opt
+          (fun (c : Machine.Profile.scale_cell) ->
+            c.Machine.Profile.sc_pes = pes
+            && c.Machine.Profile.sc_net = net
+            && c.Machine.Profile.sc_placement = placement
+            && c.Machine.Profile.sc_steal = steal)
+          cells
+        |> Option.map (fun (c : Machine.Profile.scale_cell) ->
+               c.Machine.Profile.sc_fpc)
+      in
+      match (fpc scale_floor_hi, fpc scale_floor_lo) with
+      | Some hi, Some lo when hi > lo ->
+          Fmt.pr
+            "@.  floor: p=64 mesh/hier+steal %.2f firings/cycle > p=16 \
+             uniform/hash %.2f@."
+            hi lo
+      | Some hi, Some lo ->
+          failwith
+            (Fmt.str "E26: scaling floor failed (%.2f not above %.2f)" hi lo)
+      | _ -> failwith "E26: scaling floor cells missing"
+
 let experiments =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
     ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
-    ("E17", e17); ("E18", e18); ("E21", e21); ("E22", e22);
+    ("E17", e17); ("E18", e18); ("E21", e21); ("E22", e22); ("E26", e26);
   ]
 
 let () =

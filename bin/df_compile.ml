@@ -309,9 +309,35 @@ let placement_conv : Machine.Placement.policy Arg.conv =
       | Error e -> `Error e),
     fun ppf p -> Fmt.string ppf (Machine.Placement.policy_to_string p) )
 
-let simulate_cmd file schema transforms optimize mp_pes placement net_latency
-    net_bandwidth net_queue modules mem_latency trace_out fault_seed fault_rate
-    fault_classes recover no_certify engine =
+let simulate_cmd file schema transforms optimize mp_pes placement net_kind
+    steal net_latency net_bandwidth net_queue modules mem_latency trace_out
+    fault_seed fault_rate fault_classes recover no_certify engine =
+  (* usage errors first, same contract as --engine / --jobs: exit 2 with
+     a message naming the flag and the valid values *)
+  if mp_pes < 1 then begin
+    Fmt.epr "df_compile: --pes must be at least 1 (got %d)@." mp_pes;
+    exit 2
+  end;
+  let topo_kind =
+    match Sched.Topology.kind_of_string net_kind with
+    | Ok k -> k
+    | Error msg ->
+        Fmt.epr "df_compile: %s@." msg;
+        exit 2
+  in
+  (* the packed engine models the idealised single-hop interconnect and
+     static placement only; fail fast rather than silently ignore the
+     scheduling flags until the packed x network marriage lands *)
+  (match engine_of_flag engine with
+  | Machine.Config.Packed
+    when topo_kind <> Sched.Topology.Uniform || steal
+         || placement = Machine.Placement.Hier ->
+      Fmt.epr
+        "df_compile: --engine packed is single-PE idealised: --net \
+         mesh/torus/cube, --steal and --placement hier need --engine \
+         reference@.";
+      exit 2
+  | _ -> ());
   let p = read_program file in
   let transforms = transforms_of_list transforms in
   let compiled = Dflow.Driver.compile ~transforms schema p in
@@ -359,10 +385,17 @@ let simulate_cmd file schema transforms optimize mp_pes placement net_latency
     if trace_out <> None then
       events := (cycle, node.Dfg.Node.id, ctx, pe) :: !events
   in
+  let topo =
+    match topo_kind with
+    | Sched.Topology.Uniform -> None
+    | k -> Some (Sched.Topology.make k ~pes:mp_pes)
+  in
+  let steal_spec = if steal then Some Sched.Steal.default else None in
+  let tree = compiled.Dflow.Driver.ltree in
   let r =
     match
-      Machine.Multiproc.run ~config ~net ~placement ~on_fire ?faults ?recovery
-        ~pes:mp_pes
+      Machine.Multiproc.run ~config ~net ~placement ~tree ?topo
+        ?steal:steal_spec ~on_fire ?faults ?recovery ~pes:mp_pes
         { Machine.Interp.graph; layout = compiled.Dflow.Driver.layout }
     with
     | Ok r -> r
@@ -386,6 +419,19 @@ let simulate_cmd file schema transforms optimize mp_pes placement net_latency
     r.Machine.Multiproc.mem_remote;
   Fmt.pr "placement        %a@." Machine.Placement.pp_stats
     r.Machine.Multiproc.placement_stats;
+  (match placement with
+  | Machine.Placement.Hier ->
+      Fmt.pr "hierarchy        %a@." Sched.Hplace.pp_stats
+        (Machine.Placement.hier_stats ~tree ?topo ~pes:mp_pes graph)
+  | _ -> ());
+  (match topo with
+  | Some tp ->
+      Fmt.pr "topology         %s, %d link hops crossed@."
+        (Sched.Topology.describe tp) r.Machine.Multiproc.net_hops
+  | None -> ());
+  if steal then
+    Fmt.pr "stealing         %d ready firings moved@."
+      r.Machine.Multiproc.steals;
   Fmt.pr "network          %d messages (%d local deliveries), cut traffic \
           %.1f%%@."
     r.Machine.Multiproc.net_messages r.Machine.Multiproc.local_deliveries
@@ -469,11 +515,29 @@ let simulate_term =
         value
         & opt placement_conv Machine.Placement.Affinity
         & info [ "placement" ] ~docv:"POLICY"
-            ~doc:"Node-to-PE placement: hash, rr, or affinity.")
+            ~doc:
+              "Node-to-PE placement: hash, rr, affinity, or hier \
+               (loop-region sub-grids refined by affinity clusters).")
+    $ Arg.(
+        value & opt string "uniform"
+        & info [ "net" ] ~docv:"TOPOLOGY"
+            ~doc:
+              "Interconnect topology: $(b,uniform) (single hop, the \
+               default), $(b,mesh), $(b,torus) or $(b,cube); messages pay \
+               the pipelined cost net-latency + hops - 1 under \
+               dimension-ordered routing.")
+    $ Arg.(
+        value & flag
+        & info [ "steal" ]
+            ~doc:
+              "Work stealing of ready firings with affinity hysteresis \
+               (deterministic; the final store is unchanged).")
     $ Arg.(
         value & opt int Machine.Network.default.Machine.Network.latency
         & info [ "net-latency" ] ~docv:"CYCLES"
-            ~doc:"Interconnect latency in cycles per hop.")
+            ~doc:
+              "Interconnect injection latency in cycles (each extra hop \
+               adds one cycle).")
     $ Arg.(
         value & opt int Machine.Network.default.Machine.Network.bandwidth
         & info [ "net-bandwidth" ] ~docv:"MSGS"

@@ -84,6 +84,10 @@ type compiled = {
   layout : Imp.Layout.t;
   cfg : Cfg.Core.t;  (** the translated CFG (loopified when applicable) *)
   spec : spec;
+  ltree : (int * int option) list;
+      (** loop-nesting forest [(loop id, parent)] matching the graph's
+          gateway ids; [] when the program has no loops or the
+          decomposition was unavailable *)
 }
 
 (** The schema-independent front end: everything the pipeline computes
@@ -180,6 +184,18 @@ let compile_front ?(transforms = no_transforms) (fr : front) (spec : spec) :
   let loopify () =
     match fr.f_loops with Ok lp -> lp | Error e -> raise e
   in
+  (* the loop-nesting forest rides on every compiled graph so placement
+     can cluster at loop granularity without re-running the front end *)
+  let ltree =
+    match fr.f_loops with
+    | Ok lp ->
+        Array.to_list
+          (Array.map
+             (fun (li : Cfg.Loopify.loop_info) ->
+               (li.Cfg.Loopify.id, li.Cfg.Loopify.parent))
+             lp.Cfg.Loopify.loops)
+    | Error _ -> []
+  in
   let check_no_alias () =
     if Analysis.Alias.has_aliasing alias then
       raise
@@ -204,7 +220,7 @@ let compile_front ?(transforms = no_transforms) (fr : front) (spec : spec) :
   match spec with
   | Schema1 ->
       certify Token_map.single
-        { graph = Engine.schema1 ~mode:base_mode g; layout; cfg = g; spec }
+        { graph = Engine.schema1 ~mode:base_mode g; layout; cfg = g; spec; ltree }
   | Schema2_unsafe_no_loop_control ->
       check_no_alias ();
       (* the certificate is attached to the broken translation too: the
@@ -219,6 +235,7 @@ let compile_front ?(transforms = no_transforms) (fr : front) (spec : spec) :
           layout;
           cfg = g;
           spec;
+          ltree;
         }
   | Schema2 lc ->
       check_no_alias ();
@@ -257,6 +274,7 @@ let compile_front ?(transforms = no_transforms) (fr : front) (spec : spec) :
           layout;
           cfg = lp.Cfg.Loopify.graph;
           spec;
+          ltree;
         }
       in
       (* certified only when no token leaves the circulation discipline:
@@ -276,6 +294,7 @@ let compile_front ?(transforms = no_transforms) (fr : front) (spec : spec) :
           layout;
           cfg = lp.Cfg.Loopify.graph;
           spec;
+          ltree;
         }
   | Schema3_unsafe_bad_cover ->
       let lp = loopify () in
@@ -301,6 +320,7 @@ let compile_front ?(transforms = no_transforms) (fr : front) (spec : spec) :
           layout;
           cfg = lp.Cfg.Loopify.graph;
           spec;
+          ltree;
         }
   | Schema2_opt lc ->
       check_no_alias ();
@@ -314,6 +334,7 @@ let compile_front ?(transforms = no_transforms) (fr : front) (spec : spec) :
           layout;
           cfg = lp.Cfg.Loopify.graph;
           spec;
+          ltree;
         }
       in
       if value_vars = [] then certify (Token_map.per_variable vars) c else c

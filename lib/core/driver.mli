@@ -56,6 +56,10 @@ type compiled = {
   layout : Imp.Layout.t;
   cfg : Cfg.Core.t;  (** the translated CFG (loopified when applicable) *)
   spec : spec;
+  ltree : (int * int option) list;
+      (** loop-nesting forest [(loop id, parent)] matching the graph's
+          gateway ids — what {!Machine.Placement.Hier} clusters on; []
+          when the program has no loops or the decomposition failed *)
 }
 
 (** The schema-independent front end: typecheck, layout, CFG (optionally

@@ -13,6 +13,8 @@ type combo = {
   c_multiproc : (Machine.Placement.policy * int * Machine.Network.config) option;
   c_faulty : bool;
   c_engine : Machine.Config.engine;
+  c_topo : Sched.Topology.kind option;
+  c_steal : bool;
 }
 
 let transforms_suffix (t : Driver.transforms) : string =
@@ -26,15 +28,19 @@ let transforms_suffix (t : Driver.transforms) : string =
          (t.Driver.istructure, "istructures");
        ])
 
-let combo ?(broken = false) ?multiproc ?(faulty = false)
-    ?(engine = Machine.Config.Reference) spec transforms =
+let combo ?(broken = false) ?multiproc ?(faulty = false) ?topo
+    ?(steal = false) ?(engine = Machine.Config.Reference) spec transforms =
   let mp_suffix =
     match multiproc with
     | None -> ""
     | Some (policy, pes, net) ->
-        Fmt.str "@p%d-%s%s%s" pes
+        Fmt.str "@p%d-%s%s%s%s%s" pes
           (Machine.Placement.policy_to_string policy)
           (if net = Machine.Network.fast then "-fast" else "")
+          (match topo with
+          | None -> ""
+          | Some k -> "-" ^ Sched.Topology.kind_to_string k)
+          (if steal then "+steal" else "")
           (if faulty then "+faults+recover" else "")
   in
   {
@@ -49,6 +55,8 @@ let combo ?(broken = false) ?multiproc ?(faulty = false)
     c_multiproc = multiproc;
     c_faulty = faulty;
     c_engine = engine;
+    c_topo = topo;
+    c_steal = steal;
   }
 
 let combos_for ?(include_broken = false) (p : Imp.Ast.program) : combo list =
@@ -142,6 +150,33 @@ let combos_for ?(include_broken = false) (p : Imp.Ast.program) : combo list =
           (Schema2_opt Engine.Pipelined) t0;
       ]
   in
+  (* the scheduling tier: topology-aware interconnects, hierarchical
+     placement and work stealing at a PE count the static grid never
+     reaches — the differential bar is unchanged, which is precisely
+     the determinacy-under-stealing claim.  Schema 3 keeps the aliasing
+     side covered. *)
+  let mp_sched =
+    let deflt = Machine.Network.default in
+    [
+      combo
+        ~multiproc:(Machine.Placement.Hash, 16, deflt)
+        ~topo:Sched.Topology.Mesh ~steal:true
+        (Schema3 (Classes, Engine.Barrier))
+        t0;
+    ]
+    @
+    if aliasing then []
+    else
+      [
+        combo
+          ~multiproc:(Machine.Placement.Hier, 16, deflt)
+          ~topo:Sched.Topology.Mesh ~steal:true (Schema2_opt Engine.Pipelined)
+          t0;
+        combo
+          ~multiproc:(Machine.Placement.Hier, 8, deflt)
+          ~topo:Sched.Topology.Torus (Schema2 Engine.Pipelined) t0;
+      ]
+  in
   (* the packed-engine tier: the same differential bar again on the
      compiled core — bit-identical final stores are exactly what the
      packed engine promises.  Fault injection stays reference-only, so
@@ -170,7 +205,7 @@ let combos_for ?(include_broken = false) (p : Imp.Ast.program) : combo list =
           (Schema2_opt Engine.Pipelined) t0;
       ]
   in
-  base @ s2 @ s3 @ mp @ mp_faulty @ packed @ broken
+  base @ s2 @ s3 @ mp @ mp_faulty @ mp_sched @ packed @ broken
 
 type status =
   | Agree
@@ -284,9 +319,18 @@ let run_combo ?(machine = default_machine) ?(certify_only = false) (c : combo)
                                   ~window:60)
                              ()) )
                   in
+                  let topo =
+                    Option.map
+                      (fun k -> Sched.Topology.make k ~pes)
+                      c.c_topo
+                  in
+                  let steal =
+                    if c.c_steal then Some Sched.Steal.default else None
+                  in
                   match
                     Machine.Multiproc.run ~config:machine ~net ~placement
-                      ?faults ?recovery ~pes prog
+                      ~tree:compiled.Driver.ltree ?topo ?steal ?faults
+                      ?recovery ~pes prog
                   with
                   | exception exn ->
                       Fail ("multiproc: " ^ Printexc.to_string exn)

@@ -39,6 +39,13 @@ type combo = {
       (** execution core for this point; [Packed] points carry a
           ["+packed"] name suffix and hold the compiled engine to the
           same differential bar *)
+  c_topo : Sched.Topology.kind option;
+      (** interconnect topology for a multiprocessor point (["-mesh"]
+          etc. in the name); [None] is the uniform wire *)
+  c_steal : bool;
+      (** multiprocessor point executed with work stealing on
+          (["+steal"] suffix): the moved firings must not perturb the
+          final store *)
 }
 
 (** [combos_for ?include_broken p] — every combination applicable to

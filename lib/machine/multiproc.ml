@@ -31,6 +31,8 @@ type result = {
   mem_remote : int;
   backpressure : int;
   peak_queue : int;
+  net_hops : int;
+  steals : int;
   net_occupancy : int array;
   placement : Placement.t;
   placement_stats : Placement.stats;
@@ -98,13 +100,14 @@ let copy_store (s : slot Matching.store) :
   c
 
 let run ?(config = Config.default) ?(net = Network.default)
-    ?(placement = Placement.Hash) ?(issue_width = 1)
+    ?(placement = Placement.Hash) ?(tree = []) ?(topo : Sched.Topology.t option)
+    ?(steal : Sched.Steal.spec option) ?(issue_width = 1)
     ?(on_fire : (int -> Dfg.Node.t -> Context.t -> pe:int -> unit) option)
     ?(faults : Fault.plan option) ?(recovery : Recovery.spec option) ~pes
     (p : Interp.program) : (result, Diagnosis.t) Stdlib.result =
   if pes < 1 then invalid_arg "Multiproc.run: pes must be >= 1";
-  match (config.Config.engine, faults, recovery) with
-  | Config.Packed, None, None ->
+  match (config.Config.engine, faults, recovery, topo, steal) with
+  | Config.Packed, None, None, None, None ->
       (* the compiled token store with the idealised interconnect: every
          cross-PE token pays the network's hop latency, partitioned by
          the same placement.  Fault injection and fail-stop recovery
@@ -161,6 +164,8 @@ let run ?(config = Config.default) ?(net = Network.default)
               mem_remote = 0;
               backpressure = 0;
               peak_queue = 0;
+              net_hops = r.Packed.net_messages;
+              steals = 0;
               net_occupancy = [||];
               placement = place;
               placement_stats = Placement.stats g place;
@@ -171,7 +176,14 @@ let run ?(config = Config.default) ?(net = Network.default)
   | _ ->
   let g = p.Interp.graph in
   let pcount = pes in
-  let place = ref (Placement.compute placement ~pes:pcount g) in
+  let place = ref (Placement.compute ~tree ?topo placement ~pes:pcount g) in
+  (* per-hop distances under the topology; the constant 1 (no topology)
+     is the seed's uniform wire, bit for bit *)
+  let hops_fn =
+    match topo with
+    | Some tp -> Sched.Routing.hops tp
+    | None -> fun _ _ -> 1
+  in
   let memory = Imp.Memory.create p.Interp.layout in
   let env : unit Firing.env =
     Firing.make_env ~graph:g ~layout:p.Interp.layout memory
@@ -207,9 +219,11 @@ let run ?(config = Config.default) ?(net = Network.default)
      reliable transport; the fault-free path keeps the raw network and
      its exact timing *)
   let ft = faults <> None || recovery <> None in
-  let network : delivery Network.t = Network.create ~config:net ~pes:pcount () in
+  let network : delivery Network.t =
+    Network.create ~config:net ~hops:hops_fn ~pes:pcount ()
+  in
   let make_rt () : delivery Network.rt =
-    Network.rt_create ~config:net
+    Network.rt_create ~config:net ~hops:hops_fn
       ?fault:
         (Option.map
            (fun plan -> fun ~cycle ~dst -> Fault.on_link plan ~cycle ~dst)
@@ -239,6 +253,10 @@ let run ?(config = Config.default) ?(net = Network.default)
   let local_deliveries = ref 0 in
   let mem_local = ref 0 in
   let mem_remote = ref 0 in
+  let steals = ref 0 in
+  (* consecutive cycles each PE has sat with an empty ready queue —
+     the stealing hysteresis clock *)
+  let idle_ctr = Array.make pcount 0 in
   let peak_matching = ref 0 in
   let net_occupancy = ref [] in
   let completed = ref false in
@@ -440,13 +458,16 @@ let run ?(config = Config.default) ?(net = Network.default)
       if Dfg.Node.is_memory_op kind then begin
         incr memory_ops;
         let addr = Firing.address env kind f.x_inputs in
-        if (!subst).(Network.home_pe net ~pes:pcount ~addr) = pe then begin
+        let home = (!subst).(Network.home_pe net ~pes:pcount ~addr) in
+        if home = pe then begin
           incr mem_local;
           0
         end
         else begin
           incr mem_remote;
-          2 * max 1 net.Network.latency
+          (* request/response round trip at pipelined per-hop cost; one
+             hop (no topology) is the seed's flat remote penalty *)
+          2 * max 1 (net.Network.latency + max 1 (hops_fn pe home) - 1)
         end
       end
       else 0
@@ -492,11 +513,16 @@ let run ?(config = Config.default) ?(net = Network.default)
       (fun i ((node, port, ctx, v), (a : Dfg.Graph.arc)) ->
         (* emissions route from the PE of the emitting node: a deferred
            I-structure read completed by a remote store answers from the
-           parked load's PE, not the store's *)
+           parked load's PE, not the store's.  The firing node's own
+           emissions leave from the PE actually EXECUTING it — equal to
+           its placed PE except for a stolen firing, which emits from
+           the thief *)
         let t_done =
           if is_load && node = f.x_node && port = 0 then value_done else t_done
         in
-        let src_pe = (!place).Placement.assign.(node) in
+        let src_pe =
+          if node = f.x_node then pe else (!place).Placement.assign.(node)
+        in
         let dstn = a.Dfg.Graph.dst.Dfg.Graph.node in
         let d =
           {
@@ -619,6 +645,7 @@ let run ?(config = Config.default) ?(net = Network.default)
     | Some p, Some snap -> Permission.restore p snap
     | _ -> ());
     t := resume;
+    Array.fill idle_ctr 0 pcount 0;
     if resume > !last_cycle then last_cycle := resume
   in
   (* boot: fire Start on its home PE at cycle 0; Start mints the full
@@ -717,6 +744,80 @@ let run ?(config = Config.default) ?(net = Network.default)
                     decr inject_pending;
                     net_inject ~src ~dst d)
                   (List.rev ms)
+            | None -> ());
+            (* 4a. work stealing: a PE idle past the hysteresis takes the
+               enabled firing its closest eligible victim would run LAST.
+               Only ready (fully matched) firings move — tokens are
+               location-independent, so the theft changes where and when
+               the firing executes, never what it computes; the final
+               store is the determinacy grid's invariant. *)
+            (match steal with
+            | Some spec ->
+                for pe = 0 to pcount - 1 do
+                  if alive.(pe) then
+                    if ready_length pe > 0 then idle_ctr.(pe) <- 0
+                    else begin
+                      idle_ctr.(pe) <- idle_ctr.(pe) + 1;
+                      if idle_ctr.(pe) >= spec.Sched.Steal.hysteresis then
+                        let tp =
+                          match topo with
+                          | Some tp -> tp
+                          | None ->
+                              Sched.Topology.make Sched.Topology.Uniform
+                                ~pes:pcount
+                        in
+                        match
+                          Sched.Steal.victim tp spec ~thief:pe
+                            ~queue_len:(fun v ->
+                              if alive.(v) then ready_length v else 0)
+                        with
+                        | None -> ()
+                        | Some v ->
+                            (* the victim's last-to-run: back of its FIFO
+                               under Fifo; bottom of its stack (else front
+                               of its feed queue, which absorb reverses)
+                               under Lifo *)
+                            let stolen =
+                              if Stack.length lifo.(v) > 0 then begin
+                                let l = ref [] in
+                                Stack.iter (fun f -> l := f :: !l) lifo.(v);
+                                match !l with
+                                | bottom :: rest ->
+                                    Stack.clear lifo.(v);
+                                    List.iter
+                                      (fun f -> Stack.push f lifo.(v))
+                                      rest;
+                                    Some bottom
+                                | [] -> None
+                              end
+                              else
+                                match config.Config.policy with
+                                | Config.Lifo when Queue.length ready.(v) > 0
+                                  ->
+                                    Some (Queue.pop ready.(v))
+                                | _ ->
+                                    let n = Queue.length ready.(v) in
+                                    if n = 0 then None
+                                    else begin
+                                      let last = ref None in
+                                      for _ = 1 to n do
+                                        let f = Queue.pop ready.(v) in
+                                        (match !last with
+                                        | Some prev -> Queue.add prev ready.(v)
+                                        | None -> ());
+                                        last := Some f
+                                      done;
+                                      !last
+                                    end
+                            in
+                            (match stolen with
+                            | Some f ->
+                                Queue.add f ready.(pe);
+                                incr steals;
+                                idle_ctr.(pe) <- 0
+                            | None -> ())
+                    end
+                done
             | None -> ());
             (* 4. every live PE issues up to [issue_width] enabled firings *)
             for pe = 0 to pcount - 1 do
@@ -843,6 +944,8 @@ let run ?(config = Config.default) ?(net = Network.default)
         mem_remote = !mem_remote;
         backpressure = st.Network.s_backpressure;
         peak_queue = st.Network.s_peak_queue;
+        net_hops = st.Network.s_hops;
+        steals = !steals;
         net_occupancy = Array.of_list (List.rev !net_occupancy);
         placement = !place;
         placement_stats = Placement.stats g !place;
@@ -852,10 +955,11 @@ let run ?(config = Config.default) ?(net = Network.default)
       }
   with Abort d -> Error d
 
-let run_exn ?config ?net ?placement ?issue_width ?on_fire ?faults ?recovery
-    ~pes p : result =
+let run_exn ?config ?net ?placement ?tree ?topo ?steal ?issue_width ?on_fire
+    ?faults ?recovery ~pes p : result =
   match
-    run ?config ?net ?placement ?issue_width ?on_fire ?faults ?recovery ~pes p
+    run ?config ?net ?placement ?tree ?topo ?steal ?issue_width ?on_fire
+      ?faults ?recovery ~pes p
   with
   | Error d ->
       failwith

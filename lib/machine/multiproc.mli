@@ -70,6 +70,10 @@ type result = {
   mem_remote : int;  (** accesses that paid the remote round trip *)
   backpressure : int;  (** enqueues that found a full injection queue *)
   peak_queue : int;
+  net_hops : int;
+      (** total links crossed by network messages; equals the message
+          count on the uniform wire, more under a topology *)
+  steals : int;  (** ready firings moved by work stealing *)
   net_occupancy : int array;
       (** per cycle, messages queued + in flight at end of cycle *)
   placement : Placement.t;
@@ -87,11 +91,24 @@ type result = {
     (cycle, node, context, pe) for every firing, in deterministic
     order — the feed for per-PE Chrome-trace tracks.
     [Ok r] is quiescence (see [r.diagnosis] for deadlock/leftover);
-    [Error d] is a hard failure (collision, double write, divergence). *)
+    [Error d] is a hard failure (collision, double write, divergence).
+
+    [?topo] charges every message [latency * hops] under a
+    {!Sched.Topology} with dimension-ordered routing, and scales the
+    remote-memory round trip by the same distance; omitted, the wire is
+    the seed's uniform single hop, bit for bit.  [?tree] is the
+    loop-nesting forest consumed by the {!Placement.Hier} policy.
+    [?steal] turns on deterministic work stealing of ready firings
+    ({!Sched.Steal}): timing and traffic change, the final store never
+    does — stolen firings emit from the thief, rendezvous stays at the
+    consumer's placed PE. *)
 val run :
   ?config:Config.t ->
   ?net:Network.config ->
   ?placement:Placement.policy ->
+  ?tree:(int * int option) list ->
+  ?topo:Sched.Topology.t ->
+  ?steal:Sched.Steal.spec ->
   ?issue_width:int ->
   ?on_fire:(int -> Dfg.Node.t -> Context.t -> pe:int -> unit) ->
   ?faults:Fault.plan ->
@@ -107,6 +124,9 @@ val run_exn :
   ?config:Config.t ->
   ?net:Network.config ->
   ?placement:Placement.policy ->
+  ?tree:(int * int option) list ->
+  ?topo:Sched.Topology.t ->
+  ?steal:Sched.Steal.spec ->
   ?issue_width:int ->
   ?on_fire:(int -> Dfg.Node.t -> Context.t -> pe:int -> unit) ->
   ?faults:Fault.plan ->

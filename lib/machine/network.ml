@@ -19,23 +19,29 @@ let home_pe (c : config) ~pes ~addr =
 
 type 'msg t = {
   cfg : config;
+  hops : int -> int -> int;
+      (** links crossed src -> dst; the constant 1 reproduces the seed's
+          uniform-latency wire bit for bit *)
   queues : (int * 'msg) Queue.t array;  (** per-PE: (dst, msg) *)
   flight : (int, (int * 'msg) list) Hashtbl.t;
       (** arrival cycle -> reversed (dst, msg) list *)
   mutable flying : int;
   mutable messages : int;
+  mutable hop_sum : int;
   mutable backpressure : int;
   mutable peak_queue : int;
   mutable peak_in_flight : int;
 }
 
-let create ?(config = default) ~pes () =
+let create ?(config = default) ?(hops = fun _ _ -> 1) ~pes () =
   {
     cfg = config;
+    hops;
     queues = Array.init (max 1 pes) (fun _ -> Queue.create ());
     flight = Hashtbl.create 64;
     flying = 0;
     messages = 0;
+    hop_sum = 0;
     backpressure = 0;
     peak_queue = 0;
     peak_in_flight = 0;
@@ -61,12 +67,18 @@ let inject t ~src ~dst msg =
   note_peaks t
 
 let step t ~now =
-  let at = now + max 1 t.cfg.latency in
-  Array.iter
-    (fun q ->
+  Array.iteri
+    (fun src q ->
       let budget = min t.cfg.bandwidth (Queue.length q) in
       for _ = 1 to budget do
-        let m = Queue.pop q in
+        let (dst, _) as m = Queue.pop q in
+        (* pipelined (wormhole) per-hop charge under the topology: the
+           head pays the injection latency once, then one cycle per
+           additional link; one hop (the default) reduces to the seed's
+           uniform [latency] *)
+        let h = max 1 (t.hops src dst) in
+        t.hop_sum <- t.hop_sum + h;
+        let at = now + max 1 (t.cfg.latency + h - 1) in
         Hashtbl.replace t.flight at
           (m :: (try Hashtbl.find t.flight at with Not_found -> []));
         t.flying <- t.flying + 1
@@ -84,6 +96,7 @@ let arrivals t ~now =
 
 type stats = {
   s_messages : int;
+  s_hops : int;
   s_backpressure : int;
   s_peak_queue : int;
   s_peak_in_flight : int;
@@ -92,6 +105,7 @@ type stats = {
 let stats t =
   {
     s_messages = t.messages;
+    s_hops = t.hop_sum;
     s_backpressure = t.backpressure;
     s_peak_queue = t.peak_queue;
     s_peak_in_flight = t.peak_in_flight;
@@ -142,9 +156,10 @@ type 'msg rt = {
   mutable rt_losses : int;
 }
 
-let rt_create ?(config = default) ?fault ?corrupt ?(budget = 16) ~pes () =
+let rt_create ?(config = default) ?hops ?fault ?corrupt ?(budget = 16) ~pes ()
+    =
   {
-    rt_net = create ~config ~pes ();
+    rt_net = create ~config ?hops ~pes ();
     rt_fault = fault;
     rt_corrupt = corrupt;
     rt_budget = budget;

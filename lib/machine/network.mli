@@ -42,7 +42,16 @@ val home_pe : config -> pes:int -> addr:int -> int
 
 type 'msg t
 
-val create : ?config:config -> pes:int -> unit -> 'msg t
+(** [create ?config ?hops ~pes ()] — a fresh wire.  [hops src dst]
+    gives the links a message crosses under the interconnect topology
+    (typically [Sched.Routing.hops] of a {!Sched.Topology.t}); a
+    message's flight time is the pipelined (wormhole) cost
+    [latency + hops - 1] — the head pays the injection latency once,
+    then one cycle per additional link.  The default, constant 1, is
+    the seed's uniform-latency wire — every cycle count is
+    bit-identical to it. *)
+val create :
+  ?config:config -> ?hops:(int -> int -> int) -> pes:int -> unit -> 'msg t
 
 (** [inject t ~src ~dst msg] — enqueue a message on PE [src]'s injection
     queue bound for PE [dst].  Counts backpressure when the queue is
@@ -51,7 +60,7 @@ val inject : 'msg t -> src:int -> dst:int -> 'msg -> unit
 
 (** [step t ~now] — end-of-cycle transport: each PE moves up to
     [bandwidth] queued messages into flight, arriving at
-    [now + latency]. *)
+    [now + latency + hops - 1]. *)
 val step : 'msg t -> now:int -> unit
 
 (** [arrivals t ~now] — messages arriving this cycle, as (dst, msg) in
@@ -63,6 +72,7 @@ val in_transit : 'msg t -> int
 
 type stats = {
   s_messages : int;  (** total messages injected *)
+  s_hops : int;  (** total links crossed by launched messages *)
   s_backpressure : int;  (** enqueues that found a full queue *)
   s_peak_queue : int;  (** deepest single injection queue observed *)
   s_peak_in_flight : int;  (** most messages queued + flying at once *)
@@ -98,6 +108,7 @@ type 'msg rt
     (default 16). *)
 val rt_create :
   ?config:config ->
+  ?hops:(int -> int -> int) ->
   ?fault:(cycle:int -> dst:int -> Fault.action) ->
   ?corrupt:(int -> 'msg -> 'msg) ->
   ?budget:int ->

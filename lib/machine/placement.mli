@@ -14,17 +14,22 @@
       memory operations on one variable plus the switches/merges gating
       its token) and each statement's expression tree, then bin-pack
       clusters largest-first onto the least-loaded PE: minimise cut
-      arcs while keeping the load balanced.
+      arcs while keeping the load balanced;
+    - {!Hier} — hierarchical: carve the PE space into contiguous
+      sub-grids, one per top-level loop region (sized by node count),
+      then bin-pack each region's affinity clusters into its own
+      sub-grid ({!Sched.Hplace}).  With no loop tree available the
+      placement degrades to flat affinity packing.
 
     All policies are deterministic functions of the graph, so placements
     are reproducible and cut/balance statistics are static quantities
     comparable across policies without running the machine. *)
 
-type policy = Hash | Round_robin | Affinity
+type policy = Hash | Round_robin | Affinity | Hier
 
 val policy_to_string : policy -> string
 
-(** Accepts ["hash"], ["rr"]/["round-robin"], ["affinity"]. *)
+(** Accepts ["hash"], ["rr"]/["round-robin"], ["affinity"], ["hier"]. *)
 val policy_of_string : string -> (policy, string) result
 
 val all_policies : policy list
@@ -38,9 +43,27 @@ type t = {
 (** The PE a node lives on. *)
 val pe_of : t -> int -> int
 
-(** [compute policy ~pes g] — deterministic placement of [g]'s nodes
-    onto [max 1 pes] PEs. *)
-val compute : policy -> pes:int -> Dfg.Graph.t -> t
+(** [compute ?tree ?topo policy ~pes g] — deterministic placement of
+    [g]'s nodes onto [max 1 pes] PEs.  [tree] is the loop-nesting
+    forest [(loop id, parent)] and [topo] the interconnect shape; both
+    matter only to {!Hier} (regions and hop statistics) and default to
+    no tree / uniform. *)
+val compute :
+  ?tree:(int * int option) list ->
+  ?topo:Sched.Topology.t ->
+  policy ->
+  pes:int ->
+  Dfg.Graph.t ->
+  t
+
+(** The hierarchical placer's own per-level report for the latest
+    {!Hier} computation on this graph, recomputed on demand. *)
+val hier_stats :
+  ?tree:(int * int option) list ->
+  ?topo:Sched.Topology.t ->
+  pes:int ->
+  Dfg.Graph.t ->
+  Sched.Hplace.level_stats
 
 (** Static placement quality: cut arcs (endpoints on different PEs) and
     load balance (largest PE population relative to the ideal [n/p]). *)

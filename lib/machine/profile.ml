@@ -390,7 +390,7 @@ let pp ppf (p : t) =
 (* ---------------------------------------------------------------- *)
 (* benchmark records (shared by bench/main.ml and the tests)        *)
 
-let bench_schema_version = 6
+let bench_schema_version = 7
 
 type mp_cell = {
   mp_pes : int;
@@ -583,8 +583,43 @@ let service_cell_json (c : service_cell) : Json.t =
       ("speedup", Json.Float c.sv_speedup);
     ]
 
+(* One point of the scaling sweep (E26): a topology x placement x
+   stealing configuration of one compiled program at one PE count. *)
+type scale_cell = {
+  sc_pes : int;
+  sc_net : string;  (** "uniform" | "mesh" | "torus" | "cube" *)
+  sc_placement : string;
+  sc_steal : bool;
+  sc_cycles : int;
+  sc_firings : int;
+  sc_fpc : float;  (** firings per cycle, the throughput figure *)
+  sc_speedup : float;  (** vs the p=1 cell of the same configuration *)
+  sc_net_messages : int;
+  sc_net_hops : int;  (** link traversals: messages weighted by distance *)
+  sc_steals : int;
+  sc_determinate : bool;
+}
+
+let scale_cell_json (c : scale_cell) : Json.t =
+  Json.Assoc
+    [
+      ("pes", Json.Int c.sc_pes);
+      ("net", Json.String c.sc_net);
+      ("placement", Json.String c.sc_placement);
+      ("steal", Json.Bool c.sc_steal);
+      ("cycles", Json.Int c.sc_cycles);
+      ("firings", Json.Int c.sc_firings);
+      ("firings_per_cycle", Json.Float c.sc_fpc);
+      ("speedup", Json.Float c.sc_speedup);
+      ("net_messages", Json.Int c.sc_net_messages);
+      ("net_hops", Json.Int c.sc_net_hops);
+      ("steals", Json.Int c.sc_steals);
+      ("determinate", Json.Bool c.sc_determinate);
+    ]
+
 let bench_file ?(summary : (string * Json.t) list option)
-    ?(service : (string * Json.t) list option) ~(records : Json.t list) () :
+    ?(service : (string * Json.t) list option)
+    ?(scale : (string * Json.t) list option) ~(records : Json.t list) () :
     Json.t =
   Json.Assoc
     ([
@@ -601,6 +636,9 @@ let bench_file ?(summary : (string * Json.t) list option)
       | None -> [])
     @ (match service with
       | Some s -> [ ("service", Json.Assoc s) ]
+      | None -> [])
+    @ (match scale with
+      | Some s -> [ ("scale", Json.Assoc s) ]
       | None -> [])
     @ [ ("records", Json.List records) ])
 
@@ -705,6 +743,72 @@ let validate_bench (j : Json.t) : (unit, string) result =
           in
           let* sp = req (where "missing speedup") (flt "speedup") in
           if sp > 0.0 then Ok () else Error (where "non-positive speedup")
+        in
+        let rec cells_ok k = function
+          | [] -> Ok ()
+          | c :: rest ->
+              let* () = check_cell k c in
+              cells_ok (k + 1) rest
+        in
+        cells_ok 0 cells
+  in
+  (* the scaling section is optional but when present every cell must be
+     well-typed and determinate — a topology or stealing configuration
+     that perturbed the store is a validation failure *)
+  let* () =
+    match Json.member "scale" j with
+    | None -> Ok ()
+    | Some s ->
+        let* _ =
+          req "scale: missing program"
+            (Option.bind (Json.member "program" s) Json.to_string_opt)
+        in
+        let* _ =
+          req "scale: missing schema"
+            (Option.bind (Json.member "schema" s) Json.to_string_opt)
+        in
+        let* cells =
+          req "scale: missing cells"
+            (Option.bind (Json.member "cells" s) Json.to_list_opt)
+        in
+        let* () = if cells = [] then Error "scale: no cells" else Ok () in
+        let check_cell k c =
+          let where what = Fmt.str "scale cell %d: %s" k what in
+          let int key = Option.bind (Json.member key c) Json.to_int_opt in
+          let* pes = req (where "missing pes") (int "pes") in
+          let* () = if pes >= 1 then Ok () else Error (where "pes < 1") in
+          let* _ =
+            req (where "missing net")
+              (Option.bind (Json.member "net" c) Json.to_string_opt)
+          in
+          let* _ =
+            req (where "missing placement")
+              (Option.bind (Json.member "placement" c) Json.to_string_opt)
+          in
+          let* cyc = req (where "missing cycles") (int "cycles") in
+          let* () =
+            if cyc >= 0 then Ok () else Error (where "negative cycles")
+          in
+          let* fpc =
+            req (where "missing firings_per_cycle")
+              (Option.bind (Json.member "firings_per_cycle" c)
+                 Json.to_float_opt)
+          in
+          let* () =
+            if fpc >= 0.0 then Ok ()
+            else Error (where "negative firings_per_cycle")
+          in
+          let* hops = req (where "missing net_hops") (int "net_hops") in
+          let* msgs = req (where "missing net_messages") (int "net_messages") in
+          let* () =
+            if hops >= msgs then Ok ()
+            else Error (where "fewer link hops than messages")
+          in
+          let* det =
+            req (where "missing determinate")
+              (Option.bind (Json.member "determinate" c) Json.to_bool_opt)
+          in
+          if det then Ok () else Error (where "determinacy divergence")
         in
         let rec cells_ok k = function
           | [] -> Ok ()

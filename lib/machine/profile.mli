@@ -193,14 +193,39 @@ type service_cell = {
 
 val service_cell_json : service_cell -> Json.t
 
+(** One point of the scaling sweep (E26): a topology x placement x
+    stealing configuration of one compiled program at one PE count.
+    [sc_net_hops] counts link traversals — each message weighted by its
+    routing distance — so [sc_net_hops / sc_net_messages] is the mean
+    communication distance of the configuration. *)
+type scale_cell = {
+  sc_pes : int;
+  sc_net : string;  (** "uniform" | "mesh" | "torus" | "cube" *)
+  sc_placement : string;
+  sc_steal : bool;
+  sc_cycles : int;
+  sc_firings : int;
+  sc_fpc : float;  (** firings per cycle, the throughput figure *)
+  sc_speedup : float;  (** vs the p=1 cell of the same configuration *)
+  sc_net_messages : int;
+  sc_net_hops : int;
+  sc_steals : int;
+  sc_determinate : bool;
+}
+
+val scale_cell_json : scale_cell -> Json.t
+
 (** The whole document: meta header, optional [multiproc_summary]
     scalars (e.g. [speedup_p8], [cut_traffic_ratio],
     [multiproc_determinate]), optional [service] section (cache
     counters, [deterministic] byte-stability bit, and the timed
-    {!service_cell}s under ["cells"]) and the records. *)
+    {!service_cell}s under ["cells"]), optional [scale] section (the
+    E26 topology sweep: program, schema, and {!scale_cell}s under
+    ["cells"]) and the records. *)
 val bench_file :
   ?summary:(string * Json.t) list ->
   ?service:(string * Json.t) list ->
+  ?scale:(string * Json.t) list ->
   records:Json.t list ->
   unit ->
   Json.t
@@ -215,5 +240,7 @@ val bench_file :
     [multiproc_determinate = true] — and when the [service] section is
     present: well-typed cache counters and cells with
     [deterministic = true] (byte-identical batch output at every jobs
-    setting).  Any divergence is a validation error. *)
+    setting), and when the [scale] section is present: well-typed cells
+    each [determinate] with at least one link hop per message.  Any
+    divergence is a validation error. *)
 val validate_bench : Json.t -> (unit, string) result

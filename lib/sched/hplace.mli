@@ -1,0 +1,42 @@
+(** Hierarchical placement: interval/loop tree on top, affinity
+    clustering below.
+
+    The multiresolution recipe: first carve the PE space into
+    contiguous sub-grids, one per top-level loop region of the program
+    (plus one for straight-line code), sized proportionally to the node
+    count each region carries; then bin-pack the affinity clusters of
+    each region into its own sub-grid, largest first.  Traffic inside a
+    loop stays inside its sub-grid — on a mesh or torus a contiguous
+    index range is a row-major block, so intra-region hops stay short —
+    and only loop-boundary arcs cross between regions. *)
+
+type level_stats = {
+  regions : int;  (** top-level regions carved (>= 1) *)
+  top_cut : int;  (** arcs crossing a region boundary *)
+  intra_cut : int;  (** arcs cut between PEs of the same region *)
+  total_arcs : int;
+  avg_hops : float;
+      (** mean topology hops over all cut arcs; 0 when nothing is cut *)
+}
+
+type t = {
+  assign : int array;  (** node id -> PE *)
+  region_of_pe : int array;
+      (** PE -> region ordinal (straight-line region first) *)
+  stats : level_stats;
+}
+
+val compute :
+  ?tree:(int * int option) list ->
+  topo:Topology.t ->
+  pes:int ->
+  Dfg.Graph.t ->
+  t
+(** [tree] lists [(loop id, parent loop id)] from the loopified CFG —
+    the loop-nesting forest.  Clusters vote for a loop via the gateway
+    nodes they contain; a cluster's region is the top-level ancestor of
+    the winning loop, straight-line clusters go to the toplevel region.
+    Omitting [tree] (or passing []) degrades to one region, which is
+    exactly flat affinity packing over all [pes]. *)
+
+val pp_stats : level_stats Fmt.t

@@ -1,0 +1,96 @@
+open Topology
+
+(* signed per-dimension step from [a] toward [b] under the topology:
+   mesh moves straight toward the target, the torus wraps whenever the
+   wrapped way is strictly shorter (ties go the increasing direction,
+   matching [hops] which counts the short side either way) *)
+let step_2d t extent a b =
+  if a = b then 0
+  else
+    let fwd = (b - a + extent) mod extent in
+    let bwd = (a - b + extent) mod extent in
+    match t.kind with
+    | Torus -> if fwd <= bwd then 1 else -1
+    | _ -> if b > a then 1 else -1
+
+let dist_1d t extent a b =
+  let d = abs (a - b) in
+  match t.kind with Torus -> min d (extent - d) | _ -> d
+
+let hops t src dst =
+  if src = dst then 0
+  else
+    match t.kind with
+    | Uniform -> 1
+    | Mesh | Torus ->
+        let a = coords t src and b = coords t dst in
+        dist_1d t t.dims.(0) a.(0) b.(0) + dist_1d t t.dims.(1) a.(1) b.(1)
+    | Cube ->
+        let x = ref (src lxor dst) in
+        let n = ref 0 in
+        while !x <> 0 do
+          x := !x land (!x - 1);
+          incr n
+        done;
+        !n
+
+let path t src dst =
+  if src = dst then []
+  else
+    match t.kind with
+    | Uniform -> [ dst ]
+    | Mesh | Torus ->
+        let a = coords t src and b = coords t dst in
+        let acc = ref [] in
+        (* dimension-ordered: finish dimension 0, then dimension 1 *)
+        for dim = 0 to 1 do
+          let extent = t.dims.(dim) in
+          while a.(dim) <> b.(dim) do
+            let s = step_2d t extent a.(dim) b.(dim) in
+            a.(dim) <- (a.(dim) + s + extent) mod extent;
+            acc := index t a :: !acc
+          done
+        done;
+        List.rev !acc
+    | Cube ->
+        (* flip differing bits lowest first; on a partial cube (pes not
+           a power of two) intermediates may name virtual PEs — hop
+           counts and latencies stay meaningful, occupancy does not *)
+        let acc = ref [] in
+        let cur = ref src in
+        let diff = src lxor dst in
+        for bit = 0 to Array.length t.dims - 1 do
+          if diff land (1 lsl bit) <> 0 then begin
+            cur := !cur lxor (1 lsl bit);
+            acc := !cur :: !acc
+          end
+        done;
+        List.rev !acc
+
+let neighbours t pe =
+  let out =
+    match t.kind with
+    | Uniform -> List.init t.pes (fun i -> i) |> List.filter (fun i -> i <> pe)
+    | Mesh | Torus ->
+        let c = coords t pe in
+        let cand = ref [] in
+        for dim = 0 to 1 do
+          let extent = t.dims.(dim) in
+          List.iter
+            (fun s ->
+              let v = c.(dim) + s in
+              let v =
+                if t.kind = Torus then (v + extent) mod extent else v
+              in
+              if v >= 0 && v < extent && v <> c.(dim) then begin
+                let c' = Array.copy c in
+                c'.(dim) <- v;
+                cand := index t c' :: !cand
+              end)
+            [ -1; 1 ]
+        done;
+        !cand
+    | Cube ->
+        List.init (Array.length t.dims) (fun bit -> pe lxor (1 lsl bit))
+  in
+  List.sort_uniq compare (List.filter (fun i -> i >= 0 && i < t.pes) out)

@@ -1,0 +1,22 @@
+(** Dimension-ordered (e-cube) routing over a {!Topology.t}.
+
+    Deterministic and minimal: a message corrects its coordinates one
+    dimension at a time, lowest dimension first, so the hop count is the
+    per-dimension distance sum and the path is unique.  That determinism
+    matters here — the simulator's arrival schedule, and hence every
+    cycle count we benchmark, is a pure function of the topology. *)
+
+val hops : Topology.t -> int -> int -> int
+(** [hops t src dst] is the number of links crossed.  Uniform: 1 for any
+    [src <> dst].  Mesh: Manhattan distance.  Torus: per-dimension
+    [min (d, extent - d)] (wraparound).  Cube: popcount of
+    [src lxor dst].  [hops t pe pe = 0]. *)
+
+val path : Topology.t -> int -> int -> int list
+(** The PE indices visited after [src], ending with [dst]; length is
+    [hops t src dst].  Dimension-ordered, wrapping the short way on a
+    torus (ties broken toward increasing coordinate). *)
+
+val neighbours : Topology.t -> int -> int list
+(** Directly linked PEs, deduplicated, sorted ascending.  Uniform: every
+    other PE (complete graph). *)

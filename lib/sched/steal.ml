@@ -1,0 +1,15 @@
+type spec = { hysteresis : int; min_victim : int }
+
+let default = { hysteresis = 4; min_victim = 2 }
+
+let victim (topo : Topology.t) (spec : spec) ~thief ~queue_len =
+  let best = ref None in
+  for pe = 0 to topo.Topology.pes - 1 do
+    if pe <> thief && queue_len pe >= spec.min_victim then begin
+      let d = Routing.hops topo thief pe in
+      match !best with
+      | Some (bd, _) when bd <= d -> ()
+      | _ -> best := Some (d, pe)
+    end
+  done;
+  match !best with Some (_, pe) -> Some pe | None -> None

@@ -1,0 +1,31 @@
+(** Work-stealing policy for ready tokens: deterministic victim
+    selection with affinity hysteresis.
+
+    Stealing moves only *ready firings* — enabled work whose operands
+    are already in hand.  Tokens are location-independent (the token
+    store is addressed by node and context, not by PE), so moving a
+    firing changes WHERE and WHEN it executes but never WHAT it
+    computes; conflicting memory operations stay serialized by access
+    tokens regardless.  Hence the final store is unchanged — the
+    determinacy grid in test_multiproc.ml enforces exactly that.
+
+    Hysteresis keeps the affinity placement in charge: a PE only steals
+    after [hysteresis] consecutive idle cycles, and only from victims
+    holding at least [min_victim] ready firings, preferring the closest
+    victim under the topology (neighbours first). *)
+
+type spec = {
+  hysteresis : int;  (** idle cycles before the first steal attempt *)
+  min_victim : int;  (** victim's minimum ready-queue length *)
+}
+
+val default : spec
+(** hysteresis 4, min_victim 2. *)
+
+val victim :
+  Topology.t -> spec -> thief:int -> queue_len:(int -> int) -> int option
+(** [victim topo spec ~thief ~queue_len] picks the PE to steal from:
+    the eligible PE ([queue_len pe >= min_victim], [pe <> thief]) at
+    the smallest hop distance from [thief], ties broken by the lower
+    PE index — a pure function of the queue state, so simulation stays
+    deterministic.  [None] when no PE is eligible. *)

@@ -1,0 +1,69 @@
+type kind = Uniform | Mesh | Torus | Cube
+
+type t = { kind : kind; pes : int; dims : int array }
+
+(* rows*cols = pes with rows the largest divisor <= sqrt pes, so the
+   grid is as square as the PE count allows (64 -> 8x8, 12 -> 3x4); a
+   prime count degenerates to a 1xp chain, which is still a valid mesh *)
+let grid_dims pes =
+  let r = ref 1 in
+  let d = ref 1 in
+  while !d * !d <= pes do
+    if pes mod !d = 0 then r := !d;
+    incr d
+  done;
+  [| !r; pes / !r |]
+
+let cube_dim pes =
+  let n = ref 0 in
+  while 1 lsl !n < pes do
+    incr n
+  done;
+  !n
+
+let make kind ~pes =
+  if pes < 1 then invalid_arg "Topology.make: pes must be >= 1";
+  let dims =
+    match kind with
+    | Uniform -> [||]
+    | Mesh | Torus -> grid_dims pes
+    | Cube -> Array.make (cube_dim pes) 2
+  in
+  { kind; pes; dims }
+
+let all_kinds =
+  [ ("uniform", Uniform); ("mesh", Mesh); ("torus", Torus); ("cube", Cube) ]
+
+let kind_to_string k = fst (List.find (fun (_, k') -> k' = k) all_kinds)
+
+let kind_of_string s =
+  match List.assoc_opt (String.lowercase_ascii s) all_kinds with
+  | Some k -> Ok k
+  | None ->
+      Error
+        (Fmt.str "unknown topology %S (uniform | mesh | torus | cube)" s)
+
+let coords t pe =
+  match t.kind with
+  | Uniform -> [| pe |]
+  | Mesh | Torus ->
+      let cols = t.dims.(1) in
+      [| pe / cols; pe mod cols |]
+  | Cube ->
+      Array.init (Array.length t.dims) (fun i -> (pe lsr i) land 1)
+
+let index t c =
+  match t.kind with
+  | Uniform -> c.(0)
+  | Mesh | Torus -> (c.(0) * t.dims.(1)) + c.(1)
+  | Cube ->
+      let pe = ref 0 in
+      Array.iteri (fun i b -> pe := !pe lor (b lsl i)) c;
+      !pe
+
+let describe t =
+  match t.kind with
+  | Uniform -> "uniform"
+  | Mesh -> Fmt.str "mesh %dx%d" t.dims.(0) t.dims.(1)
+  | Torus -> Fmt.str "torus %dx%d" t.dims.(0) t.dims.(1)
+  | Cube -> Fmt.str "cube dim %d" (Array.length t.dims)

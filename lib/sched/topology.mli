@@ -1,0 +1,48 @@
+(** Interconnect topology models for the multiprocessor machine.
+
+    The seed network charges one uniform latency for every message; a
+    topology refines that into a per-hop cost under dimension-ordered
+    routing.  Three shapes are modelled, all special cases of the k-ary
+    n-cube family the dataflow-machine literature assumes:
+
+    - [Mesh]: 2D grid without wraparound (hop = Manhattan distance);
+    - [Torus]: 2D grid with wraparound links on both dimensions;
+    - [Cube]: binary hypercube (2-ary n-cube; hop = Hamming distance).
+
+    [Uniform] is the degenerate single-hop shape and keeps the machine
+    bit-identical to the seed behaviour. *)
+
+type kind = Uniform | Mesh | Torus | Cube
+
+type t = private {
+  kind : kind;
+  pes : int;  (** number of processing elements, >= 1 *)
+  dims : int array;
+      (** extent of each dimension; the product covers [pes].  Empty for
+          [Uniform]. *)
+}
+
+val make : kind -> pes:int -> t
+(** [make kind ~pes] builds the topology.  2D shapes factor [pes] as
+    rows*cols with rows the largest divisor <= sqrt pes (64 -> 8x8,
+    12 -> 3x4, primes degenerate to 1xp); the hypercube uses the
+    smallest n with 2^n >= pes (partial top dimension allowed).
+    @raise Invalid_argument if [pes < 1]. *)
+
+val kind_of_string : string -> (kind, string) result
+(** Accepts "uniform" | "mesh" | "torus" | "cube"; the error message
+    lists the valid names. *)
+
+val kind_to_string : kind -> string
+
+val all_kinds : (string * kind) list
+(** In CLI order: uniform, mesh, torus, cube. *)
+
+val coords : t -> int -> int array
+(** PE index to coordinates, row-major.  [Uniform] yields [|pe|]. *)
+
+val index : t -> int array -> int
+(** Inverse of {!coords}. *)
+
+val describe : t -> string
+(** e.g. "mesh 8x8", "cube dim 6", "uniform". *)

@@ -186,6 +186,59 @@ let test_serve_jobs_byte_identical () =
   checki "jobs 4 exit" 0 c4;
   Alcotest.(check string) "byte-identical output" out1 out4
 
+let test_simulate_scale () =
+  (* the scaling stack end to end: mesh topology, hierarchical
+     placement, stealing on — with the report lines for each *)
+  let f = write_temp ".imp" sum_program in
+  let code, out =
+    capture
+      (Fmt.str
+         "%s simulate %s -s 2opt --pes 16 --net mesh --placement hier --steal"
+         binary f)
+  in
+  checki "exit code" 0 code;
+  checkb "reference checked" true (contains out "reference check  ok");
+  checkb "hierarchy reported" true (contains out "hierarchy");
+  checkb "topology reported" true (contains out "mesh 4x4");
+  checkb "hop traffic reported" true (contains out "link hops crossed")
+
+let test_simulate_bad_pes () =
+  let f = write_temp ".imp" sum_program in
+  List.iter
+    (fun n ->
+      let code, out =
+        capture (Fmt.str "%s simulate %s --pes=%d" binary f n)
+      in
+      checki (Fmt.str "pes=%d exit code" n) 2 code;
+      checkb "error names the flag" true (contains out "--pes");
+      checkb "error states the valid range" true (contains out "at least 1"))
+    [ 0; -4 ]
+
+let test_simulate_bad_net () =
+  let f = write_temp ".imp" sum_program in
+  let code, out = capture (Fmt.str "%s simulate %s --net bogus" binary f) in
+  checki "exit code" 2 code;
+  checkb "error lists the topologies" true
+    (contains out "uniform | mesh | torus | cube")
+
+let test_simulate_packed_conflict () =
+  (* the packed engine models a single idealised PE: topology, stealing
+     and hierarchical placement are reference-engine concepts *)
+  let f = write_temp ".imp" sum_program in
+  List.iter
+    (fun flags ->
+      let code, out =
+        capture
+          (Fmt.str "%s simulate %s --engine packed %s" binary f flags)
+      in
+      checki (flags ^ " exit code") 2 code;
+      checkb "error explains the conflict" true
+        (contains out "single-PE idealised"))
+    [ "--net mesh"; "--steal"; "--placement hier" ];
+  (* packed with none of the conflicting flags still runs *)
+  let code, _ = capture (Fmt.str "%s simulate %s --engine packed" binary f) in
+  checki "plain packed simulate ok" 0 code
+
 let () =
   if not (Sys.file_exists binary) then begin
     print_endline "df_compile binary not found; skipping CLI tests";
@@ -211,5 +264,13 @@ let () =
             test_serve_bad_jobs;
           Alcotest.test_case "serve byte-identical across jobs" `Quick
             test_serve_jobs_byte_identical;
+          Alcotest.test_case "simulate at scale (mesh/hier/steal)" `Quick
+            test_simulate_scale;
+          Alcotest.test_case "simulate rejects bad --pes" `Quick
+            test_simulate_bad_pes;
+          Alcotest.test_case "simulate rejects bad --net" `Quick
+            test_simulate_bad_net;
+          Alcotest.test_case "packed engine rejects multiproc flags" `Quick
+            test_simulate_packed_conflict;
         ] );
     ]

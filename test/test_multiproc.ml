@@ -381,6 +381,129 @@ let test_sanitizer_multi_exit_clean () =
   | Some m -> checki "no spurious rollbacks" 0 m.R.m_rollbacks
 
 (* ------------------------------------------------------------------ *)
+(* Topologies: dimension-ordered routing and hierarchical placement   *)
+
+module T = Sched.Topology
+module Rt = Sched.Routing
+
+let test_routing_hops () =
+  (* 16 PEs factor as a 4x4 grid *)
+  let mesh = T.make T.Mesh ~pes:16 in
+  let torus = T.make T.Torus ~pes:16 in
+  checki "mesh corner to corner" 6 (Rt.hops mesh 0 15);
+  checki "torus wraps both dimensions" 2 (Rt.hops torus 0 15);
+  checki "mesh along a row" 3 (Rt.hops mesh 0 3);
+  checki "torus wraps the row" 1 (Rt.hops torus 0 3);
+  checki "one mesh link" 1 (Rt.hops mesh 5 6);
+  checki "hops to self" 0 (Rt.hops mesh 9 9);
+  let cube = T.make T.Cube ~pes:8 in
+  checki "cube antipodes" 3 (Rt.hops cube 0 7);
+  checki "cube hamming distance" 2 (Rt.hops cube 5 6);
+  let uni = T.make T.Uniform ~pes:16 in
+  checki "uniform charges one hop" 1 (Rt.hops uni 0 15);
+  (* distances are symmetric on every shape *)
+  List.iter
+    (fun t ->
+      for src = 0 to 15 do
+        for dst = 0 to 15 do
+          checki "hops symmetric" (Rt.hops t src dst) (Rt.hops t dst src)
+        done
+      done)
+    [ mesh; torus; uni ]
+
+let test_routing_paths_and_neighbours () =
+  let mesh = T.make T.Mesh ~pes:16 in
+  let torus = T.make T.Torus ~pes:16 in
+  let cube = T.make T.Cube ~pes:16 in
+  List.iter
+    (fun t ->
+      for src = 0 to 15 do
+        for dst = 0 to 15 do
+          let p = Rt.path t src dst in
+          checki "path length is the hop count" (Rt.hops t src dst)
+            (List.length p);
+          if src <> dst then
+            checki "path ends at dst" dst (List.nth p (List.length p - 1));
+          let prev = ref src in
+          List.iter
+            (fun pe ->
+              checki "each step crosses one link" 1 (Rt.hops t !prev pe);
+              prev := pe)
+            p
+        done
+      done)
+    [ mesh; torus; cube ];
+  (* mesh corners have 2 links, interior PEs 4; the torus wraps the
+     corner back to degree 4 *)
+  Alcotest.(check (list int))
+    "mesh corner neighbours" [ 1; 4 ] (Rt.neighbours mesh 0);
+  checki "mesh interior degree" 4 (List.length (Rt.neighbours mesh 5));
+  checki "torus corner degree" 4 (List.length (Rt.neighbours torus 0))
+
+let test_hier_no_worse_than_hash_cut () =
+  (* the point of hierarchical placement: on every committed example
+     the arcs crossing a top-level region boundary never exceed the
+     structure-blind hash cut *)
+  let topo = T.make T.Mesh ~pes:16 in
+  List.iter
+    (fun (name, p) ->
+      let c = compile_best p in
+      let g = c.Dflow.Driver.graph in
+      let hash_cut = (P.stats g (P.compute P.Hash ~pes:16 g)).P.cut_arcs in
+      let hs = P.hier_stats ~tree:c.Dflow.Driver.ltree ~topo ~pes:16 g in
+      checkb
+        (Fmt.str "%s: hier top-level cut (%d) <= hash cut (%d)" name
+           hs.Sched.Hplace.top_cut hash_cut)
+        true
+        (hs.Sched.Hplace.top_cut <= hash_cut))
+    (example_programs ())
+
+(* ------------------------------------------------------------------ *)
+(* Work stealing: victim policy units and store preservation          *)
+
+let test_steal_victim_selection () =
+  let topo = T.make T.Mesh ~pes:16 in
+  let spec = Sched.Steal.default in
+  (* thief 5 = (1,1); PEs 6 and 9 are both one hop out — the tie goes
+     to the lower index *)
+  let ql = function 6 | 9 -> 5 | _ -> 0 in
+  Alcotest.(check (option int))
+    "nearest victim, tie to the lower index" (Some 6)
+    (Sched.Steal.victim topo spec ~thief:5 ~queue_len:ql);
+  (* a farther but only eligible queue wins *)
+  let ql = function 15 -> 3 | _ -> 0 in
+  Alcotest.(check (option int))
+    "distance loses to eligibility" (Some 15)
+    (Sched.Steal.victim topo spec ~thief:0 ~queue_len:ql);
+  (* queues below min_victim are off limits, and so is the thief *)
+  Alcotest.(check (option int))
+    "short queues are not victims" None
+    (Sched.Steal.victim topo spec ~thief:0 ~queue_len:(fun _ -> 1));
+  Alcotest.(check (option int))
+    "a PE never steals from itself" None
+    (Sched.Steal.victim topo spec ~thief:3 ~queue_len:(fun pe ->
+         if pe = 3 then 10 else 0))
+
+let test_steal_moves_work_and_preserves_store () =
+  let p = example "stencil" in
+  let reference = Imp.Eval.run_program ~fuel:1_000_000 p in
+  let c = compile_best p in
+  let prog = { Machine.Interp.graph = c.Dflow.Driver.graph; layout = c.Dflow.Driver.layout } in
+  let topo = T.make T.Mesh ~pes:16 in
+  let spec = { Sched.Steal.hysteresis = 1; min_victim = 1 } in
+  let r =
+    MP.run_exn ~tree:c.Dflow.Driver.ltree ~topo ~steal:spec ~placement:P.Hier
+      ~pes:16 prog
+  in
+  checkb "work actually moved" true (r.MP.steals > 0);
+  checkb "store agrees with the reference" true
+    (Imp.Memory.equal reference r.MP.memory);
+  checkb "every message crossed at least one link" true
+    (r.MP.net_hops >= r.MP.net_messages);
+  let r0 = MP.run_exn ~topo ~placement:P.Hash ~pes:16 prog in
+  checki "no steals when stealing is off" 0 r0.MP.steals
+
+(* ------------------------------------------------------------------ *)
 (* The qcheck differential suite: ≥100 seeded random programs         *)
 
 let small_cfg =
@@ -422,6 +545,40 @@ let qcheck_determinacy =
     ~rand:(Random.State.make [| 0xD1F0 |])
     (QCheck.Test.make ~name:"multiproc determinacy (random programs)"
        ~count:100 arb_program prop_multiproc_determinate)
+
+(* Determinacy under work stealing at scale: stealing moves only
+   fully-matched ready firings, so it may change where and when work
+   runs but never the final store — across hundreds of PEs, both grid
+   topologies, and both a structure-aware and a structure-blind
+   placement.  An eager spec (hysteresis 1, min_victim 1) makes the
+   thieves as disruptive as the policy allows. *)
+let prop_steal_determinate (p : Imp.Ast.program) =
+  let reference = Imp.Eval.run_program ~fuel:1_000_000 p in
+  let c = compile_best p in
+  let prog = { Machine.Interp.graph = c.Dflow.Driver.graph; layout = c.Dflow.Driver.layout } in
+  let tree = c.Dflow.Driver.ltree in
+  let spec = { Sched.Steal.hysteresis = 1; min_victim = 1 } in
+  List.for_all
+    (fun kind ->
+      List.for_all
+        (fun placement ->
+          List.for_all
+            (fun pes ->
+              let topo = T.make kind ~pes in
+              let r =
+                MP.run_exn ~tree ~topo ~steal:spec ~placement ~pes prog
+              in
+              Imp.Memory.equal reference r.MP.memory)
+            [ 16; 64; 256 ])
+        [ P.Hier; P.Hash ])
+    [ T.Mesh; T.Torus ]
+
+let qcheck_steal =
+  QCheck_alcotest.to_alcotest
+    ~rand:(Random.State.make [| 0x57E4 |])
+    (QCheck.Test.make
+       ~name:"stealing preserves the store (random programs, p to 256)"
+       ~count:100 arb_program prop_steal_determinate)
 
 (* The recovery closure property: link faults plus one seeded fail-stop,
    and the recovered machine still lands on the reference store.  The
@@ -480,6 +637,20 @@ let () =
           Alcotest.test_case "per-PE LIFO scheduling" `Quick
             test_lifo_multiproc_determinate;
           qcheck_determinacy;
+          qcheck_steal;
+        ] );
+      ( "sched",
+        [
+          Alcotest.test_case "dimension-ordered hop counts" `Quick
+            test_routing_hops;
+          Alcotest.test_case "paths and neighbours" `Quick
+            test_routing_paths_and_neighbours;
+          Alcotest.test_case "hier top-level cut never beats hash" `Quick
+            test_hier_no_worse_than_hash_cut;
+          Alcotest.test_case "steal victim selection" `Quick
+            test_steal_victim_selection;
+          Alcotest.test_case "stealing moves work, store unchanged" `Quick
+            test_steal_moves_work_and_preserves_store;
         ] );
       ( "accounting",
         [

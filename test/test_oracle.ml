@@ -41,6 +41,8 @@ let test_figure8_pathology_caught () =
       c_multiproc = None;
       c_faulty = false;
       c_engine = Machine.Config.Reference;
+      c_topo = None;
+      c_steal = false;
     }
   in
   (match
