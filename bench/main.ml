@@ -1224,6 +1224,153 @@ let service_speedup_floor = 2.0
 let service_hit_rate_floor = 0.5
 let service_jobs_per_sec_floor = 5.0
 
+(* The availability sweep (E27): a fixed batch of compile-and-run jobs
+   pushed serially through the supervised shard pool at several chaos
+   rates.  Everything recorded is a deterministic function of the chaos
+   plan — a pure hash of (seed, submission number, payload) — so the
+   cells carry no timings and are byte-stable across machines.  The
+   serial pass computing the expected reply bytes runs FIRST: it warms
+   the memoization cache, which forked shards inherit, keeping per-job
+   cost orders of magnitude under the deadline so the outcome counts
+   cannot depend on machine speed.  CI floors: at the committed
+   operating point (rate 0.05, 4 shards) availability stays >= 0.9 and
+   at least one shard restart is actually observed (the supervisor was
+   really exercised, not idling through a fault-free plan); at rate 0
+   every job succeeds; and at every rate each successful reply is
+   byte-identical to the serial path — one divergence fails the
+   document. *)
+let availability_chaos_seed = 7
+let availability_shards = 4
+let availability_deadline_ms = 1000
+let availability_jobs = 160
+let availability_rates = [ 0.0; 0.05; 0.1 ]
+let availability_floor_rate = 0.05
+let availability_success_floor = 0.9
+
+(* distinct sources so memoization cannot collapse the batch to one
+   compile, and an explicit id so the serial and sharded paths stamp
+   replies identically *)
+let availability_job i =
+  Machine.Json.to_string
+    (Machine.Json.Assoc
+       [
+         ("id", Machine.Json.Int i);
+         ("op", Machine.Json.String "run");
+         ( "source",
+           Machine.Json.String
+             (Fmt.str "x := %d y := x + %d z := y * y" i (1 + (i mod 7))) );
+         ("schema", Machine.Json.String "2opt");
+       ])
+
+let availability_sweep () =
+  let lines = List.init availability_jobs availability_job in
+  let expected =
+    Array.of_list
+      (List.mapi
+         (fun i l -> Machine.Json.to_string (Serve.Server.handle_line i l))
+         lines)
+  in
+  List.map
+    (fun rate ->
+      let chaos =
+        if rate > 0.0 then
+          Some
+            {
+              Service.Supervisor.c_seed = availability_chaos_seed;
+              c_rate = rate;
+              c_stall_ms = (2 * availability_deadline_ms) + 500;
+            }
+        else None
+      in
+      let sup =
+        Service.Supervisor.start
+          ~config:
+            {
+              Service.Supervisor.default_config with
+              shards = availability_shards;
+              deadline_ms = availability_deadline_ms;
+              chaos;
+            }
+          (fun id line ->
+            Machine.Json.to_string (Serve.Server.handle_line id line))
+      in
+      let ok = ref 0 and crash = ref 0 and dead = ref 0 and over = ref 0 in
+      let divergences = ref 0 in
+      List.iteri
+        (fun i line ->
+          match Service.Supervisor.submit sup ~id:i line with
+          | Service.Supervisor.Ok_line l ->
+              incr ok;
+              if l <> expected.(i) then incr divergences
+          | Service.Supervisor.Shard_crash -> incr crash
+          | Service.Supervisor.Deadline -> incr dead
+          | Service.Supervisor.Overloaded | Service.Supervisor.Draining ->
+              incr over)
+        lines;
+      let stats = Service.Supervisor.stats sup in
+      Service.Supervisor.drain sup;
+      {
+        Machine.Profile.av_chaos_rate = rate;
+        av_shards = availability_shards;
+        av_deadline_ms = availability_deadline_ms;
+        av_jobs = availability_jobs;
+        av_ok = !ok;
+        av_shard_crash = !crash;
+        av_deadline = !dead;
+        av_overloaded = !over;
+        av_restarts = stats.Service.Supervisor.s_restarts;
+        av_divergences = !divergences;
+        av_success_rate = float_of_int !ok /. float_of_int availability_jobs;
+      })
+    availability_rates
+
+(* Shared by the JSON path and the standalone E27 printer, so the two
+   can never disagree about what counts as a failed sweep.  Raises
+   [Failure] on a floor violation. *)
+let availability_check (cells : Machine.Profile.availability_cell list) =
+  List.iter
+    (fun (c : Machine.Profile.availability_cell) ->
+      if c.Machine.Profile.av_divergences > 0 then
+        failwith
+          (Fmt.str
+             "E27: %d successful replies DIVERGED from the serial path at \
+              chaos rate %.2f"
+             c.Machine.Profile.av_divergences c.Machine.Profile.av_chaos_rate))
+    cells;
+  (match
+     List.find_opt
+       (fun (c : Machine.Profile.availability_cell) ->
+         c.Machine.Profile.av_chaos_rate = availability_floor_rate)
+       cells
+   with
+  | None -> failwith "E27: the committed operating-point cell is missing"
+  | Some c ->
+      if c.Machine.Profile.av_success_rate < availability_success_floor then
+        failwith
+          (Fmt.str
+             "E27: success rate %.3f below the floor %.2f at chaos rate %.2f \
+              with %d shards"
+             c.Machine.Profile.av_success_rate availability_success_floor
+             availability_floor_rate availability_shards);
+      if c.Machine.Profile.av_restarts <= 0 then
+        failwith
+          (Fmt.str
+             "E27: no shard restarts observed at chaos rate %.2f — the \
+              supervisor was never exercised"
+             availability_floor_rate));
+  match
+    List.find_opt
+      (fun (c : Machine.Profile.availability_cell) ->
+        c.Machine.Profile.av_chaos_rate = 0.0)
+      cells
+  with
+  | Some c when c.Machine.Profile.av_ok <> c.Machine.Profile.av_jobs ->
+      failwith
+        (Fmt.str "E27: %d of %d fault-free jobs failed"
+           (c.Machine.Profile.av_jobs - c.Machine.Profile.av_ok)
+           c.Machine.Profile.av_jobs)
+  | _ -> ()
+
 (* best-of-N: the minimum observed wall time is the least-noise estimate
    of the true cost (noise is strictly additive) *)
 let time_best ~runs f =
@@ -1538,6 +1685,11 @@ let bench_json ~out ~programs_dir () =
      on the warm cache.  Byte-equality of the two outputs is the
      determinism claim; the counter delta across the timed runs is the
      warm hit rate. *)
+  (* the availability sweep (E27) forks worker shards, and the OCaml 5
+     runtime refuses Unix.fork once any domain has ever been spawned —
+     so it runs here, BEFORE the timed batches below bring up their
+     Pool domains *)
+  let availability_cells = availability_sweep () in
   let service_batch =
     List.concat_map
       (fun (_, p) ->
@@ -1612,6 +1764,15 @@ let bench_json ~out ~programs_dir () =
       ("hit_rate", Machine.Json.Float service_hit_rate);
       ("deterministic", Machine.Json.Bool service_deterministic);
       ("cells", Machine.Json.List service_cells);
+      ( "availability",
+        Machine.Json.Assoc
+          [
+            ("chaos_seed", Machine.Json.Int availability_chaos_seed);
+            ( "cells",
+              Machine.Json.List
+                (List.map Machine.Profile.availability_cell_json
+                   availability_cells) );
+          ] );
     ]
   in
   (* the scaling sweep (E26): the scale program under the scale schema
@@ -1856,6 +2017,28 @@ let bench_json ~out ~programs_dir () =
     service_n service_speedup service_jobs_parallel service_speedup_floor
     service_jobs_parallel service_rate service_jobs_per_sec_floor
     service_hit_rate service_hit_rate_floor;
+  (* the availability floors of E27: >= 0.9 success at the committed
+     operating point with restarts actually observed, a clean fault-free
+     cell, and zero divergences among successful replies *)
+  (try availability_check availability_cells
+   with Failure msg ->
+     Fmt.epr "bench: %s@." msg;
+     exit 1);
+  (match
+     List.find_opt
+       (fun (c : Machine.Profile.availability_cell) ->
+         c.Machine.Profile.av_chaos_rate = availability_floor_rate)
+       availability_cells
+   with
+  | Some c ->
+      Fmt.pr
+        "availability at chaos %.2f: %.3f (floor %.2f; %d ok, %d crash, %d \
+         deadline of %d jobs, %d restart(s), 0 divergences)@."
+        availability_floor_rate c.Machine.Profile.av_success_rate
+        availability_success_floor c.Machine.Profile.av_ok
+        c.Machine.Profile.av_shard_crash c.Machine.Profile.av_deadline
+        c.Machine.Profile.av_jobs c.Machine.Profile.av_restarts
+  | None -> ());
   (* the scaling floors of E26: every topology/stealing cell must have
      reproduced the reference store, and the full scaling stack must buy
      real throughput over the baseline wire *)
@@ -1887,7 +2070,8 @@ let bench_json ~out ~programs_dir () =
      examples x %d schemas x p in {%s}; recovery sweep on %s at p=4 x \
      intervals {%s}; certificate sweep on every certified example cell x \
      p in {%s}; serve batch of %d combo jobs at jobs in {1,%d}; scaling \
-     sweep on %s x %d configs x p up to %d)@."
+     sweep on %s x %d configs x p up to %d; availability sweep of %d jobs \
+     x chaos in {%s})@."
     out (List.length records) (List.length programs)
     (List.length bench_schemas) (List.length examples)
     (List.length mp_schemas)
@@ -1898,6 +2082,8 @@ let bench_json ~out ~programs_dir () =
     service_n service_jobs_parallel scale_program
     (List.length scale_configs)
     (List.fold_left max 1 scale_pe_counts)
+    availability_jobs
+    (String.concat "," (List.map (Fmt.str "%.2f") availability_rates))
 
 (* ===================================================================== *)
 (* E21 -- multiprocessor scalability                                     *)
@@ -2170,12 +2356,54 @@ let e26 () =
             (Fmt.str "E26: scaling floor failed (%.2f not above %.2f)" hi lo)
       | _ -> failwith "E26: scaling floor cells missing"
 
+(* ===================================================================== *)
+(* E27 -- availability under chaos                                        *)
+
+let e27 () =
+  section "E27"
+    "Availability under chaos: supervised shards x seeded fault rate";
+  claim
+    "a compile job that crashes, stalls, or truncates takes down one \
+     worker shard, never the service: the supervisor converts every fault \
+     into a structured per-job error, respawns the shard under capped \
+     backoff, and -- because execution is determinate -- every reply that \
+     does come back is byte-identical to the serial fault-free path, at \
+     any chaos rate";
+  let cells = availability_sweep () in
+  Fmt.pr "@.  %d jobs, %d shards, %dms deadline, chaos seed %d@."
+    availability_jobs availability_shards availability_deadline_ms
+    availability_chaos_seed;
+  Fmt.pr "  %6s %6s %6s %9s %7s %9s %9s %8s@." "chaos" "ok" "crash" "deadline"
+    "restart" "diverged" "success" "floor";
+  List.iter
+    (fun (c : Machine.Profile.availability_cell) ->
+      Fmt.pr "  %6.2f %6d %6d %9d %7d %9d %8.3f %8s@."
+        c.Machine.Profile.av_chaos_rate c.Machine.Profile.av_ok
+        c.Machine.Profile.av_shard_crash c.Machine.Profile.av_deadline
+        c.Machine.Profile.av_restarts c.Machine.Profile.av_divergences
+        c.Machine.Profile.av_success_rate
+        (if c.Machine.Profile.av_chaos_rate = availability_floor_rate then
+           Fmt.str ">=%.2f" availability_success_floor
+         else "-"))
+    cells;
+  availability_check cells;
+  Fmt.pr
+    "@.  floor: %.3f success at chaos %.2f (>= %.2f), restarts observed, \
+     zero divergences@."
+    (List.find
+       (fun (c : Machine.Profile.availability_cell) ->
+         c.Machine.Profile.av_chaos_rate = availability_floor_rate)
+       cells)
+      .Machine.Profile.av_success_rate availability_floor_rate
+    availability_success_floor
+
 let experiments =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
     ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
     ("E17", e17); ("E18", e18); ("E21", e21); ("E22", e22); ("E26", e26);
+    ("E27", e27);
   ]
 
 let () =

@@ -797,10 +797,171 @@ let jobs_of_flag (jobs : int option) : int =
       Fmt.epr "df_compile: --jobs must be at least 1 (got %d)@." n;
       exit 2
 
-let serve_cmd jobs =
-  Serve.Server.serve ~jobs:(jobs_of_flag jobs) stdin stdout
+(* socket-mode flags (see Serve.Socket); all are also validated here so
+   a bad value is a usage error (exit 2), matching --engine / --jobs *)
 
-let serve_term = Term.(const serve_cmd $ jobs_arg)
+let socket_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:
+          "Listen on a Unix-domain socket at $(docv) instead of serving \
+           stdin.  Jobs run on supervised worker subprocess shards.")
+
+let tcp_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "tcp" ] ~docv:"PORT"
+        ~doc:"Listen on 127.0.0.1:$(docv) instead of serving stdin.")
+
+let shards_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Worker subprocess shards for socket mode (a crashed or stalled \
+           shard is restarted with capped exponential backoff).")
+
+let deadline_ms_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Per-job wall-clock deadline in socket mode; a job that blows it \
+           gets a \"deadline\" error and its shard is killed and restarted. \
+           0 (the default) disables the deadline.")
+
+let max_queue_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "max-queue" ] ~docv:"N"
+        ~doc:
+          "Admission control for socket mode: jobs allowed to wait beyond \
+           the running shards; past that the job is rejected with an \
+           \"overloaded\" error instead of buffering without bound.")
+
+let max_line_bytes_arg =
+  Arg.(
+    value & opt int Service.Framing.default_max_line_bytes
+    & info [ "max-line-bytes" ] ~docv:"N"
+        ~doc:
+          "Per-line byte budget (stdin and socket): an oversized or \
+           unterminated line costs bounded memory and yields a per-job \
+           error result.")
+
+let chaos_seed_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "chaos-seed" ] ~docv:"SEED"
+        ~doc:
+          "Enable seeded chaos injection in socket mode: under \
+           --chaos-rate, jobs are deterministically assigned shard kills, \
+           stalls past the deadline, or truncated responses.")
+
+let chaos_rate_arg =
+  Arg.(
+    value & opt float 0.05
+    & info [ "chaos-rate" ] ~docv:"P"
+        ~doc:"Fraction of jobs faulted under --chaos-seed (within [0,1]).")
+
+let usage_error fmt =
+  Fmt.kstr
+    (fun m ->
+      Fmt.epr "df_compile: %s@." m;
+      exit 2)
+    fmt
+
+let serve_cmd jobs socket tcp shards deadline_ms max_queue max_line_bytes
+    chaos_seed chaos_rate =
+  if shards < 1 then usage_error "--shards must be at least 1 (got %d)" shards;
+  if deadline_ms < 0 then
+    usage_error "--deadline-ms must be >= 0 (got %d)" deadline_ms;
+  if max_queue < 0 then
+    usage_error "--max-queue must be >= 0 (got %d)" max_queue;
+  if max_line_bytes < 1 then
+    usage_error "--max-line-bytes must be at least 1 (got %d)" max_line_bytes;
+  if chaos_rate < 0.0 || chaos_rate > 1.0 then
+    usage_error "--chaos-rate must be within [0, 1] (got %g)" chaos_rate;
+  let endpoint =
+    match (socket, tcp) with
+    | Some _, Some _ -> usage_error "--socket and --tcp are mutually exclusive"
+    | Some path, None -> Some (Serve.Socket.Unix_path path)
+    | None, Some port ->
+        if port < 1 || port > 65535 then
+          usage_error "--tcp port must be within [1, 65535] (got %d)" port;
+        Some (Serve.Socket.Tcp port)
+    | None, None -> None
+  in
+  match endpoint with
+  | None ->
+      if chaos_seed <> None then
+        usage_error "--chaos-seed requires socket mode (--socket or --tcp)";
+      Serve.Server.serve ~jobs:(jobs_of_flag jobs) ~max_line_bytes stdin stdout
+  | Some endpoint ->
+      let chaos =
+        match chaos_seed with
+        | None -> None
+        | Some seed ->
+            Some
+              {
+                Service.Supervisor.c_seed = seed;
+                c_rate = chaos_rate;
+                (* stall comfortably past the deadline so stalls are
+                   classified as deadline kills, yet bounded when the
+                   deadline is off *)
+                c_stall_ms =
+                  (if deadline_ms > 0 then (2 * deadline_ms) + 500 else 400);
+              }
+      in
+      Serve.Socket.listen endpoint
+        {
+          Serve.Socket.shards;
+          deadline_ms;
+          max_queue;
+          max_line_bytes;
+          chaos;
+        }
+
+let serve_term =
+  Term.(
+    const serve_cmd $ jobs_arg $ socket_arg $ tcp_arg $ shards_arg
+    $ deadline_ms_arg $ max_queue_arg $ max_line_bytes_arg $ chaos_seed_arg
+    $ chaos_rate_arg)
+
+(* --- client: submit a batch to a socket server ----------------------- *)
+
+let retries_arg =
+  Arg.(
+    value & opt int 5
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Retry budget per job: connect failures, dropped connections, \
+           and \"overloaded\"/\"shard-crash\" results are retried with \
+           doubling backoff (determinacy makes blind retry sound).")
+
+let backoff_ms_arg =
+  Arg.(
+    value & opt int 50
+    & info [ "backoff-ms" ] ~docv:"MS" ~doc:"Initial retry backoff.")
+
+let client_cmd socket tcp retries backoff_ms =
+  if retries < 0 then usage_error "--retries must be >= 0 (got %d)" retries;
+  if backoff_ms < 1 then
+    usage_error "--backoff-ms must be at least 1 (got %d)" backoff_ms;
+  let endpoint =
+    match (socket, tcp) with
+    | Some _, Some _ -> usage_error "--socket and --tcp are mutually exclusive"
+    | Some path, None -> Serve.Socket.Unix_path path
+    | None, Some port ->
+        if port < 1 || port > 65535 then
+          usage_error "--tcp port must be within [1, 65535] (got %d)" port;
+        Serve.Socket.Tcp port
+    | None, None -> usage_error "client needs --socket PATH or --tcp PORT"
+  in
+  exit (Serve.Socket.client ~retries ~backoff_ms endpoint stdin stdout)
+
+let client_term =
+  Term.(const client_cmd $ socket_arg $ tcp_arg $ retries_arg $ backoff_ms_arg)
 
 let selfcheck_cmd seed count broken certify_only jobs =
   (* certificate-only validation exercises the aliasing side too: the
@@ -937,8 +1098,21 @@ let cmds =
             requests (compile / run / simulate / selfcheck-combo / stats) \
             on stdin, execute them on a fixed pool of worker domains with \
             content-hashed memoization of the compilation pipeline, and \
-            write one JSON result line per job in submission order")
+            write one JSON result line per job in submission order.  With \
+            --socket/--tcp, listen on a socket instead and run jobs on \
+            supervised, crash-isolated worker subprocess shards with \
+            per-job deadlines, admission control and graceful drain on \
+            SIGTERM/SIGINT")
       serve_term;
+    Cmd.v
+      (Cmd.info "client"
+         ~doc:
+           "Submit a batch of line-delimited JSON jobs from stdin to a \
+            `serve --socket/--tcp` server, retrying transient failures \
+            (connect errors, \"overloaded\", \"shard-crash\") with \
+            capped exponential backoff; one result line per job on \
+            stdout, in input order")
+      client_term;
   ]
 
 let () =

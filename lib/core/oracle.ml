@@ -525,7 +525,9 @@ let selfcheck ?(gen = Workloads.Random_gen.default_config) ?machine
   Array.iteri
     (fun i st ->
       let index, p, c = grid.(i) in
-      let st = match st with Ok st -> st | Error e -> raise e in
+      let st =
+        match st with Ok st -> st | Error f -> Service.Pool.reraise f
+      in
       match st with
       | Agree ->
           bump c.c_name;

@@ -390,7 +390,7 @@ let pp ppf (p : t) =
 (* ---------------------------------------------------------------- *)
 (* benchmark records (shared by bench/main.ml and the tests)        *)
 
-let bench_schema_version = 7
+let bench_schema_version = 8
 
 type mp_cell = {
   mp_pes : int;
@@ -583,6 +583,43 @@ let service_cell_json (c : service_cell) : Json.t =
       ("speedup", Json.Float c.sv_speedup);
     ]
 
+(* One point of the availability sweep (E27): a batch pushed through the
+   supervised shard service at one chaos rate.  Every field is a count
+   of deterministic outcomes (the chaos plan is a pure hash of the seed
+   and submission order), so the cells carry no timings and are
+   bit-stable across runs and machines. *)
+type availability_cell = {
+  av_chaos_rate : float;
+  av_shards : int;
+  av_deadline_ms : int;
+  av_jobs : int;
+  av_ok : int;
+  av_shard_crash : int;
+  av_deadline : int;
+  av_overloaded : int;
+  av_restarts : int;
+  av_divergences : int;
+      (** successful results that differ from the serial stdin path —
+          must be 0, enforced by validation *)
+  av_success_rate : float;
+}
+
+let availability_cell_json (c : availability_cell) : Json.t =
+  Json.Assoc
+    [
+      ("chaos_rate", Json.Float c.av_chaos_rate);
+      ("shards", Json.Int c.av_shards);
+      ("deadline_ms", Json.Int c.av_deadline_ms);
+      ("jobs", Json.Int c.av_jobs);
+      ("ok", Json.Int c.av_ok);
+      ("shard_crash", Json.Int c.av_shard_crash);
+      ("deadline", Json.Int c.av_deadline);
+      ("overloaded", Json.Int c.av_overloaded);
+      ("restarts", Json.Int c.av_restarts);
+      ("divergences", Json.Int c.av_divergences);
+      ("success_rate", Json.Float c.av_success_rate);
+    ]
+
 (* One point of the scaling sweep (E26): a topology x placement x
    stealing configuration of one compiled program at one PE count. *)
 type scale_cell = {
@@ -750,7 +787,74 @@ let validate_bench (j : Json.t) : (unit, string) result =
               let* () = check_cell k c in
               cells_ok (k + 1) rest
         in
-        cells_ok 0 cells
+        let* () = cells_ok 0 cells in
+        (* the availability sweep (E27) is optional, but when present
+           the outcome counts must partition the batch and every
+           successful result must have matched the serial stdin path —
+           a divergence under chaos is a validation failure *)
+        (match Json.member "availability" s with
+        | None -> Ok ()
+        | Some a ->
+            let* av_cells =
+              req "availability: missing cells"
+                (Option.bind (Json.member "cells" a) Json.to_list_opt)
+            in
+            let* () =
+              if av_cells = [] then Error "availability: no cells" else Ok ()
+            in
+            let check_av k c =
+              let where what = Fmt.str "availability cell %d: %s" k what in
+              let int key = Option.bind (Json.member key c) Json.to_int_opt in
+              let flt key = Option.bind (Json.member key c) Json.to_float_opt in
+              let* rate = req (where "missing chaos_rate") (flt "chaos_rate") in
+              let* () =
+                if rate >= 0.0 && rate <= 1.0 then Ok ()
+                else Error (where "chaos_rate outside [0,1]")
+              in
+              let* shards = req (where "missing shards") (int "shards") in
+              let* () =
+                if shards >= 1 then Ok () else Error (where "shards < 1")
+              in
+              let* jobs = req (where "missing jobs") (int "jobs") in
+              let* () = if jobs >= 1 then Ok () else Error (where "jobs < 1") in
+              let* ok = req (where "missing ok") (int "ok") in
+              let* crash =
+                req (where "missing shard_crash") (int "shard_crash")
+              in
+              let* dead = req (where "missing deadline") (int "deadline") in
+              let* over = req (where "missing overloaded") (int "overloaded") in
+              let* () =
+                if ok + crash + dead + over = jobs then Ok ()
+                else Error (where "outcome counts do not partition the batch")
+              in
+              let* restarts = req (where "missing restarts") (int "restarts") in
+              let* () =
+                if restarts >= 0 then Ok ()
+                else Error (where "negative restarts")
+              in
+              let* rate' =
+                req (where "missing success_rate") (flt "success_rate")
+              in
+              let* () =
+                if Float.abs (rate' -. (float_of_int ok /. float_of_int jobs))
+                   < 1e-9
+                then Ok ()
+                else Error (where "success_rate inconsistent with ok/jobs")
+              in
+              let* div =
+                req (where "missing divergences") (int "divergences")
+              in
+              if div = 0 then Ok ()
+              else
+                Error (where "successful results diverged from the serial path")
+            in
+            let rec avs_ok k = function
+              | [] -> Ok ()
+              | c :: rest ->
+                  let* () = check_av k c in
+                  avs_ok (k + 1) rest
+            in
+            avs_ok 0 av_cells)
   in
   (* the scaling section is optional but when present every cell must be
      well-typed and determinate — a topology or stealing configuration

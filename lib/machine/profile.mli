@@ -193,6 +193,29 @@ type service_cell = {
 
 val service_cell_json : service_cell -> Json.t
 
+(** One point of the availability sweep (E27): a batch of jobs pushed
+    through the supervised socket service at a given chaos rate, with
+    per-outcome counts.  No timings — every field is a deterministic
+    function of the chaos plan, so the cell is byte-stable across
+    machines.  [av_divergences] counts successful results whose bytes
+    differ from the serial stdin path; {!validate_bench} requires it to
+    be zero. *)
+type availability_cell = {
+  av_chaos_rate : float;  (** injected fault probability, [0, 1] *)
+  av_shards : int;  (** worker subprocesses *)
+  av_deadline_ms : int;  (** per-job deadline (0 = off) *)
+  av_jobs : int;  (** batch size *)
+  av_ok : int;
+  av_shard_crash : int;
+  av_deadline : int;
+  av_overloaded : int;
+  av_restarts : int;  (** shard respawns observed during the batch *)
+  av_divergences : int;  (** successes differing from the serial path *)
+  av_success_rate : float;  (** [av_ok / av_jobs] *)
+}
+
+val availability_cell_json : availability_cell -> Json.t
+
 (** One point of the scaling sweep (E26): a topology x placement x
     stealing configuration of one compiled program at one PE count.
     [sc_net_hops] counts link traversals — each message weighted by its
@@ -218,8 +241,10 @@ val scale_cell_json : scale_cell -> Json.t
 (** The whole document: meta header, optional [multiproc_summary]
     scalars (e.g. [speedup_p8], [cut_traffic_ratio],
     [multiproc_determinate]), optional [service] section (cache
-    counters, [deterministic] byte-stability bit, and the timed
-    {!service_cell}s under ["cells"]), optional [scale] section (the
+    counters, [deterministic] byte-stability bit, the timed
+    {!service_cell}s under ["cells"], and an optional ["availability"]
+    block holding {!availability_cell}s from the E27 chaos sweep),
+    optional [scale] section (the
     E26 topology sweep: program, schema, and {!scale_cell}s under
     ["cells"]) and the records. *)
 val bench_file :
@@ -240,7 +265,9 @@ val bench_file :
     [multiproc_determinate = true] — and when the [service] section is
     present: well-typed cache counters and cells with
     [deterministic = true] (byte-identical batch output at every jobs
-    setting), and when the [scale] section is present: well-typed cells
+    setting) plus, if an ["availability"] block is attached, cells whose
+    outcome counts partition the batch and carry zero divergences, and
+    when the [scale] section is present: well-typed cells
     each [determinate] with at least one link hop per message.  Any
     divergence is a validation error. *)
 val validate_bench : Json.t -> (unit, string) result

@@ -1,0 +1,30 @@
+let default_max_line_bytes = 1 lsl 20
+
+type line =
+  | Line of string
+  | Truncated of int
+  | Eof
+
+let input ?(max_bytes = default_max_line_bytes) (ic : in_channel) : line =
+  if max_bytes < 1 then invalid_arg "Framing.input: max_bytes must be >= 1";
+  let buf = Buffer.create 256 in
+  (* Once the line is over budget we stop retaining bytes and only count
+     them, so a hostile unterminated line costs O(max_bytes) memory, not
+     O(line).  [overflow] is the number of discarded bytes. *)
+  let rec go overflow =
+    match input_char ic with
+    | exception End_of_file ->
+        if overflow > 0 then Truncated (Buffer.length buf + overflow)
+        else if Buffer.length buf = 0 then Eof
+        else Line (Buffer.contents buf)
+    | '\n' ->
+        if overflow > 0 then Truncated (Buffer.length buf + overflow)
+        else Line (Buffer.contents buf)
+    | c ->
+        if overflow > 0 || Buffer.length buf >= max_bytes then go (overflow + 1)
+        else begin
+          Buffer.add_char buf c;
+          go 0
+        end
+  in
+  go 0

@@ -1,0 +1,27 @@
+(** Bounded line framing for the job protocol.
+
+    [Stdlib.input_line] happily buffers an arbitrarily long line, so a
+    single unterminated request could grow the server without bound.
+    This reader enforces a byte budget per line: within budget it
+    behaves exactly like [input_line] (the final unterminated line is
+    still returned, which keeps the stdin path byte-identical to the
+    unbounded reader on well-formed input); past budget it keeps
+    *counting* bytes but stops *retaining* them, consumes up to the next
+    newline (or EOF) so the stream stays line-synchronised, and reports
+    the oversized line's total length. *)
+
+val default_max_line_bytes : int
+(** 1 MiB — generous for JSON job lines (the largest committed example
+    is under 2 KB) while still bounding a hostile stream. *)
+
+type line =
+  | Line of string  (** a line within budget, newline stripped *)
+  | Truncated of int
+      (** the line exceeded the budget; payload discarded, total byte
+          length (excluding the newline) reported *)
+  | Eof
+
+val input : ?max_bytes:int -> in_channel -> line
+(** Read one line of at most [max_bytes] bytes (default
+    {!default_max_line_bytes}).  Memory use is O(max_bytes) regardless
+    of input.  @raise Invalid_argument if [max_bytes < 1]. *)

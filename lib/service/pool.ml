@@ -4,13 +4,32 @@ let check_jobs jobs =
   if jobs < 1 then
     invalid_arg (Printf.sprintf "Pool: jobs must be at least 1 (got %d)" jobs)
 
-let run_task f x = try Ok (f x) with e -> Error e
+type failure = { f_exn : exn; f_backtrace : Printexc.raw_backtrace }
+
+let reraise { f_exn; f_backtrace } =
+  Printexc.raise_with_backtrace f_exn f_backtrace
+
+let failure_to_string { f_exn; f_backtrace } =
+  let bt = Printexc.raw_backtrace_to_string f_backtrace in
+  if String.trim bt = "" then Printexc.to_string f_exn
+  else Printf.sprintf "%s\n%s" (Printexc.to_string f_exn) bt
+
+let run_task f x =
+  try Ok (f x)
+  with e ->
+    (* capture the trace at the raise site, before any further
+       allocation can clobber it, so pool and shard failures stay
+       diagnosable after crossing the domain boundary *)
+    let bt = Printexc.get_raw_backtrace () in
+    Error { f_exn = e; f_backtrace = bt }
+
+let placeholder = Error { f_exn = Not_found; f_backtrace = Printexc.get_callstack 0 }
 
 let map ?(jobs = default_jobs ()) (f : 'a -> 'b) (items : 'a array) :
-    ('b, exn) result array =
+    ('b, failure) result array =
   check_jobs jobs;
   let n = Array.length items in
-  let results = Array.make n (Error Not_found) in
+  let results = Array.make n placeholder in
   let workers = min jobs n in
   if workers <= 1 then
     Array.iteri (fun i x -> results.(i) <- run_task f x) items
@@ -35,7 +54,7 @@ let map ?(jobs = default_jobs ()) (f : 'a -> 'b) (items : 'a array) :
   results
 
 let map_emit ?(jobs = default_jobs ())
-    ~(emit : int -> ('b, exn) result -> unit) (f : 'a -> 'b)
+    ~(emit : int -> ('b, failure) result -> unit) (f : 'a -> 'b)
     (items : 'a array) : unit =
   check_jobs jobs;
   let n = Array.length items in
@@ -43,29 +62,33 @@ let map_emit ?(jobs = default_jobs ())
   if workers <= 1 then
     Array.iteri (fun i x -> emit i (run_task f x)) items
   else begin
-    let slots : ('b, exn) result option array = Array.make n None in
+    let slots : ('b, failure) result option array = Array.make n None in
     let mutex = Mutex.create () in
     let flushed = ref 0 in
     let next = Atomic.make 0 in
     (* the flush front: whoever completes slot [!flushed] drains every
        contiguous ready slot, under the mutex, so emissions are strictly
-       ordered and never concurrent *)
+       ordered and never concurrent.  [emit] is caller code and may
+       raise: the unlock must survive that, or every other worker
+       deadlocks on the next deposit. *)
     let deposit i r =
       Mutex.lock mutex;
-      slots.(i) <- Some r;
-      let rec drain () =
-        if !flushed < n then
-          match slots.(!flushed) with
-          | Some r ->
-              let i = !flushed in
-              incr flushed;
-              slots.(i) <- None;
-              emit i r;
-              drain ()
-          | None -> ()
-      in
-      drain ();
-      Mutex.unlock mutex
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock mutex)
+        (fun () ->
+          slots.(i) <- Some r;
+          let rec drain () =
+            if !flushed < n then
+              match slots.(!flushed) with
+              | Some r ->
+                  let i = !flushed in
+                  incr flushed;
+                  slots.(i) <- None;
+                  emit i r;
+                  drain ()
+              | None -> ()
+          in
+          drain ())
     in
     let worker () =
       let rec go () =

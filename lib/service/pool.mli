@@ -11,7 +11,21 @@
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()]. *)
 
-val map : ?jobs:int -> ('a -> 'b) -> 'a array -> ('b, exn) result array
+type failure = { f_exn : exn; f_backtrace : Printexc.raw_backtrace }
+(** A task failure: the exception plus the backtrace captured at the
+    raise site (on the worker domain), so failures crossing the pool
+    boundary stay diagnosable. *)
+
+val reraise : failure -> 'a
+(** Re-raise [f_exn] with the original [f_backtrace] attached
+    ([Printexc.raise_with_backtrace]). *)
+
+val failure_to_string : failure -> string
+(** [Printexc.to_string] of the exception, followed by the captured
+    backtrace when one was recorded (compiled with [-g] and backtraces
+    enabled), for log/error payloads. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a array -> ('b, failure) result array
 (** [map ~jobs f items] applies [f] to every item on at most [jobs]
     domains (default {!default_jobs}) and returns per-item results in
     input order.  A task that raises yields [Error] in its own slot and
@@ -20,10 +34,12 @@ val map : ?jobs:int -> ('a -> 'b) -> 'a array -> ('b, exn) result array
     @raise Invalid_argument if [jobs < 1]. *)
 
 val map_emit :
-  ?jobs:int -> emit:(int -> ('b, exn) result -> unit) -> ('a -> 'b) ->
+  ?jobs:int -> emit:(int -> ('b, failure) result -> unit) -> ('a -> 'b) ->
   'a array -> unit
 (** Like {!map} but streams: [emit i r] is called exactly once per item,
     strictly in index order, as soon as every result up to [i] is
     available.  [emit] runs on the calling domain for [jobs <= 1] and on
     whichever worker completes the flush-front otherwise, but never
-    concurrently with itself. *)
+    concurrently with itself.  An [emit] that raises propagates to the
+    worker that called it, but never leaves the internal mutex held:
+    the remaining workers keep draining their own slots. *)

@@ -364,6 +364,17 @@ let dispatch index (j : J.t) : J.t =
   | Bad m -> error_result id m
   | e -> error_result id (Printexc.to_string e)
 
+let request_id (index : int) (line : string) : int =
+  match J.of_string line with
+  | exception J.Parse_error _ -> index
+  | J.Assoc _ as j -> id_of index j
+  | _ -> index
+
+let oversized_result index ~bytes ~limit : J.t =
+  error_result index
+    (Printf.sprintf "line too long: %d bytes (limit %d, see --max-line-bytes)"
+       bytes limit)
+
 let handle_line (index : int) (line : string) : J.t =
   match J.of_string line with
   | exception J.Parse_error m ->
@@ -390,7 +401,15 @@ let classify index line : entry =
       | _ -> Job j)
   | _ -> Immediate (error_result index "request must be a JSON object")
 
-let run_batch ?jobs (lines : string list) : string list =
+let run_batch ?jobs ?(max_line_bytes = Service.Framing.default_max_line_bytes)
+    (lines : string list) : string list =
+  let classify index line =
+    if String.length line > max_line_bytes then
+      Immediate
+        (oversized_result index ~bytes:(String.length line)
+           ~limit:max_line_bytes)
+    else classify index line
+  in
   let entries = Array.of_list (List.mapi classify lines) in
   let results =
     Service.Pool.map ?jobs
@@ -409,21 +428,36 @@ let run_batch ?jobs (lines : string list) : string list =
         match (entries.(i), r) with
         | Stats id, _ -> stats_result id
         | _, Ok v -> v
-        | _, Error e -> error_result i (Printexc.to_string e))
+        | _, Error f -> error_result i (Service.Pool.failure_to_string f))
       results
   in
   Array.to_list (Array.map J.to_string results)
 
-let serve ?jobs (ic : in_channel) (oc : out_channel) : unit =
+let serve ?jobs ?(max_line_bytes = Service.Framing.default_max_line_bytes)
+    (ic : in_channel) (oc : out_channel) : unit =
+  (* an oversized line's payload was discarded at read time (memory
+     stays bounded); it rides through the batch as an empty placeholder
+     and its result line is substituted on the way out *)
   let rec read acc =
-    match input_line ic with
-    | line -> read (line :: acc)
-    | exception End_of_file -> List.rev acc
+    match Service.Framing.input ~max_bytes:max_line_bytes ic with
+    | Service.Framing.Eof -> List.rev acc
+    | Service.Framing.Line l -> read (`Line l :: acc)
+    | Service.Framing.Truncated bytes -> read (`Oversized bytes :: acc)
   in
-  let lines = read [] in
-  List.iter
-    (fun l ->
+  let items = read [] in
+  let lines =
+    List.map (function `Line l -> l | `Oversized _ -> "") items
+  in
+  let results = run_batch ?jobs ~max_line_bytes lines in
+  List.iteri
+    (fun i (item, result) ->
+      let l =
+        match item with
+        | `Line _ -> result
+        | `Oversized bytes ->
+            J.to_string (oversized_result i ~bytes ~limit:max_line_bytes)
+      in
       output_string oc l;
       output_char oc '\n')
-    (run_batch ?jobs lines);
+    (List.combine items results);
   flush oc

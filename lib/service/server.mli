@@ -41,11 +41,29 @@ val handle_line : int -> string -> Machine.Json.t
     ["stats"], which it answers with current — not post-batch —
     counters).  Never raises. *)
 
-val run_batch : ?jobs:int -> string list -> string list
+val request_id : int -> string -> int
+(** The [id] a result for [line] at position [index] will carry: the
+    line's ["id"] field if it parses to an object with an integer id,
+    [index] otherwise.  Used by the socket front end to tag supervisor
+    failures ("shard-crash", "deadline", ...) consistently with the
+    results the shard itself would have produced.  Never raises. *)
+
+val error_result : int -> string -> Machine.Json.t
+(** [{"id": id, "ok": false, "error": msg}] — the per-job failure shape
+    shared by the stdin batch path and the socket front end. *)
+
+val oversized_result : int -> bytes:int -> limit:int -> Machine.Json.t
+(** The per-job error for a line that blew the [max-line-bytes] budget. *)
+
+val run_batch : ?jobs:int -> ?max_line_bytes:int -> string list -> string list
 (** Execute a batch on at most [jobs] domains (default
     {!Service.Pool.default_jobs}); returns one compact JSON line per
-    input line, in input order.
+    input line, in input order.  A line longer than [max_line_bytes]
+    (default {!Service.Framing.default_max_line_bytes}) yields
+    {!oversized_result} instead of being parsed.
     @raise Invalid_argument if [jobs < 1]. *)
 
-val serve : ?jobs:int -> in_channel -> out_channel -> unit
-(** Read lines to EOF, {!run_batch}, write results. *)
+val serve : ?jobs:int -> ?max_line_bytes:int -> in_channel -> out_channel -> unit
+(** Read lines to EOF (via bounded {!Service.Framing.input}, so an
+    oversized or unterminated line costs O(max_line_bytes) memory and
+    becomes a per-job error), {!run_batch}, write results. *)

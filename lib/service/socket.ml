@@ -1,0 +1,358 @@
+(* The hardened network front end (see the interface). *)
+
+module J = Machine.Json
+
+type endpoint = Unix_path of string | Tcp of int
+
+type options = {
+  shards : int;
+  deadline_ms : int;
+  max_queue : int;
+  max_line_bytes : int;
+  chaos : Service.Supervisor.chaos option;
+}
+
+let default_options =
+  {
+    shards = 4;
+    deadline_ms = 0;
+    max_queue = 64;
+    max_line_bytes = Service.Framing.default_max_line_bytes;
+    chaos = None;
+  }
+
+let sockaddr_of = function
+  | Unix_path path -> Unix.ADDR_UNIX path
+  | Tcp port -> Unix.ADDR_INET (Unix.inet_addr_loopback, port)
+
+let endpoint_to_string = function
+  | Unix_path path -> Printf.sprintf "unix:%s" path
+  | Tcp port -> Printf.sprintf "tcp:127.0.0.1:%d" port
+
+(* --- server ----------------------------------------------------------- *)
+
+type server = {
+  sup : Service.Supervisor.t;
+  endpoint : endpoint;
+  options : options;
+  listener : Unix.file_descr;
+  stop_r : Unix.file_descr;  (* self-pipe: wakes the accept loop *)
+  stop_w : Unix.file_descr;
+  mutex : Mutex.t;
+  mutable conns : Unix.file_descr list;  (* live connections, for drain *)
+  mutable threads : Thread.t list;
+  mutable stopping : bool;
+  mutable accept_thread : Thread.t option;
+  registry : Unix.file_descr list ref;
+      (* server fds a freshly forked shard must close; refreshed under
+         [mutex], read lock-free on the child side of the fork *)
+}
+
+let refresh_registry_locked s =
+  s.registry := s.listener :: s.stop_r :: s.stop_w :: s.conns
+
+let rec eintr f = try f () with Unix.Unix_error (Unix.EINTR, _, _) -> eintr f
+
+let failure_line id reason =
+  J.to_string (Server.error_result id reason)
+
+let handle_connection (s : server) (fd : Unix.file_descr) : unit =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let index = ref 0 in
+  (try
+     let rec loop () =
+       match Service.Framing.input ~max_bytes:s.options.max_line_bytes ic with
+       | Service.Framing.Eof -> ()
+       | item ->
+           let i = !index in
+           incr index;
+           let reply =
+             match item with
+             | Service.Framing.Eof -> assert false
+             | Service.Framing.Truncated bytes ->
+                 J.to_string
+                   (Server.oversized_result i ~bytes
+                      ~limit:s.options.max_line_bytes)
+             | Service.Framing.Line line -> (
+                 let id = Server.request_id i line in
+                 if s.stopping then failure_line id "draining"
+                 else
+                   match Service.Supervisor.submit s.sup ~id:i line with
+                   | Service.Supervisor.Ok_line r -> r
+                   | Service.Supervisor.Shard_crash ->
+                       failure_line id "shard-crash"
+                   | Service.Supervisor.Deadline -> failure_line id "deadline"
+                   | Service.Supervisor.Overloaded ->
+                       failure_line id "overloaded"
+                   | Service.Supervisor.Draining -> failure_line id "draining")
+           in
+           output_string oc reply;
+           output_char oc '\n';
+           flush oc;
+           loop ()
+     in
+     loop ()
+   with
+  | Sys_error _ | End_of_file -> ()  (* peer went away mid-line *)
+  | Unix.Unix_error _ -> ());
+  Mutex.lock s.mutex;
+  s.conns <- List.filter (fun c -> c != fd) s.conns;
+  refresh_registry_locked s;
+  Mutex.unlock s.mutex;
+  (try flush oc with Sys_error _ | Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let accept_loop (s : server) : unit =
+  let rec loop () =
+    let ready, _, _ = eintr (fun () -> Unix.select [ s.listener; s.stop_r ] [] [] (-1.0)) in
+    if List.memq s.stop_r ready then ()
+    else begin
+      (match eintr (fun () -> Unix.accept s.listener) with
+      | exception Unix.Unix_error _ -> ()
+      | fd, _ ->
+          Mutex.lock s.mutex;
+          if s.stopping then begin
+            Mutex.unlock s.mutex;
+            try Unix.close fd with Unix.Unix_error _ -> ()
+          end
+          else begin
+            s.conns <- fd :: s.conns;
+            refresh_registry_locked s;
+            let th = Thread.create (fun () -> handle_connection s fd) () in
+            s.threads <- th :: s.threads;
+            Mutex.unlock s.mutex
+          end);
+      loop ()
+    end
+  in
+  loop ()
+
+let start (endpoint : endpoint) (options : options) : server =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  (* the shards fork *before* the listener exists, so the initial ones
+     inherit no server fds at all; respawned shards close the live ones
+     via this registry.  It is read on the child side of a fork, where
+     taking a parent lock could deadlock, so it is a plain snapshot
+     (immutable list behind a ref) the parent refreshes under its
+     mutex, never a closure that locks. *)
+  let registry = ref [] in
+  let sup =
+    Service.Supervisor.start
+      ~config:
+        {
+          Service.Supervisor.default_config with
+          shards = options.shards;
+          deadline_ms = options.deadline_ms;
+          max_queue = options.max_queue;
+          chaos = options.chaos;
+          close_in_child = (fun () -> !registry);
+        }
+      (fun id line -> J.to_string (Server.handle_line id line))
+  in
+  let listener =
+    Unix.socket
+      (match endpoint with Unix_path _ -> Unix.PF_UNIX | Tcp _ -> Unix.PF_INET)
+      Unix.SOCK_STREAM 0
+  in
+  (match endpoint with
+  | Unix_path path -> if Sys.file_exists path then Unix.unlink path
+  | Tcp _ -> Unix.setsockopt listener Unix.SO_REUSEADDR true);
+  Unix.bind listener (sockaddr_of endpoint);
+  Unix.listen listener 64;
+  let stop_r, stop_w = Unix.pipe () in
+  let s =
+    {
+      sup;
+      endpoint;
+      options;
+      listener;
+      stop_r;
+      stop_w;
+      mutex = Mutex.create ();
+      conns = [];
+      threads = [];
+      stopping = false;
+      accept_thread = None;
+      registry;
+    }
+  in
+  refresh_registry_locked s;
+  s.accept_thread <- Some (Thread.create (fun () -> accept_loop s) ());
+  s
+
+(* Signal-handler safe: a single write to the self-pipe. *)
+let shutdown (s : server) : unit =
+  try ignore (Unix.write_substring s.stop_w "x" 0 1)
+  with Unix.Unix_error _ -> ()
+
+let wait (s : server) : Service.Supervisor.stats =
+  (match s.accept_thread with Some th -> Thread.join th | None -> ());
+  Mutex.lock s.mutex;
+  s.stopping <- true;
+  let conns = s.conns in
+  Mutex.unlock s.mutex;
+  (* wake connection threads parked in a read: after the in-channel's
+     buffered bytes run out they see EOF, finish their in-flight job,
+     write its result, and exit *)
+  List.iter
+    (fun fd ->
+      try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+    conns;
+  let rec join_all () =
+    Mutex.lock s.mutex;
+    let threads = s.threads in
+    s.threads <- [];
+    Mutex.unlock s.mutex;
+    match threads with
+    | [] -> ()
+    | ts ->
+        List.iter Thread.join ts;
+        join_all ()
+  in
+  join_all ();
+  Service.Supervisor.drain s.sup;
+  (try Unix.close s.listener with Unix.Unix_error _ -> ());
+  (match s.endpoint with
+  | Unix_path path -> ( try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+  | Tcp _ -> ());
+  (try Unix.close s.stop_r with Unix.Unix_error _ -> ());
+  (try Unix.close s.stop_w with Unix.Unix_error _ -> ());
+  Service.Supervisor.stats s.sup
+
+let listen (endpoint : endpoint) (options : options) : unit =
+  (* Not [Sys.Signal_handle]: an OCaml signal handler only runs once
+     some thread re-enters OCaml code, and at idle every thread here is
+     parked in a blocking section (join / select / read) — the handler
+     could be delayed indefinitely.  Blocking the signals and sigwaiting
+     them in a dedicated thread is delivery we control. *)
+  ignore (Thread.sigmask Unix.SIG_BLOCK [ Sys.sigterm; Sys.sigint ]);
+  let s = start endpoint options in
+  let (_ : Thread.t) =
+    Thread.create
+      (fun () ->
+        ignore (Thread.wait_signal [ Sys.sigterm; Sys.sigint ]);
+        shutdown s)
+      ()
+  in
+  Printf.printf "serve: listening on %s (shards=%d deadline-ms=%d max-queue=%d%s)\n%!"
+    (endpoint_to_string endpoint) options.shards options.deadline_ms
+    options.max_queue
+    (match options.chaos with
+    | None -> ""
+    | Some c ->
+        Printf.sprintf " chaos-seed=%d chaos-rate=%g" c.c_seed c.c_rate);
+  let st = wait s in
+  Printf.printf
+    "serve: drained ok=%d shard-crash=%d deadline=%d overloaded=%d restarts=%d\n%!"
+    st.Service.Supervisor.s_ok st.Service.Supervisor.s_crashed
+    st.Service.Supervisor.s_timed_out st.Service.Supervisor.s_rejected
+    st.Service.Supervisor.s_restarts
+
+(* --- client ----------------------------------------------------------- *)
+
+let retryable_error line =
+  match J.of_string line with
+  | exception J.Parse_error _ -> false
+  | j -> (
+      match (J.member "ok" j, J.member "error" j) with
+      | Some (J.Bool false), Some (J.String e) ->
+          e = "overloaded" || e = "shard-crash"
+      | _ -> false)
+
+type conn = { c_fd : Unix.file_descr; c_ic : in_channel; c_oc : out_channel }
+
+let connect endpoint =
+  let fd =
+    Unix.socket
+      (match endpoint with Unix_path _ -> Unix.PF_UNIX | Tcp _ -> Unix.PF_INET)
+      Unix.SOCK_STREAM 0
+  in
+  match Unix.connect fd (sockaddr_of endpoint) with
+  | () ->
+      {
+        c_fd = fd;
+        c_ic = Unix.in_channel_of_descr fd;
+        c_oc = Unix.out_channel_of_descr fd;
+      }
+  | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e
+
+let close_conn c = try Unix.close c.c_fd with Unix.Unix_error _ -> ()
+
+let client ?(retries = 5) ?(backoff_ms = 50) (endpoint : endpoint)
+    (ic : in_channel) (oc : out_channel) : int =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let rec read_lines acc =
+    match input_line ic with
+    | l -> read_lines (l :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  let lines = read_lines [] in
+  let conn = ref None in
+  let backoff attempt =
+    Unix.sleepf
+      (float_of_int (min 2000 (backoff_ms * (1 lsl min 10 attempt)))
+      /. 1000.0)
+  in
+  let rec connected attempt =
+    match !conn with
+    | Some c -> c
+    | None -> (
+        match connect endpoint with
+        | c ->
+            conn := Some c;
+            c
+        | exception Unix.Unix_error (_, _, _) when attempt < retries ->
+            backoff attempt;
+            connected (attempt + 1))
+  in
+  let exchange line =
+    let c = connected 0 in
+    output_string c.c_oc line;
+    output_char c.c_oc '\n';
+    flush c.c_oc;
+    input_line c.c_ic
+  in
+  let failed = ref false in
+  List.iteri
+    (fun i line ->
+      let rec attempt n =
+        match exchange line with
+        | reply ->
+            if retryable_error reply && n < retries then begin
+              backoff n;
+              attempt (n + 1)
+            end
+            else begin
+              output_string oc reply;
+              output_char oc '\n'
+            end
+        | exception
+            ( End_of_file | Sys_error _
+            | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.ECONNREFUSED | Unix.ENOENT), _, _) ) ->
+            (match !conn with
+            | Some c ->
+                close_conn c;
+                conn := None
+            | None -> ());
+            if n < retries then begin
+              backoff n;
+              attempt (n + 1)
+            end
+            else begin
+              failed := true;
+              output_string oc
+                (failure_line (Server.request_id i line)
+                   "client: connection lost, retries exhausted");
+              output_char oc '\n'
+            end
+      in
+      attempt 0)
+    lines;
+  (match !conn with Some c -> close_conn c | None -> ());
+  flush oc;
+  if !failed then 1 else 0

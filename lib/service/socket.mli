@@ -1,0 +1,75 @@
+(** The hardened network front end for the job protocol: a Unix-domain
+    or loopback-TCP listener whose jobs run on
+    {!Service.Supervisor} worker shards, plus the matching
+    retry-and-backoff client.
+
+    Each connection is served by its own thread; lines are read with
+    bounded {!Service.Framing.input} and jobs carry a per-connection
+    0-based index, so a client that sends the same lines over one
+    connection gets results byte-identical to the stdin batch path
+    (successful ones — supervisor failures surface as
+    [{"id": ..., "ok": false, "error": "shard-crash" | "deadline" |
+    "overloaded" | "draining"}]).  The ["stats"] op is answered by
+    whichever shard serves it, so its counters reflect that shard's
+    history — unlike the stdin path, which answers post-batch.
+
+    Determinacy is what makes this sound: a retried or replayed job
+    cannot produce a different successful answer, so the client is free
+    to retry "shard-crash"/"overloaded" results blindly. *)
+
+type endpoint = Unix_path of string | Tcp of int
+(** [Tcp port] binds 127.0.0.1 only. *)
+
+type options = {
+  shards : int;
+  deadline_ms : int;  (** 0 = no deadline *)
+  max_queue : int;
+  max_line_bytes : int;
+  chaos : Service.Supervisor.chaos option;
+}
+
+val default_options : options
+(** 4 shards, no deadline, queue 64, default line budget, no chaos. *)
+
+val endpoint_to_string : endpoint -> string
+
+(** {2 Server} *)
+
+type server
+
+val start : endpoint -> options -> server
+(** Bind, listen, fork the shards, and spawn the accept thread.
+    Installs [Signal_ignore] on SIGPIPE.  An existing socket file at a
+    [Unix_path] endpoint is replaced. *)
+
+val shutdown : server -> unit
+(** Trigger graceful drain (async-signal-safe: one self-pipe write).
+    In-flight jobs finish and their results are flushed; subsequent
+    lines get a ["draining"] error; {!wait} then returns. *)
+
+val wait : server -> Service.Supervisor.stats
+(** Block until {!shutdown} (or a signal, under {!listen}), then drain:
+    join connection threads, retire the shards, close and (for
+    [Unix_path]) unlink the listener.  Returns the final supervisor
+    stats. *)
+
+val listen : endpoint -> options -> unit
+(** [start] + SIGTERM/SIGINT handlers wired to {!shutdown} + [wait];
+    prints a "listening" line when ready and a "drained" stats line on
+    exit, then returns (the CLI exits 0). *)
+
+(** {2 Client} *)
+
+val client :
+  ?retries:int -> ?backoff_ms:int -> endpoint -> in_channel -> out_channel ->
+  int
+(** Read job lines from [ic] to EOF, submit them sequentially over one
+    connection, write one result line each to [oc] in input order.
+    Connect failures, dropped connections, and ["overloaded"] /
+    ["shard-crash"] results are retried up to [retries] times with
+    doubling backoff from [backoff_ms] (["deadline"] is not retried —
+    determinacy says the job will just blow the deadline again).
+    Give jobs explicit ["id"] fields if results must be correlated
+    across retries (a resend draws a fresh per-connection index).
+    Returns the process exit code: 0 if every line got a server
+    result, 1 if retries were exhausted on a connection failure. *)

@@ -1,0 +1,457 @@
+(* Crash-isolated worker shards (see the interface).
+
+   Concurrency layout: callers are systhreads; each submission owns one
+   shard slot end-to-end (frame write, deadline'd reply read, crash
+   handling), so per-slot state needs no locking of its own.  The
+   supervisor mutex guards only slot acquisition/release, the waiting
+   counter, stats, and the fd registry snapshotted by [spawn]. *)
+
+type chaos = { c_seed : int; c_rate : float; c_stall_ms : int }
+
+type config = {
+  shards : int;
+  deadline_ms : int;
+  max_queue : int;
+  backoff_base_ms : int;
+  backoff_cap_ms : int;
+  chaos : chaos option;
+  close_in_child : unit -> Unix.file_descr list;
+}
+
+let default_config =
+  {
+    shards = 4;
+    deadline_ms = 0;
+    max_queue = 64;
+    backoff_base_ms = 10;
+    backoff_cap_ms = 1000;
+    chaos = None;
+    close_in_child = (fun () -> []);
+  }
+
+type outcome =
+  | Ok_line of string
+  | Shard_crash
+  | Deadline
+  | Overloaded
+  | Draining
+
+type stats = {
+  s_submitted : int;
+  s_ok : int;
+  s_crashed : int;
+  s_timed_out : int;
+  s_rejected : int;
+  s_restarts : int;
+  s_chaos_kills : int;
+  s_chaos_stalls : int;
+  s_chaos_truncs : int;
+}
+
+type proc = { pid : int; to_child : Unix.file_descr; from_child : Unix.file_descr }
+
+type slot = {
+  mutable proc : proc option;
+  mutable busy : bool;
+  mutable failures : int;  (* consecutive, for backoff *)
+  mutable not_before : float;  (* earliest respawn time *)
+}
+
+type t = {
+  config : config;
+  handler : int -> string -> string;
+  slots : slot array;
+  mutex : Mutex.t;
+  freed : Condition.t;
+  mutable waiting : int;
+  mutable seq : int;  (* submission counter, feeds the chaos hash *)
+  mutable draining : bool;
+  mutable submitted : int;
+  mutable ok : int;
+  mutable crashed : int;
+  mutable timed_out : int;
+  mutable rejected : int;
+  mutable restarts : int;
+  mutable chaos_kills : int;
+  mutable chaos_stalls : int;
+  mutable chaos_truncs : int;
+}
+
+(* --- chaos ------------------------------------------------------------ *)
+
+(* 'n' = none, 'k' = kill, 's' = stall, 't' = truncate.  The decision is
+   a pure hash of (seed, submission sequence number, payload): fully
+   reproducible for a fixed submission order, yet a *retry* of the same
+   payload draws a fresh number and can succeed — which is what makes
+   the client's retry loop converge under chaos. *)
+let chaos_mode t ~seq ~payload =
+  match t.config.chaos with
+  | None -> 'n'
+  | Some { c_seed; c_rate; _ } ->
+      let digest =
+        Hash.fnv1a
+          (Printf.sprintf "chaos:%d:%d:%s" c_seed seq payload)
+      in
+      let u = Int64.to_int (Int64.logand digest 0xFFFFFL) in
+      if float_of_int u >= c_rate *. 1048576.0 then 'n'
+      else
+        match Int64.to_int (Int64.logand (Int64.shift_right_logical digest 20) 3L) with
+        | 0 | 3 -> 'k'
+        | 1 -> 's'
+        | _ -> 't'
+
+(* --- child ------------------------------------------------------------ *)
+
+let rec really_write fd s pos len =
+  if len > 0 then begin
+    let n =
+      try Unix.write_substring fd s pos len
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    really_write fd s (pos + n) (len - n)
+  end
+
+(* Read one '\n'-terminated frame from [fd] into [buf]; [pending] holds
+   bytes read past the previous newline. *)
+let read_frame fd pending =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 4096 in
+  let rec take_pending () =
+    match String.index_opt !pending '\n' with
+    | Some i ->
+        let line = String.sub !pending 0 i in
+        pending :=
+          String.sub !pending (i + 1) (String.length !pending - i - 1);
+        Buffer.add_string buf line;
+        Some (Buffer.contents buf)
+    | None ->
+        Buffer.add_string buf !pending;
+        pending := "";
+        fill ()
+  and fill () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> fill ()
+    | 0 -> None
+    | n ->
+        pending := Bytes.sub_string chunk 0 n;
+        take_pending ()
+  in
+  take_pending ()
+
+(* The shard main loop, on the child side of the fork.  Frames are
+   "<id>\t<chaos-mode>\t<payload>\n"; the reply is one line.  The chaos
+   *decision* is made in the parent (so planned faults are observable in
+   stats); the child only executes it. *)
+let child_loop ~handler ~stall_ms r w =
+  let pending = ref "" in
+  let rec loop () =
+    match read_frame r pending with
+    | None -> Unix._exit 0
+    | Some frame ->
+        let t1 = try String.index frame '\t' with Not_found -> Unix._exit 4 in
+        let t2 =
+          try String.index_from frame (t1 + 1) '\t'
+          with Not_found -> Unix._exit 4
+        in
+        let id = int_of_string (String.sub frame 0 t1) in
+        let mode = frame.[t1 + 1] in
+        let payload =
+          String.sub frame (t2 + 1) (String.length frame - t2 - 1)
+        in
+        (if mode = 'k' then Unix.kill (Unix.getpid ()) Sys.sigkill);
+        let reply =
+          match handler id payload with
+          | s -> s
+          | exception _ -> Unix._exit 3
+        in
+        (if mode = 's' then Unix.sleepf (float_of_int stall_ms /. 1000.0));
+        if mode = 't' then begin
+          (* half a reply and no newline: the parent must treat this as
+             a crash, not hand a mangled result to the client *)
+          let half = String.length reply / 2 in
+          really_write w reply 0 half;
+          Unix._exit 0
+        end
+        else begin
+          really_write w reply 0 (String.length reply);
+          really_write w "\n" 0 1;
+          loop ()
+        end
+  in
+  loop ()
+
+(* --- parent ----------------------------------------------------------- *)
+
+(* Fork one shard.  Called with [t.mutex] held so the fd registry
+   (every other live slot's pipe ends) is a consistent snapshot: the
+   child closes them all, otherwise a sibling child would hold a dead
+   shard's write end open and the parent would never see EOF. *)
+let spawn_locked t slot =
+  let req_r, req_w = Unix.pipe () in
+  let rep_r, rep_w = Unix.pipe () in
+  (* buffered output inherited by the child would be flushed twice *)
+  flush stdout;
+  flush stderr;
+  let stall_ms =
+    match t.config.chaos with Some c -> c.c_stall_ms | None -> 0
+  in
+  match Unix.fork () with
+  | 0 ->
+      Unix.close req_w;
+      Unix.close rep_r;
+      Array.iter
+        (fun s ->
+          match s.proc with
+          | Some p ->
+              (try Unix.close p.to_child with Unix.Unix_error _ -> ());
+              (try Unix.close p.from_child with Unix.Unix_error _ -> ())
+          | None -> ())
+        t.slots;
+      List.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (t.config.close_in_child ());
+      (* no [exit]: at_exit callbacks belong to the parent *)
+      (try child_loop ~handler:t.handler ~stall_ms req_r rep_w
+       with _ -> ());
+      Unix._exit 5
+  | pid ->
+      Unix.close req_r;
+      Unix.close rep_w;
+      slot.proc <- Some { pid; to_child = req_w; from_child = rep_r }
+
+let reap pid =
+  try ignore (Unix.waitpid [] pid)
+  with Unix.Unix_error (Unix.ECHILD, _, _) | Unix.Unix_error (Unix.EINTR, _, _) ->
+    ()
+
+(* Retire a dead or killed shard: reap it, schedule the respawn with
+   capped exponential backoff, and count the restart. *)
+let retire_locked t slot =
+  (match slot.proc with
+  | Some p ->
+      (try Unix.close p.to_child with Unix.Unix_error _ -> ());
+      (try Unix.close p.from_child with Unix.Unix_error _ -> ());
+      reap p.pid
+  | None -> ());
+  slot.proc <- None;
+  slot.failures <- slot.failures + 1;
+  let backoff =
+    min t.config.backoff_cap_ms
+      (t.config.backoff_base_ms * (1 lsl min 16 (slot.failures - 1)))
+  in
+  slot.not_before <- Unix.gettimeofday () +. (float_of_int backoff /. 1000.0);
+  t.restarts <- t.restarts + 1
+
+let start ?(config = default_config) (handler : int -> string -> string) : t =
+  if config.shards < 1 then invalid_arg "Supervisor: shards must be >= 1";
+  if config.max_queue < 0 then invalid_arg "Supervisor: max_queue must be >= 0";
+  (match config.chaos with
+  | Some c when c.c_rate < 0.0 || c.c_rate > 1.0 ->
+      invalid_arg "Supervisor: chaos rate must be within [0, 1]"
+  | _ -> ());
+  (* a write to a freshly-dead shard must surface as EPIPE, not kill us *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let t =
+    {
+      config;
+      handler;
+      slots =
+        Array.init config.shards (fun _ ->
+            { proc = None; busy = false; failures = 0; not_before = 0.0 });
+      mutex = Mutex.create ();
+      freed = Condition.create ();
+      waiting = 0;
+      seq = 0;
+      draining = false;
+      submitted = 0;
+      ok = 0;
+      crashed = 0;
+      timed_out = 0;
+      rejected = 0;
+      restarts = 0;
+      chaos_kills = 0;
+      chaos_stalls = 0;
+      chaos_truncs = 0;
+    }
+  in
+  Mutex.lock t.mutex;
+  Array.iter (fun slot -> spawn_locked t slot) t.slots;
+  Mutex.unlock t.mutex;
+  t
+
+(* Wait for the shard's reply line, with the wall-clock deadline (if
+   any) enforced by select.  Returns [Ok line] or [Error `Timeout] or
+   [Error `Eof] (shard died / truncated its reply). *)
+let read_reply ~deadline_ms fd =
+  let deadline =
+    if deadline_ms <= 0 then None
+    else Some (Unix.gettimeofday () +. (float_of_int deadline_ms /. 1000.0))
+  in
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    let timeout =
+      match deadline with
+      | None -> -1.0
+      | Some d ->
+          let left = d -. Unix.gettimeofday () in
+          if left <= 0.0 then 0.0 else left
+    in
+    match Unix.select [ fd ] [] [] timeout with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | [], _, _ -> Error `Timeout
+    | _ -> (
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | 0 -> Error `Eof
+        | n -> (
+            let s = Bytes.sub_string chunk 0 n in
+            match String.index_opt s '\n' with
+            | Some i ->
+                Buffer.add_string buf (String.sub s 0 i);
+                Ok (Buffer.contents buf)
+            | None ->
+                Buffer.add_string buf s;
+                go ()))
+  in
+  go ()
+
+let submit (t : t) ~(id : int) (payload : string) : outcome =
+  if String.contains payload '\n' then
+    invalid_arg "Supervisor.submit: payload must not contain newlines";
+  Mutex.lock t.mutex;
+  let find_free () =
+    let free = ref None in
+    Array.iter
+      (fun s -> if !free = None && not s.busy then free := Some s)
+      t.slots;
+    !free
+  in
+  let rec acquire () =
+    if t.draining then `Draining
+    else
+      match find_free () with
+      | Some slot ->
+          slot.busy <- true;
+          `Slot slot
+      | None ->
+          if t.waiting >= t.config.max_queue then `Overloaded
+          else begin
+            t.waiting <- t.waiting + 1;
+            Condition.wait t.freed t.mutex;
+            t.waiting <- t.waiting - 1;
+            acquire ()
+          end
+  in
+  match acquire () with
+  | `Draining ->
+      Mutex.unlock t.mutex;
+      Draining
+  | `Overloaded ->
+      t.rejected <- t.rejected + 1;
+      Mutex.unlock t.mutex;
+      Overloaded
+  | `Slot slot ->
+      let seq = t.seq in
+      t.seq <- seq + 1;
+      t.submitted <- t.submitted + 1;
+      let mode = chaos_mode t ~seq ~payload in
+      (match mode with
+      | 'k' -> t.chaos_kills <- t.chaos_kills + 1
+      | 's' -> t.chaos_stalls <- t.chaos_stalls + 1
+      | 't' -> t.chaos_truncs <- t.chaos_truncs + 1
+      | _ -> ());
+      (* respawn under the backoff watermark happens lazily, here, so a
+         crash-looping shard delays only the jobs routed to it *)
+      if slot.proc = None then begin
+        let wait = slot.not_before -. Unix.gettimeofday () in
+        if wait > 0.0 then begin
+          Mutex.unlock t.mutex;
+          Unix.sleepf wait;
+          Mutex.lock t.mutex
+        end;
+        spawn_locked t slot
+      end;
+      let proc = match slot.proc with Some p -> p | None -> assert false in
+      Mutex.unlock t.mutex;
+      let frame = Printf.sprintf "%d\t%c\t%s\n" id mode payload in
+      let wrote =
+        try
+          really_write proc.to_child frame 0 (String.length frame);
+          true
+        with Unix.Unix_error _ -> false
+      in
+      let result =
+        if not wrote then Error `Eof
+        else read_reply ~deadline_ms:t.config.deadline_ms proc.from_child
+      in
+      Mutex.lock t.mutex;
+      let outcome =
+        match result with
+        | Ok line ->
+            slot.failures <- 0;
+            t.ok <- t.ok + 1;
+            Ok_line line
+        | Error `Eof ->
+            retire_locked t slot;
+            t.crashed <- t.crashed + 1;
+            Shard_crash
+        | Error `Timeout ->
+            (match slot.proc with
+            | Some p -> ( try Unix.kill p.pid Sys.sigkill with Unix.Unix_error _ -> ())
+            | None -> ());
+            retire_locked t slot;
+            t.timed_out <- t.timed_out + 1;
+            Deadline
+      in
+      slot.busy <- false;
+      Condition.signal t.freed;
+      Mutex.unlock t.mutex;
+      outcome
+
+let stats (t : t) : stats =
+  Mutex.lock t.mutex;
+  let s =
+    {
+      s_submitted = t.submitted;
+      s_ok = t.ok;
+      s_crashed = t.crashed;
+      s_timed_out = t.timed_out;
+      s_rejected = t.rejected;
+      s_restarts = t.restarts;
+      s_chaos_kills = t.chaos_kills;
+      s_chaos_stalls = t.chaos_stalls;
+      s_chaos_truncs = t.chaos_truncs;
+    }
+  in
+  Mutex.unlock t.mutex;
+  s
+
+let drain (t : t) : unit =
+  Mutex.lock t.mutex;
+  if not t.draining then begin
+    t.draining <- true;
+    Condition.broadcast t.freed;
+    (* wait for in-flight jobs: every busy slot is owned by a live
+       submission that will clear it *)
+    let rec wait_idle () =
+      if Array.exists (fun s -> s.busy) t.slots then begin
+        Condition.wait t.freed t.mutex;
+        wait_idle ()
+      end
+    in
+    wait_idle ();
+    Array.iter
+      (fun slot ->
+        match slot.proc with
+        | Some p ->
+            (try Unix.close p.to_child with Unix.Unix_error _ -> ());
+            (* closing the request pipe is EOF: the child exits cleanly *)
+            reap p.pid;
+            (try Unix.close p.from_child with Unix.Unix_error _ -> ());
+            slot.proc <- None
+        | None -> ())
+      t.slots
+  end;
+  Mutex.unlock t.mutex

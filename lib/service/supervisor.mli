@@ -1,0 +1,93 @@
+(** Supervised worker-subprocess shards with deadlines, admission
+    control, capped-backoff restart, and seeded chaos injection.
+
+    Each shard is a forked subprocess running a caller-supplied line
+    handler; jobs are framed over pipes.  A shard that crashes, is
+    killed, or blows the per-job wall-clock deadline yields a structured
+    {!outcome} — never an exception, never a dead server — and is
+    replaced lazily under a capped exponential backoff.  Because
+    execution is determinate (the paper's Theorem 1, the same property
+    PR 4's replay leans on), a supervised retry of a failed job is
+    sound: re-running it cannot produce a different answer, only the
+    same one or another structured failure.
+
+    Threading: [submit] is safe to call from many systhreads; each
+    submission owns one shard for its whole round trip.  Do not call
+    from multiple {e domains} — shards are [Unix.fork]ed, and forking a
+    multi-domain process is unsupported. *)
+
+type chaos = {
+  c_seed : int;  (** deterministic fault plan seed *)
+  c_rate : float;  (** probability in [0,1] that a job is faulted *)
+  c_stall_ms : int;
+      (** how long a stalled shard sleeps — set it well past the
+          deadline so stalls are classified as {!Deadline} *)
+}
+(** Seeded chaos: each submission draws a pure hash of (seed, global
+    submission number, payload) and, under [c_rate], is assigned one of
+    three faults executed by the shard: {b kill} (SIGKILL itself before
+    replying), {b stall} (sleep [c_stall_ms] before replying), or
+    {b truncate} (write half the reply with no newline and exit).  The
+    plan is reproducible for a fixed submission order, but a retry of
+    the same payload draws a fresh number — so retrying under chaos
+    converges. *)
+
+type config = {
+  shards : int;  (** worker subprocesses, >= 1 *)
+  deadline_ms : int;  (** per-job wall-clock budget; 0 = no deadline *)
+  max_queue : int;
+      (** admission control: submissions allowed to *wait* beyond the
+          [shards] running ones; 0 = reject whenever all shards busy *)
+  backoff_base_ms : int;  (** first respawn delay after a failure *)
+  backoff_cap_ms : int;  (** backoff doubles per consecutive failure, capped here *)
+  chaos : chaos option;
+  close_in_child : unit -> Unix.file_descr list;
+      (** extra parent fds (listening sockets, live connections) a
+          freshly forked shard must close *)
+}
+
+val default_config : config
+(** 4 shards, no deadline, queue of 64, backoff 10ms..1s, no chaos. *)
+
+type outcome =
+  | Ok_line of string  (** the shard's reply line *)
+  | Shard_crash  (** shard died or truncated its reply mid-job *)
+  | Deadline  (** job exceeded [deadline_ms]; shard killed *)
+  | Overloaded  (** admission control rejected the job *)
+  | Draining  (** supervisor is shutting down *)
+
+type stats = {
+  s_submitted : int;
+  s_ok : int;
+  s_crashed : int;
+  s_timed_out : int;
+  s_rejected : int;
+  s_restarts : int;  (** shards retired for respawn after crash/deadline *)
+  s_chaos_kills : int;
+  s_chaos_stalls : int;
+  s_chaos_truncs : int;
+}
+
+type t
+
+val start : ?config:config -> (int -> string -> string) -> t
+(** [start ~config handler] forks [config.shards] shards, each running
+    [handler id payload] per job on the child side of the fork.  The
+    handler must return a single line (no ['\n']) and should not raise
+    — a raising handler crashes its shard (reported as {!Shard_crash}).
+    Installs [Signal_ignore] on SIGPIPE (a write to a freshly dead
+    shard must surface as an error, not kill the server).
+    @raise Invalid_argument on [shards < 1], [max_queue < 0], or a
+    chaos rate outside [0,1]. *)
+
+val submit : t -> id:int -> string -> outcome
+(** Run one job on some shard.  Blocks while all shards are busy if the
+    waiting queue has room, else returns {!Overloaded} immediately.
+    @raise Invalid_argument if the payload contains a newline. *)
+
+val stats : t -> stats
+
+val drain : t -> unit
+(** Graceful shutdown: new submissions return {!Draining}, in-flight
+    jobs run to completion, then every shard is retired by closing its
+    request pipe (clean EOF exit) and reaped.  Idempotent. *)

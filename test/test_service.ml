@@ -104,7 +104,7 @@ let test_cache_reset () =
 
 (* --- Pool ------------------------------------------------------------ *)
 
-let unpack = function Ok v -> v | Error e -> raise e
+let unpack = function Ok v -> v | Error f -> Service.Pool.reraise f
 
 let test_pool_deterministic () =
   let items = Array.init 100 Fun.id in
@@ -121,7 +121,9 @@ let test_pool_error_isolation () =
     (fun jobs ->
       let r = Service.Pool.map ~jobs f items in
       checkb "failing slot is Error" true
-        (match r.(5) with Error (Failure _) -> true | _ -> false);
+        (match r.(5) with
+        | Error { Service.Pool.f_exn = Failure _; _ } -> true
+        | _ -> false);
       checki "neighbour undisturbed" 6 (unpack r.(6)))
     [ 1; 4 ]
 
@@ -144,6 +146,94 @@ let test_pool_emit_order () =
     (Array.init 50 Fun.id);
   let expected = List.init 50 (fun i -> (49 - i, 50 - i)) in
   checkb "emitted strictly in index order" true (!seen = expected)
+
+let test_pool_emit_raising_no_deadlock () =
+  (* regression: emit raising on the very first flush used to leave the
+     internal mutex locked, deadlocking every other worker at its next
+     deposit (this test then hung).  With the unlock in Fun.protect the
+     exception propagates and the surviving workers keep draining. *)
+  checkb "raising emit propagates, workers not deadlocked" true
+    (match
+       Service.Pool.map_emit ~jobs:4
+         ~emit:(fun i _ -> if i = 0 then failwith "emit-boom")
+         (fun x -> x)
+         (Array.init 64 Fun.id)
+     with
+    | () -> false
+    | exception Failure m -> m = "emit-boom")
+
+let test_pool_emit_raising_last () =
+  (* raise on the final flush: every earlier item must already be out *)
+  let seen = ref [] in
+  checkb "raised on last emit" true
+    (match
+       Service.Pool.map_emit ~jobs:4
+         ~emit:(fun i r ->
+           if i = 9 then failwith "last" else seen := (i, unpack r) :: !seen)
+         (fun x -> x * 2)
+         (Array.init 10 Fun.id)
+     with
+    | () -> false
+    | exception Failure m -> m = "last");
+  checkb "all earlier items emitted in order" true
+    (List.rev !seen = List.init 9 (fun i -> (i, 2 * i)))
+
+let test_pool_backtrace_preserved () =
+  Printexc.record_backtrace true;
+  let deep () = failwith "kaboom" in
+  let r = Service.Pool.map ~jobs:1 (fun () -> deep () + 1) [| () |] in
+  match r.(0) with
+  | Ok _ -> Alcotest.fail "expected Error"
+  | Error f ->
+      checkb "original exception carried" true
+        (match f.Service.Pool.f_exn with Failure m -> m = "kaboom" | _ -> false);
+      checkb "failure_to_string names the exception" true
+        (contains (Service.Pool.failure_to_string f) "kaboom");
+      checkb "reraise rethrows the original" true
+        (match Service.Pool.reraise f with
+        | exception Failure m -> m = "kaboom"
+        | _ -> false)
+
+(* --- Framing: bounded line reading ----------------------------------- *)
+
+let read_all_framed ?max_bytes s =
+  let path = Filename.temp_file "framing" ".txt" in
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc;
+  let ic = open_in_bin path in
+  let rec go acc =
+    match Service.Framing.input ?max_bytes ic with
+    | Service.Framing.Eof -> List.rev acc
+    | item -> go (item :: acc)
+  in
+  let items = go [] in
+  close_in ic;
+  Sys.remove path;
+  items
+
+let test_framing_matches_input_line () =
+  let open Service.Framing in
+  checkb "plain lines" true
+    (read_all_framed "a\nbb\nccc\n" = [ Line "a"; Line "bb"; Line "ccc" ]);
+  checkb "empty lines kept" true
+    (read_all_framed "\n\nx\n" = [ Line ""; Line ""; Line "x" ]);
+  checkb "final unterminated line returned" true
+    (read_all_framed "a\nb" = [ Line "a"; Line "b" ]);
+  checkb "empty input" true (read_all_framed "" = [])
+
+let test_framing_bounds () =
+  let open Service.Framing in
+  checkb "oversized line truncated with true length" true
+    (read_all_framed ~max_bytes:4 "abcdefgh\nok\n"
+    = [ Truncated 8; Line "ok" ]);
+  checkb "stream stays line-synchronised after truncation" true
+    (read_all_framed ~max_bytes:2 "xxxx\nyy\nzzzz\n"
+    = [ Truncated 4; Line "yy"; Truncated 4 ]);
+  checkb "unterminated oversized tail reported" true
+    (read_all_framed ~max_bytes:3 "abcdef" = [ Truncated 6 ]);
+  checkb "exactly at budget passes" true
+    (read_all_framed ~max_bytes:4 "abcd\n" = [ Line "abcd" ])
 
 (* --- Memo: cached == uncached ---------------------------------------- *)
 
@@ -291,6 +381,102 @@ let test_server_id_defaults () =
       checkb "explicit id echoed" true (contains b "\"id\":7")
   | _ -> Alcotest.fail "expected two result lines"
 
+let test_server_max_line_bytes () =
+  let big =
+    line
+      [
+        ("op", J.String "compile");
+        ("source", J.String (String.make 4096 'x'));
+      ]
+  in
+  let out =
+    Serve.Server.run_batch ~jobs:1 ~max_line_bytes:256
+      [ line [ ("op", J.String "compile"); ("source", J.String "x := 1") ]; big ]
+  in
+  match out with
+  | [ ok; err ] ->
+      checkb "small job unaffected" true (contains ok "\"ok\":true");
+      checkb "oversized job is a per-job error" true
+        (contains err "\"ok\":false" && contains err "line too long"
+        && contains err "\"id\":1")
+  | _ -> Alcotest.fail "expected two result lines"
+
+(* run a raw byte stream through the full stdin path (bounded framing
+   included) and return the result lines *)
+let serve_bytes ?max_line_bytes bytes =
+  let inp = Filename.temp_file "serve_in" ".txt" in
+  let outp = Filename.temp_file "serve_out" ".txt" in
+  let oc = open_out_bin inp in
+  output_string oc bytes;
+  close_out oc;
+  let ic = open_in_bin inp in
+  let oc = open_out_bin outp in
+  Serve.Server.serve ~jobs:1 ?max_line_bytes ic oc;
+  close_in ic;
+  close_out oc;
+  let ic = open_in_bin outp in
+  let rec go acc =
+    match input_line ic with
+    | l -> go (l :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  let lines = go [] in
+  close_in ic;
+  Sys.remove inp;
+  Sys.remove outp;
+  lines
+
+let test_serve_oversized_stream () =
+  let bytes =
+    String.concat "\n"
+      [
+        {|{"op":"compile","source":"x := 1"}|};
+        String.make 2048 'j';
+        {|{"op":"compile","source":"y := 2"}|};
+      ]
+    ^ "\n"
+  in
+  match serve_bytes ~max_line_bytes:512 bytes with
+  | [ a; b; c ] ->
+      checkb "first job ok" true (contains a "\"ok\":true");
+      checkb "oversized line errors with its length" true
+        (contains b "\"ok\":false" && contains b "2048 bytes");
+      checkb "stream recovers after the oversized line" true
+        (contains c "\"ok\":true")
+  | out ->
+      Alcotest.fail
+        (Fmt.str "expected three result lines, got %d" (List.length out))
+
+(* fuzz: the server never raises and answers every line exactly once,
+   whatever bytes arrive -- junk, truncated JSON, NULs, oversized *)
+let prop_server_never_raises =
+  let gen_bytes =
+    QCheck.Gen.(
+      string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 0 600))
+  in
+  QCheck.Test.make ~name:"serve: one well-formed result per input line"
+    ~count:100
+    (QCheck.make ~print:String.escaped gen_bytes)
+    (fun bytes ->
+      let out = serve_bytes ~max_line_bytes:64 bytes in
+      (* how many lines does the bounded reader see? *)
+      let expected =
+        let n = ref 0 and last = ref (-1) in
+        String.iteri (fun i c -> if c = '\n' then (incr n; last := i)) bytes;
+        if String.length bytes > 0 && !last < String.length bytes - 1 then
+          !n + 1
+        else !n
+      in
+      List.length out = expected
+      && List.for_all
+           (fun l ->
+             match J.of_string l with
+             | J.Assoc fields ->
+                 List.mem_assoc "id" fields && List.mem_assoc "ok" fields
+             | _ -> false
+             | exception J.Parse_error _ -> false)
+           out)
+
 let () =
   Alcotest.run "service"
     [
@@ -316,6 +502,19 @@ let () =
             test_pool_error_isolation;
           Alcotest.test_case "invalid jobs" `Quick test_pool_invalid_jobs;
           Alcotest.test_case "emit in order" `Quick test_pool_emit_order;
+          Alcotest.test_case "raising emit does not deadlock" `Quick
+            test_pool_emit_raising_no_deadlock;
+          Alcotest.test_case "raising emit after full drain" `Quick
+            test_pool_emit_raising_last;
+          Alcotest.test_case "backtrace preserved" `Quick
+            test_pool_backtrace_preserved;
+        ] );
+      ( "framing",
+        [
+          Alcotest.test_case "matches input_line within budget" `Quick
+            test_framing_matches_input_line;
+          Alcotest.test_case "bounded + line-synchronised" `Quick
+            test_framing_bounds;
         ] );
       ( "memo",
         [ Alcotest.test_case "reference store" `Quick test_memo_reference ]
@@ -326,5 +525,10 @@ let () =
             test_server_byte_identical;
           Alcotest.test_case "per-op results" `Quick test_server_results;
           Alcotest.test_case "id defaulting" `Quick test_server_id_defaults;
-        ] );
+          Alcotest.test_case "--max-line-bytes per-job error" `Quick
+            test_server_max_line_bytes;
+          Alcotest.test_case "oversized stream recovers" `Quick
+            test_serve_oversized_stream;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest [ prop_server_never_raises ] );
     ]

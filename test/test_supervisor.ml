@@ -1,0 +1,323 @@
+(* Tests of the supervised shard layer and the socket front end: crash
+   isolation and restart, deadline kills, admission control, seeded
+   chaos, graceful drain, and byte-equality of the socket path against
+   the stdin batch path.
+
+   These run in their own executable: the supervisor forks, and forking
+   is only safe while no other domains are live — keeping the
+   domain-pool suites (test_service) in a separate process makes that
+   invariant structural. *)
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+module Sup = Service.Supervisor
+
+let config ?(shards = 2) ?(deadline_ms = 0) ?(max_queue = 64) ?chaos () =
+  {
+    Sup.default_config with
+    Sup.shards;
+    deadline_ms;
+    max_queue;
+    backoff_base_ms = 1;
+    backoff_cap_ms = 20;
+    chaos;
+  }
+
+(* a handler exercising every failure mode on demand; runs in the
+   forked shard, so the "crash" branches kill only the child *)
+let handler (id : int) (line : string) : string =
+  match line with
+  | "die" -> Unix.kill (Unix.getpid ()) Sys.sigkill; "unreachable"
+  | "raise" -> failwith "handler exploded"
+  | "slow" -> Unix.sleepf 10.0; "slow-done"
+  | "nap" -> Unix.sleepf 0.3; "nap-done"
+  | _ -> Printf.sprintf "%d:%s" id line
+
+let test_basic_roundtrip () =
+  let t = Sup.start ~config:(config ()) handler in
+  checkb "reply carries id and payload" true
+    (Sup.submit t ~id:7 "hello" = Sup.Ok_line "7:hello");
+  checkb "second job fine" true
+    (Sup.submit t ~id:8 "world" = Sup.Ok_line "8:world");
+  Sup.drain t;
+  let s = Sup.stats t in
+  checki "ok counted" 2 s.Sup.s_ok;
+  checki "no restarts" 0 s.Sup.s_restarts
+
+let test_shard_crash_and_restart () =
+  let t = Sup.start ~config:(config ~shards:1 ()) handler in
+  checkb "kill -> structured crash" true (Sup.submit t ~id:0 "die" = Sup.Shard_crash);
+  checkb "raising handler -> structured crash" true
+    (Sup.submit t ~id:1 "raise" = Sup.Shard_crash);
+  (* the shard was restarted (with backoff) and serves again *)
+  checkb "service recovered" true (Sup.submit t ~id:2 "ok" = Sup.Ok_line "2:ok");
+  let s = Sup.stats t in
+  checki "crashes counted" 2 s.Sup.s_crashed;
+  checkb "restarts observed" true (s.Sup.s_restarts >= 2);
+  Sup.drain t
+
+let test_deadline_kill () =
+  let t = Sup.start ~config:(config ~shards:1 ~deadline_ms:100 ()) handler in
+  let t0 = Unix.gettimeofday () in
+  checkb "slow job hits the deadline" true (Sup.submit t ~id:0 "slow" = Sup.Deadline);
+  let elapsed = Unix.gettimeofday () -. t0 in
+  checkb "killed near the deadline, not after the full sleep" true
+    (elapsed < 5.0);
+  checkb "shard replaced, service live" true
+    (Sup.submit t ~id:1 "ok" = Sup.Ok_line "1:ok");
+  let s = Sup.stats t in
+  checki "deadline counted" 1 s.Sup.s_timed_out;
+  checkb "restart counted" true (s.Sup.s_restarts >= 1);
+  Sup.drain t
+
+let test_overload_rejection () =
+  let t = Sup.start ~config:(config ~shards:1 ~max_queue:0 ()) handler in
+  (* occupy the only shard, then submit while it is busy *)
+  let busy = Thread.create (fun () -> Sup.submit t ~id:0 "nap") () in
+  Unix.sleepf 0.05;
+  checkb "no free shard, empty queue -> overloaded" true
+    (Sup.submit t ~id:1 "x" = Sup.Overloaded);
+  checkb "the in-flight job was not disturbed" true
+    (match Thread.join busy with () -> true);
+  checkb "free again afterwards" true (Sup.submit t ~id:2 "y" = Sup.Ok_line "2:y");
+  let s = Sup.stats t in
+  checki "rejection counted" 1 s.Sup.s_rejected;
+  Sup.drain t
+
+let test_queue_admits_within_bound () =
+  let t = Sup.start ~config:(config ~shards:1 ~max_queue:4 ()) handler in
+  let busy = Thread.create (fun () -> Sup.submit t ~id:0 "nap") () in
+  Unix.sleepf 0.05;
+  (* room in the queue: this blocks until the nap finishes, then runs *)
+  checkb "queued job eventually served" true
+    (Sup.submit t ~id:1 "q" = Sup.Ok_line "1:q");
+  Thread.join busy;
+  Sup.drain t
+
+let test_drain_rejects_new () =
+  let t = Sup.start ~config:(config ()) handler in
+  checkb "live before drain" true (Sup.submit t ~id:0 "a" = Sup.Ok_line "0:a");
+  Sup.drain t;
+  checkb "draining after drain" true (Sup.submit t ~id:1 "b" = Sup.Draining);
+  Sup.drain t (* idempotent *)
+
+let chaos ~rate = { Sup.c_seed = 11; c_rate = rate; c_stall_ms = 400 }
+
+let test_chaos_modes_exercised () =
+  let t =
+    Sup.start
+      ~config:(config ~shards:2 ~deadline_ms:100 ~chaos:(chaos ~rate:1.0) ())
+      handler
+  in
+  for i = 0 to 29 do
+    ignore (Sup.submit t ~id:i (Printf.sprintf "job-%d" i))
+  done;
+  let s = Sup.stats t in
+  checki "every job faulted" 30 (s.Sup.s_chaos_kills + s.Sup.s_chaos_stalls + s.Sup.s_chaos_truncs);
+  checkb "kills planned" true (s.Sup.s_chaos_kills > 0);
+  checkb "stalls planned" true (s.Sup.s_chaos_stalls > 0);
+  checkb "truncations planned" true (s.Sup.s_chaos_truncs > 0);
+  checki "no job survived rate 1.0" 0 s.Sup.s_ok;
+  checkb "kills and truncations surface as crashes" true
+    (s.Sup.s_crashed = s.Sup.s_chaos_kills + s.Sup.s_chaos_truncs);
+  checkb "stalls surface as deadline kills" true
+    (s.Sup.s_timed_out = s.Sup.s_chaos_stalls);
+  checkb "every faulted shard was restarted" true (s.Sup.s_restarts = 30);
+  Sup.drain t
+
+let test_chaos_zero_rate_clean () =
+  let t =
+    Sup.start ~config:(config ~chaos:(chaos ~rate:0.0) ()) handler
+  in
+  for i = 0 to 9 do
+    checkb "clean at rate 0" true
+      (Sup.submit t ~id:i "x" = Sup.Ok_line (Printf.sprintf "%d:x" i))
+  done;
+  Sup.drain t
+
+let test_chaos_deterministic_plan () =
+  let outcomes () =
+    let t =
+      Sup.start
+        ~config:(config ~shards:1 ~deadline_ms:100 ~chaos:(chaos ~rate:0.4) ())
+        handler
+    in
+    let os =
+      List.init 20 (fun i ->
+          match Sup.submit t ~id:i (Printf.sprintf "p%d" i) with
+          | Sup.Ok_line _ -> 'o'
+          | Sup.Shard_crash -> 'c'
+          | Sup.Deadline -> 'd'
+          | Sup.Overloaded -> 'v'
+          | Sup.Draining -> 'g')
+    in
+    Sup.drain t;
+    os
+  in
+  checkb "same seed, same fault plan, same outcomes" true
+    (outcomes () = outcomes ())
+
+(* --- the socket front end -------------------------------------------- *)
+
+let job i =
+  Printf.sprintf
+    {|{"id":%d,"op":"run","source":"x := %d y := x + 1","schema":"2opt"}|} i i
+
+let with_server ?(options = Serve.Socket.default_options) f =
+  let path = Filename.temp_file "dfsock" ".sock" in
+  Sys.remove path;
+  let s = Serve.Socket.start (Serve.Socket.Unix_path path) options in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.Socket.shutdown s;
+      ignore (Serve.Socket.wait s))
+    (fun () -> f path)
+
+let talk path lines =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  List.iter
+    (fun l ->
+      output_string oc l;
+      output_char oc '\n')
+    lines;
+  flush oc;
+  let replies = List.map (fun _ -> input_line ic) lines in
+  Unix.close fd;
+  replies
+
+let test_socket_byte_identical_to_stdin () =
+  let lines = List.init 5 job in
+  let expected = Serve.Server.run_batch ~jobs:1 lines in
+  with_server (fun path ->
+      checkb "socket results == stdin batch results, byte for byte" true
+        (talk path lines = expected))
+
+let test_socket_chaos_successes_identical () =
+  let lines = List.init 40 job in
+  let expected = Array.of_list (Serve.Server.run_batch ~jobs:1 lines) in
+  let options =
+    {
+      Serve.Socket.default_options with
+      Serve.Socket.shards = 2;
+      deadline_ms = 300;
+      chaos = Some { Sup.c_seed = 3; c_rate = 0.3; c_stall_ms = 800 };
+    }
+  in
+  with_server ~options (fun path ->
+      let got = Array.of_list (talk path lines) in
+      let successes = ref 0 in
+      Array.iteri
+        (fun i g ->
+          match Machine.Json.of_string g with
+          | Machine.Json.Assoc fields
+            when List.assoc_opt "ok" fields = Some (Machine.Json.Bool true) ->
+              incr successes;
+              checkb "successful chaos result byte-identical" true
+                (g = expected.(i))
+          | _ -> ())
+        got;
+      checkb "some jobs survived rate 0.3" true (!successes > 0);
+      checkb "some jobs were faulted at rate 0.3" true
+        (!successes < Array.length got))
+
+let test_socket_failure_results_structured () =
+  let options =
+    {
+      Serve.Socket.default_options with
+      Serve.Socket.shards = 1;
+      deadline_ms = 300;
+      chaos = Some { Sup.c_seed = 1; c_rate = 1.0; c_stall_ms = 800 };
+    }
+  in
+  with_server ~options (fun path ->
+      let replies = talk path (List.init 12 job) in
+      List.iter
+        (fun r ->
+          checkb "failure is structured and named" true
+            (match Machine.Json.of_string r with
+            | Machine.Json.Assoc fields -> (
+                match List.assoc_opt "error" fields with
+                | Some (Machine.Json.String e) ->
+                    e = "shard-crash" || e = "deadline"
+                | _ -> false)
+            | _ -> false))
+        replies)
+
+let test_socket_oversized_line () =
+  let options =
+    { Serve.Socket.default_options with Serve.Socket.max_line_bytes = 128 }
+  in
+  with_server ~options (fun path ->
+      match talk path [ job 0; String.make 4000 'z'; job 2 ] with
+      | [ a; b; c ] ->
+          checkb "first ok" true
+            (String.length a > 0 && a = List.nth (Serve.Server.run_batch ~jobs:1 [ job 0 ]) 0);
+          checkb "oversized line rejected per-job" true
+            (let open Machine.Json in
+             match of_string b with
+             | Assoc fields -> List.assoc_opt "ok" fields = Some (Bool false)
+             | _ -> false);
+          checkb "connection survives" true (String.length c > 0)
+      | _ -> Alcotest.fail "expected three replies")
+
+let test_socket_drain () =
+  let lines = List.init 3 job in
+  let expected = Serve.Server.run_batch ~jobs:1 lines in
+  let path = Filename.temp_file "dfsock" ".sock" in
+  Sys.remove path;
+  let s =
+    Serve.Socket.start (Serve.Socket.Unix_path path)
+      Serve.Socket.default_options
+  in
+  let replies = talk path lines in
+  Serve.Socket.shutdown s;
+  let stats = Serve.Socket.wait s in
+  checkb "pre-drain replies correct" true (replies = expected);
+  checki "drained after serving the batch" 3 stats.Sup.s_ok;
+  checkb "socket file removed on drain" true (not (Sys.file_exists path));
+  (* post-drain: connection refused or immediately closed, never a hang *)
+  checkb "no service after drain" true
+    (match talk path lines with
+    | _ -> false
+    | exception _ -> true)
+
+let () =
+  Alcotest.run "supervisor"
+    [
+      ( "supervisor",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_basic_roundtrip;
+          Alcotest.test_case "crash -> restart" `Quick
+            test_shard_crash_and_restart;
+          Alcotest.test_case "deadline kill" `Quick test_deadline_kill;
+          Alcotest.test_case "overload rejection" `Quick
+            test_overload_rejection;
+          Alcotest.test_case "queue admits within bound" `Quick
+            test_queue_admits_within_bound;
+          Alcotest.test_case "drain" `Quick test_drain_rejects_new;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "all modes exercised" `Quick
+            test_chaos_modes_exercised;
+          Alcotest.test_case "rate 0 is clean" `Quick
+            test_chaos_zero_rate_clean;
+          Alcotest.test_case "seeded plan deterministic" `Quick
+            test_chaos_deterministic_plan;
+        ] );
+      ( "socket",
+        [
+          Alcotest.test_case "byte-identical to stdin" `Quick
+            test_socket_byte_identical_to_stdin;
+          Alcotest.test_case "chaos successes byte-identical" `Quick
+            test_socket_chaos_successes_identical;
+          Alcotest.test_case "failures structured" `Quick
+            test_socket_failure_results_structured;
+          Alcotest.test_case "oversized line" `Quick test_socket_oversized_line;
+          Alcotest.test_case "graceful drain" `Quick test_socket_drain;
+        ] );
+    ]
